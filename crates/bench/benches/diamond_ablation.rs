@@ -1,0 +1,48 @@
+//! Ablation A3 (DESIGN.md): SDP cost and tightness across the three
+//! diamond-norm variants (unconstrained, (Q, λ), (ρ̂, δ)) for 1- and
+//! 2-qubit gates — the paper's "constant-size SDP" claim in numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gleipnir_circuit::Gate;
+use gleipnir_core::{q_lambda_diamond, rho_delta_diamond, unconstrained_diamond};
+use gleipnir_linalg::{c64, CMat};
+use gleipnir_noise::Channel;
+use gleipnir_sdp::SolverOptions;
+
+fn bench_diamond(c: &mut Criterion) {
+    let opts = SolverOptions::default();
+    let plus = CMat::from_fn(2, 2, |_, _| c64(0.5, 0.0));
+    let noisy_1q = Channel::bit_flip(1e-4).after_unitary(&Gate::H.matrix());
+    let ideal_1q = Gate::H.matrix();
+    let noisy_2q = Channel::bit_flip_first_of_two(1e-4).after_unitary(&Gate::Cnot.matrix());
+    let ideal_2q = Gate::Cnot.matrix();
+    let bell = {
+        let mut m = CMat::zeros(4, 4);
+        for (i, j) in [(0usize, 0usize), (0, 3), (3, 0), (3, 3)] {
+            m.set(i, j, c64(0.5, 0.0));
+        }
+        m
+    };
+
+    let mut group = c.benchmark_group("diamond_norm");
+    group.sample_size(10);
+    group.bench_function("unconstrained_1q", |b| {
+        b.iter(|| unconstrained_diamond(&ideal_1q, &noisy_1q, &opts).unwrap())
+    });
+    group.bench_function("rho_delta_1q", |b| {
+        b.iter(|| rho_delta_diamond(&ideal_1q, &noisy_1q, &plus, 1e-3, &opts).unwrap())
+    });
+    group.bench_function("q_lambda_1q", |b| {
+        b.iter(|| q_lambda_diamond(&ideal_1q, &noisy_1q, &plus, 0.9, &opts).unwrap())
+    });
+    group.bench_function("unconstrained_2q", |b| {
+        b.iter(|| unconstrained_diamond(&ideal_2q, &noisy_2q, &opts).unwrap())
+    });
+    group.bench_function("rho_delta_2q", |b| {
+        b.iter(|| rho_delta_diamond(&ideal_2q, &noisy_2q, &bell, 1e-3, &opts).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_diamond);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Ablation A1 (DESIGN.md): cost of MPS gate application (canonical-form
+//! truncation-error accounting, `O(w³)` per gate) vs the paper's full
+//! inner-product contraction (`O(n·w³)` per check), plus width scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gleipnir_circuit::Gate;
+use gleipnir_mps::{Mps, MpsConfig};
+
+/// Prepares a heavily entangled MPS at the given width.
+fn entangled_mps(n: usize, w: usize) -> Mps {
+    let mut mps = Mps::zero_state(n, MpsConfig::with_width(w));
+    for q in 0..n {
+        mps.apply_gate(&Gate::H, &[q]);
+    }
+    for layer in 0..3 {
+        for q in 0..n - 1 {
+            mps.apply_gate(&Gate::Rzz(0.8 + 0.1 * layer as f64), &[q, q + 1]);
+        }
+        for q in 0..n {
+            mps.apply_gate(&Gate::Rx(0.9), &[q]);
+        }
+    }
+    mps
+}
+
+fn bench_gate_application(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mps_apply_2q");
+    group.sample_size(10);
+    for w in [8usize, 16, 32] {
+        let mps = entangled_mps(16, w);
+        group.bench_with_input(BenchmarkId::from_parameter(w), &mps, |b, mps| {
+            b.iter_batched(
+                || mps.clone(),
+                |mut m| m.apply_gate(&Gate::Rzz(0.33), &[7, 8]),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_error_accounting(c: &mut Criterion) {
+    // Canonical shortcut: δ from the gate application itself (already
+    // counted inside apply); contraction route: a full ⟨ψ|ψ′⟩ inner product
+    // as the paper's Fig. 13 would compute per gate.
+    let mut group = c.benchmark_group("mps_error_accounting");
+    group.sample_size(10);
+    let mps = entangled_mps(24, 16);
+    group.bench_function("canonical_delta_per_gate", |b| {
+        b.iter_batched(
+            || mps.clone(),
+            |mut m| {
+                m.apply_gate(&Gate::Rzz(0.4), &[11, 12]);
+                m.delta()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("full_contraction_inner_product", |b| {
+        let other = mps.clone();
+        b.iter(|| mps.inner(&other))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gate_application, bench_error_accounting);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Whole-pipeline microbenchmark: the full Fig. 4 workflow (MPS + SDPs +
+//! logic) on a small QAOA instance, with and without the SDP cache — the
+//! per-benchmark cost unit behind Table 2's runtime column.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gleipnir_core::{Analyzer, AnalyzerConfig};
+use gleipnir_noise::NoiseModel;
+use gleipnir_sim::BasisState;
+use gleipnir_workloads::{qaoa_maxcut, Graph};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let graph = Graph::cycle(6);
+    let program = qaoa_maxcut(&graph, &[0.35], &[0.62]);
+    let noise = NoiseModel::uniform_bit_flip(1e-4);
+    let input = BasisState::zeros(6);
+
+    let mut group = c.benchmark_group("analyzer");
+    group.sample_size(10);
+    group.bench_function("qaoa6_w16_cached", |b| {
+        b.iter(|| {
+            // Fresh analyzer each run: measures a cold-cache analysis.
+            Analyzer::new(AnalyzerConfig::with_mps_width(16))
+                .analyze(&program, &input, &noise)
+                .unwrap()
+        })
+    });
+    group.bench_function("qaoa6_w16_uncached", |b| {
+        let mut cfg = AnalyzerConfig::with_mps_width(16);
+        cfg.cache = false;
+        b.iter(|| {
+            Analyzer::new(cfg.clone())
+                .analyze(&program, &input, &noise)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

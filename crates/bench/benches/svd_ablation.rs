@@ -1,0 +1,34 @@
+//! Ablation A2 (DESIGN.md): the Gram-matrix SVD used in the MPS hot path
+//! vs the one-sided Jacobi reference, at MPS-truncation-relevant sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gleipnir_linalg::{c64, svd_gram, svd_jacobi, CMat};
+
+fn random_matrix(n: usize, seed: u64) -> CMat {
+    let mut s = seed.max(1);
+    let mut rnd = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        ((s >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
+    };
+    CMat::from_fn(n, n, |_, _| c64(rnd(), rnd()))
+}
+
+fn bench_svd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svd");
+    group.sample_size(10);
+    for n in [16usize, 32, 64] {
+        let m = random_matrix(n, 42);
+        group.bench_with_input(BenchmarkId::new("gram", n), &m, |b, m| {
+            b.iter(|| svd_gram(m).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("jacobi", n), &m, |b, m| {
+            b.iter(|| svd_jacobi(m))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_svd);
+criterion_main!(benches);

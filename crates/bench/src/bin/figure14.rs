@@ -1,0 +1,50 @@
+//! Regenerates the paper's **Figure 14**: error bound and runtime of
+//! Gleipnir on `Isingmodel45` as a function of the MPS size `w`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p gleipnir-bench --release --bin figure14 [-- --full] [-- --qubits N]
+//! ```
+//!
+//! The default profile sweeps `w ∈ {1, 2, 4, 8, 16, 32}`; `--full` extends
+//! to the paper's `{…, 64, 128}`.
+
+use gleipnir_bench::{format_figure14, run_figure14};
+use gleipnir_workloads::ising_chain;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let n: usize = args
+        .iter()
+        .position(|a| a == "--qubits")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|w| w.parse().ok())
+        .unwrap_or(45);
+
+    let program = ising_chain(n, 25, 1.0, 1.0, 0.1);
+    let name = format!("Isingmodel{n} ({} gates)", program.gate_count());
+    let widths: Vec<usize> = if full {
+        vec![1, 2, 4, 8, 16, 32, 64, 128]
+    } else {
+        vec![1, 2, 4, 8, 16, 32]
+    };
+
+    eprintln!("sweeping {name} over w = {widths:?}…");
+    match run_figure14(&program, &widths) {
+        Ok(points) => {
+            for p in &points {
+                eprintln!(
+                    "  w = {:>3}: bound {:.2}e-4, δ = {:.4}, {:.1}s",
+                    p.width,
+                    p.bound * 1e4,
+                    p.tn_delta,
+                    p.time.as_secs_f64()
+                );
+            }
+            println!("{}", format_figure14(&points, &name));
+        }
+        Err(e) => eprintln!("FAILED: {e}"),
+    }
+}

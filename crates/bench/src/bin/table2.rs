@@ -1,0 +1,59 @@
+//! Regenerates the paper's **Table 2**: Gleipnir bounds vs LQR-full-sim vs
+//! the unconstrained worst case over the nine benchmarks.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p gleipnir-bench --release --bin table2 [-- --full] [-- --width W] [-- --bench NAME]
+//! ```
+//!
+//! The default profile uses `w = 32` and skips the two largest benchmarks'
+//! LQR attempts exactly as the paper does (they "time out"); `--full` runs
+//! all nine rows at the paper's `w = 128`.
+
+use gleipnir_bench::{format_table2, run_table2_row};
+use gleipnir_workloads::paper_benchmarks;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let width = args
+        .iter()
+        .position(|a| a == "--width")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|w| w.parse().ok())
+        .unwrap_or(if full { 128 } else { 32 });
+    let filter = args
+        .iter()
+        .position(|a| a == "--bench")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let mut rows = Vec::new();
+    for bench in paper_benchmarks() {
+        if let Some(f) = &filter {
+            if !bench.name.contains(f.as_str()) {
+                continue;
+            }
+        }
+        eprintln!(
+            "running {} ({} qubits, {} gates) at w = {width}…",
+            bench.name,
+            bench.n_qubits,
+            bench.program.gate_count()
+        );
+        match run_table2_row(bench.name, &bench.program, bench.paper_gate_count, width, true) {
+            Ok(row) => {
+                eprintln!(
+                    "  bound {:.2}e-4 in {:.1}s (worst {:.1}e-4)",
+                    row.gleipnir_bound * 1e4,
+                    row.gleipnir_time.as_secs_f64(),
+                    row.worst_case * 1e4
+                );
+                rows.push(row);
+            }
+            Err(e) => eprintln!("  FAILED: {e}"),
+        }
+    }
+    println!("{}", format_table2(&rows, width));
+}

@@ -1,0 +1,368 @@
+//! The quantum gate set.
+//!
+//! Matrices follow the paper's conventions (Fig. 1) with the workspace-wide
+//! MSB-first qubit ordering: for a multi-qubit gate the *first* operand qubit
+//! is the most significant bit of the local basis index, so `CNOT(c, t)` in
+//! the basis `|c t⟩` is exactly the matrix printed in the paper.
+
+use gleipnir_linalg::{c64, CMat, C64};
+use std::f64::consts::FRAC_1_SQRT_2;
+use std::fmt;
+use std::sync::Arc;
+
+/// A quantum gate.
+///
+/// The built-in alphabet covers everything the paper's workloads need
+/// (Clifford gates, rotations, and the two-qubit interactions used by QAOA
+/// and Ising circuits); [`Gate::Custom`] escapes to an arbitrary unitary.
+///
+/// # Examples
+///
+/// ```
+/// use gleipnir_circuit::Gate;
+///
+/// assert_eq!(Gate::H.arity(), 1);
+/// assert_eq!(Gate::Cnot.arity(), 2);
+/// assert!(Gate::H.matrix().is_unitary(1e-12));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub enum Gate {
+    /// Identity (useful as a noise carrier / barrier).
+    I,
+    /// Pauli X (bit flip).
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z (phase flip).
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate `S = diag(1, i)`.
+    S,
+    /// Inverse phase gate `S† = diag(1, −i)`.
+    Sdg,
+    /// π/8 gate `T = diag(1, e^{iπ/4})`.
+    T,
+    /// Inverse π/8 gate.
+    Tdg,
+    /// X-rotation `exp(−iθX/2)`.
+    Rx(f64),
+    /// Y-rotation `exp(−iθY/2)`.
+    Ry(f64),
+    /// Z-rotation `exp(−iθZ/2)`.
+    Rz(f64),
+    /// Phase rotation `diag(1, e^{iθ})`.
+    Phase(f64),
+    /// Controlled NOT (first operand is the control).
+    Cnot,
+    /// Controlled Z.
+    Cz,
+    /// SWAP.
+    Swap,
+    /// ZZ interaction `exp(−iθ (Z⊗Z)/2)` — the QAOA/Ising coupling gate.
+    Rzz(f64),
+    /// Controlled phase `diag(1, 1, 1, e^{iθ})`.
+    CPhase(f64),
+    /// An arbitrary unitary with a display name.
+    ///
+    /// The arity is inferred from the matrix dimension, which must be
+    /// `2^k × 2^k` for `k ∈ {1, 2}`.
+    Custom {
+        /// Display / parser name.
+        name: String,
+        /// The unitary matrix (shared to keep `Gate` cheap to clone).
+        matrix: Arc<CMat>,
+    },
+}
+
+impl Gate {
+    /// Builds a custom gate from a unitary matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not `2×2` or `4×4`, or not unitary to 1e-9.
+    pub fn custom(name: impl Into<String>, matrix: CMat) -> Gate {
+        let n = matrix.rows();
+        assert!(
+            (n == 2 || n == 4) && matrix.cols() == n,
+            "custom gates must be 2x2 or 4x4"
+        );
+        assert!(matrix.is_unitary(1e-9), "custom gate matrix must be unitary");
+        Gate::Custom { name: name.into(), matrix: Arc::new(matrix) }
+    }
+
+    /// Number of qubits the gate acts on (1 or 2).
+    pub fn arity(&self) -> usize {
+        match self {
+            Gate::I
+            | Gate::X
+            | Gate::Y
+            | Gate::Z
+            | Gate::H
+            | Gate::S
+            | Gate::Sdg
+            | Gate::T
+            | Gate::Tdg
+            | Gate::Rx(_)
+            | Gate::Ry(_)
+            | Gate::Rz(_)
+            | Gate::Phase(_) => 1,
+            Gate::Cnot | Gate::Cz | Gate::Swap | Gate::Rzz(_) | Gate::CPhase(_) => 2,
+            Gate::Custom { matrix, .. } => {
+                if matrix.rows() == 2 {
+                    1
+                } else {
+                    2
+                }
+            }
+        }
+    }
+
+    /// The gate's unitary matrix (`2×2` or `4×4`, MSB-first operand order).
+    pub fn matrix(&self) -> CMat {
+        let o = C64::ZERO;
+        let l = C64::ONE;
+        match self {
+            Gate::I => CMat::identity(2),
+            Gate::X => CMat::from_rows(&[vec![o, l], vec![l, o]]),
+            Gate::Y => CMat::from_rows(&[vec![o, -C64::I], vec![C64::I, o]]),
+            Gate::Z => CMat::from_rows(&[vec![l, o], vec![o, -l]]),
+            Gate::H => {
+                let s = c64(FRAC_1_SQRT_2, 0.0);
+                CMat::from_rows(&[vec![s, s], vec![s, -s]])
+            }
+            Gate::S => CMat::diag(&[l, C64::I]),
+            Gate::Sdg => CMat::diag(&[l, -C64::I]),
+            Gate::T => CMat::diag(&[l, C64::cis(std::f64::consts::FRAC_PI_4)]),
+            Gate::Tdg => CMat::diag(&[l, C64::cis(-std::f64::consts::FRAC_PI_4)]),
+            Gate::Rx(t) => {
+                let c = c64((t / 2.0).cos(), 0.0);
+                let s = c64(0.0, -(t / 2.0).sin());
+                CMat::from_rows(&[vec![c, s], vec![s, c]])
+            }
+            Gate::Ry(t) => {
+                let c = c64((t / 2.0).cos(), 0.0);
+                let s = c64((t / 2.0).sin(), 0.0);
+                CMat::from_rows(&[vec![c, -s], vec![s, c]])
+            }
+            Gate::Rz(t) => CMat::diag(&[C64::cis(-t / 2.0), C64::cis(t / 2.0)]),
+            Gate::Phase(t) => CMat::diag(&[l, C64::cis(*t)]),
+            Gate::Cnot => CMat::from_rows(&[
+                vec![l, o, o, o],
+                vec![o, l, o, o],
+                vec![o, o, o, l],
+                vec![o, o, l, o],
+            ]),
+            Gate::Cz => CMat::diag(&[l, l, l, -l]),
+            Gate::Swap => CMat::from_rows(&[
+                vec![l, o, o, o],
+                vec![o, o, l, o],
+                vec![o, l, o, o],
+                vec![o, o, o, l],
+            ]),
+            Gate::Rzz(t) => {
+                let m = C64::cis(-t / 2.0);
+                let p = C64::cis(t / 2.0);
+                CMat::diag(&[m, p, p, m])
+            }
+            Gate::CPhase(t) => CMat::diag(&[l, l, l, C64::cis(*t)]),
+            Gate::Custom { matrix, .. } => (**matrix).clone(),
+        }
+    }
+
+    /// The inverse gate (`U†`).
+    pub fn dagger(&self) -> Gate {
+        match self {
+            Gate::S => Gate::Sdg,
+            Gate::Sdg => Gate::S,
+            Gate::T => Gate::Tdg,
+            Gate::Tdg => Gate::T,
+            Gate::Rx(t) => Gate::Rx(-t),
+            Gate::Ry(t) => Gate::Ry(-t),
+            Gate::Rz(t) => Gate::Rz(-t),
+            Gate::Phase(t) => Gate::Phase(-t),
+            Gate::Rzz(t) => Gate::Rzz(-t),
+            Gate::CPhase(t) => Gate::CPhase(-t),
+            Gate::Custom { name, matrix } => Gate::Custom {
+                name: format!("{name}_dg"),
+                matrix: Arc::new(matrix.adjoint()),
+            },
+            // Self-inverse gates.
+            g => g.clone(),
+        }
+    }
+
+    /// Whether the gate matrix is diagonal (commutes with Z-basis
+    /// measurements; relevant for transpiler peepholes).
+    pub fn is_diagonal(&self) -> bool {
+        matches!(
+            self,
+            Gate::I | Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg
+                | Gate::Rz(_) | Gate::Phase(_) | Gate::Cz | Gate::Rzz(_) | Gate::CPhase(_)
+        )
+    }
+
+    /// Canonical lower-case name used by the text format.
+    pub fn name(&self) -> String {
+        match self {
+            Gate::I => "id".into(),
+            Gate::X => "x".into(),
+            Gate::Y => "y".into(),
+            Gate::Z => "z".into(),
+            Gate::H => "h".into(),
+            Gate::S => "s".into(),
+            Gate::Sdg => "sdg".into(),
+            Gate::T => "t".into(),
+            Gate::Tdg => "tdg".into(),
+            Gate::Rx(_) => "rx".into(),
+            Gate::Ry(_) => "ry".into(),
+            Gate::Rz(_) => "rz".into(),
+            Gate::Phase(_) => "phase".into(),
+            Gate::Cnot => "cnot".into(),
+            Gate::Cz => "cz".into(),
+            Gate::Swap => "swap".into(),
+            Gate::Rzz(_) => "rzz".into(),
+            Gate::CPhase(_) => "cphase".into(),
+            Gate::Custom { name, .. } => name.clone(),
+        }
+    }
+
+    /// The rotation parameter, when the gate has one.
+    pub fn param(&self) -> Option<f64> {
+        match self {
+            Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) | Gate::Phase(t) | Gate::Rzz(t)
+            | Gate::CPhase(t) => Some(*t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.param() {
+            Some(t) => write!(f, "{}({})", self.name(), t),
+            None => write!(f, "{}", self.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn all_fixed_gates() -> Vec<Gate> {
+        vec![
+            Gate::I,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::Rx(0.7),
+            Gate::Ry(-1.3),
+            Gate::Rz(2.1),
+            Gate::Phase(0.4),
+            Gate::Cnot,
+            Gate::Cz,
+            Gate::Swap,
+            Gate::Rzz(0.9),
+            Gate::CPhase(1.7),
+        ]
+    }
+
+    #[test]
+    fn all_gates_are_unitary() {
+        for g in all_fixed_gates() {
+            assert!(g.matrix().is_unitary(1e-12), "{g} not unitary");
+        }
+    }
+
+    #[test]
+    fn dagger_inverts() {
+        for g in all_fixed_gates() {
+            let prod = g.matrix().mul_mat(&g.dagger().matrix());
+            let id = CMat::identity(prod.rows());
+            assert!(prod.approx_eq(&id, 1e-12), "{g}·{g}† != I");
+        }
+    }
+
+    #[test]
+    fn arity_matches_matrix_dimension() {
+        for g in all_fixed_gates() {
+            assert_eq!(g.matrix().rows(), 1 << g.arity(), "{g}");
+        }
+    }
+
+    #[test]
+    fn cnot_truth_table() {
+        // MSB-first: |c t⟩, index = 2c + t.
+        let m = Gate::Cnot.matrix();
+        // |10⟩ → |11⟩ and |11⟩ → |10⟩; |00⟩, |01⟩ fixed.
+        assert!(m.at(3, 2).approx_eq(C64::ONE, 1e-15));
+        assert!(m.at(2, 3).approx_eq(C64::ONE, 1e-15));
+        assert!(m.at(0, 0).approx_eq(C64::ONE, 1e-15));
+        assert!(m.at(1, 1).approx_eq(C64::ONE, 1e-15));
+    }
+
+    #[test]
+    fn rotation_periodicity() {
+        // Rx(2π) = −I, Rx(4π) = I.
+        let r2 = Gate::Rx(2.0 * PI).matrix();
+        assert!(r2.approx_eq(&CMat::identity(2).scaled(c64(-1.0, 0.0)), 1e-12));
+        let r4 = Gate::Rx(4.0 * PI).matrix();
+        assert!(r4.approx_eq(&CMat::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn rx_pi_is_x_up_to_phase() {
+        let rx = Gate::Rx(PI).matrix();
+        let x = Gate::X.matrix().scaled(-C64::I);
+        assert!(rx.approx_eq(&x, 1e-12));
+    }
+
+    #[test]
+    fn s_squared_is_z() {
+        let s2 = Gate::S.matrix().mul_mat(&Gate::S.matrix());
+        assert!(s2.approx_eq(&Gate::Z.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn t_squared_is_s() {
+        let t2 = Gate::T.matrix().mul_mat(&Gate::T.matrix());
+        assert!(t2.approx_eq(&Gate::S.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn rzz_is_diagonal_and_symmetric() {
+        let m = Gate::Rzz(1.1).matrix();
+        assert!(Gate::Rzz(1.1).is_diagonal());
+        // Symmetric under qubit exchange: SWAP·Rzz·SWAP = Rzz.
+        let sw = Gate::Swap.matrix();
+        let conj = sw.mul_mat(&m).mul_mat(&sw);
+        assert!(conj.approx_eq(&m, 1e-12));
+    }
+
+    #[test]
+    fn custom_gate_round_trip() {
+        let g = Gate::custom("myh", Gate::H.matrix());
+        assert_eq!(g.arity(), 1);
+        assert!(g.matrix().approx_eq(&Gate::H.matrix(), 0.0));
+        assert_eq!(g.name(), "myh");
+    }
+
+    #[test]
+    #[should_panic(expected = "unitary")]
+    fn custom_gate_rejects_non_unitary() {
+        let _ = Gate::custom("bad", CMat::zeros(2, 2));
+    }
+
+    #[test]
+    fn display_includes_params() {
+        assert_eq!(Gate::Rx(0.5).to_string(), "rx(0.5)");
+        assert_eq!(Gate::H.to_string(), "h");
+    }
+}

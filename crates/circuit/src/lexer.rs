@@ -1,0 +1,257 @@
+//! Lexer for the GLQ quantum-program text format.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// An identifier (gate name, keyword, or qubit like `q3`).
+    Ident(String),
+    /// A numeric literal.
+    Number(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `==`
+    EqEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(x) => write!(f, "{x}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::Comma => write!(f, ","),
+            Token::Semi => write!(f, ";"),
+            Token::EqEq => write!(f, "=="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+        }
+    }
+}
+
+/// A token with its source position (1-based line and column).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// A lexing error with source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    /// Human-readable message.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes GLQ source text.
+///
+/// Comments run from `//` to end of line. Whitespace separates tokens.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unrecognized characters or malformed numbers.
+///
+/// # Examples
+///
+/// ```
+/// use gleipnir_circuit::lexer::{tokenize, Token};
+///
+/// let toks = tokenize("h q0; // comment")?;
+/// assert_eq!(toks.len(), 3);
+/// assert_eq!(toks[0].token, Token::Ident("h".into()));
+/// # Ok::<(), gleipnir_circuit::lexer::LexError>(())
+/// ```
+pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    let n = bytes.len();
+    while i < n {
+        let c = bytes[i];
+        let (tline, tcol) = (line, col);
+        let advance = |i: &mut usize, line: &mut usize, col: &mut usize| {
+            if bytes[*i] == '\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+            *i += 1;
+        };
+
+        if c.is_whitespace() {
+            advance(&mut i, &mut line, &mut col);
+            continue;
+        }
+        if c == '/' && i + 1 < n && bytes[i + 1] == '/' {
+            while i < n && bytes[i] != '\n' {
+                advance(&mut i, &mut line, &mut col);
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                advance(&mut i, &mut line, &mut col);
+            }
+            let word: String = bytes[start..i].iter().collect();
+            out.push(Spanned { token: Token::Ident(word), line: tline, col: tcol });
+            continue;
+        }
+        if c.is_ascii_digit() || (c == '.' && i + 1 < n && bytes[i + 1].is_ascii_digit()) {
+            let start = i;
+            while i < n
+                && (bytes[i].is_ascii_digit()
+                    || bytes[i] == '.'
+                    || bytes[i] == 'e'
+                    || bytes[i] == 'E'
+                    || ((bytes[i] == '+' || bytes[i] == '-')
+                        && i > start
+                        && (bytes[i - 1] == 'e' || bytes[i - 1] == 'E')))
+            {
+                advance(&mut i, &mut line, &mut col);
+            }
+            let text: String = bytes[start..i].iter().collect();
+            let value = text.parse::<f64>().map_err(|_| LexError {
+                message: format!("malformed number `{text}`"),
+                line: tline,
+                col: tcol,
+            })?;
+            out.push(Spanned { token: Token::Number(value), line: tline, col: tcol });
+            continue;
+        }
+        let tok = match c {
+            '(' => Token::LParen,
+            ')' => Token::RParen,
+            '{' => Token::LBrace,
+            '}' => Token::RBrace,
+            ',' => Token::Comma,
+            ';' => Token::Semi,
+            '+' => Token::Plus,
+            '-' => Token::Minus,
+            '*' => Token::Star,
+            '/' => Token::Slash,
+            '=' => {
+                if i + 1 < n && bytes[i + 1] == '=' {
+                    advance(&mut i, &mut line, &mut col);
+                    Token::EqEq
+                } else {
+                    return Err(LexError {
+                        message: "expected `==`".into(),
+                        line: tline,
+                        col: tcol,
+                    });
+                }
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    line: tline,
+                    col: tcol,
+                })
+            }
+        };
+        advance(&mut i, &mut line, &mut col);
+        out.push(Spanned { token: tok, line: tline, col: tcol });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_gate_line() {
+        let toks = tokenize("rx(0.5) q0;").unwrap();
+        let kinds: Vec<Token> = toks.into_iter().map(|s| s.token).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Token::Ident("rx".into()),
+                Token::LParen,
+                Token::Number(0.5),
+                Token::RParen,
+                Token::Ident("q0".into()),
+                Token::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let toks = tokenize("h q0;\ncnot q0, q1;").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        let cnot = toks.iter().find(|t| t.token == Token::Ident("cnot".into())).unwrap();
+        assert_eq!((cnot.line, cnot.col), (2, 1));
+    }
+
+    #[test]
+    fn skips_comments() {
+        let toks = tokenize("// full line\nh q0; // trailing").unwrap();
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn scientific_notation() {
+        let toks = tokenize("rz(1.5e-4) q0;").unwrap();
+        assert_eq!(toks[2].token, Token::Number(1.5e-4));
+    }
+
+    #[test]
+    fn eqeq_required() {
+        assert!(tokenize("=").is_err());
+        let toks = tokenize("==").unwrap();
+        assert_eq!(toks[0].token, Token::EqEq);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = tokenize("h q0; @").unwrap_err();
+        assert!(err.message.contains('@'));
+        assert_eq!(err.line, 1);
+    }
+}

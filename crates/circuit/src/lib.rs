@@ -1,0 +1,53 @@
+//! # gleipnir-circuit
+//!
+//! Quantum program IR for the Gleipnir workspace.
+//!
+//! The crate provides the paper's program syntax (§2.2) as an AST
+//! ([`Program`], [`Stmt`]), a gate alphabet with matrix semantics
+//! ([`Gate`]), a fluent [`ProgramBuilder`], a text format with a
+//! [`parse`]r and [`pretty`]-printer, and device-aware transpilation
+//! ([`CouplingMap`], [`Mapping`], [`route`]) used by the qubit-mapping
+//! case study (§7.2).
+//!
+//! ## Conventions
+//!
+//! * Qubit 0 is the **most significant bit** of a basis index.
+//! * Multi-qubit gate matrices list their first operand as the local MSB,
+//!   so `CNOT(control, target)` matches the paper's Fig. 1 matrix.
+//!
+//! ## Example
+//!
+//! ```
+//! use gleipnir_circuit::{parse, pretty, ProgramBuilder};
+//!
+//! // Build the paper's GHZ example programmatically…
+//! let mut b = ProgramBuilder::new(2);
+//! b.h(0).cnot(0, 1);
+//! let p = b.build();
+//!
+//! // …or parse it from text; the two agree.
+//! let q = parse("qubits 2; h q0; cnot q0, q1;")?;
+//! assert_eq!(p, q);
+//! assert_eq!(parse(&pretty(&p))?, p);
+//! # Ok::<(), gleipnir_circuit::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod gate;
+pub mod lexer;
+mod optimize;
+mod parser;
+mod printer;
+mod program;
+mod transpile;
+
+pub use gate::Gate;
+pub use optimize::{optimize, OptimizeStats};
+pub use parser::{parse, ParseError};
+pub use printer::pretty;
+pub use program::{embed_gate, GateApp, Program, ProgramBuilder, Qubit, Stmt};
+pub use transpile::{
+    compact_program, decompose_to_cnot_basis, route, route_with_final, CouplingMap, Mapping,
+    RouteError,
+};

@@ -1,0 +1,388 @@
+//! Peephole circuit optimization passes.
+//!
+//! The paper's motivation (§1) is evaluating the *error-mitigation
+//! performance of compiler transformations*: fewer noisy gates mean less
+//! accumulated error, and Gleipnir's bounds quantify the improvement. This
+//! module provides the transformations; `gleipnir-core`'s analyzer provides
+//! the evaluation.
+//!
+//! Passes operate on straight-line segments (measurement statements act as
+//! barriers) and only rewrite gates that are *adjacent on their qubits* —
+//! i.e. no interposed gate touches any shared qubit — so semantics are
+//! preserved exactly:
+//!
+//! * **cancellation** — `H·H`, `X·X`, `Z·Z`, `CNOT·CNOT` (same operands),
+//!   `SWAP·SWAP`, `S·S†`, `T·T†`, … collapse to nothing;
+//! * **rotation merging** — `Rx(a)·Rx(b) → Rx(a+b)` (same axis, same
+//!   qubit), `Rzz(a)·Rzz(b) → Rzz(a+b)` (same pair), `Phase`/`CPhase`
+//!   likewise;
+//! * **identity elimination** — zero-angle rotations and explicit `id`
+//!   gates are dropped (angles are compared modulo the gate's period).
+
+use crate::{Gate, GateApp, Program, Stmt};
+use std::f64::consts::PI;
+
+/// Outcome of an optimization run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OptimizeStats {
+    /// Gates before.
+    pub gates_before: usize,
+    /// Gates after.
+    pub gates_after: usize,
+    /// Cancelled gate pairs.
+    pub cancellations: usize,
+    /// Merged rotation pairs.
+    pub merges: usize,
+    /// Dropped identity gates.
+    pub identities_removed: usize,
+}
+
+impl OptimizeStats {
+    /// Gates eliminated in total.
+    pub fn eliminated(&self) -> usize {
+        self.gates_before - self.gates_after
+    }
+}
+
+/// Runs the peephole passes to a fixed point.
+///
+/// # Examples
+///
+/// ```
+/// use gleipnir_circuit::{optimize, ProgramBuilder};
+///
+/// let mut b = ProgramBuilder::new(2);
+/// b.h(0).h(0).rx(1, 0.3).rx(1, -0.3).cnot(0, 1);
+/// let (optimized, stats) = optimize(&b.build());
+/// assert_eq!(optimized.gate_count(), 1); // only the CNOT survives
+/// assert_eq!(stats.eliminated(), 4);
+/// ```
+pub fn optimize(program: &Program) -> (Program, OptimizeStats) {
+    let mut stats = OptimizeStats {
+        gates_before: program.gate_count(),
+        gates_after: 0,
+        cancellations: 0,
+        merges: 0,
+        identities_removed: 0,
+    };
+    let body = rewrite_stmt(program.body(), &mut stats);
+    let out = Program::new(program.n_qubits(), body);
+    stats.gates_after = out.gate_count();
+    (out, stats)
+}
+
+fn rewrite_stmt(s: &Stmt, stats: &mut OptimizeStats) -> Stmt {
+    // Collect maximal straight-line gate runs and optimize each; recurse
+    // into measurement branches.
+    let mut flat: Vec<Item> = Vec::new();
+    flatten(s, &mut flat, stats);
+    let mut out: Vec<Stmt> = Vec::new();
+    let mut run: Vec<GateApp> = Vec::new();
+    for item in flat {
+        match item {
+            Item::Gate(g) => run.push(g),
+            Item::Barrier(stmt) => {
+                flush_run(&mut run, &mut out, stats);
+                out.push(stmt);
+            }
+        }
+    }
+    flush_run(&mut run, &mut out, stats);
+    match out.len() {
+        0 => Stmt::Skip,
+        1 => out.pop().expect("len checked"),
+        _ => Stmt::Seq(out),
+    }
+}
+
+enum Item {
+    Gate(GateApp),
+    Barrier(Stmt),
+}
+
+fn flatten(s: &Stmt, out: &mut Vec<Item>, stats: &mut OptimizeStats) {
+    match s {
+        Stmt::Skip => {}
+        Stmt::Seq(ss) => ss.iter().for_each(|s| flatten(s, out, stats)),
+        Stmt::Gate(g) => out.push(Item::Gate(g.clone())),
+        Stmt::IfMeasure { qubit, zero, one } => out.push(Item::Barrier(Stmt::IfMeasure {
+            qubit: *qubit,
+            zero: Box::new(rewrite_stmt(zero, stats)),
+            one: Box::new(rewrite_stmt(one, stats)),
+        })),
+    }
+}
+
+fn flush_run(run: &mut Vec<GateApp>, out: &mut Vec<Stmt>, stats: &mut OptimizeStats) {
+    if run.is_empty() {
+        return;
+    }
+    let optimized = optimize_run(std::mem::take(run), stats);
+    out.extend(optimized.into_iter().map(Stmt::Gate));
+}
+
+/// Optimizes one straight-line gate run to a fixed point.
+fn optimize_run(mut gates: Vec<GateApp>, stats: &mut OptimizeStats) -> Vec<GateApp> {
+    loop {
+        let before = gates.len();
+        gates = one_pass(gates, stats);
+        if gates.len() == before {
+            return gates;
+        }
+    }
+}
+
+fn one_pass(gates: Vec<GateApp>, stats: &mut OptimizeStats) -> Vec<GateApp> {
+    let mut out: Vec<GateApp> = Vec::with_capacity(gates.len());
+    'next: for g in gates {
+        // Drop identities outright.
+        if is_identity(&g.gate) {
+            stats.identities_removed += 1;
+            continue;
+        }
+        // Find the latest prior gate sharing a qubit with g; if it is
+        // adjacent (nothing in between touches g's qubits) try to fuse.
+        if let Some(idx) = out
+            .iter()
+            .rposition(|p| p.qubits.iter().any(|q| g.qubits.contains(q)))
+        {
+            let blocked = out[idx + 1..]
+                .iter()
+                .any(|p| p.qubits.iter().any(|q| g.qubits.contains(q)));
+            if !blocked && out[idx].qubits == g.qubits {
+                if cancels(&out[idx].gate, &g.gate) {
+                    out.remove(idx);
+                    stats.cancellations += 1;
+                    continue 'next;
+                }
+                if let Some(merged) = merge(&out[idx].gate, &g.gate) {
+                    stats.merges += 1;
+                    if is_identity(&merged) {
+                        out.remove(idx);
+                        stats.identities_removed += 1;
+                    } else {
+                        out[idx] = GateApp::new(merged, g.qubits.clone());
+                    }
+                    continue 'next;
+                }
+            }
+        }
+        out.push(g);
+    }
+    out
+}
+
+/// Whether the gate is (numerically) the identity, up to global phase for
+/// rotations.
+fn is_identity(g: &Gate) -> bool {
+    const TOL: f64 = 1e-12;
+    match g {
+        Gate::I => true,
+        Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) => angle_zero(*t, 4.0 * PI, TOL) || angle_zero(*t, -4.0 * PI, TOL) || t.abs() < TOL,
+        Gate::Rzz(t) => t.abs() < TOL || angle_zero(*t, 4.0 * PI, TOL),
+        Gate::Phase(t) | Gate::CPhase(t) => t.abs() < TOL || angle_zero(*t, 2.0 * PI, TOL),
+        _ => false,
+    }
+}
+
+fn angle_zero(t: f64, period: f64, tol: f64) -> bool {
+    (t - period).abs() < tol
+}
+
+/// Whether `a` followed by `b` is the identity.
+fn cancels(a: &Gate, b: &Gate) -> bool {
+    matches!(
+        (a, b),
+        (Gate::H, Gate::H)
+            | (Gate::X, Gate::X)
+            | (Gate::Y, Gate::Y)
+            | (Gate::Z, Gate::Z)
+            | (Gate::Cnot, Gate::Cnot)
+            | (Gate::Cz, Gate::Cz)
+            | (Gate::Swap, Gate::Swap)
+            | (Gate::S, Gate::Sdg)
+            | (Gate::Sdg, Gate::S)
+            | (Gate::T, Gate::Tdg)
+            | (Gate::Tdg, Gate::T)
+    )
+}
+
+/// Fuses two same-axis rotations into one.
+fn merge(a: &Gate, b: &Gate) -> Option<Gate> {
+    let wrap4 = |t: f64| {
+        // Keep merged angles in (−2π, 2π] to stop unbounded growth.
+        let m = t % (4.0 * PI);
+        if m > 2.0 * PI {
+            m - 4.0 * PI
+        } else if m <= -2.0 * PI {
+            m + 4.0 * PI
+        } else {
+            m
+        }
+    };
+    match (a, b) {
+        (Gate::Rx(x), Gate::Rx(y)) => Some(Gate::Rx(wrap4(x + y))),
+        (Gate::Ry(x), Gate::Ry(y)) => Some(Gate::Ry(wrap4(x + y))),
+        (Gate::Rz(x), Gate::Rz(y)) => Some(Gate::Rz(wrap4(x + y))),
+        (Gate::Rzz(x), Gate::Rzz(y)) => Some(Gate::Rzz(wrap4(x + y))),
+        (Gate::Phase(x), Gate::Phase(y)) => Some(Gate::Phase(wrap4(x + y))),
+        (Gate::CPhase(x), Gate::CPhase(y)) => Some(Gate::CPhase(wrap4(x + y))),
+        (Gate::S, Gate::S) => Some(Gate::Z),
+        (Gate::T, Gate::T) => Some(Gate::S),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+
+    fn assert_same_unitary(a: &Program, b: &Program) {
+        let ua = a.unitary().expect("straight line");
+        let ub = b.unitary().expect("straight line");
+        assert!(ua.approx_eq(&ub, 1e-10), "optimization changed semantics");
+    }
+
+    #[test]
+    fn double_hadamard_cancels() {
+        let mut b = ProgramBuilder::new(1);
+        b.h(0).h(0);
+        let (opt, stats) = optimize(&b.build());
+        assert_eq!(opt.gate_count(), 0);
+        assert_eq!(stats.cancellations, 1);
+    }
+
+    #[test]
+    fn rotations_merge() {
+        let mut b = ProgramBuilder::new(1);
+        b.rz(0, 0.3).rz(0, 0.4).rz(0, -0.2);
+        let p = b.build();
+        let (opt, stats) = optimize(&p);
+        assert_eq!(opt.gate_count(), 1);
+        assert_eq!(stats.merges, 2);
+        assert_same_unitary(&p, &opt);
+    }
+
+    #[test]
+    fn opposite_rotations_vanish() {
+        let mut b = ProgramBuilder::new(2);
+        b.rx(0, 1.1).rx(0, -1.1).rzz(0, 1, 0.5).rzz(0, 1, -0.5);
+        let (opt, _) = optimize(&b.build());
+        assert_eq!(opt.gate_count(), 0);
+    }
+
+    #[test]
+    fn interposed_gate_blocks_fusion() {
+        // H(0); X(0); H(0) must NOT cancel the Hadamards.
+        let mut b = ProgramBuilder::new(1);
+        b.h(0).x(0).h(0);
+        let p = b.build();
+        let (opt, _) = optimize(&p);
+        assert_eq!(opt.gate_count(), 3);
+        assert_same_unitary(&p, &opt);
+    }
+
+    #[test]
+    fn disjoint_gate_does_not_block() {
+        // H(0); X(1); H(0): the X on another qubit doesn't block the cancel.
+        let mut b = ProgramBuilder::new(2);
+        b.h(0).x(1).h(0);
+        let p = b.build();
+        let (opt, _) = optimize(&p);
+        assert_eq!(opt.gate_count(), 1);
+        assert_same_unitary(&p, &opt);
+    }
+
+    #[test]
+    fn cnot_pair_cancels_only_with_same_operands() {
+        let mut b = ProgramBuilder::new(2);
+        b.cnot(0, 1).cnot(1, 0);
+        let p = b.build();
+        let (opt, _) = optimize(&p);
+        assert_eq!(opt.gate_count(), 2, "reversed CNOTs are not inverses");
+        let mut b = ProgramBuilder::new(2);
+        b.cnot(0, 1).cnot(0, 1);
+        let (opt, _) = optimize(&b.build());
+        assert_eq!(opt.gate_count(), 0);
+    }
+
+    #[test]
+    fn s_and_t_fuse_upward() {
+        let mut b = ProgramBuilder::new(1);
+        b.t(0).t(0); // → S
+        let p = b.build();
+        let (opt, _) = optimize(&p);
+        assert_eq!(opt.gate_count(), 1);
+        assert_same_unitary(&p, &opt);
+    }
+
+    #[test]
+    fn optimization_crosses_nothing_through_measurements() {
+        let mut b = ProgramBuilder::new(2);
+        b.h(0);
+        b.if_measure(0, |z| {
+            z.h(1).h(1); // cancels inside the branch
+        }, |o| {
+            o.x(1);
+        });
+        b.h(0); // must NOT cancel with the pre-measurement H
+        let (opt, stats) = optimize(&b.build());
+        assert_eq!(stats.cancellations, 1);
+        assert_eq!(opt.gate_count(), 3); // h, x (branch), h
+        assert_eq!(opt.measure_count(), 1);
+    }
+
+    #[test]
+    fn fixed_point_cascades() {
+        // Rx(a); Rx(−a) exposes the H pair around them… here: H Rz(0.2)
+        // Rz(−0.2) H → H H → nothing.
+        let mut b = ProgramBuilder::new(1);
+        b.h(0).rz(0, 0.2).rz(0, -0.2).h(0);
+        let (opt, _) = optimize(&b.build());
+        assert_eq!(opt.gate_count(), 0);
+    }
+
+    #[test]
+    fn random_programs_keep_semantics() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 3;
+            let mut b = ProgramBuilder::new(n);
+            for _ in 0..25 {
+                match rng.gen_range(0..6) {
+                    0 => {
+                        b.h(rng.gen_range(0..n));
+                    }
+                    1 => {
+                        b.rx(rng.gen_range(0..n), rng.gen_range(-0.5..0.5));
+                    }
+                    2 => {
+                        b.rz(rng.gen_range(0..n), rng.gen_range(-0.5..0.5));
+                    }
+                    3 => {
+                        b.x(rng.gen_range(0..n));
+                    }
+                    4 => {
+                        let a = rng.gen_range(0..n);
+                        let mut c = rng.gen_range(0..n);
+                        while c == a {
+                            c = rng.gen_range(0..n);
+                        }
+                        b.cnot(a, c);
+                    }
+                    _ => {
+                        b.t(rng.gen_range(0..n));
+                    }
+                }
+            }
+            let p = b.build();
+            let (opt, stats) = optimize(&p);
+            assert!(opt.gate_count() <= p.gate_count());
+            assert_eq!(stats.gates_after, opt.gate_count());
+            assert_same_unitary(&p, &opt);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Pretty-printer for the GLQ text format.
+//!
+//! [`pretty`] is the inverse of [`crate::parse`] for programs built from the
+//! built-in gate alphabet; `parse(pretty(p)) == p` up to floating-point
+//! formatting of parameters. [`Gate::Custom`] gates print their display name,
+//! which the parser will not recognize — custom gates are a programmatic-API
+//! feature.
+//!
+//! [`Gate::Custom`]: crate::Gate::Custom
+
+use crate::{Program, Stmt};
+use std::fmt::Write as _;
+
+/// Renders a program in GLQ syntax.
+///
+/// # Examples
+///
+/// ```
+/// use gleipnir_circuit::{parse, pretty};
+///
+/// let p = parse("qubits 2; h q0; cnot q0, q1;")?;
+/// let text = pretty(&p);
+/// assert_eq!(parse(&text)?, p);
+/// # Ok::<(), gleipnir_circuit::ParseError>(())
+/// ```
+pub fn pretty(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "qubits {};", p.n_qubits());
+    write_stmt(&mut out, p.body(), 0);
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_stmt(out: &mut String, s: &Stmt, level: usize) {
+    match s {
+        Stmt::Skip => {
+            indent(out, level);
+            out.push_str("skip;\n");
+        }
+        Stmt::Seq(ss) => {
+            for s in ss {
+                write_stmt(out, s, level);
+            }
+        }
+        Stmt::Gate(g) => {
+            indent(out, level);
+            let _ = match g.gate.param() {
+                Some(t) => write!(out, "{}({})", g.gate.name(), format_param(t)),
+                None => write!(out, "{}", g.gate.name()),
+            };
+            out.push(' ');
+            for (i, q) in g.qubits.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{q}");
+            }
+            out.push_str(";\n");
+        }
+        Stmt::IfMeasure { qubit, zero, one } => {
+            indent(out, level);
+            let _ = writeln!(out, "if {qubit} == 0 {{");
+            write_stmt(out, zero, level + 1);
+            indent(out, level);
+            out.push_str("} else {\n");
+            write_stmt(out, one, level + 1);
+            indent(out, level);
+            out.push_str("}\n");
+        }
+    }
+}
+
+/// Formats a gate parameter so it re-parses to the same `f64`.
+fn format_param(t: f64) -> String {
+    // Shortest representation that round-trips.
+    let mut s = format!("{t}");
+    if s.parse::<f64>() != Ok(t) {
+        s = format!("{t:e}");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse, ProgramBuilder};
+
+    #[test]
+    fn round_trip_simple() {
+        let mut b = ProgramBuilder::new(3);
+        b.h(0).cnot(0, 1).rx(2, 0.123456789).rzz(1, 2, -2.5);
+        let p = b.build();
+        let text = pretty(&p);
+        assert_eq!(parse(&text).unwrap(), p);
+    }
+
+    #[test]
+    fn round_trip_branches() {
+        let mut b = ProgramBuilder::new(2);
+        b.h(0).if_measure(0, |z| {
+            z.x(1);
+        }, |o| {
+            o.skip();
+        });
+        let p = b.build();
+        assert_eq!(parse(&pretty(&p)).unwrap(), p);
+    }
+
+    #[test]
+    fn round_trip_awkward_params() {
+        for t in [1e-300, -0.1, std::f64::consts::PI, 1.0 / 3.0, 2e17] {
+            let mut b = ProgramBuilder::new(1);
+            b.rx(0, t);
+            let p = b.build();
+            assert_eq!(parse(&pretty(&p)).unwrap(), p, "param {t}");
+        }
+    }
+
+    #[test]
+    fn skip_program_prints() {
+        let p = ProgramBuilder::new(1).build();
+        let text = pretty(&p);
+        assert!(text.contains("skip;"));
+        assert_eq!(parse(&text).unwrap(), p);
+    }
+}

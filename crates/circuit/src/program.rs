@@ -1,0 +1,592 @@
+//! Quantum program AST and builder.
+//!
+//! The syntax mirrors the paper (§2.2):
+//!
+//! ```text
+//! P ::= skip | P₁; P₂ | U(q₁, …, q_k) | if q = |0⟩ then P₀ else P₁
+//! ```
+//!
+//! with n-ary sequencing for convenience (the binary `Seq` of the paper is
+//! the obvious special case, and the error-logic rules fold over the list).
+
+use crate::Gate;
+use gleipnir_linalg::CMat;
+use std::fmt;
+
+/// A logical qubit index.
+///
+/// A newtype so that qubit operands can't be confused with other integers
+/// (gate parameters, layer counts, …).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Qubit(pub usize);
+
+impl From<usize> for Qubit {
+    fn from(i: usize) -> Self {
+        Qubit(i)
+    }
+}
+
+impl fmt::Display for Qubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// A gate application `U(q₁, …, q_k)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateApp {
+    /// The gate.
+    pub gate: Gate,
+    /// Operand qubits, in the gate's MSB-first operand order.
+    pub qubits: Vec<Qubit>,
+}
+
+impl GateApp {
+    /// Creates a gate application, validating the operand count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand count does not match the gate arity or the
+    /// operands are not distinct.
+    pub fn new(gate: Gate, qubits: Vec<Qubit>) -> Self {
+        assert_eq!(gate.arity(), qubits.len(), "operand count mismatch for {gate}");
+        if qubits.len() == 2 {
+            assert_ne!(qubits[0], qubits[1], "2-qubit gate with repeated operand");
+        }
+        GateApp { gate, qubits }
+    }
+}
+
+impl fmt::Display for GateApp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ", self.gate)?;
+        for (i, q) in self.qubits.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{q}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A program statement (the paper's syntax, §2.2).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// The empty program.
+    Skip,
+    /// Sequential composition.
+    Seq(Vec<Stmt>),
+    /// A gate application.
+    Gate(GateApp),
+    /// `if q = |0⟩ then zero else one` — measures `q`, branching on the
+    /// outcome (the state collapses; see the paper's `Meas` rule).
+    IfMeasure {
+        /// The measured qubit.
+        qubit: Qubit,
+        /// Branch taken on outcome 0.
+        zero: Box<Stmt>,
+        /// Branch taken on outcome 1.
+        one: Box<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// Visits every gate application in program order.
+    ///
+    /// Branch bodies are visited too (zero branch first).
+    pub fn for_each_gate<'a>(&'a self, f: &mut impl FnMut(&'a GateApp)) {
+        match self {
+            Stmt::Skip => {}
+            Stmt::Seq(ss) => {
+                for s in ss {
+                    s.for_each_gate(f);
+                }
+            }
+            Stmt::Gate(g) => f(g),
+            Stmt::IfMeasure { zero, one, .. } => {
+                zero.for_each_gate(f);
+                one.for_each_gate(f);
+            }
+        }
+    }
+
+    /// Whether the statement contains no measurement branches.
+    pub fn is_straight_line(&self) -> bool {
+        match self {
+            Stmt::Skip | Stmt::Gate(_) => true,
+            Stmt::Seq(ss) => ss.iter().all(Stmt::is_straight_line),
+            Stmt::IfMeasure { .. } => false,
+        }
+    }
+
+    /// Number of measurement statements.
+    pub fn measure_count(&self) -> usize {
+        match self {
+            Stmt::Skip | Stmt::Gate(_) => 0,
+            Stmt::Seq(ss) => ss.iter().map(Stmt::measure_count).sum(),
+            Stmt::IfMeasure { zero, one, .. } => 1 + zero.measure_count() + one.measure_count(),
+        }
+    }
+}
+
+/// A quantum program: a statement over a fixed-width qubit register.
+///
+/// # Examples
+///
+/// ```
+/// use gleipnir_circuit::ProgramBuilder;
+///
+/// // The paper's running example: H(q0); CNOT(q0, q1).
+/// let mut b = ProgramBuilder::new(2);
+/// b.h(0).cnot(0, 1);
+/// let ghz = b.build();
+/// assert_eq!(ghz.gate_count(), 2);
+/// assert!(ghz.is_straight_line());
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    n_qubits: usize,
+    body: Stmt,
+}
+
+impl Program {
+    /// Creates a program from a statement, validating qubit indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any statement references a qubit `≥ n_qubits`.
+    pub fn new(n_qubits: usize, body: Stmt) -> Self {
+        fn check(s: &Stmt, n: usize) {
+            match s {
+                Stmt::Skip => {}
+                Stmt::Seq(ss) => ss.iter().for_each(|s| check(s, n)),
+                Stmt::Gate(g) => {
+                    for q in &g.qubits {
+                        assert!(q.0 < n, "qubit {q} out of range (n_qubits = {n})");
+                    }
+                }
+                Stmt::IfMeasure { qubit, zero, one } => {
+                    assert!(qubit.0 < n, "qubit {qubit} out of range (n_qubits = {n})");
+                    check(zero, n);
+                    check(one, n);
+                }
+            }
+        }
+        check(&body, n_qubits);
+        Program { n_qubits, body }
+    }
+
+    /// The register width.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The program body.
+    pub fn body(&self) -> &Stmt {
+        &self.body
+    }
+
+    /// Total number of gate applications (branch bodies included).
+    pub fn gate_count(&self) -> usize {
+        let mut n = 0;
+        self.body.for_each_gate(&mut |_| n += 1);
+        n
+    }
+
+    /// Number of two-qubit gate applications.
+    pub fn two_qubit_gate_count(&self) -> usize {
+        let mut n = 0;
+        self.body.for_each_gate(&mut |g| {
+            if g.qubits.len() == 2 {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Whether the program is measurement-free.
+    pub fn is_straight_line(&self) -> bool {
+        self.body.is_straight_line()
+    }
+
+    /// Number of measurement statements.
+    pub fn measure_count(&self) -> usize {
+        self.body.measure_count()
+    }
+
+    /// The gate applications of a straight-line program, in order.
+    ///
+    /// Returns `None` when the program contains measurements.
+    pub fn straight_line_gates(&self) -> Option<Vec<&GateApp>> {
+        if !self.is_straight_line() {
+            return None;
+        }
+        let mut v = Vec::new();
+        self.body.for_each_gate(&mut |g| v.push(g));
+        Some(v)
+    }
+
+    /// Circuit depth: the longest chain of gates sharing qubits
+    /// (straight-line programs only; measurements count as depth-1 barriers
+    /// on their qubit).
+    pub fn depth(&self) -> usize {
+        fn walk(s: &Stmt, frontier: &mut [usize]) -> usize {
+            match s {
+                Stmt::Skip => frontier.iter().copied().max().unwrap_or(0),
+                Stmt::Seq(ss) => {
+                    let mut d = frontier.iter().copied().max().unwrap_or(0);
+                    for s in ss {
+                        d = walk(s, frontier);
+                    }
+                    d
+                }
+                Stmt::Gate(g) => {
+                    let level = g.qubits.iter().map(|q| frontier[q.0]).max().unwrap_or(0) + 1;
+                    for q in &g.qubits {
+                        frontier[q.0] = level;
+                    }
+                    frontier.iter().copied().max().unwrap_or(0)
+                }
+                Stmt::IfMeasure { qubit, zero, one } => {
+                    frontier[qubit.0] += 1;
+                    let mut fz = frontier.to_vec();
+                    let dz = walk(zero, &mut fz);
+                    let doo = walk(one, frontier);
+                    for (a, b) in frontier.iter_mut().zip(&fz) {
+                        *a = (*a).max(*b);
+                    }
+                    dz.max(doo)
+                }
+            }
+        }
+        let mut frontier = vec![0usize; self.n_qubits];
+        walk(&self.body, &mut frontier)
+    }
+
+    /// The full `2ⁿ × 2ⁿ` unitary of a straight-line program.
+    ///
+    /// Intended for testing and small-circuit baselines; the dimension is
+    /// exponential in the qubit count. Returns `None` for programs with
+    /// measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits > 12` (the matrix would not be testing-sized).
+    pub fn unitary(&self) -> Option<CMat> {
+        assert!(self.n_qubits <= 12, "unitary() is for small programs only");
+        let gates = self.straight_line_gates()?;
+        let dim = 1usize << self.n_qubits;
+        let mut u = CMat::identity(dim);
+        for g in gates {
+            let full = embed_gate(&g.gate, &g.qubits, self.n_qubits);
+            u = full.mul_mat(&u);
+        }
+        Some(u)
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::printer::pretty(self))
+    }
+}
+
+/// Embeds a 1- or 2-qubit gate into the full `2ⁿ`-dimensional space
+/// (MSB-first ordering), for dense-simulation baselines and tests.
+pub fn embed_gate(gate: &Gate, qubits: &[Qubit], n_qubits: usize) -> CMat {
+    let dim = 1usize << n_qubits;
+    let m = gate.matrix();
+    let k = qubits.len();
+    let mut out = CMat::zeros(dim, dim);
+    // Positions (bit shifts from LSB) of the operand qubits.
+    let shifts: Vec<usize> = qubits.iter().map(|q| n_qubits - 1 - q.0).collect();
+    let mask: usize = shifts.iter().map(|s| 1usize << s).sum();
+    for col in 0..dim {
+        // Local index of this column's operand bits (MSB-first operands).
+        let mut lcol = 0usize;
+        for (pos, &sh) in shifts.iter().enumerate() {
+            lcol |= ((col >> sh) & 1) << (k - 1 - pos);
+        }
+        let rest = col & !mask;
+        for lrow in 0..(1 << k) {
+            let v = m.at(lrow, lcol);
+            if v.re == 0.0 && v.im == 0.0 {
+                continue;
+            }
+            let mut row = rest;
+            for (pos, &sh) in shifts.iter().enumerate() {
+                row |= ((lrow >> (k - 1 - pos)) & 1) << sh;
+            }
+            out.set(row, col, v);
+        }
+    }
+    out
+}
+
+/// Fluent builder for [`Program`].
+///
+/// All gate methods return `&mut Self` so applications chain; `build`
+/// produces the program (the builder can keep being used afterwards).
+///
+/// # Examples
+///
+/// ```
+/// use gleipnir_circuit::ProgramBuilder;
+///
+/// let mut b = ProgramBuilder::new(3);
+/// b.h(0).cnot(0, 1).cnot(1, 2);
+/// let ghz3 = b.build();
+/// assert_eq!(ghz3.gate_count(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ProgramBuilder {
+    n_qubits: usize,
+    stmts: Vec<Stmt>,
+}
+
+impl ProgramBuilder {
+    /// Starts building a program over `n_qubits` qubits.
+    pub fn new(n_qubits: usize) -> Self {
+        ProgramBuilder { n_qubits, stmts: Vec::new() }
+    }
+
+    /// Appends an arbitrary gate application.
+    pub fn gate(&mut self, gate: Gate, qubits: &[usize]) -> &mut Self {
+        let qs = qubits.iter().map(|&q| Qubit(q)).collect();
+        self.stmts.push(Stmt::Gate(GateApp::new(gate, qs)));
+        self
+    }
+
+    /// Appends `skip`.
+    pub fn skip(&mut self) -> &mut Self {
+        self.stmts.push(Stmt::Skip);
+        self
+    }
+
+    /// Hadamard.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::H, &[q])
+    }
+
+    /// Pauli X.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::X, &[q])
+    }
+
+    /// Pauli Y.
+    pub fn y(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::Y, &[q])
+    }
+
+    /// Pauli Z.
+    pub fn z(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::Z, &[q])
+    }
+
+    /// Phase gate S.
+    pub fn s(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::S, &[q])
+    }
+
+    /// T gate.
+    pub fn t(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::T, &[q])
+    }
+
+    /// X-rotation.
+    pub fn rx(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.gate(Gate::Rx(theta), &[q])
+    }
+
+    /// Y-rotation.
+    pub fn ry(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.gate(Gate::Ry(theta), &[q])
+    }
+
+    /// Z-rotation.
+    pub fn rz(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.gate(Gate::Rz(theta), &[q])
+    }
+
+    /// CNOT with `control`, `target`.
+    pub fn cnot(&mut self, control: usize, target: usize) -> &mut Self {
+        self.gate(Gate::Cnot, &[control, target])
+    }
+
+    /// Controlled-Z.
+    pub fn cz(&mut self, a: usize, b: usize) -> &mut Self {
+        self.gate(Gate::Cz, &[a, b])
+    }
+
+    /// SWAP.
+    pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
+        self.gate(Gate::Swap, &[a, b])
+    }
+
+    /// ZZ interaction.
+    pub fn rzz(&mut self, a: usize, b: usize, theta: f64) -> &mut Self {
+        self.gate(Gate::Rzz(theta), &[a, b])
+    }
+
+    /// Measurement branch: `if q = |0⟩ then zero else one`.
+    ///
+    /// The closures receive fresh builders for the branch bodies.
+    pub fn if_measure(
+        &mut self,
+        q: usize,
+        zero: impl FnOnce(&mut ProgramBuilder),
+        one: impl FnOnce(&mut ProgramBuilder),
+    ) -> &mut Self {
+        let mut bz = ProgramBuilder::new(self.n_qubits);
+        zero(&mut bz);
+        let mut bo = ProgramBuilder::new(self.n_qubits);
+        one(&mut bo);
+        self.stmts.push(Stmt::IfMeasure {
+            qubit: Qubit(q),
+            zero: Box::new(bz.into_stmt()),
+            one: Box::new(bo.into_stmt()),
+        });
+        self
+    }
+
+    /// Appends another program's body (register widths must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register widths differ.
+    pub fn append(&mut self, other: &Program) -> &mut Self {
+        assert_eq!(self.n_qubits, other.n_qubits(), "register width mismatch");
+        self.stmts.push(other.body().clone());
+        self
+    }
+
+    fn into_stmt(mut self) -> Stmt {
+        match self.stmts.len() {
+            0 => Stmt::Skip,
+            1 => self.stmts.pop().expect("len checked"),
+            _ => Stmt::Seq(self.stmts),
+        }
+    }
+
+    /// Finishes the program.
+    pub fn build(&self) -> Program {
+        Program::new(self.n_qubits, self.clone().into_stmt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gleipnir_linalg::{c64, C64};
+
+    #[test]
+    fn ghz_program_counts() {
+        let mut b = ProgramBuilder::new(2);
+        b.h(0).cnot(0, 1);
+        let p = b.build();
+        assert_eq!(p.gate_count(), 2);
+        assert_eq!(p.two_qubit_gate_count(), 1);
+        assert_eq!(p.depth(), 2);
+        assert!(p.is_straight_line());
+        assert_eq!(p.measure_count(), 0);
+    }
+
+    #[test]
+    fn ghz_unitary_creates_bell_column() {
+        let mut b = ProgramBuilder::new(2);
+        b.h(0).cnot(0, 1);
+        let u = b.build().unitary().unwrap();
+        // Column 0 is (|00⟩+|11⟩)/√2.
+        let s = 1.0 / 2f64.sqrt();
+        assert!(u.at(0, 0).approx_eq(c64(s, 0.0), 1e-12));
+        assert!(u.at(3, 0).approx_eq(c64(s, 0.0), 1e-12));
+        assert!(u.at(1, 0).approx_eq(C64::ZERO, 1e-12));
+        assert!(u.at(2, 0).approx_eq(C64::ZERO, 1e-12));
+    }
+
+    #[test]
+    fn embed_gate_on_msb_qubit() {
+        // X on qubit 0 of 2 (MSB): flips the high bit.
+        let m = embed_gate(&Gate::X, &[Qubit(0)], 2);
+        assert!(m.at(2, 0).approx_eq(C64::ONE, 1e-15));
+        assert!(m.at(0, 2).approx_eq(C64::ONE, 1e-15));
+        assert!(m.at(3, 1).approx_eq(C64::ONE, 1e-15));
+    }
+
+    #[test]
+    fn embed_gate_matches_kron() {
+        // X on qubit 1 of 3 = I ⊗ X ⊗ I.
+        let m = embed_gate(&Gate::X, &[Qubit(1)], 3);
+        let expect = CMat::identity(2).kron(&Gate::X.matrix()).kron(&CMat::identity(2));
+        assert!(m.approx_eq(&expect, 1e-14));
+    }
+
+    #[test]
+    fn embed_cnot_reversed_operands() {
+        // CNOT with control=1, target=0 on 2 qubits.
+        let m = embed_gate(&Gate::Cnot, &[Qubit(1), Qubit(0)], 2);
+        // |01⟩ (idx1) → |11⟩ (idx3); |11⟩ → |01⟩.
+        assert!(m.at(3, 1).approx_eq(C64::ONE, 1e-15));
+        assert!(m.at(1, 3).approx_eq(C64::ONE, 1e-15));
+        assert!(m.at(0, 0).approx_eq(C64::ONE, 1e-15));
+        assert!(m.at(2, 2).approx_eq(C64::ONE, 1e-15));
+    }
+
+    #[test]
+    fn unitary_is_unitary() {
+        let mut b = ProgramBuilder::new(3);
+        b.h(0).cnot(0, 1).rx(2, 0.3).rzz(1, 2, 0.7).cz(0, 2);
+        let u = b.build().unitary().unwrap();
+        assert!(u.is_unitary(1e-11));
+    }
+
+    #[test]
+    fn if_measure_structure() {
+        let mut b = ProgramBuilder::new(2);
+        b.h(0).if_measure(0, |z| {
+            z.x(1);
+        }, |o| {
+            o.z(1);
+        });
+        let p = b.build();
+        assert!(!p.is_straight_line());
+        assert_eq!(p.measure_count(), 1);
+        assert_eq!(p.gate_count(), 3); // h + x + z
+        assert!(p.straight_line_gates().is_none());
+        assert!(p.unitary().is_none());
+    }
+
+    #[test]
+    fn depth_parallel_gates() {
+        let mut b = ProgramBuilder::new(4);
+        b.h(0).h(1).h(2).h(3); // depth 1
+        b.cnot(0, 1).cnot(2, 3); // depth 2
+        b.cnot(1, 2); // depth 3
+        assert_eq!(b.build().depth(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_qubit_panics() {
+        let mut b = ProgramBuilder::new(2);
+        b.h(5);
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated operand")]
+    fn repeated_operand_panics() {
+        let _ = GateApp::new(Gate::Cnot, vec![Qubit(1), Qubit(1)]);
+    }
+
+    #[test]
+    fn append_composes() {
+        let mut a = ProgramBuilder::new(2);
+        a.h(0);
+        let pa = a.build();
+        let mut b = ProgramBuilder::new(2);
+        b.append(&pa).cnot(0, 1);
+        assert_eq!(b.build().gate_count(), 2);
+    }
+}

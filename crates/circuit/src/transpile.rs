@@ -1,0 +1,666 @@
+//! Device-aware transpilation: coupling maps, qubit mappings, and swap
+//! routing.
+//!
+//! This is the machinery behind the paper's §7.2 qubit-mapping case study:
+//! a logical circuit is placed onto physical qubits according to a
+//! [`Mapping`], and two-qubit gates between non-adjacent physical qubits are
+//! routed by inserting SWAP chains along a shortest coupling-map path
+//! (exactly the strategy the paper's MPS approximator uses internally for
+//! non-adjacent gates, §5.2).
+
+use crate::{Gate, GateApp, Program, Qubit, Stmt};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// An undirected coupling map over physical qubits.
+///
+/// Only qubit pairs joined by an edge can host a two-qubit gate (paper
+/// Fig. 15).
+///
+/// # Examples
+///
+/// ```
+/// use gleipnir_circuit::CouplingMap;
+///
+/// let line = CouplingMap::line(5);
+/// assert!(line.are_adjacent(1, 2));
+/// assert!(!line.are_adjacent(0, 4));
+/// assert_eq!(line.shortest_path(0, 3).unwrap(), vec![0, 1, 2, 3]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CouplingMap {
+    n: usize,
+    adj: Vec<Vec<usize>>,
+}
+
+impl CouplingMap {
+    /// An edgeless map over `n` physical qubits.
+    pub fn new(n: usize) -> Self {
+        CouplingMap { n, adj: vec![Vec::new(); n] }
+    }
+
+    /// Builds a map from an edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a qubit `≥ n` or is a self-loop.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut map = Self::new(n);
+        for &(a, b) in edges {
+            map.add_edge(a, b);
+        }
+        map
+    }
+
+    /// A linear chain `0 — 1 — ⋯ — (n−1)`.
+    pub fn line(n: usize) -> Self {
+        let edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+        Self::from_edges(n, &edges)
+    }
+
+    /// A fully connected map (no routing ever needed).
+    pub fn full(n: usize) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in a + 1..n {
+                edges.push((a, b));
+            }
+        }
+        Self::from_edges(n, &edges)
+    }
+
+    /// Adds an undirected edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range qubits or self-loops.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        assert!(a < self.n && b < self.n, "edge ({a},{b}) out of range");
+        assert_ne!(a, b, "self-loop in coupling map");
+        if !self.adj[a].contains(&b) {
+            self.adj[a].push(b);
+            self.adj[b].push(a);
+        }
+    }
+
+    /// Number of physical qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The neighbors of physical qubit `q`.
+    pub fn neighbors(&self, q: usize) -> &[usize] {
+        &self.adj[q]
+    }
+
+    /// All edges `(a, b)` with `a < b`.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut es = Vec::new();
+        for a in 0..self.n {
+            for &b in &self.adj[a] {
+                if a < b {
+                    es.push((a, b));
+                }
+            }
+        }
+        es
+    }
+
+    /// Whether `a` and `b` are joined by an edge.
+    pub fn are_adjacent(&self, a: usize, b: usize) -> bool {
+        self.adj[a].contains(&b)
+    }
+
+    /// BFS shortest path from `a` to `b`, inclusive of both endpoints.
+    ///
+    /// Returns `None` when `b` is unreachable from `a`.
+    pub fn shortest_path(&self, a: usize, b: usize) -> Option<Vec<usize>> {
+        if a == b {
+            return Some(vec![a]);
+        }
+        let mut prev = vec![usize::MAX; self.n];
+        let mut queue = VecDeque::new();
+        prev[a] = a;
+        queue.push_back(a);
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adj[u] {
+                if prev[v] == usize::MAX {
+                    prev[v] = u;
+                    if v == b {
+                        let mut path = vec![b];
+                        let mut cur = b;
+                        while cur != a {
+                            cur = prev[cur];
+                            path.push(cur);
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether every pair of qubits is connected (single component).
+    pub fn is_connected(&self) -> bool {
+        if self.n == 0 {
+            return true;
+        }
+        (1..self.n).all(|q| self.shortest_path(0, q).is_some())
+    }
+}
+
+/// A placement of logical qubits onto physical qubits.
+///
+/// `mapping[logical] = physical`; the map must be injective.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mapping {
+    to_physical: Vec<usize>,
+}
+
+impl Mapping {
+    /// Builds a mapping from `logical → physical`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two logical qubits share a physical qubit.
+    pub fn new(to_physical: Vec<usize>) -> Self {
+        let mut seen = to_physical.clone();
+        seen.sort_unstable();
+        for w in seen.windows(2) {
+            assert_ne!(w[0], w[1], "mapping is not injective");
+        }
+        Mapping { to_physical }
+    }
+
+    /// The identity placement over `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        Mapping { to_physical: (0..n).collect() }
+    }
+
+    /// Number of logical qubits.
+    pub fn n_logical(&self) -> usize {
+        self.to_physical.len()
+    }
+
+    /// The physical qubit hosting logical `q`.
+    pub fn physical(&self, q: usize) -> usize {
+        self.to_physical[q]
+    }
+
+    /// The placement as a slice (`[logical] → physical`).
+    pub fn as_slice(&self) -> &[usize] {
+        &self.to_physical
+    }
+}
+
+impl fmt::Display for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.to_physical.iter().map(|p| p.to_string()).collect();
+        write!(f, "{}", parts.join("-"))
+    }
+}
+
+/// Errors from [`route`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouteError {
+    /// The mapping has fewer logical slots than the program's register.
+    MappingTooSmall {
+        /// Program register width.
+        needed: usize,
+        /// Mapping width.
+        got: usize,
+    },
+    /// A physical qubit in the mapping exceeds the coupling map.
+    PhysicalOutOfRange {
+        /// The offending physical qubit.
+        qubit: usize,
+    },
+    /// Two physical qubits have no connecting path.
+    Disconnected {
+        /// Source physical qubit.
+        from: usize,
+        /// Destination physical qubit.
+        to: usize,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::MappingTooSmall { needed, got } => {
+                write!(f, "mapping covers {got} logical qubits, program needs {needed}")
+            }
+            RouteError::PhysicalOutOfRange { qubit } => {
+                write!(f, "physical qubit {qubit} exceeds the coupling map")
+            }
+            RouteError::Disconnected { from, to } => {
+                write!(f, "no coupling path from physical qubit {from} to {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Routes a logical program onto a device: applies the placement and inserts
+/// SWAP chains so every two-qubit gate acts on coupled physical qubits.
+///
+/// Routing is *swap-and-advance*: the first operand is swapped along a BFS
+/// shortest path until adjacent to the second, the gate is applied, and the
+/// displaced qubits keep their new homes (the running placement is updated).
+/// The returned program acts on the device's physical register.
+///
+/// # Errors
+///
+/// Returns a [`RouteError`] when the mapping does not cover the program or
+/// the coupling map is disconnected where needed.
+///
+/// # Examples
+///
+/// ```
+/// use gleipnir_circuit::{route, CouplingMap, Mapping, ProgramBuilder};
+///
+/// let mut b = ProgramBuilder::new(3);
+/// b.cnot(0, 2);
+/// let line = CouplingMap::line(3);
+/// let routed = route(&b.build(), &line, &Mapping::identity(3))?;
+/// // One SWAP was inserted to bring q0 next to q2.
+/// assert_eq!(routed.two_qubit_gate_count(), 2);
+/// # Ok::<(), gleipnir_circuit::RouteError>(())
+/// ```
+pub fn route(
+    program: &Program,
+    coupling: &CouplingMap,
+    placement: &Mapping,
+) -> Result<Program, RouteError> {
+    route_with_final(program, coupling, placement).map(|(p, _)| p)
+}
+
+/// Like [`route`], but also returns the **final** logical → physical
+/// placement after all routing swaps — needed to know where each logical
+/// qubit ends up for measurement (the §7.2 mapping study measures the
+/// displaced qubits).
+///
+/// # Errors
+///
+/// Same as [`route`].
+pub fn route_with_final(
+    program: &Program,
+    coupling: &CouplingMap,
+    placement: &Mapping,
+) -> Result<(Program, Mapping), RouteError> {
+    if placement.n_logical() < program.n_qubits() {
+        return Err(RouteError::MappingTooSmall {
+            needed: program.n_qubits(),
+            got: placement.n_logical(),
+        });
+    }
+    for &p in placement.as_slice() {
+        if p >= coupling.n_qubits() {
+            return Err(RouteError::PhysicalOutOfRange { qubit: p });
+        }
+    }
+    // Running logical → physical placement, mutated by routing swaps.
+    let mut l2p = placement.as_slice().to_vec();
+    let body = route_stmt(program.body(), coupling, &mut l2p)?;
+    Ok((Program::new(coupling.n_qubits(), body), Mapping::new(l2p)))
+}
+
+/// Restricts a program to the qubits it actually touches, renumbering them
+/// compactly (preserving relative order). Returns the compact program and
+/// the list mapping each compact index to its original qubit.
+///
+/// Routed device programs nominally span the whole physical register;
+/// compacting them makes dense simulation of small mapped circuits
+/// tractable (the Table 3 measured-error substitute).
+pub fn compact_program(program: &Program) -> (Program, Vec<usize>) {
+    let mut used = vec![false; program.n_qubits()];
+    fn mark(s: &Stmt, used: &mut [bool]) {
+        match s {
+            Stmt::Skip => {}
+            Stmt::Seq(ss) => ss.iter().for_each(|s| mark(s, used)),
+            Stmt::Gate(g) => g.qubits.iter().for_each(|q| used[q.0] = true),
+            Stmt::IfMeasure { qubit, zero, one } => {
+                used[qubit.0] = true;
+                mark(zero, used);
+                mark(one, used);
+            }
+        }
+    }
+    mark(program.body(), &mut used);
+    let originals: Vec<usize> = (0..program.n_qubits()).filter(|&q| used[q]).collect();
+    let mut to_compact = vec![usize::MAX; program.n_qubits()];
+    for (compact, &orig) in originals.iter().enumerate() {
+        to_compact[orig] = compact;
+    }
+    fn rewrite(s: &Stmt, to_compact: &[usize]) -> Stmt {
+        match s {
+            Stmt::Skip => Stmt::Skip,
+            Stmt::Seq(ss) => Stmt::Seq(ss.iter().map(|s| rewrite(s, to_compact)).collect()),
+            Stmt::Gate(g) => Stmt::Gate(GateApp::new(
+                g.gate.clone(),
+                g.qubits.iter().map(|q| Qubit(to_compact[q.0])).collect(),
+            )),
+            Stmt::IfMeasure { qubit, zero, one } => Stmt::IfMeasure {
+                qubit: Qubit(to_compact[qubit.0]),
+                zero: Box::new(rewrite(zero, to_compact)),
+                one: Box::new(rewrite(one, to_compact)),
+            },
+        }
+    }
+    let body = rewrite(program.body(), &to_compact);
+    let n = originals.len().max(1);
+    (Program::new(n, body), originals)
+}
+
+fn route_stmt(
+    s: &Stmt,
+    coupling: &CouplingMap,
+    l2p: &mut Vec<usize>,
+) -> Result<Stmt, RouteError> {
+    match s {
+        Stmt::Skip => Ok(Stmt::Skip),
+        Stmt::Seq(ss) => {
+            let mut out = Vec::new();
+            for s in ss {
+                out.push(route_stmt(s, coupling, l2p)?);
+            }
+            Ok(Stmt::Seq(out))
+        }
+        Stmt::Gate(g) => {
+            let mut out = Vec::new();
+            match g.qubits.len() {
+                1 => {
+                    let p = l2p[g.qubits[0].0];
+                    out.push(Stmt::Gate(GateApp::new(g.gate.clone(), vec![Qubit(p)])));
+                }
+                2 => {
+                    let (la, lb) = (g.qubits[0].0, g.qubits[1].0);
+                    let (pa, pb) = (l2p[la], l2p[lb]);
+                    if !coupling.are_adjacent(pa, pb) {
+                        let path = coupling
+                            .shortest_path(pa, pb)
+                            .ok_or(RouteError::Disconnected { from: pa, to: pb })?;
+                        // Swap the first operand along the path until
+                        // adjacent to pb (stop one hop short).
+                        for win in path.windows(2).take(path.len() - 2) {
+                            let (x, y) = (win[0], win[1]);
+                            out.push(Stmt::Gate(GateApp::new(
+                                Gate::Swap,
+                                vec![Qubit(x), Qubit(y)],
+                            )));
+                            // Update the running placement: whoever lived at
+                            // x and y exchanged homes.
+                            for home in l2p.iter_mut() {
+                                if *home == x {
+                                    *home = y;
+                                } else if *home == y {
+                                    *home = x;
+                                }
+                            }
+                        }
+                    }
+                    let (pa, pb) = (l2p[la], l2p[lb]);
+                    debug_assert!(coupling.are_adjacent(pa, pb));
+                    out.push(Stmt::Gate(GateApp::new(
+                        g.gate.clone(),
+                        vec![Qubit(pa), Qubit(pb)],
+                    )));
+                }
+                k => unreachable!("gates have arity 1 or 2, got {k}"),
+            }
+            Ok(match out.len() {
+                1 => out.pop().expect("len checked"),
+                _ => Stmt::Seq(out),
+            })
+        }
+        Stmt::IfMeasure { qubit, zero, one } => {
+            let p = l2p[qubit.0];
+            // Each branch starts from the same placement; to keep the merged
+            // placement consistent the branches must not permute it
+            // differently, so we restore the pre-branch placement and route
+            // each branch independently, then require agreement.
+            let mut l2p_zero = l2p.clone();
+            let z = route_stmt(zero, coupling, &mut l2p_zero)?;
+            let mut l2p_one = l2p.clone();
+            let o = route_stmt(one, coupling, &mut l2p_one)?;
+            // Reconcile: append swaps in the one-branch to match zero-branch
+            // placement. For simplicity, require the common case (no routing
+            // inside branches) and fall back to explicit reconciliation.
+            let o = if l2p_zero == l2p_one {
+                o
+            } else {
+                reconcile(o, coupling, &mut l2p_one, &l2p_zero)?
+            };
+            *l2p = l2p_zero;
+            Ok(Stmt::IfMeasure {
+                qubit: Qubit(p),
+                zero: Box::new(z),
+                one: Box::new(o),
+            })
+        }
+    }
+}
+
+/// Appends swaps to `branch` until `l2p` matches `target`.
+fn reconcile(
+    branch: Stmt,
+    coupling: &CouplingMap,
+    l2p: &mut Vec<usize>,
+    target: &[usize],
+) -> Result<Stmt, RouteError> {
+    let mut stmts = vec![branch];
+    for l in 0..l2p.len() {
+        while l2p[l] != target[l] {
+            let path = coupling
+                .shortest_path(l2p[l], target[l])
+                .ok_or(RouteError::Disconnected { from: l2p[l], to: target[l] })?;
+            let (x, y) = (path[0], path[1]);
+            stmts.push(Stmt::Gate(GateApp::new(Gate::Swap, vec![Qubit(x), Qubit(y)])));
+            for home in l2p.iter_mut() {
+                if *home == x {
+                    *home = y;
+                } else if *home == y {
+                    *home = x;
+                }
+            }
+        }
+    }
+    Ok(Stmt::Seq(stmts))
+}
+
+/// Decomposes SWAP, CZ, and RZZ gates into the CNOT + 1-qubit basis.
+///
+/// Useful when a device noise model only specifies CNOT errors:
+/// `SWAP → 3 CNOT`, `CZ → H·CNOT·H`, `RZZ(θ) → CNOT·RZ(θ)·CNOT`.
+pub fn decompose_to_cnot_basis(program: &Program) -> Program {
+    fn rewrite(s: &Stmt) -> Stmt {
+        match s {
+            Stmt::Skip => Stmt::Skip,
+            Stmt::Seq(ss) => Stmt::Seq(ss.iter().map(rewrite).collect()),
+            Stmt::IfMeasure { qubit, zero, one } => Stmt::IfMeasure {
+                qubit: *qubit,
+                zero: Box::new(rewrite(zero)),
+                one: Box::new(rewrite(one)),
+            },
+            Stmt::Gate(g) => match (&g.gate, g.qubits.as_slice()) {
+                (Gate::Swap, [a, b]) => Stmt::Seq(vec![
+                    Stmt::Gate(GateApp::new(Gate::Cnot, vec![*a, *b])),
+                    Stmt::Gate(GateApp::new(Gate::Cnot, vec![*b, *a])),
+                    Stmt::Gate(GateApp::new(Gate::Cnot, vec![*a, *b])),
+                ]),
+                (Gate::Cz, [a, b]) => Stmt::Seq(vec![
+                    Stmt::Gate(GateApp::new(Gate::H, vec![*b])),
+                    Stmt::Gate(GateApp::new(Gate::Cnot, vec![*a, *b])),
+                    Stmt::Gate(GateApp::new(Gate::H, vec![*b])),
+                ]),
+                (Gate::Rzz(t), [a, b]) => Stmt::Seq(vec![
+                    Stmt::Gate(GateApp::new(Gate::Cnot, vec![*a, *b])),
+                    Stmt::Gate(GateApp::new(Gate::Rz(*t), vec![*b])),
+                    Stmt::Gate(GateApp::new(Gate::Cnot, vec![*a, *b])),
+                ]),
+                _ => s.clone(),
+            },
+        }
+    }
+    Program::new(program.n_qubits(), rewrite(program.body()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+
+    #[test]
+    fn line_coupling_paths() {
+        let line = CouplingMap::line(5);
+        assert_eq!(line.shortest_path(4, 0).unwrap(), vec![4, 3, 2, 1, 0]);
+        assert_eq!(line.shortest_path(2, 2).unwrap(), vec![2]);
+        assert!(line.is_connected());
+        assert_eq!(line.edges().len(), 4);
+    }
+
+    #[test]
+    fn disconnected_map() {
+        let map = CouplingMap::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!map.is_connected());
+        assert!(map.shortest_path(0, 3).is_none());
+    }
+
+    #[test]
+    fn adjacent_gate_needs_no_swaps() {
+        let mut b = ProgramBuilder::new(3);
+        b.cnot(0, 1).cnot(1, 2);
+        let routed = route(&b.build(), &CouplingMap::line(3), &Mapping::identity(3)).unwrap();
+        assert_eq!(routed.two_qubit_gate_count(), 2);
+    }
+
+    #[test]
+    fn distant_gate_inserts_swaps() {
+        let mut b = ProgramBuilder::new(4);
+        b.cnot(0, 3);
+        let routed = route(&b.build(), &CouplingMap::line(4), &Mapping::identity(4)).unwrap();
+        // 2 swaps to bring q0 adjacent to q3, then the CNOT.
+        assert_eq!(routed.two_qubit_gate_count(), 3);
+    }
+
+    #[test]
+    fn routing_preserves_semantics() {
+        // Compare unitaries on a 3-qubit line: routed vs direct.
+        let mut b = ProgramBuilder::new(3);
+        b.h(0).cnot(0, 2).rx(1, 0.3).cnot(2, 0);
+        let p = b.build();
+        let routed = route(&p, &CouplingMap::line(3), &Mapping::identity(3)).unwrap();
+        // After routing, trailing placements may differ; compare via
+        // probability of each basis state from |000⟩ under both unitaries
+        // with the final permutation undone. Simpler: routed program followed
+        // by swaps restoring identity placement equals original unitary.
+        // Here we check unitarity and gate-count sanity instead; the full
+        // semantic check lives in the integration tests with the simulator.
+        assert!(routed.unitary().unwrap().is_unitary(1e-10));
+        assert!(routed.two_qubit_gate_count() >= p.two_qubit_gate_count());
+    }
+
+    #[test]
+    fn placement_applies() {
+        let mut b = ProgramBuilder::new(2);
+        b.h(0).cnot(0, 1);
+        let placement = Mapping::new(vec![3, 2]);
+        let routed = route(&b.build(), &CouplingMap::line(5), &placement).unwrap();
+        let gates = routed.straight_line_gates().unwrap();
+        assert_eq!(gates[0].qubits, vec![Qubit(3)]);
+        assert_eq!(gates[1].qubits, vec![Qubit(3), Qubit(2)]);
+    }
+
+    #[test]
+    fn mapping_must_be_injective() {
+        let result = std::panic::catch_unwind(|| Mapping::new(vec![1, 1]));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn route_error_small_mapping() {
+        let mut b = ProgramBuilder::new(3);
+        b.h(2);
+        let err = route(&b.build(), &CouplingMap::line(3), &Mapping::new(vec![0, 1])).unwrap_err();
+        assert!(matches!(err, RouteError::MappingTooSmall { .. }));
+    }
+
+    #[test]
+    fn route_error_disconnected() {
+        let mut b = ProgramBuilder::new(2);
+        b.cnot(0, 1);
+        let map = CouplingMap::new(2); // no edges
+        let err = route(&b.build(), &map, &Mapping::identity(2)).unwrap_err();
+        assert!(matches!(err, RouteError::Disconnected { .. }));
+    }
+
+    #[test]
+    fn decompose_swap_semantics() {
+        let mut b = ProgramBuilder::new(2);
+        b.swap(0, 1);
+        let p = b.build();
+        let d = decompose_to_cnot_basis(&p);
+        assert_eq!(d.gate_count(), 3);
+        assert!(d.unitary().unwrap().approx_eq(&p.unitary().unwrap(), 1e-12));
+    }
+
+    #[test]
+    fn decompose_cz_and_rzz_semantics() {
+        let mut b = ProgramBuilder::new(2);
+        b.cz(0, 1).rzz(0, 1, 0.77);
+        let p = b.build();
+        let d = decompose_to_cnot_basis(&p);
+        let pu = p.unitary().unwrap();
+        let du = d.unitary().unwrap();
+        assert!(du.approx_eq(&pu, 1e-12));
+    }
+
+    #[test]
+    fn routed_branches_reconcile() {
+        let mut b = ProgramBuilder::new(3);
+        b.if_measure(0, |z| {
+            z.cnot(0, 2); // forces a swap inside the zero branch
+        }, |o| {
+            o.x(1);
+        });
+        let routed = route(&b.build(), &CouplingMap::line(3), &Mapping::identity(3)).unwrap();
+        assert_eq!(routed.measure_count(), 1);
+    }
+}
+
+#[cfg(test)]
+mod compact_tests {
+    use super::*;
+    use crate::ProgramBuilder;
+
+    #[test]
+    fn compact_renumbers_preserving_order() {
+        let mut b = ProgramBuilder::new(10);
+        b.h(2).cnot(2, 7).x(9);
+        let (compact, originals) = compact_program(&b.build());
+        assert_eq!(originals, vec![2, 7, 9]);
+        assert_eq!(compact.n_qubits(), 3);
+        let gates = compact.straight_line_gates().unwrap();
+        assert_eq!(gates[0].qubits, vec![Qubit(0)]);
+        assert_eq!(gates[1].qubits, vec![Qubit(0), Qubit(1)]);
+        assert_eq!(gates[2].qubits, vec![Qubit(2)]);
+    }
+
+    #[test]
+    fn route_with_final_tracks_displacement() {
+        // CNOT(0, 2) on a line: q0 swaps to physical 1 first.
+        let mut b = ProgramBuilder::new(3);
+        b.cnot(0, 2);
+        let (routed, fin) =
+            route_with_final(&b.build(), &CouplingMap::line(3), &Mapping::identity(3)).unwrap();
+        assert_eq!(routed.two_qubit_gate_count(), 2);
+        // Logical 0 now lives at physical 1; logical 1 was displaced to 0.
+        assert_eq!(fin.physical(0), 1);
+        assert_eq!(fin.physical(1), 0);
+        assert_eq!(fin.physical(2), 2);
+    }
+}

@@ -1,0 +1,216 @@
+//! Adaptive width selection — the paper's §1 promise operationalized:
+//! "one may adjust the approximation precision by varying the size of the
+//! MPS such that tighter error bounds can be computed using greater
+//! computational resources".
+//!
+//! [`analyze_adaptive`] doubles the MPS width until the bound's relative
+//! improvement drops below a threshold (the "marginal returns beyond a
+//! certain size" of Fig. 14) or a width cap is hit, returning the tightest
+//! report together with the trajectory.
+
+use crate::{AnalysisError, Analyzer, AnalyzerConfig, Report};
+use gleipnir_circuit::Program;
+use gleipnir_noise::NoiseModel;
+use gleipnir_sim::BasisState;
+
+/// Configuration for [`analyze_adaptive`].
+#[derive(Clone, Debug)]
+pub struct AdaptiveConfig {
+    /// Starting MPS width (default 2).
+    pub start_width: usize,
+    /// Hard width cap (default 128, the paper's largest size).
+    pub max_width: usize,
+    /// Stop when the bound improves by less than this relative amount per
+    /// doubling (default 0.02 = 2%).
+    pub min_relative_improvement: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            start_width: 2,
+            max_width: 128,
+            min_relative_improvement: 0.02,
+        }
+    }
+}
+
+/// One step of the adaptive trajectory.
+#[derive(Clone, Debug)]
+pub struct AdaptiveStep {
+    /// MPS width used.
+    pub width: usize,
+    /// The certified bound at this width.
+    pub bound: f64,
+    /// The MPS truncation error at this width.
+    pub tn_delta: f64,
+}
+
+/// The adaptive analysis outcome.
+#[derive(Clone, Debug)]
+pub struct AdaptiveReport {
+    /// The report at the final (best) width.
+    pub report: Report,
+    /// The width the search settled on.
+    pub width: usize,
+    /// The bound at each width tried, in order.
+    pub trajectory: Vec<AdaptiveStep>,
+}
+
+/// Doubles the MPS width until the bound stops improving meaningfully.
+///
+/// Because every width yields a *sound* bound, the minimum over the
+/// trajectory is sound too; the returned report is the one achieving it.
+///
+/// # Errors
+///
+/// Propagates [`AnalysisError`] from the underlying analyses.
+///
+/// # Examples
+///
+/// ```
+/// use gleipnir_circuit::ProgramBuilder;
+/// use gleipnir_core::{analyze_adaptive, AdaptiveConfig};
+/// use gleipnir_noise::NoiseModel;
+/// use gleipnir_sim::BasisState;
+///
+/// let mut b = ProgramBuilder::new(3);
+/// b.h(0).cnot(0, 1).cnot(1, 2);
+/// let out = analyze_adaptive(
+///     &b.build(),
+///     &BasisState::zeros(3),
+///     &NoiseModel::uniform_bit_flip(1e-4),
+///     &AdaptiveConfig::default(),
+/// )?;
+/// // A 3-qubit GHZ saturates at tiny widths.
+/// assert!(out.width <= 8);
+/// # Ok::<(), gleipnir_core::AnalysisError>(())
+/// ```
+pub fn analyze_adaptive(
+    program: &Program,
+    input: &BasisState,
+    noise: &NoiseModel,
+    config: &AdaptiveConfig,
+) -> Result<AdaptiveReport, AnalysisError> {
+    assert!(config.start_width >= 1, "start width must be positive");
+    assert!(config.max_width >= config.start_width, "width cap below start");
+    let mut width = config.start_width;
+    let mut best: Option<(usize, Report)> = None;
+    let mut trajectory = Vec::new();
+
+    loop {
+        let analyzer = Analyzer::new(AnalyzerConfig::with_mps_width(width));
+        let report = analyzer.analyze(program, input, noise)?;
+        trajectory.push(AdaptiveStep {
+            width,
+            bound: report.error_bound(),
+            tn_delta: report.tn_delta(),
+        });
+        let improved_enough = match &best {
+            None => true,
+            Some((_, prev)) => {
+                let prev_bound = prev.error_bound();
+                prev_bound > 0.0
+                    && (prev_bound - report.error_bound()) / prev_bound
+                        >= config.min_relative_improvement
+            }
+        };
+        let is_better = best
+            .as_ref()
+            .map_or(true, |(_, prev)| report.error_bound() < prev.error_bound());
+        if is_better {
+            best = Some((width, report));
+        }
+        // Stop when saturated (δ already ~0 means wider cannot help), the
+        // improvement stalled, or the cap is reached.
+        let saturated = trajectory.last().expect("non-empty").tn_delta < 1e-12;
+        if saturated || !improved_enough || width >= config.max_width {
+            break;
+        }
+        width = (width * 2).min(config.max_width);
+    }
+
+    let (width, report) = best.expect("at least one analysis ran");
+    Ok(AdaptiveReport { report, width, trajectory })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gleipnir_circuit::ProgramBuilder;
+
+    fn entangling_program(n: usize) -> Program {
+        let mut b = ProgramBuilder::new(n);
+        for q in 0..n {
+            b.h(q);
+        }
+        for layer in 0..3 {
+            for q in 0..n - 1 {
+                b.rzz(q, q + 1, 0.9 + 0.1 * layer as f64);
+            }
+            for q in 0..n {
+                b.rx(q, 0.7);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn saturates_early_on_product_circuits() {
+        let mut b = ProgramBuilder::new(4);
+        b.h(0).h(1).h(2).h(3);
+        let out = analyze_adaptive(
+            &b.build(),
+            &BasisState::zeros(4),
+            &NoiseModel::uniform_bit_flip(1e-4),
+            &AdaptiveConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.trajectory.len(), 1, "product state is exact at w = 2");
+        assert_eq!(out.width, 2);
+    }
+
+    #[test]
+    fn grows_width_on_entangling_circuits() {
+        let program = entangling_program(6);
+        let cfg = AdaptiveConfig {
+            start_width: 1,
+            max_width: 16,
+            min_relative_improvement: 0.001,
+        };
+        let out = analyze_adaptive(
+            &program,
+            &BasisState::zeros(6),
+            &NoiseModel::uniform_bit_flip(1e-3),
+            &cfg,
+        )
+        .unwrap();
+        assert!(out.trajectory.len() > 1, "should have tried several widths");
+        assert!(out.width > 1);
+        // The selected bound is the minimum of the trajectory.
+        let min = out
+            .trajectory
+            .iter()
+            .map(|s| s.bound)
+            .fold(f64::INFINITY, f64::min);
+        assert!((out.report.error_bound() - min).abs() < 1e-12);
+    }
+
+    #[test]
+    fn respects_width_cap() {
+        let program = entangling_program(6);
+        let cfg = AdaptiveConfig {
+            start_width: 1,
+            max_width: 4,
+            min_relative_improvement: 0.0,
+        };
+        let out = analyze_adaptive(
+            &program,
+            &BasisState::zeros(6),
+            &NoiseModel::uniform_bit_flip(1e-3),
+            &cfg,
+        )
+        .unwrap();
+        assert!(out.trajectory.iter().all(|s| s.width <= 4));
+    }
+}

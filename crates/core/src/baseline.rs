@@ -1,0 +1,253 @@
+//! Baseline analyses the paper compares against (Table 2):
+//!
+//! * [`worst_case_bound`] — the unconstrained diamond norm summed over all
+//!   gates (§2.3's worst-case analysis; for the paper's bit-flip model this
+//!   is exactly `gate_count × p`);
+//! * [`lqr_full_sim_bound`] — LQR [24] instantiated with the best predicate
+//!   obtainable from *full simulation*: the exact intermediate state is
+//!   computed with the dense density-matrix simulator and each gate is
+//!   bounded by the `(ρ_exact, 0)`-diamond norm. Exponential in qubits —
+//!   the paper reports it timing out beyond 10 qubits.
+
+use crate::diamond::rho_delta_diamond;
+use crate::{unconstrained_diamond, AnalysisError};
+use gleipnir_circuit::{Gate, Program};
+use gleipnir_linalg::CMat;
+use gleipnir_noise::NoiseModel;
+use gleipnir_sdp::SolverOptions;
+use gleipnir_sim::{BasisState, DensityMatrix};
+use std::collections::HashMap;
+
+/// The worst-case (unconstrained diamond norm) analysis.
+#[derive(Clone, Debug)]
+pub struct WorstCaseReport {
+    /// The summed bound (not clamped; trace-distance semantics cap at 1).
+    pub total: f64,
+    /// Number of gates analyzed.
+    pub gate_count: usize,
+    /// Distinct (gate, channel) SDPs solved (the rest were cache hits).
+    pub sdp_solves: usize,
+}
+
+impl WorstCaseReport {
+    /// The bound clamped to the trace-distance range `[0, 1]` (the form
+    /// quoted in the paper's §7.2).
+    pub fn clamped(&self) -> f64 {
+        self.total.min(1.0)
+    }
+}
+
+/// Sums the unconstrained diamond norms of every noisy gate in the program
+/// (branch bodies included — each gate's worst case is counted once, which
+/// upper-bounds the per-path sum the logic would produce).
+///
+/// # Errors
+///
+/// [`AnalysisError`] if an SDP fails.
+pub fn worst_case_bound(
+    program: &Program,
+    noise: &NoiseModel,
+    opts: &SolverOptions,
+) -> Result<WorstCaseReport, AnalysisError> {
+    let mut cache: HashMap<Vec<u64>, f64> = HashMap::new();
+    let mut total = 0.0;
+    let mut gate_count = 0usize;
+    let mut solves = 0usize;
+    let mut err: Option<AnalysisError> = None;
+    program.body().for_each_gate(&mut |g| {
+        if err.is_some() {
+            return;
+        }
+        gate_count += 1;
+        let noisy = noise.noisy_gate(&g.gate, &g.qubits);
+        let mut key: Vec<u64> = Vec::new();
+        for k in noisy.kraus() {
+            for z in k.as_slice() {
+                key.push(z.re.to_bits());
+                key.push(z.im.to_bits());
+            }
+        }
+        if let Some(&eps) = cache.get(&key) {
+            total += eps;
+            return;
+        }
+        match unconstrained_diamond(&g.gate.matrix(), &noisy, opts) {
+            Ok(r) => {
+                solves += 1;
+                cache.insert(key, r.bound);
+                total += r.bound;
+            }
+            Err(e) => err = Some(e.into()),
+        }
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+    Ok(WorstCaseReport { total, gate_count, sdp_solves: solves })
+}
+
+/// LQR with a full-simulation predicate: exact intermediate states from the
+/// dense density-matrix simulator, each gate bounded by the
+/// `(ρ_exact_local, 0)`-diamond norm.
+///
+/// Only straight-line programs are supported (the paper's Table 2
+/// benchmarks are straight-line), and the register is limited to 12 qubits
+/// — beyond that the `4ⁿ` density matrix is the very blow-up the paper's
+/// "timed out" column demonstrates.
+///
+/// # Errors
+///
+/// [`AnalysisError::Unsupported`] for branching programs or oversized
+/// registers, or SDP failures.
+pub fn lqr_full_sim_bound(
+    program: &Program,
+    input: &BasisState,
+    noise: &NoiseModel,
+    opts: &SolverOptions,
+) -> Result<f64, AnalysisError> {
+    if input.n_qubits() != program.n_qubits() {
+        return Err(AnalysisError::WidthMismatch {
+            input: input.n_qubits(),
+            program: program.n_qubits(),
+        });
+    }
+    if program.n_qubits() > 12 {
+        return Err(AnalysisError::Unsupported(format!(
+            "full simulation of {} qubits (the baseline the paper reports as timing out)",
+            program.n_qubits()
+        )));
+    }
+    let gates = program.straight_line_gates().ok_or_else(|| {
+        AnalysisError::Unsupported("LQR-full-sim baseline handles straight-line programs".into())
+    })?;
+
+    let mut rho = DensityMatrix::from_basis(input);
+    let mut total = 0.0;
+    for g in gates {
+        let qubits: Vec<usize> = g.qubits.iter().map(|q| q.0).collect();
+        let rho_prime = exact_local_density(&rho, &qubits);
+        let noisy = noise.noisy_gate(&g.gate, &g.qubits);
+        let r = rho_delta_diamond(&g.gate.matrix(), &noisy, &rho_prime, 0.0, opts)?;
+        total += r.bound;
+        rho.apply_gate(&g.gate, &g.qubits);
+    }
+    Ok(total)
+}
+
+/// The exact reduced density matrix on `qubits` in operand order.
+fn exact_local_density(rho: &DensityMatrix, qubits: &[usize]) -> CMat {
+    match qubits {
+        [q] => rho.local_density(&[*q]),
+        [a, b] => {
+            let keep = [*a.min(b), *a.max(b)];
+            let ordered = rho.local_density(&keep);
+            if a < b {
+                ordered
+            } else {
+                let sw = Gate::Swap.matrix();
+                sw.mul_mat(&ordered).mul_mat(&sw)
+            }
+        }
+        _ => unreachable!("gates have arity 1 or 2"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Analyzer, AnalyzerConfig};
+    use gleipnir_circuit::ProgramBuilder;
+
+    fn opts() -> SolverOptions {
+        SolverOptions::default()
+    }
+
+    #[test]
+    fn worst_case_is_gate_count_times_p() {
+        // The paper's closed form for the bit-flip model.
+        let p = 1e-4;
+        let mut b = ProgramBuilder::new(3);
+        b.h(0).cnot(0, 1).cnot(1, 2).rx(0, 0.3).rzz(0, 2, 0.9);
+        let report =
+            worst_case_bound(&b.build(), &NoiseModel::uniform_bit_flip(p), &opts()).unwrap();
+        assert_eq!(report.gate_count, 5);
+        assert!((report.total - 5.0 * p).abs() < 5.0 * p * 1e-3, "{}", report.total);
+        // Only a few distinct (gate, channel) pairs were solved.
+        assert!(report.sdp_solves <= 5);
+    }
+
+    #[test]
+    fn worst_case_clamps_at_one() {
+        let mut b = ProgramBuilder::new(1);
+        for _ in 0..30 {
+            b.x(0);
+        }
+        let report =
+            worst_case_bound(&b.build(), &NoiseModel::uniform_bit_flip(0.2), &opts()).unwrap();
+        assert!(report.total > 1.0);
+        assert_eq!(report.clamped(), 1.0);
+    }
+
+    #[test]
+    fn lqr_full_sim_matches_gleipnir_on_small_programs() {
+        // The paper's §7.1 observation: for small programs Gleipnir's bounds
+        // equal the full-simulation LQR bounds (the MPS is exact there).
+        let mut b = ProgramBuilder::new(3);
+        b.h(0).cnot(0, 1).rx(2, 0.8).rzz(1, 2, 0.5).cnot(0, 2);
+        let p = b.build();
+        let noise = NoiseModel::uniform_bit_flip(1e-4);
+        let lqr = lqr_full_sim_bound(&p, &BasisState::zeros(3), &noise, &opts()).unwrap();
+        let mut cfg = AnalyzerConfig::with_mps_width(16);
+        cfg.cache = false;
+        let gleipnir = Analyzer::new(cfg)
+            .analyze(&p, &BasisState::zeros(3), &noise)
+            .unwrap();
+        assert!(
+            (gleipnir.error_bound() - lqr).abs() < 1e-6,
+            "gleipnir {} vs lqr {lqr}",
+            gleipnir.error_bound()
+        );
+    }
+
+    #[test]
+    fn gleipnir_bound_never_exceeds_worst_case() {
+        let mut b = ProgramBuilder::new(4);
+        b.h(0).h(1).cnot(0, 1).cnot(2, 3).rx(3, 1.0).rzz(1, 2, 0.6);
+        let p = b.build();
+        let noise = NoiseModel::uniform_bit_flip(1e-3);
+        let worst = worst_case_bound(&p, &noise, &opts()).unwrap();
+        let gleipnir = Analyzer::new(AnalyzerConfig::with_mps_width(8))
+            .analyze(&p, &BasisState::zeros(4), &noise)
+            .unwrap();
+        assert!(
+            gleipnir.error_bound() <= worst.total + 1e-7,
+            "{} > {}",
+            gleipnir.error_bound(),
+            worst.total
+        );
+    }
+
+    #[test]
+    fn lqr_rejects_branching_and_large_programs() {
+        let mut b = ProgramBuilder::new(2);
+        b.if_measure(0, |_| {}, |_| {});
+        let err = lqr_full_sim_bound(
+            &b.build(),
+            &BasisState::zeros(2),
+            &NoiseModel::Noiseless,
+            &opts(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AnalysisError::Unsupported(_)));
+
+        let big = ProgramBuilder::new(13).build();
+        let err = lqr_full_sim_bound(
+            &big,
+            &BasisState::zeros(13),
+            &NoiseModel::Noiseless,
+            &opts(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AnalysisError::Unsupported(_)));
+    }
+}

@@ -1,0 +1,794 @@
+//! The lightweight quantum error logic (paper §4) and its analyzer.
+//!
+//! The analyzer walks a noisy program, mechanizing the five inference rules
+//! of Fig. 5:
+//!
+//! * **Skip** — no error;
+//! * **Gate** — the `(ρ̂, δ)`-diamond norm of the noisy gate, with ρ̂'s
+//!   local density computed from the MPS and δ the accumulated truncation
+//!   error (plus any input uncertainty);
+//! * **Seq** — errors add, with `TN` advancing the predicate (the MPS `δ`
+//!   grows exactly by the truncation the gate application incurs);
+//! * **Meas** — branches fork with collapsed preconditions and combine as
+//!   `(1 − δ)·ε + δ`; code after the branch is analyzed inside each branch
+//!   (§5.2's continuation duplication);
+//! * **Weaken** — used implicitly: cached bounds are solved at a slightly
+//!   larger δ, which the rule says is sound.
+//!
+//! The output is a [`Report`] carrying a [`Derivation`] proof tree whose
+//! every `Gate` node stores the judgment it certifies — enough for
+//! [`Report::replay`] to re-check the derivation against fresh SDP solves,
+//! independent of the analysis that produced it.
+
+use crate::diamond::{rho_delta_diamond, DiamondError};
+use gleipnir_circuit::{Gate, Program, Stmt};
+use gleipnir_linalg::CMat;
+use gleipnir_mps::{Mps, MpsConfig, MpsError};
+use gleipnir_noise::NoiseModel;
+use gleipnir_sdp::SolverOptions;
+use gleipnir_sim::BasisState;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Configuration for the [`Analyzer`].
+#[derive(Clone, Debug)]
+pub struct AnalyzerConfig {
+    /// MPS bond-dimension budget `w` (paper Fig. 14's knob).
+    pub mps_width: usize,
+    /// Interior-point options for the per-gate SDPs.
+    pub sdp_options: SolverOptions,
+    /// Memoize per-gate SDP solves across identical judgments (sound: the
+    /// cache key rounds δ *up* to the bucket edge and perturbs ρ′ only
+    /// within the extra slack — an application of the Weaken rule).
+    pub cache: bool,
+    /// δ bucket width used by the cache (default 1e-6).
+    pub delta_quantum: f64,
+}
+
+impl AnalyzerConfig {
+    /// Default configuration with the given MPS width.
+    pub fn with_mps_width(w: usize) -> Self {
+        AnalyzerConfig {
+            mps_width: w,
+            sdp_options: SolverOptions::default(),
+            cache: true,
+            delta_quantum: 1e-6,
+        }
+    }
+}
+
+impl Default for AnalyzerConfig {
+    /// The paper's §7.1 configuration: `w = 128`.
+    fn default() -> Self {
+        Self::with_mps_width(128)
+    }
+}
+
+/// Errors from the analyzer.
+#[derive(Debug)]
+pub enum AnalysisError {
+    /// Input width and program register width disagree.
+    WidthMismatch {
+        /// Input state width.
+        input: usize,
+        /// Program register width.
+        program: usize,
+    },
+    /// A diamond-norm SDP failed.
+    Diamond(DiamondError),
+    /// A feature the requested analysis cannot handle.
+    Unsupported(String),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::WidthMismatch { input, program } => {
+                write!(f, "input has {input} qubits but program has {program}")
+            }
+            AnalysisError::Diamond(e) => write!(f, "{e}"),
+            AnalysisError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+impl From<DiamondError> for AnalysisError {
+    fn from(e: DiamondError) -> Self {
+        AnalysisError::Diamond(e)
+    }
+}
+
+/// A node of the error-logic derivation tree (Fig. 5 rule applications).
+#[derive(Clone, Debug)]
+pub enum Derivation {
+    /// The Skip rule: `(ρ̂, δ) ⊢ skip ≤ 0`.
+    Skip,
+    /// The Gate rule: `‖Ũ_ω − U‖_(ρ̂,δ) ≤ ε`.
+    Gate {
+        /// The gate.
+        gate: Gate,
+        /// Logical operand qubits.
+        qubits: Vec<usize>,
+        /// The local density matrix ρ′ of ρ̂ on the operand qubits.
+        rho_prime: CMat,
+        /// The δ of the judgment (accumulated TN error + input slack).
+        delta: f64,
+        /// The certified gate error bound.
+        epsilon: f64,
+    },
+    /// The Seq rule: children's bounds sum.
+    Seq {
+        /// Sub-derivations in program order.
+        children: Vec<Derivation>,
+    },
+    /// The Meas rule: `(1 − δ)·ε + δ` over the branch derivations.
+    Meas {
+        /// The measured qubit.
+        qubit: usize,
+        /// The δ entering the rule (clamped to probability range).
+        delta_prob: f64,
+        /// Derivation of the zero branch (None if unreachable under ρ̂).
+        zero: Option<Box<Derivation>>,
+        /// Derivation of the one branch (None if unreachable under ρ̂).
+        one: Option<Box<Derivation>>,
+    },
+}
+
+impl Derivation {
+    /// The error bound this derivation certifies.
+    pub fn epsilon(&self) -> f64 {
+        match self {
+            Derivation::Skip => 0.0,
+            Derivation::Gate { epsilon, .. } => *epsilon,
+            Derivation::Seq { children } => children.iter().map(Derivation::epsilon).sum(),
+            Derivation::Meas { delta_prob, zero, one, .. } => {
+                let eps = zero
+                    .iter()
+                    .chain(one.iter())
+                    .map(|d| d.epsilon())
+                    .fold(0.0f64, f64::max);
+                (1.0 - delta_prob) * eps + delta_prob
+            }
+        }
+    }
+
+    /// Number of Gate-rule applications in the tree.
+    pub fn gate_rule_count(&self) -> usize {
+        match self {
+            Derivation::Skip => 0,
+            Derivation::Gate { .. } => 1,
+            Derivation::Seq { children } => children.iter().map(Derivation::gate_rule_count).sum(),
+            Derivation::Meas { zero, one, .. } => {
+                zero.as_ref().map_or(0, |d| d.gate_rule_count())
+                    + one.as_ref().map_or(0, |d| d.gate_rule_count())
+            }
+        }
+    }
+
+    fn pretty_into(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match self {
+            Derivation::Skip => {
+                out.push_str(&format!("{pad}[Skip] ε = 0\n"));
+            }
+            Derivation::Gate { gate, qubits, delta, epsilon, .. } => {
+                let qs: Vec<String> = qubits.iter().map(|q| format!("q{q}")).collect();
+                out.push_str(&format!(
+                    "{pad}[Gate] (ρ̂, δ={delta:.3e}) ⊢ {gate}({}) ≤ {epsilon:.6e}\n",
+                    qs.join(",")
+                ));
+            }
+            Derivation::Seq { children } => {
+                out.push_str(&format!("{pad}[Seq] ε = {:.6e}\n", self.epsilon()));
+                for c in children {
+                    c.pretty_into(out, indent + 1);
+                }
+            }
+            Derivation::Meas { qubit, delta_prob, zero, one } => {
+                out.push_str(&format!(
+                    "{pad}[Meas] q{qubit}, δ = {delta_prob:.3e}, ε = {:.6e}\n",
+                    self.epsilon()
+                ));
+                match zero {
+                    Some(d) => {
+                        out.push_str(&format!("{pad}  outcome 0:\n"));
+                        d.pretty_into(out, indent + 2);
+                    }
+                    None => out.push_str(&format!("{pad}  outcome 0: unreachable\n")),
+                }
+                match one {
+                    Some(d) => {
+                        out.push_str(&format!("{pad}  outcome 1:\n"));
+                        d.pretty_into(out, indent + 2);
+                    }
+                    None => out.push_str(&format!("{pad}  outcome 1: unreachable\n")),
+                }
+            }
+        }
+    }
+
+    /// Pretty-prints the derivation tree.
+    pub fn pretty(&self) -> String {
+        let mut s = String::new();
+        self.pretty_into(&mut s, 0);
+        s
+    }
+}
+
+/// The analyzer's output: the certified bound plus its proof object and
+/// bookkeeping.
+#[derive(Clone, Debug)]
+pub struct Report {
+    derivation: Derivation,
+    tn_delta: f64,
+    sdp_solves: usize,
+    cache_hits: usize,
+    elapsed: Duration,
+}
+
+impl Report {
+    /// The certified whole-program error bound ε (half-trace-norm
+    /// convention: 1 is maximal).
+    pub fn error_bound(&self) -> f64 {
+        self.derivation.epsilon()
+    }
+
+    /// The total MPS truncation error δ accumulated by the approximator.
+    pub fn tn_delta(&self) -> f64 {
+        self.tn_delta
+    }
+
+    /// The derivation (proof) tree.
+    pub fn derivation(&self) -> &Derivation {
+        &self.derivation
+    }
+
+    /// Number of SDPs actually solved.
+    pub fn sdp_solves(&self) -> usize {
+        self.sdp_solves
+    }
+
+    /// Number of Gate-rule applications answered from the cache.
+    pub fn cache_hits(&self) -> usize {
+        self.cache_hits
+    }
+
+    /// Wall-clock time of the analysis.
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    /// Re-checks the derivation against fresh SDP solves: every Gate node's
+    /// ε must be reproducible (within `tol`) from its stored judgment
+    /// `(ρ′, δ)` under the given noise model, and the combination
+    /// arithmetic re-derives the same bound by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing node as a string, or a diamond-norm error.
+    pub fn replay(&self, noise: &NoiseModel, opts: &SolverOptions, tol: f64) -> Result<(), String> {
+        fn walk(
+            d: &Derivation,
+            noise: &NoiseModel,
+            opts: &SolverOptions,
+            tol: f64,
+        ) -> Result<(), String> {
+            match d {
+                Derivation::Skip => Ok(()),
+                Derivation::Gate { gate, qubits, rho_prime, delta, epsilon } => {
+                    let qs: Vec<gleipnir_circuit::Qubit> =
+                        qubits.iter().map(|&q| gleipnir_circuit::Qubit(q)).collect();
+                    let noisy = noise.noisy_gate(gate, &qs);
+                    let fresh = rho_delta_diamond(&gate.matrix(), &noisy, rho_prime, *delta, opts)
+                        .map_err(|e| format!("replay SDP failed: {e}"))?;
+                    if fresh.bound > epsilon + tol {
+                        return Err(format!(
+                            "gate {gate} bound {epsilon:.3e} not reproducible (fresh {:.3e})",
+                            fresh.bound
+                        ));
+                    }
+                    Ok(())
+                }
+                Derivation::Seq { children } => {
+                    children.iter().try_for_each(|c| walk(c, noise, opts, tol))
+                }
+                Derivation::Meas { zero, one, .. } => {
+                    if let Some(z) = zero {
+                        walk(z, noise, opts, tol)?;
+                    }
+                    if let Some(o) = one {
+                        walk(o, noise, opts, tol)?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+        walk(&self.derivation, noise, opts, tol)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "error bound ε = {:.6e}   (TN δ = {:.3e}, {} SDP solves, {} cache hits, {:?})",
+            self.error_bound(),
+            self.tn_delta,
+            self.sdp_solves,
+            self.cache_hits,
+            self.elapsed
+        )?;
+        write!(f, "{}", self.derivation.pretty())
+    }
+}
+
+type CacheKey = Vec<u64>;
+
+/// The Gleipnir analyzer: MPS approximation + per-gate `(ρ̂, δ)`-diamond
+/// norms + the error logic (the full Fig. 4 pipeline).
+///
+/// # Examples
+///
+/// ```
+/// use gleipnir_circuit::ProgramBuilder;
+/// use gleipnir_core::{Analyzer, AnalyzerConfig};
+/// use gleipnir_noise::NoiseModel;
+/// use gleipnir_sim::BasisState;
+///
+/// let mut b = ProgramBuilder::new(2);
+/// b.h(0).cnot(0, 1);
+/// let analyzer = Analyzer::new(AnalyzerConfig::with_mps_width(8));
+/// let report = analyzer.analyze(
+///     &b.build(),
+///     &BasisState::zeros(2),
+///     &NoiseModel::uniform_bit_flip(1e-4),
+/// )?;
+/// // Two noisy gates: the bound is positive but far below worst case 2e-4
+/// // because the H output |+⟩ is invariant under the X noise.
+/// assert!(report.error_bound() > 0.0);
+/// assert!(report.error_bound() < 2e-4);
+/// # Ok::<(), gleipnir_core::AnalysisError>(())
+/// ```
+#[derive(Debug)]
+pub struct Analyzer {
+    config: AnalyzerConfig,
+    cache: Mutex<HashMap<CacheKey, f64>>,
+}
+
+impl Analyzer {
+    /// Creates an analyzer with the given configuration.
+    pub fn new(config: AnalyzerConfig) -> Self {
+        Analyzer { config, cache: Mutex::new(HashMap::new()) }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AnalyzerConfig {
+        &self.config
+    }
+
+    /// Analyzes a noisy program from a basis input state, producing the
+    /// judgment `(ρ̂₀, 0) ⊢ P̃_ω ≤ ε` as a [`Report`].
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError`] on width mismatch or SDP failure.
+    pub fn analyze(
+        &self,
+        program: &Program,
+        input: &BasisState,
+        noise: &NoiseModel,
+    ) -> Result<Report, AnalysisError> {
+        if input.n_qubits() != program.n_qubits() {
+            return Err(AnalysisError::WidthMismatch {
+                input: input.n_qubits(),
+                program: program.n_qubits(),
+            });
+        }
+        let start = Instant::now();
+        let mut mps = Mps::basis_state(input.bits(), MpsConfig::with_width(self.config.mps_width));
+        let mut stats = WalkStats::default();
+        let worklist: Vec<&Stmt> = vec![program.body()];
+        let derivation = self.walk(&worklist, &mut mps, noise, &mut stats)?;
+        Ok(Report {
+            derivation,
+            tn_delta: stats.final_delta,
+            sdp_solves: stats.sdp_solves,
+            cache_hits: stats.cache_hits,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Recursive worklist walk. `rest` holds the statements still to run;
+    /// measurement statements capture the continuation into both branches.
+    fn walk(
+        &self,
+        rest: &[&Stmt],
+        mps: &mut Mps,
+        noise: &NoiseModel,
+        stats: &mut WalkStats,
+    ) -> Result<Derivation, AnalysisError> {
+        let Some((first, tail)) = rest.split_first() else {
+            stats.final_delta = stats.final_delta.max(mps.delta());
+            return Ok(Derivation::Seq { children: Vec::new() });
+        };
+        match first {
+            Stmt::Skip => {
+                let mut node = self.walk(tail, mps, noise, stats)?;
+                prepend(&mut node, Derivation::Skip);
+                Ok(node)
+            }
+            Stmt::Seq(ss) => {
+                let mut flat: Vec<&Stmt> = ss.iter().collect();
+                flat.extend_from_slice(tail);
+                self.walk(&flat, mps, noise, stats)
+            }
+            Stmt::Gate(g) => {
+                let qubits: Vec<usize> = g.qubits.iter().map(|q| q.0).collect();
+                // ρ′ first (may route non-adjacent operands together, adding
+                // truncation that must be inside this gate's δ).
+                let rho_prime = match qubits.len() {
+                    1 => mps.local_density_1(qubits[0]),
+                    _ => mps.local_density_2(qubits[0], qubits[1]),
+                };
+                let delta = mps.delta();
+                let epsilon = self.gate_epsilon(&g.gate, &qubits, noise, &rho_prime, delta, stats)?;
+                mps.apply_gate(&g.gate, &qubits);
+                let gate_node = Derivation::Gate {
+                    gate: g.gate.clone(),
+                    qubits,
+                    rho_prime,
+                    delta,
+                    epsilon,
+                };
+                let mut node = self.walk(tail, mps, noise, stats)?;
+                prepend(&mut node, gate_node);
+                Ok(node)
+            }
+            Stmt::IfMeasure { qubit, zero, one } => {
+                let delta_prob = mps.delta().min(1.0);
+                let run_branch = |body: &Stmt,
+                                      outcome: bool,
+                                      stats: &mut WalkStats|
+                 -> Result<Option<Box<Derivation>>, AnalysisError> {
+                    let mut fork = mps.clone();
+                    match fork.collapse(qubit.0, outcome) {
+                        Ok(_p) => {
+                            let mut work: Vec<&Stmt> = vec![body];
+                            work.extend_from_slice(tail);
+                            let d = self.walk(&work, &mut fork, noise, stats)?;
+                            Ok(Some(Box::new(d)))
+                        }
+                        Err(MpsError::ZeroProbabilityOutcome { .. }) => Ok(None),
+                    }
+                };
+                let zero_d = run_branch(zero, false, stats)?;
+                let one_d = run_branch(one, true, stats)?;
+                if zero_d.is_none() && one_d.is_none() {
+                    return Err(AnalysisError::Unsupported(
+                        "both measurement branches unreachable (state numerically degenerate)"
+                            .into(),
+                    ));
+                }
+                Ok(Derivation::Meas {
+                    qubit: qubit.0,
+                    delta_prob,
+                    zero: zero_d,
+                    one: one_d,
+                })
+            }
+        }
+    }
+
+    /// The Gate-rule bound, with the sound memoization described in
+    /// [`AnalyzerConfig::cache`].
+    fn gate_epsilon(
+        &self,
+        gate: &Gate,
+        qubits: &[usize],
+        noise: &NoiseModel,
+        rho_prime: &CMat,
+        delta: f64,
+        stats: &mut WalkStats,
+    ) -> Result<f64, AnalysisError> {
+        let qs: Vec<gleipnir_circuit::Qubit> =
+            qubits.iter().map(|&q| gleipnir_circuit::Qubit(q)).collect();
+        let noisy = noise.noisy_gate(gate, &qs);
+        if !self.config.cache {
+            stats.sdp_solves += 1;
+            return Ok(rho_delta_diamond(
+                &gate.matrix(),
+                &noisy,
+                rho_prime,
+                delta,
+                &self.config.sdp_options,
+            )?
+            .bound);
+        }
+        // Sound cache: round δ up to the next bucket edge and quantize ρ′;
+        // the bucket headroom (≥ half a bucket) absorbs the ρ′ rounding via
+        // the triangle inequality, so the cached ε certifies the exact
+        // judgment by the Weaken rule.
+        let q = self.config.delta_quantum;
+        let bucket = (delta / q).floor() as u64 + 1;
+        let delta_eff = bucket as f64 * q;
+        let rho_q = CMat::from_fn(rho_prime.rows(), rho_prime.cols(), |i, j| {
+            let z = rho_prime.at(i, j);
+            gleipnir_linalg::c64(
+                (z.re * 1e8).round() / 1e8,
+                (z.im * 1e8).round() / 1e8,
+            )
+        });
+        let mut key: CacheKey = Vec::new();
+        for k in noisy.kraus() {
+            for z in k.as_slice() {
+                key.push(z.re.to_bits());
+                key.push(z.im.to_bits());
+            }
+        }
+        key.push(u64::MAX); // separator
+        for z in gate.matrix().as_slice() {
+            key.push(z.re.to_bits());
+            key.push(z.im.to_bits());
+        }
+        key.push(u64::MAX);
+        for z in rho_q.as_slice() {
+            key.push(z.re.to_bits());
+            key.push(z.im.to_bits());
+        }
+        key.push(bucket);
+
+        if let Some(&eps) = self.cache.lock().expect("cache lock").get(&key) {
+            stats.cache_hits += 1;
+            return Ok(eps);
+        }
+        stats.sdp_solves += 1;
+        let eps = rho_delta_diamond(
+            &gate.matrix(),
+            &noisy,
+            &rho_q,
+            delta_eff,
+            &self.config.sdp_options,
+        )?
+        .bound;
+        self.cache.lock().expect("cache lock").insert(key, eps);
+        Ok(eps)
+    }
+}
+
+#[derive(Default)]
+struct WalkStats {
+    sdp_solves: usize,
+    cache_hits: usize,
+    final_delta: f64,
+}
+
+/// Prepends a node to a derivation that is expected to be a `Seq`.
+fn prepend(node: &mut Derivation, head: Derivation) {
+    match node {
+        Derivation::Seq { children } => children.insert(0, head),
+        other => {
+            let tail = std::mem::replace(other, Derivation::Skip);
+            *other = Derivation::Seq { children: vec![head, tail] };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gleipnir_circuit::ProgramBuilder;
+
+    fn analyzer(w: usize) -> Analyzer {
+        Analyzer::new(AnalyzerConfig::with_mps_width(w))
+    }
+
+    fn bit_flip() -> NoiseModel {
+        NoiseModel::uniform_bit_flip(1e-4)
+    }
+
+    #[test]
+    fn ghz_running_example() {
+        // The paper's §3 running example:
+        // (|00⟩⟨00|, 0) ⊢ H̃(q0); CÑOT(q0,q1) ≤ ε₁ + ε₂.
+        let mut b = ProgramBuilder::new(2);
+        b.h(0).cnot(0, 1);
+        let report = analyzer(4)
+            .analyze(&b.build(), &BasisState::zeros(2), &bit_flip())
+            .unwrap();
+        let eps = report.error_bound();
+        // H's bit flip is invisible on |+⟩ (ε₁ ≈ 0); the CNOT flip on the
+        // control is also invisible on the GHZ-direction state? No — the
+        // noise acts after the CNOT on a (|00⟩+|11⟩) state, where X⊗I maps
+        // it to (|10⟩+|01⟩): fully distinguishable, so ε₂ ≈ p.
+        assert!(eps > 0.5e-4, "ε = {eps}");
+        assert!(eps < 2.5e-4, "ε = {eps}");
+        assert!(report.tn_delta() < 1e-9);
+        assert_eq!(report.derivation().gate_rule_count(), 2);
+    }
+
+    #[test]
+    fn skip_program_has_zero_error() {
+        let p = ProgramBuilder::new(1).build();
+        let report = analyzer(2)
+            .analyze(&p, &BasisState::zeros(1), &bit_flip())
+            .unwrap();
+        assert_eq!(report.error_bound(), 0.0);
+    }
+
+    #[test]
+    fn noiseless_model_gives_zero() {
+        let mut b = ProgramBuilder::new(2);
+        b.h(0).cnot(0, 1).rx(1, 0.4);
+        let report = analyzer(4)
+            .analyze(&b.build(), &BasisState::zeros(2), &NoiseModel::Noiseless)
+            .unwrap();
+        assert!(report.error_bound() < 1e-7, "{}", report.error_bound());
+    }
+
+    #[test]
+    fn bound_is_below_worst_case() {
+        // A plus-state-heavy circuit: Gleipnir's state-aware bound must be
+        // far below gate_count × p.
+        let mut b = ProgramBuilder::new(3);
+        b.h(0).h(1).h(2);
+        let p = b.build();
+        let report = analyzer(4)
+            .analyze(&p, &BasisState::zeros(3), &bit_flip())
+            .unwrap();
+        let worst = 3.0 * 1e-4;
+        assert!(report.error_bound() < 0.2 * worst, "{} vs {worst}", report.error_bound());
+    }
+
+    #[test]
+    fn x_heavy_circuit_is_near_worst_case() {
+        // |0⟩ states are maximally sensitive to bit flips: the bound should
+        // approach gate_count × p.
+        let mut b = ProgramBuilder::new(2);
+        b.z(0).z(1).z(0).z(1);
+        let report = analyzer(4)
+            .analyze(&b.build(), &BasisState::zeros(2), &bit_flip())
+            .unwrap();
+        let worst = 4.0 * 1e-4;
+        assert!(report.error_bound() > 0.9 * worst, "{} vs {worst}", report.error_bound());
+        assert!(report.error_bound() <= 1.02 * worst);
+    }
+
+    #[test]
+    fn measurement_uses_meas_rule() {
+        let mut b = ProgramBuilder::new(2);
+        b.h(0).if_measure(0, |z| {
+            z.x(1);
+        }, |o| {
+            o.z(1);
+        });
+        let report = analyzer(4)
+            .analyze(&b.build(), &BasisState::zeros(2), &bit_flip())
+            .unwrap();
+        // ε = ε_H + (1−δ)·max(ε_X, ε_Z) + δ with δ ≈ 0.
+        assert!(report.error_bound() > 0.0);
+        assert!(report.error_bound() < 5e-4);
+        let pretty = report.derivation().pretty();
+        assert!(pretty.contains("[Meas]"), "{pretty}");
+    }
+
+    #[test]
+    fn unreachable_branch_is_skipped() {
+        let mut b = ProgramBuilder::new(2);
+        b.x(0).if_measure(0, |z| {
+            z.x(1);
+        }, |o| {
+            o.skip();
+        });
+        let report = analyzer(4)
+            .analyze(&b.build(), &BasisState::zeros(2), &bit_flip())
+            .unwrap();
+        match find_meas(report.derivation()) {
+            Some(Derivation::Meas { zero, one, .. }) => {
+                assert!(zero.is_none(), "zero branch should be unreachable");
+                assert!(one.is_some());
+            }
+            other => panic!("expected Meas node, got {other:?}"),
+        }
+    }
+
+    fn find_meas(d: &Derivation) -> Option<&Derivation> {
+        match d {
+            Derivation::Meas { .. } => Some(d),
+            Derivation::Seq { children } => children.iter().find_map(find_meas),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn cache_hits_on_repeated_structure() {
+        // An Ising-like pattern repeats (gate, ρ′, δ-bucket) judgments.
+        let mut b = ProgramBuilder::new(4);
+        for _layer in 0..4 {
+            for q in 0..4 {
+                b.z(q);
+            }
+        }
+        let a = analyzer(4);
+        let report = a
+            .analyze(&b.build(), &BasisState::zeros(4), &bit_flip())
+            .unwrap();
+        assert!(report.cache_hits() > 0, "expected cache hits");
+        assert!(report.sdp_solves() < 16);
+    }
+
+    #[test]
+    fn cache_and_nocache_agree() {
+        let mut b = ProgramBuilder::new(3);
+        b.h(0).cnot(0, 1).rx(2, 0.5).rzz(1, 2, 0.7).cnot(0, 2);
+        let p = b.build();
+        let with_cache = analyzer(8)
+            .analyze(&p, &BasisState::zeros(3), &bit_flip())
+            .unwrap();
+        let mut cfg = AnalyzerConfig::with_mps_width(8);
+        cfg.cache = false;
+        let without = Analyzer::new(cfg)
+            .analyze(&p, &BasisState::zeros(3), &bit_flip())
+            .unwrap();
+        // Both are sound upper bounds from an approximate solver; the
+        // cached one is solved at a δ loosened by at most one bucket
+        // (1e-6), so they must agree to that scale plus solver slop.
+        assert!(
+            (with_cache.error_bound() - without.error_bound()).abs() < 1e-5,
+            "cache {} vs exact {}",
+            with_cache.error_bound(),
+            without.error_bound()
+        );
+    }
+
+    #[test]
+    fn replay_accepts_honest_reports() {
+        let mut b = ProgramBuilder::new(2);
+        b.h(0).cnot(0, 1).x(1);
+        let report = analyzer(4)
+            .analyze(&b.build(), &BasisState::zeros(2), &bit_flip())
+            .unwrap();
+        report
+            .replay(&bit_flip(), &SolverOptions::default(), 1e-6)
+            .expect("honest derivation must replay");
+    }
+
+    #[test]
+    fn replay_rejects_tampered_reports() {
+        let mut b = ProgramBuilder::new(1);
+        b.x(0);
+        let mut report = analyzer(2)
+            .analyze(&b.build(), &BasisState::zeros(1), &bit_flip())
+            .unwrap();
+        // Tamper: claim a much smaller ε.
+        if let Derivation::Seq { children } = &mut report.derivation {
+            if let Some(Derivation::Gate { epsilon, .. }) = children.first_mut() {
+                *epsilon = 1e-9;
+            }
+        }
+        assert!(report.replay(&bit_flip(), &SolverOptions::default(), 1e-8).is_err());
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let p = ProgramBuilder::new(3).build();
+        let err = analyzer(2)
+            .analyze(&p, &BasisState::zeros(2), &bit_flip())
+            .unwrap_err();
+        assert!(matches!(err, AnalysisError::WidthMismatch { input: 2, program: 3 }));
+    }
+
+    #[test]
+    fn non_adjacent_gates_are_handled() {
+        let mut b = ProgramBuilder::new(4);
+        b.h(0).cnot(0, 3).rzz(0, 2, 0.5);
+        let report = analyzer(8)
+            .analyze(&b.build(), &BasisState::zeros(4), &bit_flip())
+            .unwrap();
+        assert!(report.error_bound() > 0.0);
+        assert!(report.error_bound() < 1.0);
+    }
+}

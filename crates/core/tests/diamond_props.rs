@@ -1,0 +1,103 @@
+//! Property-based tests of the diamond-norm layer: soundness against
+//! sampled inputs, monotonicity, and the reduction relationships between
+//! the three metrics.
+
+use gleipnir_circuit::Gate;
+use gleipnir_core::{
+    q_lambda_diamond, rho_delta_diamond, sampled_diamond_lower_bound, unconstrained_diamond,
+};
+use gleipnir_linalg::{c64, CMat};
+use gleipnir_noise::Channel;
+use gleipnir_sdp::SolverOptions;
+use proptest::prelude::*;
+
+fn opts() -> SolverOptions {
+    SolverOptions::default()
+}
+
+/// A random pure-state density matrix parameterized by Bloch angles.
+fn bloch_rho(theta: f64, phi: f64) -> CMat {
+    let a = (theta / 2.0).cos();
+    let b = (theta / 2.0).sin();
+    CMat::from_rows(&[
+        vec![c64(a * a, 0.0), c64(a * b * phi.cos(), -a * b * phi.sin())],
+        vec![c64(a * b * phi.cos(), a * b * phi.sin()), c64(b * b, 0.0)],
+    ])
+}
+
+fn channels() -> Vec<(&'static str, Channel)> {
+    vec![
+        ("bit_flip", Channel::bit_flip(0.05)),
+        ("phase_flip", Channel::phase_flip(0.08)),
+        ("depolarizing", Channel::depolarizing(0.06)),
+        ("amp_damp", Channel::amplitude_damping(0.12)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn constrained_bound_dominates_the_pinned_input(
+        theta in 0.0..std::f64::consts::PI,
+        phi in 0.0..(2.0 * std::f64::consts::PI),
+        ch_idx in 0usize..4,
+    ) {
+        // With δ = 0 and a pure ρ′, the only physical inputs are ρ′ ⊗ aux,
+        // so the true error on ρ′ itself must be dominated by the bound.
+        let rho = bloch_rho(theta, phi);
+        let (_, ch) = &channels()[ch_idx];
+        let ideal = CMat::identity(2);
+        let noisy = ch.after_unitary(&ideal);
+        let bound = rho_delta_diamond(&ideal, &noisy, &rho, 0.0, &opts())
+            .unwrap()
+            .bound;
+        let truth = gleipnir_linalg::trace_distance(&ch.apply(&rho), &rho).unwrap();
+        prop_assert!(bound >= truth - 1e-6, "bound {bound} < truth {truth}");
+    }
+
+    #[test]
+    fn delta_relaxation_interpolates_to_unconstrained(
+        theta in 0.0..std::f64::consts::PI,
+        ch_idx in 0usize..4,
+    ) {
+        let rho = bloch_rho(theta, 0.7);
+        let (_, ch) = &channels()[ch_idx];
+        let ideal = Gate::H.matrix();
+        let noisy = ch.after_unitary(&ideal);
+        let un = unconstrained_diamond(&ideal, &noisy, &opts()).unwrap().bound;
+        let tight = rho_delta_diamond(&ideal, &noisy, &rho, 0.0, &opts()).unwrap().bound;
+        let loose = rho_delta_diamond(&ideal, &noisy, &rho, 2.0, &opts()).unwrap().bound;
+        prop_assert!(tight <= un + 1e-5, "tight {tight} > unconstrained {un}");
+        prop_assert!((loose - un).abs() < 1e-4, "fully relaxed {loose} != unconstrained {un}");
+    }
+
+    #[test]
+    fn q_lambda_weakens_with_lambda(lambda in 0.0..0.9f64) {
+        let plus = CMat::from_fn(2, 2, |_, _| c64(0.5, 0.0));
+        let noisy = Channel::bit_flip(0.1).after_unitary(&CMat::identity(2));
+        let strong = q_lambda_diamond(&CMat::identity(2), &noisy, &plus, 0.95, &opts())
+            .unwrap()
+            .bound;
+        let weak = q_lambda_diamond(&CMat::identity(2), &noisy, &plus, lambda, &opts())
+            .unwrap()
+            .bound;
+        prop_assert!(strong <= weak + 1e-5, "strong {strong} > weak {weak}");
+    }
+}
+
+#[test]
+fn sdp_dominates_samples_for_two_qubit_channels() {
+    let ideal = Gate::Cnot.matrix();
+    for ch in [
+        Channel::bit_flip_first_of_two(0.1),
+        Channel::depolarizing2(0.08),
+    ] {
+        let noisy = ch.after_unitary(&ideal);
+        let bound = unconstrained_diamond(&ideal, &noisy, &SolverOptions::default())
+            .unwrap()
+            .bound;
+        let sample = sampled_diamond_lower_bound(&ideal, &noisy, 40, 3);
+        assert!(bound >= sample - 1e-7, "{bound} < {sample}");
+    }
+}

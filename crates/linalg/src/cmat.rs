@@ -1,0 +1,611 @@
+//! Dense complex matrices (row-major).
+
+use crate::{c64, CVec, C64};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense complex matrix in row-major order.
+///
+/// This is the workhorse type of the whole workspace: quantum gates, density
+/// matrices, Choi matrices, and MPS tensors (reshaped) are all `CMat`s.
+///
+/// # Examples
+///
+/// ```
+/// use gleipnir_linalg::{c64, CMat};
+///
+/// let h = CMat::from_rows(&[
+///     vec![c64(1.0, 0.0), c64(1.0, 0.0)],
+///     vec![c64(1.0, 0.0), c64(-1.0, 0.0)],
+/// ]).scaled(c64(1.0 / 2f64.sqrt(), 0.0));
+/// assert!(h.is_unitary(1e-12));
+/// ```
+#[derive(Clone, PartialEq, Default)]
+pub struct CMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl CMat {
+    /// A `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMat { rows, cols, data: vec![C64::ZERO; rows * cols] }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = C64::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix from a slice of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<C64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows in CMat::from_rows");
+            data.extend_from_slice(row);
+        }
+        CMat { rows: r, cols: c, data }
+    }
+
+    /// Builds a matrix from a row-major flat buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<C64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "flat buffer length mismatch");
+        CMat { rows, cols, data }
+    }
+
+    /// Builds a matrix whose entries come from `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> C64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        CMat { rows, cols, data }
+    }
+
+    /// Builds a real diagonal matrix from the given diagonal entries.
+    pub fn diag_real(d: &[f64]) -> Self {
+        let n = d.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &v) in d.iter().enumerate() {
+            m.data[i * n + i] = c64(v, 0.0);
+        }
+        m
+    }
+
+    /// Builds a complex diagonal matrix from the given diagonal entries.
+    pub fn diag(d: &[C64]) -> Self {
+        let n = d.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &v) in d.iter().enumerate() {
+            m.data[i * n + i] = v;
+        }
+        m
+    }
+
+    /// The outer product `u·v†` (a rank-1 matrix).
+    pub fn outer(u: &CVec, v: &CVec) -> Self {
+        Self::from_fn(u.len(), v.len(), |i, j| u[i].mul_conj(v[j]))
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Immutable view of the row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Mutable view of the row-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+
+    /// Immutable view of row `i`.
+    #[inline(always)]
+    pub fn row(&self, i: usize) -> &[C64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    #[inline(always)]
+    pub fn row_mut(&mut self, i: usize) -> &mut [C64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Column `j` as an owned vector.
+    pub fn col(&self, j: usize) -> CVec {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Unchecked-by-types element accessor used in hot loops.
+    #[inline(always)]
+    pub fn at(&self, i: usize, j: usize) -> C64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets element `(i, j)`.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, j: usize, v: C64) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn mul_mat(&self, rhs: &CMat) -> CMat {
+        assert_eq!(self.cols, rhs.rows, "matmul inner dimension mismatch");
+        let mut out = CMat::zeros(self.rows, rhs.cols);
+        // Cache-friendly i-k-j ordering: the inner loop walks contiguous rows
+        // of `rhs` and `out`.
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &aik) in arow.iter().enumerate() {
+                if aik.re == 0.0 && aik.im == 0.0 {
+                    continue;
+                }
+                let brow = rhs.row(k);
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o = o.add_prod(aik, b);
+                }
+            }
+        }
+        out
+    }
+
+    /// `self† · rhs` without materializing the adjoint.
+    pub fn adjoint_mul(&self, rhs: &CMat) -> CMat {
+        assert_eq!(self.rows, rhs.rows, "adjoint_mul dimension mismatch");
+        let mut out = CMat::zeros(self.cols, rhs.cols);
+        for k in 0..self.rows {
+            let arow = self.row(k);
+            let brow = rhs.row(k);
+            for (i, &aki) in arow.iter().enumerate() {
+                if aki.re == 0.0 && aki.im == 0.0 {
+                    continue;
+                }
+                let conj = aki.conj();
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o = o.add_prod(conj, b);
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · rhs†` without materializing the adjoint.
+    pub fn mul_adjoint(&self, rhs: &CMat) -> CMat {
+        assert_eq!(self.cols, rhs.cols, "mul_adjoint dimension mismatch");
+        let mut out = CMat::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            for j in 0..rhs.rows {
+                let brow = rhs.row(j);
+                let mut acc = C64::ZERO;
+                for (&a, &b) in arow.iter().zip(brow) {
+                    acc = acc.add_prod(a, b.conj());
+                }
+                out.data[i * rhs.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self · v`.
+    pub fn mul_vec(&self, v: &CVec) -> CVec {
+        assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
+        let mut out = CVec::zeros(self.rows);
+        for i in 0..self.rows {
+            let mut acc = C64::ZERO;
+            for (a, b) in self.row(i).iter().zip(v.as_slice()) {
+                acc = acc.add_prod(*a, *b);
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> CMat {
+        CMat::from_fn(self.cols, self.rows, |i, j| self.at(j, i))
+    }
+
+    /// Componentwise conjugate.
+    pub fn conj(&self) -> CMat {
+        CMat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| z.conj()).collect(),
+        }
+    }
+
+    /// Conjugate transpose `self†`.
+    pub fn adjoint(&self) -> CMat {
+        CMat::from_fn(self.cols, self.rows, |i, j| self.at(j, i).conj())
+    }
+
+    /// Trace (sum of diagonal entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> C64 {
+        assert!(self.is_square(), "trace of non-square matrix");
+        (0..self.rows).map(|i| self.at(i, i)).sum()
+    }
+
+    /// `tr(self · rhs)` computed without forming the product.
+    pub fn trace_mul(&self, rhs: &CMat) -> C64 {
+        assert_eq!(self.cols, rhs.rows, "trace_mul dimension mismatch");
+        assert_eq!(self.rows, rhs.cols, "trace_mul dimension mismatch");
+        let mut acc = C64::ZERO;
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                acc = acc.add_prod(self.at(i, k), rhs.at(k, i));
+            }
+        }
+        acc
+    }
+
+    /// Kronecker (tensor) product `self ⊗ rhs`.
+    pub fn kron(&self, rhs: &CMat) -> CMat {
+        let mut out = CMat::zeros(self.rows * rhs.rows, self.cols * rhs.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self.at(i, j);
+                if a.re == 0.0 && a.im == 0.0 {
+                    continue;
+                }
+                for p in 0..rhs.rows {
+                    let orow = (i * rhs.rows + p) * out.cols + j * rhs.cols;
+                    let brow = rhs.row(p);
+                    for (q, &b) in brow.iter().enumerate() {
+                        out.data[orow + q] = a * b;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Scales every entry by `s`, returning a new matrix.
+    pub fn scaled(&self, s: C64) -> CMat {
+        CMat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| *z * s).collect(),
+        }
+    }
+
+    /// In-place scale by a complex factor.
+    pub fn scale_mut(&mut self, s: C64) {
+        for z in &mut self.data {
+            *z *= s;
+        }
+    }
+
+    /// In-place `self += s·other`.
+    pub fn axpy(&mut self, s: C64, other: &CMat) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "axpy shape mismatch"
+        );
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a = a.add_prod(s, *b);
+        }
+    }
+
+    /// Frobenius norm `√Σ|aᵢⱼ|²`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Largest entry modulus.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
+    }
+
+    /// Whether `self` is Hermitian to tolerance `tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in i..self.cols {
+                if !self.at(i, j).approx_eq(self.at(j, i).conj(), tol) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether `self† · self = I` to tolerance `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        let g = self.adjoint_mul(self);
+        g.approx_eq(&CMat::identity(self.rows), tol)
+    }
+
+    /// Whether all entries match `other` within `tol`.
+    pub fn approx_eq(&self, other: &CMat, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Extracts the contiguous sub-matrix with rows `r0..r1` and columns `c0..c1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges exceed the matrix shape.
+    pub fn submatrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> CMat {
+        assert!(r0 <= r1 && r1 <= self.rows && c0 <= c1 && c1 <= self.cols);
+        CMat::from_fn(r1 - r0, c1 - c0, |i, j| self.at(r0 + i, c0 + j))
+    }
+
+    /// Hermitian symmetrization `(self + self†)/2`, useful for scrubbing
+    /// round-off from matrices that are Hermitian by construction.
+    pub fn hermitize(&self) -> CMat {
+        assert!(self.is_square(), "hermitize of non-square matrix");
+        CMat::from_fn(self.rows, self.cols, |i, j| {
+            (self.at(i, j) + self.at(j, i).conj()).scale(0.5)
+        })
+    }
+
+    /// Reinterprets the matrix as a flattened vector (row-major).
+    pub fn to_cvec(&self) -> CVec {
+        CVec::from(self.data.clone())
+    }
+}
+
+impl fmt::Debug for CMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CMat {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:>22}", format!("{}", self.at(i, j)))?;
+            }
+            if self.cols > 8 {
+                write!(f, " …")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Index<(usize, usize)> for CMat {
+    type Output = C64;
+    #[inline(always)]
+    fn index(&self, (i, j): (usize, usize)) -> &C64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMat {
+    #[inline(always)]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut C64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &CMat {
+    type Output = CMat;
+    fn add(self, rhs: &CMat) -> CMat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add shape mismatch");
+        CMat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a + *b).collect(),
+        }
+    }
+}
+
+impl Sub for &CMat {
+    type Output = CMat;
+    fn sub(self, rhs: &CMat) -> CMat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub shape mismatch");
+        CMat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a - *b).collect(),
+        }
+    }
+}
+
+impl Neg for &CMat {
+    type Output = CMat;
+    fn neg(self) -> CMat {
+        CMat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| -*z).collect(),
+        }
+    }
+}
+
+impl Mul for &CMat {
+    type Output = CMat;
+    fn mul(self, rhs: &CMat) -> CMat {
+        self.mul_mat(rhs)
+    }
+}
+
+impl Mul<&CVec> for &CMat {
+    type Output = CVec;
+    fn mul(self, rhs: &CVec) -> CVec {
+        self.mul_vec(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pauli_x() -> CMat {
+        CMat::from_rows(&[vec![C64::ZERO, C64::ONE], vec![C64::ONE, C64::ZERO]])
+    }
+
+    fn pauli_y() -> CMat {
+        CMat::from_rows(&[vec![C64::ZERO, -C64::I], vec![C64::I, C64::ZERO]])
+    }
+
+    fn pauli_z() -> CMat {
+        CMat::from_rows(&[vec![C64::ONE, C64::ZERO], vec![C64::ZERO, -C64::ONE]])
+    }
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let x = pauli_x();
+        let i2 = CMat::identity(2);
+        assert!(x.mul_mat(&i2).approx_eq(&x, 1e-15));
+        assert!(i2.mul_mat(&x).approx_eq(&x, 1e-15));
+    }
+
+    #[test]
+    fn pauli_algebra() {
+        // XY = iZ, YZ = iX, ZX = iY
+        let (x, y, z) = (pauli_x(), pauli_y(), pauli_z());
+        assert!(x.mul_mat(&y).approx_eq(&z.scaled(C64::I), 1e-15));
+        assert!(y.mul_mat(&z).approx_eq(&x.scaled(C64::I), 1e-15));
+        assert!(z.mul_mat(&x).approx_eq(&y.scaled(C64::I), 1e-15));
+    }
+
+    #[test]
+    fn paulis_are_hermitian_unitary_traceless() {
+        for p in [pauli_x(), pauli_y(), pauli_z()] {
+            assert!(p.is_hermitian(1e-15));
+            assert!(p.is_unitary(1e-15));
+            assert!(p.trace().approx_eq(C64::ZERO, 1e-15));
+        }
+    }
+
+    #[test]
+    fn adjoint_mul_matches_explicit() {
+        let a = CMat::from_fn(3, 2, |i, j| c64(i as f64, j as f64 + 1.0));
+        let b = CMat::from_fn(3, 4, |i, j| c64(j as f64 - i as f64, 0.5));
+        assert!(a.adjoint_mul(&b).approx_eq(&a.adjoint().mul_mat(&b), 1e-13));
+    }
+
+    #[test]
+    fn mul_adjoint_matches_explicit() {
+        let a = CMat::from_fn(3, 2, |i, j| c64(i as f64, j as f64 + 1.0));
+        let b = CMat::from_fn(4, 2, |i, j| c64(j as f64 - i as f64, 0.5));
+        assert!(a.mul_adjoint(&b).approx_eq(&a.mul_mat(&b.adjoint()), 1e-13));
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let x = pauli_x();
+        let i2 = CMat::identity(2);
+        let xi = x.kron(&i2);
+        assert_eq!((xi.rows(), xi.cols()), (4, 4));
+        // X ⊗ I flips the leading (most significant) qubit.
+        assert!(xi.at(0, 2).approx_eq(C64::ONE, 1e-15));
+        assert!(xi.at(1, 3).approx_eq(C64::ONE, 1e-15));
+        assert!(xi.at(2, 0).approx_eq(C64::ONE, 1e-15));
+        assert!(xi.at(3, 1).approx_eq(C64::ONE, 1e-15));
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A⊗B)(C⊗D) = (AC)⊗(BD)
+        let a = pauli_x();
+        let b = pauli_y();
+        let c = pauli_z();
+        let d = CMat::identity(2);
+        let lhs = a.kron(&b).mul_mat(&c.kron(&d));
+        let rhs = a.mul_mat(&c).kron(&b.mul_mat(&d));
+        assert!(lhs.approx_eq(&rhs, 1e-14));
+    }
+
+    #[test]
+    fn trace_mul_matches_product_trace() {
+        let a = CMat::from_fn(3, 3, |i, j| c64((i * 3 + j) as f64, 1.0));
+        let b = CMat::from_fn(3, 3, |i, j| c64(1.0, (i + j) as f64));
+        let direct = a.mul_mat(&b).trace();
+        assert!(a.trace_mul(&b).approx_eq(direct, 1e-12));
+    }
+
+    #[test]
+    fn outer_product_rank_one() {
+        let u = CVec::from(vec![C64::ONE, C64::I]);
+        let v = CVec::from(vec![c64(2.0, 0.0), C64::ZERO]);
+        let m = CMat::outer(&u, &v);
+        assert!(m.at(0, 0).approx_eq(c64(2.0, 0.0), 1e-15));
+        assert!(m.at(1, 0).approx_eq(c64(0.0, 2.0), 1e-15));
+        assert!(m.at(0, 1).approx_eq(C64::ZERO, 1e-15));
+    }
+
+    #[test]
+    fn hermitize_fixes_roundoff() {
+        let mut m = pauli_z();
+        m.set(0, 1, c64(1e-17, 1e-17));
+        let h = m.hermitize();
+        assert!(h.is_hermitian(0.0));
+    }
+
+    #[test]
+    fn submatrix_extracts_block() {
+        let m = CMat::from_fn(4, 4, |i, j| c64((i * 4 + j) as f64, 0.0));
+        let s = m.submatrix(1, 3, 2, 4);
+        assert_eq!((s.rows(), s.cols()), (2, 2));
+        assert!(s.at(0, 0).approx_eq(c64(6.0, 0.0), 1e-15));
+        assert!(s.at(1, 1).approx_eq(c64(11.0, 0.0), 1e-15));
+    }
+
+    #[test]
+    fn frobenius_norm_of_unitary() {
+        // ‖U‖_F = √n for any n×n unitary.
+        assert!((pauli_y().frobenius_norm() - 2f64.sqrt()).abs() < 1e-15);
+    }
+}

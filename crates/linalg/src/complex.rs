@@ -1,0 +1,408 @@
+//! Hand-rolled double-precision complex scalar.
+//!
+//! The calibration for this reproduction calls for hand-rolling the linear
+//! algebra stack, so we provide our own complex type rather than depending on
+//! `num-complex`. [`C64`] is a plain `Copy` struct with the full arithmetic
+//! operator set, polar helpers, and the handful of transcendental functions
+//! quantum gate construction needs.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number `re + i·im`.
+///
+/// # Examples
+///
+/// ```
+/// use gleipnir_linalg::C64;
+///
+/// let i = C64::I;
+/// assert_eq!(i * i, C64::new(-1.0, 0.0));
+/// assert!((C64::new(3.0, 4.0).abs() - 5.0).abs() < 1e-15);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// Shorthand constructor for [`C64`].
+///
+/// ```
+/// use gleipnir_linalg::{c64, C64};
+/// assert_eq!(c64(1.0, -2.0), C64::new(1.0, -2.0));
+/// ```
+#[inline(always)]
+pub const fn c64(re: f64, im: f64) -> C64 {
+    C64 { re, im }
+}
+
+impl C64 {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: C64 = c64(0.0, 0.0);
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: C64 = c64(1.0, 0.0);
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: C64 = c64(0.0, 1.0);
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline(always)]
+    pub const fn new(re: f64, im: f64) -> Self {
+        c64(re, im)
+    }
+
+    /// Creates a purely real complex number.
+    #[inline(always)]
+    pub const fn real(re: f64) -> Self {
+        c64(re, 0.0)
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        c64(r * theta.cos(), r * theta.sin())
+    }
+
+    /// `e^{iθ}`, a unit-modulus phase.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate `re − i·im`.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        c64(self.re, -self.im)
+    }
+
+    /// Squared modulus `re² + im²`.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`, computed with `hypot` for overflow safety.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase angle) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns non-finite components when `self` is zero, mirroring `f64`
+    /// division semantics.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        c64(self.re / d, -self.im / d)
+    }
+
+    /// Principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        let r = self.abs();
+        if r == 0.0 {
+            return C64::ZERO;
+        }
+        Self::from_polar(r.sqrt(), 0.5 * self.arg())
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Self::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Scales by a real factor.
+    #[inline(always)]
+    pub fn scale(self, s: f64) -> Self {
+        c64(self.re * s, self.im * s)
+    }
+
+    /// `self * other.conj()`, the elementary inner-product kernel.
+    #[inline(always)]
+    pub fn mul_conj(self, other: Self) -> Self {
+        // self * conj(other)
+        c64(
+            self.re * other.re + self.im * other.im,
+            self.im * other.re - self.re * other.im,
+        )
+    }
+
+    /// Fused multiply-add convenience: `self + a * b`.
+    #[inline(always)]
+    pub fn add_prod(self, a: Self, b: Self) -> Self {
+        c64(
+            self.re + a.re * b.re - a.im * b.im,
+            self.im + a.re * b.im + a.im * b.re,
+        )
+    }
+
+    /// Whether both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Returns true when `|self − other| ≤ tol` componentwise.
+    #[inline]
+    pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl fmt::Debug for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 || self.im.is_nan() {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}-{}i", self.re, -self.im)
+        }
+    }
+}
+
+impl From<f64> for C64 {
+    #[inline(always)]
+    fn from(re: f64) -> Self {
+        c64(re, 0.0)
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn neg(self) -> C64 {
+        c64(-self.re, -self.im)
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn add(self, rhs: C64) -> C64 {
+        c64(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn sub(self, rhs: C64) -> C64 {
+        c64(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn mul(self, rhs: C64) -> C64 {
+        c64(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: C64) -> C64 {
+        let d = rhs.norm_sqr();
+        c64(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Add<f64> for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn add(self, rhs: f64) -> C64 {
+        c64(self.re + rhs, self.im)
+    }
+}
+
+impl Sub<f64> for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn sub(self, rhs: f64) -> C64 {
+        c64(self.re - rhs, self.im)
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn mul(self, rhs: f64) -> C64 {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f64> for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn div(self, rhs: f64) -> C64 {
+        c64(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline(always)]
+    fn mul(self, rhs: C64) -> C64 {
+        rhs.scale(self)
+    }
+}
+
+impl Add<C64> for f64 {
+    type Output = C64;
+    #[inline(always)]
+    fn add(self, rhs: C64) -> C64 {
+        c64(self + rhs.re, rhs.im)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: C64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: C64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for C64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: C64) {
+        *self = *self / rhs;
+    }
+}
+
+impl MulAssign<f64> for C64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: f64) {
+        self.re *= rhs;
+        self.im *= rhs;
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn constants_behave() {
+        assert_eq!(C64::ZERO + C64::ONE, C64::ONE);
+        assert_eq!(C64::I * C64::I, -C64::ONE);
+        assert_eq!(C64::ONE.conj(), C64::ONE);
+        assert_eq!(C64::I.conj(), -C64::I);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = c64(1.5, -2.5);
+        let b = c64(-0.25, 3.0);
+        assert!((a + b - b).approx_eq(a, TOL));
+        assert!((a * b / b).approx_eq(a, TOL));
+        assert!((a * a.inv()).approx_eq(C64::ONE, TOL));
+        assert!((-a + a).approx_eq(C64::ZERO, TOL));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = c64(-1.0, 1.0);
+        let w = C64::from_polar(z.abs(), z.arg());
+        assert!(z.approx_eq(w, TOL));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &z in &[c64(4.0, 0.0), c64(0.0, 2.0), c64(-3.0, 4.0), c64(-1.0, -1.0)] {
+            let s = z.sqrt();
+            assert!((s * s).approx_eq(z, 1e-10), "sqrt({z}) = {s}");
+        }
+        assert_eq!(C64::ZERO.sqrt(), C64::ZERO);
+    }
+
+    #[test]
+    fn exp_of_pi_i() {
+        let e = c64(0.0, std::f64::consts::PI).exp();
+        assert!(e.approx_eq(-C64::ONE, TOL));
+    }
+
+    #[test]
+    fn mul_conj_matches_definition() {
+        let a = c64(1.0, 2.0);
+        let b = c64(3.0, -4.0);
+        assert!(a.mul_conj(b).approx_eq(a * b.conj(), TOL));
+    }
+
+    #[test]
+    fn add_prod_matches_definition() {
+        let acc = c64(0.5, 0.5);
+        let a = c64(1.0, 2.0);
+        let b = c64(3.0, -4.0);
+        assert!(acc.add_prod(a, b).approx_eq(acc + a * b, TOL));
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = c64(2.0, -6.0);
+        assert_eq!(a * 0.5, c64(1.0, -3.0));
+        assert_eq!(a / 2.0, c64(1.0, -3.0));
+        assert_eq!(0.5 * a, c64(1.0, -3.0));
+        assert_eq!(a + 1.0, c64(3.0, -6.0));
+        assert_eq!(a - 1.0, c64(1.0, -6.0));
+        assert_eq!(1.0 + a, c64(3.0, -6.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(c64(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(c64(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn sum_folds() {
+        let total: C64 = (0..4).map(|k| c64(k as f64, -(k as f64))).sum();
+        assert_eq!(total, c64(6.0, -6.0));
+    }
+}

@@ -1,0 +1,259 @@
+//! Dense complex vectors.
+
+use crate::{c64, C64};
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense complex column vector.
+///
+/// Thin wrapper around `Vec<C64>` with the inner-product and norm operations
+/// quantum state manipulation needs.
+///
+/// # Examples
+///
+/// ```
+/// use gleipnir_linalg::{c64, CVec};
+///
+/// let v = CVec::from(vec![c64(1.0, 0.0), c64(0.0, 1.0)]);
+/// assert!((v.norm() - 2f64.sqrt()).abs() < 1e-15);
+/// assert!((v.dot(&v).re - 2.0).abs() < 1e-15);
+/// ```
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct CVec {
+    data: Vec<C64>,
+}
+
+impl CVec {
+    /// A zero vector of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        CVec { data: vec![C64::ZERO; n] }
+    }
+
+    /// The `k`-th standard basis vector of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= n`.
+    pub fn basis(n: usize, k: usize) -> Self {
+        assert!(k < n, "basis index {k} out of range for length {n}");
+        let mut v = Self::zeros(n);
+        v.data[k] = C64::ONE;
+        v
+    }
+
+    /// Vector length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the vector is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector, returning the underlying storage.
+    #[inline]
+    pub fn into_inner(self) -> Vec<C64> {
+        self.data
+    }
+
+    /// Hermitian inner product `⟨self|other⟩ = Σ conj(selfᵢ)·otherᵢ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dot(&self, other: &CVec) -> C64 {
+        assert_eq!(self.len(), other.len(), "dot of mismatched lengths");
+        let mut acc = C64::ZERO;
+        for (a, b) in self.data.iter().zip(&other.data) {
+            acc = acc.add_prod(a.conj(), *b);
+        }
+        acc
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm_sqr(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scales every component by a complex factor in place.
+    pub fn scale_mut(&mut self, s: C64) {
+        for z in &mut self.data {
+            *z *= s;
+        }
+    }
+
+    /// Returns a normalized copy, or `None` when the norm is (near) zero.
+    pub fn normalized(&self) -> Option<CVec> {
+        let n = self.norm();
+        if n <= f64::EPSILON {
+            return None;
+        }
+        let mut v = self.clone();
+        v.scale_mut(c64(1.0 / n, 0.0));
+        Some(v)
+    }
+
+    /// In-place `self += s·other` (complex axpy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn axpy(&mut self, s: C64, other: &CVec) {
+        assert_eq!(self.len(), other.len(), "axpy of mismatched lengths");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a = a.add_prod(s, *b);
+        }
+    }
+
+    /// Componentwise conjugate.
+    pub fn conj(&self) -> CVec {
+        CVec { data: self.data.iter().map(|z| z.conj()).collect() }
+    }
+
+    /// Largest componentwise modulus.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
+    }
+
+    /// Whether `‖self − other‖_∞ ≤ tol`.
+    pub fn approx_eq(&self, other: &CVec, tol: f64) -> bool {
+        self.len() == other.len()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Iterator over components.
+    pub fn iter(&self) -> std::slice::Iter<'_, C64> {
+        self.data.iter()
+    }
+}
+
+impl From<Vec<C64>> for CVec {
+    fn from(data: Vec<C64>) -> Self {
+        CVec { data }
+    }
+}
+
+impl FromIterator<C64> for CVec {
+    fn from_iter<I: IntoIterator<Item = C64>>(iter: I) -> Self {
+        CVec { data: iter.into_iter().collect() }
+    }
+}
+
+impl Index<usize> for CVec {
+    type Output = C64;
+    #[inline(always)]
+    fn index(&self, i: usize) -> &C64 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for CVec {
+    #[inline(always)]
+    fn index_mut(&mut self, i: usize) -> &mut C64 {
+        &mut self.data[i]
+    }
+}
+
+impl Add for &CVec {
+    type Output = CVec;
+    fn add(self, rhs: &CVec) -> CVec {
+        assert_eq!(self.len(), rhs.len(), "adding vectors of mismatched lengths");
+        CVec {
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a + *b).collect(),
+        }
+    }
+}
+
+impl Sub for &CVec {
+    type Output = CVec;
+    fn sub(self, rhs: &CVec) -> CVec {
+        assert_eq!(self.len(), rhs.len(), "subtracting vectors of mismatched lengths");
+        CVec {
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a - *b).collect(),
+        }
+    }
+}
+
+impl Neg for &CVec {
+    type Output = CVec;
+    fn neg(self) -> CVec {
+        CVec { data: self.data.iter().map(|z| -*z).collect() }
+    }
+}
+
+impl Mul<C64> for &CVec {
+    type Output = CVec;
+    fn mul(self, s: C64) -> CVec {
+        CVec { data: self.data.iter().map(|z| *z * s).collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_vectors_are_orthonormal() {
+        for i in 0..4 {
+            for j in 0..4 {
+                let d = CVec::basis(4, i).dot(&CVec::basis(4, j));
+                let expect = if i == j { C64::ONE } else { C64::ZERO };
+                assert!(d.approx_eq(expect, 1e-15));
+            }
+        }
+    }
+
+    #[test]
+    fn dot_is_conjugate_linear_in_first_argument() {
+        let u = CVec::from(vec![c64(1.0, 1.0), c64(0.0, -2.0)]);
+        let v = CVec::from(vec![c64(2.0, 0.0), c64(1.0, 1.0)]);
+        let lhs = u.dot(&v).conj();
+        let rhs = v.dot(&u);
+        assert!(lhs.approx_eq(rhs, 1e-15));
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut u = CVec::zeros(3);
+        let v = CVec::from(vec![C64::ONE, C64::I, c64(1.0, 1.0)]);
+        u.axpy(c64(2.0, 0.0), &v);
+        assert!(u.approx_eq(&(&v + &v), 1e-15));
+    }
+
+    #[test]
+    fn normalized_unit_norm() {
+        let v = CVec::from(vec![c64(3.0, 0.0), c64(0.0, 4.0)]);
+        let n = v.normalized().unwrap();
+        assert!((n.norm() - 1.0).abs() < 1e-15);
+        assert!(CVec::zeros(2).normalized().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn dot_length_mismatch_panics() {
+        let _ = CVec::zeros(2).dot(&CVec::zeros(3));
+    }
+}

@@ -1,0 +1,119 @@
+//! Embedding complex Hermitian matrices into real symmetric ones.
+//!
+//! The SDP solver works over real symmetric blocks. A complex Hermitian
+//! matrix `H = A + iB` (with `A` symmetric, `B` antisymmetric) embeds as
+//!
+//! ```text
+//!        ⎡ A  −B ⎤
+//! E(H) = ⎣ B   A ⎦
+//! ```
+//!
+//! which is real symmetric, and `H ⪰ 0 ⟺ E(H) ⪰ 0`. Traces double:
+//! `tr E(H) = 2·tr H`, and for Hermitian `G`, `tr(G·H) = ½·tr(E(G)·E(H))`.
+//! The inverse map averages the two diagonal (resp. off-diagonal) blocks,
+//! which also projects out the embedding's redundant degrees of freedom.
+
+use crate::{c64, CMat, RMat};
+
+/// Embeds a complex Hermitian (or arbitrary complex) matrix into its real
+/// representation `[[A, −B], [B, A]]`.
+///
+/// # Panics
+///
+/// Panics if the input is not square.
+pub fn herm_to_real_sym(h: &CMat) -> RMat {
+    assert!(h.is_square(), "embedding requires a square matrix");
+    let n = h.rows();
+    let mut e = RMat::zeros(2 * n, 2 * n);
+    for i in 0..n {
+        for j in 0..n {
+            let z = h.at(i, j);
+            e.set(i, j, z.re);
+            e.set(n + i, n + j, z.re);
+            e.set(i, n + j, -z.im);
+            e.set(n + i, j, z.im);
+        }
+    }
+    e
+}
+
+/// Recovers a complex matrix from its real embedding, averaging the
+/// redundant blocks (the adjoint of [`herm_to_real_sym`] up to scale).
+///
+/// # Panics
+///
+/// Panics if the input is not square with even dimension.
+pub fn real_sym_to_herm(e: &RMat) -> CMat {
+    assert!(e.is_square(), "inverse embedding requires a square matrix");
+    let n2 = e.rows();
+    assert!(n2 % 2 == 0, "inverse embedding requires even dimension");
+    let n = n2 / 2;
+    CMat::from_fn(n, n, |i, j| {
+        let re = 0.5 * (e.at(i, j) + e.at(n + i, n + j));
+        let im = 0.5 * (e.at(n + i, j) - e.at(i, n + j));
+        c64(re, im)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eigh::{eigh_vals, sym_eigvals};
+    use crate::C64;
+
+    fn hermitian_example() -> CMat {
+        CMat::from_rows(&[
+            vec![c64(2.0, 0.0), c64(1.0, -1.0)],
+            vec![c64(1.0, 1.0), c64(3.0, 0.0)],
+        ])
+    }
+
+    #[test]
+    fn embedding_is_symmetric() {
+        let e = herm_to_real_sym(&hermitian_example());
+        assert!(e.approx_eq(&e.transpose(), 1e-15));
+    }
+
+    #[test]
+    fn round_trip() {
+        let h = hermitian_example();
+        let back = real_sym_to_herm(&herm_to_real_sym(&h));
+        assert!(back.approx_eq(&h, 1e-15));
+    }
+
+    #[test]
+    fn eigenvalues_double_up() {
+        let h = hermitian_example();
+        let ch = eigh_vals(&h).unwrap();
+        let rh = sym_eigvals(&herm_to_real_sym(&h)).unwrap();
+        // Each complex eigenvalue appears twice in the embedding.
+        assert!((rh[0] - ch[0]).abs() < 1e-12);
+        assert!((rh[1] - ch[0]).abs() < 1e-12);
+        assert!((rh[2] - ch[1]).abs() < 1e-12);
+        assert!((rh[3] - ch[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_inner_product_halves() {
+        let g = hermitian_example();
+        let h = CMat::from_rows(&[
+            vec![c64(1.0, 0.0), c64(0.0, 2.0)],
+            vec![c64(0.0, -2.0), c64(-1.0, 0.0)],
+        ]);
+        let complex_ip = g.trace_mul(&h).re;
+        let real_ip = herm_to_real_sym(&g).trace_mul(&herm_to_real_sym(&h));
+        assert!((real_ip - 2.0 * complex_ip).abs() < 1e-12);
+    }
+
+    #[test]
+    fn embedding_respects_products() {
+        let g = hermitian_example();
+        let h = CMat::from_rows(&[
+            vec![C64::ONE, C64::I],
+            vec![-C64::I, C64::ZERO],
+        ]);
+        let lhs = herm_to_real_sym(&g.mul_mat(&h));
+        let rhs = herm_to_real_sym(&g).mul_mat(&herm_to_real_sym(&h));
+        assert!(lhs.approx_eq(&rhs, 1e-13));
+    }
+}

@@ -1,0 +1,209 @@
+//! Complex QR and LQ factorizations via Householder reflections.
+//!
+//! These are the gauge-fixing primitives behind MPS canonicalization: a site
+//! tensor reshaped to a matrix is replaced by the orthonormal `Q` factor
+//! while `R` is absorbed into the neighboring site.
+
+use crate::{c64, CMat, C64};
+
+/// Thin QR factorization `A = Q·R`.
+///
+/// For an `m × n` input, returns `Q` of shape `m × k` with orthonormal
+/// columns and upper-triangular `R` of shape `k × n`, where
+/// `k = min(m, n)`. The diagonal of `R` is made real and non-negative so
+/// the factorization is unique for full-column-rank inputs.
+///
+/// # Examples
+///
+/// ```
+/// use gleipnir_linalg::{c64, qr_thin, CMat};
+///
+/// let a = CMat::from_fn(4, 2, |i, j| c64(i as f64 + 1.0, j as f64 - 1.0));
+/// let (q, r) = qr_thin(&a);
+/// assert!(q.adjoint_mul(&q).approx_eq(&CMat::identity(2), 1e-12));
+/// assert!(q.mul_mat(&r).approx_eq(&a, 1e-12));
+/// ```
+pub fn qr_thin(a: &CMat) -> (CMat, CMat) {
+    let m = a.rows();
+    let n = a.cols();
+    let k = m.min(n);
+    let mut r = a.clone();
+    // Householder vectors, one per step; vector j has support on rows j..m.
+    let mut vs: Vec<(usize, Vec<C64>, f64)> = Vec::with_capacity(k);
+
+    for j in 0..k {
+        // x = R[j..m, j]
+        let x: Vec<C64> = (j..m).map(|i| r.at(i, j)).collect();
+        let norm_x = x.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        let tail: f64 = x[1..].iter().map(|z| z.norm_sqr()).sum();
+        if norm_x == 0.0 || (tail == 0.0 && x[0].im == 0.0 && x[0].re >= 0.0) {
+            // Column already reduced with a non-negative real pivot.
+            continue;
+        }
+        let x0 = x[0];
+        let alpha = if x0.abs() > 0.0 {
+            x0.scale(norm_x / x0.abs())
+        } else {
+            c64(norm_x, 0.0)
+        };
+        // u = x + α·e₀ maps x to −α·e₀; H = u†x = ‖x‖² + |x₀|·‖x‖.
+        let mut u = x;
+        u[0] += alpha;
+        let h = norm_x * norm_x + x0.abs() * norm_x;
+        // Apply P = I − u·u†/H to R[j.., j..].
+        apply_reflector_left(&mut r, j, &u, h);
+        // Exact column: (0,…,0) below pivot, pivot −α.
+        r.set(j, j, -alpha);
+        for i in j + 1..m {
+            r.set(i, j, C64::ZERO);
+        }
+        vs.push((j, u, h));
+    }
+
+    // Build thin Q by applying the reflections (in reverse order) to the
+    // first k columns of the identity: Q = P_0·P_1⋯P_{k−1}·I[:, 0..k].
+    let mut q = CMat::from_fn(m, k, |i, j| if i == j { C64::ONE } else { C64::ZERO });
+    for (j, u, h) in vs.iter().rev() {
+        apply_reflector_left(&mut q, *j, u, *h);
+    }
+
+    // Make the diagonal of R real non-negative: R ← D†R, Q ← Q·D with
+    // D = diag(phase(R_jj)).
+    let mut rk = CMat::from_fn(k, n, |i, j| r.at(i, j));
+    for j in 0..k {
+        let d = rk.at(j, j);
+        let ad = d.abs();
+        if ad > 0.0 && (d.im != 0.0 || d.re < 0.0) {
+            let phase = d.scale(1.0 / ad);
+            let conj_phase = phase.conj();
+            for c in j..n {
+                let v = rk.at(j, c) * conj_phase;
+                rk.set(j, c, v);
+            }
+            for i in 0..m {
+                let v = q.at(i, j) * phase;
+                q.set(i, j, v);
+            }
+        }
+    }
+    (q, rk)
+}
+
+/// Applies `P = I − u·u†/h` to rows `j..` of `m` (all columns), where `u`
+/// has support on rows `j..j+u.len()`.
+fn apply_reflector_left(m: &mut CMat, j: usize, u: &[C64], h: f64) {
+    let cols = m.cols();
+    let inv_h = 1.0 / h;
+    let mut t = vec![C64::ZERO; cols];
+    for (offset, &uk) in u.iter().enumerate() {
+        let conj_uk = uk.conj();
+        let row = m.row(j + offset);
+        for (tj, &v) in t.iter_mut().zip(row) {
+            *tj = tj.add_prod(conj_uk, v);
+        }
+    }
+    for tj in &mut t {
+        *tj = tj.scale(inv_h);
+    }
+    for (offset, &uk) in u.iter().enumerate() {
+        let row = m.row_mut(j + offset);
+        for (v, &tj) in row.iter_mut().zip(&t) {
+            *v = *v - uk * tj;
+        }
+    }
+}
+
+/// Thin LQ factorization `A = L·Q`.
+///
+/// For an `m × n` input, returns lower-triangular `L` of shape `m × k` and
+/// `Q` of shape `k × n` with orthonormal rows, where `k = min(m, n)`.
+///
+/// Computed as the adjoint of [`qr_thin`] applied to `A†`.
+pub fn lq_thin(a: &CMat) -> (CMat, CMat) {
+    let (q, r) = qr_thin(&a.adjoint());
+    (r.adjoint(), q.adjoint())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random(m: usize, n: usize, seed: u64) -> CMat {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
+        };
+        CMat::from_fn(m, n, |_, _| c64(next(), next()))
+    }
+
+    #[test]
+    fn qr_reconstructs_tall() {
+        let a = pseudo_random(6, 3, 1);
+        let (q, r) = qr_thin(&a);
+        assert_eq!((q.rows(), q.cols()), (6, 3));
+        assert_eq!((r.rows(), r.cols()), (3, 3));
+        assert!(q.adjoint_mul(&q).approx_eq(&CMat::identity(3), 1e-12));
+        assert!(q.mul_mat(&r).approx_eq(&a, 1e-12));
+        for j in 0..3 {
+            assert!(r.at(j, j).im.abs() < 1e-14);
+            assert!(r.at(j, j).re >= -1e-14);
+        }
+    }
+
+    #[test]
+    fn qr_reconstructs_wide() {
+        let a = pseudo_random(3, 7, 2);
+        let (q, r) = qr_thin(&a);
+        assert_eq!((q.rows(), q.cols()), (3, 3));
+        assert_eq!((r.rows(), r.cols()), (3, 7));
+        assert!(q.adjoint_mul(&q).approx_eq(&CMat::identity(3), 1e-12));
+        assert!(q.mul_mat(&r).approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = pseudo_random(5, 5, 3);
+        let (_q, r) = qr_thin(&a);
+        for i in 0..5 {
+            for j in 0..i {
+                assert!(r.at(i, j).abs() < 1e-13, "R[{i}][{j}] not zero");
+            }
+        }
+    }
+
+    #[test]
+    fn lq_reconstructs() {
+        let a = pseudo_random(3, 6, 4);
+        let (l, q) = lq_thin(&a);
+        assert_eq!((l.rows(), l.cols()), (3, 3));
+        assert_eq!((q.rows(), q.cols()), (3, 6));
+        // Q has orthonormal rows.
+        assert!(q.mul_adjoint(&q).approx_eq(&CMat::identity(3), 1e-12));
+        assert!(l.mul_mat(&q).approx_eq(&a, 1e-12));
+        // L is lower-triangular.
+        for i in 0..3 {
+            for j in i + 1..3 {
+                assert!(l.at(i, j).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_of_identity_is_identity() {
+        let id = CMat::identity(4);
+        let (q, r) = qr_thin(&id);
+        assert!(q.approx_eq(&id, 1e-14));
+        assert!(r.approx_eq(&id, 1e-14));
+    }
+
+    #[test]
+    fn qr_handles_rank_deficiency() {
+        // Two identical columns.
+        let mut a = pseudo_random(4, 1, 5);
+        let col: Vec<C64> = (0..4).map(|i| a.at(i, 0)).collect();
+        a = CMat::from_fn(4, 2, |i, j| if j == 0 { col[i] } else { col[i] });
+        let (q, r) = qr_thin(&a);
+        assert!(q.mul_mat(&r).approx_eq(&a, 1e-12));
+    }
+}

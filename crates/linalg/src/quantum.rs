@@ -1,0 +1,255 @@
+//! Quantum-flavoured matrix utilities: partial trace, trace norms, trace
+//! distance, and fidelity.
+//!
+//! ## Qubit ordering convention
+//!
+//! Throughout the workspace, **qubit 0 is the most significant bit** of a
+//! basis-state index: for `n` qubits, the computational basis state
+//! `|b₀ b₁ … b_{n−1}⟩` has index `Σ_k b_k · 2^{n−1−k}`. Equivalently, a state
+//! is `q₀ ⊗ q₁ ⊗ …` with earlier qubits on the left of the Kronecker
+//! product. This matches the paper's `|i₁ i₂ ⋯ i_n⟩` notation.
+
+use crate::eigh::{eigh_vals, herm_sqrt, EigError};
+use crate::CMat;
+
+/// Partial trace of an `n`-qubit density matrix, keeping the qubits listed
+/// in `keep` (strictly ascending) and tracing out the rest.
+///
+/// The result is a `2^keep.len()` density matrix whose qubit order is the
+/// order of `keep` (still MSB-first).
+///
+/// # Panics
+///
+/// Panics if `rho` is not `2ⁿ × 2ⁿ`, or `keep` is not strictly ascending
+/// within range.
+///
+/// # Examples
+///
+/// ```
+/// use gleipnir_linalg::{c64, ptrace_keep, CMat};
+///
+/// // Bell state (|00⟩+|11⟩)/√2: each qubit alone is maximally mixed.
+/// let mut rho = CMat::zeros(4, 4);
+/// for (i, j) in [(0, 0), (0, 3), (3, 0), (3, 3)] {
+///     rho.set(i, j, c64(0.5, 0.0));
+/// }
+/// let r0 = ptrace_keep(&rho, 2, &[0]);
+/// assert!((r0.at(0, 0).re - 0.5).abs() < 1e-12);
+/// assert!((r0.at(1, 1).re - 0.5).abs() < 1e-12);
+/// assert!(r0.at(0, 1).abs() < 1e-12);
+/// ```
+pub fn ptrace_keep(rho: &CMat, n_qubits: usize, keep: &[usize]) -> CMat {
+    let dim = 1usize << n_qubits;
+    assert_eq!(rho.rows(), dim, "density matrix dimension mismatch");
+    assert_eq!(rho.cols(), dim, "density matrix dimension mismatch");
+    for w in keep.windows(2) {
+        assert!(w[0] < w[1], "keep indices must be strictly ascending");
+    }
+    if let Some(&last) = keep.last() {
+        assert!(last < n_qubits, "keep index out of range");
+    }
+
+    let k = keep.len();
+    let kd = 1usize << k;
+    let traced: Vec<usize> = (0..n_qubits).filter(|q| !keep.contains(q)).collect();
+    let t = traced.len();
+    let td = 1usize << t;
+
+    // Bit position (from MSB) q occupies shift n−1−q in the full index.
+    let keep_shift: Vec<usize> = keep.iter().map(|&q| n_qubits - 1 - q).collect();
+    let traced_shift: Vec<usize> = traced.iter().map(|&q| n_qubits - 1 - q).collect();
+
+    // full index from (kept bits kb, traced bits tb); kept/traced bits are
+    // MSB-first within their own groups.
+    let compose = |kb: usize, tb: usize| -> usize {
+        let mut idx = 0usize;
+        for (pos, &sh) in keep_shift.iter().enumerate() {
+            idx |= ((kb >> (k - 1 - pos)) & 1) << sh;
+        }
+        for (pos, &sh) in traced_shift.iter().enumerate() {
+            idx |= ((tb >> (t - 1 - pos)) & 1) << sh;
+        }
+        idx
+    };
+
+    let mut out = CMat::zeros(kd, kd);
+    for kb_r in 0..kd {
+        for kb_c in 0..kd {
+            let mut acc = crate::C64::ZERO;
+            for tb in 0..td {
+                acc += rho.at(compose(kb_r, tb), compose(kb_c, tb));
+            }
+            out.set(kb_r, kb_c, acc);
+        }
+    }
+    out
+}
+
+/// Trace norm `‖M‖₁ = Σ|λᵢ|` of a Hermitian matrix.
+///
+/// # Errors
+///
+/// Propagates [`EigError`] from the eigendecomposition.
+pub fn trace_norm_hermitian(m: &CMat) -> Result<f64, EigError> {
+    Ok(eigh_vals(&m.hermitize())?.iter().map(|l| l.abs()).sum())
+}
+
+/// Trace distance `T(ρ, σ) = ½‖ρ − σ‖₁` between two Hermitian matrices.
+///
+/// This is the paper's error metric between quantum states (§2.3).
+///
+/// # Errors
+///
+/// Propagates [`EigError`] from the eigendecomposition.
+pub fn trace_distance(rho: &CMat, sigma: &CMat) -> Result<f64, EigError> {
+    Ok(0.5 * trace_norm_hermitian(&(rho - sigma))?)
+}
+
+/// Uhlmann fidelity `F(ρ, σ) = tr √(√ρ · σ · √ρ)` between density matrices.
+///
+/// # Errors
+///
+/// Propagates [`EigError`] from the eigendecompositions.
+pub fn fidelity(rho: &CMat, sigma: &CMat) -> Result<f64, EigError> {
+    let sr = herm_sqrt(&rho.hermitize())?;
+    let inner = sr.mul_mat(sigma).mul_mat(&sr).hermitize();
+    let s = herm_sqrt(&inner)?;
+    Ok(s.trace().re)
+}
+
+/// Purity `tr(ρ²)` of a density matrix.
+pub fn purity(rho: &CMat) -> f64 {
+    rho.trace_mul(rho).re
+}
+
+/// Checks that `rho` is a density matrix: Hermitian, unit trace, and PSD up
+/// to tolerance `tol`.
+pub fn is_density_matrix(rho: &CMat, tol: f64) -> bool {
+    if !rho.is_square() || !rho.is_hermitian(tol) {
+        return false;
+    }
+    if (rho.trace().re - 1.0).abs() > tol {
+        return false;
+    }
+    match eigh_vals(&rho.hermitize()) {
+        Ok(vals) => vals.iter().all(|&l| l > -tol),
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{c64, C64};
+
+    fn bell_rho() -> CMat {
+        let mut rho = CMat::zeros(4, 4);
+        for (i, j) in [(0, 0), (0, 3), (3, 0), (3, 3)] {
+            rho.set(i, j, c64(0.5, 0.0));
+        }
+        rho
+    }
+
+    fn ket_rho(n: usize, k: usize) -> CMat {
+        let mut rho = CMat::zeros(1 << n, 1 << n);
+        rho.set(k, k, C64::ONE);
+        rho
+    }
+
+    #[test]
+    fn ptrace_of_product_state() {
+        // |01⟩⟨01| → keep qubit 0 gives |0⟩⟨0|, keep qubit 1 gives |1⟩⟨1|.
+        let rho = ket_rho(2, 0b01);
+        let r0 = ptrace_keep(&rho, 2, &[0]);
+        assert!((r0.at(0, 0).re - 1.0).abs() < 1e-14);
+        let r1 = ptrace_keep(&rho, 2, &[1]);
+        assert!((r1.at(1, 1).re - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn ptrace_bell_is_maximally_mixed() {
+        let rho = bell_rho();
+        for q in 0..2 {
+            let r = ptrace_keep(&rho, 2, &[q]);
+            assert!((r.at(0, 0).re - 0.5).abs() < 1e-14);
+            assert!((r.at(1, 1).re - 0.5).abs() < 1e-14);
+            assert!(r.at(0, 1).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn ptrace_keep_all_is_identity_map() {
+        let rho = bell_rho();
+        let r = ptrace_keep(&rho, 2, &[0, 1]);
+        assert!(r.approx_eq(&rho, 1e-14));
+    }
+
+    #[test]
+    fn ptrace_keep_none_is_trace() {
+        let rho = bell_rho();
+        let r = ptrace_keep(&rho, 2, &[]);
+        assert_eq!(r.rows(), 1);
+        assert!((r.at(0, 0).re - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn ptrace_preserves_trace() {
+        let rho = bell_rho();
+        let r = ptrace_keep(&rho, 2, &[1]);
+        assert!((r.trace().re - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn trace_distance_of_orthogonal_states_is_one() {
+        let a = ket_rho(1, 0);
+        let b = ket_rho(1, 1);
+        assert!((trace_distance(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_distance_of_identical_states_is_zero() {
+        let a = bell_rho();
+        assert!(trace_distance(&a, &a).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn trace_distance_pure_states_formula() {
+        // For pure states: T = √(1 − |⟨ψ|φ⟩|²).
+        // |ψ⟩ = |0⟩, |φ⟩ = (|0⟩+|1⟩)/√2 → |⟨ψ|φ⟩|² = 1/2 → T = √(1/2).
+        let psi = ket_rho(1, 0);
+        let mut phi = CMat::zeros(2, 2);
+        for i in 0..2 {
+            for j in 0..2 {
+                phi.set(i, j, c64(0.5, 0.0));
+            }
+        }
+        let t = trace_distance(&psi, &phi).unwrap();
+        assert!((t - 0.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_extremes() {
+        let a = ket_rho(1, 0);
+        let b = ket_rho(1, 1);
+        assert!((fidelity(&a, &a).unwrap() - 1.0).abs() < 1e-9);
+        assert!(fidelity(&a, &b).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn purity_bounds() {
+        assert!((purity(&bell_rho()) - 1.0).abs() < 1e-12); // pure
+        let mixed = CMat::identity(2).scaled(c64(0.5, 0.0));
+        assert!((purity(&mixed) - 0.5).abs() < 1e-12); // maximally mixed
+    }
+
+    #[test]
+    fn density_matrix_validation() {
+        assert!(is_density_matrix(&bell_rho(), 1e-10));
+        let not_unit_trace = CMat::identity(2);
+        assert!(!is_density_matrix(&not_unit_trace, 1e-10));
+        let mut not_psd = CMat::zeros(2, 2);
+        not_psd.set(0, 0, c64(1.5, 0.0));
+        not_psd.set(1, 1, c64(-0.5, 0.0));
+        assert!(!is_density_matrix(&not_psd, 1e-10));
+    }
+}

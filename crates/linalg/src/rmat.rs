@@ -1,0 +1,541 @@
+//! Dense real matrices (row-major), used primarily by the SDP solver.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense real matrix in row-major order.
+///
+/// The semidefinite-programming solver works over real symmetric blocks
+/// (complex Hermitian data is embedded via
+/// [`crate::embed::herm_to_real_sym`]), so this type carries the real-only
+/// factorizations: Cholesky, triangular solves, and symmetric
+/// eigendecomposition (see [`crate::eigh::sym_eig`]).
+///
+/// # Examples
+///
+/// ```
+/// use gleipnir_linalg::RMat;
+///
+/// let a = RMat::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+/// let l = a.cholesky().expect("SPD");
+/// assert!(l.mul_transpose_self().approx_eq(&a, 1e-12));
+/// ```
+#[derive(Clone, PartialEq, Default)]
+pub struct RMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl RMat {
+    /// A `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        RMat { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a slice of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows in RMat::from_rows");
+            data.extend_from_slice(row);
+        }
+        RMat { rows: r, cols: c, data }
+    }
+
+    /// Builds a matrix whose entries come from `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        RMat { rows, cols, data }
+    }
+
+    /// Builds a diagonal matrix.
+    pub fn diag(d: &[f64]) -> Self {
+        let n = d.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &v) in d.iter().enumerate() {
+            m.data[i * n + i] = v;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Immutable view of the row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the row-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Immutable view of row `i`.
+    #[inline(always)]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    #[inline(always)]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Element accessor for hot loops.
+    #[inline(always)]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets element `(i, j)`.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn mul_mat(&self, rhs: &RMat) -> RMat {
+        assert_eq!(self.cols, rhs.rows, "matmul inner dimension mismatch");
+        let mut out = RMat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &aik) in arow.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = rhs.row(k);
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += aik * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// `self · selfᵀ`.
+    pub fn mul_transpose_self(&self) -> RMat {
+        let mut out = RMat::zeros(self.rows, self.rows);
+        for i in 0..self.rows {
+            for j in i..self.rows {
+                let s: f64 = self.row(i).iter().zip(self.row(j)).map(|(a, b)| a * b).sum();
+                out.set(i, j, s);
+                out.set(j, i, s);
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> RMat {
+        RMat::from_fn(self.cols, self.rows, |i, j| self.at(j, i))
+    }
+
+    /// Trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> f64 {
+        assert!(self.is_square(), "trace of non-square matrix");
+        (0..self.rows).map(|i| self.at(i, i)).sum()
+    }
+
+    /// `tr(self · rhs)` without forming the product.
+    pub fn trace_mul(&self, rhs: &RMat) -> f64 {
+        assert_eq!(self.cols, rhs.rows, "trace_mul dimension mismatch");
+        assert_eq!(self.rows, rhs.cols, "trace_mul dimension mismatch");
+        let mut acc = 0.0;
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                acc += self.at(i, k) * rhs.at(k, i);
+            }
+        }
+        acc
+    }
+
+    /// Scales every entry, returning a new matrix.
+    pub fn scaled(&self, s: f64) -> RMat {
+        RMat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x * s).collect(),
+        }
+    }
+
+    /// In-place `self += s·other`.
+    pub fn axpy(&mut self, s: f64, other: &RMat) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "axpy shape mismatch"
+        );
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += s * b;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Largest entry magnitude.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|x| x.abs()).fold(0.0, f64::max)
+    }
+
+    /// Symmetrization `(self + selfᵀ)/2`.
+    pub fn symmetrize(&self) -> RMat {
+        assert!(self.is_square(), "symmetrize of non-square matrix");
+        RMat::from_fn(self.rows, self.cols, |i, j| 0.5 * (self.at(i, j) + self.at(j, i)))
+    }
+
+    /// Whether all entries match `other` within `tol`.
+    pub fn approx_eq(&self, other: &RMat, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Cholesky factorization of a symmetric positive-definite matrix.
+    ///
+    /// Returns the lower-triangular `L` with `L·Lᵀ = self`, or `None` when a
+    /// non-positive pivot is encountered (the matrix is not numerically
+    /// positive definite).
+    pub fn cholesky(&self) -> Option<RMat> {
+        assert!(self.is_square(), "cholesky of non-square matrix");
+        let n = self.rows;
+        let mut l = RMat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = self.at(i, j);
+                for k in 0..j {
+                    s -= l.at(i, k) * l.at(j, k);
+                }
+                if i == j {
+                    if s <= 0.0 || !s.is_finite() {
+                        return None;
+                    }
+                    l.set(i, i, s.sqrt());
+                } else {
+                    l.set(i, j, s / l.at(j, j));
+                }
+            }
+        }
+        Some(l)
+    }
+
+    /// Solves `L·x = b` for lower-triangular `self` (forward substitution).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or a zero diagonal.
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        assert!(self.is_square() && self.rows == b.len());
+        let n = self.rows;
+        let mut x = b.to_vec();
+        for i in 0..n {
+            let mut s = x[i];
+            for k in 0..i {
+                s -= self.at(i, k) * x[k];
+            }
+            x[i] = s / self.at(i, i);
+        }
+        x
+    }
+
+    /// Solves `Lᵀ·x = b` for lower-triangular `self` (back substitution).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or a zero diagonal.
+    pub fn solve_lower_transpose(&self, b: &[f64]) -> Vec<f64> {
+        assert!(self.is_square() && self.rows == b.len());
+        let n = self.rows;
+        let mut x = b.to_vec();
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for k in i + 1..n {
+                s -= self.at(k, i) * x[k];
+            }
+            x[i] = s / self.at(i, i);
+        }
+        x
+    }
+
+    /// Solves `self·x = b` given that `self` is SPD, via Cholesky.
+    ///
+    /// Returns `None` when the Cholesky factorization fails.
+    pub fn solve_spd(&self, b: &[f64]) -> Option<Vec<f64>> {
+        let l = self.cholesky()?;
+        Some(l.solve_lower_transpose(&l.solve_lower(b)))
+    }
+
+    /// Solves `L·X = B` columnwise for lower-triangular `self`.
+    pub fn solve_lower_mat(&self, b: &RMat) -> RMat {
+        assert!(self.is_square() && self.rows == b.rows);
+        let n = self.rows;
+        let mut x = b.clone();
+        for i in 0..n {
+            for k in 0..i {
+                let lik = self.at(i, k);
+                if lik == 0.0 {
+                    continue;
+                }
+                // x.row(i) -= lik * x.row(k), done via split borrow
+                let (head, tail) = x.data.split_at_mut(i * x.cols);
+                let xi = &mut tail[..x.cols];
+                let xk = &head[k * x.cols..(k + 1) * x.cols];
+                for (a, b) in xi.iter_mut().zip(xk) {
+                    *a -= lik * b;
+                }
+            }
+            let d = self.at(i, i);
+            for v in x.row_mut(i) {
+                *v /= d;
+            }
+        }
+        x
+    }
+
+    /// Solves `Lᵀ·X = B` columnwise for lower-triangular `self`.
+    pub fn solve_lower_transpose_mat(&self, b: &RMat) -> RMat {
+        assert!(self.is_square() && self.rows == b.rows);
+        let n = self.rows;
+        let mut x = b.clone();
+        for i in (0..n).rev() {
+            for k in i + 1..n {
+                let lki = self.at(k, i);
+                if lki == 0.0 {
+                    continue;
+                }
+                let (head, tail) = x.data.split_at_mut(k * x.cols);
+                let xi = &mut head[i * x.cols..(i + 1) * x.cols];
+                let xk = &tail[..x.cols];
+                for (a, b) in xi.iter_mut().zip(xk) {
+                    *a -= lki * b;
+                }
+            }
+            let d = self.at(i, i);
+            for v in x.row_mut(i) {
+                *v /= d;
+            }
+        }
+        x
+    }
+
+    /// Inverse of a lower-triangular matrix.
+    pub fn invert_lower(&self) -> RMat {
+        self.solve_lower_mat(&RMat::identity(self.rows))
+    }
+}
+
+impl fmt::Debug for RMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "RMat {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(10) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(10) {
+                write!(f, "{:>12.5}", self.at(i, j))?;
+            }
+            if self.cols > 10 {
+                write!(f, " …")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > 10 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Index<(usize, usize)> for RMat {
+    type Output = f64;
+    #[inline(always)]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for RMat {
+    #[inline(always)]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &RMat {
+    type Output = RMat;
+    fn add(self, rhs: &RMat) -> RMat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add shape mismatch");
+        RMat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+        }
+    }
+}
+
+impl Sub for &RMat {
+    type Output = RMat;
+    fn sub(self, rhs: &RMat) -> RMat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub shape mismatch");
+        RMat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+        }
+    }
+}
+
+impl Neg for &RMat {
+    type Output = RMat;
+    fn neg(self) -> RMat {
+        RMat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| -x).collect(),
+        }
+    }
+}
+
+impl Mul for &RMat {
+    type Output = RMat;
+    fn mul(self, rhs: &RMat) -> RMat {
+        self.mul_mat(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_example() -> RMat {
+        // A = Bᵀ·B + I is SPD for any B.
+        let b = RMat::from_rows(&[
+            vec![1.0, 2.0, 0.5],
+            vec![-1.0, 0.0, 3.0],
+            vec![0.25, -2.0, 1.0],
+        ]);
+        let mut a = b.transpose().mul_mat(&b);
+        for i in 0..3 {
+            a[(i, i)] += 1.0;
+        }
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd_example();
+        let l = a.cholesky().expect("SPD");
+        assert!(l.mul_transpose_self().approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = RMat::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(a.cholesky().is_none());
+    }
+
+    #[test]
+    fn solve_spd_residual() {
+        let a = spd_example();
+        let b = vec![1.0, -2.0, 0.5];
+        let x = a.solve_spd(&b).expect("solvable");
+        let r = a.mul_vec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn triangular_matrix_solves() {
+        let a = spd_example();
+        let l = a.cholesky().unwrap();
+        let eye = RMat::identity(3);
+        let linv = l.solve_lower_mat(&eye);
+        assert!(l.mul_mat(&linv).approx_eq(&eye, 1e-12));
+        let ltinv = l.solve_lower_transpose_mat(&eye);
+        assert!(l.transpose().mul_mat(&ltinv).approx_eq(&eye, 1e-12));
+        assert!(l.invert_lower().approx_eq(&linv, 1e-15));
+    }
+
+    #[test]
+    fn trace_mul_matches() {
+        let a = RMat::from_fn(3, 3, |i, j| (i + 2 * j) as f64);
+        let b = RMat::from_fn(3, 3, |i, j| (2 * i) as f64 - j as f64);
+        assert!((a.trace_mul(&b) - a.mul_mat(&b).trace()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mul_transpose_self_is_gram() {
+        let a = RMat::from_fn(2, 4, |i, j| (i * 4 + j) as f64);
+        let g = a.mul_transpose_self();
+        assert!(g.approx_eq(&a.mul_mat(&a.transpose()), 1e-12));
+    }
+
+    #[test]
+    fn symmetrize_produces_symmetric() {
+        let a = RMat::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        let s = a.symmetrize();
+        assert!(s.approx_eq(&s.transpose(), 0.0));
+    }
+}

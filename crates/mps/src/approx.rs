@@ -1,0 +1,235 @@
+//! The tensor-network approximator `TN(ρ₀, P) = (ρ̂, δ)` (paper §5.2,
+//! Theorem 5.1) lifted to whole programs, including measurement branches.
+//!
+//! Straight-line programs produce a single branch; each `if` statement
+//! forks the MPS into both collapsed branches (§5.2 "Supporting branches"),
+//! whose count may grow exponentially with the number of measurements —
+//! exactly the cost model the paper describes.
+
+use crate::{Mps, MpsConfig, MpsError};
+use gleipnir_circuit::{Program, Stmt};
+
+/// One branch of an approximated program execution.
+#[derive(Clone, Debug)]
+pub struct TnBranch {
+    /// The approximate state ρ̂ (as a normalized MPS).
+    pub mps: Mps,
+    /// Probability of this branch (product of measured-outcome
+    /// probabilities along the path; 1 for straight-line programs).
+    pub probability: f64,
+    /// Measurement outcomes taken along this branch, in program order.
+    pub outcomes: Vec<(usize, bool)>,
+}
+
+/// The result of approximating a program: all reachable branches and the
+/// total approximation error.
+#[derive(Clone, Debug)]
+pub struct TnResult {
+    /// All reachable branches (unreachable zero-probability branches are
+    /// pruned).
+    pub branches: Vec<TnBranch>,
+    /// The total truncation error δ — the sum over all branches, matching
+    /// §5.2 ("the overall approximation error is taken to be the sum of
+    /// approximation errors incurred on all branches").
+    pub delta: f64,
+}
+
+impl TnResult {
+    /// The single branch of a straight-line program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program branched.
+    pub fn into_single(mut self) -> (Mps, f64) {
+        assert_eq!(self.branches.len(), 1, "program branched");
+        let b = self.branches.pop().expect("one branch");
+        (b.mps, self.delta)
+    }
+}
+
+/// Runs the approximator over a program from a basis input state.
+///
+/// Returns every reachable execution branch with its approximate output
+/// state, plus the accumulated truncation error δ such that the represented
+/// (mixture of) states is within full trace-norm distance δ of the ideal
+/// program output (Theorem 5.1).
+///
+/// # Examples
+///
+/// ```
+/// use gleipnir_circuit::ProgramBuilder;
+/// use gleipnir_mps::{tn_approximate, MpsConfig};
+///
+/// let mut b = ProgramBuilder::new(2);
+/// b.h(0).cnot(0, 1);
+/// let result = tn_approximate(&b.build(), &[false, false], MpsConfig::with_width(4));
+/// assert_eq!(result.branches.len(), 1);
+/// assert!(result.delta < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `input_bits.len()` differs from the program register width.
+pub fn tn_approximate(program: &Program, input_bits: &[bool], config: MpsConfig) -> TnResult {
+    assert_eq!(
+        input_bits.len(),
+        program.n_qubits(),
+        "input width mismatch"
+    );
+    let root = TnBranch {
+        mps: Mps::basis_state(input_bits, config),
+        probability: 1.0,
+        outcomes: Vec::new(),
+    };
+    let mut branches = vec![root];
+    run_stmt(program.body(), &mut branches);
+    let delta = branches.iter().map(|b| b.mps.delta()).sum();
+    TnResult { branches, delta }
+}
+
+fn run_stmt(s: &Stmt, branches: &mut Vec<TnBranch>) {
+    match s {
+        Stmt::Skip => {}
+        Stmt::Seq(ss) => {
+            for s in ss {
+                run_stmt(s, branches);
+            }
+        }
+        Stmt::Gate(g) => {
+            let qubits: Vec<usize> = g.qubits.iter().map(|q| q.0).collect();
+            for b in branches.iter_mut() {
+                b.mps.apply_gate(&g.gate, &qubits);
+            }
+        }
+        Stmt::IfMeasure { qubit, zero, one } => {
+            let mut next = Vec::with_capacity(branches.len() * 2);
+            for b in branches.drain(..) {
+                for outcome in [false, true] {
+                    let mut fork = b.clone();
+                    match fork.mps.collapse(qubit.0, outcome) {
+                        Ok(p) => {
+                            fork.probability *= p;
+                            fork.outcomes.push((qubit.0, outcome));
+                            let mut sub = vec![fork];
+                            run_stmt(if outcome { one } else { zero }, &mut sub);
+                            next.extend(sub);
+                        }
+                        Err(MpsError::ZeroProbabilityOutcome { .. }) => {
+                            // Unreachable branch: prune.
+                        }
+                    }
+                }
+            }
+            *branches = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gleipnir_circuit::ProgramBuilder;
+
+    #[test]
+    fn straight_line_single_branch() {
+        let mut b = ProgramBuilder::new(3);
+        b.h(0).cnot(0, 1).cnot(1, 2);
+        let r = tn_approximate(&b.build(), &[false; 3], MpsConfig::with_width(8));
+        assert_eq!(r.branches.len(), 1);
+        let (mps, delta) = r.into_single();
+        assert!(delta < 1e-12);
+        let v = mps.to_statevector();
+        assert!((v[0].abs() - 1.0 / 2f64.sqrt()).abs() < 1e-10);
+        assert!((v[7].abs() - 1.0 / 2f64.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn measurement_forks_branches() {
+        let mut b = ProgramBuilder::new(2);
+        b.h(0).if_measure(0, |z| {
+            z.x(1);
+        }, |o| {
+            o.z(1);
+        });
+        let r = tn_approximate(&b.build(), &[false; 2], MpsConfig::with_width(4));
+        assert_eq!(r.branches.len(), 2);
+        for br in &r.branches {
+            assert!((br.probability - 0.5).abs() < 1e-10);
+            assert_eq!(br.outcomes.len(), 1);
+        }
+    }
+
+    #[test]
+    fn unreachable_branch_is_pruned() {
+        // Qubit 0 is deterministically |1⟩, so the zero branch never runs.
+        let mut b = ProgramBuilder::new(2);
+        b.x(0).if_measure(0, |z| {
+            z.x(1);
+        }, |o| {
+            o.skip();
+        });
+        let r = tn_approximate(&b.build(), &[false; 2], MpsConfig::with_width(4));
+        assert_eq!(r.branches.len(), 1);
+        assert_eq!(r.branches[0].outcomes, vec![(0, true)]);
+        assert!((r.branches[0].probability - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn nested_measurements_multiply_branches() {
+        let mut b = ProgramBuilder::new(3);
+        b.h(0).h(1);
+        b.if_measure(0, |z| {
+            z.skip();
+        }, |o| {
+            o.skip();
+        });
+        b.if_measure(1, |z| {
+            z.skip();
+        }, |o| {
+            o.skip();
+        });
+        let r = tn_approximate(&b.build(), &[false; 3], MpsConfig::with_width(4));
+        assert_eq!(r.branches.len(), 4);
+        let total: f64 = r.branches.iter().map(|b| b.probability).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn branch_probabilities_match_born_rule() {
+        // Rx(θ) on |0⟩: p(1) = sin²(θ/2).
+        let theta = 1.1f64;
+        let mut b = ProgramBuilder::new(1);
+        b.rx(0, theta);
+        b.if_measure(0, |z| {
+            z.skip();
+        }, |o| {
+            o.skip();
+        });
+        let r = tn_approximate(&b.build(), &[false], MpsConfig::with_width(2));
+        let p1 = r
+            .branches
+            .iter()
+            .find(|b| b.outcomes[0].1)
+            .map(|b| b.probability)
+            .unwrap();
+        assert!((p1 - (theta / 2.0).sin().powi(2)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn delta_sums_over_branches() {
+        // Entangle deeply at w = 1 inside both branches; δ must accumulate
+        // from both.
+        let mut b = ProgramBuilder::new(3);
+        b.h(0).h(1).h(2);
+        b.rzz(0, 1, 1.0).rzz(1, 2, 1.0);
+        b.if_measure(0, |z| {
+            z.rzz(1, 2, 0.5).rx(1, 0.3).rzz(1, 2, 0.9);
+        }, |o| {
+            o.rzz(1, 2, 0.7).rx(2, 0.4).rzz(1, 2, 1.1);
+        });
+        let r = tn_approximate(&b.build(), &[false; 3], MpsConfig::with_width(1));
+        assert!(r.delta > 0.0);
+        let sum: f64 = r.branches.iter().map(|b| b.mps.delta()).sum();
+        assert!((r.delta - sum).abs() < 1e-12);
+    }
+}

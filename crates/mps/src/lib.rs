@@ -1,0 +1,42 @@
+//! # gleipnir-mps
+//!
+//! Gleipnir's Matrix Product State tensor-network engine (paper §5).
+//!
+//! The MPS approximator is what makes Gleipnir *adaptive*: with bond
+//! dimension `w` it represents an `n`-qubit state in `O(n·w²)` memory,
+//! applies gates in polynomial time, and — crucially — reports a **sound
+//! over-approximation δ of the truncation error** it incurs, which the
+//! error logic feeds into the `(ρ̂, δ)`-diamond norm.
+//!
+//! * [`Mps`] — the state: gate application with SVD truncation, exact
+//!   Schmidt-coefficient error accounting in mixed-canonical form, internal
+//!   swap routing for non-adjacent gates, reduced density matrices,
+//!   measurement collapse;
+//! * [`tn_approximate`] — `TN(ρ₀, P) = (ρ̂, δ)` over whole programs with
+//!   branch forking (Theorem 5.1);
+//! * [`MpsConfig`] — the width knob `w` (precision ↔ cost trade-off of
+//!   Fig. 14).
+//!
+//! ## Example
+//!
+//! ```
+//! use gleipnir_circuit::ProgramBuilder;
+//! use gleipnir_mps::{tn_approximate, MpsConfig};
+//!
+//! let mut b = ProgramBuilder::new(3);
+//! b.h(0).cnot(0, 1).cnot(1, 2);
+//! let (mps, delta) = tn_approximate(&b.build(), &[false; 3], MpsConfig::with_width(8))
+//!     .into_single();
+//! assert!(delta < 1e-12); // w = 8 is exact for 3 qubits
+//! assert_eq!(mps.n_qubits(), 3);
+//! ```
+
+#![warn(missing_docs)]
+
+mod approx;
+mod mps;
+mod tensor;
+
+pub use approx::{tn_approximate, TnBranch, TnResult};
+pub use mps::{Mps, MpsConfig, MpsError};
+pub use tensor::Tensor3;

@@ -1,0 +1,234 @@
+//! Rank-3 MPS site tensors.
+
+use gleipnir_linalg::{CMat, C64};
+
+/// A rank-3 MPS site tensor `A[l, s, r]` with physical dimension 2.
+///
+/// Storage is row-major over the fused index `(l·2 + s)·right + r`, i.e. a
+/// matrix whose rows enumerate `(left, spin)` pairs — the "left-fused" view
+/// used for QR canonicalization — so reshapes are free.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor3 {
+    left: usize,
+    right: usize,
+    data: Vec<C64>,
+}
+
+impl Tensor3 {
+    /// A zero tensor of the given bond dimensions.
+    pub fn zeros(left: usize, right: usize) -> Self {
+        Tensor3 { left, right, data: vec![C64::ZERO; left * 2 * right] }
+    }
+
+    /// The product-state tensor for a definite bit value (bond dims 1).
+    pub fn basis(bit: bool) -> Self {
+        let mut t = Self::zeros(1, 1);
+        t.set(0, usize::from(bit), 0, C64::ONE);
+        t
+    }
+
+    /// Left bond dimension.
+    #[inline(always)]
+    pub fn left(&self) -> usize {
+        self.left
+    }
+
+    /// Right bond dimension.
+    #[inline(always)]
+    pub fn right(&self) -> usize {
+        self.right
+    }
+
+    /// Element `A[l, s, r]`.
+    #[inline(always)]
+    pub fn at(&self, l: usize, s: usize, r: usize) -> C64 {
+        self.data[(l * 2 + s) * self.right + r]
+    }
+
+    /// Sets element `A[l, s, r]`.
+    #[inline(always)]
+    pub fn set(&mut self, l: usize, s: usize, r: usize, v: C64) {
+        self.data[(l * 2 + s) * self.right + r] = v;
+    }
+
+    /// The left-fused matrix view `(l·2 + s) × r` (zero-copy clone of the
+    /// buffer).
+    pub fn left_fused(&self) -> CMat {
+        CMat::from_flat(self.left * 2, self.right, self.data.clone())
+    }
+
+    /// The right-fused matrix view `l × (s·right + r)`.
+    ///
+    /// Note the physical index sits **major** within the column index, so
+    /// this is a genuine reshape of `A[l, s, r]` to `l × (2·right)`.
+    pub fn right_fused(&self) -> CMat {
+        // Data layout (l·2+s)·right + r ≠ l·(2·right) + s·right + r… they
+        // are actually identical: (l·2+s)·right + r = l·2·right + s·right + r. ✓
+        CMat::from_flat(self.left, 2 * self.right, self.data.clone())
+    }
+
+    /// Rebuilds a tensor from a left-fused matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row count is odd.
+    pub fn from_left_fused(m: &CMat) -> Self {
+        assert!(m.rows() % 2 == 0, "left-fused row count must be even");
+        Tensor3 {
+            left: m.rows() / 2,
+            right: m.cols(),
+            data: m.as_slice().to_vec(),
+        }
+    }
+
+    /// Rebuilds a tensor from a right-fused matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count is odd.
+    pub fn from_right_fused(m: &CMat) -> Self {
+        assert!(m.cols() % 2 == 0, "right-fused column count must be even");
+        Tensor3 {
+            left: m.rows(),
+            right: m.cols() / 2,
+            data: m.as_slice().to_vec(),
+        }
+    }
+
+    /// Applies a 1-qubit gate to the physical index:
+    /// `A'[l, s, r] = Σ_{s'} G[s][s'] A[l, s', r]`.
+    pub fn apply_1q(&mut self, g: &CMat) {
+        debug_assert_eq!(g.rows(), 2);
+        let r = self.right;
+        for l in 0..self.left {
+            for rr in 0..r {
+                let a0 = self.at(l, 0, rr);
+                let a1 = self.at(l, 1, rr);
+                self.set(l, 0, rr, g.at(0, 0) * a0 + g.at(0, 1) * a1);
+                self.set(l, 1, rr, g.at(1, 0) * a0 + g.at(1, 1) * a1);
+            }
+        }
+    }
+
+    /// Contracts a matrix into the left bond: `A'[l', s, r] = Σ_l M[l', l]·A[l, s, r]`.
+    pub fn absorb_left(&self, m: &CMat) -> Tensor3 {
+        debug_assert_eq!(m.cols(), self.left);
+        let mut out = Tensor3::zeros(m.rows(), self.right);
+        for lp in 0..m.rows() {
+            for l in 0..self.left {
+                let coeff = m.at(lp, l);
+                if coeff.re == 0.0 && coeff.im == 0.0 {
+                    continue;
+                }
+                for s in 0..2 {
+                    for r in 0..self.right {
+                        let v = out.at(lp, s, r).add_prod(coeff, self.at(l, s, r));
+                        out.set(lp, s, r, v);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Contracts a matrix into the right bond: `A'[l, s, r'] = Σ_r A[l, s, r]·M[r, r']`.
+    pub fn absorb_right(&self, m: &CMat) -> Tensor3 {
+        debug_assert_eq!(m.rows(), self.right);
+        let mut out = Tensor3::zeros(self.left, m.cols());
+        for l in 0..self.left {
+            for s in 0..2 {
+                for r in 0..self.right {
+                    let a = self.at(l, s, r);
+                    if a.re == 0.0 && a.im == 0.0 {
+                        continue;
+                    }
+                    for rp in 0..m.cols() {
+                        let v = out.at(l, s, rp).add_prod(a, m.at(r, rp));
+                        out.set(l, s, rp, v);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Squared Frobenius norm of the tensor.
+    pub fn norm_sqr(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum()
+    }
+
+    /// Scales every entry by a real factor.
+    pub fn scale(&mut self, s: f64) {
+        for z in &mut self.data {
+            *z = z.scale(s);
+        }
+    }
+
+    /// Zeroes the physical slice `s = bit`, projecting onto the complement.
+    pub fn project_out(&mut self, bit: usize) {
+        for l in 0..self.left {
+            for r in 0..self.right {
+                self.set(l, bit, r, C64::ZERO);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gleipnir_circuit::Gate;
+    use gleipnir_linalg::c64;
+
+    #[test]
+    fn basis_tensor_shape() {
+        let t = Tensor3::basis(true);
+        assert_eq!((t.left(), t.right()), (1, 1));
+        assert!(t.at(0, 1, 0).approx_eq(C64::ONE, 0.0));
+        assert!(t.at(0, 0, 0).approx_eq(C64::ZERO, 0.0));
+    }
+
+    #[test]
+    fn fused_views_round_trip() {
+        let mut t = Tensor3::zeros(2, 3);
+        let mut v = 0.0;
+        for l in 0..2 {
+            for s in 0..2 {
+                for r in 0..3 {
+                    v += 1.0;
+                    t.set(l, s, r, c64(v, -v));
+                }
+            }
+        }
+        assert_eq!(Tensor3::from_left_fused(&t.left_fused()), t);
+        assert_eq!(Tensor3::from_right_fused(&t.right_fused()), t);
+    }
+
+    #[test]
+    fn apply_1q_hadamard() {
+        let mut t = Tensor3::basis(false);
+        t.apply_1q(&Gate::H.matrix());
+        let s = 1.0 / 2f64.sqrt();
+        assert!(t.at(0, 0, 0).approx_eq(c64(s, 0.0), 1e-12));
+        assert!(t.at(0, 1, 0).approx_eq(c64(s, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn absorb_left_right_identity() {
+        let mut t = Tensor3::zeros(2, 2);
+        t.set(0, 1, 1, c64(0.5, 0.25));
+        t.set(1, 0, 0, c64(-1.0, 2.0));
+        let id2 = CMat::identity(2);
+        assert_eq!(t.absorb_left(&id2), t);
+        assert_eq!(t.absorb_right(&id2), t);
+    }
+
+    #[test]
+    fn project_out_zeroes_slice() {
+        let mut t = Tensor3::basis(false);
+        t.apply_1q(&Gate::H.matrix());
+        t.project_out(1);
+        assert!(t.at(0, 1, 0).approx_eq(C64::ZERO, 0.0));
+        assert!((t.norm_sqr() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,503 @@
+//! Quantum noise channels as Kraus-operator sets.
+//!
+//! All quantum noise effects are completely-positive trace-preserving (CPTP)
+//! superoperators (§2.3); this module represents them by their Kraus
+//! operators `{Kᵢ}` with `Φ(ρ) = Σᵢ KᵢρKᵢ†` and `Σᵢ Kᵢ†Kᵢ = I`, and
+//! provides the conversions (superoperator matrix, Choi matrix) the
+//! diamond-norm SDPs consume.
+
+use gleipnir_circuit::Gate;
+use gleipnir_linalg::{c64, CMat, C64};
+use std::fmt;
+
+/// A CPTP map on `k ∈ {1, 2}` qubits, represented by Kraus operators.
+///
+/// # Examples
+///
+/// ```
+/// use gleipnir_noise::Channel;
+/// use gleipnir_linalg::CMat;
+///
+/// let flip = Channel::bit_flip(0.25);
+/// let rho0 = {
+///     let mut m = CMat::zeros(2, 2);
+///     m.set(0, 0, gleipnir_linalg::C64::ONE);
+///     m
+/// };
+/// let out = flip.apply(&rho0);
+/// assert!((out.at(0, 0).re - 0.75).abs() < 1e-12);
+/// assert!((out.at(1, 1).re - 0.25).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Channel {
+    name: String,
+    kraus: Vec<CMat>,
+    dim: usize,
+}
+
+impl Channel {
+    /// Builds a channel from Kraus operators, checking trace preservation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is empty, dimensions are inconsistent or not
+    /// `2^k × 2^k` for `k ∈ {1, 2}`, or `Σ K†K ≠ I` to 1e-9.
+    pub fn from_kraus(name: impl Into<String>, kraus: Vec<CMat>) -> Self {
+        assert!(!kraus.is_empty(), "channel needs at least one Kraus operator");
+        let dim = kraus[0].rows();
+        assert!(dim == 2 || dim == 4, "channels act on 1 or 2 qubits");
+        let mut sum = CMat::zeros(dim, dim);
+        for k in &kraus {
+            assert_eq!((k.rows(), k.cols()), (dim, dim), "inconsistent Kraus shapes");
+            sum = &sum + &k.adjoint_mul(k);
+        }
+        assert!(
+            sum.approx_eq(&CMat::identity(dim), 1e-9),
+            "Kraus operators do not satisfy Σ K†K = I"
+        );
+        Channel { name: name.into(), kraus, dim }
+    }
+
+    /// The identity channel on `k` qubits.
+    pub fn identity(k: usize) -> Self {
+        Channel {
+            name: "identity".into(),
+            kraus: vec![CMat::identity(1 << k)],
+            dim: 1 << k,
+        }
+    }
+
+    /// Bit-flip channel `Φ(ρ) = (1−p)ρ + p·XρX` (the paper's §7.1 noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1]`.
+    pub fn bit_flip(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        Channel {
+            name: format!("bit_flip({p})"),
+            kraus: vec![
+                CMat::identity(2).scaled(c64((1.0 - p).sqrt(), 0.0)),
+                Gate::X.matrix().scaled(c64(p.sqrt(), 0.0)),
+            ],
+            dim: 2,
+        }
+    }
+
+    /// Phase-flip channel `Φ(ρ) = (1−p)ρ + p·ZρZ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1]`.
+    pub fn phase_flip(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        Channel {
+            name: format!("phase_flip({p})"),
+            kraus: vec![
+                CMat::identity(2).scaled(c64((1.0 - p).sqrt(), 0.0)),
+                Gate::Z.matrix().scaled(c64(p.sqrt(), 0.0)),
+            ],
+            dim: 2,
+        }
+    }
+
+    /// Single-qubit depolarizing channel
+    /// `Φ(ρ) = (1−p)ρ + (p/3)(XρX + YρY + ZρZ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1]`.
+    pub fn depolarizing(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        let s = (p / 3.0).sqrt();
+        Channel {
+            name: format!("depolarizing({p})"),
+            kraus: vec![
+                CMat::identity(2).scaled(c64((1.0 - p).sqrt(), 0.0)),
+                Gate::X.matrix().scaled(c64(s, 0.0)),
+                Gate::Y.matrix().scaled(c64(s, 0.0)),
+                Gate::Z.matrix().scaled(c64(s, 0.0)),
+            ],
+            dim: 2,
+        }
+    }
+
+    /// Two-qubit depolarizing channel over the 15 non-identity Paulis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1]`.
+    pub fn depolarizing2(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        let paulis = [
+            CMat::identity(2),
+            Gate::X.matrix(),
+            Gate::Y.matrix(),
+            Gate::Z.matrix(),
+        ];
+        let s = (p / 15.0).sqrt();
+        let mut kraus = Vec::with_capacity(16);
+        for (i, a) in paulis.iter().enumerate() {
+            for (j, b) in paulis.iter().enumerate() {
+                let k = a.kron(b);
+                if i == 0 && j == 0 {
+                    kraus.push(k.scaled(c64((1.0 - p).sqrt(), 0.0)));
+                } else {
+                    kraus.push(k.scaled(c64(s, 0.0)));
+                }
+            }
+        }
+        Channel { name: format!("depolarizing2({p})"), kraus, dim: 4 }
+    }
+
+    /// Amplitude damping with decay probability `γ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `γ ∉ [0, 1]`.
+    pub fn amplitude_damping(gamma: f64) -> Self {
+        assert!((0.0..=1.0).contains(&gamma), "gamma out of range");
+        let mut k0 = CMat::identity(2);
+        k0.set(1, 1, c64((1.0 - gamma).sqrt(), 0.0));
+        let mut k1 = CMat::zeros(2, 2);
+        k1.set(0, 1, c64(gamma.sqrt(), 0.0));
+        Channel {
+            name: format!("amplitude_damping({gamma})"),
+            kraus: vec![k0, k1],
+            dim: 2,
+        }
+    }
+
+    /// Phase damping with probability `γ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `γ ∉ [0, 1]`.
+    pub fn phase_damping(gamma: f64) -> Self {
+        assert!((0.0..=1.0).contains(&gamma), "gamma out of range");
+        let mut k0 = CMat::identity(2);
+        k0.set(1, 1, c64((1.0 - gamma).sqrt(), 0.0));
+        let mut k1 = CMat::zeros(2, 2);
+        k1.set(1, 1, c64(gamma.sqrt(), 0.0));
+        Channel {
+            name: format!("phase_damping({gamma})"),
+            kraus: vec![k0, k1],
+            dim: 2,
+        }
+    }
+
+    /// The paper's two-qubit gate noise: a bit flip on the **first** operand
+    /// qubit with probability `p` (`Φ(ρ) = (1−p)ρ + p(X⊗I)ρ(X⊗I)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1]`.
+    pub fn bit_flip_first_of_two(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        let xi = Gate::X.matrix().kron(&CMat::identity(2));
+        Channel {
+            name: format!("bit_flip_first({p})"),
+            kraus: vec![
+                CMat::identity(4).scaled(c64((1.0 - p).sqrt(), 0.0)),
+                xi.scaled(c64(p.sqrt(), 0.0)),
+            ],
+            dim: 4,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Hilbert-space dimension (`2` or `4`).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of qubits the channel acts on.
+    pub fn arity(&self) -> usize {
+        if self.dim == 2 {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// The Kraus operators.
+    pub fn kraus(&self) -> &[CMat] {
+        &self.kraus
+    }
+
+    /// Applies the channel to a density matrix of matching dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn apply(&self, rho: &CMat) -> CMat {
+        assert_eq!(rho.rows(), self.dim, "dimension mismatch");
+        let mut out = CMat::zeros(self.dim, self.dim);
+        for k in &self.kraus {
+            out = &out + &k.mul_mat(rho).mul_adjoint(k);
+        }
+        out
+    }
+
+    /// The channel after first applying a unitary: `ρ ↦ Σ Kᵢ U ρ U† Kᵢ†`.
+    ///
+    /// This is the paper's noisy gate `Ũ_ω = Φ ∘ U`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn after_unitary(&self, u: &CMat) -> Channel {
+        assert_eq!(u.rows(), self.dim, "dimension mismatch");
+        Channel {
+            name: format!("{}∘U", self.name),
+            kraus: self.kraus.iter().map(|k| k.mul_mat(u)).collect(),
+            dim: self.dim,
+        }
+    }
+
+    /// Sequential composition `other ∘ self` (apply `self` first).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn then(&self, other: &Channel) -> Channel {
+        assert_eq!(self.dim, other.dim, "dimension mismatch");
+        let mut kraus = Vec::with_capacity(self.kraus.len() * other.kraus.len());
+        for b in &other.kraus {
+            for a in &self.kraus {
+                kraus.push(b.mul_mat(a));
+            }
+        }
+        Channel {
+            name: format!("{}∘{}", other.name, self.name),
+            kraus,
+            dim: self.dim,
+        }
+    }
+
+    /// The Choi matrix `J(Φ) = Σᵢⱼ Φ(Eᵢⱼ) ⊗ Eᵢⱼ` (dimension `d² × d²`).
+    pub fn choi(&self) -> CMat {
+        choi_from_apply(|e| self.apply(e), self.dim)
+    }
+
+    /// The superoperator matrix `S = Σᵢ Kᵢ ⊗ conj(Kᵢ)` acting on row-major
+    /// vectorized density matrices.
+    pub fn superoperator(&self) -> CMat {
+        let d2 = self.dim * self.dim;
+        let mut s = CMat::zeros(d2, d2);
+        for k in &self.kraus {
+            s = &s + &k.kron(&k.conj());
+        }
+        s
+    }
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// The Choi matrix of an arbitrary linear map given by its action on matrix
+/// units: `J(Φ) = Σᵢⱼ Φ(Eᵢⱼ) ⊗ Eᵢⱼ`.
+pub fn choi_from_apply(apply: impl Fn(&CMat) -> CMat, dim: usize) -> CMat {
+    let d2 = dim * dim;
+    let mut j = CMat::zeros(d2, d2);
+    let mut e = CMat::zeros(dim, dim);
+    for r in 0..dim {
+        for c in 0..dim {
+            e.set(r, c, C64::ONE);
+            let phi = apply(&e);
+            e.set(r, c, C64::ZERO);
+            // Accumulate Φ(E_rc) ⊗ E_rc.
+            for pr in 0..dim {
+                for pc in 0..dim {
+                    let v = phi.at(pr, pc);
+                    if v.re != 0.0 || v.im != 0.0 {
+                        let row = pr * dim + r;
+                        let col = pc * dim + c;
+                        let old = j.at(row, col);
+                        j.set(row, col, old + v);
+                    }
+                }
+            }
+        }
+    }
+    j
+}
+
+/// The Choi matrix of the unitary conjugation map `ρ ↦ UρU†`.
+pub fn choi_of_unitary(u: &CMat) -> CMat {
+    choi_from_apply(|e| u.mul_mat(e).mul_adjoint(u), u.rows())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gleipnir_linalg::eigh_vals;
+
+    fn plus_rho() -> CMat {
+        CMat::from_fn(2, 2, |_, _| c64(0.5, 0.0))
+    }
+
+    #[test]
+    fn bit_flip_fixes_plus_state() {
+        // X|+⟩ = |+⟩, so the bit-flip channel leaves |+⟩⟨+| alone — the
+        // paper's §2.3 motivating example.
+        let flip = Channel::bit_flip(0.3);
+        let out = flip.apply(&plus_rho());
+        assert!(out.approx_eq(&plus_rho(), 1e-12));
+    }
+
+    #[test]
+    fn channels_are_trace_preserving() {
+        let rho = {
+            let m = CMat::from_fn(2, 2, |i, j| c64((i + j) as f64, i as f64 - j as f64));
+            let p = m.mul_adjoint(&m);
+            let t = p.trace().re;
+            p.scaled(c64(1.0 / t, 0.0))
+        };
+        for ch in [
+            Channel::bit_flip(0.1),
+            Channel::phase_flip(0.2),
+            Channel::depolarizing(0.15),
+            Channel::amplitude_damping(0.3),
+            Channel::phase_damping(0.25),
+        ] {
+            let out = ch.apply(&rho);
+            assert!((out.trace().re - 1.0).abs() < 1e-10, "{ch} not TP");
+        }
+    }
+
+    #[test]
+    fn two_qubit_channels_are_valid() {
+        for ch in [Channel::depolarizing2(0.1), Channel::bit_flip_first_of_two(0.2)] {
+            assert_eq!(ch.arity(), 2);
+            let mut sum = CMat::zeros(4, 4);
+            for k in ch.kraus() {
+                sum = &sum + &k.adjoint_mul(k);
+            }
+            assert!(sum.approx_eq(&CMat::identity(4), 1e-10), "{ch}");
+        }
+    }
+
+    #[test]
+    fn depolarizing_sends_to_mixed() {
+        // p = 3/4 depolarizing is the fully depolarizing channel.
+        let ch = Channel::depolarizing(0.75);
+        let mut rho0 = CMat::zeros(2, 2);
+        rho0.set(0, 0, C64::ONE);
+        let out = ch.apply(&rho0);
+        assert!(out.approx_eq(&CMat::identity(2).scaled(c64(0.5, 0.0)), 1e-12));
+    }
+
+    #[test]
+    fn amplitude_damping_decays_excited_state() {
+        let ch = Channel::amplitude_damping(0.4);
+        let mut rho1 = CMat::zeros(2, 2);
+        rho1.set(1, 1, C64::ONE);
+        let out = ch.apply(&rho1);
+        assert!((out.at(0, 0).re - 0.4).abs() < 1e-12);
+        assert!((out.at(1, 1).re - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn choi_of_identity_is_maximally_entangled() {
+        let j = Channel::identity(1).choi();
+        // J(I) = Σ E_ij ⊗ E_ij = |Ω⟩⟨Ω|·d with |Ω⟩ = Σ|ii⟩/√d; entries at
+        // (i·d+i, j·d+j) equal 1.
+        for i in 0..2 {
+            for jj in 0..2 {
+                assert!(j.at(i * 2 + i, jj * 2 + jj).approx_eq(C64::ONE, 1e-12));
+            }
+        }
+        assert!((j.trace().re - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn choi_is_psd_and_has_trace_d() {
+        for ch in [
+            Channel::bit_flip(0.2),
+            Channel::depolarizing(0.1),
+            Channel::amplitude_damping(0.35),
+        ] {
+            let j = ch.choi();
+            assert!(j.is_hermitian(1e-10), "{ch}");
+            let vals = eigh_vals(&j.hermitize()).unwrap();
+            assert!(vals[0] > -1e-10, "{ch} Choi not PSD");
+            assert!((j.trace().re - 2.0).abs() < 1e-10, "{ch}");
+        }
+    }
+
+    #[test]
+    fn choi_linearity_matches_difference() {
+        // J(Φ − I-map) = J(Φ) − J(I).
+        let ch = Channel::bit_flip(0.25);
+        let diff = choi_from_apply(
+            |e| &ch.apply(e) - e,
+            2,
+        );
+        let expect = &ch.choi() - &Channel::identity(1).choi();
+        assert!(diff.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn superoperator_matches_apply() {
+        let ch = Channel::amplitude_damping(0.3);
+        let s = ch.superoperator();
+        let rho = {
+            let m = CMat::from_fn(2, 2, |i, j| c64(0.3 * (i as f64 + 1.0), 0.2 * j as f64));
+            let p = m.mul_adjoint(&m);
+            let t = p.trace().re;
+            p.scaled(c64(1.0 / t, 0.0))
+        };
+        // Row-major vectorization.
+        let vec_rho = rho.to_cvec();
+        let out_vec = s.mul_vec(&vec_rho);
+        let direct = ch.apply(&rho);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(out_vec[i * 2 + j].approx_eq(direct.at(i, j), 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn after_unitary_composes() {
+        let ch = Channel::bit_flip(0.1);
+        let noisy_h = ch.after_unitary(&Gate::H.matrix());
+        let mut rho0 = CMat::zeros(2, 2);
+        rho0.set(0, 0, C64::ONE);
+        // H|0⟩ = |+⟩, bit flip fixes |+⟩.
+        let out = noisy_h.apply(&rho0);
+        assert!(out.approx_eq(&plus_rho(), 1e-12));
+    }
+
+    #[test]
+    fn then_composes_in_order() {
+        // X then Z = ZX conjugation.
+        let x = Channel::from_kraus("x", vec![Gate::X.matrix()]);
+        let z = Channel::from_kraus("z", vec![Gate::Z.matrix()]);
+        let both = x.then(&z);
+        let mut rho = CMat::zeros(2, 2);
+        rho.set(0, 1, C64::ONE);
+        rho.set(1, 0, C64::ONE);
+        rho.set(0, 0, C64::ONE);
+        rho.set(1, 1, C64::ONE);
+        let direct = {
+            let zx = Gate::Z.matrix().mul_mat(&Gate::X.matrix());
+            zx.mul_mat(&rho).mul_adjoint(&zx)
+        };
+        assert!(both.apply(&rho).approx_eq(&direct, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "K†K")]
+    fn from_kraus_validates_completeness() {
+        let _ = Channel::from_kraus("bad", vec![CMat::identity(2).scaled(c64(0.5, 0.0))]);
+    }
+}

@@ -1,0 +1,31 @@
+//! # gleipnir-noise
+//!
+//! Quantum noise for the Gleipnir workspace: Kraus [`Channel`]s, gate-level
+//! [`NoiseModel`]s (including the paper's §7.1 uniform bit-flip model), and
+//! calibrated [`DeviceModel`]s with the coupling maps of the paper's Fig. 15
+//! (IBM Boeblingen and Lima; synthetic calibration — see DESIGN.md §3).
+//!
+//! The [`choi_from_apply`] / [`choi_of_unitary`] helpers provide the
+//! Choi–Jamiołkowski representations the diamond-norm SDPs are built from.
+//!
+//! ## Example
+//!
+//! ```
+//! use gleipnir_circuit::{Gate, Qubit};
+//! use gleipnir_noise::{Channel, NoiseModel};
+//!
+//! let nm = NoiseModel::uniform_bit_flip(1e-4);
+//! let noisy_h = nm.noisy_gate(&Gate::H, &[Qubit(0)]);
+//! // The noisy gate is a 2-Kraus channel: √(1−p)·H and √p·X·H.
+//! assert_eq!(noisy_h.kraus().len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+mod channel;
+mod device;
+mod model;
+
+pub use channel::{choi_from_apply, choi_of_unitary, Channel};
+pub use device::DeviceModel;
+pub use model::NoiseModel;

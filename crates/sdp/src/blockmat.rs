@@ -1,0 +1,264 @@
+//! Block-diagonal symmetric matrices — the variable type of the SDP solver.
+
+use gleipnir_linalg::{sym_eigvals, RMat};
+
+/// A symmetric block-diagonal real matrix.
+///
+/// Semidefinite variables (`X`, `Z`) and their search directions are block
+/// diagonal; all solver arithmetic stays within the blocks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlockMat {
+    blocks: Vec<RMat>,
+}
+
+impl BlockMat {
+    /// A zero matrix with the given block dimensions.
+    pub fn zeros(dims: &[usize]) -> Self {
+        BlockMat { blocks: dims.iter().map(|&d| RMat::zeros(d, d)).collect() }
+    }
+
+    /// `s · I` with the given block dimensions.
+    pub fn scaled_identity(dims: &[usize], s: f64) -> Self {
+        BlockMat {
+            blocks: dims.iter().map(|&d| RMat::identity(d).scaled(s)).collect(),
+        }
+    }
+
+    /// Builds from explicit blocks.
+    pub fn from_blocks(blocks: Vec<RMat>) -> Self {
+        for b in &blocks {
+            assert!(b.is_square(), "blocks must be square");
+        }
+        BlockMat { blocks }
+    }
+
+    /// Block dimensions.
+    pub fn dims(&self) -> Vec<usize> {
+        self.blocks.iter().map(RMat::rows).collect()
+    }
+
+    /// Total dimension (sum of block sizes).
+    pub fn total_dim(&self) -> usize {
+        self.blocks.iter().map(RMat::rows).sum()
+    }
+
+    /// Number of blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Immutable block accessor.
+    pub fn block(&self, i: usize) -> &RMat {
+        &self.blocks[i]
+    }
+
+    /// Mutable block accessor.
+    pub fn block_mut(&mut self, i: usize) -> &mut RMat {
+        &mut self.blocks[i]
+    }
+
+    /// Frobenius inner product `⟨self, other⟩ = Σ_b tr(self_b · other_b)`.
+    pub fn dot(&self, other: &BlockMat) -> f64 {
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| {
+                let mut acc = 0.0;
+                for i in 0..a.rows() {
+                    for j in 0..a.cols() {
+                        acc += a.at(i, j) * b.at(i, j);
+                    }
+                }
+                acc
+            })
+            .sum()
+    }
+
+    /// `self + s·other`, in place.
+    pub fn axpy(&mut self, s: f64, other: &BlockMat) {
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            a.axpy(s, b);
+        }
+    }
+
+    /// Blockwise product `self · other`.
+    pub fn mul(&self, other: &BlockMat) -> BlockMat {
+        BlockMat {
+            blocks: self
+                .blocks
+                .iter()
+                .zip(&other.blocks)
+                .map(|(a, b)| a.mul_mat(b))
+                .collect(),
+        }
+    }
+
+    /// Blockwise symmetrization `(self + selfᵀ)/2`.
+    pub fn symmetrize(&mut self) {
+        for b in &mut self.blocks {
+            *b = b.symmetrize();
+        }
+    }
+
+    /// Scales all entries.
+    pub fn scale(&mut self, s: f64) {
+        for b in &mut self.blocks {
+            *b = b.scaled(s);
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.blocks
+            .iter()
+            .map(|b| {
+                let f = b.frobenius_norm();
+                f * f
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Largest entry magnitude.
+    pub fn max_abs(&self) -> f64 {
+        self.blocks.iter().map(RMat::max_abs).fold(0.0, f64::max)
+    }
+
+    /// Blockwise Cholesky; `None` if any block is not positive definite.
+    pub fn cholesky(&self) -> Option<BlockMat> {
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        for b in &self.blocks {
+            blocks.push(b.cholesky()?);
+        }
+        Some(BlockMat { blocks })
+    }
+
+    /// Blockwise inverse from a Cholesky factor of `self`
+    /// (`self⁻¹ = L⁻ᵀ·L⁻¹`).
+    ///
+    /// Returns `None` if the factorization fails.
+    pub fn inverse_spd(&self) -> Option<BlockMat> {
+        let chol = self.cholesky()?;
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        for l in &chol.blocks {
+            let linv = l.invert_lower();
+            blocks.push(linv.transpose().mul_mat(&linv));
+        }
+        Some(BlockMat { blocks })
+    }
+
+    /// Largest step `α ∈ (0, 1]` such that `self + α·dir ⪰ (1−relax)…`,
+    /// i.e. `min(1, γ·α_max)` with `α_max = sup{α : self + α·dir ⪰ 0}`.
+    ///
+    /// Computed from `λ_min(L⁻¹·dir·L⁻ᵀ)` per block.
+    ///
+    /// Returns `None` if `self` is not positive definite.
+    pub fn max_step(&self, dir: &BlockMat, gamma: f64) -> Option<f64> {
+        let mut alpha: f64 = 1.0 / gamma; // so that γ·α starts at 1
+        for (x, d) in self.blocks.iter().zip(&dir.blocks) {
+            if x.rows() == 0 {
+                continue;
+            }
+            let l = x.cholesky()?;
+            // K = L⁻¹ · D · L⁻ᵀ.
+            let t = l.solve_lower_mat(d);
+            let k = l.solve_lower_mat(&t.transpose()).transpose().symmetrize();
+            let vals = sym_eigvals(&k).ok()?;
+            let lam_min = vals[0];
+            if lam_min < 0.0 {
+                alpha = alpha.min(-1.0 / lam_min);
+            }
+        }
+        Some((gamma * alpha).min(1.0))
+    }
+
+    /// Minimum eigenvalue across blocks (symmetrizing first).
+    pub fn min_eigenvalue(&self) -> f64 {
+        let mut m = f64::INFINITY;
+        for b in &self.blocks {
+            if b.rows() == 0 {
+                continue;
+            }
+            if let Ok(vals) = sym_eigvals(&b.symmetrize()) {
+                m = m.min(vals[0]);
+            }
+        }
+        if m.is_finite() {
+            m
+        } else {
+            0.0
+        }
+    }
+
+    /// Spectral norm (max |eigenvalue|) across blocks.
+    pub fn spectral_norm(&self) -> f64 {
+        let mut m = 0.0f64;
+        for b in &self.blocks {
+            if b.rows() == 0 {
+                continue;
+            }
+            if let Ok(vals) = sym_eigvals(&b.symmetrize()) {
+                m = m.max(vals[0].abs()).max(vals[vals.len() - 1].abs());
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_block(n: usize, seed: f64) -> RMat {
+        let b = RMat::from_fn(n, n, |i, j| ((i * n + j) as f64 * seed).sin());
+        let mut a = b.transpose().mul_mat(&b);
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn dot_matches_blockwise_trace() {
+        let a = BlockMat::from_blocks(vec![spd_block(3, 0.7), spd_block(2, 1.3)]);
+        let b = BlockMat::from_blocks(vec![spd_block(3, 0.4), spd_block(2, 2.1)]);
+        let direct: f64 = (0..2)
+            .map(|k| a.block(k).trace_mul(b.block(k)))
+            .sum();
+        assert!((a.dot(&b) - direct).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inverse_spd_works() {
+        let a = BlockMat::from_blocks(vec![spd_block(4, 0.9)]);
+        let inv = a.inverse_spd().unwrap();
+        let prod = a.mul(&inv);
+        assert!(prod.block(0).approx_eq(&RMat::identity(4), 1e-10));
+    }
+
+    #[test]
+    fn max_step_blocks_negative_directions() {
+        let x = BlockMat::scaled_identity(&[2], 1.0);
+        let mut d = BlockMat::zeros(&[2]);
+        d.block_mut(0).set(0, 0, -2.0);
+        // X + α·D ⪰ 0 needs α ≤ 0.5; with γ = 1 we get exactly 0.5.
+        let alpha = x.max_step(&d, 1.0).unwrap();
+        assert!((alpha - 0.5).abs() < 1e-9);
+        // A PSD direction allows the full step.
+        let up = BlockMat::scaled_identity(&[2], 1.0);
+        assert!(x.max_step(&up, 0.95).unwrap() > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn min_eigenvalue_detects_indefiniteness() {
+        let mut a = BlockMat::scaled_identity(&[3], 2.0);
+        a.block_mut(0).set(2, 2, -1.0);
+        assert!((a.min_eigenvalue() + 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn spectral_norm_of_identity() {
+        let a = BlockMat::scaled_identity(&[3, 2], -2.5);
+        assert!((a.spectral_norm() - 2.5).abs() < 1e-12);
+    }
+}

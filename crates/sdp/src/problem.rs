@@ -1,0 +1,264 @@
+//! SDP problem description and builder.
+
+use crate::BlockMat;
+
+/// A sparse symmetric block-diagonal matrix: the constraint-matrix type.
+///
+/// Entries are stored for the upper triangle (`row ≤ col`); an off-diagonal
+/// entry `(r, c, v)` denotes value `v` at **both** `(r, c)` and `(c, r)`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SparseSym {
+    entries: Vec<(usize, usize, usize, f64)>, // (block, row, col≥row, value)
+}
+
+impl SparseSym {
+    /// An empty (all-zero) matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an entry at `(row, col)` of `block` (and its mirror).
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate positions.
+    pub fn push(&mut self, block: usize, row: usize, col: usize, value: f64) -> &mut Self {
+        let (r, c) = (row.min(col), row.max(col));
+        assert!(
+            !self.entries.iter().any(|&(b, rr, cc, _)| (b, rr, cc) == (block, r, c)),
+            "duplicate entry at block {block} ({r},{c})"
+        );
+        if value != 0.0 {
+            self.entries.push((block, r, c, value));
+        }
+        self
+    }
+
+    /// The stored (upper-triangle) entries.
+    pub fn entries(&self) -> &[(usize, usize, usize, f64)] {
+        &self.entries
+    }
+
+    /// `⟨self, X⟩ = tr(self·X)` against a dense block matrix.
+    pub fn dot(&self, x: &BlockMat) -> f64 {
+        let mut acc = 0.0;
+        for &(b, r, c, v) in &self.entries {
+            let xb = x.block(b);
+            acc += if r == c { v * xb.at(r, c) } else { 2.0 * v * xb.at(r, c) };
+        }
+        acc
+    }
+
+    /// Accumulates `s·self` into a dense block matrix.
+    pub fn add_scaled_into(&self, s: f64, out: &mut BlockMat) {
+        for &(b, r, c, v) in &self.entries {
+            let blk = out.block_mut(b);
+            blk[(r, c)] += s * v;
+            if r != c {
+                blk[(c, r)] += s * v;
+            }
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|&(_, r, c, v)| if r == c { v * v } else { 2.0 * v * v })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Densifies into a block matrix with the given dims (test support).
+    pub fn to_dense(&self, dims: &[usize]) -> BlockMat {
+        let mut out = BlockMat::zeros(dims);
+        self.add_scaled_into(1.0, &mut out);
+        out
+    }
+}
+
+/// A standard-form semidefinite program:
+///
+/// ```text
+/// minimize   ⟨C, X⟩
+/// subject to ⟨Aᵢ, X⟩ = bᵢ   (i = 1…m)
+///            X ⪰ 0, block diagonal
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use gleipnir_sdp::{SdpProblem, SparseSym};
+///
+/// // minimize x₁₁ + x₂₂ subject to x₁₂ = 1 (2×2 PSD) → min value 2
+/// // (at X = [[1,1],[1,1]]).
+/// let mut c = SparseSym::new();
+/// c.push(0, 0, 0, 1.0).push(0, 1, 1, 1.0);
+/// let mut a = SparseSym::new();
+/// a.push(0, 0, 1, 0.5); // ⟨A, X⟩ = 2·0.5·x₁₂ = x₁₂
+/// let problem = SdpProblem::new(vec![2], c, vec![a], vec![1.0]);
+/// let sol = problem.solve(&Default::default())?;
+/// assert!((sol.primal_objective - 2.0).abs() < 1e-6);
+/// # Ok::<(), gleipnir_sdp::SdpError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct SdpProblem {
+    block_dims: Vec<usize>,
+    c: SparseSym,
+    constraints: Vec<SparseSym>,
+    b: Vec<f64>,
+}
+
+impl SdpProblem {
+    /// Creates a problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `constraints.len() != b.len()`, any dimension is zero, or
+    /// an entry indexes outside its block.
+    pub fn new(
+        block_dims: Vec<usize>,
+        c: SparseSym,
+        constraints: Vec<SparseSym>,
+        b: Vec<f64>,
+    ) -> Self {
+        assert_eq!(constraints.len(), b.len(), "constraint/rhs count mismatch");
+        assert!(!block_dims.is_empty() && block_dims.iter().all(|&d| d > 0));
+        let check = |s: &SparseSym| {
+            for &(bl, r, c, _) in s.entries() {
+                assert!(bl < block_dims.len(), "block index out of range");
+                assert!(
+                    r < block_dims[bl] && c < block_dims[bl],
+                    "entry ({r},{c}) outside block {bl} of dim {}",
+                    block_dims[bl]
+                );
+            }
+        };
+        check(&c);
+        constraints.iter().for_each(check);
+        SdpProblem { block_dims, c, constraints, b }
+    }
+
+    /// Block dimensions.
+    pub fn block_dims(&self) -> &[usize] {
+        &self.block_dims
+    }
+
+    /// The objective matrix.
+    pub fn objective(&self) -> &SparseSym {
+        &self.c
+    }
+
+    /// The constraint matrices.
+    pub fn constraints(&self) -> &[SparseSym] {
+        &self.constraints
+    }
+
+    /// The right-hand sides.
+    pub fn rhs(&self) -> &[f64] {
+        &self.b
+    }
+
+    /// Number of constraints.
+    pub fn n_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The operator `A(X) = (⟨Aᵢ, X⟩)ᵢ`.
+    pub fn apply_a(&self, x: &BlockMat) -> Vec<f64> {
+        self.constraints.iter().map(|a| a.dot(x)).collect()
+    }
+
+    /// The adjoint `Aᵀ(y) = Σᵢ yᵢ·Aᵢ`, as a dense block matrix.
+    pub fn apply_at(&self, y: &[f64]) -> BlockMat {
+        let mut out = BlockMat::zeros(&self.block_dims);
+        for (a, &yi) in self.constraints.iter().zip(y) {
+            if yi != 0.0 {
+                a.add_scaled_into(yi, &mut out);
+            }
+        }
+        out
+    }
+
+    /// The dense objective matrix.
+    pub fn dense_c(&self) -> BlockMat {
+        self.c.to_dense(&self.block_dims)
+    }
+
+    /// The dual slack `Z(y) = C − Aᵀ(y)` as a dense block matrix.
+    pub fn dual_slack(&self, y: &[f64]) -> BlockMat {
+        let mut z = self.dense_c();
+        for (a, &yi) in self.constraints.iter().zip(y) {
+            if yi != 0.0 {
+                a.add_scaled_into(-yi, &mut z);
+            }
+        }
+        z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_dot_counts_mirror_entries() {
+        let mut a = SparseSym::new();
+        a.push(0, 0, 1, 2.0);
+        let mut x = BlockMat::zeros(&[2]);
+        x.block_mut(0).set(0, 1, 3.0);
+        x.block_mut(0).set(1, 0, 3.0);
+        assert!((a.dot(&x) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_scaled_into_symmetrizes() {
+        let mut a = SparseSym::new();
+        a.push(0, 0, 1, 1.5).push(0, 1, 1, -1.0);
+        let mut out = BlockMat::zeros(&[2]);
+        a.add_scaled_into(2.0, &mut out);
+        assert_eq!(out.block(0).at(0, 1), 3.0);
+        assert_eq!(out.block(0).at(1, 0), 3.0);
+        assert_eq!(out.block(0).at(1, 1), -2.0);
+    }
+
+    #[test]
+    fn apply_a_and_adjoint_are_consistent() {
+        // ⟨A(X), y⟩ = ⟨X, Aᵀ(y)⟩.
+        let mut a1 = SparseSym::new();
+        a1.push(0, 0, 0, 1.0).push(1, 0, 1, 0.5);
+        let mut a2 = SparseSym::new();
+        a2.push(0, 1, 1, 2.0);
+        let p = SdpProblem::new(
+            vec![2, 2],
+            SparseSym::new(),
+            vec![a1, a2],
+            vec![0.0, 0.0],
+        );
+        let mut x = BlockMat::zeros(&[2, 2]);
+        x.block_mut(0).set(0, 0, 1.0);
+        x.block_mut(0).set(1, 1, 2.0);
+        x.block_mut(1).set(0, 1, 0.25);
+        x.block_mut(1).set(1, 0, 0.25);
+        let y = vec![0.7, -1.1];
+        let ax = p.apply_a(&x);
+        let lhs: f64 = ax.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let rhs = p.apply_at(&y).dot(&x);
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn sparse_rejects_duplicates() {
+        let mut a = SparseSym::new();
+        a.push(0, 1, 0, 1.0).push(0, 0, 1, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside block")]
+    fn problem_validates_entries() {
+        let mut a = SparseSym::new();
+        a.push(0, 5, 5, 1.0);
+        let _ = SdpProblem::new(vec![2], SparseSym::new(), vec![a], vec![0.0]);
+    }
+}

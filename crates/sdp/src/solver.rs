@@ -1,0 +1,565 @@
+//! Primal-dual interior-point SDP solver (HKM direction, Mehrotra
+//! predictor-corrector).
+//!
+//! Solves the standard-form pair
+//!
+//! ```text
+//! (P) min ⟨C, X⟩   s.t. ⟨Aᵢ, X⟩ = bᵢ, X ⪰ 0
+//! (D) max bᵀy      s.t. Z = C − Σᵢ yᵢAᵢ ⪰ 0
+//! ```
+//!
+//! following the classical infeasible-start path-following scheme used by
+//! CSDP/SDPA: at each iteration the Schur complement
+//! `M_kl = ⟨A_k, (X·A_l·Z⁻¹ + Z⁻¹·A_l·X)/2⟩` is formed (exploiting the
+//! sparsity of the `Aᵢ`), a predictor step (σ = 0) estimates the
+//! centering parameter, and a corrector step with the Mehrotra second-order
+//! term produces the final direction.
+//!
+//! Because Gleipnir's error bounds must be *sound*, [`SdpSolution`] exposes
+//! [`SdpSolution::certified_dual_bound`]: a rigorous lower bound on the
+//! primal minimum derived from weak duality plus an explicit correction for
+//! the residual dual infeasibility (`bᵀy − R·max(0, −λ_min(C − Aᵀy))` for
+//! any trace bound `R` on the feasible set).
+
+use crate::{BlockMat, SdpProblem, SparseSym};
+use gleipnir_linalg::RMat;
+use std::fmt;
+
+/// Options for [`SdpProblem::solve`].
+#[derive(Clone, Copy, Debug)]
+pub struct SolverOptions {
+    /// Iteration cap (default 100).
+    pub max_iterations: usize,
+    /// Relative tolerance on duality gap and feasibility (default 1e-8).
+    pub tolerance: f64,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions { max_iterations: 100, tolerance: 1e-8 }
+    }
+}
+
+/// Termination status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SdpStatus {
+    /// Converged to the requested tolerance.
+    Optimal,
+    /// Stopped at the iteration cap; the iterate (and in particular the
+    /// certified dual bound) is still usable, just less tight.
+    MaxIterations,
+}
+
+/// Errors from the solver.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SdpError {
+    /// A linear-algebra step failed beyond recovery (singular Schur
+    /// complement or loss of positive definiteness).
+    Numerical(String),
+}
+
+impl fmt::Display for SdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdpError::Numerical(msg) => write!(f, "SDP numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SdpError {}
+
+/// The solver's output: primal/dual iterates and quality metrics.
+#[derive(Clone, Debug)]
+pub struct SdpSolution {
+    /// Primal variable.
+    pub x: BlockMat,
+    /// Dual multipliers.
+    pub y: Vec<f64>,
+    /// Dual slack `Z ≈ C − Aᵀ(y)`.
+    pub z: BlockMat,
+    /// `⟨C, X⟩`.
+    pub primal_objective: f64,
+    /// `bᵀy`.
+    pub dual_objective: f64,
+    /// `|pobj − dobj| / (1 + |pobj| + |dobj|)`.
+    pub relative_gap: f64,
+    /// `‖b − A(X)‖₂ / (1 + ‖b‖₂)`.
+    pub primal_infeasibility: f64,
+    /// `‖C − Z − Aᵀ(y)‖_F / (1 + ‖C‖_F)`.
+    pub dual_infeasibility: f64,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Termination status.
+    pub status: SdpStatus,
+    /// `λ_min(C − Aᵀ(y))` of the *exact* dual slack (not the iterate `Z`),
+    /// used by the certificate.
+    pub exact_dual_slack_min_eig: f64,
+}
+
+impl SdpSolution {
+    /// A rigorous lower bound on the primal optimal value, valid for every
+    /// primal-feasible `X` with `tr(X) ≤ trace_bound`:
+    ///
+    /// `⟨C, X⟩ = bᵀy + ⟨C − Aᵀ(y), X⟩ ≥ bᵀy − max(0, −λ_min)·tr(X)`.
+    pub fn certified_dual_bound(&self, trace_bound: f64) -> f64 {
+        self.dual_objective - (-self.exact_dual_slack_min_eig).max(0.0) * trace_bound
+    }
+}
+
+impl SdpProblem {
+    /// Solves the SDP.
+    ///
+    /// # Errors
+    ///
+    /// [`SdpError::Numerical`] if the Schur complement stays singular after
+    /// regularization or the iterates lose positive definiteness.
+    pub fn solve(&self, opts: &SolverOptions) -> Result<SdpSolution, SdpError> {
+        let dims = self.block_dims().to_vec();
+        let m = self.n_constraints();
+        let n_tot: usize = dims.iter().sum();
+        let b = self.rhs();
+        let c_dense = self.dense_c();
+
+        let b_norm = norm2(b);
+        let b_max = b.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+        let c_frob = c_dense.frobenius_norm();
+        let c_max = c_dense.max_abs();
+
+        let xi_p = 10.0f64.max((n_tot as f64).sqrt() * (1.0 + b_max));
+        let xi_d = 10.0f64.max((n_tot as f64).sqrt() * (1.0 + c_max));
+        let mut x = BlockMat::scaled_identity(&dims, xi_p);
+        let mut z = BlockMat::scaled_identity(&dims, xi_d);
+        let mut y = vec![0.0; m];
+
+        let mut status = SdpStatus::MaxIterations;
+        let mut iterations = opts.max_iterations;
+
+        for iter in 0..opts.max_iterations {
+            // Residuals and convergence metrics.
+            let ax = self.apply_a(&x);
+            let rp: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+            let mut rd = c_dense.clone();
+            rd.axpy(-1.0, &z);
+            rd.axpy(-1.0, &self.apply_at(&y));
+
+            let pobj = c_dense.dot(&x);
+            let dobj: f64 = b.iter().zip(&y).map(|(a, b)| a * b).sum();
+            let gap = (pobj - dobj).abs() / (1.0 + pobj.abs() + dobj.abs());
+            let pinf = norm2(&rp) / (1.0 + b_norm);
+            let dinf = rd.frobenius_norm() / (1.0 + c_frob);
+
+            if gap < opts.tolerance && pinf < opts.tolerance && dinf < opts.tolerance {
+                status = SdpStatus::Optimal;
+                iterations = iter;
+                break;
+            }
+
+            let mu = x.dot(&z) / n_tot as f64;
+            if mu <= 0.0 || !mu.is_finite() {
+                iterations = iter;
+                break;
+            }
+            // Near-degenerate constraints (e.g. a (ρ̂, 0) diamond norm with a
+            // pure ρ̂) can push the iterates onto the boundary before the
+            // tolerance is met. The dual certificate from the current
+            // iterate is still sound, so factorization failure terminates
+            // the iteration rather than erroring out.
+            let Some(zinv) = z.inverse_spd() else {
+                iterations = iter;
+                break;
+            };
+
+            // Schur complement M_kl = ⟨A_k, sym(X·A_l·Z⁻¹)⟩.
+            let mut mmat = RMat::zeros(m, m);
+            for l in 0..m {
+                let t = sym_sandwich(&x, self.constraints()[l].entries(), &zinv, &dims);
+                for k in 0..m {
+                    mmat.set(k, l, self.constraints()[k].dot(&t));
+                }
+            }
+            let mmat = mmat.symmetrize();
+            let Some(mchol) = cholesky_with_regularization(&mmat) else {
+                iterations = iter;
+                break;
+            };
+
+            // Shared direction machinery.
+            let base_g = {
+                // −X − sym(X·Rd·Z⁻¹)
+                let mut g = sym_triple(&x, &rd, &zinv);
+                g.scale(-1.0);
+                g.axpy(-1.0, &x);
+                g
+            };
+            let solve_direction = |g: &BlockMat| -> (Vec<f64>, BlockMat, BlockMat) {
+                let ag = self.apply_a(g);
+                let rhs: Vec<f64> = rp.iter().zip(&ag).map(|(r, a)| r - a).collect();
+                let dy = spd_solve(&mchol, &rhs);
+                let mut dz = rd.clone();
+                dz.axpy(-1.0, &self.apply_at(&dy));
+                dz.symmetrize();
+                let at_dy = self.apply_at(&dy);
+                let mut dx = g.clone();
+                dx.axpy(1.0, &sym_triple(&x, &at_dy, &zinv));
+                dx.symmetrize();
+                (dy, dx, dz)
+            };
+
+            // Predictor (σ = 0).
+            let (_dy_a, dx_a, dz_a) = solve_direction(&base_g);
+            let ap_a = x.max_step(&dx_a, 1.0).unwrap_or(0.0);
+            let ad_a = z.max_step(&dz_a, 1.0).unwrap_or(0.0);
+            let mu_aff = {
+                let xz = x.dot(&z);
+                let xdz = x.dot(&dz_a);
+                let dxz = dx_a.dot(&z);
+                let dxdz = dx_a.dot(&dz_a);
+                (xz + ad_a * xdz + ap_a * dxz + ap_a * ad_a * dxdz) / n_tot as f64
+            };
+            let sigma = ((mu_aff / mu).powi(3)).clamp(0.0, 1.0);
+
+            // Corrector with the Mehrotra second-order term.
+            let g = {
+                let mut g = base_g.clone();
+                g.axpy(sigma * mu, &zinv);
+                // − sym(dXa·dZa·Z⁻¹)
+                let mut corr = sym_triple(&dx_a, &dz_a, &zinv);
+                corr.scale(-1.0);
+                g.axpy(1.0, &corr);
+                g
+            };
+            let (dy, dx, dz) = solve_direction(&g);
+
+            let gamma = if iter < 2 { 0.9 } else { 0.98 };
+            let ap = x.max_step(&dx, gamma).unwrap_or(0.0);
+            let ad = z.max_step(&dz, gamma).unwrap_or(0.0);
+            if ap <= 1e-14 && ad <= 1e-14 {
+                // No progress possible; return the current iterate.
+                iterations = iter;
+                break;
+            }
+
+            x.axpy(ap, &dx);
+            x.symmetrize();
+            z.axpy(ad, &dz);
+            z.symmetrize();
+            for (yi, dyi) in y.iter_mut().zip(&dy) {
+                *yi += ad * dyi;
+            }
+        }
+
+        let pobj = c_dense.dot(&x);
+        let dobj: f64 = b.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let ax = self.apply_a(&x);
+        let rp: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+        let mut rd = c_dense.clone();
+        rd.axpy(-1.0, &z);
+        rd.axpy(-1.0, &self.apply_at(&y));
+        let exact_slack = self.dual_slack(&y);
+
+        Ok(SdpSolution {
+            primal_objective: pobj,
+            dual_objective: dobj,
+            relative_gap: (pobj - dobj).abs() / (1.0 + pobj.abs() + dobj.abs()),
+            primal_infeasibility: norm2(&rp) / (1.0 + b_norm),
+            dual_infeasibility: rd.frobenius_norm() / (1.0 + c_frob),
+            exact_dual_slack_min_eig: exact_slack.min_eigenvalue(),
+            x,
+            y,
+            z,
+            iterations,
+            status,
+        })
+    }
+}
+
+/// `sym(X·A·Z⁻¹)` with sparse `A` given by its upper-triangle entries.
+fn sym_sandwich(
+    x: &BlockMat,
+    a_entries: &[(usize, usize, usize, f64)],
+    zinv: &BlockMat,
+    dims: &[usize],
+) -> BlockMat {
+    let mut out = BlockMat::zeros(dims);
+    // Group entries by block.
+    for (bl, &dim) in dims.iter().enumerate() {
+        let entries: Vec<(usize, usize, f64)> = a_entries
+            .iter()
+            .filter(|&&(b, _, _, _)| b == bl)
+            .map(|&(_, r, c, v)| (r, c, v))
+            .collect();
+        if entries.is_empty() {
+            continue;
+        }
+        let xb = x.block(bl);
+        let zb = zinv.block(bl);
+        // U = X·A (A symmetric from entries) — accumulate column-wise.
+        let mut u = RMat::zeros(dim, dim);
+        for &(r, c, v) in &entries {
+            // A[r][c] = v contributes X[:,r]·v into U[:,c]; mirror likewise.
+            for i in 0..dim {
+                u[(i, c)] += xb.at(i, r) * v;
+            }
+            if r != c {
+                for i in 0..dim {
+                    u[(i, r)] += xb.at(i, c) * v;
+                }
+            }
+        }
+        // T = U·Z⁻¹ ; only columns of U touched are nonzero, but dense is fine
+        // at these sizes.
+        let t = u.mul_mat(zb);
+        *out.block_mut(bl) = t.symmetrize();
+    }
+    out
+}
+
+/// `sym(X·R·Z⁻¹)` for dense block matrices.
+fn sym_triple(x: &BlockMat, r: &BlockMat, zinv: &BlockMat) -> BlockMat {
+    let mut blocks = Vec::with_capacity(x.n_blocks());
+    for bl in 0..x.n_blocks() {
+        let t = x.block(bl).mul_mat(r.block(bl)).mul_mat(zinv.block(bl));
+        blocks.push(t.symmetrize());
+    }
+    BlockMat::from_blocks(blocks)
+}
+
+fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Cholesky with escalating diagonal regularization.
+fn cholesky_with_regularization(m: &RMat) -> Option<RMat> {
+    if let Some(l) = m.cholesky() {
+        return Some(l);
+    }
+    let scale = m.max_abs().max(1.0);
+    let mut reg = 1e-12 * scale;
+    for _ in 0..8 {
+        let mut mm = m.clone();
+        for i in 0..mm.rows() {
+            mm[(i, i)] += reg;
+        }
+        if let Some(l) = mm.cholesky() {
+            return Some(l);
+        }
+        reg *= 100.0;
+    }
+    None
+}
+
+fn spd_solve(l: &RMat, rhs: &[f64]) -> Vec<f64> {
+    l.solve_lower_transpose(&l.solve_lower(rhs))
+}
+
+/// Convenience: build and solve the "max ⟨C, X⟩ s.t. tr X = 1, X ⪰ 0"
+/// problem, whose optimum is the largest eigenvalue of `C`. Used as a
+/// self-test and in benchmarks.
+pub fn largest_eigenvalue_sdp(c: &RMat, opts: &SolverOptions) -> Result<f64, SdpError> {
+    let n = c.rows();
+    let mut cs = SparseSym::new();
+    for i in 0..n {
+        for j in i..n {
+            // minimize ⟨−C, X⟩
+            let v = -0.5 * (c.at(i, j) + c.at(j, i));
+            if v != 0.0 {
+                cs.push(0, i, j, v);
+            }
+        }
+    }
+    let mut tr = SparseSym::new();
+    for i in 0..n {
+        tr.push(0, i, i, 1.0);
+    }
+    let p = SdpProblem::new(vec![n], cs, vec![tr], vec![1.0]);
+    let sol = p.solve(opts)?;
+    Ok(-sol.primal_objective)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gleipnir_linalg::sym_eigvals;
+
+    fn opts() -> SolverOptions {
+        SolverOptions::default()
+    }
+
+    #[test]
+    fn doc_example_off_diagonal() {
+        // min x₁₁ + x₂₂ s.t. x₁₂ = 1, X ⪰ 0  → 2.
+        let mut c = SparseSym::new();
+        c.push(0, 0, 0, 1.0).push(0, 1, 1, 1.0);
+        let mut a = SparseSym::new();
+        a.push(0, 0, 1, 0.5);
+        let p = SdpProblem::new(vec![2], c, vec![a], vec![1.0]);
+        let sol = p.solve(&opts()).unwrap();
+        assert_eq!(sol.status, SdpStatus::Optimal);
+        assert!((sol.primal_objective - 2.0).abs() < 1e-6, "{}", sol.primal_objective);
+        assert!((sol.dual_objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn largest_eigenvalue_matches_eigensolver() {
+        let c = RMat::from_rows(&[
+            vec![2.0, -1.0, 0.5],
+            vec![-1.0, 1.0, 0.25],
+            vec![0.5, 0.25, -3.0],
+        ]);
+        let lam_sdp = largest_eigenvalue_sdp(&c, &opts()).unwrap();
+        let lam_eig = *sym_eigvals(&c).unwrap().last().unwrap();
+        assert!((lam_sdp - lam_eig).abs() < 1e-6, "{lam_sdp} vs {lam_eig}");
+    }
+
+    #[test]
+    fn linear_program_as_diagonal_blocks() {
+        // min x₁ + 2x₂ s.t. x₁ + x₂ = 1, x ≥ 0 → 1 at (1, 0).
+        let mut c = SparseSym::new();
+        c.push(0, 0, 0, 1.0).push(1, 0, 0, 2.0);
+        let mut a = SparseSym::new();
+        a.push(0, 0, 0, 1.0).push(1, 0, 0, 1.0);
+        let p = SdpProblem::new(vec![1, 1], c, vec![a], vec![1.0]);
+        let sol = p.solve(&opts()).unwrap();
+        assert!((sol.primal_objective - 1.0).abs() < 1e-6);
+        assert!((sol.x.block(0).at(0, 0) - 1.0).abs() < 1e-5);
+        assert!(sol.x.block(1).at(0, 0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn multi_block_problem() {
+        // Two independent eigenvalue problems share one trace budget:
+        // min ⟨−C₁,X₁⟩ + ⟨−C₂,X₂⟩ s.t. tr X₁ + tr X₂ = 1 →
+        // −max(λmax(C₁), λmax(C₂)).
+        let mut c = SparseSym::new();
+        c.push(0, 0, 0, -1.0); // C1 = diag(1, …) λmax 1
+        c.push(1, 0, 0, -3.0); // C2 has λmax 3
+        c.push(1, 1, 1, -0.5);
+        let mut tr = SparseSym::new();
+        for b in 0..2 {
+            for i in 0..2 {
+                tr.push(b, i, i, 1.0);
+            }
+        }
+        let p = SdpProblem::new(vec![2, 2], c, vec![tr], vec![1.0]);
+        let sol = p.solve(&opts()).unwrap();
+        assert!((sol.primal_objective + 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solution_is_feasible_and_gap_closed() {
+        let mut c = SparseSym::new();
+        c.push(0, 0, 0, 1.0).push(0, 1, 1, -1.0).push(0, 0, 2, 0.3);
+        let mut a1 = SparseSym::new();
+        a1.push(0, 0, 0, 1.0).push(0, 1, 1, 1.0).push(0, 2, 2, 1.0);
+        let mut a2 = SparseSym::new();
+        a2.push(0, 0, 1, 1.0);
+        let p = SdpProblem::new(vec![3], c, vec![a1, a2], vec![2.0, 0.25]);
+        let sol = p.solve(&opts()).unwrap();
+        assert_eq!(sol.status, SdpStatus::Optimal);
+        assert!(sol.primal_infeasibility < 1e-7);
+        assert!(sol.dual_infeasibility < 1e-7);
+        assert!(sol.relative_gap < 1e-7);
+        // X ⪰ 0.
+        assert!(sol.x.min_eigenvalue() > -1e-9);
+        // Weak duality.
+        assert!(sol.dual_objective <= sol.primal_objective + 1e-6);
+    }
+
+    #[test]
+    fn certified_bound_is_sound() {
+        // For the eigenvalue SDP the certificate must lower-bound the
+        // optimum regardless of solver slop.
+        let c = RMat::from_rows(&[vec![1.0, 2.0], vec![2.0, -1.0]]);
+        let n = 2;
+        let mut cs = SparseSym::new();
+        for i in 0..n {
+            for j in i..n {
+                let v = -c.at(i, j);
+                if v != 0.0 {
+                    cs.push(0, i, j, v);
+                }
+            }
+        }
+        let mut tr = SparseSym::new();
+        tr.push(0, 0, 0, 1.0).push(0, 1, 1, 1.0);
+        let p = SdpProblem::new(vec![n], cs, vec![tr], vec![1.0]);
+        let sol = p.solve(&opts()).unwrap();
+        // Feasible set has tr(X) = 1.
+        let lower = sol.certified_dual_bound(1.0);
+        let lam_max = *sym_eigvals(&c).unwrap().last().unwrap();
+        // primal min = −λmax; the certificate must not exceed it.
+        assert!(lower <= -lam_max + 1e-9, "{lower} vs {}", -lam_max);
+        assert!((lower + lam_max).abs() < 1e-5, "certificate far off");
+    }
+
+    #[test]
+    fn near_degenerate_constraint() {
+        // Force x₁₁ ≈ 0 on the boundary: min x₂₂ s.t. x₁₁ = 0? Slater fails
+        // for x₁₁ = 0 exactly; use a tiny positive value as the caller
+        // (gleipnir-core) does for δ = 0.
+        let mut c = SparseSym::new();
+        c.push(0, 1, 1, 1.0);
+        let mut a1 = SparseSym::new();
+        a1.push(0, 0, 0, 1.0);
+        let mut a2 = SparseSym::new();
+        a2.push(0, 0, 0, 1.0).push(0, 1, 1, 1.0);
+        let p = SdpProblem::new(vec![2], c, vec![a1, a2], vec![1e-6, 1.0]);
+        let sol = p.solve(&opts()).unwrap();
+        assert!((sol.primal_objective - (1.0 - 1e-6)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn random_feasible_problems_close_gap() {
+        let mut seed = 42u64;
+        let mut rnd = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
+        };
+        for trial in 0..5 {
+            let n = 4;
+            // Random X0 ≻ 0 defines a feasible b.
+            let g = RMat::from_fn(n, n, |_, _| rnd());
+            let mut x0 = g.transpose().mul_mat(&g);
+            for i in 0..n {
+                x0[(i, i)] += 1.0;
+            }
+            let mut constraints = Vec::new();
+            let mut b = Vec::new();
+            // Random sparse constraints + trace pinning for boundedness.
+            for k in 0..3 {
+                let mut a = SparseSym::new();
+                a.push(0, k % n, (k + 1) % n, rnd() + 0.5);
+                a.push(0, k % n, k % n, rnd());
+                b.push(a.dot(&{
+                    let mut bm = BlockMat::zeros(&[n]);
+                    *bm.block_mut(0) = x0.clone();
+                    bm
+                }));
+                constraints.push(a);
+            }
+            let mut tr = SparseSym::new();
+            for i in 0..n {
+                tr.push(0, i, i, 1.0);
+            }
+            b.push(x0.trace());
+            constraints.push(tr);
+            let mut c = SparseSym::new();
+            for i in 0..n {
+                for j in i..n {
+                    let v = rnd();
+                    if v != 0.0 {
+                        c.push(0, i, j, v);
+                    }
+                }
+            }
+            let p = SdpProblem::new(vec![n], c, constraints, b);
+            let sol = p.solve(&opts()).unwrap();
+            assert!(
+                sol.relative_gap < 1e-6 && sol.primal_infeasibility < 1e-6,
+                "trial {trial}: gap {} pinf {}",
+                sol.relative_gap,
+                sol.primal_infeasibility
+            );
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Computational basis states used as program inputs.
+
+use std::fmt;
+
+/// A computational basis state `|b₀ b₁ … b_{n−1}⟩` (MSB-first, matching the
+/// workspace convention).
+///
+/// This is the input-state type the analyzers accept: the paper's
+/// experiments all start from basis states (usually `|0…0⟩`).
+///
+/// # Examples
+///
+/// ```
+/// use gleipnir_sim::BasisState;
+///
+/// let s = BasisState::from_bits(&[true, false, true]);
+/// assert_eq!(s.index(), 0b101);
+/// assert_eq!(s.to_string(), "|101⟩");
+/// assert_eq!(BasisState::zeros(3).index(), 0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct BasisState {
+    bits: Vec<bool>,
+}
+
+impl BasisState {
+    /// The all-zeros state over `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn zeros(n: usize) -> Self {
+        assert!(n > 0, "basis state needs at least one qubit");
+        BasisState { bits: vec![false; n] }
+    }
+
+    /// A basis state from explicit bits (MSB-first: `bits[0]` is qubit 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty.
+    pub fn from_bits(bits: &[bool]) -> Self {
+        assert!(!bits.is_empty(), "basis state needs at least one qubit");
+        BasisState { bits: bits.to_vec() }
+    }
+
+    /// A basis state from an index over `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index ≥ 2ⁿ`.
+    pub fn from_index(n: usize, index: usize) -> Self {
+        assert!(n > 0, "basis state needs at least one qubit");
+        assert!(index < (1usize << n), "index out of range");
+        let bits = (0..n).map(|k| (index >> (n - 1 - k)) & 1 == 1).collect();
+        BasisState { bits }
+    }
+
+    /// Register width.
+    pub fn n_qubits(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The bit of qubit `q`.
+    pub fn bit(&self, q: usize) -> bool {
+        self.bits[q]
+    }
+
+    /// The bits, MSB-first.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// The amplitude index of this basis state.
+    pub fn index(&self) -> usize {
+        self.bits
+            .iter()
+            .fold(0usize, |acc, &b| (acc << 1) | usize::from(b))
+    }
+}
+
+impl fmt::Display for BasisState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "|")?;
+        for &b in &self.bits {
+            write!(f, "{}", u8::from(b))?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for n in 1..=4 {
+            for idx in 0..(1usize << n) {
+                let s = BasisState::from_index(n, idx);
+                assert_eq!(s.index(), idx);
+                assert_eq!(s.n_qubits(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn msb_first_ordering() {
+        let s = BasisState::from_bits(&[true, false]);
+        assert_eq!(s.index(), 2);
+        assert!(s.bit(0));
+        assert!(!s.bit(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_index_bounds() {
+        let _ = BasisState::from_index(2, 4);
+    }
+}

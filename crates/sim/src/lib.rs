@@ -1,0 +1,44 @@
+//! # gleipnir-sim
+//!
+//! Dense simulators for the Gleipnir workspace.
+//!
+//! * [`StateVector`] — pure-state simulation with `O(2ⁿ)` memory, used for
+//!   exact references in tests and workload sanity checks;
+//! * [`DensityMatrix`] — mixed-state simulation implementing the paper's
+//!   denotational semantics (Fig. 3) exactly, including measurement
+//!   branches and Kraus noise channels. This is the oracle behind the
+//!   LQR-with-full-simulation baseline (Table 2) and the measured-error
+//!   substitute for real hardware (Table 3);
+//! * [`BasisState`] — the computational-basis input states the paper's
+//!   experiments start from;
+//! * [`statistical_distance`] — the total-variation distance used as the
+//!   "measured error" metric in §7.2.
+//!
+//! ## Example
+//!
+//! ```
+//! use gleipnir_circuit::ProgramBuilder;
+//! use gleipnir_sim::{DensityMatrix, StateVector};
+//!
+//! let mut b = ProgramBuilder::new(2);
+//! b.h(0).cnot(0, 1);
+//! let ghz = b.build();
+//!
+//! let mut sv = StateVector::zero_state(2);
+//! sv.run(&ghz)?;
+//! let rho = DensityMatrix::from_pure(&sv);
+//! assert!((rho.purity() - 1.0).abs() < 1e-12);
+//! # Ok::<(), gleipnir_sim::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod basis;
+mod density;
+mod observable;
+mod statevector;
+
+pub use basis::BasisState;
+pub use observable::{Observable, Pauli};
+pub use density::{statistical_distance, DensityMatrix};
+pub use statevector::{SimError, StateVector};

@@ -1,0 +1,216 @@
+//! Simple undirected graphs for QAOA max-cut instances.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An undirected simple graph on vertices `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use gleipnir_workloads::Graph;
+///
+/// let line = Graph::line(5);
+/// assert_eq!(line.n_vertices(), 5);
+/// assert_eq!(line.n_edges(), 4);
+///
+/// let reg = Graph::random_regular(10, 4, 7).expect("4-regular on 10 vertices");
+/// assert!(reg.degrees().iter().all(|&d| d == 4));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list (self-loops and duplicates
+    /// rejected).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range vertices, self-loops, or duplicate edges.
+    pub fn new(n: usize, edges: Vec<(usize, usize)>) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        for &(a, b) in &edges {
+            assert!(a < n && b < n, "edge ({a},{b}) out of range");
+            assert_ne!(a, b, "self-loop ({a},{a})");
+            assert!(seen.insert((a.min(b), a.max(b))), "duplicate edge ({a},{b})");
+        }
+        let edges = edges.into_iter().map(|(a, b)| (a.min(b), a.max(b))).collect();
+        Graph { n, edges }
+    }
+
+    /// The path graph `0 — 1 — ⋯ — (n−1)`.
+    pub fn line(n: usize) -> Self {
+        Graph::new(n, (1..n).map(|i| (i - 1, i)).collect())
+    }
+
+    /// The cycle graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `n < 3`.
+    pub fn cycle(n: usize) -> Self {
+        assert!(n >= 3, "cycle needs at least 3 vertices");
+        let mut edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+        edges.push((0, n - 1));
+        Graph::new(n, edges)
+    }
+
+    /// An Erdős–Rényi `G(n, M)` graph with exactly `m` edges, seeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` exceeds `n(n−1)/2`.
+    pub fn erdos_renyi_m(n: usize, m: usize, seed: u64) -> Self {
+        let max = n * (n - 1) / 2;
+        assert!(m <= max, "requested {m} edges but only {max} possible");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut all: Vec<(usize, usize)> = Vec::with_capacity(max);
+        for a in 0..n {
+            for b in a + 1..n {
+                all.push((a, b));
+            }
+        }
+        // Partial Fisher–Yates: draw m edges without replacement.
+        for i in 0..m {
+            let j = rng.gen_range(i..all.len());
+            all.swap(i, j);
+        }
+        all.truncate(m);
+        Graph::new(n, all)
+    }
+
+    /// A random `d`-regular graph via the pairing model with retries.
+    ///
+    /// Returns `None` if `n·d` is odd, `d ≥ n`, or no simple matching was
+    /// found within the retry budget (vanishing probability for reasonable
+    /// `n`, `d`).
+    pub fn random_regular(n: usize, d: usize, seed: u64) -> Option<Self> {
+        if n * d % 2 != 0 || d >= n {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        'attempt: for _ in 0..200 {
+            // Stubs: d copies of each vertex.
+            let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+            // Shuffle.
+            for i in (1..stubs.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                stubs.swap(i, j);
+            }
+            let mut seen = std::collections::HashSet::new();
+            let mut edges = Vec::with_capacity(n * d / 2);
+            for pair in stubs.chunks(2) {
+                let (a, b) = (pair[0], pair[1]);
+                if a == b || !seen.insert((a.min(b), a.max(b))) {
+                    continue 'attempt;
+                }
+                edges.push((a, b));
+            }
+            return Some(Graph::new(n, edges));
+        }
+        None
+    }
+
+    /// Number of vertices.
+    pub fn n_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edges, with `a < b` in each pair.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Vertex degrees.
+    pub fn degrees(&self) -> Vec<usize> {
+        let mut d = vec![0usize; self.n];
+        for &(a, b) in &self.edges {
+            d[a] += 1;
+            d[b] += 1;
+        }
+        d
+    }
+
+    /// The cut value of a vertex bipartition given as a bitmask
+    /// (bit `v` set ⇒ vertex `v` on side 1). Used by QAOA tests.
+    pub fn cut_value(&self, assignment: usize) -> usize {
+        self.edges
+            .iter()
+            .filter(|&&(a, b)| ((assignment >> a) ^ (assignment >> b)) & 1 == 1)
+            .count()
+    }
+
+    /// The maximum cut over all bipartitions (brute force; `n ≤ 20`).
+    ///
+    /// # Panics
+    ///
+    /// Panics for `n > 20`.
+    pub fn max_cut_brute_force(&self) -> usize {
+        assert!(self.n <= 20, "brute-force max-cut is for small graphs");
+        (0..(1usize << self.n))
+            .map(|a| self.cut_value(a))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_cycle_shapes() {
+        let l = Graph::line(6);
+        assert_eq!(l.n_edges(), 5);
+        assert_eq!(l.degrees(), vec![1, 2, 2, 2, 2, 1]);
+        let c = Graph::cycle(6);
+        assert_eq!(c.n_edges(), 6);
+        assert!(c.degrees().iter().all(|&d| d == 2));
+    }
+
+    #[test]
+    fn erdos_renyi_exact_edge_count() {
+        let g = Graph::erdos_renyi_m(20, 40, 123);
+        assert_eq!(g.n_edges(), 40);
+        // Deterministic under the same seed.
+        assert_eq!(g, Graph::erdos_renyi_m(20, 40, 123));
+        assert_ne!(g, Graph::erdos_renyi_m(20, 40, 124));
+    }
+
+    #[test]
+    fn random_regular_is_regular() {
+        for (n, d, seed) in [(10, 4, 1), (20, 4, 2), (30, 4, 3), (12, 3, 4)] {
+            let g = Graph::random_regular(n, d, seed).expect("regular graph");
+            assert!(g.degrees().iter().all(|&x| x == d), "n={n} d={d}");
+            assert_eq!(g.n_edges(), n * d / 2);
+        }
+    }
+
+    #[test]
+    fn random_regular_rejects_impossible() {
+        assert!(Graph::random_regular(5, 3, 1).is_none()); // odd n·d
+        assert!(Graph::random_regular(4, 5, 1).is_none()); // d ≥ n
+    }
+
+    #[test]
+    fn cut_values() {
+        let g = Graph::line(3); // edges (0,1), (1,2)
+        assert_eq!(g.cut_value(0b000), 0);
+        assert_eq!(g.cut_value(0b010), 2); // vertex 1 alone cuts both edges
+        assert_eq!(g.max_cut_brute_force(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_edges_rejected() {
+        let _ = Graph::new(3, vec![(0, 1), (1, 0)]);
+    }
+}

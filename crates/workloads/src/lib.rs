@@ -1,0 +1,31 @@
+//! # gleipnir-workloads
+//!
+//! Benchmark workload generators for the Gleipnir evaluation (§7):
+//!
+//! * [`qaoa_maxcut`] — the Quantum Approximate Optimization Algorithm [12]
+//!   for max-cut on arbitrary [`Graph`]s;
+//! * [`ising_chain`] — Trotterized transverse-field Ising evolution [44];
+//! * [`ghz`] — GHZ-`n` circuits (Fig. 16, used by the §7.2 mapping study);
+//! * [`paper_benchmarks`] — the nine Table 2 rows, regenerated with seeded
+//!   graphs and layer counts matching the paper's reported gate counts.
+//!
+//! ## Example
+//!
+//! ```
+//! use gleipnir_workloads::{paper_benchmarks, qaoa_maxcut, Graph};
+//!
+//! let bench = paper_benchmarks();
+//! assert_eq!(bench.len(), 9);
+//! assert_eq!(bench[0].name, "QAOA_line_10");
+//!
+//! let p = qaoa_maxcut(&Graph::cycle(6), &[0.4], &[0.8]);
+//! assert_eq!(p.n_qubits(), 6);
+//! ```
+
+#![warn(missing_docs)]
+
+mod circuits;
+mod graph;
+
+pub use circuits::{ghz, ising_chain, paper_benchmarks, qaoa_maxcut, Benchmark};
+pub use graph::Graph;

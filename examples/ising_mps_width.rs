@@ -1,0 +1,47 @@
+//! The precision–cost trade-off of the MPS width (a miniature Figure 14).
+//!
+//! Sweeps the MPS size `w` on a Trotterized Ising chain and prints how the
+//! error bound tightens (and the runtime grows) with `w` — Gleipnir's
+//! adaptivity knob.
+//!
+//! Run with: `cargo run --release --example ising_mps_width`
+
+use gleipnir::core::{Analyzer, AnalyzerConfig};
+use gleipnir::noise::NoiseModel;
+use gleipnir::sim::BasisState;
+use gleipnir::workloads::ising_chain;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 12;
+    let program = ising_chain(n, 12, 1.0, 1.0, 0.1);
+    let noise = NoiseModel::uniform_bit_flip(1e-4);
+    let input = BasisState::zeros(n);
+    let worst = program.gate_count() as f64 * 1e-4;
+
+    println!(
+        "Ising chain: {n} qubits, {} gates; worst case = {:.1}e-4\n",
+        program.gate_count(),
+        worst * 1e4
+    );
+    println!("{:>4} {:>14} {:>12} {:>10}", "w", "bound(×1e-4)", "TN δ", "time(s)");
+
+    for w in [1usize, 2, 4, 8, 16, 32] {
+        let t = Instant::now();
+        let report = Analyzer::new(AnalyzerConfig::with_mps_width(w))
+            .analyze(&program, &input, &noise)?;
+        println!(
+            "{w:>4} {:>14.2} {:>12.4} {:>10.2}",
+            report.error_bound() * 1e4,
+            report.tn_delta(),
+            t.elapsed().as_secs_f64()
+        );
+    }
+
+    println!(
+        "\nSmall w: large truncation δ makes the state constraint vacuous and \
+         the bound approaches the worst case.\nLarge w: δ → 0 and the bound \
+         converges to the full-precision state-aware value."
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! QAOA error analysis: the paper's §7.1 workload class in miniature.
+//!
+//! Generates a QAOA max-cut circuit for a small random 4-regular graph,
+//! then compares three analyses:
+//!
+//! * Gleipnir's adaptive `(ρ̂, δ)`-diamond norm bound,
+//! * the LQR-with-full-simulation baseline (exact predicates, exponential
+//!   cost), and
+//! * the unconstrained worst case (`gate count × p`).
+//!
+//! Run with: `cargo run --release --example qaoa_error_analysis`
+
+use gleipnir::core::{lqr_full_sim_bound, worst_case_bound, Analyzer, AnalyzerConfig};
+use gleipnir::noise::NoiseModel;
+use gleipnir::sdp::SolverOptions;
+use gleipnir::sim::BasisState;
+use gleipnir::workloads::{qaoa_maxcut, Graph};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = Graph::random_regular(8, 4, 7).expect("4-regular graph on 8 vertices");
+    let program = qaoa_maxcut(&graph, &[0.35], &[0.62]);
+    let noise = NoiseModel::uniform_bit_flip(1e-4);
+    let input = BasisState::zeros(program.n_qubits());
+
+    println!(
+        "QAOA max-cut: {} qubits, {} edges, {} gates",
+        program.n_qubits(),
+        graph.n_edges(),
+        program.gate_count()
+    );
+
+    let t = Instant::now();
+    let report = Analyzer::new(AnalyzerConfig::with_mps_width(32))
+        .analyze(&program, &input, &noise)?;
+    println!(
+        "Gleipnir (w = 32):   ε ≤ {:.3}e-4   [{:.2}s, {} SDP solves, {} cache hits, TN δ = {:.2e}]",
+        report.error_bound() * 1e4,
+        t.elapsed().as_secs_f64(),
+        report.sdp_solves(),
+        report.cache_hits(),
+        report.tn_delta()
+    );
+
+    let t = Instant::now();
+    let lqr = lqr_full_sim_bound(&program, &input, &noise, &SolverOptions::default())?;
+    println!(
+        "LQR full simulation: ε ≤ {:.3}e-4   [{:.2}s — exponential in qubits]",
+        lqr * 1e4,
+        t.elapsed().as_secs_f64()
+    );
+
+    let worst = worst_case_bound(&program, &noise, &SolverOptions::default())?;
+    println!(
+        "worst case:          ε ≤ {:.3}e-4   [state-agnostic]",
+        worst.total * 1e4
+    );
+
+    println!(
+        "\nGleipnir tightens the worst case by {:.0}% on this circuit.",
+        100.0 * (1.0 - report.error_bound() / worst.total)
+    );
+    Ok(())
+}

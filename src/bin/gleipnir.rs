@@ -1,0 +1,245 @@
+//! The `gleipnir` command-line tool: analyze, optimize, format, and route
+//! GLQ quantum programs from the shell.
+//!
+//! ```text
+//! gleipnir analyze  <file.glq> [--width W] [--noise SPEC] [--input BITS] [--derivation]
+//! gleipnir worst    <file.glq> [--noise SPEC]
+//! gleipnir compare  <file.glq> [--width W] [--noise SPEC]   # bound before/after optimization
+//! gleipnir optimize <file.glq>                              # print the optimized program
+//! gleipnir fmt      <file.glq>                              # parse + pretty-print
+//! gleipnir route    <file.glq> --device boeblingen|lima --mapping 0,1,2
+//!
+//! NOISE SPEC: bitflip:P (default bitflip:1e-4) | depolarizing:P1,P2 | none
+//! ```
+
+use gleipnir::circuit::{
+    optimize, parse, pretty, route_with_final, Mapping, Program,
+};
+use gleipnir::core::{worst_case_bound, Analyzer, AnalyzerConfig};
+use gleipnir::noise::{DeviceModel, NoiseModel};
+use gleipnir::sdp::SolverOptions;
+use gleipnir::sim::BasisState;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err(usage());
+    };
+    match command.as_str() {
+        "analyze" => analyze(&args[1..], false),
+        "compare" => compare(&args[1..]),
+        "worst" => worst(&args[1..]),
+        "optimize" => cmd_optimize(&args[1..]),
+        "fmt" => fmt(&args[1..]),
+        "route" => cmd_route(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: gleipnir <analyze|compare|worst|optimize|fmt|route> <file.glq> [options]\n\
+     options: --width W   --noise bitflip:P|depolarizing:P1,P2|none   --input 0101\n\
+     \x20        --derivation   --device boeblingen|lima   --mapping 0,1,2"
+        .to_string()
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn load_program(args: &[String]) -> Result<Program, String> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--") && a.ends_with(".glq"))
+        .or_else(|| args.iter().find(|a| !a.starts_with("--")))
+        .ok_or("missing input file")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn parse_noise(args: &[String]) -> Result<NoiseModel, String> {
+    let spec = flag_value(args, "--noise").unwrap_or_else(|| "bitflip:1e-4".into());
+    if spec == "none" {
+        return Ok(NoiseModel::Noiseless);
+    }
+    if let Some(p) = spec.strip_prefix("bitflip:") {
+        let p: f64 = p.parse().map_err(|_| format!("bad probability in `{spec}`"))?;
+        return Ok(NoiseModel::uniform_bit_flip(p));
+    }
+    if let Some(ps) = spec.strip_prefix("depolarizing:") {
+        let parts: Vec<&str> = ps.split(',').collect();
+        if parts.len() != 2 {
+            return Err(format!("depolarizing needs two rates, got `{spec}`"));
+        }
+        let p1: f64 = parts[0].parse().map_err(|_| format!("bad rate in `{spec}`"))?;
+        let p2: f64 = parts[1].parse().map_err(|_| format!("bad rate in `{spec}`"))?;
+        return Ok(NoiseModel::uniform_depolarizing(p1, p2));
+    }
+    Err(format!("unknown noise spec `{spec}`"))
+}
+
+fn parse_input(args: &[String], n: usize) -> Result<BasisState, String> {
+    match flag_value(args, "--input") {
+        None => Ok(BasisState::zeros(n)),
+        Some(bits) => {
+            if bits.len() != n || !bits.chars().all(|c| c == '0' || c == '1') {
+                return Err(format!("--input must be {n} binary digits"));
+            }
+            Ok(BasisState::from_bits(
+                &bits.chars().map(|c| c == '1').collect::<Vec<_>>(),
+            ))
+        }
+    }
+}
+
+fn parse_width(args: &[String]) -> Result<usize, String> {
+    match flag_value(args, "--width") {
+        None => Ok(32),
+        Some(w) => w.parse().map_err(|_| format!("bad width `{w}`")),
+    }
+}
+
+fn analyze(args: &[String], quiet: bool) -> Result<(), String> {
+    let program = load_program(args)?;
+    let noise = parse_noise(args)?;
+    let input = parse_input(args, program.n_qubits())?;
+    let width = parse_width(args)?;
+    let analyzer = Analyzer::new(AnalyzerConfig::with_mps_width(width));
+    let report = analyzer
+        .analyze(&program, &input, &noise)
+        .map_err(|e| e.to_string())?;
+    if !quiet {
+        println!(
+            "{} qubits, {} gates, input {input}, MPS width {width}",
+            program.n_qubits(),
+            program.gate_count()
+        );
+    }
+    println!("error bound: {:.6e}", report.error_bound());
+    println!(
+        "TN delta: {:.3e}   SDP solves: {}   cache hits: {}   time: {:?}",
+        report.tn_delta(),
+        report.sdp_solves(),
+        report.cache_hits(),
+        report.elapsed()
+    );
+    if args.iter().any(|a| a == "--derivation") {
+        println!("\n{}", report.derivation().pretty());
+    }
+    Ok(())
+}
+
+fn worst(args: &[String]) -> Result<(), String> {
+    let program = load_program(args)?;
+    let noise = parse_noise(args)?;
+    let report = worst_case_bound(&program, &noise, &SolverOptions::default())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "worst-case bound: {:.6e} over {} gates ({} distinct SDPs); clamped: {:.6e}",
+        report.total,
+        report.gate_count,
+        report.sdp_solves,
+        report.clamped()
+    );
+    Ok(())
+}
+
+fn compare(args: &[String]) -> Result<(), String> {
+    let program = load_program(args)?;
+    let noise = parse_noise(args)?;
+    let input = parse_input(args, program.n_qubits())?;
+    let width = parse_width(args)?;
+    let (optimized, stats) = optimize(&program);
+
+    let analyzer = Analyzer::new(AnalyzerConfig::with_mps_width(width));
+    let before = analyzer
+        .analyze(&program, &input, &noise)
+        .map_err(|e| e.to_string())?;
+    let after = analyzer
+        .analyze(&optimized, &input, &noise)
+        .map_err(|e| e.to_string())?;
+
+    println!(
+        "original:  {} gates, bound {:.6e}",
+        program.gate_count(),
+        before.error_bound()
+    );
+    println!(
+        "optimized: {} gates, bound {:.6e}   ({} cancelled, {} merged, {} identities)",
+        optimized.gate_count(),
+        after.error_bound(),
+        stats.cancellations,
+        stats.merges,
+        stats.identities_removed
+    );
+    if before.error_bound() > 0.0 {
+        println!(
+            "error-mitigation effect: {:.1}% lower bound",
+            100.0 * (1.0 - after.error_bound() / before.error_bound())
+        );
+    }
+    Ok(())
+}
+
+fn cmd_optimize(args: &[String]) -> Result<(), String> {
+    let program = load_program(args)?;
+    let (optimized, stats) = optimize(&program);
+    eprintln!(
+        "{} → {} gates ({} cancelled, {} merged, {} identities removed)",
+        stats.gates_before,
+        stats.gates_after,
+        stats.cancellations,
+        stats.merges,
+        stats.identities_removed
+    );
+    print!("{}", pretty(&optimized));
+    Ok(())
+}
+
+fn fmt(args: &[String]) -> Result<(), String> {
+    let program = load_program(args)?;
+    print!("{}", pretty(&program));
+    Ok(())
+}
+
+fn cmd_route(args: &[String]) -> Result<(), String> {
+    let program = load_program(args)?;
+    let device = match flag_value(args, "--device").as_deref() {
+        Some("boeblingen") | None => DeviceModel::boeblingen20(),
+        Some("lima") => DeviceModel::lima5(),
+        Some(other) => return Err(format!("unknown device `{other}`")),
+    };
+    let mapping = match flag_value(args, "--mapping") {
+        None => Mapping::identity(program.n_qubits()),
+        Some(spec) => {
+            let placement: Result<Vec<usize>, _> =
+                spec.split(',').map(|s| s.trim().parse()).collect();
+            Mapping::new(placement.map_err(|_| format!("bad mapping `{spec}`"))?)
+        }
+    };
+    let (routed, final_placement) = route_with_final(&program, device.coupling(), &mapping)
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "routed onto {}: {} gates ({} two-qubit), final placement {final_placement}",
+        device.name(),
+        routed.gate_count(),
+        routed.two_qubit_gate_count()
+    );
+    print!("{}", pretty(&routed));
+    Ok(())
+}

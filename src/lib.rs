@@ -1,0 +1,65 @@
+//! # Gleipnir
+//!
+//! A from-scratch Rust reproduction of *Gleipnir: Toward Practical Error
+//! Analysis for Quantum Programs* (PLDI 2021).
+//!
+//! Gleipnir computes **verified error bounds** for noisy quantum programs.
+//! Instead of the worst-case (unconstrained) diamond norm, it uses the
+//! state-aware `(ρ̂, δ)`-diamond norm: the approximate program state `ρ̂` is
+//! computed adaptively with a Matrix Product State (MPS) tensor network, its
+//! distance to the ideal state is soundly over-approximated by `δ`, and a
+//! lightweight program logic combines per-gate SDP-certified bounds into a
+//! whole-program bound.
+//!
+//! This facade crate re-exports the entire workspace:
+//!
+//! * [`linalg`] — dense complex/real linear algebra (eigen, SVD, QR, Cholesky)
+//! * [`circuit`] — quantum program IR, parser, and coupling-map transpiler
+//! * [`sim`] — dense state-vector and density-matrix simulators
+//! * [`noise`] — noise channels, gate noise models, device models
+//! * [`mps`] — the MPS tensor-network approximator `TN(ρ₀, P) = (ρ̂, δ)`
+//! * [`sdp`] — a small dense semidefinite-programming solver
+//! * [`core`] — diamond norms and the quantum error logic (the paper's
+//!   contribution)
+//! * [`workloads`] — QAOA / Ising / GHZ benchmark generators
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gleipnir::prelude::*;
+//!
+//! // The 2-qubit GHZ circuit from the paper's running example.
+//! let mut b = ProgramBuilder::new(2);
+//! b.h(0).cnot(0, 1);
+//! let program = b.build();
+//!
+//! // Per-gate bit-flip noise with probability 1e-4 (the paper's Section 7 model).
+//! let noise = NoiseModel::uniform_bit_flip(1e-4);
+//!
+//! // Analyze: MPS width 8 is plenty for 2 qubits.
+//! let analyzer = Analyzer::new(AnalyzerConfig::with_mps_width(8));
+//! let report = analyzer.analyze(&program, &BasisState::zeros(2), &noise)?;
+//!
+//! assert!(report.error_bound() > 0.0);
+//! assert!(report.error_bound() < 3e-4); // two noisy gates, each ≤ 1e-4 + slack
+//! # Ok::<(), gleipnir::core::AnalysisError>(())
+//! ```
+
+pub use gleipnir_circuit as circuit;
+pub use gleipnir_core as core;
+pub use gleipnir_linalg as linalg;
+pub use gleipnir_mps as mps;
+pub use gleipnir_noise as noise;
+pub use gleipnir_sdp as sdp;
+pub use gleipnir_sim as sim;
+pub use gleipnir_workloads as workloads;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use gleipnir_circuit::{Gate, Program, ProgramBuilder, Qubit};
+    pub use gleipnir_core::{Analyzer, AnalyzerConfig, Derivation, Report};
+    pub use gleipnir_linalg::{CMat, CVec, C64};
+    pub use gleipnir_mps::{Mps, MpsConfig};
+    pub use gleipnir_noise::{Channel, DeviceModel, NoiseModel};
+    pub use gleipnir_sim::{BasisState, DensityMatrix, StateVector};
+}

@@ -1,0 +1,202 @@
+//! End-to-end soundness: Gleipnir's certified bound must dominate the *true*
+//! error of the noisy program, computed exactly with the density-matrix
+//! simulator (Theorem A.1 instantiated on concrete programs).
+
+use gleipnir::circuit::{Program, ProgramBuilder};
+use gleipnir::core::{lqr_full_sim_bound, worst_case_bound, Analyzer, AnalyzerConfig};
+use gleipnir::noise::NoiseModel;
+use gleipnir::sdp::SolverOptions;
+use gleipnir::sim::{BasisState, DensityMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Exact error of the noisy program: `½‖[[P]]_ω(ρ₀) − [[P]](ρ₀)‖₁`.
+fn true_error(program: &Program, input: &BasisState, noise: &NoiseModel) -> f64 {
+    let mut ideal = DensityMatrix::from_basis(input);
+    ideal.run(program);
+    let mut noisy = DensityMatrix::from_basis(input);
+    noisy.run_noisy(program, &|gate, qubits| {
+        noise.channel_for(gate, qubits).map(|ch| ch.kraus().to_vec())
+    });
+    noisy.trace_distance_to(&ideal).expect("trace distance")
+}
+
+fn random_circuit(n: usize, gates: usize, seed: u64) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = ProgramBuilder::new(n);
+    for _ in 0..gates {
+        match rng.gen_range(0..7) {
+            0 => {
+                b.h(rng.gen_range(0..n));
+            }
+            1 => {
+                b.rx(rng.gen_range(0..n), rng.gen_range(-3.0..3.0));
+            }
+            2 => {
+                b.ry(rng.gen_range(0..n), rng.gen_range(-3.0..3.0));
+            }
+            3 => {
+                b.t(rng.gen_range(0..n));
+            }
+            4 => {
+                let a = rng.gen_range(0..n);
+                let mut c = rng.gen_range(0..n);
+                while c == a {
+                    c = rng.gen_range(0..n);
+                }
+                b.cnot(a, c);
+            }
+            5 => {
+                let a = rng.gen_range(0..n);
+                let mut c = rng.gen_range(0..n);
+                while c == a {
+                    c = rng.gen_range(0..n);
+                }
+                b.rzz(a, c, rng.gen_range(-2.0..2.0));
+            }
+            _ => {
+                b.z(rng.gen_range(0..n));
+            }
+        }
+    }
+    b.build()
+}
+
+#[test]
+fn bound_dominates_true_error_bit_flip() {
+    let noise = NoiseModel::uniform_bit_flip(5e-3);
+    for seed in 0..6 {
+        let n = 4;
+        let program = random_circuit(n, 15, seed);
+        let input = BasisState::zeros(n);
+        let truth = true_error(&program, &input, &noise);
+        let report = Analyzer::new(AnalyzerConfig::with_mps_width(16))
+            .analyze(&program, &input, &noise)
+            .unwrap();
+        assert!(
+            report.error_bound() >= truth - 1e-9,
+            "seed {seed}: bound {} < true error {truth}",
+            report.error_bound()
+        );
+    }
+}
+
+#[test]
+fn bound_dominates_true_error_depolarizing() {
+    let noise = NoiseModel::uniform_depolarizing(2e-3, 8e-3);
+    for seed in 10..14 {
+        let n = 3;
+        let program = random_circuit(n, 12, seed);
+        let input = BasisState::zeros(n);
+        let truth = true_error(&program, &input, &noise);
+        let report = Analyzer::new(AnalyzerConfig::with_mps_width(8))
+            .analyze(&program, &input, &noise)
+            .unwrap();
+        assert!(
+            report.error_bound() >= truth - 1e-9,
+            "seed {seed}: bound {} < true error {truth}",
+            report.error_bound()
+        );
+    }
+}
+
+#[test]
+fn bound_dominates_true_error_with_truncation() {
+    // Even a w = 1 MPS (heavy truncation) must stay sound: the truncation
+    // error δ enters the constraint and only loosens the bound.
+    let noise = NoiseModel::uniform_bit_flip(1e-2);
+    for seed in 20..24 {
+        let n = 4;
+        let program = random_circuit(n, 18, seed);
+        let input = BasisState::zeros(n);
+        let truth = true_error(&program, &input, &noise);
+        let report = Analyzer::new(AnalyzerConfig::with_mps_width(1))
+            .analyze(&program, &input, &noise)
+            .unwrap();
+        assert!(
+            report.error_bound() >= truth - 1e-9,
+            "seed {seed}: w=1 bound {} < true error {truth}",
+            report.error_bound()
+        );
+    }
+}
+
+#[test]
+fn bound_dominates_true_error_with_measurements() {
+    let noise = NoiseModel::uniform_bit_flip(5e-3);
+    let mut b = ProgramBuilder::new(3);
+    b.h(0).cnot(0, 1).rx(2, 0.8);
+    b.if_measure(0, |z| {
+        z.x(2).rzz(1, 2, 0.5);
+    }, |o| {
+        o.z(2).cnot(1, 2);
+    });
+    let program = b.build();
+    let input = BasisState::zeros(3);
+    let truth = true_error(&program, &input, &noise);
+    let report = Analyzer::new(AnalyzerConfig::with_mps_width(8))
+        .analyze(&program, &input, &noise)
+        .unwrap();
+    assert!(
+        report.error_bound() >= truth - 1e-9,
+        "bound {} < true error {truth}",
+        report.error_bound()
+    );
+}
+
+#[test]
+fn hierarchy_of_analyses() {
+    // true error ≤ Gleipnir ≈ LQR-full-sim ≤ worst case, on a circuit the
+    // wide MPS represents exactly.
+    let noise = NoiseModel::uniform_bit_flip(1e-3);
+    let program = random_circuit(4, 20, 99);
+    let input = BasisState::zeros(4);
+    let truth = true_error(&program, &input, &noise);
+    let mut cfg = AnalyzerConfig::with_mps_width(16);
+    cfg.cache = false;
+    let gleipnir = Analyzer::new(cfg)
+        .analyze(&program, &input, &noise)
+        .unwrap()
+        .error_bound();
+    let lqr = lqr_full_sim_bound(&program, &input, &noise, &SolverOptions::default()).unwrap();
+    let worst = worst_case_bound(&program, &noise, &SolverOptions::default())
+        .unwrap()
+        .total;
+    assert!(truth <= gleipnir + 1e-9, "true {truth} > gleipnir {gleipnir}");
+    assert!((gleipnir - lqr).abs() < 1e-6, "gleipnir {gleipnir} vs lqr {lqr}");
+    assert!(gleipnir <= worst + 1e-9, "gleipnir {gleipnir} > worst {worst}");
+}
+
+#[test]
+fn wider_mps_gives_tighter_or_equal_bounds() {
+    let noise = NoiseModel::uniform_bit_flip(1e-3);
+    // An entangling circuit where w = 1 truncates hard.
+    let mut b = ProgramBuilder::new(5);
+    for q in 0..5 {
+        b.h(q);
+    }
+    for q in 0..4 {
+        b.rzz(q, q + 1, 1.1);
+    }
+    for q in 0..5 {
+        b.rx(q, 0.9);
+    }
+    for q in 0..4 {
+        b.rzz(q, q + 1, 0.7);
+    }
+    let program = b.build();
+    let input = BasisState::zeros(5);
+    let bound = |w: usize| {
+        Analyzer::new(AnalyzerConfig::with_mps_width(w))
+            .analyze(&program, &input, &noise)
+            .unwrap()
+            .error_bound()
+    };
+    let b1 = bound(1);
+    let b4 = bound(4);
+    let b16 = bound(16);
+    // The exact-regime bound must be the tightest; w=1 the loosest.
+    assert!(b16 <= b4 + 1e-7, "b16 {b16} > b4 {b4}");
+    assert!(b4 <= b1 + 1e-7, "b4 {b4} > b1 {b1}");
+    assert!(b1 > b16, "truncation should cost tightness ({b1} vs {b16})");
+}

@@ -1,0 +1,63 @@
+//! Routing must preserve program semantics: the routed circuit followed by
+//! the final-placement permutation equals the original circuit.
+
+use gleipnir::circuit::{
+    compact_program, route_with_final, CouplingMap, Mapping, ProgramBuilder,
+};
+use gleipnir::sim::StateVector;
+use gleipnir::workloads::ghz;
+
+#[test]
+fn routed_ghz_prepares_ghz_on_displaced_qubits() {
+    let n = 4;
+    let logical = ghz(n);
+    let line = CouplingMap::line(6);
+    // A placement that forces routing: logical chain 0→5→1→4.
+    let placement = Mapping::new(vec![0, 5, 1, 4]);
+    let (routed, final_placement) = route_with_final(&logical, &line, &placement).unwrap();
+
+    let (compact, originals) = compact_program(&routed);
+    let mut sv = StateVector::zero_state(compact.n_qubits());
+    sv.run(&compact).unwrap();
+    let probs = sv.probabilities();
+
+    // The GHZ logical qubits live at final_placement; in the compact
+    // register they are at the positions of those physical indices.
+    let k = compact.n_qubits();
+    let compact_pos: Vec<usize> = (0..n)
+        .map(|l| {
+            let phys = final_placement.physical(l);
+            originals.iter().position(|&o| o == phys).unwrap()
+        })
+        .collect();
+    // All probability mass must sit on states where the GHZ qubits agree
+    // (all 0 or all 1) — half each.
+    let mut all_zero = 0.0;
+    let mut all_one = 0.0;
+    for (idx, p) in probs.iter().enumerate() {
+        let bits: Vec<usize> = compact_pos
+            .iter()
+            .map(|&pos| (idx >> (k - 1 - pos)) & 1)
+            .collect();
+        if bits.iter().all(|&b| b == 0) {
+            all_zero += p;
+        } else if bits.iter().all(|&b| b == 1) {
+            all_one += p;
+        } else if *p > 1e-12 {
+            panic!("probability {p} on a non-GHZ pattern {bits:?}");
+        }
+    }
+    assert!((all_zero - 0.5).abs() < 1e-10);
+    assert!((all_one - 0.5).abs() < 1e-10);
+}
+
+#[test]
+fn routing_on_full_coupling_is_identity_up_to_renaming() {
+    let mut b = ProgramBuilder::new(4);
+    b.h(0).cnot(0, 3).rzz(1, 2, 0.4);
+    let p = b.build();
+    let (routed, fin) =
+        route_with_final(&p, &CouplingMap::full(4), &Mapping::identity(4)).unwrap();
+    assert_eq!(routed.two_qubit_gate_count(), p.two_qubit_gate_count());
+    assert_eq!(fin, Mapping::identity(4));
+}
