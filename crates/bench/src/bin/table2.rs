@@ -42,7 +42,13 @@ fn main() {
             bench.n_qubits,
             bench.program.gate_count()
         );
-        match run_table2_row(bench.name, &bench.program, bench.paper_gate_count, width, true) {
+        match run_table2_row(
+            bench.name,
+            &bench.program,
+            bench.paper_gate_count,
+            width,
+            true,
+        ) {
             Ok(row) => {
                 eprintln!(
                     "  bound {:.2}e-4 in {:.1}s (worst {:.1}e-4)",

@@ -187,7 +187,9 @@ pub fn run_mapping_experiment(
     // ---- Measured side ----------------------------------------------
     let mut rho = DensityMatrix::zero_state(compact.n_qubits());
     rho.run_noisy(&compact, &|gate, qubits| {
-        noise.channel_for(gate, qubits).map(|ch| ch.kraus().to_vec())
+        noise
+            .channel_for(gate, qubits)
+            .map(|ch| ch.kraus().to_vec())
     });
     // Distribution over the measured (compact) qubits, MSB-first in logical
     // order.

@@ -87,8 +87,14 @@ impl Gate {
             (n == 2 || n == 4) && matrix.cols() == n,
             "custom gates must be 2x2 or 4x4"
         );
-        assert!(matrix.is_unitary(1e-9), "custom gate matrix must be unitary");
-        Gate::Custom { name: name.into(), matrix: Arc::new(matrix) }
+        assert!(
+            matrix.is_unitary(1e-9),
+            "custom gate matrix must be unitary"
+        );
+        Gate::Custom {
+            name: name.into(),
+            matrix: Arc::new(matrix),
+        }
     }
 
     /// Number of qubits the gate acts on (1 or 2).
@@ -197,8 +203,17 @@ impl Gate {
     pub fn is_diagonal(&self) -> bool {
         matches!(
             self,
-            Gate::I | Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg
-                | Gate::Rz(_) | Gate::Phase(_) | Gate::Cz | Gate::Rzz(_) | Gate::CPhase(_)
+            Gate::I
+                | Gate::Z
+                | Gate::S
+                | Gate::Sdg
+                | Gate::T
+                | Gate::Tdg
+                | Gate::Rz(_)
+                | Gate::Phase(_)
+                | Gate::Cz
+                | Gate::Rzz(_)
+                | Gate::CPhase(_)
         )
     }
 
@@ -230,7 +245,11 @@ impl Gate {
     /// The rotation parameter, when the gate has one.
     pub fn param(&self) -> Option<f64> {
         match self {
-            Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) | Gate::Phase(t) | Gate::Rzz(t)
+            Gate::Rx(t)
+            | Gate::Ry(t)
+            | Gate::Rz(t)
+            | Gate::Phase(t)
+            | Gate::Rzz(t)
             | Gate::CPhase(t) => Some(*t),
             _ => None,
         }

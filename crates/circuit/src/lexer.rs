@@ -77,7 +77,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "lex error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -138,7 +142,11 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LexError> {
                 advance(&mut i, &mut line, &mut col);
             }
             let word: String = bytes[start..i].iter().collect();
-            out.push(Spanned { token: Token::Ident(word), line: tline, col: tcol });
+            out.push(Spanned {
+                token: Token::Ident(word),
+                line: tline,
+                col: tcol,
+            });
             continue;
         }
         if c.is_ascii_digit() || (c == '.' && i + 1 < n && bytes[i + 1].is_ascii_digit()) {
@@ -160,7 +168,11 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LexError> {
                 line: tline,
                 col: tcol,
             })?;
-            out.push(Spanned { token: Token::Number(value), line: tline, col: tcol });
+            out.push(Spanned {
+                token: Token::Number(value),
+                line: tline,
+                col: tcol,
+            });
             continue;
         }
         let tok = match c {
@@ -195,7 +207,11 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
         };
         advance(&mut i, &mut line, &mut col);
-        out.push(Spanned { token: tok, line: tline, col: tcol });
+        out.push(Spanned {
+            token: tok,
+            line: tline,
+            col: tcol,
+        });
     }
     Ok(out)
 }
@@ -225,7 +241,10 @@ mod tests {
     fn tracks_positions() {
         let toks = tokenize("h q0;\ncnot q0, q1;").unwrap();
         assert_eq!((toks[0].line, toks[0].col), (1, 1));
-        let cnot = toks.iter().find(|t| t.token == Token::Ident("cnot".into())).unwrap();
+        let cnot = toks
+            .iter()
+            .find(|t| t.token == Token::Ident("cnot".into()))
+            .unwrap();
         assert_eq!((cnot.line, cnot.col), (2, 1));
     }
 

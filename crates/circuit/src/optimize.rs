@@ -178,7 +178,9 @@ fn is_identity(g: &Gate) -> bool {
     const TOL: f64 = 1e-12;
     match g {
         Gate::I => true,
-        Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) => angle_zero(*t, 4.0 * PI, TOL) || angle_zero(*t, -4.0 * PI, TOL) || t.abs() < TOL,
+        Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) => {
+            angle_zero(*t, 4.0 * PI, TOL) || angle_zero(*t, -4.0 * PI, TOL) || t.abs() < TOL
+        }
         Gate::Rzz(t) => t.abs() < TOL || angle_zero(*t, 4.0 * PI, TOL),
         Gate::Phase(t) | Gate::CPhase(t) => t.abs() < TOL || angle_zero(*t, 2.0 * PI, TOL),
         _ => false,
@@ -321,11 +323,15 @@ mod tests {
     fn optimization_crosses_nothing_through_measurements() {
         let mut b = ProgramBuilder::new(2);
         b.h(0);
-        b.if_measure(0, |z| {
-            z.h(1).h(1); // cancels inside the branch
-        }, |o| {
-            o.x(1);
-        });
+        b.if_measure(
+            0,
+            |z| {
+                z.h(1).h(1); // cancels inside the branch
+            },
+            |o| {
+                o.x(1);
+            },
+        );
         b.h(0); // must NOT cancel with the pre-measurement H
         let (opt, stats) = optimize(&b.build());
         assert_eq!(stats.cancellations, 1);

@@ -33,7 +33,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -41,7 +45,11 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, line: e.line, col: e.col }
+        ParseError {
+            message: e.message,
+            line: e.line,
+            col: e.col,
+        }
     }
 }
 
@@ -64,7 +72,11 @@ impl Parser {
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
         let (line, col) = self.here();
-        ParseError { message: msg.into(), line, col }
+        ParseError {
+            message: msg.into(),
+            line,
+            col,
+        }
     }
 
     fn expect(&mut self, t: &Token) -> Result<(), ParseError> {
@@ -261,7 +273,11 @@ impl Parser {
                 } else {
                     Stmt::Skip
                 };
-                Ok(Stmt::IfMeasure { qubit: q, zero: Box::new(zero), one: Box::new(one) })
+                Ok(Stmt::IfMeasure {
+                    qubit: q,
+                    zero: Box::new(zero),
+                    one: Box::new(one),
+                })
             }
             _ => {
                 let params = self.params()?;
@@ -345,14 +361,10 @@ fn max_qubit(s: &Stmt) -> Option<usize> {
         Stmt::Skip => None,
         Stmt::Seq(ss) => ss.iter().filter_map(max_qubit).max(),
         Stmt::Gate(g) => g.qubits.iter().map(|q| q.0).max(),
-        Stmt::IfMeasure { qubit, zero, one } => [
-            Some(qubit.0),
-            max_qubit(zero),
-            max_qubit(one),
-        ]
-        .into_iter()
-        .flatten()
-        .max(),
+        Stmt::IfMeasure { qubit, zero, one } => [Some(qubit.0), max_qubit(zero), max_qubit(one)]
+            .into_iter()
+            .flatten()
+            .max(),
     }
 }
 
@@ -392,7 +404,9 @@ mod tests {
     fn parses_parameterized_gates() {
         let p = parse("qubits 1; rx(pi/2) q0; rz(-0.25) q0; phase(2*pi) q0;").unwrap();
         let gates = p.straight_line_gates().unwrap();
-        assert!(matches!(gates[0].gate, Gate::Rx(t) if (t - std::f64::consts::FRAC_PI_2).abs() < 1e-15));
+        assert!(
+            matches!(gates[0].gate, Gate::Rx(t) if (t - std::f64::consts::FRAC_PI_2).abs() < 1e-15)
+        );
         assert!(matches!(gates[1].gate, Gate::Rz(t) if (t + 0.25).abs() < 1e-15));
     }
 

@@ -102,11 +102,15 @@ mod tests {
     #[test]
     fn round_trip_branches() {
         let mut b = ProgramBuilder::new(2);
-        b.h(0).if_measure(0, |z| {
-            z.x(1);
-        }, |o| {
-            o.skip();
-        });
+        b.h(0).if_measure(
+            0,
+            |z| {
+                z.x(1);
+            },
+            |o| {
+                o.skip();
+            },
+        );
         let p = b.build();
         assert_eq!(parse(&pretty(&p)).unwrap(), p);
     }

@@ -49,7 +49,11 @@ impl GateApp {
     /// Panics if the operand count does not match the gate arity or the
     /// operands are not distinct.
     pub fn new(gate: Gate, qubits: Vec<Qubit>) -> Self {
-        assert_eq!(gate.arity(), qubits.len(), "operand count mismatch for {gate}");
+        assert_eq!(
+            gate.arity(),
+            qubits.len(),
+            "operand count mismatch for {gate}"
+        );
         if qubits.len() == 2 {
             assert_ne!(qubits[0], qubits[1], "2-qubit gate with repeated operand");
         }
@@ -348,7 +352,10 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// Starts building a program over `n_qubits` qubits.
     pub fn new(n_qubits: usize) -> Self {
-        ProgramBuilder { n_qubits, stmts: Vec::new() }
+        ProgramBuilder {
+            n_qubits,
+            stmts: Vec::new(),
+        }
     }
 
     /// Appends an arbitrary gate application.
@@ -518,7 +525,9 @@ mod tests {
     fn embed_gate_matches_kron() {
         // X on qubit 1 of 3 = I ⊗ X ⊗ I.
         let m = embed_gate(&Gate::X, &[Qubit(1)], 3);
-        let expect = CMat::identity(2).kron(&Gate::X.matrix()).kron(&CMat::identity(2));
+        let expect = CMat::identity(2)
+            .kron(&Gate::X.matrix())
+            .kron(&CMat::identity(2));
         assert!(m.approx_eq(&expect, 1e-14));
     }
 
@@ -544,11 +553,15 @@ mod tests {
     #[test]
     fn if_measure_structure() {
         let mut b = ProgramBuilder::new(2);
-        b.h(0).if_measure(0, |z| {
-            z.x(1);
-        }, |o| {
-            o.z(1);
-        });
+        b.h(0).if_measure(
+            0,
+            |z| {
+                z.x(1);
+            },
+            |o| {
+                o.z(1);
+            },
+        );
         let p = b.build();
         assert!(!p.is_straight_line());
         assert_eq!(p.measure_count(), 1);

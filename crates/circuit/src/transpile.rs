@@ -36,7 +36,10 @@ pub struct CouplingMap {
 impl CouplingMap {
     /// An edgeless map over `n` physical qubits.
     pub fn new(n: usize) -> Self {
-        CouplingMap { n, adj: vec![Vec::new(); n] }
+        CouplingMap {
+            n,
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Builds a map from an edge list.
@@ -177,7 +180,9 @@ impl Mapping {
 
     /// The identity placement over `n` qubits.
     pub fn identity(n: usize) -> Self {
-        Mapping { to_physical: (0..n).collect() }
+        Mapping {
+            to_physical: (0..n).collect(),
+        }
     }
 
     /// Number of logical qubits.
@@ -231,7 +236,10 @@ impl fmt::Display for RouteError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RouteError::MappingTooSmall { needed, got } => {
-                write!(f, "mapping covers {got} logical qubits, program needs {needed}")
+                write!(
+                    f,
+                    "mapping covers {got} logical qubits, program needs {needed}"
+                )
             }
             RouteError::PhysicalOutOfRange { qubit } => {
                 write!(f, "physical qubit {qubit} exceeds the coupling map")
@@ -356,11 +364,7 @@ pub fn compact_program(program: &Program) -> (Program, Vec<usize>) {
     (Program::new(n, body), originals)
 }
 
-fn route_stmt(
-    s: &Stmt,
-    coupling: &CouplingMap,
-    l2p: &mut Vec<usize>,
-) -> Result<Stmt, RouteError> {
+fn route_stmt(s: &Stmt, coupling: &CouplingMap, l2p: &mut Vec<usize>) -> Result<Stmt, RouteError> {
     match s {
         Stmt::Skip => Ok(Stmt::Skip),
         Stmt::Seq(ss) => {
@@ -455,11 +459,18 @@ fn reconcile(
     let mut stmts = vec![branch];
     for l in 0..l2p.len() {
         while l2p[l] != target[l] {
-            let path = coupling
-                .shortest_path(l2p[l], target[l])
-                .ok_or(RouteError::Disconnected { from: l2p[l], to: target[l] })?;
+            let path =
+                coupling
+                    .shortest_path(l2p[l], target[l])
+                    .ok_or(RouteError::Disconnected {
+                        from: l2p[l],
+                        to: target[l],
+                    })?;
             let (x, y) = (path[0], path[1]);
-            stmts.push(Stmt::Gate(GateApp::new(Gate::Swap, vec![Qubit(x), Qubit(y)])));
+            stmts.push(Stmt::Gate(GateApp::new(
+                Gate::Swap,
+                vec![Qubit(x), Qubit(y)],
+            )));
             for home in l2p.iter_mut() {
                 if *home == x {
                     *home = y;
@@ -622,11 +633,15 @@ mod tests {
     #[test]
     fn routed_branches_reconcile() {
         let mut b = ProgramBuilder::new(3);
-        b.if_measure(0, |z| {
-            z.cnot(0, 2); // forces a swap inside the zero branch
-        }, |o| {
-            o.x(1);
-        });
+        b.if_measure(
+            0,
+            |z| {
+                z.cnot(0, 2); // forces a swap inside the zero branch
+            },
+            |o| {
+                o.x(1);
+            },
+        );
         let routed = route(&b.build(), &CouplingMap::line(3), &Mapping::identity(3)).unwrap();
         assert_eq!(routed.measure_count(), 1);
     }

@@ -93,7 +93,10 @@ pub fn analyze_adaptive(
     config: &AdaptiveConfig,
 ) -> Result<AdaptiveReport, AnalysisError> {
     assert!(config.start_width >= 1, "start width must be positive");
-    assert!(config.max_width >= config.start_width, "width cap below start");
+    assert!(
+        config.max_width >= config.start_width,
+        "width cap below start"
+    );
     let mut width = config.start_width;
     let mut best: Option<(usize, Report)> = None;
     let mut trajectory = Vec::new();
@@ -131,7 +134,11 @@ pub fn analyze_adaptive(
     }
 
     let (width, report) = best.expect("at least one analysis ran");
-    Ok(AdaptiveReport { report, width, trajectory })
+    Ok(AdaptiveReport {
+        report,
+        width,
+        trajectory,
+    })
 }
 
 #[cfg(test)]

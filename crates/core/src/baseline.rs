@@ -83,7 +83,11 @@ pub fn worst_case_bound(
     if let Some(e) = err {
         return Err(e);
     }
-    Ok(WorstCaseReport { total, gate_count, sdp_solves: solves })
+    Ok(WorstCaseReport {
+        total,
+        gate_count,
+        sdp_solves: solves,
+    })
 }
 
 /// LQR with a full-simulation predicate: exact intermediate states from the
@@ -171,7 +175,11 @@ mod tests {
         let report =
             worst_case_bound(&b.build(), &NoiseModel::uniform_bit_flip(p), &opts()).unwrap();
         assert_eq!(report.gate_count, 5);
-        assert!((report.total - 5.0 * p).abs() < 5.0 * p * 1e-3, "{}", report.total);
+        assert!(
+            (report.total - 5.0 * p).abs() < 5.0 * p * 1e-3,
+            "{}",
+            report.total
+        );
         // Only a few distinct (gate, channel) pairs were solved.
         assert!(report.sdp_solves <= 5);
     }

@@ -54,7 +54,11 @@ pub struct DiamondResult {
 
 impl fmt::Display for DiamondResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.6e} (primal {:.6e}, {} iters)", self.bound, self.estimate, self.iterations)
+        write!(
+            f,
+            "{:.6e} (primal {:.6e}, {} iters)",
+            self.bound, self.estimate, self.iterations
+        )
     }
 }
 
@@ -129,7 +133,7 @@ pub fn unconstrained_diamond(
     solve_diamond(ideal, noisy, InputConstraint::None, opts)
 }
 
-/// The `(Q, λ)`-diamond norm of LQR [24]: the maximization is restricted to
+/// The `(Q, λ)`-diamond norm of LQR \[24\]: the maximization is restricted to
 /// input states with `tr(Q·ρ_in) ≥ λ`.
 ///
 /// # Errors
@@ -145,7 +149,10 @@ pub fn q_lambda_diamond(
     solve_diamond(
         ideal,
         noisy,
-        InputConstraint::InnerProduct { q_phys: q.clone(), q0: lambda },
+        InputConstraint::InnerProduct {
+            q_phys: q.clone(),
+            q0: lambda,
+        },
         opts,
     )
 }
@@ -178,7 +185,10 @@ pub fn rho_delta_diamond(
     solve_diamond(
         ideal,
         noisy,
-        InputConstraint::InnerProduct { q_phys: rho_prime.clone(), q0 },
+        InputConstraint::InnerProduct {
+            q_phys: rho_prime.clone(),
+            q0,
+        },
         opts,
     )
 }
@@ -216,7 +226,10 @@ fn solve_diamond(
 ) -> Result<DiamondResult, DiamondError> {
     let d = ideal.rows();
     if noisy.dim() != d {
-        return Err(DiamondError::DimensionMismatch { ideal: d, noisy: noisy.dim() });
+        return Err(DiamondError::DimensionMismatch {
+            ideal: d,
+            noisy: noisy.dim(),
+        });
     }
     // J(Φ) = J(noisy) − J(ideal), Hermitian.
     let j = (&noisy.choi() - &choi_of_unitary(ideal)).hermitize();
@@ -373,11 +386,7 @@ pub fn sampled_diamond_lower_bound(
 }
 
 /// Applies a map on the first tensor factor of a `d·d`-dimensional state.
-fn apply_on_first_factor(
-    map: &dyn Fn(&CMat) -> CMat,
-    rho: &CMat,
-    d: usize,
-) -> CMat {
+fn apply_on_first_factor(map: &dyn Fn(&CMat) -> CMat, rho: &CMat, d: usize) -> CMat {
     // rho indexed by (a, x; b, y) with first factor a,b. Write
     // rho = Σ_{x,y} M_{xy} ⊗ E_xy… easier: for each reference pair (x, y),
     // extract the d×d block, apply the map, and reassemble.
@@ -505,7 +514,11 @@ mod tests {
     fn constrained_never_exceeds_unconstrained() {
         let noisy = Channel::amplitude_damping(0.2).after_unitary(&Gate::H.matrix());
         let un = unconstrained_diamond(&Gate::H.matrix(), &noisy, &opts()).unwrap();
-        for rho in [ket_rho(0, 2), ket_rho(1, 2), CMat::identity(2).scaled(c64(0.5, 0.0))] {
+        for rho in [
+            ket_rho(0, 2),
+            ket_rho(1, 2),
+            CMat::identity(2).scaled(c64(0.5, 0.0)),
+        ] {
             let c = rho_delta_diamond(&Gate::H.matrix(), &noisy, &rho, 0.1, &opts()).unwrap();
             assert!(c.bound <= un.bound + 1e-5, "{} > {}", c.bound, un.bound);
         }
@@ -530,7 +543,12 @@ mod tests {
                 sampled
             );
             // And it should not be wildly loose for these small channels.
-            assert!(r.bound <= 1.2 * sampled + 0.05, "SDP {} ≫ sample {}", r.bound, sampled);
+            assert!(
+                r.bound <= 1.2 * sampled + 0.05,
+                "SDP {} ≫ sample {}",
+                r.bound,
+                sampled
+            );
         }
     }
 
@@ -541,8 +559,7 @@ mod tests {
         let psi_rho = u.mul_mat(&ket_rho(0, 2)).mul_adjoint(&u);
         let p = 0.15;
         let noisy = Channel::bit_flip(p).after_unitary(&CMat::identity(2));
-        let r =
-            rho_delta_diamond(&CMat::identity(2), &noisy, &psi_rho, 0.0, &opts()).unwrap();
+        let r = rho_delta_diamond(&CMat::identity(2), &noisy, &psi_rho, 0.0, &opts()).unwrap();
         // Brute-force: the only physical input with local density exactly
         // ψ (pure!) is ψ ⊗ anything, so the true value is the trace
         // distance on ψ itself.
@@ -576,6 +593,9 @@ mod tests {
     fn dimension_mismatch_detected() {
         let noisy = Channel::bit_flip(0.1);
         let err = unconstrained_diamond(&CMat::identity(4), &noisy, &opts()).unwrap_err();
-        assert!(matches!(err, DiamondError::DimensionMismatch { ideal: 4, noisy: 2 }));
+        assert!(matches!(
+            err,
+            DiamondError::DimensionMismatch { ideal: 4, noisy: 2 }
+        ));
     }
 }

@@ -145,7 +145,12 @@ impl Derivation {
             Derivation::Skip => 0.0,
             Derivation::Gate { epsilon, .. } => *epsilon,
             Derivation::Seq { children } => children.iter().map(Derivation::epsilon).sum(),
-            Derivation::Meas { delta_prob, zero, one, .. } => {
+            Derivation::Meas {
+                delta_prob,
+                zero,
+                one,
+                ..
+            } => {
                 let eps = zero
                     .iter()
                     .chain(one.iter())
@@ -175,7 +180,13 @@ impl Derivation {
             Derivation::Skip => {
                 out.push_str(&format!("{pad}[Skip] ε = 0\n"));
             }
-            Derivation::Gate { gate, qubits, delta, epsilon, .. } => {
+            Derivation::Gate {
+                gate,
+                qubits,
+                delta,
+                epsilon,
+                ..
+            } => {
                 let qs: Vec<String> = qubits.iter().map(|q| format!("q{q}")).collect();
                 out.push_str(&format!(
                     "{pad}[Gate] (ρ̂, δ={delta:.3e}) ⊢ {gate}({}) ≤ {epsilon:.6e}\n",
@@ -188,7 +199,12 @@ impl Derivation {
                     c.pretty_into(out, indent + 1);
                 }
             }
-            Derivation::Meas { qubit, delta_prob, zero, one } => {
+            Derivation::Meas {
+                qubit,
+                delta_prob,
+                zero,
+                one,
+            } => {
                 out.push_str(&format!(
                     "{pad}[Meas] q{qubit}, δ = {delta_prob:.3e}, ε = {:.6e}\n",
                     self.epsilon()
@@ -279,7 +295,13 @@ impl Report {
         ) -> Result<(), String> {
             match d {
                 Derivation::Skip => Ok(()),
-                Derivation::Gate { gate, qubits, rho_prime, delta, epsilon } => {
+                Derivation::Gate {
+                    gate,
+                    qubits,
+                    rho_prime,
+                    delta,
+                    epsilon,
+                } => {
                     let qs: Vec<gleipnir_circuit::Qubit> =
                         qubits.iter().map(|&q| gleipnir_circuit::Qubit(q)).collect();
                     let noisy = noise.noisy_gate(gate, &qs);
@@ -362,7 +384,10 @@ pub struct Analyzer {
 impl Analyzer {
     /// Creates an analyzer with the given configuration.
     pub fn new(config: AnalyzerConfig) -> Self {
-        Analyzer { config, cache: Mutex::new(HashMap::new()) }
+        Analyzer {
+            config,
+            cache: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The configuration.
@@ -413,7 +438,9 @@ impl Analyzer {
     ) -> Result<Derivation, AnalysisError> {
         let Some((first, tail)) = rest.split_first() else {
             stats.final_delta = stats.final_delta.max(mps.delta());
-            return Ok(Derivation::Seq { children: Vec::new() });
+            return Ok(Derivation::Seq {
+                children: Vec::new(),
+            });
         };
         match first {
             Stmt::Skip => {
@@ -435,7 +462,8 @@ impl Analyzer {
                     _ => mps.local_density_2(qubits[0], qubits[1]),
                 };
                 let delta = mps.delta();
-                let epsilon = self.gate_epsilon(&g.gate, &qubits, noise, &rho_prime, delta, stats)?;
+                let epsilon =
+                    self.gate_epsilon(&g.gate, &qubits, noise, &rho_prime, delta, stats)?;
                 mps.apply_gate(&g.gate, &qubits);
                 let gate_node = Derivation::Gate {
                     gate: g.gate.clone(),
@@ -450,21 +478,22 @@ impl Analyzer {
             }
             Stmt::IfMeasure { qubit, zero, one } => {
                 let delta_prob = mps.delta().min(1.0);
-                let run_branch = |body: &Stmt,
-                                      outcome: bool,
-                                      stats: &mut WalkStats|
-                 -> Result<Option<Box<Derivation>>, AnalysisError> {
-                    let mut fork = mps.clone();
-                    match fork.collapse(qubit.0, outcome) {
-                        Ok(_p) => {
-                            let mut work: Vec<&Stmt> = vec![body];
-                            work.extend_from_slice(tail);
-                            let d = self.walk(&work, &mut fork, noise, stats)?;
-                            Ok(Some(Box::new(d)))
+                let run_branch =
+                    |body: &Stmt,
+                     outcome: bool,
+                     stats: &mut WalkStats|
+                     -> Result<Option<Box<Derivation>>, AnalysisError> {
+                        let mut fork = mps.clone();
+                        match fork.collapse(qubit.0, outcome) {
+                            Ok(_p) => {
+                                let mut work: Vec<&Stmt> = vec![body];
+                                work.extend_from_slice(tail);
+                                let d = self.walk(&work, &mut fork, noise, stats)?;
+                                Ok(Some(Box::new(d)))
+                            }
+                            Err(MpsError::ZeroProbabilityOutcome { .. }) => Ok(None),
                         }
-                        Err(MpsError::ZeroProbabilityOutcome { .. }) => Ok(None),
-                    }
-                };
+                    };
                 let zero_d = run_branch(zero, false, stats)?;
                 let one_d = run_branch(one, true, stats)?;
                 if zero_d.is_none() && one_d.is_none() {
@@ -517,10 +546,7 @@ impl Analyzer {
         let delta_eff = bucket as f64 * q;
         let rho_q = CMat::from_fn(rho_prime.rows(), rho_prime.cols(), |i, j| {
             let z = rho_prime.at(i, j);
-            gleipnir_linalg::c64(
-                (z.re * 1e8).round() / 1e8,
-                (z.im * 1e8).round() / 1e8,
-            )
+            gleipnir_linalg::c64((z.re * 1e8).round() / 1e8, (z.im * 1e8).round() / 1e8)
         });
         let mut key: CacheKey = Vec::new();
         for k in noisy.kraus() {
@@ -572,7 +598,9 @@ fn prepend(node: &mut Derivation, head: Derivation) {
         Derivation::Seq { children } => children.insert(0, head),
         other => {
             let tail = std::mem::replace(other, Derivation::Skip);
-            *other = Derivation::Seq { children: vec![head, tail] };
+            *other = Derivation::Seq {
+                children: vec![head, tail],
+            };
         }
     }
 }
@@ -640,7 +668,11 @@ mod tests {
             .analyze(&p, &BasisState::zeros(3), &bit_flip())
             .unwrap();
         let worst = 3.0 * 1e-4;
-        assert!(report.error_bound() < 0.2 * worst, "{} vs {worst}", report.error_bound());
+        assert!(
+            report.error_bound() < 0.2 * worst,
+            "{} vs {worst}",
+            report.error_bound()
+        );
     }
 
     #[test]
@@ -653,18 +685,26 @@ mod tests {
             .analyze(&b.build(), &BasisState::zeros(2), &bit_flip())
             .unwrap();
         let worst = 4.0 * 1e-4;
-        assert!(report.error_bound() > 0.9 * worst, "{} vs {worst}", report.error_bound());
+        assert!(
+            report.error_bound() > 0.9 * worst,
+            "{} vs {worst}",
+            report.error_bound()
+        );
         assert!(report.error_bound() <= 1.02 * worst);
     }
 
     #[test]
     fn measurement_uses_meas_rule() {
         let mut b = ProgramBuilder::new(2);
-        b.h(0).if_measure(0, |z| {
-            z.x(1);
-        }, |o| {
-            o.z(1);
-        });
+        b.h(0).if_measure(
+            0,
+            |z| {
+                z.x(1);
+            },
+            |o| {
+                o.z(1);
+            },
+        );
         let report = analyzer(4)
             .analyze(&b.build(), &BasisState::zeros(2), &bit_flip())
             .unwrap();
@@ -678,11 +718,15 @@ mod tests {
     #[test]
     fn unreachable_branch_is_skipped() {
         let mut b = ProgramBuilder::new(2);
-        b.x(0).if_measure(0, |z| {
-            z.x(1);
-        }, |o| {
-            o.skip();
-        });
+        b.x(0).if_measure(
+            0,
+            |z| {
+                z.x(1);
+            },
+            |o| {
+                o.skip();
+            },
+        );
         let report = analyzer(4)
             .analyze(&b.build(), &BasisState::zeros(2), &bit_flip())
             .unwrap();
@@ -769,7 +813,9 @@ mod tests {
                 *epsilon = 1e-9;
             }
         }
-        assert!(report.replay(&bit_flip(), &SolverOptions::default(), 1e-8).is_err());
+        assert!(report
+            .replay(&bit_flip(), &SolverOptions::default(), 1e-8)
+            .is_err());
     }
 
     #[test]
@@ -778,7 +824,13 @@ mod tests {
         let err = analyzer(2)
             .analyze(&p, &BasisState::zeros(2), &bit_flip())
             .unwrap_err();
-        assert!(matches!(err, AnalysisError::WidthMismatch { input: 2, program: 3 }));
+        assert!(matches!(
+            err,
+            AnalysisError::WidthMismatch {
+                input: 2,
+                program: 3
+            }
+        ));
     }
 
     #[test]

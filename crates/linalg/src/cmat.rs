@@ -30,7 +30,11 @@ pub struct CMat {
 impl CMat {
     /// A `rows × cols` zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        CMat { rows, cols, data: vec![C64::ZERO; rows * cols] }
+        CMat {
+            rows,
+            cols,
+            data: vec![C64::ZERO; rows * cols],
+        }
     }
 
     /// The `n × n` identity matrix.
@@ -55,7 +59,11 @@ impl CMat {
             assert_eq!(row.len(), c, "ragged rows in CMat::from_rows");
             data.extend_from_slice(row);
         }
-        CMat { rows: r, cols: c, data }
+        CMat {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix from a row-major flat buffer.
@@ -441,11 +449,20 @@ impl IndexMut<(usize, usize)> for CMat {
 impl Add for &CMat {
     type Output = CMat;
     fn add(self, rhs: &CMat) -> CMat {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add shape mismatch"
+        );
         CMat {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a + *b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a + *b)
+                .collect(),
         }
     }
 }
@@ -453,11 +470,20 @@ impl Add for &CMat {
 impl Sub for &CMat {
     type Output = CMat;
     fn sub(self, rhs: &CMat) -> CMat {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "sub shape mismatch"
+        );
         CMat {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a - *b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a - *b)
+                .collect(),
         }
     }
 }

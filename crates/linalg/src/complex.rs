@@ -355,7 +355,12 @@ mod tests {
 
     #[test]
     fn sqrt_squares_back() {
-        for &z in &[c64(4.0, 0.0), c64(0.0, 2.0), c64(-3.0, 4.0), c64(-1.0, -1.0)] {
+        for &z in &[
+            c64(4.0, 0.0),
+            c64(0.0, 2.0),
+            c64(-3.0, 4.0),
+            c64(-1.0, -1.0),
+        ] {
             let s = z.sqrt();
             assert!((s * s).approx_eq(z, 1e-10), "sqrt({z}) = {s}");
         }

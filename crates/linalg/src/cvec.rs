@@ -25,7 +25,9 @@ pub struct CVec {
 impl CVec {
     /// A zero vector of length `n`.
     pub fn zeros(n: usize) -> Self {
-        CVec { data: vec![C64::ZERO; n] }
+        CVec {
+            data: vec![C64::ZERO; n],
+        }
     }
 
     /// The `k`-th standard basis vector of length `n`.
@@ -126,7 +128,9 @@ impl CVec {
 
     /// Componentwise conjugate.
     pub fn conj(&self) -> CVec {
-        CVec { data: self.data.iter().map(|z| z.conj()).collect() }
+        CVec {
+            data: self.data.iter().map(|z| z.conj()).collect(),
+        }
     }
 
     /// Largest componentwise modulus.
@@ -158,7 +162,9 @@ impl From<Vec<C64>> for CVec {
 
 impl FromIterator<C64> for CVec {
     fn from_iter<I: IntoIterator<Item = C64>>(iter: I) -> Self {
-        CVec { data: iter.into_iter().collect() }
+        CVec {
+            data: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -180,9 +186,18 @@ impl IndexMut<usize> for CVec {
 impl Add for &CVec {
     type Output = CVec;
     fn add(self, rhs: &CVec) -> CVec {
-        assert_eq!(self.len(), rhs.len(), "adding vectors of mismatched lengths");
+        assert_eq!(
+            self.len(),
+            rhs.len(),
+            "adding vectors of mismatched lengths"
+        );
         CVec {
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a + *b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a + *b)
+                .collect(),
         }
     }
 }
@@ -190,9 +205,18 @@ impl Add for &CVec {
 impl Sub for &CVec {
     type Output = CVec;
     fn sub(self, rhs: &CVec) -> CVec {
-        assert_eq!(self.len(), rhs.len(), "subtracting vectors of mismatched lengths");
+        assert_eq!(
+            self.len(),
+            rhs.len(),
+            "subtracting vectors of mismatched lengths"
+        );
         CVec {
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a - *b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a - *b)
+                .collect(),
         }
     }
 }
@@ -200,14 +224,18 @@ impl Sub for &CVec {
 impl Neg for &CVec {
     type Output = CVec;
     fn neg(self) -> CVec {
-        CVec { data: self.data.iter().map(|z| -*z).collect() }
+        CVec {
+            data: self.data.iter().map(|z| -*z).collect(),
+        }
     }
 }
 
 impl Mul<C64> for &CVec {
     type Output = CVec;
     fn mul(self, s: C64) -> CVec {
-        CVec { data: self.data.iter().map(|z| *z * s).collect() }
+        CVec {
+            data: self.data.iter().map(|z| *z * s).collect(),
+        }
     }
 }
 

@@ -604,7 +604,9 @@ mod tests {
         let n = 12;
         let mut seed = 0x12345678u64;
         let mut rng = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
         };
         let m = CMat::from_fn(n, n, |_, _| c64(rng(), rng()));
@@ -639,7 +641,10 @@ mod tests {
         ]);
         let (vals, q) = sym_eig(&a).unwrap();
         // QᵀQ = I
-        assert!(q.transpose().mul_mat(&q).approx_eq(&RMat::identity(3), 1e-12));
+        assert!(q
+            .transpose()
+            .mul_mat(&q)
+            .approx_eq(&RMat::identity(3), 1e-12));
         // A = QΛQᵀ
         let recon = q.mul_mat(&RMat::diag(&vals)).mul_mat(&q.transpose());
         assert!(recon.approx_eq(&a, 1e-11));
@@ -664,7 +669,9 @@ mod tests {
 
     #[test]
     fn herm_sqrt_squares_back() {
-        let m = CMat::from_fn(4, 4, |i, j| c64((i * 4 + j) as f64 * 0.1, (i as f64) - (j as f64)));
+        let m = CMat::from_fn(4, 4, |i, j| {
+            c64((i * 4 + j) as f64 * 0.1, (i as f64) - (j as f64))
+        });
         let psd = m.mul_adjoint(&m); // M·M† is PSD
         let s = herm_sqrt(&psd).unwrap();
         assert!(s.mul_mat(&s).approx_eq(&psd, 1e-9));
@@ -682,6 +689,9 @@ mod tests {
     fn not_square_errors() {
         let a = CMat::zeros(2, 3);
         assert_eq!(eigh(&a).unwrap_err(), EigError::NotSquare);
-        assert_eq!(sym_eig(&RMat::zeros(2, 3)).unwrap_err(), EigError::NotSquare);
+        assert_eq!(
+            sym_eig(&RMat::zeros(2, 3)).unwrap_err(),
+            EigError::NotSquare
+        );
     }
 }

@@ -108,10 +108,7 @@ mod tests {
     #[test]
     fn embedding_respects_products() {
         let g = hermitian_example();
-        let h = CMat::from_rows(&[
-            vec![C64::ONE, C64::I],
-            vec![-C64::I, C64::ZERO],
-        ]);
+        let h = CMat::from_rows(&[vec![C64::ONE, C64::I], vec![-C64::I, C64::ZERO]]);
         let lhs = herm_to_real_sym(&g.mul_mat(&h));
         let rhs = herm_to_real_sym(&g).mul_mat(&herm_to_real_sym(&h));
         assert!(lhs.approx_eq(&rhs, 1e-13));

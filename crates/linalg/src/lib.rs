@@ -11,7 +11,7 @@
 //!   the full product/adjoint/Kronecker toolkit;
 //! * [`RMat`] — dense real matrices with Cholesky and triangular solves
 //!   (used by the SDP solver);
-//! * [`eigh`] / [`sym_eig`] — Hermitian and real-symmetric
+//! * [`eigh()`] / [`sym_eig`] — Hermitian and real-symmetric
 //!   eigendecomposition (Householder tridiagonalization + implicit QL);
 //! * [`svd_gram`] / [`svd_jacobi`] — singular value decompositions;
 //! * [`qr_thin`] / [`lq_thin`] — Householder QR/LQ (MPS gauge fixing);
@@ -27,8 +27,8 @@
 mod cmat;
 mod complex;
 mod cvec;
-mod embed;
 pub mod eigh;
+mod embed;
 mod qr;
 mod quantum;
 mod rmat;

@@ -131,7 +131,9 @@ mod tests {
     fn pseudo_random(m: usize, n: usize, seed: u64) -> CMat {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
         };
         CMat::from_fn(m, n, |_, _| c64(next(), next()))

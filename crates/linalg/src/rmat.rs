@@ -30,7 +30,11 @@ pub struct RMat {
 impl RMat {
     /// A `rows × cols` zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        RMat { rows, cols, data: vec![0.0; rows * cols] }
+        RMat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// The `n × n` identity.
@@ -55,7 +59,11 @@ impl RMat {
             assert_eq!(row.len(), c, "ragged rows in RMat::from_rows");
             data.extend_from_slice(row);
         }
-        RMat { rows: r, cols: c, data }
+        RMat {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix whose entries come from `f(row, col)`.
@@ -170,7 +178,12 @@ impl RMat {
         let mut out = RMat::zeros(self.rows, self.rows);
         for i in 0..self.rows {
             for j in i..self.rows {
-                let s: f64 = self.row(i).iter().zip(self.row(j)).map(|(a, b)| a * b).sum();
+                let s: f64 = self
+                    .row(i)
+                    .iter()
+                    .zip(self.row(j))
+                    .map(|(a, b)| a * b)
+                    .sum();
                 out.set(i, j, s);
                 out.set(j, i, s);
             }
@@ -240,7 +253,9 @@ impl RMat {
     /// Symmetrization `(self + selfᵀ)/2`.
     pub fn symmetrize(&self) -> RMat {
         assert!(self.is_square(), "symmetrize of non-square matrix");
-        RMat::from_fn(self.rows, self.cols, |i, j| 0.5 * (self.at(i, j) + self.at(j, i)))
+        RMat::from_fn(self.rows, self.cols, |i, j| {
+            0.5 * (self.at(i, j) + self.at(j, i))
+        })
     }
 
     /// Whether all entries match `other` within `tol`.
@@ -425,11 +440,20 @@ impl IndexMut<(usize, usize)> for RMat {
 impl Add for &RMat {
     type Output = RMat;
     fn add(self, rhs: &RMat) -> RMat {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add shape mismatch"
+        );
         RMat {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 }
@@ -437,11 +461,20 @@ impl Add for &RMat {
 impl Sub for &RMat {
     type Output = RMat;
     fn sub(self, rhs: &RMat) -> RMat {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "sub shape mismatch"
+        );
         RMat {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
         }
     }
 }

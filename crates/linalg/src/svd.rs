@@ -97,7 +97,12 @@ pub fn svd_gram(a: &CMat) -> Result<Svd, EigError> {
 
     // Eigendecompose the smaller Gram matrix.
     let use_right = n <= m; // G = A†A (n×n) when n ≤ m, else G = AA† (m×m)
-    let g = if use_right { a.adjoint_mul(a) } else { a.mul_adjoint(a) }.hermitize();
+    let g = if use_right {
+        a.adjoint_mul(a)
+    } else {
+        a.mul_adjoint(a)
+    }
+    .hermitize();
     let (vals, vecs) = eigh(&g)?;
     let dim = vals.len();
 
@@ -147,7 +152,12 @@ pub fn svd_gram(a: &CMat) -> Result<Svd, EigError> {
 
     let kept_sqr: f64 = sigma.iter().map(|s| s * s).sum();
     let discarded_sqr = (frob_sqr - kept_sqr).max(0.0);
-    Ok(Svd { u, sigma, v, discarded_sqr })
+    Ok(Svd {
+        u,
+        sigma,
+        v,
+        discarded_sqr,
+    })
 }
 
 /// One-sided Jacobi SVD (reference route).
@@ -258,12 +268,13 @@ pub fn svd_jacobi(a: &CMat) -> Svd {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::C64;
 
     fn pseudo_random(m: usize, n: usize, seed: u64) -> CMat {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
         };
         CMat::from_fn(m, n, |_, _| c64(next(), next()))
@@ -271,12 +282,21 @@ mod tests {
 
     fn check_svd(a: &CMat, svd: &Svd, tol: f64) {
         let r = svd.rank();
-        assert!(svd.u.adjoint_mul(&svd.u).approx_eq(&CMat::identity(r), tol), "U not orthonormal");
-        assert!(svd.v.adjoint_mul(&svd.v).approx_eq(&CMat::identity(r), tol), "V not orthonormal");
+        assert!(
+            svd.u.adjoint_mul(&svd.u).approx_eq(&CMat::identity(r), tol),
+            "U not orthonormal"
+        );
+        assert!(
+            svd.v.adjoint_mul(&svd.v).approx_eq(&CMat::identity(r), tol),
+            "V not orthonormal"
+        );
         for w in svd.sigma.windows(2) {
             assert!(w[0] >= w[1] - 1e-14, "sigma not descending");
         }
-        assert!(svd.reconstruct().approx_eq(a, tol * 10.0), "reconstruction failed");
+        assert!(
+            svd.reconstruct().approx_eq(a, tol * 10.0),
+            "reconstruction failed"
+        );
     }
 
     #[test]

@@ -71,11 +71,7 @@ impl TnResult {
 ///
 /// Panics if `input_bits.len()` differs from the program register width.
 pub fn tn_approximate(program: &Program, input_bits: &[bool], config: MpsConfig) -> TnResult {
-    assert_eq!(
-        input_bits.len(),
-        program.n_qubits(),
-        "input width mismatch"
-    );
+    assert_eq!(input_bits.len(), program.n_qubits(), "input width mismatch");
     let root = TnBranch {
         mps: Mps::basis_state(input_bits, config),
         probability: 1.0,
@@ -146,11 +142,15 @@ mod tests {
     #[test]
     fn measurement_forks_branches() {
         let mut b = ProgramBuilder::new(2);
-        b.h(0).if_measure(0, |z| {
-            z.x(1);
-        }, |o| {
-            o.z(1);
-        });
+        b.h(0).if_measure(
+            0,
+            |z| {
+                z.x(1);
+            },
+            |o| {
+                o.z(1);
+            },
+        );
         let r = tn_approximate(&b.build(), &[false; 2], MpsConfig::with_width(4));
         assert_eq!(r.branches.len(), 2);
         for br in &r.branches {
@@ -163,11 +163,15 @@ mod tests {
     fn unreachable_branch_is_pruned() {
         // Qubit 0 is deterministically |1⟩, so the zero branch never runs.
         let mut b = ProgramBuilder::new(2);
-        b.x(0).if_measure(0, |z| {
-            z.x(1);
-        }, |o| {
-            o.skip();
-        });
+        b.x(0).if_measure(
+            0,
+            |z| {
+                z.x(1);
+            },
+            |o| {
+                o.skip();
+            },
+        );
         let r = tn_approximate(&b.build(), &[false; 2], MpsConfig::with_width(4));
         assert_eq!(r.branches.len(), 1);
         assert_eq!(r.branches[0].outcomes, vec![(0, true)]);
@@ -178,16 +182,24 @@ mod tests {
     fn nested_measurements_multiply_branches() {
         let mut b = ProgramBuilder::new(3);
         b.h(0).h(1);
-        b.if_measure(0, |z| {
-            z.skip();
-        }, |o| {
-            o.skip();
-        });
-        b.if_measure(1, |z| {
-            z.skip();
-        }, |o| {
-            o.skip();
-        });
+        b.if_measure(
+            0,
+            |z| {
+                z.skip();
+            },
+            |o| {
+                o.skip();
+            },
+        );
+        b.if_measure(
+            1,
+            |z| {
+                z.skip();
+            },
+            |o| {
+                o.skip();
+            },
+        );
         let r = tn_approximate(&b.build(), &[false; 3], MpsConfig::with_width(4));
         assert_eq!(r.branches.len(), 4);
         let total: f64 = r.branches.iter().map(|b| b.probability).sum();
@@ -200,11 +212,15 @@ mod tests {
         let theta = 1.1f64;
         let mut b = ProgramBuilder::new(1);
         b.rx(0, theta);
-        b.if_measure(0, |z| {
-            z.skip();
-        }, |o| {
-            o.skip();
-        });
+        b.if_measure(
+            0,
+            |z| {
+                z.skip();
+            },
+            |o| {
+                o.skip();
+            },
+        );
         let r = tn_approximate(&b.build(), &[false], MpsConfig::with_width(2));
         let p1 = r
             .branches
@@ -222,11 +238,15 @@ mod tests {
         let mut b = ProgramBuilder::new(3);
         b.h(0).h(1).h(2);
         b.rzz(0, 1, 1.0).rzz(1, 2, 1.0);
-        b.if_measure(0, |z| {
-            z.rzz(1, 2, 0.5).rx(1, 0.3).rzz(1, 2, 0.9);
-        }, |o| {
-            o.rzz(1, 2, 0.7).rx(2, 0.4).rzz(1, 2, 1.1);
-        });
+        b.if_measure(
+            0,
+            |z| {
+                z.rzz(1, 2, 0.5).rx(1, 0.3).rzz(1, 2, 0.9);
+            },
+            |o| {
+                o.rzz(1, 2, 0.7).rx(2, 0.4).rzz(1, 2, 1.1);
+            },
+        );
         let r = tn_approximate(&b.build(), &[false; 3], MpsConfig::with_width(1));
         assert!(r.delta > 0.0);
         let sum: f64 = r.branches.iter().map(|b| b.mps.delta()).sum();

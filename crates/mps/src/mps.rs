@@ -204,11 +204,18 @@ impl Mps {
             2 => {
                 assert_eq!(m.rows(), 4, "matrix shape mismatch");
                 let (a, b) = (qubits[0], qubits[1]);
-                assert!(a < self.n_qubits() && b < self.n_qubits(), "qubit out of range");
+                assert!(
+                    a < self.n_qubits() && b < self.n_qubits(),
+                    "qubit out of range"
+                );
                 assert_ne!(a, b, "repeated operand");
                 let before = self.delta;
                 let (site, a_is_left) = self.prepare_pair(a, b);
-                let g = if a_is_left { m.clone() } else { conjugate_by_swap(m) };
+                let g = if a_is_left {
+                    m.clone()
+                } else {
+                    conjugate_by_swap(m)
+                };
                 self.apply_pair_matrix(site, &g);
                 self.delta - before
             }
@@ -349,7 +356,10 @@ impl Mps {
                 self.delta += 2.0 * frac.sqrt();
             }
         }
-        let kept: f64 = svd.sigma[..keep.min(svd.rank())].iter().map(|s| s * s).sum();
+        let kept: f64 = svd.sigma[..keep.min(svd.rank())]
+            .iter()
+            .map(|s| s * s)
+            .sum();
         // Left tensor: U columns (already orthonormal → left-canonical).
         let u = svd.u.submatrix(0, l_dim * 2, 0, keep);
         self.tensors[k] = Tensor3::from_left_fused(&u);
@@ -631,7 +641,11 @@ mod tests {
     fn paper_example_narrow() {
         // §5.3: w = 1 truncates GHZ to |00⟩ with δ = √2.
         let mps = ghz_mps(1);
-        assert!((mps.delta() - 2f64.sqrt()).abs() < 1e-10, "δ = {}", mps.delta());
+        assert!(
+            (mps.delta() - 2f64.sqrt()).abs() < 1e-10,
+            "δ = {}",
+            mps.delta()
+        );
         let v = mps.to_statevector();
         assert!((v[0].abs() - 1.0).abs() < 1e-10);
         assert!(v[3].abs() < 1e-10);
@@ -760,7 +774,13 @@ mod tests {
     fn collapse_zero_probability_errors() {
         let mut mps = Mps::zero_state(2, MpsConfig::with_width(2));
         let err = mps.collapse(0, true).unwrap_err();
-        assert!(matches!(err, MpsError::ZeroProbabilityOutcome { qubit: 0, outcome: true }));
+        assert!(matches!(
+            err,
+            MpsError::ZeroProbabilityOutcome {
+                qubit: 0,
+                outcome: true
+            }
+        ));
     }
 
     #[test]

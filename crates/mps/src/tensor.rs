@@ -17,7 +17,11 @@ pub struct Tensor3 {
 impl Tensor3 {
     /// A zero tensor of the given bond dimensions.
     pub fn zeros(left: usize, right: usize) -> Self {
-        Tensor3 { left, right, data: vec![C64::ZERO; left * 2 * right] }
+        Tensor3 {
+            left,
+            right,
+            data: vec![C64::ZERO; left * 2 * right],
+        }
     }
 
     /// The product-state tensor for a definite bit value (bond dims 1).

@@ -63,9 +63,12 @@ fn wide_mps_matches_statevector_on_random_circuits() {
         let p = random_circuit(n, 30, seed);
         let mut sv = StateVector::zero_state(n);
         sv.run(&p).unwrap();
-        let (mps, delta) = tn_approximate(&p, &vec![false; n], MpsConfig::with_width(32))
-            .into_single();
-        assert!(delta < 1e-9, "seed {seed}: wide MPS truncated (δ = {delta})");
+        let (mps, delta) =
+            tn_approximate(&p, &vec![false; n], MpsConfig::with_width(32)).into_single();
+        assert!(
+            delta < 1e-9,
+            "seed {seed}: wide MPS truncated (δ = {delta})"
+        );
         let fidelity = overlap(&mps.to_statevector(), sv.amplitudes());
         assert!(
             (fidelity - 1.0).abs() < 1e-9,
@@ -142,8 +145,7 @@ fn collapse_matches_dense_probabilities() {
         let p = random_circuit(n, 20, 300 + seed);
         let mut sv = StateVector::zero_state(n);
         sv.run(&p).unwrap();
-        let (mps, _) =
-            tn_approximate(&p, &vec![false; n], MpsConfig::with_width(16)).into_single();
+        let (mps, _) = tn_approximate(&p, &vec![false; n], MpsConfig::with_width(16)).into_single();
         for q in 0..n {
             let dense_p1 = sv.prob_one(gleipnir_circuit::Qubit(q));
             let mut fork = mps.clone();
@@ -177,10 +179,16 @@ fn ising_layers_stay_bounded_at_small_width() {
         }
         assert!(mps.delta() >= last_delta, "δ decreased in layer {layer}");
         last_delta = mps.delta();
-        assert!((mps.norm() - 1.0).abs() < 1e-8, "norm drifted in layer {layer}");
+        assert!(
+            (mps.norm() - 1.0).abs() < 1e-8,
+            "norm drifted in layer {layer}"
+        );
     }
     assert!(mps.bond_dims().iter().all(|&d| d <= 4));
-    assert!(mps.delta() > 0.0, "w = 4 must truncate a deep Ising evolution");
+    assert!(
+        mps.delta() > 0.0,
+        "w = 4 must truncate a deep Ising evolution"
+    );
     assert!(mps.delta().is_finite());
 }
 

@@ -43,19 +43,30 @@ impl Channel {
     /// Panics if the list is empty, dimensions are inconsistent or not
     /// `2^k × 2^k` for `k ∈ {1, 2}`, or `Σ K†K ≠ I` to 1e-9.
     pub fn from_kraus(name: impl Into<String>, kraus: Vec<CMat>) -> Self {
-        assert!(!kraus.is_empty(), "channel needs at least one Kraus operator");
+        assert!(
+            !kraus.is_empty(),
+            "channel needs at least one Kraus operator"
+        );
         let dim = kraus[0].rows();
         assert!(dim == 2 || dim == 4, "channels act on 1 or 2 qubits");
         let mut sum = CMat::zeros(dim, dim);
         for k in &kraus {
-            assert_eq!((k.rows(), k.cols()), (dim, dim), "inconsistent Kraus shapes");
+            assert_eq!(
+                (k.rows(), k.cols()),
+                (dim, dim),
+                "inconsistent Kraus shapes"
+            );
             sum = &sum + &k.adjoint_mul(k);
         }
         assert!(
             sum.approx_eq(&CMat::identity(dim), 1e-9),
             "Kraus operators do not satisfy Σ K†K = I"
         );
-        Channel { name: name.into(), kraus, dim }
+        Channel {
+            name: name.into(),
+            kraus,
+            dim,
+        }
     }
 
     /// The identity channel on `k` qubits.
@@ -147,7 +158,11 @@ impl Channel {
                 }
             }
         }
-        Channel { name: format!("depolarizing2({p})"), kraus, dim: 4 }
+        Channel {
+            name: format!("depolarizing2({p})"),
+            kraus,
+            dim: 4,
+        }
     }
 
     /// Amplitude damping with decay probability `γ`.
@@ -375,7 +390,10 @@ mod tests {
 
     #[test]
     fn two_qubit_channels_are_valid() {
-        for ch in [Channel::depolarizing2(0.1), Channel::bit_flip_first_of_two(0.2)] {
+        for ch in [
+            Channel::depolarizing2(0.1),
+            Channel::bit_flip_first_of_two(0.2),
+        ] {
             assert_eq!(ch.arity(), 2);
             let mut sum = CMat::zeros(4, 4);
             for k in ch.kraus() {
@@ -437,10 +455,7 @@ mod tests {
     fn choi_linearity_matches_difference() {
         // J(Φ − I-map) = J(Φ) − J(I).
         let ch = Channel::bit_flip(0.25);
-        let diff = choi_from_apply(
-            |e| &ch.apply(e) - e,
-            2,
-        );
+        let diff = choi_from_apply(|e| &ch.apply(e) - e, 2);
         let expect = &ch.choi() - &Channel::identity(1).choi();
         assert!(diff.approx_eq(&expect, 1e-12));
     }

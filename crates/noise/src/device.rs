@@ -55,7 +55,10 @@ impl DeviceModel {
         assert_eq!(readout_error.len(), n, "readout calibration size mismatch");
         let mut map = BTreeMap::new();
         for ((a, b), e) in q2_error {
-            assert!(coupling.are_adjacent(a, b), "calibrated pair ({a},{b}) is not an edge");
+            assert!(
+                coupling.are_adjacent(a, b),
+                "calibrated pair ({a},{b}) is not an edge"
+            );
             map.insert((a.min(b), a.max(b)), e);
         }
         for (a, b) in coupling.edges() {
@@ -178,8 +181,8 @@ impl DeviceModel {
         ];
         let coupling = CouplingMap::from_edges(20, &edges);
         let q1 = vec![
-            4.2e-4, 5.1e-4, 3.8e-4, 4.9e-4, 6.0e-4, 5.5e-4, 4.4e-4, 3.9e-4, 5.8e-4, 7.2e-4,
-            4.1e-4, 5.3e-4, 4.7e-4, 3.6e-4, 6.4e-4, 5.0e-4, 4.3e-4, 5.6e-4, 4.8e-4, 6.8e-4,
+            4.2e-4, 5.1e-4, 3.8e-4, 4.9e-4, 6.0e-4, 5.5e-4, 4.4e-4, 3.9e-4, 5.8e-4, 7.2e-4, 4.1e-4,
+            5.3e-4, 4.7e-4, 3.6e-4, 6.4e-4, 5.0e-4, 4.3e-4, 5.6e-4, 4.8e-4, 6.8e-4,
         ];
         let q2 = vec![
             ((0, 1), 2.6e-2),
@@ -207,10 +210,16 @@ impl DeviceModel {
             ((18, 19), 1.8e-2),
         ];
         let readout = vec![
-            3.2e-2, 2.1e-2, 1.8e-2, 2.4e-2, 2.9e-2, 2.6e-2, 2.2e-2, 1.9e-2, 2.7e-2, 3.5e-2,
-            2.0e-2, 2.3e-2, 2.1e-2, 1.7e-2, 3.0e-2, 2.4e-2, 2.0e-2, 2.6e-2, 2.2e-2, 3.3e-2,
+            3.2e-2, 2.1e-2, 1.8e-2, 2.4e-2, 2.9e-2, 2.6e-2, 2.2e-2, 1.9e-2, 2.7e-2, 3.5e-2, 2.0e-2,
+            2.3e-2, 2.1e-2, 1.7e-2, 3.0e-2, 2.4e-2, 2.0e-2, 2.6e-2, 2.2e-2, 3.3e-2,
         ];
-        Self::new("ibm-boeblingen (synthetic calibration)", coupling, q1, q2, readout)
+        Self::new(
+            "ibm-boeblingen (synthetic calibration)",
+            coupling,
+            q1,
+            q2,
+            readout,
+        )
     }
 
     /// The IBM Lima 5-qubit device (paper Fig. 15, right — T topology) with
@@ -225,7 +234,13 @@ impl DeviceModel {
             ((3, 4), 1.6e-2),
         ];
         let readout = vec![2.0e-2, 1.5e-2, 2.8e-2, 2.2e-2, 3.1e-2];
-        Self::new("ibm-lima (synthetic calibration)", coupling, q1, q2, readout)
+        Self::new(
+            "ibm-lima (synthetic calibration)",
+            coupling,
+            q1,
+            q2,
+            readout,
+        )
     }
 }
 
@@ -297,11 +312,12 @@ mod tests {
         let dev = DeviceModel::lima5();
         let probs = vec![1.0, 0.0, 0.0, 0.0];
         let out = dev.apply_readout(&probs, &[0, 1]);
-        let tv: f64 = 0.5 * probs
-            .iter()
-            .zip(&out)
-            .map(|(a, b)| (a - b).abs())
-            .sum::<f64>();
+        let tv: f64 = 0.5
+            * probs
+                .iter()
+                .zip(&out)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>();
         assert!(tv <= dev.readout_error_bound(&[0, 1]) + 1e-12);
     }
 

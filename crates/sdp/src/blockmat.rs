@@ -14,7 +14,9 @@ pub struct BlockMat {
 impl BlockMat {
     /// A zero matrix with the given block dimensions.
     pub fn zeros(dims: &[usize]) -> Self {
-        BlockMat { blocks: dims.iter().map(|&d| RMat::zeros(d, d)).collect() }
+        BlockMat {
+            blocks: dims.iter().map(|&d| RMat::zeros(d, d)).collect(),
+        }
     }
 
     /// `s · I` with the given block dimensions.
@@ -222,9 +224,7 @@ mod tests {
     fn dot_matches_blockwise_trace() {
         let a = BlockMat::from_blocks(vec![spd_block(3, 0.7), spd_block(2, 1.3)]);
         let b = BlockMat::from_blocks(vec![spd_block(3, 0.4), spd_block(2, 2.1)]);
-        let direct: f64 = (0..2)
-            .map(|k| a.block(k).trace_mul(b.block(k)))
-            .sum();
+        let direct: f64 = (0..2).map(|k| a.block(k).trace_mul(b.block(k))).sum();
         assert!((a.dot(&b) - direct).abs() < 1e-10);
     }
 

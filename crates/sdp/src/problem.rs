@@ -25,7 +25,10 @@ impl SparseSym {
     pub fn push(&mut self, block: usize, row: usize, col: usize, value: f64) -> &mut Self {
         let (r, c) = (row.min(col), row.max(col));
         assert!(
-            !self.entries.iter().any(|&(b, rr, cc, _)| (b, rr, cc) == (block, r, c)),
+            !self
+                .entries
+                .iter()
+                .any(|&(b, rr, cc, _)| (b, rr, cc) == (block, r, c)),
             "duplicate entry at block {block} ({r},{c})"
         );
         if value != 0.0 {
@@ -44,7 +47,11 @@ impl SparseSym {
         let mut acc = 0.0;
         for &(b, r, c, v) in &self.entries {
             let xb = x.block(b);
-            acc += if r == c { v * xb.at(r, c) } else { 2.0 * v * xb.at(r, c) };
+            acc += if r == c {
+                v * xb.at(r, c)
+            } else {
+                2.0 * v * xb.at(r, c)
+            };
         }
         acc
     }
@@ -136,7 +143,12 @@ impl SdpProblem {
         };
         check(&c);
         constraints.iter().for_each(check);
-        SdpProblem { block_dims, c, constraints, b }
+        SdpProblem {
+            block_dims,
+            c,
+            constraints,
+            b,
+        }
     }
 
     /// Block dimensions.
@@ -229,12 +241,7 @@ mod tests {
         a1.push(0, 0, 0, 1.0).push(1, 0, 1, 0.5);
         let mut a2 = SparseSym::new();
         a2.push(0, 1, 1, 2.0);
-        let p = SdpProblem::new(
-            vec![2, 2],
-            SparseSym::new(),
-            vec![a1, a2],
-            vec![0.0, 0.0],
-        );
+        let p = SdpProblem::new(vec![2, 2], SparseSym::new(), vec![a1, a2], vec![0.0, 0.0]);
         let mut x = BlockMat::zeros(&[2, 2]);
         x.block_mut(0).set(0, 0, 1.0);
         x.block_mut(0).set(1, 1, 2.0);

@@ -36,7 +36,10 @@ pub struct SolverOptions {
 
 impl Default for SolverOptions {
     fn default() -> Self {
-        SolverOptions { max_iterations: 100, tolerance: 1e-8 }
+        SolverOptions {
+            max_iterations: 100,
+            tolerance: 1e-8,
+        }
     }
 }
 
@@ -395,7 +398,11 @@ mod tests {
         let p = SdpProblem::new(vec![2], c, vec![a], vec![1.0]);
         let sol = p.solve(&opts()).unwrap();
         assert_eq!(sol.status, SdpStatus::Optimal);
-        assert!((sol.primal_objective - 2.0).abs() < 1e-6, "{}", sol.primal_objective);
+        assert!(
+            (sol.primal_objective - 2.0).abs() < 1e-6,
+            "{}",
+            sol.primal_objective
+        );
         assert!((sol.dual_objective - 2.0).abs() < 1e-6);
     }
 
@@ -512,7 +519,9 @@ mod tests {
     fn random_feasible_problems_close_gap() {
         let mut seed = 42u64;
         let mut rnd = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
         };
         for trial in 0..5 {

@@ -31,7 +31,9 @@ impl BasisState {
     /// Panics if `n == 0`.
     pub fn zeros(n: usize) -> Self {
         assert!(n > 0, "basis state needs at least one qubit");
-        BasisState { bits: vec![false; n] }
+        BasisState {
+            bits: vec![false; n],
+        }
     }
 
     /// A basis state from explicit bits (MSB-first: `bits[0]` is qubit 0).
@@ -41,7 +43,9 @@ impl BasisState {
     /// Panics if `bits` is empty.
     pub fn from_bits(bits: &[bool]) -> Self {
         assert!(!bits.is_empty(), "basis state needs at least one qubit");
-        BasisState { bits: bits.to_vec() }
+        BasisState {
+            bits: bits.to_vec(),
+        }
     }
 
     /// A basis state from an index over `n` qubits.

@@ -43,7 +43,10 @@ impl DensityMatrix {
         let dim = 1usize << basis.n_qubits();
         let mut mat = CMat::zeros(dim, dim);
         mat.set(basis.index(), basis.index(), gleipnir_linalg::C64::ONE);
-        DensityMatrix { n_qubits: basis.n_qubits(), mat }
+        DensityMatrix {
+            n_qubits: basis.n_qubits(),
+            mat,
+        }
     }
 
     /// The maximally mixed state `I/2ⁿ`.
@@ -57,7 +60,10 @@ impl DensityMatrix {
 
     /// Builds from a pure state.
     pub fn from_pure(sv: &StateVector) -> Self {
-        DensityMatrix { n_qubits: sv.n_qubits(), mat: sv.to_density_matrix() }
+        DensityMatrix {
+            n_qubits: sv.n_qubits(),
+            mat: sv.to_density_matrix(),
+        }
     }
 
     /// Builds from an explicit matrix, validating shape (must be `2ⁿ × 2ⁿ`).
@@ -72,7 +78,10 @@ impl DensityMatrix {
         assert!(mat.is_square(), "density matrix must be square");
         let dim = mat.rows();
         assert!(dim.is_power_of_two(), "dimension must be a power of two");
-        DensityMatrix { n_qubits: dim.trailing_zeros() as usize, mat }
+        DensityMatrix {
+            n_qubits: dim.trailing_zeros() as usize,
+            mat,
+        }
     }
 
     /// Register width.
@@ -221,7 +230,10 @@ impl DensityMatrix {
                 out.set(r, c, self.mat.at(r, c));
             }
         }
-        DensityMatrix { n_qubits: self.n_qubits, mat: out }
+        DensityMatrix {
+            n_qubits: self.n_qubits,
+            mat: out,
+        }
     }
 
     /// Runs a program under the exact (noiseless) semantics of Fig. 3,
@@ -354,11 +366,15 @@ mod tests {
     fn measurement_mixes_branches() {
         // H then measure: ρ = (|0⟩⟨0| + |1⟩⟨1|)/2 with X/Z marking branches.
         let mut b = ProgramBuilder::new(2);
-        b.h(0).if_measure(0, |z| {
-            z.x(1);
-        }, |o| {
-            o.skip();
-        });
+        b.h(0).if_measure(
+            0,
+            |z| {
+                z.x(1);
+            },
+            |o| {
+                o.skip();
+            },
+        );
         let mut rho = DensityMatrix::zero_state(2);
         rho.run(&b.build());
         // Outcome 0 → |01⟩ (x applied to q1); outcome 1 → |10⟩.

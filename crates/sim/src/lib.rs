@@ -39,6 +39,6 @@ mod observable;
 mod statevector;
 
 pub use basis::BasisState;
-pub use observable::{Observable, Pauli};
 pub use density::{statistical_distance, DensityMatrix};
+pub use observable::{Observable, Pauli};
 pub use statevector::{SimError, StateVector};

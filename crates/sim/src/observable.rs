@@ -6,7 +6,7 @@
 //! simulators without materializing the `2ⁿ × 2ⁿ` operator.
 
 use crate::{DensityMatrix, StateVector};
-use gleipnir_linalg::{c64, C64};
+use gleipnir_linalg::C64;
 use std::fmt;
 
 /// A single-qubit Pauli factor.
@@ -74,7 +74,10 @@ pub struct Observable {
 impl Observable {
     /// The zero observable over `n` qubits.
     pub fn zero(n_qubits: usize) -> Self {
-        Observable { n_qubits, terms: Vec::new() }
+        Observable {
+            n_qubits,
+            terms: Vec::new(),
+        }
     }
 
     /// A single-qubit Pauli observable.

@@ -25,7 +25,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::MeasurementInPureRun => {
-                write!(f, "measurement in pure-state run; use DensityMatrix::run or run_sampled")
+                write!(
+                    f,
+                    "measurement in pure-state run; use DensityMatrix::run or run_sampled"
+                )
             }
             SimError::WidthMismatch { state, program } => {
                 write!(f, "state has {state} qubits but program has {program}")
@@ -64,7 +67,10 @@ pub struct StateVector {
 impl StateVector {
     /// The all-zeros state `|0…0⟩`.
     pub fn zero_state(n_qubits: usize) -> Self {
-        StateVector { n_qubits, amps: CVec::basis(1 << n_qubits, 0) }
+        StateVector {
+            n_qubits,
+            amps: CVec::basis(1 << n_qubits, 0),
+        }
     }
 
     /// A computational basis state.
@@ -83,13 +89,19 @@ impl StateVector {
     /// Panics on a non-power-of-two length or non-normalized amplitudes.
     pub fn from_amplitudes(amps: CVec) -> Self {
         let len = amps.len();
-        assert!(len.is_power_of_two(), "amplitude count must be a power of two");
+        assert!(
+            len.is_power_of_two(),
+            "amplitude count must be a power of two"
+        );
         assert!(
             (amps.norm() - 1.0).abs() < 1e-8,
             "state must be normalized (norm = {})",
             amps.norm()
         );
-        StateVector { n_qubits: len.trailing_zeros() as usize, amps }
+        StateVector {
+            n_qubits: len.trailing_zeros() as usize,
+            amps,
+        }
     }
 
     /// Register width.
@@ -347,7 +359,12 @@ mod tests {
     #[test]
     fn matches_program_unitary() {
         let mut b = ProgramBuilder::new(3);
-        b.h(0).rx(1, 0.7).cnot(0, 2).rzz(1, 2, 1.3).cz(0, 1).swap(1, 2);
+        b.h(0)
+            .rx(1, 0.7)
+            .cnot(0, 2)
+            .rzz(1, 2, 1.3)
+            .cz(0, 1)
+            .swap(1, 2);
         let p = b.build();
         let u = p.unitary().unwrap();
         let mut sv = StateVector::zero_state(3);
@@ -384,11 +401,15 @@ mod tests {
     fn sampled_run_deterministic_branch() {
         // After X, the measurement always yields 1, so the `one` branch runs.
         let mut b = ProgramBuilder::new(2);
-        b.x(0).if_measure(0, |z| {
-            z.skip();
-        }, |o| {
-            o.x(1);
-        });
+        b.x(0).if_measure(
+            0,
+            |z| {
+                z.skip();
+            },
+            |o| {
+                o.x(1);
+            },
+        );
         let mut rng = rand::thread_rng();
         let mut sv = StateVector::zero_state(2);
         let outcomes = sv.run_sampled(&b.build(), &mut rng).unwrap();
@@ -402,7 +423,10 @@ mod tests {
         let mut b = ProgramBuilder::new(1);
         b.if_measure(0, |_| {}, |_| {});
         let mut sv = StateVector::zero_state(1);
-        assert_eq!(sv.run(&b.build()).unwrap_err(), SimError::MeasurementInPureRun);
+        assert_eq!(
+            sv.run(&b.build()).unwrap_err(),
+            SimError::MeasurementInPureRun
+        );
     }
 
     #[test]
@@ -412,7 +436,10 @@ mod tests {
         let mut sv = StateVector::zero_state(2);
         assert!(matches!(
             sv.run(&b.build()).unwrap_err(),
-            SimError::WidthMismatch { state: 2, program: 3 }
+            SimError::WidthMismatch {
+                state: 2,
+                program: 3
+            }
         ));
     }
 

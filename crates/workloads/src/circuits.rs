@@ -4,7 +4,7 @@
 use crate::Graph;
 use gleipnir_circuit::{decompose_to_cnot_basis, Program, ProgramBuilder};
 
-/// QAOA max-cut circuit for a graph (Farhi et al. [12]).
+/// QAOA max-cut circuit for a graph (Farhi et al. \[12\]).
 ///
 /// Structure: a Hadamard on every qubit, then for each layer `ℓ` the cost
 /// evolution `Π_(u,v)∈E RZZ(2γ_ℓ)` followed by the mixer `Π_q RX(2β_ℓ)`.

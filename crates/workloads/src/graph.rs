@@ -35,9 +35,15 @@ impl Graph {
         for &(a, b) in &edges {
             assert!(a < n && b < n, "edge ({a},{b}) out of range");
             assert_ne!(a, b, "self-loop ({a},{a})");
-            assert!(seen.insert((a.min(b), a.max(b))), "duplicate edge ({a},{b})");
+            assert!(
+                seen.insert((a.min(b), a.max(b))),
+                "duplicate edge ({a},{b})"
+            );
         }
-        let edges = edges.into_iter().map(|(a, b)| (a.min(b), a.max(b))).collect();
+        let edges = edges
+            .into_iter()
+            .map(|(a, b)| (a.min(b), a.max(b)))
+            .collect();
         Graph { n, edges }
     }
 

@@ -2,9 +2,9 @@
 //!
 //! Benchmark workload generators for the Gleipnir evaluation (§7):
 //!
-//! * [`qaoa_maxcut`] — the Quantum Approximate Optimization Algorithm [12]
+//! * [`qaoa_maxcut`] — the Quantum Approximate Optimization Algorithm \[12\]
 //!   for max-cut on arbitrary [`Graph`]s;
-//! * [`ising_chain`] — Trotterized transverse-field Ising evolution [44];
+//! * [`ising_chain`] — Trotterized transverse-field Ising evolution \[44\];
 //! * [`ghz`] — GHZ-`n` circuits (Fig. 16, used by the §7.2 mapping study);
 //! * [`paper_benchmarks`] — the nine Table 2 rows, regenerated with seeded
 //!   graphs and layer counts matching the paper's reported gate counts.

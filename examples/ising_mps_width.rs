@@ -24,12 +24,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         program.gate_count(),
         worst * 1e4
     );
-    println!("{:>4} {:>14} {:>12} {:>10}", "w", "bound(×1e-4)", "TN δ", "time(s)");
+    println!(
+        "{:>4} {:>14} {:>12} {:>10}",
+        "w", "bound(×1e-4)", "TN δ", "time(s)"
+    );
 
     for w in [1usize, 2, 4, 8, 16, 32] {
         let t = Instant::now();
-        let report = Analyzer::new(AnalyzerConfig::with_mps_width(w))
-            .analyze(&program, &input, &noise)?;
+        let report =
+            Analyzer::new(AnalyzerConfig::with_mps_width(w)).analyze(&program, &input, &noise)?;
         println!(
             "{w:>4} {:>14.2} {:>12.4} {:>10.2}",
             report.error_bound() * 1e4,

@@ -34,7 +34,11 @@ if q0 == 0 {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = parse(SOURCE)?;
-    println!("parsed {} gates, {} measurements", program.gate_count(), program.measure_count());
+    println!(
+        "parsed {} gates, {} measurements",
+        program.gate_count(),
+        program.measure_count()
+    );
 
     // Round trip through the pretty-printer.
     let reprinted = pretty(&program);
@@ -48,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &noise,
     )?;
 
-    println!("error bound under depolarizing noise: ε ≤ {:.4e}", report.error_bound());
+    println!(
+        "error bound under depolarizing noise: ε ≤ {:.4e}",
+        report.error_bound()
+    );
     println!("\nderivation (note the [Meas] nodes):");
     println!("{}", report.derivation().pretty());
     Ok(())

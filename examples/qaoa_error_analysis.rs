@@ -31,8 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let t = Instant::now();
-    let report = Analyzer::new(AnalyzerConfig::with_mps_width(32))
-        .analyze(&program, &input, &noise)?;
+    let report =
+        Analyzer::new(AnalyzerConfig::with_mps_width(32)).analyze(&program, &input, &noise)?;
     println!(
         "Gleipnir (w = 32):   ε ≤ {:.3}e-4   [{:.2}s, {} SDP solves, {} cache hits, TN δ = {:.2e}]",
         report.error_bound() * 1e4,

@@ -53,6 +53,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         best.mapping, truly_best.mapping
     );
     let sound = rows.iter().all(|r| r.gleipnir_bound >= r.measured);
-    println!("bound ≥ measured for every mapping: {}", if sound { "yes ✓" } else { "NO" });
+    println!(
+        "bound ≥ measured for every mapping: {}",
+        if sound { "yes ✓" } else { "NO" }
+    );
     Ok(())
 }

@@ -6,8 +6,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use gleipnir::prelude::*;
 use gleipnir::core::worst_case_bound;
+use gleipnir::prelude::*;
 use gleipnir::sdp::SolverOptions;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = analyzer.analyze(&program, &BasisState::zeros(2), &noise)?;
 
     println!("program:\n{program}");
-    println!("judgment:  (|00⟩⟨00|, 0) ⊢ P̃_ω ≤ {:.6e}", report.error_bound());
+    println!(
+        "judgment:  (|00⟩⟨00|, 0) ⊢ P̃_ω ≤ {:.6e}",
+        report.error_bound()
+    );
     println!();
     println!("derivation:");
     println!("{}", report.derivation().pretty());
@@ -40,7 +43,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // The derivation is a checkable artifact: replay it independently.
-    report.replay(&noise, &SolverOptions::default(), 1e-6)
+    report
+        .replay(&noise, &SolverOptions::default(), 1e-6)
         .expect("derivation must replay");
     println!("derivation replayed and verified ✓");
     Ok(())

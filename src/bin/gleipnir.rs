@@ -12,9 +12,7 @@
 //! NOISE SPEC: bitflip:P (default bitflip:1e-4) | depolarizing:P1,P2 | none
 //! ```
 
-use gleipnir::circuit::{
-    optimize, parse, pretty, route_with_final, Mapping, Program,
-};
+use gleipnir::circuit::{optimize, parse, pretty, route_with_final, Mapping, Program};
 use gleipnir::core::{worst_case_bound, Analyzer, AnalyzerConfig};
 use gleipnir::noise::{DeviceModel, NoiseModel};
 use gleipnir::sdp::SolverOptions;
@@ -59,7 +57,10 @@ fn usage() -> String {
 }
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn load_program(args: &[String]) -> Result<Program, String> {
@@ -78,7 +79,9 @@ fn parse_noise(args: &[String]) -> Result<NoiseModel, String> {
         return Ok(NoiseModel::Noiseless);
     }
     if let Some(p) = spec.strip_prefix("bitflip:") {
-        let p: f64 = p.parse().map_err(|_| format!("bad probability in `{spec}`"))?;
+        let p: f64 = p
+            .parse()
+            .map_err(|_| format!("bad probability in `{spec}`"))?;
         return Ok(NoiseModel::uniform_bit_flip(p));
     }
     if let Some(ps) = spec.strip_prefix("depolarizing:") {
@@ -86,8 +89,12 @@ fn parse_noise(args: &[String]) -> Result<NoiseModel, String> {
         if parts.len() != 2 {
             return Err(format!("depolarizing needs two rates, got `{spec}`"));
         }
-        let p1: f64 = parts[0].parse().map_err(|_| format!("bad rate in `{spec}`"))?;
-        let p2: f64 = parts[1].parse().map_err(|_| format!("bad rate in `{spec}`"))?;
+        let p1: f64 = parts[0]
+            .parse()
+            .map_err(|_| format!("bad rate in `{spec}`"))?;
+        let p2: f64 = parts[1]
+            .parse()
+            .map_err(|_| format!("bad rate in `{spec}`"))?;
         return Ok(NoiseModel::uniform_depolarizing(p1, p2));
     }
     Err(format!("unknown noise spec `{spec}`"))
@@ -147,8 +154,8 @@ fn analyze(args: &[String], quiet: bool) -> Result<(), String> {
 fn worst(args: &[String]) -> Result<(), String> {
     let program = load_program(args)?;
     let noise = parse_noise(args)?;
-    let report = worst_case_bound(&program, &noise, &SolverOptions::default())
-        .map_err(|e| e.to_string())?;
+    let report =
+        worst_case_bound(&program, &noise, &SolverOptions::default()).map_err(|e| e.to_string())?;
     println!(
         "worst-case bound: {:.6e} over {} gates ({} distinct SDPs); clamped: {:.6e}",
         report.total,
@@ -232,8 +239,8 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
             Mapping::new(placement.map_err(|_| format!("bad mapping `{spec}`"))?)
         }
     };
-    let (routed, final_placement) = route_with_final(&program, device.coupling(), &mapping)
-        .map_err(|e| e.to_string())?;
+    let (routed, final_placement) =
+        route_with_final(&program, device.coupling(), &mapping).map_err(|e| e.to_string())?;
     eprintln!(
         "routed onto {}: {} gates ({} two-qubit), final placement {final_placement}",
         device.name(),

@@ -16,7 +16,9 @@ fn true_error(program: &Program, input: &BasisState, noise: &NoiseModel) -> f64 
     ideal.run(program);
     let mut noisy = DensityMatrix::from_basis(input);
     noisy.run_noisy(program, &|gate, qubits| {
-        noise.channel_for(gate, qubits).map(|ch| ch.kraus().to_vec())
+        noise
+            .channel_for(gate, qubits)
+            .map(|ch| ch.kraus().to_vec())
     });
     noisy.trace_distance_to(&ideal).expect("trace distance")
 }
@@ -126,11 +128,15 @@ fn bound_dominates_true_error_with_measurements() {
     let noise = NoiseModel::uniform_bit_flip(5e-3);
     let mut b = ProgramBuilder::new(3);
     b.h(0).cnot(0, 1).rx(2, 0.8);
-    b.if_measure(0, |z| {
-        z.x(2).rzz(1, 2, 0.5);
-    }, |o| {
-        o.z(2).cnot(1, 2);
-    });
+    b.if_measure(
+        0,
+        |z| {
+            z.x(2).rzz(1, 2, 0.5);
+        },
+        |o| {
+            o.z(2).cnot(1, 2);
+        },
+    );
     let program = b.build();
     let input = BasisState::zeros(3);
     let truth = true_error(&program, &input, &noise);
@@ -162,9 +168,18 @@ fn hierarchy_of_analyses() {
     let worst = worst_case_bound(&program, &noise, &SolverOptions::default())
         .unwrap()
         .total;
-    assert!(truth <= gleipnir + 1e-9, "true {truth} > gleipnir {gleipnir}");
-    assert!((gleipnir - lqr).abs() < 1e-6, "gleipnir {gleipnir} vs lqr {lqr}");
-    assert!(gleipnir <= worst + 1e-9, "gleipnir {gleipnir} > worst {worst}");
+    assert!(
+        truth <= gleipnir + 1e-9,
+        "true {truth} > gleipnir {gleipnir}"
+    );
+    assert!(
+        (gleipnir - lqr).abs() < 1e-6,
+        "gleipnir {gleipnir} vs lqr {lqr}"
+    );
+    assert!(
+        gleipnir <= worst + 1e-9,
+        "gleipnir {gleipnir} > worst {worst}"
+    );
 }
 
 #[test]

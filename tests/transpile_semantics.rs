@@ -1,9 +1,7 @@
 //! Routing must preserve program semantics: the routed circuit followed by
 //! the final-placement permutation equals the original circuit.
 
-use gleipnir::circuit::{
-    compact_program, route_with_final, CouplingMap, Mapping, ProgramBuilder,
-};
+use gleipnir::circuit::{compact_program, route_with_final, CouplingMap, Mapping, ProgramBuilder};
 use gleipnir::sim::StateVector;
 use gleipnir::workloads::ghz;
 
@@ -56,8 +54,7 @@ fn routing_on_full_coupling_is_identity_up_to_renaming() {
     let mut b = ProgramBuilder::new(4);
     b.h(0).cnot(0, 3).rzz(1, 2, 0.4);
     let p = b.build();
-    let (routed, fin) =
-        route_with_final(&p, &CouplingMap::full(4), &Mapping::identity(4)).unwrap();
+    let (routed, fin) = route_with_final(&p, &CouplingMap::full(4), &Mapping::identity(4)).unwrap();
     assert_eq!(routed.two_qubit_gate_count(), p.two_qubit_gate_count());
     assert_eq!(fin, Mapping::identity(4));
 }

@@ -1,0 +1,138 @@
+//! Workspace-wiring smoke tests: catch manifest regressions (a crate
+//! dropped from the facade, a broken re-export, a bin/example target that
+//! no longer links) without re-testing any numerics.
+
+use gleipnir::prelude::*;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Every `gleipnir::prelude` re-export must resolve and construct.
+#[test]
+fn prelude_reexports_resolve() {
+    // circuit
+    let mut b = ProgramBuilder::new(2);
+    b.h(0).cnot(0, 1);
+    let program: Program = b.build();
+    let _: Qubit = Qubit(1);
+    let gate_count = program.gate_count();
+    assert_eq!(gate_count, 2);
+    let _h: Gate = Gate::H;
+
+    // linalg
+    let one: C64 = C64::ONE;
+    let m: CMat = CMat::identity(2);
+    assert_eq!(m.at(0, 0), one);
+    let v: CVec = CVec::zeros(2);
+    assert_eq!(v.len(), 2);
+
+    // sim
+    let input: BasisState = BasisState::zeros(2);
+    let _sv: StateVector = StateVector::from_basis(&input);
+    let _dm: DensityMatrix = DensityMatrix::from_basis(&input);
+
+    // noise
+    let noise: NoiseModel = NoiseModel::uniform_bit_flip(1e-4);
+    let _ch: Channel = Channel::bit_flip(0.1);
+    let _dev: DeviceModel = DeviceModel::lima5();
+
+    // mps
+    let mps: Mps = Mps::zero_state(2, MpsConfig::with_width(4));
+    assert!((mps.norm() - 1.0).abs() < 1e-12);
+
+    // core — the full pipeline, end to end.
+    let report: Report = Analyzer::new(AnalyzerConfig::with_mps_width(8))
+        .analyze(&program, &input, &noise)
+        .expect("GHZ-2 analysis succeeds");
+    let _deriv: &Derivation = report.derivation();
+    assert!(report.error_bound() > 0.0);
+    assert!(report.error_bound() < 3e-4);
+}
+
+/// The facade's module re-exports must expose each workspace crate.
+#[test]
+fn module_reexports_resolve() {
+    let _ = gleipnir::linalg::c64(1.0, 0.0);
+    let _ = gleipnir::circuit::parse("qubits 1; h q0;").expect("parse");
+    let _ = gleipnir::sim::BasisState::zeros(1);
+    let _ = gleipnir::noise::NoiseModel::Noiseless;
+    let _ = gleipnir::mps::MpsConfig::with_width(2);
+    let _ = gleipnir::sdp::SolverOptions::default();
+    let _ = gleipnir::core::AnalyzerConfig::with_mps_width(2);
+    let _ = gleipnir::workloads::ghz(2);
+}
+
+/// Directory holding binaries built alongside this test
+/// (`target/<profile>/`).
+fn target_profile_dir() -> PathBuf {
+    let mut dir = std::env::current_exe().expect("test binary path");
+    dir.pop(); // the test binary's own name
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    dir
+}
+
+/// The `gleipnir` CLI formats and analyzes a program end to end.
+#[test]
+fn cli_analyzes_a_program() {
+    let bin = env!("CARGO_BIN_EXE_gleipnir");
+    let dir = std::env::temp_dir();
+    let glq = dir.join("workspace_smoke_ghz.glq");
+    std::fs::write(&glq, "qubits 2; h q0; cnot q0, q1;").expect("write temp program");
+
+    let fmt = Command::new(bin)
+        .arg("fmt")
+        .arg(&glq)
+        .output()
+        .expect("run gleipnir fmt");
+    assert!(
+        fmt.status.success(),
+        "gleipnir fmt failed: {}",
+        String::from_utf8_lossy(&fmt.stderr)
+    );
+    let pretty = String::from_utf8_lossy(&fmt.stdout);
+    assert!(pretty.contains("cnot"), "fmt output missing gate: {pretty}");
+
+    let analyze = Command::new(bin)
+        .args(["analyze", glq.to_str().unwrap(), "--width", "8"])
+        .output()
+        .expect("run gleipnir analyze");
+    assert!(
+        analyze.status.success(),
+        "gleipnir analyze failed: {}",
+        String::from_utf8_lossy(&analyze.stderr)
+    );
+    let _ = std::fs::remove_file(&glq);
+}
+
+/// The fast examples run to completion (`cargo test` builds every example,
+/// so the slower ones still get compile coverage).
+#[test]
+fn fast_examples_run() {
+    let examples = target_profile_dir().join("examples");
+    for name in ["quickstart", "parse_and_analyze"] {
+        let path = examples.join(name);
+        if !path.exists() {
+            // A target-filtered run (`cargo test --test workspace_smoke`)
+            // doesn't build examples; build them rather than fail spuriously.
+            let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+            let status = Command::new(cargo)
+                .args(["build", "--examples"])
+                .current_dir(env!("CARGO_MANIFEST_DIR"))
+                .status()
+                .expect("run cargo build --examples");
+            assert!(status.success(), "cargo build --examples failed");
+        }
+        assert!(
+            path.exists(),
+            "example binary `{name}` not built at {}",
+            path.display()
+        );
+        let out = Command::new(&path).output().expect("run example");
+        assert!(
+            out.status.success(),
+            "example `{name}` failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}

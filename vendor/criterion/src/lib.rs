@@ -1,0 +1,231 @@
+//! Minimal offline stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness,
+//! implementing the API subset this workspace's `[[bench]]` targets use:
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion::benchmark_group`],
+//! `bench_function`/`bench_with_input`, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`BatchSize`], and
+//! [`black_box`].
+//!
+//! Instead of criterion's statistical sampling it times a fixed warm-up
+//! plus a short measurement loop and prints `min/mean` wall-clock times —
+//! enough to compare ablation variants in one run. Passing `--test` (as
+//! `cargo test --benches` does) runs each benchmark body exactly once as a
+//! smoke test. The container this workspace builds in has no network access
+//! to crates.io; swap the path dependency for `criterion = "0.5"` to use
+//! the real harness.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's optimization barrier.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost; the stand-in treats every
+/// variant identically (one setup per measured call).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    /// `(min, mean)` over measured iterations, filled in by `iter*`.
+    result: Option<(Duration, Duration)>,
+    smoke_test: bool,
+}
+
+impl Bencher {
+    fn measure<F: FnMut()>(&mut self, mut once: F) {
+        if self.smoke_test {
+            once();
+            self.result = Some((Duration::ZERO, Duration::ZERO));
+            return;
+        }
+        // Warm up, then measure until ~200ms or 30 iterations, whichever
+        // comes first (at least 3 iterations).
+        once();
+        let budget = Duration::from_millis(200);
+        let started = Instant::now();
+        let mut min = Duration::MAX;
+        let mut total = Duration::ZERO;
+        let mut n = 0u32;
+        while n < 3 || (started.elapsed() < budget && n < 30) {
+            let t0 = Instant::now();
+            once();
+            let dt = t0.elapsed();
+            min = min.min(dt);
+            total += dt;
+            n += 1;
+        }
+        self.result = Some((min, total / n));
+    }
+
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.measure(|| {
+            black_box(routine());
+        });
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup` (setup time is
+    /// excluded from criterion's measurement; the stand-in includes it,
+    /// which is fine for the coarse comparisons these benches make).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.measure(|| {
+            let input = setup();
+            black_box(routine(input));
+        });
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion's sample-count knob; accepted and ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Criterion's per-sample time knob; accepted and ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run_one<F: FnOnce(&mut Bencher)>(&mut self, id: &str, f: F) {
+        let mut b = Bencher {
+            result: None,
+            smoke_test: self.criterion.smoke_test,
+        };
+        f(&mut b);
+        match b.result {
+            Some((min, mean)) if !self.criterion.smoke_test => {
+                println!(
+                    "bench {}/{id:<40} min {:>12.3?}  mean {:>12.3?}",
+                    self.name, min, mean
+                );
+            }
+            _ => println!("bench {}/{id:<40} ok (smoke test)", self.name),
+        }
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        self.run_one(id, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let id = id.to_string();
+        self.run_one(&id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark-harness entry point handed to `criterion_group!` targets.
+pub struct Criterion {
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` / `cargo bench -- --test` pass `--test`:
+        // run each body once instead of timing it.
+        let smoke_test = std::env::args().any(|a| a == "--test");
+        Criterion { smoke_test }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs a benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.run_one(id, f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

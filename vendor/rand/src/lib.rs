@@ -1,0 +1,208 @@
+//! Minimal offline stand-in for the [`rand`](https://crates.io/crates/rand)
+//! crate, implementing just the API subset this workspace uses:
+//!
+//! * [`Rng::gen`], [`Rng::gen_range`], [`Rng::gen_bool`]
+//! * [`SeedableRng::seed_from_u64`] and [`rngs::StdRng`]
+//! * [`thread_rng`] / [`rngs::ThreadRng`]
+//!
+//! The generator is SplitMix64 — statistically fine for tests and workload
+//! generation, **not** cryptographically secure. The container this
+//! workspace builds in has no network access to crates.io, so the real
+//! `rand` cannot be vendored; this crate keeps call sites source-compatible
+//! (swap the path dependency for `rand = "0.8"` to use the real thing).
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random `u64`s; the base trait every generator implements.
+pub trait RngCore {
+    /// Returns the next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types that [`Rng::gen`] can produce (the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Samples one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Modulo bias is negligible for the tiny spans used here.
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(usize, u64, u32, i64, i32);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// The user-facing random-value API, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample(self) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Generators that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64 — the stand-in for `rand`'s `StdRng`. Deterministic for a
+    /// given seed, which is all the workspace's tests rely on.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// The generator returned by [`thread_rng`](super::thread_rng); seeded
+    /// per call from a process-wide counter and the wall clock.
+    #[derive(Clone, Debug)]
+    pub struct ThreadRng(pub(crate) StdRng);
+
+    impl RngCore for ThreadRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+/// Returns a cheaply constructed, uniquely seeded generator.
+pub fn thread_rng() -> rngs::ThreadRng {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::{SystemTime, UNIX_EPOCH};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nonce = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let clock = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    rngs::ThreadRng(SeedableRng::seed_from_u64(
+        clock ^ nonce.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{thread_rng, Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(0usize..=4);
+            assert!(y <= 4);
+            let f = rng.gen_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn thread_rng_works() {
+        let mut rng = thread_rng();
+        let _ = rng.gen::<f64>();
+        let _ = rng.gen_range(0..10);
+    }
+}
