@@ -1,40 +1,159 @@
-//! Whole-pipeline microbenchmark: the full Fig. 4 workflow (MPS + SDPs +
-//! logic) on a small QAOA instance, with and without the SDP cache — the
-//! per-benchmark cost unit behind Table 2's runtime column.
+//! Whole-pipeline benchmark: the full Fig. 4 workflow (MPS + SDPs + logic)
+//! on a small QAOA instance, on the `Engine` API — the per-benchmark cost
+//! unit behind Table 2's runtime column.
+//!
+//! Besides the human-readable criterion-style timings, the bench emits a
+//! machine-readable **`BENCH_pipeline.json`** (override the path with the
+//! `BENCH_JSON_PATH` env var): wall time, `sdp_solves`, and `cache_hits`
+//! per pipeline stage, so CI accumulates a perf trajectory across commits.
+//!
+//! Stages:
+//!
+//! * `cold`  — state-aware analysis on a fresh engine (empty cache);
+//! * `warm`  — the same request again on the same engine (cache fully hot);
+//! * `adaptive` — an adaptive width sweep on a fresh engine (cross-width
+//!   cache reuse);
+//! * `batch4` — four requests fanned out across worker threads on a fresh
+//!   engine.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gleipnir_core::{Analyzer, AnalyzerConfig};
+use gleipnir_core::{AdaptiveConfig, AnalysisRequest, Engine, Method, Report};
 use gleipnir_noise::NoiseModel;
-use gleipnir_sim::BasisState;
 use gleipnir_workloads::{qaoa_maxcut, Graph};
+use std::time::Instant;
+
+fn program() -> gleipnir_circuit::Program {
+    let graph = Graph::cycle(6);
+    qaoa_maxcut(&graph, &[0.35], &[0.62])
+}
+
+fn request(method: Method) -> AnalysisRequest {
+    AnalysisRequest::builder(program())
+        .noise(NoiseModel::uniform_bit_flip(1e-4))
+        .method(method)
+        .build()
+        .expect("valid request")
+}
+
+fn state_aware() -> AnalysisRequest {
+    request(Method::StateAware { mps_width: 16 })
+}
 
 fn bench_pipeline(c: &mut Criterion) {
-    let graph = Graph::cycle(6);
-    let program = qaoa_maxcut(&graph, &[0.35], &[0.62]);
-    let noise = NoiseModel::uniform_bit_flip(1e-4);
-    let input = BasisState::zeros(6);
-
-    let mut group = c.benchmark_group("analyzer");
+    // Requests are built once, outside every timed closure: the numbers
+    // must measure analysis, not workload/request construction.
+    let req = state_aware();
+    let mut group = c.benchmark_group("engine");
     group.sample_size(10);
-    group.bench_function("qaoa6_w16_cached", |b| {
-        b.iter(|| {
-            // Fresh analyzer each run: measures a cold-cache analysis.
-            Analyzer::new(AnalyzerConfig::with_mps_width(16))
-                .analyze(&program, &input, &noise)
-                .unwrap()
-        })
+    group.bench_function("qaoa6_w16_cold", |b| {
+        // Fresh engine each run: measures a cold-cache analysis.
+        b.iter(|| Engine::new().analyze(&req).unwrap())
+    });
+    group.bench_function("qaoa6_w16_warm", |b| {
+        // One long-lived engine: after the first run every judgment hits.
+        let engine = Engine::new();
+        engine.analyze(&req).unwrap();
+        b.iter(|| engine.analyze(&req).unwrap())
     });
     group.bench_function("qaoa6_w16_uncached", |b| {
-        let mut cfg = AnalyzerConfig::with_mps_width(16);
-        cfg.cache = false;
-        b.iter(|| {
-            Analyzer::new(cfg.clone())
-                .analyze(&program, &input, &noise)
-                .unwrap()
-        })
+        let req = AnalysisRequest::builder(program())
+            .noise(NoiseModel::uniform_bit_flip(1e-4))
+            .method(Method::StateAware { mps_width: 16 })
+            .cache(false)
+            .build()
+            .unwrap();
+        b.iter(|| Engine::new().analyze(&req).unwrap())
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline);
+/// One machine-readable stage record.
+struct Stage {
+    name: &'static str,
+    wall_ms: f64,
+    sdp_solves: usize,
+    cache_hits: usize,
+    error_bound: f64,
+}
+
+fn stage(name: &'static str, run: impl FnOnce() -> Report) -> Stage {
+    let t0 = Instant::now();
+    let report = run();
+    Stage {
+        name,
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        sdp_solves: report.sdp_solves(),
+        cache_hits: report.cache_hits(),
+        error_bound: report.error_bound(),
+    }
+}
+
+fn emit_json() {
+    // Everything timed below measures analysis only: programs, requests,
+    // and engines are constructed up front.
+    let p = program();
+    let req = state_aware();
+    let adaptive_req = request(Method::Adaptive(AdaptiveConfig {
+        start_width: 2,
+        max_width: 16,
+        min_relative_improvement: 0.01,
+    }));
+    let warm_engine = Engine::new();
+    warm_engine.analyze(&req).unwrap();
+    let batch: Vec<AnalysisRequest> = (0..4).map(|_| req.clone()).collect();
+    let batch_engine = Engine::new();
+
+    let mut stages = vec![
+        stage("cold", || Engine::new().analyze(&req).unwrap()),
+        stage("warm", || warm_engine.analyze(&req).unwrap()),
+        stage("adaptive", || Engine::new().analyze(&adaptive_req).unwrap()),
+    ];
+    // batch4 aggregates over the whole batch rather than one report.
+    let t0 = Instant::now();
+    let outcome = batch_engine.analyze_batch_detailed(&batch);
+    let reports: Vec<Report> = outcome
+        .results
+        .into_iter()
+        .map(|r| r.expect("batch request succeeds"))
+        .collect();
+    stages.push(Stage {
+        name: "batch4",
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        sdp_solves: reports.iter().map(Report::sdp_solves).sum(),
+        cache_hits: reports.iter().map(Report::cache_hits).sum(),
+        error_bound: reports[0].error_bound(),
+    });
+
+    let stage_json: Vec<String> = stages
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"name\":\"{}\",\"wall_ms\":{:.3},\"sdp_solves\":{},\"cache_hits\":{},\"error_bound\":{:e}}}",
+                s.name, s.wall_ms, s.sdp_solves, s.cache_hits, s.error_bound
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"bench\":\"pipeline\",\"workload\":{{\"name\":\"qaoa_maxcut_cycle6\",\"qubits\":{},\"gates\":{}}},\"batch_worker_threads\":{},\"stages\":[{}]}}\n",
+        p.n_qubits(),
+        p.gate_count(),
+        outcome.worker_threads,
+        stage_json.join(",")
+    );
+    let path =
+        std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    print!("{json}");
+}
+
+fn bench_json(_c: &mut Criterion) {
+    // The JSON pass runs its stages exactly once (each stage is itself a
+    // whole analysis), both under `cargo bench` and `--test` smoke runs.
+    emit_json();
+}
+
+criterion_group!(benches, bench_pipeline, bench_json);
 criterion_main!(benches);

@@ -11,6 +11,7 @@
 //! to the paper's `{…, 64, 128}`.
 
 use gleipnir_bench::{format_figure14, run_figure14};
+use gleipnir_core::Engine;
 use gleipnir_workloads::ising_chain;
 
 fn main() {
@@ -32,7 +33,7 @@ fn main() {
     };
 
     eprintln!("sweeping {name} over w = {widths:?}…");
-    match run_figure14(&program, &widths) {
+    match run_figure14(&Engine::new(), &program, &widths) {
         Ok(points) => {
             for p in &points {
                 eprintln!(

@@ -12,6 +12,7 @@
 //! all nine rows at the paper's `w = 128`.
 
 use gleipnir_bench::{format_table2, run_table2_row};
+use gleipnir_core::Engine;
 use gleipnir_workloads::paper_benchmarks;
 
 fn main() {
@@ -29,6 +30,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned();
 
+    let engine = Engine::new();
     let mut rows = Vec::new();
     for bench in paper_benchmarks() {
         if let Some(f) = &filter {
@@ -43,6 +45,7 @@ fn main() {
             bench.program.gate_count()
         );
         match run_table2_row(
+            &engine,
             bench.name,
             &bench.program,
             bench.paper_gate_count,

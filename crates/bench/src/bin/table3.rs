@@ -12,6 +12,7 @@
 //! ```
 
 use gleipnir_bench::{format_table3, run_mapping_experiment};
+use gleipnir_core::Engine;
 use gleipnir_noise::DeviceModel;
 
 fn main() {
@@ -25,10 +26,11 @@ fn main() {
         (5, vec![2, 1, 0, 3, 4]),
     ];
 
+    let engine = Engine::new();
     let mut rows = Vec::new();
     for (n, placement) in experiments {
         eprintln!("running GHZ-{n} with mapping {placement:?}…");
-        match run_mapping_experiment(&device, n, &placement) {
+        match run_mapping_experiment(&engine, &device, n, &placement) {
             Ok(row) => {
                 eprintln!(
                     "  bound {:.3}, measured {:.3} ({} routed 2q gates)",

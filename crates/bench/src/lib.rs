@@ -3,16 +3,17 @@
 //! The evaluation harness: everything needed to regenerate the paper's
 //! Table 2, Figure 14, and Table 3, shared by the `table2`, `figure14`, and
 //! `table3` binaries and the Criterion ablation benches.
+//!
+//! Every experiment runner takes the caller's [`Engine`] so whole tables
+//! and sweeps share one SDP-certificate cache, the way a long-running
+//! analysis service would.
 
 #![warn(missing_docs)]
 
 use gleipnir_circuit::{compact_program, route_with_final, CouplingMap, Mapping, Program};
-use gleipnir_core::{
-    lqr_full_sim_bound, worst_case_bound, AnalysisError, Analyzer, AnalyzerConfig,
-};
+use gleipnir_core::{AnalysisError, AnalysisRequest, Engine, Method};
 use gleipnir_noise::{DeviceModel, NoiseModel};
-use gleipnir_sdp::SolverOptions;
-use gleipnir_sim::{statistical_distance, BasisState, DensityMatrix};
+use gleipnir_sim::{statistical_distance, DensityMatrix};
 use gleipnir_workloads::ghz;
 use std::time::{Duration, Instant};
 
@@ -40,7 +41,8 @@ pub struct Table2Row {
     pub worst_case: f64,
 }
 
-/// Evaluates one Table 2 benchmark at the given MPS width.
+/// Evaluates one Table 2 benchmark at the given MPS width on the caller's
+/// engine.
 ///
 /// `attempt_lqr` controls the full-simulation column; the paper's protocol
 /// (and the exponential cost) limits it to ≤ 10 qubits.
@@ -49,6 +51,7 @@ pub struct Table2Row {
 ///
 /// Propagates analysis failures.
 pub fn run_table2_row(
+    engine: &Engine,
     name: &str,
     program: &Program,
     paper_gates: usize,
@@ -56,19 +59,23 @@ pub fn run_table2_row(
     attempt_lqr: bool,
 ) -> Result<Table2Row, AnalysisError> {
     let noise = NoiseModel::uniform_bit_flip(1e-4);
-    let input = BasisState::zeros(program.n_qubits());
+    let request = |method: Method| {
+        AnalysisRequest::builder(program.clone())
+            .noise(noise.clone())
+            .method(method)
+            .build()
+    };
 
-    let analyzer = Analyzer::new(AnalyzerConfig::with_mps_width(width));
     let t0 = Instant::now();
-    let report = analyzer.analyze(program, &input, &noise)?;
+    let report = engine.analyze(&request(Method::StateAware { mps_width: width })?)?;
     let gleipnir_time = t0.elapsed();
 
-    let worst = worst_case_bound(program, &noise, &SolverOptions::default())?;
+    let worst = engine.analyze(&request(Method::WorstCase)?)?;
 
     let (lqr_bound, lqr_time) = if attempt_lqr && program.n_qubits() <= 10 {
         let t1 = Instant::now();
-        match lqr_full_sim_bound(program, &input, &noise, &SolverOptions::default()) {
-            Ok(b) => (Some(b), Some(t1.elapsed())),
+        match engine.analyze(&request(Method::LqrFullSim)?) {
+            Ok(r) => (Some(r.error_bound()), Some(t1.elapsed())),
             Err(_) => (None, None),
         }
     } else {
@@ -84,7 +91,7 @@ pub fn run_table2_row(
         gleipnir_time,
         lqr_bound,
         lqr_time,
-        worst_case: worst.total,
+        worst_case: worst.error_bound(),
     })
 }
 
@@ -160,6 +167,7 @@ pub struct Table3Row {
 /// Panics if the compacted register exceeds 12 qubits (not the case for the
 /// paper's GHZ-3/GHZ-5 mappings).
 pub fn run_mapping_experiment(
+    engine: &Engine,
     device: &DeviceModel,
     ghz_n: usize,
     placement: &[usize],
@@ -177,8 +185,11 @@ pub fn run_mapping_experiment(
     let noise = NoiseModel::Device(compact_device.clone());
 
     // ---- Bound side -------------------------------------------------
-    let analyzer = Analyzer::new(AnalyzerConfig::with_mps_width(32));
-    let report = analyzer.analyze(&compact, &BasisState::zeros(compact.n_qubits()), &noise)?;
+    let request = AnalysisRequest::builder(compact.clone())
+        .noise(noise.clone())
+        .method(Method::StateAware { mps_width: 32 })
+        .build()?;
+    let report = engine.analyze(&request)?;
     // Physical qubits measured: where the logical GHZ qubits ended up.
     let measured_phys: Vec<usize> = (0..ghz_n).map(|l| final_placement.physical(l)).collect();
     let readout_term = device.readout_error_bound(&measured_phys);
@@ -295,27 +306,31 @@ pub struct Figure14Point {
 }
 
 /// Runs the Figure 14 sweep (error bound and runtime vs MPS width) for a
-/// program under the paper's bit-flip noise.
+/// program under the paper's bit-flip noise, on the caller's engine — so
+/// wider widths reuse the narrower widths' certificates.
 ///
 /// # Errors
 ///
 /// Propagates analysis failures.
 pub fn run_figure14(
+    engine: &Engine,
     program: &Program,
     widths: &[usize],
 ) -> Result<Vec<Figure14Point>, AnalysisError> {
     let noise = NoiseModel::uniform_bit_flip(1e-4);
-    let input = BasisState::zeros(program.n_qubits());
     let mut points = Vec::new();
     for &w in widths {
-        let analyzer = Analyzer::new(AnalyzerConfig::with_mps_width(w));
+        let request = AnalysisRequest::builder(program.clone())
+            .noise(noise.clone())
+            .method(Method::StateAware { mps_width: w })
+            .build()?;
         let t0 = Instant::now();
-        let report = analyzer.analyze(program, &input, &noise)?;
+        let report = engine.analyze(&request)?;
         points.push(Figure14Point {
             width: w,
             bound: report.error_bound(),
             time: t0.elapsed(),
-            tn_delta: report.tn_delta(),
+            tn_delta: report.tn_delta().unwrap_or(0.0),
         });
     }
     Ok(points)
@@ -373,7 +388,7 @@ mod tests {
     #[test]
     fn mapping_experiment_bound_dominates_measurement() {
         let dev = DeviceModel::boeblingen20();
-        let row = run_mapping_experiment(&dev, 3, &[1, 2, 3]).unwrap();
+        let row = run_mapping_experiment(&Engine::new(), &dev, 3, &[1, 2, 3]).unwrap();
         assert!(
             row.gleipnir_bound >= row.measured,
             "bound {} below measured {}",

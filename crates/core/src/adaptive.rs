@@ -3,17 +3,23 @@
 //! MPS such that tighter error bounds can be computed using greater
 //! computational resources".
 //!
-//! [`analyze_adaptive`] doubles the MPS width until the bound's relative
-//! improvement drops below a threshold (the "marginal returns beyond a
-//! certain size" of Fig. 14) or a width cap is hit, returning the tightest
-//! report together with the trajectory.
+//! [`Method::Adaptive`](crate::Method::Adaptive) doubles the MPS width
+//! until the bound's relative improvement drops below a threshold (the
+//! "marginal returns beyond a certain size" of Fig. 14) or a width cap is
+//! hit, returning the tightest report together with the trajectory.
+//!
+//! Every width runs against the owning [`Engine`](crate::Engine)'s shared
+//! SDP cache, so certificates paid for at width `w` are reused at `2w` —
+//! early-circuit judgments (where the narrow MPS is still exact) are
+//! identical across widths and hit the cache immediately.
 
-use crate::{AnalysisError, Analyzer, AnalyzerConfig, Report};
-use gleipnir_circuit::Program;
-use gleipnir_noise::NoiseModel;
-use gleipnir_sim::BasisState;
+use crate::engine::Engine;
+use crate::logic::{run_state_aware, StateAwareReport};
+use crate::request::AnalysisRequest;
+use crate::AnalysisError;
+use std::time::Instant;
 
-/// Configuration for [`analyze_adaptive`].
+/// Configuration for [`Method::Adaptive`](crate::Method::Adaptive).
 #[derive(Clone, Debug)]
 pub struct AdaptiveConfig {
     /// Starting MPS width (default 2).
@@ -35,6 +41,34 @@ impl Default for AdaptiveConfig {
     }
 }
 
+impl AdaptiveConfig {
+    /// Checks the width range and improvement threshold.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::InvalidConfig`] on a zero start width, an inverted
+    /// width range, or a non-finite improvement threshold.
+    pub fn validate(&self) -> Result<(), AnalysisError> {
+        if self.start_width < 1 {
+            return Err(AnalysisError::InvalidConfig(
+                "adaptive start width must be positive".into(),
+            ));
+        }
+        if self.max_width < self.start_width {
+            return Err(AnalysisError::InvalidConfig(format!(
+                "adaptive width cap {} is below start width {}",
+                self.max_width, self.start_width
+            )));
+        }
+        if !self.min_relative_improvement.is_finite() {
+            return Err(AnalysisError::InvalidConfig(
+                "adaptive improvement threshold must be finite".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// One step of the adaptive trajectory.
 #[derive(Clone, Debug)]
 pub struct AdaptiveStep {
@@ -44,70 +78,60 @@ pub struct AdaptiveStep {
     pub bound: f64,
     /// The MPS truncation error at this width.
     pub tn_delta: f64,
+    /// SDPs actually solved at this width.
+    pub sdp_solves: usize,
+    /// Gate judgments answered from the engine's shared cache at this
+    /// width (nonzero from the second width on: certificates cross widths).
+    pub cache_hits: usize,
 }
 
 /// The adaptive analysis outcome.
 #[derive(Clone, Debug)]
 pub struct AdaptiveReport {
     /// The report at the final (best) width.
-    pub report: Report,
+    pub report: StateAwareReport,
     /// The width the search settled on.
     pub width: usize,
     /// The bound at each width tried, in order.
     pub trajectory: Vec<AdaptiveStep>,
+    /// Wall-clock time of the whole search.
+    pub elapsed: std::time::Duration,
 }
 
 /// Doubles the MPS width until the bound stops improving meaningfully.
 ///
 /// Because every width yields a *sound* bound, the minimum over the
 /// trajectory is sound too; the returned report is the one achieving it.
-///
-/// # Errors
-///
-/// Propagates [`AnalysisError`] from the underlying analyses.
-///
-/// # Examples
-///
-/// ```
-/// use gleipnir_circuit::ProgramBuilder;
-/// use gleipnir_core::{analyze_adaptive, AdaptiveConfig};
-/// use gleipnir_noise::NoiseModel;
-/// use gleipnir_sim::BasisState;
-///
-/// let mut b = ProgramBuilder::new(3);
-/// b.h(0).cnot(0, 1).cnot(1, 2);
-/// let out = analyze_adaptive(
-///     &b.build(),
-///     &BasisState::zeros(3),
-///     &NoiseModel::uniform_bit_flip(1e-4),
-///     &AdaptiveConfig::default(),
-/// )?;
-/// // A 3-qubit GHZ saturates at tiny widths.
-/// assert!(out.width <= 8);
-/// # Ok::<(), gleipnir_core::AnalysisError>(())
-/// ```
-pub fn analyze_adaptive(
-    program: &Program,
-    input: &BasisState,
-    noise: &NoiseModel,
+pub(crate) fn run_adaptive(
+    engine: &Engine,
+    request: &AnalysisRequest,
     config: &AdaptiveConfig,
 ) -> Result<AdaptiveReport, AnalysisError> {
-    assert!(config.start_width >= 1, "start width must be positive");
-    assert!(
-        config.max_width >= config.start_width,
-        "width cap below start"
-    );
+    config.validate()?;
+    let start = Instant::now();
+    let opts = engine.resolve_options(request);
+    let cache = engine.cache_for(request);
+
     let mut width = config.start_width;
-    let mut best: Option<(usize, Report)> = None;
+    let mut best: Option<(usize, StateAwareReport)> = None;
     let mut trajectory = Vec::new();
 
     loop {
-        let analyzer = Analyzer::new(AnalyzerConfig::with_mps_width(width));
-        let report = analyzer.analyze(program, input, noise)?;
+        let mps = request.input().build_mps(width)?;
+        let report = run_state_aware(
+            request.program(),
+            mps,
+            request.noise(),
+            &opts,
+            cache,
+            request.delta_quantum(),
+        )?;
         trajectory.push(AdaptiveStep {
             width,
             bound: report.error_bound(),
             tn_delta: report.tn_delta(),
+            sdp_solves: report.sdp_solves(),
+            cache_hits: report.cache_hits(),
         });
         let improved_enough = match &best {
             None => true,
@@ -138,13 +162,63 @@ pub fn analyze_adaptive(
         report,
         width,
         trajectory,
+        elapsed: start.elapsed(),
     })
+}
+
+/// One-shot adaptive analysis, kept as a shim over a private
+/// [`Engine`](crate::Engine) — the fresh engine discards the cross-width
+/// certificates a long-lived engine would keep.
+///
+/// # Errors
+///
+/// [`AnalysisError::InvalidConfig`] on a bad `config` (this used to panic),
+/// and any error from the underlying analyses.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Engine::analyze` with `Method::Adaptive` (see README's migration table)"
+)]
+pub fn analyze_adaptive(
+    program: &gleipnir_circuit::Program,
+    input: &gleipnir_sim::BasisState,
+    noise: &gleipnir_noise::NoiseModel,
+    config: &AdaptiveConfig,
+) -> Result<AdaptiveReport, AnalysisError> {
+    let engine = Engine::new();
+    let request = AnalysisRequest::builder(program.clone())
+        .input(input)
+        .noise(noise.clone())
+        .method(crate::Method::Adaptive(config.clone()))
+        .build()?;
+    engine
+        .analyze(&request)?
+        .into_adaptive()
+        .ok_or_else(|| AnalysisError::Unsupported("adaptive report expected".into()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gleipnir_circuit::ProgramBuilder;
+    use crate::{AnalysisRequest, Engine, Method};
+    use gleipnir_circuit::{Program, ProgramBuilder};
+    use gleipnir_noise::NoiseModel;
+    use gleipnir_sim::BasisState;
+
+    fn adaptive(
+        program: &Program,
+        noise: &NoiseModel,
+        cfg: AdaptiveConfig,
+    ) -> Result<AdaptiveReport, AnalysisError> {
+        let engine = Engine::new();
+        let request = AnalysisRequest::builder(program.clone())
+            .noise(noise.clone())
+            .method(Method::Adaptive(cfg))
+            .build()?;
+        Ok(engine
+            .analyze(&request)?
+            .into_adaptive()
+            .expect("adaptive report"))
+    }
 
     fn entangling_program(n: usize) -> Program {
         let mut b = ProgramBuilder::new(n);
@@ -166,11 +240,10 @@ mod tests {
     fn saturates_early_on_product_circuits() {
         let mut b = ProgramBuilder::new(4);
         b.h(0).h(1).h(2).h(3);
-        let out = analyze_adaptive(
+        let out = adaptive(
             &b.build(),
-            &BasisState::zeros(4),
             &NoiseModel::uniform_bit_flip(1e-4),
-            &AdaptiveConfig::default(),
+            AdaptiveConfig::default(),
         )
         .unwrap();
         assert_eq!(out.trajectory.len(), 1, "product state is exact at w = 2");
@@ -185,13 +258,7 @@ mod tests {
             max_width: 16,
             min_relative_improvement: 0.001,
         };
-        let out = analyze_adaptive(
-            &program,
-            &BasisState::zeros(6),
-            &NoiseModel::uniform_bit_flip(1e-3),
-            &cfg,
-        )
-        .unwrap();
+        let out = adaptive(&program, &NoiseModel::uniform_bit_flip(1e-3), cfg).unwrap();
         assert!(out.trajectory.len() > 1, "should have tried several widths");
         assert!(out.width > 1);
         // The selected bound is the minimum of the trajectory.
@@ -211,13 +278,43 @@ mod tests {
             max_width: 4,
             min_relative_improvement: 0.0,
         };
-        let out = analyze_adaptive(
-            &program,
-            &BasisState::zeros(6),
-            &NoiseModel::uniform_bit_flip(1e-3),
-            &cfg,
-        )
-        .unwrap();
+        let out = adaptive(&program, &NoiseModel::uniform_bit_flip(1e-3), cfg).unwrap();
         assert!(out.trajectory.iter().all(|s| s.width <= 4));
+    }
+
+    #[test]
+    fn bad_config_is_an_error_not_a_panic() {
+        let program = entangling_program(4);
+        let cfg = AdaptiveConfig {
+            start_width: 8,
+            max_width: 4,
+            min_relative_improvement: 0.0,
+        };
+        let err = adaptive(&program, &NoiseModel::Noiseless, cfg).unwrap_err();
+        assert!(matches!(err, AnalysisError::InvalidConfig(_)), "{err}");
+
+        let cfg = AdaptiveConfig {
+            start_width: 0,
+            max_width: 4,
+            min_relative_improvement: 0.0,
+        };
+        let err = adaptive(&program, &NoiseModel::Noiseless, cfg).unwrap_err();
+        assert!(matches!(err, AnalysisError::InvalidConfig(_)), "{err}");
+
+        // The deprecated one-shot entry point reports the same error
+        // instead of panicking.
+        #[allow(deprecated)]
+        let err = analyze_adaptive(
+            &program,
+            &BasisState::zeros(4),
+            &NoiseModel::Noiseless,
+            &AdaptiveConfig {
+                start_width: 0,
+                max_width: 4,
+                min_relative_improvement: 0.0,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, AnalysisError::InvalidConfig(_)), "{err}");
     }
 }

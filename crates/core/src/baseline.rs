@@ -1,15 +1,23 @@
 //! Baseline analyses the paper compares against (Table 2):
 //!
-//! * [`worst_case_bound`] — the unconstrained diamond norm summed over all
-//!   gates (§2.3's worst-case analysis; for the paper's bit-flip model this
-//!   is exactly `gate_count × p`);
-//! * [`lqr_full_sim_bound`] — LQR [24] instantiated with the best predicate
-//!   obtainable from *full simulation*: the exact intermediate state is
-//!   computed with the dense density-matrix simulator and each gate is
-//!   bounded by the `(ρ_exact, 0)`-diamond norm. Exponential in qubits —
-//!   the paper reports it timing out beyond 10 qubits.
+//! * [`Method::WorstCase`](crate::Method::WorstCase) — the unconstrained
+//!   diamond norm summed over all gates (§2.3's worst-case analysis; for
+//!   the paper's bit-flip model this is exactly `gate_count × p`);
+//! * [`Method::LqrFullSim`](crate::Method::LqrFullSim) — LQR [24]
+//!   instantiated with the best predicate obtainable from *full
+//!   simulation*: the exact intermediate state is computed with the dense
+//!   density-matrix simulator and each gate is bounded by the
+//!   `(ρ_exact, 0)`-diamond norm. Exponential in qubits — the paper
+//!   reports it timing out beyond 10 qubits.
+//!
+//! Worst-case certificates live in the owning engine's shared cache (an
+//! unconstrained diamond norm depends only on the gate, its noise channel,
+//! and the solver options), so a batch of worst-case requests over related
+//! programs solves each distinct `(gate, channel)` pair once.
 
 use crate::diamond::rho_delta_diamond;
+use crate::engine::{self, Engine};
+use crate::request::AnalysisRequest;
 use crate::{unconstrained_diamond, AnalysisError};
 use gleipnir_circuit::{Gate, Program};
 use gleipnir_linalg::CMat;
@@ -17,8 +25,9 @@ use gleipnir_noise::NoiseModel;
 use gleipnir_sdp::SolverOptions;
 use gleipnir_sim::{BasisState, DensityMatrix};
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
-/// The worst-case (unconstrained diamond norm) analysis.
+/// The worst-case (unconstrained diamond norm) analysis report.
 #[derive(Clone, Debug)]
 pub struct WorstCaseReport {
     /// The summed bound (not clamped; trace-distance semantics cap at 1).
@@ -27,6 +36,11 @@ pub struct WorstCaseReport {
     pub gate_count: usize,
     /// Distinct (gate, channel) SDPs solved (the rest were cache hits).
     pub sdp_solves: usize,
+    /// Gate bounds answered from the engine's shared cache (including
+    /// repeats within this program).
+    pub cache_hits: usize,
+    /// Wall-clock time of the analysis.
+    pub elapsed: Duration,
 }
 
 impl WorstCaseReport {
@@ -37,44 +51,64 @@ impl WorstCaseReport {
     }
 }
 
+/// The LQR-with-full-simulation baseline report.
+#[derive(Clone, Debug)]
+pub struct LqrReport {
+    /// The summed per-gate `(ρ_exact, 0)`-diamond bounds.
+    pub bound: f64,
+    /// Number of gates analyzed (each one SDP solve; exact predicates are
+    /// never cached).
+    pub gate_count: usize,
+    /// Wall-clock time of the analysis.
+    pub elapsed: Duration,
+}
+
 /// Sums the unconstrained diamond norms of every noisy gate in the program
 /// (branch bodies included — each gate's worst case is counted once, which
 /// upper-bounds the per-path sum the logic would produce).
-///
-/// # Errors
-///
-/// [`AnalysisError`] if an SDP fails.
-pub fn worst_case_bound(
-    program: &Program,
-    noise: &NoiseModel,
-    opts: &SolverOptions,
+pub(crate) fn run_worst_case(
+    engine: &Engine,
+    request: &AnalysisRequest,
 ) -> Result<WorstCaseReport, AnalysisError> {
-    let mut cache: HashMap<Vec<u64>, f64> = HashMap::new();
+    let start = Instant::now();
+    let opts = engine.resolve_options(request);
+    let shared = engine.cache_for(request);
+    let noise = request.noise();
+
+    // A per-run memo always dedups repeats inside this program; the
+    // engine's shared cache (when enabled) additionally carries bounds
+    // across requests.
+    let mut local: HashMap<Vec<u64>, f64> = HashMap::new();
     let mut total = 0.0;
     let mut gate_count = 0usize;
     let mut solves = 0usize;
+    let mut cache_hits = 0usize;
     let mut err: Option<AnalysisError> = None;
-    program.body().for_each_gate(&mut |g| {
+    request.program().body().for_each_gate(&mut |g| {
         if err.is_some() {
             return;
         }
         gate_count += 1;
         let noisy = noise.noisy_gate(&g.gate, &g.qubits);
-        let mut key: Vec<u64> = Vec::new();
-        for k in noisy.kraus() {
-            for z in k.as_slice() {
-                key.push(z.re.to_bits());
-                key.push(z.im.to_bits());
-            }
-        }
-        if let Some(&eps) = cache.get(&key) {
+        let key = engine::key_unconstrained(&g.gate.matrix(), noisy.kraus(), &opts);
+        if let Some(&eps) = local.get(&key) {
+            cache_hits += 1;
             total += eps;
             return;
         }
-        match unconstrained_diamond(&g.gate.matrix(), &noisy, opts) {
+        if let Some(eps) = shared.and_then(|c| c.get(&key)) {
+            cache_hits += 1;
+            local.insert(key, eps);
+            total += eps;
+            return;
+        }
+        match unconstrained_diamond(&g.gate.matrix(), &noisy, &opts) {
             Ok(r) => {
                 solves += 1;
-                cache.insert(key, r.bound);
+                if let Some(c) = shared {
+                    c.insert(key.clone(), r.bound);
+                }
+                local.insert(key, r.bound);
                 total += r.bound;
             }
             Err(e) => err = Some(e.into()),
@@ -87,6 +121,8 @@ pub fn worst_case_bound(
         total,
         gate_count,
         sdp_solves: solves,
+        cache_hits,
+        elapsed: start.elapsed(),
     })
 }
 
@@ -94,16 +130,27 @@ pub fn worst_case_bound(
 /// dense density-matrix simulator, each gate bounded by the
 /// `(ρ_exact_local, 0)`-diamond norm.
 ///
-/// Only straight-line programs are supported (the paper's Table 2
-/// benchmarks are straight-line), and the register is limited to 12 qubits
-/// — beyond that the `4ⁿ` density matrix is the very blow-up the paper's
-/// "timed out" column demonstrates.
-///
-/// # Errors
-///
-/// [`AnalysisError::Unsupported`] for branching programs or oversized
-/// registers, or SDP failures.
-pub fn lqr_full_sim_bound(
+/// Only straight-line programs with basis inputs are supported (the paper's
+/// Table 2 benchmarks are straight-line), and the register is limited to 12
+/// qubits — beyond that the `4ⁿ` density matrix is the very blow-up the
+/// paper's "timed out" column demonstrates.
+pub(crate) fn run_lqr_full_sim(
+    request: &AnalysisRequest,
+    opts: &SolverOptions,
+) -> Result<LqrReport, AnalysisError> {
+    let input = request.input().as_basis().ok_or_else(|| {
+        AnalysisError::Unsupported("LQR-full-sim baseline requires a basis input state".into())
+    })?;
+    let start = Instant::now();
+    let bound = lqr_full_sim_impl(request.program(), input, request.noise(), opts)?;
+    Ok(LqrReport {
+        bound,
+        gate_count: request.program().gate_count(),
+        elapsed: start.elapsed(),
+    })
+}
+
+fn lqr_full_sim_impl(
     program: &Program,
     input: &BasisState,
     noise: &NoiseModel,
@@ -156,14 +203,93 @@ fn exact_local_density(rho: &DensityMatrix, qubits: &[usize]) -> CMat {
     }
 }
 
+/// One-shot worst-case analysis, kept as a shim over a private engine.
+///
+/// # Errors
+///
+/// [`AnalysisError`] if an SDP fails.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Engine::analyze` with `Method::WorstCase` (see README's migration table)"
+)]
+pub fn worst_case_bound(
+    program: &Program,
+    noise: &NoiseModel,
+    opts: &SolverOptions,
+) -> Result<WorstCaseReport, AnalysisError> {
+    let engine = Engine::with_options(*opts);
+    let request = AnalysisRequest::builder(program.clone())
+        .noise(noise.clone())
+        .method(crate::Method::WorstCase)
+        .build()?;
+    run_worst_case(&engine, &request)
+}
+
+/// One-shot LQR-full-sim analysis, kept as a shim.
+///
+/// # Errors
+///
+/// [`AnalysisError::Unsupported`] for branching programs or oversized
+/// registers, or SDP failures.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Engine::analyze` with `Method::LqrFullSim` (see README's migration table)"
+)]
+pub fn lqr_full_sim_bound(
+    program: &Program,
+    input: &BasisState,
+    noise: &NoiseModel,
+    opts: &SolverOptions,
+) -> Result<f64, AnalysisError> {
+    lqr_full_sim_impl(program, input, noise, opts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Analyzer, AnalyzerConfig};
+    use crate::{AnalysisRequest, Engine, Method, Report};
     use gleipnir_circuit::ProgramBuilder;
 
-    fn opts() -> SolverOptions {
-        SolverOptions::default()
+    fn worst_case(program: &Program, noise: &NoiseModel) -> WorstCaseReport {
+        let engine = Engine::new();
+        let request = AnalysisRequest::builder(program.clone())
+            .noise(noise.clone())
+            .method(Method::WorstCase)
+            .build()
+            .unwrap();
+        match engine.analyze(&request).unwrap() {
+            Report::WorstCase(r) => r,
+            other => panic!("expected worst-case report, got {}", other.method_name()),
+        }
+    }
+
+    fn lqr(
+        program: &Program,
+        input: &BasisState,
+        noise: &NoiseModel,
+    ) -> Result<LqrReport, AnalysisError> {
+        let engine = Engine::new();
+        let request = AnalysisRequest::builder(program.clone())
+            .input(input)
+            .noise(noise.clone())
+            .method(Method::LqrFullSim)
+            .build()?;
+        match engine.analyze(&request)? {
+            Report::LqrFullSim(r) => Ok(r),
+            other => panic!("expected LQR report, got {}", other.method_name()),
+        }
+    }
+
+    fn state_aware_uncached(program: &Program, input: &BasisState, noise: &NoiseModel) -> f64 {
+        let engine = Engine::new();
+        let request = AnalysisRequest::builder(program.clone())
+            .input(input)
+            .noise(noise.clone())
+            .method(Method::StateAware { mps_width: 16 })
+            .cache(false)
+            .build()
+            .unwrap();
+        engine.analyze(&request).unwrap().error_bound()
     }
 
     #[test]
@@ -172,8 +298,7 @@ mod tests {
         let p = 1e-4;
         let mut b = ProgramBuilder::new(3);
         b.h(0).cnot(0, 1).cnot(1, 2).rx(0, 0.3).rzz(0, 2, 0.9);
-        let report =
-            worst_case_bound(&b.build(), &NoiseModel::uniform_bit_flip(p), &opts()).unwrap();
+        let report = worst_case(&b.build(), &NoiseModel::uniform_bit_flip(p));
         assert_eq!(report.gate_count, 5);
         assert!(
             (report.total - 5.0 * p).abs() < 5.0 * p * 1e-3,
@@ -190,10 +315,12 @@ mod tests {
         for _ in 0..30 {
             b.x(0);
         }
-        let report =
-            worst_case_bound(&b.build(), &NoiseModel::uniform_bit_flip(0.2), &opts()).unwrap();
+        let report = worst_case(&b.build(), &NoiseModel::uniform_bit_flip(0.2));
         assert!(report.total > 1.0);
         assert_eq!(report.clamped(), 1.0);
+        // 29 of the 30 identical gates came from the cache.
+        assert_eq!(report.sdp_solves, 1);
+        assert_eq!(report.cache_hits, 29);
     }
 
     #[test]
@@ -204,17 +331,15 @@ mod tests {
         b.h(0).cnot(0, 1).rx(2, 0.8).rzz(1, 2, 0.5).cnot(0, 2);
         let p = b.build();
         let noise = NoiseModel::uniform_bit_flip(1e-4);
-        let lqr = lqr_full_sim_bound(&p, &BasisState::zeros(3), &noise, &opts()).unwrap();
-        let mut cfg = AnalyzerConfig::with_mps_width(16);
-        cfg.cache = false;
-        let gleipnir = Analyzer::new(cfg)
-            .analyze(&p, &BasisState::zeros(3), &noise)
-            .unwrap();
+        let input = BasisState::zeros(3);
+        let lqr = lqr(&p, &input, &noise).unwrap();
+        let gleipnir = state_aware_uncached(&p, &input, &noise);
         assert!(
-            (gleipnir.error_bound() - lqr).abs() < 1e-6,
-            "gleipnir {} vs lqr {lqr}",
-            gleipnir.error_bound()
+            (gleipnir - lqr.bound).abs() < 1e-6,
+            "gleipnir {gleipnir} vs lqr {}",
+            lqr.bound
         );
+        assert_eq!(lqr.gate_count, 5);
     }
 
     #[test]
@@ -223,14 +348,17 @@ mod tests {
         b.h(0).h(1).cnot(0, 1).cnot(2, 3).rx(3, 1.0).rzz(1, 2, 0.6);
         let p = b.build();
         let noise = NoiseModel::uniform_bit_flip(1e-3);
-        let worst = worst_case_bound(&p, &noise, &opts()).unwrap();
-        let gleipnir = Analyzer::new(AnalyzerConfig::with_mps_width(8))
-            .analyze(&p, &BasisState::zeros(4), &noise)
+        let worst = worst_case(&p, &noise);
+        let engine = Engine::new();
+        let request = AnalysisRequest::builder(p.clone())
+            .noise(noise.clone())
+            .method(Method::StateAware { mps_width: 8 })
+            .build()
             .unwrap();
+        let gleipnir = engine.analyze(&request).unwrap().error_bound();
         assert!(
-            gleipnir.error_bound() <= worst.total + 1e-7,
-            "{} > {}",
-            gleipnir.error_bound(),
+            gleipnir <= worst.total + 1e-7,
+            "{gleipnir} > {}",
             worst.total
         );
     }
@@ -239,23 +367,11 @@ mod tests {
     fn lqr_rejects_branching_and_large_programs() {
         let mut b = ProgramBuilder::new(2);
         b.if_measure(0, |_| {}, |_| {});
-        let err = lqr_full_sim_bound(
-            &b.build(),
-            &BasisState::zeros(2),
-            &NoiseModel::Noiseless,
-            &opts(),
-        )
-        .unwrap_err();
+        let err = lqr(&b.build(), &BasisState::zeros(2), &NoiseModel::Noiseless).unwrap_err();
         assert!(matches!(err, AnalysisError::Unsupported(_)));
 
         let big = ProgramBuilder::new(13).build();
-        let err = lqr_full_sim_bound(
-            &big,
-            &BasisState::zeros(13),
-            &NoiseModel::Noiseless,
-            &opts(),
-        )
-        .unwrap_err();
+        let err = lqr(&big, &BasisState::zeros(13), &NoiseModel::Noiseless).unwrap_err();
         assert!(matches!(err, AnalysisError::Unsupported(_)));
     }
 }

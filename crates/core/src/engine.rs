@@ -1,0 +1,393 @@
+//! The long-lived analysis engine: one instance, many analyses.
+//!
+//! [`Engine`] is the unified entry point for every analysis method
+//! (state-aware, adaptive, worst-case, LQR-full-sim). It owns a
+//! **content-addressed SDP bound cache shared across requests, methods, and
+//! MPS widths**: a per-gate certificate is keyed by the exact content of the
+//! SDP it certifies — gate matrix, noisy-channel Kraus operators, quantized
+//! local density ρ′, δ bucket, and solver options — so an adaptive sweep's
+//! second width, a repeated request, or a sibling request in a batch all
+//! reuse certificates the engine already paid for. Cache reuse is sound by
+//! the Weaken rule: entries are solved at a δ rounded *up* to the bucket
+//! edge with ρ′ perturbed only within the extra slack (see
+//! [`crate::AnalysisRequest::delta_quantum`]).
+//!
+//! The engine is thread-safe (`&Engine` can be shared freely);
+//! [`Engine::analyze_batch`] fans requests out across `std::thread` workers
+//! and returns per-request `Result`s — a failing or panicking request never
+//! sinks its siblings.
+
+use crate::adaptive::run_adaptive;
+use crate::baseline::{run_lqr_full_sim, run_worst_case};
+use crate::logic::run_state_aware;
+use crate::report::Report;
+use crate::request::{AnalysisRequest, Method};
+use crate::AnalysisError;
+use gleipnir_linalg::CMat;
+use gleipnir_sdp::SolverOptions;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Number of independent cache shards; keeps lock contention low when batch
+/// workers hammer the cache concurrently.
+const CACHE_SHARDS: usize = 16;
+
+/// Locks a mutex, recovering from poisoning.
+///
+/// The cache only ever holds fully-written `(key, ε)` pairs — a worker that
+/// panicked mid-analysis cannot leave a torn entry behind — so a poisoned
+/// shard is safe to keep using. This is what keeps one panicking batch
+/// request from sinking its siblings.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The engine's shared, content-addressed SDP bound cache.
+pub(crate) struct SdpCache {
+    shards: Vec<Mutex<HashMap<Vec<u64>, f64>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl SdpCache {
+    fn new() -> Self {
+        SdpCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    fn shard(&self, key: &[u64]) -> &Mutex<HashMap<Vec<u64>, f64>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % CACHE_SHARDS]
+    }
+
+    /// Looks up a certified bound by content address.
+    pub(crate) fn get(&self, key: &[u64]) -> Option<f64> {
+        let found = lock(self.shard(key)).get(key).copied();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a certified bound under its content address.
+    pub(crate) fn insert(&self, key: Vec<u64>, eps: f64) {
+        lock(self.shard(&key)).insert(key, eps);
+    }
+
+    fn entries(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).len()).sum()
+    }
+
+    fn clear(&self) {
+        for s in &self.shards {
+            lock(s).clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Cache-key tag for ρ̂-constrained `(ρ̂, δ)`-diamond SDPs.
+const KEY_RHO_DELTA: u64 = 1;
+/// Cache-key tag for unconstrained diamond SDPs (worst-case analysis).
+const KEY_UNCONSTRAINED: u64 = 0;
+/// Separator between heterogeneous key segments.
+const KEY_SEP: u64 = u64::MAX;
+
+fn push_mat(key: &mut Vec<u64>, m: &CMat) {
+    for z in m.as_slice() {
+        key.push(z.re.to_bits());
+        key.push(z.im.to_bits());
+    }
+}
+
+fn push_opts(key: &mut Vec<u64>, opts: &SolverOptions) {
+    key.push(opts.max_iterations as u64);
+    key.push(opts.tolerance.to_bits());
+}
+
+/// Content address of a `(ρ̂, δ)`-diamond SDP: ideal gate, noisy Kraus
+/// operators, quantized ρ′, and solver options, plus the **effective δ**
+/// the certificate was solved at (bucket index *and* bucket width — the
+/// cache is engine-wide, and requests may differ in `delta_quantum`, so a
+/// bare bucket integer would let certificates solved for a smaller δ
+/// unsoundly answer judgments with a larger one).
+pub(crate) fn key_rho_delta(
+    gate: &CMat,
+    kraus: &[CMat],
+    rho_q: &CMat,
+    bucket: u64,
+    delta_quantum: f64,
+    opts: &SolverOptions,
+) -> Vec<u64> {
+    let mut key = vec![KEY_RHO_DELTA];
+    push_mat(&mut key, gate);
+    key.push(KEY_SEP);
+    for k in kraus {
+        push_mat(&mut key, k);
+    }
+    key.push(KEY_SEP);
+    push_mat(&mut key, rho_q);
+    key.push(bucket);
+    key.push(delta_quantum.to_bits());
+    push_opts(&mut key, opts);
+    key
+}
+
+/// Content address of an unconstrained diamond SDP.
+pub(crate) fn key_unconstrained(gate: &CMat, kraus: &[CMat], opts: &SolverOptions) -> Vec<u64> {
+    let mut key = vec![KEY_UNCONSTRAINED];
+    push_mat(&mut key, gate);
+    key.push(KEY_SEP);
+    for k in kraus {
+        push_mat(&mut key, k);
+    }
+    push_opts(&mut key, opts);
+    key
+}
+
+/// A snapshot of the engine's cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (across all requests so far).
+    pub hits: usize,
+    /// Lookups that missed and required an SDP solve.
+    pub misses: usize,
+    /// Certificates currently stored.
+    pub entries: usize,
+}
+
+/// The outcome of [`Engine::analyze_batch_detailed`].
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Per-request results, in request order.
+    pub results: Vec<Result<Report, AnalysisError>>,
+    /// Distinct worker threads that processed at least one request.
+    pub worker_threads: usize,
+    /// Wall-clock time of the whole batch.
+    pub elapsed: Duration,
+}
+
+/// The long-lived, thread-safe analysis engine (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use gleipnir_circuit::ProgramBuilder;
+/// use gleipnir_core::{AnalysisRequest, Engine, Method};
+/// use gleipnir_noise::NoiseModel;
+///
+/// let engine = Engine::new();
+/// let mut b = ProgramBuilder::new(2);
+/// b.h(0).cnot(0, 1);
+/// let request = AnalysisRequest::builder(b.build())
+///     .noise(NoiseModel::uniform_bit_flip(1e-4))
+///     .method(Method::StateAware { mps_width: 8 })
+///     .build()?;
+/// let report = engine.analyze(&request)?;
+/// assert!(report.error_bound() > 0.0);
+/// assert!(report.error_bound() < 2e-4);
+/// # Ok::<(), gleipnir_core::AnalysisError>(())
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    cache: SdpCache,
+    options: SolverOptions,
+}
+
+impl std::fmt::Debug for SdpCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SdpCache")
+            .field("entries", &self.entries())
+            .field("hits", &self.hits.load(Ordering::Relaxed))
+            .field("misses", &self.misses.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// An engine with default solver options.
+    pub fn new() -> Self {
+        Self::with_options(SolverOptions::default())
+    }
+
+    /// An engine whose requests default to the given solver options
+    /// (overridable per request via
+    /// [`crate::AnalysisRequestBuilder::solver_options`]).
+    pub fn with_options(options: SolverOptions) -> Self {
+        Engine {
+            cache: SdpCache::new(),
+            options,
+        }
+    }
+
+    /// The engine-level default solver options.
+    pub fn options(&self) -> &SolverOptions {
+        &self.options
+    }
+
+    /// A snapshot of the shared cache's counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.cache.hits.load(Ordering::Relaxed),
+            misses: self.cache.misses.load(Ordering::Relaxed),
+            entries: self.cache.entries(),
+        }
+    }
+
+    /// Drops every cached certificate and resets the counters.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// The solver options a request resolves to.
+    pub(crate) fn resolve_options(&self, request: &AnalysisRequest) -> SolverOptions {
+        request.solver_options().unwrap_or(self.options)
+    }
+
+    /// The shared cache, if the request opted into caching.
+    pub(crate) fn cache_for(&self, request: &AnalysisRequest) -> Option<&SdpCache> {
+        request.cache_enabled().then_some(&self.cache)
+    }
+
+    /// Runs one analysis request, dispatching on its [`Method`].
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError`] on width mismatch, unsupported features, or SDP
+    /// failure. (Requests are validated at build time, so configuration
+    /// errors surface earlier, from [`crate::AnalysisRequestBuilder::build`].)
+    pub fn analyze(&self, request: &AnalysisRequest) -> Result<Report, AnalysisError> {
+        let opts = self.resolve_options(request);
+        match request.method() {
+            Method::StateAware { mps_width } => {
+                let mps = request.input().build_mps(*mps_width)?;
+                run_state_aware(
+                    request.program(),
+                    mps,
+                    request.noise(),
+                    &opts,
+                    self.cache_for(request),
+                    request.delta_quantum(),
+                )
+                .map(Report::StateAware)
+            }
+            Method::Adaptive(cfg) => run_adaptive(self, request, cfg).map(Report::Adaptive),
+            Method::WorstCase => run_worst_case(self, request).map(Report::WorstCase),
+            Method::LqrFullSim => run_lqr_full_sim(request, &opts).map(Report::LqrFullSim),
+        }
+    }
+
+    /// [`Engine::analyze`] with panics converted to
+    /// [`AnalysisError::Panicked`] so batch siblings keep running.
+    fn analyze_guarded(&self, request: &AnalysisRequest) -> Result<Report, AnalysisError> {
+        panic::catch_unwind(AssertUnwindSafe(|| self.analyze(request))).unwrap_or_else(|payload| {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "analysis panicked".into());
+            Err(AnalysisError::Panicked(msg))
+        })
+    }
+
+    /// Analyzes a batch of requests across `std::thread` workers, returning
+    /// one `Result` per request (in request order). A failing or panicking
+    /// request does not affect its siblings, and all workers share the
+    /// engine's SDP cache.
+    pub fn analyze_batch(
+        &self,
+        requests: &[AnalysisRequest],
+    ) -> Vec<Result<Report, AnalysisError>> {
+        self.analyze_batch_detailed(requests).results
+    }
+
+    /// [`Engine::analyze_batch`] plus batch-level bookkeeping (worker-thread
+    /// count and wall-clock time).
+    pub fn analyze_batch_detailed(&self, requests: &[AnalysisRequest]) -> BatchOutcome {
+        let start = Instant::now();
+        if requests.is_empty() {
+            return BatchOutcome {
+                results: Vec::new(),
+                worker_threads: 0,
+                elapsed: start.elapsed(),
+            };
+        }
+        // At least two workers whenever there are two requests: the point
+        // of a batch is concurrency, and the work is CPU-bound SDP solving
+        // that never blocks on IO.
+        let parallelism = thread::available_parallelism().map_or(2, |n| n.get());
+        let workers = requests.len().min(parallelism.max(2));
+
+        let mut slots: Vec<Option<Result<Report, AnalysisError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        let mut worker_threads = 0usize;
+        thread::scope(|scope| {
+            // Deterministic round-robin partition: every worker owns the
+            // requests with `index % workers == worker`, so each spawned
+            // thread processes at least one request. Workers get the same
+            // 8 MiB stack a main thread has: the logic walk recurses once
+            // per program statement, and a long program that analyzes fine
+            // on the main thread must not abort a worker (stack overflow
+            // cannot be caught) on the 2 MiB spawn default.
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    thread::Builder::new()
+                        .name(format!("gleipnir-batch-{w}"))
+                        .stack_size(8 * 1024 * 1024)
+                        .spawn_scoped(scope, move || {
+                            requests
+                                .iter()
+                                .enumerate()
+                                .skip(w)
+                                .step_by(workers)
+                                .map(|(i, req)| (i, self.analyze_guarded(req)))
+                                .collect::<Vec<_>>()
+                        })
+                        .expect("spawn batch worker thread")
+                })
+                .collect();
+            for handle in handles {
+                // `analyze_guarded` catches panics, so a join failure is
+                // unreachable short of a worker abort; degrade gracefully.
+                let part = handle.join().unwrap_or_default();
+                if !part.is_empty() {
+                    worker_threads += 1;
+                }
+                for (i, result) in part {
+                    slots[i] = Some(result);
+                }
+            }
+        });
+        let results = slots
+            .into_iter()
+            .map(|slot| {
+                slot.unwrap_or_else(|| Err(AnalysisError::Panicked("batch worker died".into())))
+            })
+            .collect();
+        BatchOutcome {
+            results,
+            worker_threads,
+            elapsed: start.elapsed(),
+        }
+    }
+}

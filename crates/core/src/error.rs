@@ -1,0 +1,109 @@
+//! The unified error hierarchy every analysis entry point converges on.
+//!
+//! All engine methods — state-aware, adaptive, worst-case, LQR-full-sim,
+//! and batch — report failures as [`AnalysisError`]; derivation re-checking
+//! reports [`ReplayError`]. Both implement [`std::error::Error`] so they
+//! compose with `?` and `Box<dyn Error>` call sites.
+
+use crate::diamond::DiamondError;
+use std::fmt;
+
+/// Errors from building or running an analysis.
+#[derive(Debug)]
+pub enum AnalysisError {
+    /// Input width and program register width disagree.
+    WidthMismatch {
+        /// Input state width.
+        input: usize,
+        /// Program register width.
+        program: usize,
+    },
+    /// A diamond-norm SDP failed.
+    Diamond(DiamondError),
+    /// A feature the requested analysis cannot handle.
+    Unsupported(String),
+    /// A request or method configuration failed validation (zero MPS width,
+    /// inverted adaptive width range, non-normalizable product input, …).
+    InvalidConfig(String),
+    /// The analysis panicked; batch workers catch the panic so sibling
+    /// requests keep running, and surface it as this variant.
+    Panicked(String),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::WidthMismatch { input, program } => {
+                write!(f, "input has {input} qubits but program has {program}")
+            }
+            AnalysisError::Diamond(e) => write!(f, "{e}"),
+            AnalysisError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            AnalysisError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            AnalysisError::Panicked(msg) => write!(f, "analysis panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalysisError::Diamond(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DiamondError> for AnalysisError {
+    fn from(e: DiamondError) -> Self {
+        AnalysisError::Diamond(e)
+    }
+}
+
+/// Errors from re-checking a derivation against fresh SDP solves
+/// ([`crate::StateAwareReport::replay`]).
+#[derive(Debug)]
+pub enum ReplayError {
+    /// The fresh SDP solve for a Gate node failed outright.
+    Sdp {
+        /// The gate whose judgment was being re-checked (display form).
+        gate: String,
+        /// The underlying diamond-norm error.
+        source: DiamondError,
+    },
+    /// A Gate node's stored ε could not be reproduced from its judgment.
+    NotReproducible {
+        /// The gate whose judgment failed (display form).
+        gate: String,
+        /// The ε the derivation claims.
+        claimed: f64,
+        /// The ε a fresh solve of the stored judgment produced.
+        fresh: f64,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Sdp { gate, source } => {
+                write!(f, "replay SDP for gate {gate} failed: {source}")
+            }
+            ReplayError::NotReproducible {
+                gate,
+                claimed,
+                fresh,
+            } => write!(
+                f,
+                "gate {gate} bound {claimed:.3e} not reproducible (fresh {fresh:.3e})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplayError::Sdp { source, .. } => Some(source),
+            ReplayError::NotReproducible { .. } => None,
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! The paper's primary contribution: the **`(ρ̂, δ)`-diamond norm** (§6) and
 //! the **lightweight quantum error logic** (§4), assembled into the Fig. 4
-//! pipeline by [`Analyzer`]:
+//! pipeline behind one long-lived entry point, [`Engine`]:
 //!
 //! 1. the MPS approximator computes `TN(ρ₀, P) = (ρ̂, δ)` adaptively
 //!    (`gleipnir-mps`),
@@ -13,18 +13,20 @@
 //!    Skip/Gate/Seq/Weaken/Meas rules into a whole-program judgment
 //!    `(ρ̂, δ) ⊢ P̃_ω ≤ ε`, materialized as a replayable [`Derivation`].
 //!
-//! Baselines for the paper's evaluation live in the same crate:
-//! [`worst_case_bound`] (unconstrained diamond norms) and
-//! [`lqr_full_sim_bound`] (LQR with full simulation).
+//! An [`Engine`] serves any number of [`AnalysisRequest`]s — state-aware at
+//! a fixed MPS width, adaptive over widths, the worst-case and
+//! LQR-full-sim baselines of the paper's evaluation (selected by
+//! [`Method`]), or whole batches fanned out across threads
+//! ([`Engine::analyze_batch`]) — and every per-gate SDP certificate it pays
+//! for lands in one shared, content-addressed cache that later requests,
+//! widths, and batch siblings reuse.
 //!
 //! ## Example
 //!
 //! ```
 //! use gleipnir_circuit::ProgramBuilder;
-//! use gleipnir_core::{worst_case_bound, Analyzer, AnalyzerConfig};
+//! use gleipnir_core::{AnalysisRequest, Engine, Method};
 //! use gleipnir_noise::NoiseModel;
-//! use gleipnir_sdp::SolverOptions;
-//! use gleipnir_sim::BasisState;
 //!
 //! // A layer of Hadamards: every output is |+⟩, invisible to bit flips.
 //! let mut b = ProgramBuilder::new(3);
@@ -32,12 +34,22 @@
 //! let program = b.build();
 //! let noise = NoiseModel::uniform_bit_flip(1e-4);
 //!
-//! let report = Analyzer::new(AnalyzerConfig::with_mps_width(8))
-//!     .analyze(&program, &BasisState::zeros(3), &noise)?;
-//! let worst = worst_case_bound(&program, &noise, &SolverOptions::default())?;
+//! let engine = Engine::new();
+//! let report = engine.analyze(
+//!     &AnalysisRequest::builder(program.clone())
+//!         .noise(noise.clone())
+//!         .method(Method::StateAware { mps_width: 8 })
+//!         .build()?,
+//! )?;
+//! let worst = engine.analyze(
+//!     &AnalysisRequest::builder(program)
+//!         .noise(noise)
+//!         .method(Method::WorstCase)
+//!         .build()?,
+//! )?;
 //!
 //! // State-aware analysis beats the worst case by orders of magnitude here.
-//! assert!(report.error_bound() < 0.1 * worst.total);
+//! assert!(report.error_bound() < 0.1 * worst.error_bound());
 //! # Ok::<(), gleipnir_core::AnalysisError>(())
 //! ```
 
@@ -46,12 +58,29 @@
 mod adaptive;
 mod baseline;
 mod diamond;
+mod engine;
+mod error;
 mod logic;
+mod report;
+mod request;
 
-pub use adaptive::{analyze_adaptive, AdaptiveConfig, AdaptiveReport, AdaptiveStep};
-pub use baseline::{lqr_full_sim_bound, worst_case_bound, WorstCaseReport};
+pub use adaptive::{AdaptiveConfig, AdaptiveReport, AdaptiveStep};
+pub use baseline::{LqrReport, WorstCaseReport};
 pub use diamond::{
     embed_choi, q_lambda_diamond, rho_delta_diamond, sampled_diamond_lower_bound,
     unconstrained_diamond, DiamondError, DiamondResult,
 };
-pub use logic::{AnalysisError, Analyzer, AnalyzerConfig, Derivation, Report};
+pub use engine::{BatchOutcome, CacheStats, Engine};
+pub use error::{AnalysisError, ReplayError};
+pub use logic::{Derivation, StateAwareReport};
+pub use report::Report;
+pub use request::{AnalysisRequest, AnalysisRequestBuilder, InputState, Method};
+
+// Pre-`Engine` one-shot entry points, kept as deprecated shims for
+// migration (see README's "migrating from `Analyzer`" table).
+#[allow(deprecated)]
+pub use adaptive::analyze_adaptive;
+#[allow(deprecated)]
+pub use baseline::{lqr_full_sim_bound, worst_case_bound};
+#[allow(deprecated)]
+pub use logic::{Analyzer, AnalyzerConfig};

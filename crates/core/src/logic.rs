@@ -1,7 +1,7 @@
-//! The lightweight quantum error logic (paper §4) and its analyzer.
+//! The lightweight quantum error logic (paper §4) and its walker.
 //!
-//! The analyzer walks a noisy program, mechanizing the five inference rules
-//! of Fig. 5:
+//! [`run_state_aware`] walks a noisy program, mechanizing the five
+//! inference rules of Fig. 5:
 //!
 //! * **Skip** — no error;
 //! * **Gate** — the `(ρ̂, δ)`-diamond norm of the noisy gate, with ρ̂'s
@@ -15,92 +15,27 @@
 //! * **Weaken** — used implicitly: cached bounds are solved at a slightly
 //!   larger δ, which the rule says is sound.
 //!
-//! The output is a [`Report`] carrying a [`Derivation`] proof tree whose
-//! every `Gate` node stores the judgment it certifies — enough for
-//! [`Report::replay`] to re-check the derivation against fresh SDP solves,
-//! independent of the analysis that produced it.
+//! The output is a [`StateAwareReport`] carrying a [`Derivation`] proof
+//! tree whose every `Gate` node stores the judgment it certifies — enough
+//! for [`StateAwareReport::replay`] to re-check the derivation against
+//! fresh SDP solves, independent of the analysis that produced it.
+//!
+//! Per-gate SDP certificates are looked up in (and written to) the owning
+//! [`crate::Engine`]'s shared content-addressed cache, so identical
+//! judgments are solved once per engine lifetime — not once per run or per
+//! MPS width.
 
-use crate::diamond::{rho_delta_diamond, DiamondError};
+use crate::diamond::rho_delta_diamond;
+use crate::engine::{self, SdpCache};
+use crate::error::{AnalysisError, ReplayError};
 use gleipnir_circuit::{Gate, Program, Stmt};
 use gleipnir_linalg::CMat;
-use gleipnir_mps::{Mps, MpsConfig, MpsError};
+use gleipnir_mps::{Mps, MpsError};
 use gleipnir_noise::NoiseModel;
 use gleipnir_sdp::SolverOptions;
 use gleipnir_sim::BasisState;
-use std::collections::HashMap;
 use std::fmt;
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
-
-/// Configuration for the [`Analyzer`].
-#[derive(Clone, Debug)]
-pub struct AnalyzerConfig {
-    /// MPS bond-dimension budget `w` (paper Fig. 14's knob).
-    pub mps_width: usize,
-    /// Interior-point options for the per-gate SDPs.
-    pub sdp_options: SolverOptions,
-    /// Memoize per-gate SDP solves across identical judgments (sound: the
-    /// cache key rounds δ *up* to the bucket edge and perturbs ρ′ only
-    /// within the extra slack — an application of the Weaken rule).
-    pub cache: bool,
-    /// δ bucket width used by the cache (default 1e-6).
-    pub delta_quantum: f64,
-}
-
-impl AnalyzerConfig {
-    /// Default configuration with the given MPS width.
-    pub fn with_mps_width(w: usize) -> Self {
-        AnalyzerConfig {
-            mps_width: w,
-            sdp_options: SolverOptions::default(),
-            cache: true,
-            delta_quantum: 1e-6,
-        }
-    }
-}
-
-impl Default for AnalyzerConfig {
-    /// The paper's §7.1 configuration: `w = 128`.
-    fn default() -> Self {
-        Self::with_mps_width(128)
-    }
-}
-
-/// Errors from the analyzer.
-#[derive(Debug)]
-pub enum AnalysisError {
-    /// Input width and program register width disagree.
-    WidthMismatch {
-        /// Input state width.
-        input: usize,
-        /// Program register width.
-        program: usize,
-    },
-    /// A diamond-norm SDP failed.
-    Diamond(DiamondError),
-    /// A feature the requested analysis cannot handle.
-    Unsupported(String),
-}
-
-impl fmt::Display for AnalysisError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            AnalysisError::WidthMismatch { input, program } => {
-                write!(f, "input has {input} qubits but program has {program}")
-            }
-            AnalysisError::Diamond(e) => write!(f, "{e}"),
-            AnalysisError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
-        }
-    }
-}
-
-impl std::error::Error for AnalysisError {}
-
-impl From<DiamondError> for AnalysisError {
-    fn from(e: DiamondError) -> Self {
-        AnalysisError::Diamond(e)
-    }
-}
 
 /// A node of the error-logic derivation tree (Fig. 5 rule applications).
 #[derive(Clone, Debug)]
@@ -235,18 +170,20 @@ impl Derivation {
     }
 }
 
-/// The analyzer's output: the certified bound plus its proof object and
-/// bookkeeping.
+/// The state-aware analysis output: the certified bound plus its proof
+/// object and bookkeeping. Carried by [`crate::Report::StateAware`] (and,
+/// per width, inside adaptive reports).
 #[derive(Clone, Debug)]
-pub struct Report {
-    derivation: Derivation,
-    tn_delta: f64,
-    sdp_solves: usize,
-    cache_hits: usize,
-    elapsed: Duration,
+pub struct StateAwareReport {
+    pub(crate) derivation: Derivation,
+    pub(crate) tn_delta: f64,
+    pub(crate) sdp_solves: usize,
+    pub(crate) cache_hits: usize,
+    pub(crate) elapsed: Duration,
+    pub(crate) mps_width: usize,
 }
 
-impl Report {
+impl StateAwareReport {
     /// The certified whole-program error bound ε (half-trace-norm
     /// convention: 1 is maximal).
     pub fn error_bound(&self) -> f64 {
@@ -268,7 +205,8 @@ impl Report {
         self.sdp_solves
     }
 
-    /// Number of Gate-rule applications answered from the cache.
+    /// Number of Gate-rule applications answered from the engine's shared
+    /// cache (populated by any earlier request, width, or batch sibling).
     pub fn cache_hits(&self) -> usize {
         self.cache_hits
     }
@@ -278,6 +216,11 @@ impl Report {
         self.elapsed
     }
 
+    /// The MPS bond-dimension budget this report was computed at.
+    pub fn mps_width(&self) -> usize {
+        self.mps_width
+    }
+
     /// Re-checks the derivation against fresh SDP solves: every Gate node's
     /// ε must be reproducible (within `tol`) from its stored judgment
     /// `(ρ′, δ)` under the given noise model, and the combination
@@ -285,14 +228,19 @@ impl Report {
     ///
     /// # Errors
     ///
-    /// Returns the first failing node as a string, or a diamond-norm error.
-    pub fn replay(&self, noise: &NoiseModel, opts: &SolverOptions, tol: f64) -> Result<(), String> {
+    /// The first failing node as a typed [`ReplayError`].
+    pub fn replay(
+        &self,
+        noise: &NoiseModel,
+        opts: &SolverOptions,
+        tol: f64,
+    ) -> Result<(), ReplayError> {
         fn walk(
             d: &Derivation,
             noise: &NoiseModel,
             opts: &SolverOptions,
             tol: f64,
-        ) -> Result<(), String> {
+        ) -> Result<(), ReplayError> {
             match d {
                 Derivation::Skip => Ok(()),
                 Derivation::Gate {
@@ -306,12 +254,16 @@ impl Report {
                         qubits.iter().map(|&q| gleipnir_circuit::Qubit(q)).collect();
                     let noisy = noise.noisy_gate(gate, &qs);
                     let fresh = rho_delta_diamond(&gate.matrix(), &noisy, rho_prime, *delta, opts)
-                        .map_err(|e| format!("replay SDP failed: {e}"))?;
+                        .map_err(|e| ReplayError::Sdp {
+                            gate: gate.to_string(),
+                            source: e,
+                        })?;
                     if fresh.bound > epsilon + tol {
-                        return Err(format!(
-                            "gate {gate} bound {epsilon:.3e} not reproducible (fresh {:.3e})",
-                            fresh.bound
-                        ));
+                        return Err(ReplayError::NotReproducible {
+                            gate: gate.to_string(),
+                            claimed: *epsilon,
+                            fresh: fresh.bound,
+                        });
                     }
                     Ok(())
                 }
@@ -333,7 +285,7 @@ impl Report {
     }
 }
 
-impl fmt::Display for Report {
+impl fmt::Display for StateAwareReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
@@ -348,110 +300,82 @@ impl fmt::Display for Report {
     }
 }
 
-type CacheKey = Vec<u64>;
-
-/// The Gleipnir analyzer: MPS approximation + per-gate `(ρ̂, δ)`-diamond
-/// norms + the error logic (the full Fig. 4 pipeline).
+/// Runs the full Fig. 4 pipeline — MPS approximation, per-gate `(ρ̂, δ)`-
+/// diamond norms, the error logic — from an already-materialized input MPS.
 ///
-/// # Examples
-///
-/// ```
-/// use gleipnir_circuit::ProgramBuilder;
-/// use gleipnir_core::{Analyzer, AnalyzerConfig};
-/// use gleipnir_noise::NoiseModel;
-/// use gleipnir_sim::BasisState;
-///
-/// let mut b = ProgramBuilder::new(2);
-/// b.h(0).cnot(0, 1);
-/// let analyzer = Analyzer::new(AnalyzerConfig::with_mps_width(8));
-/// let report = analyzer.analyze(
-///     &b.build(),
-///     &BasisState::zeros(2),
-///     &NoiseModel::uniform_bit_flip(1e-4),
-/// )?;
-/// // Two noisy gates: the bound is positive but far below worst case 2e-4
-/// // because the H output |+⟩ is invariant under the X noise.
-/// assert!(report.error_bound() > 0.0);
-/// assert!(report.error_bound() < 2e-4);
-/// # Ok::<(), gleipnir_core::AnalysisError>(())
-/// ```
-#[derive(Debug)]
-pub struct Analyzer {
-    config: AnalyzerConfig,
-    cache: Mutex<HashMap<CacheKey, f64>>,
+/// `cache` is the owning engine's shared SDP cache (None = solve every
+/// judgment at its exact δ).
+pub(crate) fn run_state_aware(
+    program: &Program,
+    mut mps: Mps,
+    noise: &NoiseModel,
+    opts: &SolverOptions,
+    cache: Option<&SdpCache>,
+    delta_quantum: f64,
+) -> Result<StateAwareReport, AnalysisError> {
+    if mps.n_qubits() != program.n_qubits() {
+        return Err(AnalysisError::WidthMismatch {
+            input: mps.n_qubits(),
+            program: program.n_qubits(),
+        });
+    }
+    let start = Instant::now();
+    let mps_width = mps.max_bond();
+    let mut walk = Walk {
+        noise,
+        opts,
+        cache,
+        delta_quantum,
+        stats: WalkStats::default(),
+    };
+    let worklist: Vec<&Stmt> = vec![program.body()];
+    let derivation = walk.run(&worklist, &mut mps)?;
+    Ok(StateAwareReport {
+        derivation,
+        tn_delta: walk.stats.final_delta,
+        sdp_solves: walk.stats.sdp_solves,
+        cache_hits: walk.stats.cache_hits,
+        elapsed: start.elapsed(),
+        mps_width,
+    })
 }
 
-impl Analyzer {
-    /// Creates an analyzer with the given configuration.
-    pub fn new(config: AnalyzerConfig) -> Self {
-        Analyzer {
-            config,
-            cache: Mutex::new(HashMap::new()),
-        }
-    }
+#[derive(Default)]
+struct WalkStats {
+    sdp_solves: usize,
+    cache_hits: usize,
+    final_delta: f64,
+}
 
-    /// The configuration.
-    pub fn config(&self) -> &AnalyzerConfig {
-        &self.config
-    }
+/// One walk of the error logic over a program.
+struct Walk<'a> {
+    noise: &'a NoiseModel,
+    opts: &'a SolverOptions,
+    cache: Option<&'a SdpCache>,
+    delta_quantum: f64,
+    stats: WalkStats,
+}
 
-    /// Analyzes a noisy program from a basis input state, producing the
-    /// judgment `(ρ̂₀, 0) ⊢ P̃_ω ≤ ε` as a [`Report`].
-    ///
-    /// # Errors
-    ///
-    /// [`AnalysisError`] on width mismatch or SDP failure.
-    pub fn analyze(
-        &self,
-        program: &Program,
-        input: &BasisState,
-        noise: &NoiseModel,
-    ) -> Result<Report, AnalysisError> {
-        if input.n_qubits() != program.n_qubits() {
-            return Err(AnalysisError::WidthMismatch {
-                input: input.n_qubits(),
-                program: program.n_qubits(),
-            });
-        }
-        let start = Instant::now();
-        let mut mps = Mps::basis_state(input.bits(), MpsConfig::with_width(self.config.mps_width));
-        let mut stats = WalkStats::default();
-        let worklist: Vec<&Stmt> = vec![program.body()];
-        let derivation = self.walk(&worklist, &mut mps, noise, &mut stats)?;
-        Ok(Report {
-            derivation,
-            tn_delta: stats.final_delta,
-            sdp_solves: stats.sdp_solves,
-            cache_hits: stats.cache_hits,
-            elapsed: start.elapsed(),
-        })
-    }
-
+impl Walk<'_> {
     /// Recursive worklist walk. `rest` holds the statements still to run;
     /// measurement statements capture the continuation into both branches.
-    fn walk(
-        &self,
-        rest: &[&Stmt],
-        mps: &mut Mps,
-        noise: &NoiseModel,
-        stats: &mut WalkStats,
-    ) -> Result<Derivation, AnalysisError> {
+    fn run(&mut self, rest: &[&Stmt], mps: &mut Mps) -> Result<Derivation, AnalysisError> {
         let Some((first, tail)) = rest.split_first() else {
-            stats.final_delta = stats.final_delta.max(mps.delta());
+            self.stats.final_delta = self.stats.final_delta.max(mps.delta());
             return Ok(Derivation::Seq {
                 children: Vec::new(),
             });
         };
         match first {
             Stmt::Skip => {
-                let mut node = self.walk(tail, mps, noise, stats)?;
+                let mut node = self.run(tail, mps)?;
                 prepend(&mut node, Derivation::Skip);
                 Ok(node)
             }
             Stmt::Seq(ss) => {
                 let mut flat: Vec<&Stmt> = ss.iter().collect();
                 flat.extend_from_slice(tail);
-                self.walk(&flat, mps, noise, stats)
+                self.run(&flat, mps)
             }
             Stmt::Gate(g) => {
                 let qubits: Vec<usize> = g.qubits.iter().map(|q| q.0).collect();
@@ -462,8 +386,7 @@ impl Analyzer {
                     _ => mps.local_density_2(qubits[0], qubits[1]),
                 };
                 let delta = mps.delta();
-                let epsilon =
-                    self.gate_epsilon(&g.gate, &qubits, noise, &rho_prime, delta, stats)?;
+                let epsilon = self.gate_epsilon(&g.gate, &qubits, &rho_prime, delta)?;
                 mps.apply_gate(&g.gate, &qubits);
                 let gate_node = Derivation::Gate {
                     gate: g.gate.clone(),
@@ -472,30 +395,30 @@ impl Analyzer {
                     delta,
                     epsilon,
                 };
-                let mut node = self.walk(tail, mps, noise, stats)?;
+                let mut node = self.run(tail, mps)?;
                 prepend(&mut node, gate_node);
                 Ok(node)
             }
             Stmt::IfMeasure { qubit, zero, one } => {
                 let delta_prob = mps.delta().min(1.0);
                 let run_branch =
-                    |body: &Stmt,
-                     outcome: bool,
-                     stats: &mut WalkStats|
+                    |this: &mut Self,
+                     body: &Stmt,
+                     outcome: bool|
                      -> Result<Option<Box<Derivation>>, AnalysisError> {
                         let mut fork = mps.clone();
                         match fork.collapse(qubit.0, outcome) {
                             Ok(_p) => {
                                 let mut work: Vec<&Stmt> = vec![body];
                                 work.extend_from_slice(tail);
-                                let d = self.walk(&work, &mut fork, noise, stats)?;
+                                let d = this.run(&work, &mut fork)?;
                                 Ok(Some(Box::new(d)))
                             }
                             Err(MpsError::ZeroProbabilityOutcome { .. }) => Ok(None),
                         }
                     };
-                let zero_d = run_branch(zero, false, stats)?;
-                let one_d = run_branch(one, true, stats)?;
+                let zero_d = run_branch(self, zero, false)?;
+                let one_d = run_branch(self, one, true)?;
                 if zero_d.is_none() && one_d.is_none() {
                     return Err(AnalysisError::Unsupported(
                         "both measurement branches unreachable (state numerically degenerate)"
@@ -512,84 +435,60 @@ impl Analyzer {
         }
     }
 
-    /// The Gate-rule bound, with the sound memoization described in
-    /// [`AnalyzerConfig::cache`].
+    /// The Gate-rule bound, with sound memoization against the engine's
+    /// shared cache (see [`crate::AnalysisRequest::delta_quantum`]).
     fn gate_epsilon(
-        &self,
+        &mut self,
         gate: &Gate,
         qubits: &[usize],
-        noise: &NoiseModel,
         rho_prime: &CMat,
         delta: f64,
-        stats: &mut WalkStats,
     ) -> Result<f64, AnalysisError> {
         let qs: Vec<gleipnir_circuit::Qubit> =
             qubits.iter().map(|&q| gleipnir_circuit::Qubit(q)).collect();
-        let noisy = noise.noisy_gate(gate, &qs);
-        if !self.config.cache {
-            stats.sdp_solves += 1;
-            return Ok(rho_delta_diamond(
-                &gate.matrix(),
-                &noisy,
-                rho_prime,
-                delta,
-                &self.config.sdp_options,
-            )?
-            .bound);
+        let noisy = self.noise.noisy_gate(gate, &qs);
+        let Some(cache) = self.cache else {
+            self.stats.sdp_solves += 1;
+            return Ok(
+                rho_delta_diamond(&gate.matrix(), &noisy, rho_prime, delta, self.opts)?.bound,
+            );
+        };
+        // Sound cache: quantize ρ′ and round δ up to a bucket edge. The ρ′
+        // rounding (1e-8 granularity, trace-norm perturbation < 2e-7 for
+        // the ≤ 4×4 locals) is folded into δ *before* bucketing, so the
+        // certificate is solved at δ_eff ≥ δ + ‖ρ_q − ρ′‖₁ regardless of
+        // how close δ sits to a bucket edge or how small the bucket width
+        // is — exactly the headroom the Weaken rule needs.
+        const RHO_QUANT_SLACK: f64 = 2e-7;
+        let q = self.delta_quantum;
+        let ratio = (delta + RHO_QUANT_SLACK) / q;
+        if !ratio.is_finite() || ratio >= (1u64 << 52) as f64 {
+            // δ is so large relative to the bucket width that the bucket
+            // index would overflow (wrapping to bucket 0 would certify the
+            // judgment at δ_eff = 0 — unsound). Bypass the cache and solve
+            // at the exact δ instead.
+            self.stats.sdp_solves += 1;
+            return Ok(
+                rho_delta_diamond(&gate.matrix(), &noisy, rho_prime, delta, self.opts)?.bound,
+            );
         }
-        // Sound cache: round δ up to the next bucket edge and quantize ρ′;
-        // the bucket headroom (≥ half a bucket) absorbs the ρ′ rounding via
-        // the triangle inequality, so the cached ε certifies the exact
-        // judgment by the Weaken rule.
-        let q = self.config.delta_quantum;
-        let bucket = (delta / q).floor() as u64 + 1;
+        let bucket = ratio.floor() as u64 + 1;
         let delta_eff = bucket as f64 * q;
         let rho_q = CMat::from_fn(rho_prime.rows(), rho_prime.cols(), |i, j| {
             let z = rho_prime.at(i, j);
             gleipnir_linalg::c64((z.re * 1e8).round() / 1e8, (z.im * 1e8).round() / 1e8)
         });
-        let mut key: CacheKey = Vec::new();
-        for k in noisy.kraus() {
-            for z in k.as_slice() {
-                key.push(z.re.to_bits());
-                key.push(z.im.to_bits());
-            }
-        }
-        key.push(u64::MAX); // separator
-        for z in gate.matrix().as_slice() {
-            key.push(z.re.to_bits());
-            key.push(z.im.to_bits());
-        }
-        key.push(u64::MAX);
-        for z in rho_q.as_slice() {
-            key.push(z.re.to_bits());
-            key.push(z.im.to_bits());
-        }
-        key.push(bucket);
-
-        if let Some(&eps) = self.cache.lock().expect("cache lock").get(&key) {
-            stats.cache_hits += 1;
+        let key =
+            engine::key_rho_delta(&gate.matrix(), noisy.kraus(), &rho_q, bucket, q, self.opts);
+        if let Some(eps) = cache.get(&key) {
+            self.stats.cache_hits += 1;
             return Ok(eps);
         }
-        stats.sdp_solves += 1;
-        let eps = rho_delta_diamond(
-            &gate.matrix(),
-            &noisy,
-            &rho_q,
-            delta_eff,
-            &self.config.sdp_options,
-        )?
-        .bound;
-        self.cache.lock().expect("cache lock").insert(key, eps);
+        self.stats.sdp_solves += 1;
+        let eps = rho_delta_diamond(&gate.matrix(), &noisy, &rho_q, delta_eff, self.opts)?.bound;
+        cache.insert(key, eps);
         Ok(eps)
     }
-}
-
-#[derive(Default)]
-struct WalkStats {
-    sdp_solves: usize,
-    cache_hits: usize,
-    final_delta: f64,
 }
 
 /// Prepends a node to a derivation that is expected to be a `Seq`.
@@ -605,17 +504,132 @@ fn prepend(node: &mut Derivation, head: Derivation) {
     }
 }
 
+/// Configuration for the deprecated one-shot [`Analyzer`].
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `AnalysisRequest` with `Method::StateAware` and run it on an `Engine`"
+)]
+#[derive(Clone, Debug)]
+pub struct AnalyzerConfig {
+    /// MPS bond-dimension budget `w` (paper Fig. 14's knob).
+    pub mps_width: usize,
+    /// Interior-point options for the per-gate SDPs.
+    pub sdp_options: SolverOptions,
+    /// Memoize per-gate SDP solves across identical judgments.
+    pub cache: bool,
+    /// δ bucket width used by the cache (default 1e-6).
+    pub delta_quantum: f64,
+}
+
+#[allow(deprecated)]
+impl AnalyzerConfig {
+    /// Default configuration with the given MPS width.
+    pub fn with_mps_width(w: usize) -> Self {
+        AnalyzerConfig {
+            mps_width: w,
+            sdp_options: SolverOptions::default(),
+            cache: true,
+            delta_quantum: 1e-6,
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl Default for AnalyzerConfig {
+    /// The paper's §7.1 configuration: `w = 128`.
+    fn default() -> Self {
+        Self::with_mps_width(128)
+    }
+}
+
+/// The pre-[`crate::Engine`] one-shot entry point, kept as a thin shim over
+/// a private engine. Each `Analyzer` owns its own cache; to share
+/// certificates across analyses, widths, and threads, use an
+/// [`crate::Engine`] directly.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Engine::analyze` with an `AnalysisRequest` (see README's migration table)"
+)]
+#[derive(Debug)]
+#[allow(deprecated)]
+pub struct Analyzer {
+    engine: crate::Engine,
+    config: AnalyzerConfig,
+}
+
+#[allow(deprecated)]
+impl Analyzer {
+    /// Creates an analyzer with the given configuration.
+    pub fn new(config: AnalyzerConfig) -> Self {
+        Analyzer {
+            engine: crate::Engine::with_options(config.sdp_options),
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AnalyzerConfig {
+        &self.config
+    }
+
+    /// Analyzes a noisy program from a basis input state, producing the
+    /// judgment `(ρ̂₀, 0) ⊢ P̃_ω ≤ ε` as a [`StateAwareReport`].
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError`] on width mismatch or SDP failure.
+    pub fn analyze(
+        &self,
+        program: &Program,
+        input: &BasisState,
+        noise: &NoiseModel,
+    ) -> Result<StateAwareReport, AnalysisError> {
+        let request = crate::AnalysisRequest::builder(program.clone())
+            .input(input)
+            .noise(noise.clone())
+            .method(crate::Method::StateAware {
+                mps_width: self.config.mps_width,
+            })
+            .cache(self.config.cache)
+            .delta_quantum(self.config.delta_quantum)
+            .build()?;
+        let report = self.engine.analyze(&request)?;
+        report
+            .into_state_aware()
+            .ok_or_else(|| AnalysisError::Unsupported("state-aware report expected".into()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{AnalysisRequest, Engine, Method, Report};
     use gleipnir_circuit::ProgramBuilder;
-
-    fn analyzer(w: usize) -> Analyzer {
-        Analyzer::new(AnalyzerConfig::with_mps_width(w))
-    }
 
     fn bit_flip() -> NoiseModel {
         NoiseModel::uniform_bit_flip(1e-4)
+    }
+
+    fn state_aware(
+        engine: &Engine,
+        program: &Program,
+        input: &BasisState,
+        noise: &NoiseModel,
+        w: usize,
+    ) -> Result<StateAwareReport, AnalysisError> {
+        let request = AnalysisRequest::builder(program.clone())
+            .input(input)
+            .noise(noise.clone())
+            .method(Method::StateAware { mps_width: w })
+            .build()?;
+        match engine.analyze(&request)? {
+            Report::StateAware(r) => Ok(r),
+            other => panic!("expected state-aware report, got {}", other.method_name()),
+        }
+    }
+
+    fn analyze(program: &Program, input: &BasisState, w: usize) -> StateAwareReport {
+        state_aware(&Engine::new(), program, input, &bit_flip(), w).unwrap()
     }
 
     #[test]
@@ -624,9 +638,7 @@ mod tests {
         // (|00⟩⟨00|, 0) ⊢ H̃(q0); CÑOT(q0,q1) ≤ ε₁ + ε₂.
         let mut b = ProgramBuilder::new(2);
         b.h(0).cnot(0, 1);
-        let report = analyzer(4)
-            .analyze(&b.build(), &BasisState::zeros(2), &bit_flip())
-            .unwrap();
+        let report = analyze(&b.build(), &BasisState::zeros(2), 4);
         let eps = report.error_bound();
         // H's bit flip is invisible on |+⟩ (ε₁ ≈ 0); the CNOT flip on the
         // control is also invisible on the GHZ-direction state? No — the
@@ -641,9 +653,7 @@ mod tests {
     #[test]
     fn skip_program_has_zero_error() {
         let p = ProgramBuilder::new(1).build();
-        let report = analyzer(2)
-            .analyze(&p, &BasisState::zeros(1), &bit_flip())
-            .unwrap();
+        let report = analyze(&p, &BasisState::zeros(1), 2);
         assert_eq!(report.error_bound(), 0.0);
     }
 
@@ -651,9 +661,14 @@ mod tests {
     fn noiseless_model_gives_zero() {
         let mut b = ProgramBuilder::new(2);
         b.h(0).cnot(0, 1).rx(1, 0.4);
-        let report = analyzer(4)
-            .analyze(&b.build(), &BasisState::zeros(2), &NoiseModel::Noiseless)
-            .unwrap();
+        let report = state_aware(
+            &Engine::new(),
+            &b.build(),
+            &BasisState::zeros(2),
+            &NoiseModel::Noiseless,
+            4,
+        )
+        .unwrap();
         assert!(report.error_bound() < 1e-7, "{}", report.error_bound());
     }
 
@@ -663,10 +678,7 @@ mod tests {
         // far below gate_count × p.
         let mut b = ProgramBuilder::new(3);
         b.h(0).h(1).h(2);
-        let p = b.build();
-        let report = analyzer(4)
-            .analyze(&p, &BasisState::zeros(3), &bit_flip())
-            .unwrap();
+        let report = analyze(&b.build(), &BasisState::zeros(3), 4);
         let worst = 3.0 * 1e-4;
         assert!(
             report.error_bound() < 0.2 * worst,
@@ -681,9 +693,7 @@ mod tests {
         // approach gate_count × p.
         let mut b = ProgramBuilder::new(2);
         b.z(0).z(1).z(0).z(1);
-        let report = analyzer(4)
-            .analyze(&b.build(), &BasisState::zeros(2), &bit_flip())
-            .unwrap();
+        let report = analyze(&b.build(), &BasisState::zeros(2), 4);
         let worst = 4.0 * 1e-4;
         assert!(
             report.error_bound() > 0.9 * worst,
@@ -705,9 +715,7 @@ mod tests {
                 o.z(1);
             },
         );
-        let report = analyzer(4)
-            .analyze(&b.build(), &BasisState::zeros(2), &bit_flip())
-            .unwrap();
+        let report = analyze(&b.build(), &BasisState::zeros(2), 4);
         // ε = ε_H + (1−δ)·max(ε_X, ε_Z) + δ with δ ≈ 0.
         assert!(report.error_bound() > 0.0);
         assert!(report.error_bound() < 5e-4);
@@ -727,9 +735,7 @@ mod tests {
                 o.skip();
             },
         );
-        let report = analyzer(4)
-            .analyze(&b.build(), &BasisState::zeros(2), &bit_flip())
-            .unwrap();
+        let report = analyze(&b.build(), &BasisState::zeros(2), 4);
         match find_meas(report.derivation()) {
             Some(Derivation::Meas { zero, one, .. }) => {
                 assert!(zero.is_none(), "zero branch should be unreachable");
@@ -756,10 +762,7 @@ mod tests {
                 b.z(q);
             }
         }
-        let a = analyzer(4);
-        let report = a
-            .analyze(&b.build(), &BasisState::zeros(4), &bit_flip())
-            .unwrap();
+        let report = analyze(&b.build(), &BasisState::zeros(4), 4);
         assert!(report.cache_hits() > 0, "expected cache hits");
         assert!(report.sdp_solves() < 16);
     }
@@ -769,14 +772,22 @@ mod tests {
         let mut b = ProgramBuilder::new(3);
         b.h(0).cnot(0, 1).rx(2, 0.5).rzz(1, 2, 0.7).cnot(0, 2);
         let p = b.build();
-        let with_cache = analyzer(8)
-            .analyze(&p, &BasisState::zeros(3), &bit_flip())
-            .unwrap();
-        let mut cfg = AnalyzerConfig::with_mps_width(8);
-        cfg.cache = false;
-        let without = Analyzer::new(cfg)
-            .analyze(&p, &BasisState::zeros(3), &bit_flip())
-            .unwrap();
+        let engine = Engine::new();
+        let with_cache = state_aware(&engine, &p, &BasisState::zeros(3), &bit_flip(), 8).unwrap();
+        let without = {
+            let request = AnalysisRequest::builder(p.clone())
+                .input(&BasisState::zeros(3))
+                .noise(bit_flip())
+                .method(Method::StateAware { mps_width: 8 })
+                .cache(false)
+                .build()
+                .unwrap();
+            engine
+                .analyze(&request)
+                .unwrap()
+                .into_state_aware()
+                .unwrap()
+        };
         // Both are sound upper bounds from an approximate solver; the
         // cached one is solved at a δ loosened by at most one bucket
         // (1e-6), so they must agree to that scale plus solver slop.
@@ -792,9 +803,7 @@ mod tests {
     fn replay_accepts_honest_reports() {
         let mut b = ProgramBuilder::new(2);
         b.h(0).cnot(0, 1).x(1);
-        let report = analyzer(4)
-            .analyze(&b.build(), &BasisState::zeros(2), &bit_flip())
-            .unwrap();
+        let report = analyze(&b.build(), &BasisState::zeros(2), 4);
         report
             .replay(&bit_flip(), &SolverOptions::default(), 1e-6)
             .expect("honest derivation must replay");
@@ -804,25 +813,30 @@ mod tests {
     fn replay_rejects_tampered_reports() {
         let mut b = ProgramBuilder::new(1);
         b.x(0);
-        let mut report = analyzer(2)
-            .analyze(&b.build(), &BasisState::zeros(1), &bit_flip())
-            .unwrap();
+        let mut report = analyze(&b.build(), &BasisState::zeros(1), 2);
         // Tamper: claim a much smaller ε.
         if let Derivation::Seq { children } = &mut report.derivation {
             if let Some(Derivation::Gate { epsilon, .. }) = children.first_mut() {
                 *epsilon = 1e-9;
             }
         }
-        assert!(report
+        let err = report
             .replay(&bit_flip(), &SolverOptions::default(), 1e-8)
-            .is_err());
+            .unwrap_err();
+        assert!(
+            matches!(err, ReplayError::NotReproducible { claimed, .. } if claimed == 1e-9),
+            "{err}"
+        );
     }
 
     #[test]
     fn width_mismatch_rejected() {
         let p = ProgramBuilder::new(3).build();
-        let err = analyzer(2)
-            .analyze(&p, &BasisState::zeros(2), &bit_flip())
+        let err = AnalysisRequest::builder(p)
+            .input(&BasisState::zeros(2))
+            .noise(bit_flip())
+            .method(Method::StateAware { mps_width: 2 })
+            .build()
             .unwrap_err();
         assert!(matches!(
             err,
@@ -837,10 +851,20 @@ mod tests {
     fn non_adjacent_gates_are_handled() {
         let mut b = ProgramBuilder::new(4);
         b.h(0).cnot(0, 3).rzz(0, 2, 0.5);
-        let report = analyzer(8)
-            .analyze(&b.build(), &BasisState::zeros(4), &bit_flip())
-            .unwrap();
+        let report = analyze(&b.build(), &BasisState::zeros(4), 8);
         assert!(report.error_bound() > 0.0);
         assert!(report.error_bound() < 1.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_analyzer_shim_still_works() {
+        let mut b = ProgramBuilder::new(2);
+        b.h(0).cnot(0, 1);
+        let report = Analyzer::new(AnalyzerConfig::with_mps_width(4))
+            .analyze(&b.build(), &BasisState::zeros(2), &bit_flip())
+            .unwrap();
+        assert!(report.error_bound() > 0.5e-4);
+        assert!(report.error_bound() < 2.5e-4);
     }
 }

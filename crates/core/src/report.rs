@@ -1,0 +1,197 @@
+//! The unified analysis report: one enum for every method's output, with
+//! common accessors so callers (CLI, batch consumers, benchmarks) can treat
+//! reports uniformly and reach for method-specific extras only when they
+//! need them.
+
+use crate::adaptive::{AdaptiveReport, AdaptiveStep};
+use crate::baseline::{LqrReport, WorstCaseReport};
+use crate::logic::{Derivation, StateAwareReport};
+use std::fmt;
+use std::time::Duration;
+
+/// The outcome of [`crate::Engine::analyze`], tagged by method.
+#[derive(Clone, Debug)]
+pub enum Report {
+    /// A state-aware `(ρ̂, δ)`-diamond analysis at a fixed MPS width.
+    StateAware(StateAwareReport),
+    /// An adaptive width search (carries the trajectory).
+    Adaptive(AdaptiveReport),
+    /// A worst-case (unconstrained diamond norm) analysis.
+    WorstCase(WorstCaseReport),
+    /// The LQR-with-full-simulation baseline.
+    LqrFullSim(LqrReport),
+}
+
+impl Report {
+    /// A stable machine-readable method name (matches
+    /// [`crate::Method::name`]).
+    pub fn method_name(&self) -> &'static str {
+        match self {
+            Report::StateAware(_) => "state_aware",
+            Report::Adaptive(_) => "adaptive",
+            Report::WorstCase(_) => "worst_case",
+            Report::LqrFullSim(_) => "lqr_full_sim",
+        }
+    }
+
+    /// The certified whole-program error bound ε. For worst case this is
+    /// the unclamped total (use [`WorstCaseReport::clamped`] for the
+    /// `[0, 1]` form); every other method's bound is its certified ε.
+    pub fn error_bound(&self) -> f64 {
+        match self {
+            Report::StateAware(r) => r.error_bound(),
+            Report::Adaptive(r) => r.report.error_bound(),
+            Report::WorstCase(r) => r.total,
+            Report::LqrFullSim(r) => r.bound,
+        }
+    }
+
+    /// Wall-clock time of the analysis.
+    pub fn elapsed(&self) -> Duration {
+        match self {
+            Report::StateAware(r) => r.elapsed(),
+            Report::Adaptive(r) => r.elapsed,
+            Report::WorstCase(r) => r.elapsed,
+            Report::LqrFullSim(r) => r.elapsed,
+        }
+    }
+
+    /// SDPs actually solved (for adaptive: summed over the trajectory).
+    pub fn sdp_solves(&self) -> usize {
+        match self {
+            Report::StateAware(r) => r.sdp_solves(),
+            Report::Adaptive(r) => r.trajectory.iter().map(|s| s.sdp_solves).sum(),
+            Report::WorstCase(r) => r.sdp_solves,
+            // Exact predicates are never cached: one solve per gate.
+            Report::LqrFullSim(r) => r.gate_count,
+        }
+    }
+
+    /// Judgments answered from the engine's shared cache (for adaptive:
+    /// summed over the trajectory; 0 for LQR, which never caches).
+    pub fn cache_hits(&self) -> usize {
+        match self {
+            Report::StateAware(r) => r.cache_hits(),
+            Report::Adaptive(r) => r.trajectory.iter().map(|s| s.cache_hits).sum(),
+            Report::WorstCase(r) => r.cache_hits,
+            Report::LqrFullSim(_) => 0,
+        }
+    }
+
+    /// The MPS truncation error δ, where the method has one.
+    pub fn tn_delta(&self) -> Option<f64> {
+        match self {
+            Report::StateAware(r) => Some(r.tn_delta()),
+            Report::Adaptive(r) => Some(r.report.tn_delta()),
+            _ => None,
+        }
+    }
+
+    /// The derivation (proof) tree, where the method produces one.
+    pub fn derivation(&self) -> Option<&Derivation> {
+        match self {
+            Report::StateAware(r) => Some(r.derivation()),
+            Report::Adaptive(r) => Some(r.report.derivation()),
+            _ => None,
+        }
+    }
+
+    /// The adaptive trajectory, if this was an adaptive run.
+    pub fn trajectory(&self) -> Option<&[AdaptiveStep]> {
+        match self {
+            Report::Adaptive(r) => Some(&r.trajectory),
+            _ => None,
+        }
+    }
+
+    /// The state-aware report, if this is one (for adaptive runs: the
+    /// best-width report).
+    pub fn as_state_aware(&self) -> Option<&StateAwareReport> {
+        match self {
+            Report::StateAware(r) => Some(r),
+            Report::Adaptive(r) => Some(&r.report),
+            _ => None,
+        }
+    }
+
+    /// The adaptive report, if this is one.
+    pub fn as_adaptive(&self) -> Option<&AdaptiveReport> {
+        match self {
+            Report::Adaptive(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The worst-case report, if this is one.
+    pub fn as_worst_case(&self) -> Option<&WorstCaseReport> {
+        match self {
+            Report::WorstCase(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The LQR report, if this is one.
+    pub fn as_lqr(&self) -> Option<&LqrReport> {
+        match self {
+            Report::LqrFullSim(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Consumes the report, returning the state-aware payload (for
+    /// adaptive runs: the best-width report).
+    pub fn into_state_aware(self) -> Option<StateAwareReport> {
+        match self {
+            Report::StateAware(r) => Some(r),
+            Report::Adaptive(r) => Some(r.report),
+            _ => None,
+        }
+    }
+
+    /// Consumes the report, returning the adaptive payload.
+    pub fn into_adaptive(self) -> Option<AdaptiveReport> {
+        match self {
+            Report::Adaptive(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Report::StateAware(r) => write!(f, "{r}"),
+            Report::Adaptive(r) => {
+                writeln!(
+                    f,
+                    "adaptive: settled on w = {} after {} widths ({:?})",
+                    r.width,
+                    r.trajectory.len(),
+                    r.elapsed
+                )?;
+                for s in &r.trajectory {
+                    writeln!(
+                        f,
+                        "  w = {:>4}: ε ≤ {:.6e}  (TN δ = {:.3e}, {} solves, {} cache hits)",
+                        s.width, s.bound, s.tn_delta, s.sdp_solves, s.cache_hits
+                    )?;
+                }
+                write!(f, "{}", r.report)
+            }
+            Report::WorstCase(r) => write!(
+                f,
+                "worst-case bound: {:.6e} over {} gates ({} SDP solves, {} cache hits); clamped: {:.6e}",
+                r.total,
+                r.gate_count,
+                r.sdp_solves,
+                r.cache_hits,
+                r.clamped()
+            ),
+            Report::LqrFullSim(r) => write!(
+                f,
+                "LQR-full-sim bound: {:.6e} over {} gates ({:?})",
+                r.bound, r.gate_count, r.elapsed
+            ),
+        }
+    }
+}

@@ -154,6 +154,21 @@ impl Mps {
         self.max_bond
     }
 
+    /// Returns the same state with the bond-dimension budget replaced.
+    ///
+    /// Raising the budget never changes the represented state; lowering it
+    /// only affects *future* truncations (existing bonds are kept), so the
+    /// accumulated `δ` remains a sound bound either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w == 0`.
+    pub fn with_max_bond(mut self, w: usize) -> Self {
+        assert!(w > 0, "bond dimension must be positive");
+        self.max_bond = w;
+        self
+    }
+
     /// Accumulated truncation error `δ` (full trace-norm convention; see
     /// the module docs).
     pub fn delta(&self) -> f64 {

@@ -1,0 +1,96 @@
+//! Batch analysis: one engine, many requests, shared certificates.
+//!
+//! Builds a small fleet of analysis requests — different workloads,
+//! methods, and input states — and fans them out across worker threads
+//! with `Engine::analyze_batch_detailed`. The requests share the engine's
+//! content-addressed SDP cache, so overlapping judgments (the GHZ prefix
+//! repeated across requests, the adaptive sweep's widths) are solved once
+//! for the whole batch. One request is deliberately broken to show that a
+//! failing request reports its own error without sinking its siblings.
+//!
+//! Run with: `cargo run --release --example engine_batch`
+
+use gleipnir::core::AdaptiveConfig;
+use gleipnir::prelude::*;
+use gleipnir::workloads::{ghz, ising_chain};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let noise = NoiseModel::uniform_bit_flip(1e-4);
+    let ghz6 = ghz(6);
+    let ising = ising_chain(6, 4, 1.0, 1.0, 0.1);
+
+    // A branching program: the LQR baseline rejects it at run time — the
+    // deliberately failing sibling.
+    let mut b = ProgramBuilder::new(2);
+    b.h(0).if_measure(
+        0,
+        |z| {
+            z.x(1);
+        },
+        |o| {
+            o.z(1);
+        },
+    );
+    let branching = b.build();
+
+    let requests = vec![
+        AnalysisRequest::builder(ghz6.clone())
+            .noise(noise.clone())
+            .method(Method::StateAware { mps_width: 8 })
+            .build()?,
+        AnalysisRequest::builder(ghz6.clone())
+            .noise(noise.clone())
+            .method(Method::WorstCase)
+            .build()?,
+        AnalysisRequest::builder(ising.clone())
+            .noise(noise.clone())
+            .method(Method::Adaptive(AdaptiveConfig {
+                start_width: 2,
+                max_width: 8,
+                min_relative_improvement: 0.01,
+            }))
+            .build()?,
+        AnalysisRequest::builder(branching)
+            .noise(noise.clone())
+            .method(Method::LqrFullSim)
+            .build()?,
+        // Same GHZ program again, from the |+…+⟩ product input this time.
+        AnalysisRequest::builder(ghz6)
+            .input(InputState::plus(6))
+            .noise(noise)
+            .method(Method::StateAware { mps_width: 8 })
+            .build()?,
+    ];
+
+    let engine = Engine::new();
+    let outcome = engine.analyze_batch_detailed(&requests);
+
+    for (i, result) in outcome.results.iter().enumerate() {
+        match result {
+            Ok(report) => println!(
+                "request {i}: {:<12} ε ≤ {:.4e}  ({} solves, {} cache hits, {:?})",
+                report.method_name(),
+                report.error_bound(),
+                report.sdp_solves(),
+                report.cache_hits(),
+                report.elapsed()
+            ),
+            Err(e) => println!("request {i}: failed as intended — {e}"),
+        }
+    }
+
+    let stats = engine.cache_stats();
+    println!(
+        "\nbatch of {} served by {} worker threads in {:?}",
+        outcome.results.len(),
+        outcome.worker_threads,
+        outcome.elapsed
+    );
+    println!(
+        "shared SDP cache: {} entries, {} hits, {} misses",
+        stats.entries, stats.hits, stats.misses
+    );
+    assert!(outcome.results[3].is_err(), "the LQR sibling must fail");
+    assert_eq!(outcome.results.iter().filter(|r| r.is_ok()).count(), 4);
+    Ok(())
+}

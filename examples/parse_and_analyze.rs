@@ -7,9 +7,7 @@
 //! Run with: `cargo run --release --example parse_and_analyze`
 
 use gleipnir::circuit::{parse, pretty};
-use gleipnir::core::{Analyzer, AnalyzerConfig};
-use gleipnir::noise::NoiseModel;
-use gleipnir::sim::BasisState;
+use gleipnir::prelude::*;
 
 const SOURCE: &str = "
 qubits 3;
@@ -45,18 +43,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(parse(&reprinted)?, program);
     println!("\npretty-printed form:\n{reprinted}");
 
-    let noise = NoiseModel::uniform_depolarizing(1e-4, 1e-3);
-    let report = Analyzer::new(AnalyzerConfig::with_mps_width(8)).analyze(
-        &program,
-        &BasisState::zeros(3),
-        &noise,
-    )?;
+    let engine = Engine::new();
+    let request = AnalysisRequest::builder(program)
+        .noise(NoiseModel::uniform_depolarizing(1e-4, 1e-3))
+        .method(Method::StateAware { mps_width: 8 })
+        .build()?;
+    let report = engine.analyze(&request)?;
 
     println!(
         "error bound under depolarizing noise: ε ≤ {:.4e}",
         report.error_bound()
     );
     println!("\nderivation (note the [Meas] nodes):");
-    println!("{}", report.derivation().pretty());
+    println!("{}", report.derivation().expect("state-aware run").pretty());
     Ok(())
 }

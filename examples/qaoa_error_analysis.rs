@@ -1,27 +1,23 @@
 //! QAOA error analysis: the paper's §7.1 workload class in miniature.
 //!
 //! Generates a QAOA max-cut circuit for a small random 4-regular graph,
-//! then compares three analyses:
+//! then compares three analyses, all served by one engine:
 //!
-//! * Gleipnir's adaptive `(ρ̂, δ)`-diamond norm bound,
+//! * Gleipnir's adaptive `(ρ̂, δ)`-diamond norm bound (`Method::Adaptive`),
 //! * the LQR-with-full-simulation baseline (exact predicates, exponential
 //!   cost), and
 //! * the unconstrained worst case (`gate count × p`).
 //!
 //! Run with: `cargo run --release --example qaoa_error_analysis`
 
-use gleipnir::core::{lqr_full_sim_bound, worst_case_bound, Analyzer, AnalyzerConfig};
-use gleipnir::noise::NoiseModel;
-use gleipnir::sdp::SolverOptions;
-use gleipnir::sim::BasisState;
+use gleipnir::core::AdaptiveConfig;
+use gleipnir::prelude::*;
 use gleipnir::workloads::{qaoa_maxcut, Graph};
-use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = Graph::random_regular(8, 4, 7).expect("4-regular graph on 8 vertices");
     let program = qaoa_maxcut(&graph, &[0.35], &[0.62]);
     let noise = NoiseModel::uniform_bit_flip(1e-4);
-    let input = BasisState::zeros(program.n_qubits());
 
     println!(
         "QAOA max-cut: {} qubits, {} edges, {} gates",
@@ -30,35 +26,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         program.gate_count()
     );
 
-    let t = Instant::now();
-    let report =
-        Analyzer::new(AnalyzerConfig::with_mps_width(32)).analyze(&program, &input, &noise)?;
+    let engine = Engine::new();
+    let request = |method: Method| {
+        AnalysisRequest::builder(program.clone())
+            .noise(noise.clone())
+            .method(method)
+            .build()
+    };
+
+    let adaptive = engine.analyze(&request(Method::Adaptive(AdaptiveConfig {
+        start_width: 4,
+        max_width: 32,
+        min_relative_improvement: 0.02,
+    }))?)?;
+    let best = adaptive.as_adaptive().expect("adaptive run");
     println!(
-        "Gleipnir (w = 32):   ε ≤ {:.3}e-4   [{:.2}s, {} SDP solves, {} cache hits, TN δ = {:.2e}]",
-        report.error_bound() * 1e4,
-        t.elapsed().as_secs_f64(),
-        report.sdp_solves(),
-        report.cache_hits(),
-        report.tn_delta()
+        "Gleipnir (adaptive → w = {}): ε ≤ {:.3}e-4   [{:.2}s, {} SDP solves, {} cache hits, TN δ = {:.2e}]",
+        best.width,
+        adaptive.error_bound() * 1e4,
+        adaptive.elapsed().as_secs_f64(),
+        adaptive.sdp_solves(),
+        adaptive.cache_hits(),
+        adaptive.tn_delta().expect("adaptive run")
     );
 
-    let t = Instant::now();
-    let lqr = lqr_full_sim_bound(&program, &input, &noise, &SolverOptions::default())?;
+    let lqr = engine.analyze(&request(Method::LqrFullSim)?)?;
     println!(
         "LQR full simulation: ε ≤ {:.3}e-4   [{:.2}s — exponential in qubits]",
-        lqr * 1e4,
-        t.elapsed().as_secs_f64()
+        lqr.error_bound() * 1e4,
+        lqr.elapsed().as_secs_f64()
     );
 
-    let worst = worst_case_bound(&program, &noise, &SolverOptions::default())?;
+    let worst = engine.analyze(&request(Method::WorstCase)?)?;
     println!(
         "worst case:          ε ≤ {:.3}e-4   [state-agnostic]",
-        worst.total * 1e4
+        worst.error_bound() * 1e4
     );
 
     println!(
         "\nGleipnir tightens the worst case by {:.0}% on this circuit.",
-        100.0 * (1.0 - report.error_bound() / worst.total)
+        100.0 * (1.0 - adaptive.error_bound() / worst.error_bound())
     );
     Ok(())
 }

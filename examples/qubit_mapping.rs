@@ -4,10 +4,13 @@
 //! Evaluates every injective placement of a GHZ-3 circuit onto the 5-qubit
 //! Lima topology, ranks them by Gleipnir's error bound, and verifies the
 //! ranking against exact noisy simulation — exactly how the paper proposes
-//! compilers should pick mappings.
+//! compilers should pick mappings. All 60 placements run on one engine,
+//! so routed circuits that share (gate, ρ′, δ) judgments reuse each
+//! other's SDP certificates.
 //!
 //! Run with: `cargo run --release --example qubit_mapping`
 
+use gleipnir::core::Engine;
 use gleipnir::noise::DeviceModel;
 use gleipnir_bench::run_mapping_experiment;
 
@@ -16,7 +19,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("device: {}", device.name());
     println!("coupling edges: {:?}\n", device.coupling().edges());
 
-    // All injective 3-qubit placements on 5 physical qubits.
+    // All injective 3-qubit placements on 5 physical qubits, one engine.
+    let engine = Engine::new();
     let mut rows = Vec::new();
     for a in 0..5 {
         for b in 0..5 {
@@ -24,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 if a == b || b == c || a == c {
                     continue;
                 }
-                let row = run_mapping_experiment(&device, 3, &[a, b, c])?;
+                let row = run_mapping_experiment(&engine, &device, 3, &[a, b, c])?;
                 rows.push(row);
             }
         }
@@ -56,6 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "bound ≥ measured for every mapping: {}",
         if sound { "yes ✓" } else { "NO" }
+    );
+    let stats = engine.cache_stats();
+    println!(
+        "shared SDP cache across all mappings: {} entries, {} hits",
+        stats.entries, stats.hits
     );
     Ok(())
 }

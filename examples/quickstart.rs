@@ -1,4 +1,4 @@
-//! Quickstart: the paper's running example (§3).
+//! Quickstart: the paper's running example (§3), on the `Engine` API.
 //!
 //! Builds the 2-qubit GHZ circuit `H(q0); CNOT(q0, q1)`, analyzes it under
 //! the paper's bit-flip noise model, and prints the certified error bound
@@ -6,7 +6,6 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use gleipnir::core::worst_case_bound;
 use gleipnir::prelude::*;
 use gleipnir::sdp::SolverOptions;
 
@@ -20,10 +19,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // (2-qubit gates on their first operand qubit) — §7.1's model.
     let noise = NoiseModel::uniform_bit_flip(1e-4);
 
+    // One long-lived engine serves every analysis; its SDP-certificate
+    // cache is shared across requests and methods.
+    let engine = Engine::new();
+
     // Step (1)-(3) of Fig. 4: MPS approximation, per-gate (ρ̂, δ)-diamond
     // norms, and the error logic.
-    let analyzer = Analyzer::new(AnalyzerConfig::with_mps_width(8));
-    let report = analyzer.analyze(&program, &BasisState::zeros(2), &noise)?;
+    let request = AnalysisRequest::builder(program.clone())
+        .noise(noise.clone())
+        .method(Method::StateAware { mps_width: 8 })
+        .build()?;
+    let report = engine.analyze(&request)?;
 
     println!("program:\n{program}");
     println!(
@@ -32,18 +38,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!();
     println!("derivation:");
-    println!("{}", report.derivation().pretty());
+    println!("{}", report.derivation().expect("state-aware run").pretty());
 
-    // Compare with the worst-case (unconstrained diamond norm) analysis.
-    let worst = worst_case_bound(&program, &noise, &SolverOptions::default())?;
-    println!("worst-case bound: {:.6e}", worst.total);
+    // Compare with the worst-case (unconstrained diamond norm) analysis —
+    // same engine, different method.
+    let worst = engine.analyze(
+        &AnalysisRequest::builder(program)
+            .noise(noise.clone())
+            .method(Method::WorstCase)
+            .build()?,
+    )?;
+    println!("worst-case bound: {:.6e}", worst.error_bound());
     println!(
         "Gleipnir is {:.1}% of worst case (the H gate's bit flip is invisible on |+⟩)",
-        100.0 * report.error_bound() / worst.total
+        100.0 * report.error_bound() / worst.error_bound()
     );
 
     // The derivation is a checkable artifact: replay it independently.
     report
+        .as_state_aware()
+        .expect("state-aware run")
         .replay(&noise, &SolverOptions::default(), 1e-6)
         .expect("derivation must replay");
     println!("derivation replayed and verified ✓");

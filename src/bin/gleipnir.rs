@@ -2,8 +2,10 @@
 //! GLQ quantum programs from the shell.
 //!
 //! ```text
-//! gleipnir analyze  <file.glq> [--width W] [--noise SPEC] [--input BITS] [--derivation]
-//! gleipnir worst    <file.glq> [--noise SPEC]
+//! gleipnir analyze  <file.glq> [--method state|adaptive|worst|lqr] [--width W]
+//!                              [--noise SPEC] [--input BITS] [--derivation] [--json]
+//! gleipnir batch    <a.glq> <b.glq> … [--method M] [--width W] [--noise SPEC] [--json]
+//! gleipnir worst    <file.glq> [--noise SPEC] [--json]
 //! gleipnir compare  <file.glq> [--width W] [--noise SPEC]   # bound before/after optimization
 //! gleipnir optimize <file.glq>                              # print the optimized program
 //! gleipnir fmt      <file.glq>                              # parse + pretty-print
@@ -11,11 +13,17 @@
 //!
 //! NOISE SPEC: bitflip:P (default bitflip:1e-4) | depolarizing:P1,P2 | none
 //! ```
+//!
+//! All analysis commands run on one long-lived `Engine`, and `--json`
+//! switches every report to machine-readable output — the scriptable
+//! service-endpoint stand-in. `batch` fans files out across worker threads
+//! that share the engine's SDP cache; every file gets its own result entry
+//! (a broken file never sinks its siblings), and the exit status is
+//! non-zero iff any entry failed.
 
 use gleipnir::circuit::{optimize, parse, pretty, route_with_final, Mapping, Program};
-use gleipnir::core::{worst_case_bound, Analyzer, AnalyzerConfig};
+use gleipnir::core::{AdaptiveConfig, AnalysisRequest, Engine, Method, Report};
 use gleipnir::noise::{DeviceModel, NoiseModel};
-use gleipnir::sdp::SolverOptions;
 use gleipnir::sim::BasisState;
 use std::process::ExitCode;
 
@@ -35,7 +43,8 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err(usage());
     };
     match command.as_str() {
-        "analyze" => analyze(&args[1..], false),
+        "analyze" => analyze(&args[1..]),
+        "batch" => batch(&args[1..]),
         "compare" => compare(&args[1..]),
         "worst" => worst(&args[1..]),
         "optimize" => cmd_optimize(&args[1..]),
@@ -50,9 +59,10 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: gleipnir <analyze|compare|worst|optimize|fmt|route> <file.glq> [options]\n\
-     options: --width W   --noise bitflip:P|depolarizing:P1,P2|none   --input 0101\n\
-     \x20        --derivation   --device boeblingen|lima   --mapping 0,1,2"
+    "usage: gleipnir <analyze|batch|compare|worst|optimize|fmt|route> <file.glq>… [options]\n\
+     options: --method state|adaptive|worst|lqr   --width W   --input 0101   --json\n\
+     \x20        --noise bitflip:P|depolarizing:P1,P2|none   --derivation\n\
+     \x20        --device boeblingen|lima   --mapping 0,1,2"
         .to_string()
 }
 
@@ -63,14 +73,46 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
         .cloned()
 }
 
-fn load_program(args: &[String]) -> Result<Program, String> {
-    let path = args
-        .iter()
-        .find(|a| !a.starts_with("--") && a.ends_with(".glq"))
-        .or_else(|| args.iter().find(|a| !a.starts_with("--")))
-        .ok_or("missing input file")?;
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn program_paths(args: &[String]) -> Vec<&String> {
+    // Positional arguments: skip flags and the value slot after a
+    // value-taking flag.
+    const VALUE_FLAGS: [&str; 6] = [
+        "--method",
+        "--width",
+        "--noise",
+        "--input",
+        "--device",
+        "--mapping",
+    ];
+    let mut paths = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = VALUE_FLAGS.contains(&a.as_str());
+            continue;
+        }
+        paths.push(a);
+    }
+    paths
+}
+
+fn load_program(path: &str) -> Result<Program, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     parse(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_single_program(args: &[String]) -> Result<(String, Program), String> {
+    let paths = program_paths(args);
+    let path = paths.first().ok_or("missing input file")?;
+    Ok(((*path).clone(), load_program(path)?))
 }
 
 fn parse_noise(args: &[String]) -> Result<NoiseModel, String> {
@@ -121,65 +163,281 @@ fn parse_width(args: &[String]) -> Result<usize, String> {
     }
 }
 
-fn analyze(args: &[String], quiet: bool) -> Result<(), String> {
-    let program = load_program(args)?;
+fn parse_method(args: &[String], width: usize) -> Result<Method, String> {
+    match flag_value(args, "--method").as_deref() {
+        None | Some("state") => Ok(Method::StateAware { mps_width: width }),
+        Some("adaptive") => Ok(Method::Adaptive(AdaptiveConfig {
+            max_width: width.max(2),
+            ..AdaptiveConfig::default()
+        })),
+        Some("worst") => Ok(Method::WorstCase),
+        Some("lqr") => Ok(Method::LqrFullSim),
+        Some(other) => Err(format!(
+            "unknown method `{other}` (expected state|adaptive|worst|lqr)"
+        )),
+    }
+}
+
+fn build_request(program: Program, args: &[String]) -> Result<AnalysisRequest, String> {
     let noise = parse_noise(args)?;
     let input = parse_input(args, program.n_qubits())?;
     let width = parse_width(args)?;
-    let analyzer = Analyzer::new(AnalyzerConfig::with_mps_width(width));
-    let report = analyzer
-        .analyze(&program, &input, &noise)
-        .map_err(|e| e.to_string())?;
-    if !quiet {
-        println!(
-            "{} qubits, {} gates, input {input}, MPS width {width}",
-            program.n_qubits(),
-            program.gate_count()
-        );
+    let method = parse_method(args, width)?;
+    AnalysisRequest::builder(program)
+        .input(&input)
+        .noise(noise)
+        .method(method)
+        .build()
+        .map_err(|e| e.to_string())
+}
+
+// ---- JSON output (hand-rolled: the report surface is small and the
+// container has no serde) ---------------------------------------------
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
     }
+    out.push('"');
+    out
+}
+
+fn report_json(file: &str, program: &Program, report: &Report) -> String {
+    let mut fields = vec![
+        format!("\"file\":{}", json_str(file)),
+        format!("\"method\":{}", json_str(report.method_name())),
+        format!("\"qubits\":{}", program.n_qubits()),
+        format!("\"gates\":{}", program.gate_count()),
+        format!("\"error_bound\":{:e}", report.error_bound()),
+        format!("\"sdp_solves\":{}", report.sdp_solves()),
+        format!("\"cache_hits\":{}", report.cache_hits()),
+        format!("\"elapsed_ms\":{:.3}", report.elapsed().as_secs_f64() * 1e3),
+    ];
+    if let Some(d) = report.tn_delta() {
+        fields.push(format!("\"tn_delta\":{d:e}"));
+    }
+    if let Some(r) = report.as_state_aware() {
+        fields.push(format!("\"mps_width\":{}", r.mps_width()));
+    }
+    if let Some(a) = report.as_adaptive() {
+        let steps: Vec<String> = a
+            .trajectory
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"width\":{},\"bound\":{:e},\"tn_delta\":{:e},\"sdp_solves\":{},\"cache_hits\":{}}}",
+                    s.width, s.bound, s.tn_delta, s.sdp_solves, s.cache_hits
+                )
+            })
+            .collect();
+        fields.push(format!("\"trajectory\":[{}]", steps.join(",")));
+    }
+    if let Some(w) = report.as_worst_case() {
+        fields.push(format!("\"gate_count\":{}", w.gate_count));
+        fields.push(format!("\"clamped\":{:e}", w.clamped()));
+    }
+    format!("{{{}}}", fields.join(","))
+}
+
+// ---- commands --------------------------------------------------------
+
+fn analyze(args: &[String]) -> Result<(), String> {
+    let (path, program) = load_single_program(args)?;
+    let json = has_flag(args, "--json");
+    let engine = Engine::new();
+    let request = build_request(program.clone(), args)?;
+    let report = engine.analyze(&request).map_err(|e| e.to_string())?;
+    if json {
+        println!("{}", report_json(&path, &program, &report));
+        return Ok(());
+    }
+    println!(
+        "{} qubits, {} gates, method {}",
+        program.n_qubits(),
+        program.gate_count(),
+        report.method_name()
+    );
     println!("error bound: {:.6e}", report.error_bound());
     println!(
-        "TN delta: {:.3e}   SDP solves: {}   cache hits: {}   time: {:?}",
-        report.tn_delta(),
+        "SDP solves: {}   cache hits: {}   time: {:?}",
         report.sdp_solves(),
         report.cache_hits(),
         report.elapsed()
     );
-    if args.iter().any(|a| a == "--derivation") {
-        println!("\n{}", report.derivation().pretty());
+    if let Some(d) = report.tn_delta() {
+        println!("TN delta: {d:.3e}");
+    }
+    if let Some(steps) = report.trajectory() {
+        for s in steps {
+            println!(
+                "  w = {:>4}: bound {:.6e}  (TN δ = {:.3e}, {} solves, {} cache hits)",
+                s.width, s.bound, s.tn_delta, s.sdp_solves, s.cache_hits
+            );
+        }
+    }
+    if has_flag(args, "--derivation") {
+        if let Some(d) = report.derivation() {
+            println!("\n{}", d.pretty());
+        }
+    }
+    Ok(())
+}
+
+fn batch(args: &[String]) -> Result<(), String> {
+    let paths = program_paths(args);
+    if paths.is_empty() {
+        return Err("batch needs at least one input file".into());
+    }
+    let json = has_flag(args, "--json");
+    // Per-file isolation starts at load time: a missing or unparseable
+    // file becomes that file's error entry, never sinking its siblings.
+    let prepared: Vec<Result<(Program, AnalysisRequest), String>> = paths
+        .iter()
+        .map(|path| {
+            let program = load_program(path)?;
+            let request = build_request(program.clone(), args)?;
+            Ok((program, request))
+        })
+        .collect();
+    let requests: Vec<AnalysisRequest> = prepared
+        .iter()
+        .filter_map(|p| p.as_ref().ok().map(|(_, r)| r.clone()))
+        .collect();
+    let engine = Engine::new();
+    let outcome = engine.analyze_batch_detailed(&requests);
+    // Merge analysis results back into file order around the load errors.
+    let mut analyzed = outcome.results.into_iter();
+    let merged: Vec<Result<(Program, Report), String>> = prepared
+        .into_iter()
+        .map(|p| {
+            let (program, _) = p?;
+            let report = analyzed
+                .next()
+                .expect("one analysis result per prepared request")
+                .map_err(|e| e.to_string())?;
+            Ok((program, report))
+        })
+        .collect();
+    if json {
+        let results: Vec<String> = merged
+            .iter()
+            .zip(paths.iter())
+            .map(|(result, path)| match result {
+                Ok((program, report)) => format!(
+                    "{{\"ok\":true,\"report\":{}}}",
+                    report_json(path, program, report)
+                ),
+                Err(e) => format!(
+                    "{{\"ok\":false,\"file\":{},\"error\":{}}}",
+                    json_str(path),
+                    json_str(e)
+                ),
+            })
+            .collect();
+        let stats = engine.cache_stats();
+        println!(
+            "{{\"results\":[{}],\"worker_threads\":{},\"elapsed_ms\":{:.3},\"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{}}}}}",
+            results.join(","),
+            outcome.worker_threads,
+            outcome.elapsed.as_secs_f64() * 1e3,
+            stats.hits,
+            stats.misses,
+            stats.entries
+        );
+        return batch_exit(&merged.iter().map(|r| r.is_ok()).collect::<Vec<_>>());
+    }
+    for (result, path) in merged.iter().zip(paths.iter()) {
+        match result {
+            Ok((_, report)) => println!(
+                "{path}: {} bound {:.6e}  ({} solves, {} cache hits, {:?})",
+                report.method_name(),
+                report.error_bound(),
+                report.sdp_solves(),
+                report.cache_hits(),
+                report.elapsed()
+            ),
+            Err(e) => println!("{path}: error: {e}"),
+        }
+    }
+    let stats = engine.cache_stats();
+    println!(
+        "batch: {} files on {} worker threads in {:?}; shared cache {} hits / {} entries",
+        merged.len(),
+        outcome.worker_threads,
+        outcome.elapsed,
+        stats.hits,
+        stats.entries
+    );
+    batch_exit(&merged.iter().map(|r| r.is_ok()).collect::<Vec<_>>())
+}
+
+/// Batch exit contract: every per-file result is always reported, and the
+/// process exits non-zero if *any* entry failed — so scripts can gate on
+/// status while still getting the full result set.
+fn batch_exit(oks: &[bool]) -> Result<(), String> {
+    let failed = oks.iter().filter(|ok| !**ok).count();
+    if failed > 0 {
+        return Err(format!("{failed} of {} batch entries failed", oks.len()));
     }
     Ok(())
 }
 
 fn worst(args: &[String]) -> Result<(), String> {
-    let program = load_program(args)?;
+    let (path, program) = load_single_program(args)?;
     let noise = parse_noise(args)?;
-    let report =
-        worst_case_bound(&program, &noise, &SolverOptions::default()).map_err(|e| e.to_string())?;
+    let engine = Engine::new();
+    let request = AnalysisRequest::builder(program.clone())
+        .noise(noise)
+        .method(Method::WorstCase)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let report = engine.analyze(&request).map_err(|e| e.to_string())?;
+    if has_flag(args, "--json") {
+        println!("{}", report_json(&path, &program, &report));
+        return Ok(());
+    }
+    let w = report.as_worst_case().expect("worst-case report");
     println!(
         "worst-case bound: {:.6e} over {} gates ({} distinct SDPs); clamped: {:.6e}",
-        report.total,
-        report.gate_count,
-        report.sdp_solves,
-        report.clamped()
+        w.total,
+        w.gate_count,
+        w.sdp_solves,
+        w.clamped()
     );
     Ok(())
 }
 
 fn compare(args: &[String]) -> Result<(), String> {
-    let program = load_program(args)?;
+    let (_, program) = load_single_program(args)?;
     let noise = parse_noise(args)?;
     let input = parse_input(args, program.n_qubits())?;
     let width = parse_width(args)?;
     let (optimized, stats) = optimize(&program);
 
-    let analyzer = Analyzer::new(AnalyzerConfig::with_mps_width(width));
-    let before = analyzer
-        .analyze(&program, &input, &noise)
-        .map_err(|e| e.to_string())?;
-    let after = analyzer
-        .analyze(&optimized, &input, &noise)
-        .map_err(|e| e.to_string())?;
+    // One engine: the optimized program re-uses certificates the original
+    // already paid for wherever judgments coincide.
+    let engine = Engine::new();
+    let analyze_one = |p: Program| -> Result<Report, String> {
+        let request = AnalysisRequest::builder(p)
+            .input(&input)
+            .noise(noise.clone())
+            .method(Method::StateAware { mps_width: width })
+            .build()
+            .map_err(|e| e.to_string())?;
+        engine.analyze(&request).map_err(|e| e.to_string())
+    };
+    let before = analyze_one(program.clone())?;
+    let after = analyze_one(optimized.clone())?;
 
     println!(
         "original:  {} gates, bound {:.6e}",
@@ -204,7 +462,7 @@ fn compare(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_optimize(args: &[String]) -> Result<(), String> {
-    let program = load_program(args)?;
+    let (_, program) = load_single_program(args)?;
     let (optimized, stats) = optimize(&program);
     eprintln!(
         "{} → {} gates ({} cancelled, {} merged, {} identities removed)",
@@ -219,13 +477,13 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
 }
 
 fn fmt(args: &[String]) -> Result<(), String> {
-    let program = load_program(args)?;
+    let (_, program) = load_single_program(args)?;
     print!("{}", pretty(&program));
     Ok(())
 }
 
 fn cmd_route(args: &[String]) -> Result<(), String> {
-    let program = load_program(args)?;
+    let (_, program) = load_single_program(args)?;
     let device = match flag_value(args, "--device").as_deref() {
         Some("boeblingen") | None => DeviceModel::boeblingen20(),
         Some("lima") => DeviceModel::lima5(),

@@ -19,11 +19,17 @@
 //! * [`noise`] — noise channels, gate noise models, device models
 //! * [`mps`] — the MPS tensor-network approximator `TN(ρ₀, P) = (ρ̂, δ)`
 //! * [`sdp`] — a small dense semidefinite-programming solver
-//! * [`core`] — diamond norms and the quantum error logic (the paper's
-//!   contribution)
+//! * [`core`] — the analysis [`Engine`](core::Engine), diamond norms, and
+//!   the quantum error logic (the paper's contribution)
 //! * [`workloads`] — QAOA / Ising / GHZ benchmark generators
 //!
 //! ## Quickstart
+//!
+//! All analyses go through a long-lived [`Engine`](core::Engine): build an
+//! [`AnalysisRequest`](core::AnalysisRequest) (program + input + noise +
+//! [`Method`](core::Method)) and run it. The engine keeps every per-gate
+//! SDP certificate it solves in a shared cache, so later requests — other
+//! methods, other MPS widths, batch siblings — get them for free.
 //!
 //! ```
 //! use gleipnir::prelude::*;
@@ -36,9 +42,13 @@
 //! // Per-gate bit-flip noise with probability 1e-4 (the paper's Section 7 model).
 //! let noise = NoiseModel::uniform_bit_flip(1e-4);
 //!
-//! // Analyze: MPS width 8 is plenty for 2 qubits.
-//! let analyzer = Analyzer::new(AnalyzerConfig::with_mps_width(8));
-//! let report = analyzer.analyze(&program, &BasisState::zeros(2), &noise)?;
+//! // One engine, any number of analyses. MPS width 8 is plenty for 2 qubits.
+//! let engine = Engine::new();
+//! let request = AnalysisRequest::builder(program)
+//!     .noise(noise)
+//!     .method(Method::StateAware { mps_width: 8 })
+//!     .build()?;
+//! let report = engine.analyze(&request)?;
 //!
 //! assert!(report.error_bound() > 0.0);
 //! assert!(report.error_bound() < 3e-4); // two noisy gates, each ≤ 1e-4 + slack
@@ -57,7 +67,10 @@ pub use gleipnir_workloads as workloads;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use gleipnir_circuit::{Gate, Program, ProgramBuilder, Qubit};
-    pub use gleipnir_core::{Analyzer, AnalyzerConfig, Derivation, Report};
+    pub use gleipnir_core::{
+        AdaptiveConfig, AnalysisError, AnalysisRequest, BatchOutcome, CacheStats, Derivation,
+        Engine, InputState, Method, Report, StateAwareReport,
+    };
     pub use gleipnir_linalg::{CMat, CVec, C64};
     pub use gleipnir_mps::{Mps, MpsConfig};
     pub use gleipnir_noise::{Channel, DeviceModel, NoiseModel};

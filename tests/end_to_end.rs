@@ -3,12 +3,22 @@
 //! simulator (Theorem A.1 instantiated on concrete programs).
 
 use gleipnir::circuit::{Program, ProgramBuilder};
-use gleipnir::core::{lqr_full_sim_bound, worst_case_bound, Analyzer, AnalyzerConfig};
+use gleipnir::core::{AnalysisRequest, Engine, Method, Report};
 use gleipnir::noise::NoiseModel;
-use gleipnir::sdp::SolverOptions;
 use gleipnir::sim::{BasisState, DensityMatrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// State-aware analysis at width `w` on a fresh engine.
+fn analyze_w(program: &Program, input: &BasisState, noise: &NoiseModel, w: usize) -> Report {
+    let request = AnalysisRequest::builder(program.clone())
+        .input(input)
+        .noise(noise.clone())
+        .method(Method::StateAware { mps_width: w })
+        .build()
+        .expect("valid request");
+    Engine::new().analyze(&request).expect("analysis succeeds")
+}
 
 /// Exact error of the noisy program: `½‖[[P]]_ω(ρ₀) − [[P]](ρ₀)‖₁`.
 fn true_error(program: &Program, input: &BasisState, noise: &NoiseModel) -> f64 {
@@ -72,9 +82,7 @@ fn bound_dominates_true_error_bit_flip() {
         let program = random_circuit(n, 15, seed);
         let input = BasisState::zeros(n);
         let truth = true_error(&program, &input, &noise);
-        let report = Analyzer::new(AnalyzerConfig::with_mps_width(16))
-            .analyze(&program, &input, &noise)
-            .unwrap();
+        let report = analyze_w(&program, &input, &noise, 16);
         assert!(
             report.error_bound() >= truth - 1e-9,
             "seed {seed}: bound {} < true error {truth}",
@@ -91,9 +99,7 @@ fn bound_dominates_true_error_depolarizing() {
         let program = random_circuit(n, 12, seed);
         let input = BasisState::zeros(n);
         let truth = true_error(&program, &input, &noise);
-        let report = Analyzer::new(AnalyzerConfig::with_mps_width(8))
-            .analyze(&program, &input, &noise)
-            .unwrap();
+        let report = analyze_w(&program, &input, &noise, 8);
         assert!(
             report.error_bound() >= truth - 1e-9,
             "seed {seed}: bound {} < true error {truth}",
@@ -112,9 +118,7 @@ fn bound_dominates_true_error_with_truncation() {
         let program = random_circuit(n, 18, seed);
         let input = BasisState::zeros(n);
         let truth = true_error(&program, &input, &noise);
-        let report = Analyzer::new(AnalyzerConfig::with_mps_width(1))
-            .analyze(&program, &input, &noise)
-            .unwrap();
+        let report = analyze_w(&program, &input, &noise, 1);
         assert!(
             report.error_bound() >= truth - 1e-9,
             "seed {seed}: w=1 bound {} < true error {truth}",
@@ -140,9 +144,7 @@ fn bound_dominates_true_error_with_measurements() {
     let program = b.build();
     let input = BasisState::zeros(3);
     let truth = true_error(&program, &input, &noise);
-    let report = Analyzer::new(AnalyzerConfig::with_mps_width(8))
-        .analyze(&program, &input, &noise)
-        .unwrap();
+    let report = analyze_w(&program, &input, &noise, 8);
     assert!(
         report.error_bound() >= truth - 1e-9,
         "bound {} < true error {truth}",
@@ -158,16 +160,40 @@ fn hierarchy_of_analyses() {
     let program = random_circuit(4, 20, 99);
     let input = BasisState::zeros(4);
     let truth = true_error(&program, &input, &noise);
-    let mut cfg = AnalyzerConfig::with_mps_width(16);
-    cfg.cache = false;
-    let gleipnir = Analyzer::new(cfg)
-        .analyze(&program, &input, &noise)
+    let engine = Engine::new();
+    let gleipnir = engine
+        .analyze(
+            &AnalysisRequest::builder(program.clone())
+                .input(&input)
+                .noise(noise.clone())
+                .method(Method::StateAware { mps_width: 16 })
+                .cache(false)
+                .build()
+                .unwrap(),
+        )
         .unwrap()
         .error_bound();
-    let lqr = lqr_full_sim_bound(&program, &input, &noise, &SolverOptions::default()).unwrap();
-    let worst = worst_case_bound(&program, &noise, &SolverOptions::default())
+    let lqr = engine
+        .analyze(
+            &AnalysisRequest::builder(program.clone())
+                .input(&input)
+                .noise(noise.clone())
+                .method(Method::LqrFullSim)
+                .build()
+                .unwrap(),
+        )
         .unwrap()
-        .total;
+        .error_bound();
+    let worst = engine
+        .analyze(
+            &AnalysisRequest::builder(program.clone())
+                .noise(noise.clone())
+                .method(Method::WorstCase)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+        .error_bound();
     assert!(
         truth <= gleipnir + 1e-9,
         "true {truth} > gleipnir {gleipnir}"
@@ -201,12 +227,7 @@ fn wider_mps_gives_tighter_or_equal_bounds() {
     }
     let program = b.build();
     let input = BasisState::zeros(5);
-    let bound = |w: usize| {
-        Analyzer::new(AnalyzerConfig::with_mps_width(w))
-            .analyze(&program, &input, &noise)
-            .unwrap()
-            .error_bound()
-    };
+    let bound = |w: usize| analyze_w(&program, &input, &noise, w).error_bound();
     let b1 = bound(1);
     let b4 = bound(4);
     let b16 = bound(16);

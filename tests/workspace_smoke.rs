@@ -39,11 +39,17 @@ fn prelude_reexports_resolve() {
     let mps: Mps = Mps::zero_state(2, MpsConfig::with_width(4));
     assert!((mps.norm() - 1.0).abs() < 1e-12);
 
-    // core — the full pipeline, end to end.
-    let report: Report = Analyzer::new(AnalyzerConfig::with_mps_width(8))
-        .analyze(&program, &input, &noise)
-        .expect("GHZ-2 analysis succeeds");
-    let _deriv: &Derivation = report.derivation();
+    // core — the full pipeline, end to end, through the engine.
+    let engine: Engine = Engine::new();
+    let request: AnalysisRequest = AnalysisRequest::builder(program)
+        .input(&input)
+        .noise(noise)
+        .method(Method::StateAware { mps_width: 8 })
+        .build()
+        .expect("valid request");
+    let report: Report = engine.analyze(&request).expect("GHZ-2 analysis succeeds");
+    let _deriv: &Derivation = report.derivation().expect("state-aware derivation");
+    let _stats: CacheStats = engine.cache_stats();
     assert!(report.error_bound() > 0.0);
     assert!(report.error_bound() < 3e-4);
 }
@@ -57,7 +63,8 @@ fn module_reexports_resolve() {
     let _ = gleipnir::noise::NoiseModel::Noiseless;
     let _ = gleipnir::mps::MpsConfig::with_width(2);
     let _ = gleipnir::sdp::SolverOptions::default();
-    let _ = gleipnir::core::AnalyzerConfig::with_mps_width(2);
+    let _ = gleipnir::core::Engine::new();
+    let _ = gleipnir::core::InputState::zeros(2);
     let _ = gleipnir::workloads::ghz(2);
 }
 
@@ -102,6 +109,52 @@ fn cli_analyzes_a_program() {
         "gleipnir analyze failed: {}",
         String::from_utf8_lossy(&analyze.stderr)
     );
+
+    // `--json` makes the tool scriptable: the report must be a single JSON
+    // object carrying the service-relevant fields.
+    let json = Command::new(bin)
+        .args(["analyze", glq.to_str().unwrap(), "--width", "8", "--json"])
+        .output()
+        .expect("run gleipnir analyze --json");
+    assert!(
+        json.status.success(),
+        "gleipnir analyze --json failed: {}",
+        String::from_utf8_lossy(&json.stderr)
+    );
+    let body = String::from_utf8_lossy(&json.stdout);
+    let body = body.trim();
+    assert!(body.starts_with('{') && body.ends_with('}'), "{body}");
+    for field in [
+        "\"method\":\"state_aware\"",
+        "\"error_bound\":",
+        "\"sdp_solves\":",
+        "\"cache_hits\":",
+        "\"elapsed_ms\":",
+    ] {
+        assert!(body.contains(field), "missing {field} in {body}");
+    }
+
+    // `batch` analyzes several programs in one invocation.
+    let batch = Command::new(bin)
+        .args([
+            "batch",
+            glq.to_str().unwrap(),
+            glq.to_str().unwrap(),
+            "--width",
+            "8",
+            "--json",
+        ])
+        .output()
+        .expect("run gleipnir batch --json");
+    assert!(
+        batch.status.success(),
+        "gleipnir batch failed: {}",
+        String::from_utf8_lossy(&batch.stderr)
+    );
+    let body = String::from_utf8_lossy(&batch.stdout);
+    assert!(body.contains("\"worker_threads\":"), "{body}");
+    assert!(body.contains("\"ok\":true"), "{body}");
+
     let _ = std::fs::remove_file(&glq);
 }
 
@@ -110,7 +163,7 @@ fn cli_analyzes_a_program() {
 #[test]
 fn fast_examples_run() {
     let examples = target_profile_dir().join("examples");
-    for name in ["quickstart", "parse_and_analyze"] {
+    for name in ["quickstart", "parse_and_analyze", "engine_batch"] {
         let path = examples.join(name);
         if !path.exists() {
             // A target-filtered run (`cargo test --test workspace_smoke`)
