@@ -67,10 +67,14 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-/// One machine-readable stage record.
+/// One machine-readable stage record. `solve_stage_ms` is the wall time of
+/// the parallel SDP solve stage alone (plan/assemble excluded), where the
+/// method runs the plan/solve/assemble pipeline.
 struct Stage {
     name: &'static str,
     wall_ms: f64,
+    solve_stage_ms: Option<f64>,
+    solve_workers: Option<usize>,
     sdp_solves: usize,
     cache_hits: usize,
     error_bound: f64,
@@ -82,6 +86,8 @@ fn stage(name: &'static str, run: impl FnOnce() -> Report) -> Stage {
     Stage {
         name,
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        solve_stage_ms: report.stage_timings().map(|t| t.solve.as_secs_f64() * 1e3),
+        solve_workers: report.solve_workers(),
         sdp_solves: report.sdp_solves(),
         cache_hits: report.cache_hits(),
         error_bound: report.error_bound(),
@@ -119,6 +125,11 @@ fn emit_json() {
     stages.push(Stage {
         name: "batch4",
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        solve_stage_ms: reports
+            .iter()
+            .filter_map(|r| r.stage_timings().map(|t| t.solve.as_secs_f64() * 1e3))
+            .reduce(f64::max),
+        solve_workers: reports.iter().filter_map(Report::solve_workers).max(),
         sdp_solves: reports.iter().map(Report::sdp_solves).sum(),
         cache_hits: reports.iter().map(Report::cache_hits).sum(),
         error_bound: reports[0].error_bound(),
@@ -127,16 +138,27 @@ fn emit_json() {
     let stage_json: Vec<String> = stages
         .iter()
         .map(|s| {
-            format!(
-                "{{\"name\":\"{}\",\"wall_ms\":{:.3},\"sdp_solves\":{},\"cache_hits\":{},\"error_bound\":{:e}}}",
-                s.name, s.wall_ms, s.sdp_solves, s.cache_hits, s.error_bound
-            )
+            let mut fields = vec![
+                format!("\"name\":\"{}\"", s.name),
+                format!("\"wall_ms\":{:.3}", s.wall_ms),
+            ];
+            if let Some(ms) = s.solve_stage_ms {
+                fields.push(format!("\"solve_stage_ms\":{ms:.3}"));
+            }
+            if let Some(w) = s.solve_workers {
+                fields.push(format!("\"solve_workers\":{w}"));
+            }
+            fields.push(format!("\"sdp_solves\":{}", s.sdp_solves));
+            fields.push(format!("\"cache_hits\":{}", s.cache_hits));
+            fields.push(format!("\"error_bound\":{:e}", s.error_bound));
+            format!("{{{}}}", fields.join(","))
         })
         .collect();
     let json = format!(
-        "{{\"bench\":\"pipeline\",\"workload\":{{\"name\":\"qaoa_maxcut_cycle6\",\"qubits\":{},\"gates\":{}}},\"batch_worker_threads\":{},\"stages\":[{}]}}\n",
+        "{{\"bench\":\"pipeline\",\"workload\":{{\"name\":\"qaoa_maxcut_cycle6\",\"qubits\":{},\"gates\":{}}},\"pool_threads\":{},\"batch_worker_threads\":{},\"stages\":[{}]}}\n",
         p.n_qubits(),
         p.gate_count(),
+        batch_engine.threads(),
         outcome.worker_threads,
         stage_json.join(",")
     );

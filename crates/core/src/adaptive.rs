@@ -12,12 +12,24 @@
 //! SDP cache, so certificates paid for at width `w` are reused at `2w` —
 //! early-circuit judgments (where the narrow MPS is still exact) are
 //! identical across widths and hit the cache immediately.
+//!
+//! The sweep rides the plan/solve/assemble pipeline and reuses its stage
+//! split across widths: while width `w`'s SDP obligations solve on the
+//! engine's worker pool, the calling thread already *plans* width `2w`
+//! (the cheap sequential MPS pass), so the next width's obligations are
+//! ready the moment the stopping rule says "continue" — and when width `w`
+//! is saturated (δ ≈ 0, every wider plan would be identical), no wider
+//! plan is computed at all. The speculative plan is discarded unread if
+//! the sweep stops, so error behavior and the per-width reports match the
+//! unpipelined sweep exactly.
 
-use crate::engine::Engine;
-use crate::logic::{run_state_aware, StateAwareReport};
+use crate::engine::EngineHandle;
+use crate::logic::{assemble_report, StateAwareReport};
+use crate::plan::{plan_program, Plan};
 use crate::request::AnalysisRequest;
+use crate::solve::spawn_solve;
 use crate::AnalysisError;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration for [`Method::Adaptive`](crate::Method::Adaptive).
 #[derive(Clone, Debug)]
@@ -83,6 +95,9 @@ pub struct AdaptiveStep {
     /// Gate judgments answered from the engine's shared cache at this
     /// width (nonzero from the second width on: certificates cross widths).
     pub cache_hits: usize,
+    /// Of `cache_hits`, judgments deduplicated against an in-flight SDP
+    /// solve rather than a finished certificate.
+    pub inflight_dedup: usize,
 }
 
 /// The adaptive analysis outcome.
@@ -98,40 +113,80 @@ pub struct AdaptiveReport {
     pub elapsed: std::time::Duration,
 }
 
+/// Widths whose plan leaves δ below this are *saturated*: the MPS never
+/// truncated, every wider plan is identical, so the sweep stops (and the
+/// plan-ahead pass skips planning wider widths entirely).
+const SATURATION_DELTA: f64 = 1e-12;
+
 /// Doubles the MPS width until the bound stops improving meaningfully.
 ///
 /// Because every width yields a *sound* bound, the minimum over the
 /// trajectory is sound too; the returned report is the one achieving it.
+///
+/// Pipelined: each width's SDP obligations are dispatched to the pool,
+/// and the next width is planned on the calling thread *while they
+/// solve* (see the module docs). Solve stages of successive widths never
+/// overlap, so width `2w` sees exactly the certificates width `w` paid
+/// for — the same cache state as a fully sequential sweep.
 pub(crate) fn run_adaptive(
-    engine: &Engine,
+    h: &EngineHandle,
     request: &AnalysisRequest,
     config: &AdaptiveConfig,
 ) -> Result<AdaptiveReport, AnalysisError> {
     config.validate()?;
     let start = Instant::now();
-    let opts = engine.resolve_options(request);
-    let cache = engine.cache_for(request);
+    let opts = h.resolve_options(request);
 
-    let mut width = config.start_width;
-    let mut best: Option<(usize, StateAwareReport)> = None;
-    let mut trajectory = Vec::new();
-
-    loop {
+    let make_plan = |width: usize| -> Result<(Plan, Duration), AnalysisError> {
+        let t0 = Instant::now();
         let mps = request.input().build_mps(width)?;
-        let report = run_state_aware(
+        let plan = plan_program(
             request.program(),
             mps,
             request.noise(),
             &opts,
-            cache,
+            request.cache_enabled(),
             request.delta_quantum(),
         )?;
+        Ok((plan, t0.elapsed()))
+    };
+
+    let mut width = config.start_width;
+    let mut best: Option<(usize, StateAwareReport)> = None;
+    let mut trajectory = Vec::new();
+    let mut planned = make_plan(width)?;
+
+    loop {
+        let (plan, plan_elapsed) = planned;
+        let Plan {
+            skeleton,
+            obligations,
+            final_delta,
+            mps_width,
+        } = plan;
+        let saturated = final_delta < SATURATION_DELTA;
+        let pending = spawn_solve(h, obligations, opts);
+        // Plan-ahead overlap: while this width's SDPs solve on the pool,
+        // speculatively plan the next width (unless this one is already
+        // saturated or capped — then every wider plan would be identical
+        // or unused). A planning error is deferred: it only surfaces if
+        // the stopping rule actually asks for the wider width, so the
+        // speculation cannot change observable behavior.
+        let next = if !saturated && width < config.max_width {
+            let next_width = (width * 2).min(config.max_width);
+            Some((next_width, make_plan(next_width)))
+        } else {
+            None
+        };
+        let solved = pending.join(h)?;
+        let report = assemble_report(skeleton, final_delta, mps_width, solved, plan_elapsed);
         trajectory.push(AdaptiveStep {
             width,
             bound: report.error_bound(),
             tn_delta: report.tn_delta(),
             sdp_solves: report.sdp_solves(),
             cache_hits: report.cache_hits(),
+            inflight_dedup: report.inflight_dedup(),
         });
         let improved_enough = match &best {
             None => true,
@@ -150,11 +205,12 @@ pub(crate) fn run_adaptive(
         }
         // Stop when saturated (δ already ~0 means wider cannot help), the
         // improvement stalled, or the cap is reached.
-        let saturated = trajectory.last().expect("non-empty").tn_delta < 1e-12;
         if saturated || !improved_enough || width >= config.max_width {
             break;
         }
-        width = (width * 2).min(config.max_width);
+        let (next_width, next_plan) = next.expect("continuing sweep always plans ahead");
+        width = next_width;
+        planned = next_plan?;
     }
 
     let (width, report) = best.expect("at least one analysis ran");
@@ -184,7 +240,7 @@ pub fn analyze_adaptive(
     noise: &gleipnir_noise::NoiseModel,
     config: &AdaptiveConfig,
 ) -> Result<AdaptiveReport, AnalysisError> {
-    let engine = Engine::new();
+    let engine = crate::Engine::new();
     let request = AnalysisRequest::builder(program.clone())
         .input(input)
         .noise(noise.clone())

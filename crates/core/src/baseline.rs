@@ -16,7 +16,7 @@
 //! programs solves each distinct `(gate, channel)` pair once.
 
 use crate::diamond::rho_delta_diamond;
-use crate::engine::{self, Engine};
+use crate::engine::{self, EngineHandle};
 use crate::request::AnalysisRequest;
 use crate::{unconstrained_diamond, AnalysisError};
 use gleipnir_circuit::{Gate, Program};
@@ -67,12 +67,12 @@ pub struct LqrReport {
 /// (branch bodies included — each gate's worst case is counted once, which
 /// upper-bounds the per-path sum the logic would produce).
 pub(crate) fn run_worst_case(
-    engine: &Engine,
+    h: &EngineHandle,
     request: &AnalysisRequest,
 ) -> Result<WorstCaseReport, AnalysisError> {
     let start = Instant::now();
-    let opts = engine.resolve_options(request);
-    let shared = engine.cache_for(request);
+    let opts = h.resolve_options(request);
+    let shared = request.cache_enabled().then(|| h.cache());
     let noise = request.noise();
 
     // A per-run memo always dedups repeats inside this program; the
@@ -217,12 +217,12 @@ pub fn worst_case_bound(
     noise: &NoiseModel,
     opts: &SolverOptions,
 ) -> Result<WorstCaseReport, AnalysisError> {
-    let engine = Engine::with_options(*opts);
+    let engine = crate::Engine::with_options(*opts);
     let request = AnalysisRequest::builder(program.clone())
         .noise(noise.clone())
         .method(crate::Method::WorstCase)
         .build()?;
-    run_worst_case(&engine, &request)
+    run_worst_case(&engine.handle(), &request)
 }
 
 /// One-shot LQR-full-sim analysis, kept as a shim.

@@ -1,58 +1,143 @@
 //! The long-lived analysis engine: one instance, many analyses.
 //!
 //! [`Engine`] is the unified entry point for every analysis method
-//! (state-aware, adaptive, worst-case, LQR-full-sim). It owns a
-//! **content-addressed SDP bound cache shared across requests, methods, and
-//! MPS widths**: a per-gate certificate is keyed by the exact content of the
-//! SDP it certifies — gate matrix, noisy-channel Kraus operators, quantized
-//! local density ρ′, δ bucket, and solver options — so an adaptive sweep's
-//! second width, a repeated request, or a sibling request in a batch all
-//! reuse certificates the engine already paid for. Cache reuse is sound by
-//! the Weaken rule: entries are solved at a δ rounded *up* to the bucket
-//! edge with ρ′ perturbed only within the extra slack (see
-//! [`crate::AnalysisRequest::delta_quantum`]).
+//! (state-aware, adaptive, worst-case, LQR-full-sim). It owns two
+//! process-lifetime resources:
+//!
+//! * a **content-addressed SDP bound cache shared across requests,
+//!   methods, and MPS widths**: a per-gate certificate is keyed by the
+//!   exact content of the SDP it certifies — gate matrix, noisy-channel
+//!   Kraus operators, quantized local density ρ′, δ bucket, and solver
+//!   options — so an adaptive sweep's second width, a repeated request, or
+//!   a sibling request in a batch all reuse certificates the engine
+//!   already paid for. Cache reuse is sound by the Weaken rule: entries
+//!   are solved at a δ rounded *up* to the bucket edge with ρ′ perturbed
+//!   only within the extra slack (see
+//!   [`crate::AnalysisRequest::delta_quantum`]). The cache also performs
+//!   **in-flight deduplication**: two obligations with the same key —
+//!   whether from one request's solve stage or from concurrent batch
+//!   siblings — trigger one SDP solve and one insert
+//!   ([`CacheStats::inflight_dedup`] counts the piggybackers);
+//!
+//! * a **work-stealing worker pool** (see [`crate::pool`]) sized by
+//!   [`EngineOptions::threads`] / the `GLEIPNIR_THREADS` env var. The pool
+//!   serves *both* levels of parallelism: a single request's solve stage
+//!   fans its per-gate SDP obligations over it, and
+//!   [`Engine::analyze_batch`] fans whole requests over the same threads —
+//!   so one request saturates the machine and a batch never
+//!   oversubscribes it.
 //!
 //! The engine is thread-safe (`&Engine` can be shared freely);
-//! [`Engine::analyze_batch`] fans requests out across `std::thread` workers
-//! and returns per-request `Result`s — a failing or panicking request never
-//! sinks its siblings.
+//! [`Engine::analyze_batch`] returns per-request `Result`s — a failing or
+//! panicking request never sinks its siblings.
 
 use crate::adaptive::run_adaptive;
 use crate::baseline::{run_lqr_full_sim, run_worst_case};
+use crate::diamond::DiamondError;
 use crate::logic::run_state_aware;
+// `lock` recovers poisoned mutexes: the cache only ever holds
+// fully-written `(key, ε)` pairs — a worker that panicked mid-analysis
+// cannot leave a torn entry behind — so a poisoned shard is safe to keep
+// using. This is what keeps one panicking batch request from sinking its
+// siblings.
+use crate::pool::{lock, run_indexed, PoolHandle, WorkerPool};
 use crate::report::Report;
 use crate::request::{AnalysisRequest, Method};
 use crate::AnalysisError;
 use gleipnir_linalg::CMat;
-use gleipnir_sdp::SolverOptions;
-use std::collections::hash_map::DefaultHasher;
+use gleipnir_sdp::{SdpError, SolverOptions};
+use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
-/// Number of independent cache shards; keeps lock contention low when batch
+/// Number of independent cache shards; keeps lock contention low when
 /// workers hammer the cache concurrently.
 const CACHE_SHARDS: usize = 16;
 
-/// Locks a mutex, recovering from poisoning.
-///
-/// The cache only ever holds fully-written `(key, ε)` pairs — a worker that
-/// panicked mid-analysis cannot leave a torn entry behind — so a poisoned
-/// shard is safe to keep using. This is what keeps one panicking batch
-/// request from sinking its siblings.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
+/// A rendezvous for one in-flight SDP solve: the leading thread fills the
+/// result, every joining thread waits on it.
+pub(crate) struct InflightSlot {
+    result: Mutex<Option<Result<f64, DiamondError>>>,
+    ready: Condvar,
 }
 
-/// The engine's shared, content-addressed SDP bound cache.
+impl InflightSlot {
+    fn new() -> Self {
+        InflightSlot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the leading thread completes (or abandons) the solve.
+    /// Progress is guaranteed: a lead is only ever held by a thread
+    /// actively solving, and [`LeadGuard`] fills the slot even on panic.
+    pub(crate) fn wait(&self) -> Result<f64, DiamondError> {
+        let mut slot = lock(&self.result);
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self
+                .ready
+                .wait(slot)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Proof that the holder won the race to solve a key. Must be resolved via
+/// [`LeadGuard::complete`]; dropping it (a panic unwinding through the
+/// solve) completes the lead with an error so joiners never hang.
+pub(crate) struct LeadGuard<'a> {
+    cache: &'a SdpCache,
+    key: Option<Vec<u64>>,
+}
+
+impl LeadGuard<'_> {
+    /// Publishes the solve's outcome: inserts into the cache on success,
+    /// wakes every joiner either way.
+    pub(crate) fn complete(mut self, result: Result<f64, DiamondError>) {
+        let key = self.key.take().expect("lead completed once");
+        self.cache.finish_lead(key, result);
+    }
+}
+
+impl Drop for LeadGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(key) = self.key.take() {
+            self.cache.finish_lead(
+                key,
+                Err(DiamondError::Solver(SdpError::Numerical(
+                    "in-flight SDP solve abandoned by a panicking worker".into(),
+                ))),
+            );
+        }
+    }
+}
+
+/// The outcome of an in-flight-aware cache lookup.
+pub(crate) enum Lookup<'a> {
+    /// A finished certificate answered the judgment.
+    Hit(f64),
+    /// Another thread is solving this key right now; wait on the slot.
+    Join(Arc<InflightSlot>),
+    /// The caller won the lead: solve, then [`LeadGuard::complete`].
+    Lead(LeadGuard<'a>),
+}
+
+/// The engine's shared, content-addressed SDP bound cache with in-flight
+/// solve deduplication.
 pub(crate) struct SdpCache {
     shards: Vec<Mutex<HashMap<Vec<u64>, f64>>>,
+    inflight: Mutex<HashMap<Vec<u64>, Arc<InflightSlot>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    inflight_dedup: AtomicUsize,
 }
 
 impl SdpCache {
@@ -61,8 +146,10 @@ impl SdpCache {
             shards: (0..CACHE_SHARDS)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
+            inflight: Mutex::new(HashMap::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            inflight_dedup: AtomicUsize::new(0),
         }
     }
 
@@ -87,6 +174,76 @@ impl SdpCache {
         lock(self.shard(&key)).insert(key, eps);
     }
 
+    /// In-flight-aware lookup: a finished certificate wins; otherwise the
+    /// caller either joins the thread already solving this key or becomes
+    /// the lead itself. Lock order is inflight-map → shard, and
+    /// [`SdpCache::finish_lead`] never holds both, so the nesting is safe.
+    pub(crate) fn lookup_or_lead(&self, key: &[u64]) -> Lookup<'_> {
+        // Fast path: a bare shard probe, no global lock. Certificates are
+        // only ever added (outside `clear_cache`), so a hit here is final —
+        // this keeps the warm-cache path as parallel as the 16-way
+        // sharding intends.
+        if let Some(eps) = lock(self.shard(key)).get(key).copied() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Lookup::Hit(eps);
+        }
+        let mut inflight = lock(&self.inflight);
+        // Re-probe *under* the in-flight lock: a lead inserts into the
+        // cache before removing its in-flight entry, so a racer that
+        // missed the fast probe sees the key in at least one of the two
+        // maps here.
+        if let Some(eps) = lock(self.shard(key)).get(key).copied() {
+            drop(inflight);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Lookup::Hit(eps);
+        }
+        match inflight.entry(key.to_vec()) {
+            Entry::Occupied(e) => {
+                let slot = Arc::clone(e.get());
+                drop(inflight);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.inflight_dedup.fetch_add(1, Ordering::Relaxed);
+                Lookup::Join(slot)
+            }
+            Entry::Vacant(v) => {
+                v.insert(Arc::new(InflightSlot::new()));
+                drop(inflight);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Lookup::Lead(LeadGuard {
+                    cache: self,
+                    key: Some(key.to_vec()),
+                })
+            }
+        }
+    }
+
+    fn finish_lead(&self, key: Vec<u64>, result: Result<f64, DiamondError>) {
+        if let Ok(eps) = result {
+            self.insert(key.clone(), eps);
+        }
+        let slot = lock(&self.inflight).remove(&key);
+        if let Some(slot) = slot {
+            *lock(&slot.result) = Some(result);
+            slot.ready.notify_all();
+        }
+    }
+
+    /// Counts judgments answered without their own lookup — the duplicate
+    /// obligations a solve stage folded onto a single representative.
+    pub(crate) fn note_follower_hits(&self, n: usize) {
+        if n > 0 {
+            self.hits.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts judgments deduplicated against an in-flight solve rather
+    /// than a finished certificate.
+    pub(crate) fn note_inflight_dedup(&self, n: usize) {
+        if n > 0 {
+            self.inflight_dedup.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     fn entries(&self) -> usize {
         self.shards.iter().map(|s| lock(s).len()).sum()
     }
@@ -95,8 +252,12 @@ impl SdpCache {
         for s in &self.shards {
             lock(s).clear();
         }
+        // The in-flight map is deliberately left alone: clearing it would
+        // orphan threads waiting on a slot. Leads complete and remove
+        // their own entries.
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.inflight_dedup.store(0, Ordering::Relaxed);
     }
 }
 
@@ -162,12 +323,17 @@ pub(crate) fn key_unconstrained(gate: &CMat, kraus: &[CMat], opts: &SolverOption
 /// A snapshot of the engine's cache counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups answered from the cache (across all requests so far).
+    /// Judgments answered from a finished certificate (across all requests
+    /// so far), including duplicates a solve stage folded together.
     pub hits: usize,
     /// Lookups that missed and required an SDP solve.
     pub misses: usize,
     /// Certificates currently stored.
     pub entries: usize,
+    /// Judgments answered by piggybacking on an SDP solve that was already
+    /// in flight (same request or a concurrent sibling) instead of
+    /// triggering their own. A sub-classification of `hits`.
+    pub inflight_dedup: usize,
 }
 
 /// The outcome of [`Engine::analyze_batch_detailed`].
@@ -175,10 +341,105 @@ pub struct CacheStats {
 pub struct BatchOutcome {
     /// Per-request results, in request order.
     pub results: Vec<Result<Report, AnalysisError>>,
-    /// Distinct worker threads that processed at least one request.
+    /// Distinct threads that processed at least one request (the caller's
+    /// thread participates, so this is ≥ 1 for a non-empty batch and at
+    /// most `min(batch size, Engine::threads())`).
     pub worker_threads: usize,
     /// Wall-clock time of the whole batch.
     pub elapsed: Duration,
+}
+
+/// Construction options for an [`Engine`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineOptions {
+    /// Default solver options for requests that don't override them.
+    pub solver: SolverOptions,
+    /// Concurrency cap for the engine's worker pool, *including* the
+    /// calling thread (`1` = fully sequential). `0` defers to the
+    /// `GLEIPNIR_THREADS` env var, and failing that to
+    /// `available_parallelism()` (at least 2).
+    pub threads: usize,
+}
+
+impl From<SolverOptions> for EngineOptions {
+    fn from(solver: SolverOptions) -> Self {
+        EngineOptions { solver, threads: 0 }
+    }
+}
+
+/// Resolves the configured thread cap: explicit > `GLEIPNIR_THREADS` >
+/// `available_parallelism().max(2)` (two so that even a single-core host
+/// overlaps a batch's requests, matching the pre-pool behavior).
+fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(value) = std::env::var("GLEIPNIR_THREADS") {
+        if let Ok(threads) = value.trim().parse::<usize>() {
+            if threads > 0 {
+                return threads;
+            }
+        }
+    }
+    thread::available_parallelism()
+        .map_or(2, |n| n.get())
+        .max(2)
+}
+
+/// The engine state shared with (and outliving) pool jobs.
+pub(crate) struct EngineShared {
+    pub(crate) cache: SdpCache,
+    pub(crate) options: SolverOptions,
+}
+
+/// A cheap, clonable, `'static` handle to the engine — what analysis
+/// stages and pool jobs work against. Holds the pool only weakly so a
+/// queued job can never be the one to drop (and join) the pool.
+#[derive(Clone)]
+pub(crate) struct EngineHandle {
+    pub(crate) shared: Arc<EngineShared>,
+    pub(crate) pool: PoolHandle,
+}
+
+impl EngineHandle {
+    /// The solver options a request resolves to.
+    pub(crate) fn resolve_options(&self, request: &AnalysisRequest) -> SolverOptions {
+        request.solver_options().unwrap_or(self.shared.options)
+    }
+
+    /// The engine's shared SDP cache (per-request participation is decided
+    /// by [`AnalysisRequest::cache_enabled`]).
+    pub(crate) fn cache(&self) -> &SdpCache {
+        &self.shared.cache
+    }
+}
+
+/// Runs one analysis request against an engine handle, dispatching on its
+/// [`Method`]. The free-function form (rather than a method on [`Engine`])
+/// lets pool workers run batch requests without holding the engine itself.
+pub(crate) fn analyze_request(
+    h: &EngineHandle,
+    request: &AnalysisRequest,
+) -> Result<Report, AnalysisError> {
+    let opts = h.resolve_options(request);
+    match request.method() {
+        Method::StateAware { mps_width } => {
+            let mps = request.input().build_mps(*mps_width)?;
+            run_state_aware(
+                h,
+                request.program(),
+                mps,
+                request.noise(),
+                &opts,
+                request.cache_enabled(),
+                request.delta_quantum(),
+            )
+            .map(Report::StateAware)
+        }
+        Method::Adaptive(cfg) => run_adaptive(h, request, cfg).map(Report::Adaptive),
+        Method::WorstCase => run_worst_case(h, request).map(Report::WorstCase),
+        Method::LqrFullSim => run_lqr_full_sim(request, &opts).map(Report::LqrFullSim),
+    }
 }
 
 /// The long-lived, thread-safe analysis engine (see the module docs).
@@ -202,10 +463,19 @@ pub struct BatchOutcome {
 /// assert!(report.error_bound() < 2e-4);
 /// # Ok::<(), gleipnir_core::AnalysisError>(())
 /// ```
-#[derive(Debug)]
 pub struct Engine {
-    cache: SdpCache,
-    options: SolverOptions,
+    shared: Arc<EngineShared>,
+    pool: Arc<WorkerPool>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("cache", &self.shared.cache)
+            .field("options", &self.shared.options)
+            .field("threads", &self.pool.threads())
+            .finish()
+    }
 }
 
 impl std::fmt::Debug for SdpCache {
@@ -214,6 +484,10 @@ impl std::fmt::Debug for SdpCache {
             .field("entries", &self.entries())
             .field("hits", &self.hits.load(Ordering::Relaxed))
             .field("misses", &self.misses.load(Ordering::Relaxed))
+            .field(
+                "inflight_dedup",
+                &self.inflight_dedup.load(Ordering::Relaxed),
+            )
             .finish()
     }
 }
@@ -225,51 +499,63 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// An engine with default solver options.
+    /// An engine with default solver options and an auto-sized pool.
     pub fn new() -> Self {
-        Self::with_options(SolverOptions::default())
+        Self::with_options(EngineOptions::default())
     }
 
-    /// An engine whose requests default to the given solver options
-    /// (overridable per request via
-    /// [`crate::AnalysisRequestBuilder::solver_options`]).
-    pub fn with_options(options: SolverOptions) -> Self {
+    /// An engine built from [`EngineOptions`] (a bare [`SolverOptions`]
+    /// also converts, keeping the pool auto-sized): per-request solver
+    /// defaults plus the worker-pool thread cap.
+    pub fn with_options(options: impl Into<EngineOptions>) -> Self {
+        let options = options.into();
         Engine {
-            cache: SdpCache::new(),
-            options,
+            shared: Arc::new(EngineShared {
+                cache: SdpCache::new(),
+                options: options.solver,
+            }),
+            pool: Arc::new(WorkerPool::new(resolve_threads(options.threads))),
         }
     }
 
     /// The engine-level default solver options.
     pub fn options(&self) -> &SolverOptions {
-        &self.options
+        &self.shared.options
+    }
+
+    /// The resolved concurrency cap: how many threads (including a calling
+    /// thread) may analyze simultaneously.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
     }
 
     /// A snapshot of the shared cache's counters.
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.cache.hits.load(Ordering::Relaxed),
-            misses: self.cache.misses.load(Ordering::Relaxed),
-            entries: self.cache.entries(),
+            hits: self.shared.cache.hits.load(Ordering::Relaxed),
+            misses: self.shared.cache.misses.load(Ordering::Relaxed),
+            entries: self.shared.cache.entries(),
+            inflight_dedup: self.shared.cache.inflight_dedup.load(Ordering::Relaxed),
         }
     }
 
     /// Drops every cached certificate and resets the counters.
     pub fn clear_cache(&self) {
-        self.cache.clear();
+        self.shared.cache.clear();
     }
 
-    /// The solver options a request resolves to.
-    pub(crate) fn resolve_options(&self, request: &AnalysisRequest) -> SolverOptions {
-        request.solver_options().unwrap_or(self.options)
+    /// The handle analysis stages and pool jobs run against.
+    pub(crate) fn handle(&self) -> EngineHandle {
+        EngineHandle {
+            shared: Arc::clone(&self.shared),
+            pool: PoolHandle::new(&self.pool),
+        }
     }
 
-    /// The shared cache, if the request opted into caching.
-    pub(crate) fn cache_for(&self, request: &AnalysisRequest) -> Option<&SdpCache> {
-        request.cache_enabled().then_some(&self.cache)
-    }
-
-    /// Runs one analysis request, dispatching on its [`Method`].
+    /// Runs one analysis request, dispatching on its [`Method`]. The
+    /// request's solve stage fans per-gate SDP obligations over the
+    /// engine's worker pool — a single request already uses every
+    /// configured thread.
     ///
     /// # Errors
     ///
@@ -277,43 +563,13 @@ impl Engine {
     /// failure. (Requests are validated at build time, so configuration
     /// errors surface earlier, from [`crate::AnalysisRequestBuilder::build`].)
     pub fn analyze(&self, request: &AnalysisRequest) -> Result<Report, AnalysisError> {
-        let opts = self.resolve_options(request);
-        match request.method() {
-            Method::StateAware { mps_width } => {
-                let mps = request.input().build_mps(*mps_width)?;
-                run_state_aware(
-                    request.program(),
-                    mps,
-                    request.noise(),
-                    &opts,
-                    self.cache_for(request),
-                    request.delta_quantum(),
-                )
-                .map(Report::StateAware)
-            }
-            Method::Adaptive(cfg) => run_adaptive(self, request, cfg).map(Report::Adaptive),
-            Method::WorstCase => run_worst_case(self, request).map(Report::WorstCase),
-            Method::LqrFullSim => run_lqr_full_sim(request, &opts).map(Report::LqrFullSim),
-        }
+        analyze_request(&self.handle(), request)
     }
 
-    /// [`Engine::analyze`] with panics converted to
-    /// [`AnalysisError::Panicked`] so batch siblings keep running.
-    fn analyze_guarded(&self, request: &AnalysisRequest) -> Result<Report, AnalysisError> {
-        panic::catch_unwind(AssertUnwindSafe(|| self.analyze(request))).unwrap_or_else(|payload| {
-            let msg = payload
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "analysis panicked".into());
-            Err(AnalysisError::Panicked(msg))
-        })
-    }
-
-    /// Analyzes a batch of requests across `std::thread` workers, returning
-    /// one `Result` per request (in request order). A failing or panicking
-    /// request does not affect its siblings, and all workers share the
-    /// engine's SDP cache.
+    /// Analyzes a batch of requests across the engine's worker pool,
+    /// returning one `Result` per request (in request order). A failing or
+    /// panicking request does not affect its siblings, and all workers
+    /// share the engine's SDP cache and in-flight dedup.
     pub fn analyze_batch(
         &self,
         requests: &[AnalysisRequest],
@@ -321,8 +577,9 @@ impl Engine {
         self.analyze_batch_detailed(requests).results
     }
 
-    /// [`Engine::analyze_batch`] plus batch-level bookkeeping (worker-thread
-    /// count and wall-clock time).
+    /// [`Engine::analyze_batch`] plus batch-level bookkeeping: the number
+    /// of threads that *actually processed* at least one request (not the
+    /// number spawned) and the wall-clock time.
     pub fn analyze_batch_detailed(&self, requests: &[AnalysisRequest]) -> BatchOutcome {
         let start = Instant::now();
         if requests.is_empty() {
@@ -332,62 +589,102 @@ impl Engine {
                 elapsed: start.elapsed(),
             };
         }
-        // At least two workers whenever there are two requests: the point
-        // of a batch is concurrency, and the work is CPU-bound SDP solving
-        // that never blocks on IO.
-        let parallelism = thread::available_parallelism().map_or(2, |n| n.get());
-        let workers = requests.len().min(parallelism.max(2));
-
-        let mut slots: Vec<Option<Result<Report, AnalysisError>>> =
-            (0..requests.len()).map(|_| None).collect();
-        let mut worker_threads = 0usize;
-        thread::scope(|scope| {
-            // Deterministic round-robin partition: every worker owns the
-            // requests with `index % workers == worker`, so each spawned
-            // thread processes at least one request. Workers get the same
-            // 8 MiB stack a main thread has: the logic walk recurses once
-            // per program statement, and a long program that analyzes fine
-            // on the main thread must not abort a worker (stack overflow
-            // cannot be caught) on the 2 MiB spawn default.
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    thread::Builder::new()
-                        .name(format!("gleipnir-batch-{w}"))
-                        .stack_size(8 * 1024 * 1024)
-                        .spawn_scoped(scope, move || {
-                            requests
-                                .iter()
-                                .enumerate()
-                                .skip(w)
-                                .step_by(workers)
-                                .map(|(i, req)| (i, self.analyze_guarded(req)))
-                                .collect::<Vec<_>>()
-                        })
-                        .expect("spawn batch worker thread")
-                })
-                .collect();
-            for handle in handles {
-                // `analyze_guarded` catches panics, so a join failure is
-                // unreachable short of a worker abort; degrade gracefully.
-                let part = handle.join().unwrap_or_default();
-                if !part.is_empty() {
-                    worker_threads += 1;
-                }
-                for (i, result) in part {
-                    slots[i] = Some(result);
-                }
-            }
+        // Requests are cloned into an Arc so pool workers can outlive the
+        // borrow; panics inside a request become that request's
+        // `AnalysisError::Panicked` (converted by the task set).
+        let requests: Arc<Vec<AnalysisRequest>> = Arc::new(requests.to_vec());
+        let h = self.handle();
+        let task_h = h.clone();
+        let out = run_indexed(&h.pool, requests.len(), move |i| {
+            analyze_request(&task_h, &requests[i])
         });
-        let results = slots
-            .into_iter()
-            .map(|slot| {
-                slot.unwrap_or_else(|| Err(AnalysisError::Panicked("batch worker died".into())))
-            })
-            .collect();
         BatchOutcome {
-            results,
-            worker_threads,
+            results: out.results,
+            worker_threads: out.participants,
             elapsed: start.elapsed(),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_cap_resolution_prefers_explicit() {
+        assert_eq!(resolve_threads(3), 3);
+        assert_eq!(resolve_threads(1), 1);
+        // Auto mode is at least 2 (or whatever the env var pins — in
+        // either case nonzero).
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn engine_reports_its_thread_cap() {
+        let engine = Engine::with_options(EngineOptions {
+            solver: SolverOptions::default(),
+            threads: 3,
+        });
+        assert_eq!(engine.threads(), 3);
+        let sequential = Engine::with_options(EngineOptions {
+            solver: SolverOptions::default(),
+            threads: 1,
+        });
+        assert_eq!(sequential.threads(), 1);
+    }
+
+    #[test]
+    fn inflight_lookup_leads_then_hits() {
+        let cache = SdpCache::new();
+        let key = vec![1u64, 2, 3];
+        match cache.lookup_or_lead(&key) {
+            Lookup::Lead(guard) => guard.complete(Ok(0.5)),
+            _ => panic!("fresh key must be a lead"),
+        }
+        match cache.lookup_or_lead(&key) {
+            Lookup::Hit(eps) => assert_eq!(eps, 0.5),
+            _ => panic!("completed lead must be a hit"),
+        }
+        assert_eq!(cache.inflight.lock().unwrap().len(), 0, "entry removed");
+    }
+
+    #[test]
+    fn abandoned_lead_unblocks_joiners_with_an_error() {
+        let cache = Arc::new(SdpCache::new());
+        let key = vec![9u64];
+        let guard = match cache.lookup_or_lead(&key) {
+            Lookup::Lead(g) => g,
+            _ => panic!("fresh key must be a lead"),
+        };
+        let joiner = match cache.lookup_or_lead(&key) {
+            Lookup::Join(slot) => slot,
+            _ => panic!("second lookup must join the in-flight solve"),
+        };
+        drop(guard); // simulates a panic unwinding through the solve
+        assert!(joiner.wait().is_err(), "joiner must observe the failure");
+        // The failed key is not cached; the next lookup leads again.
+        assert!(matches!(cache.lookup_or_lead(&key), Lookup::Lead(_)));
+    }
+
+    #[test]
+    fn concurrent_leads_share_one_solve() {
+        let cache = Arc::new(SdpCache::new());
+        let key = vec![7u64, 7];
+        let guard = match cache.lookup_or_lead(&key) {
+            Lookup::Lead(g) => g,
+            _ => panic!("lead"),
+        };
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            let key = key.clone();
+            std::thread::spawn(move || match cache.lookup_or_lead(&key) {
+                Lookup::Join(slot) => slot.wait(),
+                Lookup::Hit(eps) => Ok(eps),
+                Lookup::Lead(_) => panic!("only one lead per key"),
+            })
+        };
+        guard.complete(Ok(0.25));
+        assert_eq!(waiter.join().unwrap().unwrap(), 0.25);
+        assert_eq!(cache.get(&key), Some(0.25));
     }
 }

@@ -56,13 +56,17 @@
 #![warn(missing_docs)]
 
 mod adaptive;
+mod assemble;
 mod baseline;
 mod diamond;
 mod engine;
 mod error;
 mod logic;
+mod plan;
+mod pool;
 mod report;
 mod request;
+mod solve;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveReport, AdaptiveStep};
 pub use baseline::{LqrReport, WorstCaseReport};
@@ -70,9 +74,9 @@ pub use diamond::{
     embed_choi, q_lambda_diamond, rho_delta_diamond, sampled_diamond_lower_bound,
     unconstrained_diamond, DiamondError, DiamondResult,
 };
-pub use engine::{BatchOutcome, CacheStats, Engine};
+pub use engine::{BatchOutcome, CacheStats, Engine, EngineOptions};
 pub use error::{AnalysisError, ReplayError};
-pub use logic::{Derivation, StateAwareReport};
+pub use logic::{Derivation, StageTimings, StateAwareReport};
 pub use report::Report;
 pub use request::{AnalysisRequest, AnalysisRequestBuilder, InputState, Method};
 

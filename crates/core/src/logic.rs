@@ -1,6 +1,6 @@
-//! The lightweight quantum error logic (paper §4) and its walker.
+//! The lightweight quantum error logic (paper §4) and its pipeline driver.
 //!
-//! [`run_state_aware`] walks a noisy program, mechanizing the five
+//! [`run_state_aware`] analyzes a noisy program by mechanizing the five
 //! inference rules of Fig. 5:
 //!
 //! * **Skip** — no error;
@@ -15,22 +15,37 @@
 //! * **Weaken** — used implicitly: cached bounds are solved at a slightly
 //!   larger δ, which the rule says is sound.
 //!
+//! Since the per-gate SDP certificates are independent given each gate's
+//! judgment `(ρ′, δ)`, the analysis runs as a three-stage pipeline:
+//!
+//! 1. **plan** ([`crate::plan`]) — a cheap sequential walk that evolves
+//!    the MPS and materializes one solve obligation per Gate rule plus a
+//!    derivation skeleton;
+//! 2. **solve** ([`crate::solve`]) — the obligations fan out over the
+//!    owning engine's worker pool, deduplicated in flight against the
+//!    shared certificate cache;
+//! 3. **assemble** ([`crate::assemble`]) — solved ε's are stitched back
+//!    into the skeleton in pre-order.
+//!
+//! The result is **bit-for-bit identical** to the old monolithic
+//! sequential walk for every pool size (the determinism suite pins this
+//! against a committed oracle fixture), while a single request now uses
+//! every configured thread.
+//!
 //! The output is a [`StateAwareReport`] carrying a [`Derivation`] proof
 //! tree whose every `Gate` node stores the judgment it certifies — enough
 //! for [`StateAwareReport::replay`] to re-check the derivation against
 //! fresh SDP solves, independent of the analysis that produced it.
-//!
-//! Per-gate SDP certificates are looked up in (and written to) the owning
-//! [`crate::Engine`]'s shared content-addressed cache, so identical
-//! judgments are solved once per engine lifetime — not once per run or per
-//! MPS width.
 
+use crate::assemble::assemble;
 use crate::diamond::rho_delta_diamond;
-use crate::engine::{self, SdpCache};
+use crate::engine::EngineHandle;
 use crate::error::{AnalysisError, ReplayError};
-use gleipnir_circuit::{Gate, Program, Stmt};
+use crate::plan::{plan_program, Plan};
+use crate::solve::{spawn_solve, SolveOutcome};
+use gleipnir_circuit::{Gate, Program};
 use gleipnir_linalg::CMat;
-use gleipnir_mps::{Mps, MpsError};
+use gleipnir_mps::Mps;
 use gleipnir_noise::NoiseModel;
 use gleipnir_sdp::SolverOptions;
 use gleipnir_sim::BasisState;
@@ -170,6 +185,17 @@ impl Derivation {
     }
 }
 
+/// Wall-clock breakdown of one analysis across the pipeline's stages.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTimings {
+    /// The sequential plan pass (MPS evolution + obligation extraction).
+    pub plan: Duration,
+    /// The parallel solve stage (per-gate SDP certificates).
+    pub solve: Duration,
+    /// The sequential assemble pass (ε stitching).
+    pub assemble: Duration,
+}
+
 /// The state-aware analysis output: the certified bound plus its proof
 /// object and bookkeeping. Carried by [`crate::Report::StateAware`] (and,
 /// per width, inside adaptive reports).
@@ -179,7 +205,10 @@ pub struct StateAwareReport {
     pub(crate) tn_delta: f64,
     pub(crate) sdp_solves: usize,
     pub(crate) cache_hits: usize,
+    pub(crate) inflight_dedup: usize,
     pub(crate) elapsed: Duration,
+    pub(crate) stage_timings: StageTimings,
+    pub(crate) solve_workers: usize,
     pub(crate) mps_width: usize,
 }
 
@@ -206,14 +235,35 @@ impl StateAwareReport {
     }
 
     /// Number of Gate-rule applications answered from the engine's shared
-    /// cache (populated by any earlier request, width, or batch sibling).
+    /// cache (populated by any earlier request, width, or batch sibling),
+    /// including judgments folded onto a solve performed once by this very
+    /// analysis.
     pub fn cache_hits(&self) -> usize {
         self.cache_hits
+    }
+
+    /// Of [`StateAwareReport::cache_hits`], the judgments that were
+    /// deduplicated against an SDP solve still *in flight* (a duplicate
+    /// within this request's solve stage, or a concurrent sibling racing
+    /// on the same key) rather than a finished certificate.
+    pub fn inflight_dedup(&self) -> usize {
+        self.inflight_dedup
     }
 
     /// Wall-clock time of the analysis.
     pub fn elapsed(&self) -> Duration {
         self.elapsed
+    }
+
+    /// Per-stage wall-clock breakdown (plan / solve / assemble).
+    pub fn stage_timings(&self) -> StageTimings {
+        self.stage_timings
+    }
+
+    /// Threads that discharged at least one SDP unit in the solve stage
+    /// (1 = the calling thread alone; 0 for a gate-free program).
+    pub fn solve_workers(&self) -> usize {
+        self.solve_workers
     }
 
     /// The MPS bond-dimension budget this report was computed at.
@@ -300,207 +350,70 @@ impl fmt::Display for StateAwareReport {
     }
 }
 
-/// Runs the full Fig. 4 pipeline — MPS approximation, per-gate `(ρ̂, δ)`-
-/// diamond norms, the error logic — from an already-materialized input MPS.
-///
-/// `cache` is the owning engine's shared SDP cache (None = solve every
-/// judgment at its exact δ).
+/// Runs the full Fig. 4 analysis — MPS approximation, per-gate `(ρ̂, δ)`-
+/// diamond norms, the error logic — from an already-materialized input
+/// MPS, as the plan → solve → assemble pipeline. The solve stage fans out
+/// over the engine's worker pool; `cache_enabled = false` solves every
+/// judgment at its exact δ (still in parallel, just never deduplicated).
 pub(crate) fn run_state_aware(
+    h: &EngineHandle,
     program: &Program,
-    mut mps: Mps,
+    mps: Mps,
     noise: &NoiseModel,
     opts: &SolverOptions,
-    cache: Option<&SdpCache>,
+    cache_enabled: bool,
     delta_quantum: f64,
 ) -> Result<StateAwareReport, AnalysisError> {
-    if mps.n_qubits() != program.n_qubits() {
-        return Err(AnalysisError::WidthMismatch {
-            input: mps.n_qubits(),
-            program: program.n_qubits(),
-        });
-    }
     let start = Instant::now();
-    let mps_width = mps.max_bond();
-    let mut walk = Walk {
-        noise,
-        opts,
-        cache,
-        delta_quantum,
-        stats: WalkStats::default(),
-    };
-    let worklist: Vec<&Stmt> = vec![program.body()];
-    let derivation = walk.run(&worklist, &mut mps)?;
-    Ok(StateAwareReport {
-        derivation,
-        tn_delta: walk.stats.final_delta,
-        sdp_solves: walk.stats.sdp_solves,
-        cache_hits: walk.stats.cache_hits,
-        elapsed: start.elapsed(),
+    let plan = plan_program(program, mps, noise, opts, cache_enabled, delta_quantum)?;
+    let plan_elapsed = start.elapsed();
+    let Plan {
+        skeleton,
+        obligations,
+        final_delta,
         mps_width,
-    })
+    } = plan;
+    let solved = spawn_solve(h, obligations, *opts).join(h)?;
+    Ok(assemble_report(
+        skeleton,
+        final_delta,
+        mps_width,
+        solved,
+        plan_elapsed,
+    ))
 }
 
-#[derive(Default)]
-struct WalkStats {
-    sdp_solves: usize,
-    cache_hits: usize,
+/// The pipeline's tail shared with the adaptive sweep: stitches solved ε's
+/// into the skeleton and packages the report. The report's `elapsed` is
+/// the sum of the three stage walls — plan + solve (first claim → last
+/// unit) + assemble — so it means "the work of *this* analysis" even for
+/// adaptive widths whose plan or solve overlapped a sibling width's
+/// stages, and per-width `elapsed` values never double-count shared wall
+/// time.
+pub(crate) fn assemble_report(
+    skeleton: Derivation,
     final_delta: f64,
-}
-
-/// One walk of the error logic over a program.
-struct Walk<'a> {
-    noise: &'a NoiseModel,
-    opts: &'a SolverOptions,
-    cache: Option<&'a SdpCache>,
-    delta_quantum: f64,
-    stats: WalkStats,
-}
-
-impl Walk<'_> {
-    /// Recursive worklist walk. `rest` holds the statements still to run;
-    /// measurement statements capture the continuation into both branches.
-    fn run(&mut self, rest: &[&Stmt], mps: &mut Mps) -> Result<Derivation, AnalysisError> {
-        let Some((first, tail)) = rest.split_first() else {
-            self.stats.final_delta = self.stats.final_delta.max(mps.delta());
-            return Ok(Derivation::Seq {
-                children: Vec::new(),
-            });
-        };
-        match first {
-            Stmt::Skip => {
-                let mut node = self.run(tail, mps)?;
-                prepend(&mut node, Derivation::Skip);
-                Ok(node)
-            }
-            Stmt::Seq(ss) => {
-                let mut flat: Vec<&Stmt> = ss.iter().collect();
-                flat.extend_from_slice(tail);
-                self.run(&flat, mps)
-            }
-            Stmt::Gate(g) => {
-                let qubits: Vec<usize> = g.qubits.iter().map(|q| q.0).collect();
-                // ρ′ first (may route non-adjacent operands together, adding
-                // truncation that must be inside this gate's δ).
-                let rho_prime = match qubits.len() {
-                    1 => mps.local_density_1(qubits[0]),
-                    _ => mps.local_density_2(qubits[0], qubits[1]),
-                };
-                let delta = mps.delta();
-                let epsilon = self.gate_epsilon(&g.gate, &qubits, &rho_prime, delta)?;
-                mps.apply_gate(&g.gate, &qubits);
-                let gate_node = Derivation::Gate {
-                    gate: g.gate.clone(),
-                    qubits,
-                    rho_prime,
-                    delta,
-                    epsilon,
-                };
-                let mut node = self.run(tail, mps)?;
-                prepend(&mut node, gate_node);
-                Ok(node)
-            }
-            Stmt::IfMeasure { qubit, zero, one } => {
-                let delta_prob = mps.delta().min(1.0);
-                let run_branch =
-                    |this: &mut Self,
-                     body: &Stmt,
-                     outcome: bool|
-                     -> Result<Option<Box<Derivation>>, AnalysisError> {
-                        let mut fork = mps.clone();
-                        match fork.collapse(qubit.0, outcome) {
-                            Ok(_p) => {
-                                let mut work: Vec<&Stmt> = vec![body];
-                                work.extend_from_slice(tail);
-                                let d = this.run(&work, &mut fork)?;
-                                Ok(Some(Box::new(d)))
-                            }
-                            Err(MpsError::ZeroProbabilityOutcome { .. }) => Ok(None),
-                        }
-                    };
-                let zero_d = run_branch(self, zero, false)?;
-                let one_d = run_branch(self, one, true)?;
-                if zero_d.is_none() && one_d.is_none() {
-                    return Err(AnalysisError::Unsupported(
-                        "both measurement branches unreachable (state numerically degenerate)"
-                            .into(),
-                    ));
-                }
-                Ok(Derivation::Meas {
-                    qubit: qubit.0,
-                    delta_prob,
-                    zero: zero_d,
-                    one: one_d,
-                })
-            }
-        }
-    }
-
-    /// The Gate-rule bound, with sound memoization against the engine's
-    /// shared cache (see [`crate::AnalysisRequest::delta_quantum`]).
-    fn gate_epsilon(
-        &mut self,
-        gate: &Gate,
-        qubits: &[usize],
-        rho_prime: &CMat,
-        delta: f64,
-    ) -> Result<f64, AnalysisError> {
-        let qs: Vec<gleipnir_circuit::Qubit> =
-            qubits.iter().map(|&q| gleipnir_circuit::Qubit(q)).collect();
-        let noisy = self.noise.noisy_gate(gate, &qs);
-        let Some(cache) = self.cache else {
-            self.stats.sdp_solves += 1;
-            return Ok(
-                rho_delta_diamond(&gate.matrix(), &noisy, rho_prime, delta, self.opts)?.bound,
-            );
-        };
-        // Sound cache: quantize ρ′ and round δ up to a bucket edge. The ρ′
-        // rounding (1e-8 granularity, trace-norm perturbation < 2e-7 for
-        // the ≤ 4×4 locals) is folded into δ *before* bucketing, so the
-        // certificate is solved at δ_eff ≥ δ + ‖ρ_q − ρ′‖₁ regardless of
-        // how close δ sits to a bucket edge or how small the bucket width
-        // is — exactly the headroom the Weaken rule needs.
-        const RHO_QUANT_SLACK: f64 = 2e-7;
-        let q = self.delta_quantum;
-        let ratio = (delta + RHO_QUANT_SLACK) / q;
-        if !ratio.is_finite() || ratio >= (1u64 << 52) as f64 {
-            // δ is so large relative to the bucket width that the bucket
-            // index would overflow (wrapping to bucket 0 would certify the
-            // judgment at δ_eff = 0 — unsound). Bypass the cache and solve
-            // at the exact δ instead.
-            self.stats.sdp_solves += 1;
-            return Ok(
-                rho_delta_diamond(&gate.matrix(), &noisy, rho_prime, delta, self.opts)?.bound,
-            );
-        }
-        let bucket = ratio.floor() as u64 + 1;
-        let delta_eff = bucket as f64 * q;
-        let rho_q = CMat::from_fn(rho_prime.rows(), rho_prime.cols(), |i, j| {
-            let z = rho_prime.at(i, j);
-            gleipnir_linalg::c64((z.re * 1e8).round() / 1e8, (z.im * 1e8).round() / 1e8)
-        });
-        let key =
-            engine::key_rho_delta(&gate.matrix(), noisy.kraus(), &rho_q, bucket, q, self.opts);
-        if let Some(eps) = cache.get(&key) {
-            self.stats.cache_hits += 1;
-            return Ok(eps);
-        }
-        self.stats.sdp_solves += 1;
-        let eps = rho_delta_diamond(&gate.matrix(), &noisy, &rho_q, delta_eff, self.opts)?.bound;
-        cache.insert(key, eps);
-        Ok(eps)
-    }
-}
-
-/// Prepends a node to a derivation that is expected to be a `Seq`.
-fn prepend(node: &mut Derivation, head: Derivation) {
-    match node {
-        Derivation::Seq { children } => children.insert(0, head),
-        other => {
-            let tail = std::mem::replace(other, Derivation::Skip);
-            *other = Derivation::Seq {
-                children: vec![head, tail],
-            };
-        }
+    mps_width: usize,
+    solved: SolveOutcome,
+    plan_elapsed: Duration,
+) -> StateAwareReport {
+    let assemble_start = Instant::now();
+    let derivation = assemble(skeleton, &solved.epsilons);
+    let assemble_elapsed = assemble_start.elapsed();
+    StateAwareReport {
+        derivation,
+        tn_delta: final_delta,
+        sdp_solves: solved.sdp_solves,
+        cache_hits: solved.cache_hits,
+        inflight_dedup: solved.inflight_dedup,
+        elapsed: plan_elapsed + solved.elapsed + assemble_elapsed,
+        stage_timings: StageTimings {
+            plan: plan_elapsed,
+            solve: solved.elapsed,
+            assemble: assemble_elapsed,
+        },
+        solve_workers: solved.solve_workers,
+        mps_width,
     }
 }
 

@@ -5,7 +5,7 @@
 
 use crate::adaptive::{AdaptiveReport, AdaptiveStep};
 use crate::baseline::{LqrReport, WorstCaseReport};
-use crate::logic::{Derivation, StateAwareReport};
+use crate::logic::{Derivation, StageTimings, StateAwareReport};
 use std::fmt;
 use std::time::Duration;
 
@@ -75,6 +75,38 @@ impl Report {
             Report::Adaptive(r) => r.trajectory.iter().map(|s| s.cache_hits).sum(),
             Report::WorstCase(r) => r.cache_hits,
             Report::LqrFullSim(_) => 0,
+        }
+    }
+
+    /// Judgments deduplicated against an SDP solve that was still in
+    /// flight — a duplicate within one solve stage, or a concurrent batch
+    /// sibling racing on the same key (for adaptive: summed over the
+    /// trajectory; 0 for methods that never hit the solve stage).
+    pub fn inflight_dedup(&self) -> usize {
+        match self {
+            Report::StateAware(r) => r.inflight_dedup(),
+            Report::Adaptive(r) => r.trajectory.iter().map(|s| s.inflight_dedup).sum(),
+            _ => 0,
+        }
+    }
+
+    /// Per-stage (plan / solve / assemble) wall-clock breakdown, where the
+    /// method runs the pipeline (for adaptive: the best width's timings).
+    pub fn stage_timings(&self) -> Option<StageTimings> {
+        match self {
+            Report::StateAware(r) => Some(r.stage_timings()),
+            Report::Adaptive(r) => Some(r.report.stage_timings()),
+            _ => None,
+        }
+    }
+
+    /// Threads that discharged at least one solve-stage unit, where the
+    /// method runs the pipeline (for adaptive: the best width's count).
+    pub fn solve_workers(&self) -> Option<usize> {
+        match self {
+            Report::StateAware(r) => Some(r.solve_workers()),
+            Report::Adaptive(r) => Some(r.report.solve_workers()),
+            _ => None,
         }
     }
 

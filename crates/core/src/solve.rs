@@ -1,0 +1,254 @@
+//! Stage 2 of the analysis pipeline: the **solve** stage.
+//!
+//! Takes the plan's flat obligation list and discharges every `(ρ̂, δ)`-
+//! diamond SDP, fanning the work over the engine's worker pool (the
+//! submitting thread participates too — see [`crate::pool`]).
+//!
+//! ## Deduplication, determinism, and accounting
+//!
+//! Obligations are first folded into **units**: all obligations sharing a
+//! cache key become one unit (solved once — its value is *canonical*: the
+//! quantized judgment `(ρ_q, δ_eff)` is recoverable from the key alone, so
+//! whichever thread solves it produces bit-identical ε), and each uncached
+//! obligation is its own unit (solved at its exact `(ρ′, δ)`). Unit
+//! results are written back by obligation index, so **the ε vector, the
+//! derivation assembled from it, and the `sdp_solves`/`cache_hits`
+//! accounting are identical for any pool size** — including 1, which is
+//! byte-for-byte the sequential analysis.
+//!
+//! The stats mirror what the old sequential walk counted: the first
+//! obligation of a key is the solve (or the hit, if a certificate
+//! existed), every later one a cache hit. Obligations answered by folding
+//! onto a solve that was in flight — same-request duplicates and
+//! concurrent batch siblings racing on one key — are *additionally*
+//! counted as `inflight_dedup`.
+
+use crate::diamond::rho_delta_diamond;
+use crate::engine::{EngineHandle, Lookup};
+use crate::error::AnalysisError;
+use crate::plan::SolveObligation;
+use crate::pool::{spawn_indexed, PendingRun};
+use gleipnir_sdp::SolverOptions;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The solve stage's result: one ε per obligation (in plan order) plus the
+/// accounting the report surfaces.
+pub(crate) struct SolveOutcome {
+    /// Certified bounds, indexed like the plan's obligation list.
+    pub epsilons: Vec<f64>,
+    /// SDPs actually solved by this stage.
+    pub sdp_solves: usize,
+    /// Judgments answered from the engine's cache (or by folding onto a
+    /// solve this stage performed once).
+    pub cache_hits: usize,
+    /// Judgments deduplicated against an in-flight solve (a subset of
+    /// `cache_hits`).
+    pub inflight_dedup: usize,
+    /// Threads that solved at least one unit (1 = the caller alone).
+    pub solve_workers: usize,
+    /// Wall-clock span of the stage's execution: first unit claimed →
+    /// last unit finished. (Dispatch-to-join would over-report when the
+    /// caller overlaps other work — e.g. the adaptive sweep planning the
+    /// next width — before joining.)
+    pub elapsed: Duration,
+}
+
+/// One schedulable solve: either a canonical cached judgment shared by
+/// every obligation with its key, or a single exact-δ obligation.
+enum Unit {
+    /// Obligation indices sharing one cache key, in plan order.
+    Keyed(Vec<usize>),
+    /// A cache-bypassing obligation solved at its exact judgment.
+    Exact(usize),
+}
+
+/// How a unit's value was obtained (drives the accounting).
+enum UnitValue {
+    /// This stage solved the SDP.
+    Solved(f64),
+    /// A finished certificate answered it.
+    CacheHit(f64),
+    /// Another thread's in-flight solve answered it.
+    Joined(f64),
+}
+
+/// A dispatched-but-not-joined solve stage. The caller may overlap other
+/// work (the adaptive sweep plans its next MPS width here) before calling
+/// [`PendingSolve::join`].
+pub(crate) struct PendingSolve {
+    pending: PendingRun<Option<UnitValue>>,
+    units: Arc<Vec<Unit>>,
+    n_obligations: usize,
+}
+
+/// Folds obligations into units and dispatches them over the pool.
+pub(crate) fn spawn_solve(
+    h: &EngineHandle,
+    obligations: Vec<SolveObligation>,
+    opts: SolverOptions,
+) -> PendingSolve {
+    let n_obligations = obligations.len();
+    let mut units: Vec<Unit> = Vec::new();
+    let mut by_key: HashMap<&[u64], usize> = HashMap::new();
+    for (i, ob) in obligations.iter().enumerate() {
+        match &ob.cached {
+            Some(c) => match by_key.get(c.key.as_slice()) {
+                Some(&u) => match &mut units[u] {
+                    Unit::Keyed(obs) => obs.push(i),
+                    Unit::Exact(_) => unreachable!("keyed units never alias exact ones"),
+                },
+                None => {
+                    by_key.insert(c.key.as_slice(), units.len());
+                    units.push(Unit::Keyed(vec![i]));
+                }
+            },
+            None => units.push(Unit::Exact(i)),
+        }
+    }
+    drop(by_key); // releases the borrow on `obligations`
+
+    let units = Arc::new(units);
+    let obligations = Arc::new(obligations);
+    let shared = Arc::clone(&h.shared);
+    let task_units = Arc::clone(&units);
+    // First failure cancels the units not yet claimed (the old sequential
+    // walk stopped at its first failing gate; solving hundreds of further
+    // SDPs just to report the same error would waste minutes of CPU).
+    // Already-running units still finish — leads always complete.
+    let cancelled = Arc::new(AtomicBool::new(false));
+    let pending = spawn_indexed(&h.pool, units.len(), move |u| {
+        if cancelled.load(Ordering::Relaxed) {
+            return Ok(None);
+        }
+        let solve_exact = |ob: &SolveObligation| {
+            rho_delta_diamond(&ob.gate_matrix, &ob.noisy, &ob.rho_prime, ob.delta, &opts)
+                .map(|r| r.bound)
+        };
+        let outcome = match &task_units[u] {
+            Unit::Exact(i) => solve_exact(&obligations[*i])
+                .map(UnitValue::Solved)
+                .map_err(AnalysisError::from),
+            Unit::Keyed(obs) => {
+                let ob = &obligations[obs[0]];
+                let cached = ob.cached.as_ref().expect("keyed unit has a judgment");
+                match shared.cache.lookup_or_lead(&cached.key) {
+                    Lookup::Hit(eps) => Ok(UnitValue::CacheHit(eps)),
+                    Lookup::Join(slot) => slot
+                        .wait()
+                        .map(UnitValue::Joined)
+                        .map_err(AnalysisError::Diamond),
+                    Lookup::Lead(guard) => {
+                        let result = rho_delta_diamond(
+                            &ob.gate_matrix,
+                            &ob.noisy,
+                            &cached.rho_q,
+                            cached.delta_eff,
+                            &opts,
+                        )
+                        .map(|r| r.bound);
+                        guard.complete(result.clone());
+                        result
+                            .map(UnitValue::Solved)
+                            .map_err(AnalysisError::Diamond)
+                    }
+                }
+            }
+        };
+        if outcome.is_err() {
+            // The store is sequenced before this task's result slot is
+            // written, so by the time join() collects, the triggering
+            // failure is always recorded alongside any skipped units.
+            cancelled.store(true, Ordering::Relaxed);
+        }
+        outcome.map(Some)
+    });
+    PendingSolve {
+        pending,
+        units,
+        n_obligations,
+    }
+}
+
+impl PendingSolve {
+    /// Joins the stage: the calling thread claims remaining units, then
+    /// the results are folded back into per-obligation ε's and stats.
+    ///
+    /// # Errors
+    ///
+    /// The error of the earliest failing obligation (in plan order) among
+    /// the units that ran — with a sequential pool this is exactly the old
+    /// walk's first-failure, since the first failure cancels everything
+    /// after it.
+    pub(crate) fn join(self, h: &EngineHandle) -> Result<SolveOutcome, AnalysisError> {
+        let out = self.pending.join();
+        let mut epsilons = vec![0.0f64; self.n_obligations];
+        let mut sdp_solves = 0usize;
+        let mut cache_hits = 0usize;
+        let mut inflight_dedup = 0usize;
+        // (first failing obligation index, its error)
+        let mut failure: Option<(usize, AnalysisError)> = None;
+        for (unit, result) in self.units.iter().zip(out.results) {
+            let (first, followers): (usize, &[usize]) = match unit {
+                Unit::Exact(i) => (*i, &[]),
+                Unit::Keyed(obs) => (obs[0], &obs[1..]),
+            };
+            match result {
+                // A unit skipped by cancellation: the triggering failure
+                // is recorded in another slot, and the whole outcome is
+                // discarded on the error path — nothing to fold in.
+                Ok(None) => {}
+                Ok(Some(value)) => {
+                    let (eps, in_flight) = match value {
+                        UnitValue::Solved(eps) => {
+                            sdp_solves += 1;
+                            (eps, true)
+                        }
+                        UnitValue::CacheHit(eps) => {
+                            cache_hits += 1;
+                            (eps, false)
+                        }
+                        UnitValue::Joined(eps) => {
+                            cache_hits += 1;
+                            inflight_dedup += 1;
+                            (eps, true)
+                        }
+                    };
+                    // Followers replay the sequential accounting: the
+                    // first occurrence paid (or found) the certificate,
+                    // the rest are cache hits — and when the value came
+                    // from a solve in flight (ours or a sibling's), they
+                    // were deduped against it.
+                    cache_hits += followers.len();
+                    h.cache().note_follower_hits(followers.len());
+                    if in_flight {
+                        inflight_dedup += followers.len();
+                        h.cache().note_inflight_dedup(followers.len());
+                    }
+                    epsilons[first] = eps;
+                    for &i in followers {
+                        epsilons[i] = eps;
+                    }
+                }
+                Err(e) => {
+                    if failure.as_ref().map_or(true, |(i, _)| first < *i) {
+                        failure = Some((first, e));
+                    }
+                }
+            }
+        }
+        if let Some((_, e)) = failure {
+            return Err(e);
+        }
+        Ok(SolveOutcome {
+            epsilons,
+            sdp_solves,
+            cache_hits,
+            inflight_dedup,
+            solve_workers: out.participants,
+            elapsed: out.elapsed,
+        })
+    }
+}

@@ -85,6 +85,50 @@ pub fn ghz(n: usize) -> Program {
     b.build()
 }
 
+/// The pipeline-determinism suite: small circuits covering every
+/// statement shape the analysis walk handles (straight-line gates,
+/// repeated structure with cache-identical judgments, genuine MPS
+/// truncation, measurement branching with a continuation, and
+/// non-adjacent operands that force routing swaps).
+///
+/// Returns `(name, program, mps_width)` triples. The widths are chosen so
+/// some circuits are exact (δ = 0) and some truncate (δ buckets vary),
+/// exercising both cache paths. Used by the fixture generator and the
+/// plan/solve/assemble determinism test (`tests/pipeline_determinism.rs`),
+/// which require bit-for-bit stability — change this suite only together
+/// with the committed oracle fixture.
+pub fn determinism_suite() -> Vec<(String, Program, usize)> {
+    let mut meas = ProgramBuilder::new(2);
+    meas.h(0)
+        .if_measure(
+            0,
+            |z| {
+                z.x(1);
+            },
+            |o| {
+                o.z(1);
+            },
+        )
+        .h(1);
+    let mut nonadj = ProgramBuilder::new(4);
+    nonadj.h(0).cnot(0, 3).rzz(0, 2, 0.5).rx(1, 0.3);
+    vec![
+        ("ghz4".into(), ghz(4), 4),
+        (
+            "ising6x4_w2".into(),
+            ising_chain(6, 4, 1.0, 1.0, 0.1),
+            2, // narrow on purpose: truncation spreads judgments over δ buckets
+        ),
+        (
+            "qaoa_cycle6_w8".into(),
+            qaoa_maxcut(&Graph::cycle(6), &[0.35], &[0.62]),
+            8,
+        ),
+        ("measure2".into(), meas.build(), 4),
+        ("nonadjacent4".into(), nonadj.build(), 8),
+    ]
+}
+
 /// A named benchmark: one row of the paper's Table 2.
 #[derive(Clone, Debug)]
 pub struct Benchmark {

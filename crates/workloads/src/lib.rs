@@ -27,5 +27,5 @@
 mod circuits;
 mod graph;
 
-pub use circuits::{ghz, ising_chain, paper_benchmarks, qaoa_maxcut, Benchmark};
+pub use circuits::{determinism_suite, ghz, ising_chain, paper_benchmarks, qaoa_maxcut, Benchmark};
 pub use graph::Graph;

@@ -3,8 +3,10 @@
 //!
 //! ```text
 //! gleipnir analyze  <file.glq> [--method state|adaptive|worst|lqr] [--width W]
-//!                              [--noise SPEC] [--input BITS] [--derivation] [--json]
-//! gleipnir batch    <a.glq> <b.glq> … [--method M] [--width W] [--noise SPEC] [--json]
+//!                              [--noise SPEC] [--input BITS] [--threads N]
+//!                              [--derivation] [--json]
+//! gleipnir batch    <a.glq> <b.glq> … [--method M] [--width W] [--noise SPEC]
+//!                              [--threads N] [--json]
 //! gleipnir worst    <file.glq> [--noise SPEC] [--json]
 //! gleipnir compare  <file.glq> [--width W] [--noise SPEC]   # bound before/after optimization
 //! gleipnir optimize <file.glq>                              # print the optimized program
@@ -16,13 +18,15 @@
 //!
 //! All analysis commands run on one long-lived `Engine`, and `--json`
 //! switches every report to machine-readable output — the scriptable
-//! service-endpoint stand-in. `batch` fans files out across worker threads
-//! that share the engine's SDP cache; every file gets its own result entry
-//! (a broken file never sinks its siblings), and the exit status is
-//! non-zero iff any entry failed.
+//! service-endpoint stand-in. `--threads N` (or the `GLEIPNIR_THREADS`
+//! env var; 0/unset = all cores) caps the engine's worker pool, which is
+//! shared by a single request's SDP solve stage *and* `batch`'s
+//! per-file fan-out. Every batch file gets its own result entry (a broken
+//! file never sinks its siblings), and the exit status is non-zero iff
+//! any entry failed.
 
 use gleipnir::circuit::{optimize, parse, pretty, route_with_final, Mapping, Program};
-use gleipnir::core::{AdaptiveConfig, AnalysisRequest, Engine, Method, Report};
+use gleipnir::core::{AdaptiveConfig, AnalysisRequest, Engine, EngineOptions, Method, Report};
 use gleipnir::noise::{DeviceModel, NoiseModel};
 use gleipnir::sim::BasisState;
 use std::process::ExitCode;
@@ -62,6 +66,7 @@ fn usage() -> String {
     "usage: gleipnir <analyze|batch|compare|worst|optimize|fmt|route> <file.glq>… [options]\n\
      options: --method state|adaptive|worst|lqr   --width W   --input 0101   --json\n\
      \x20        --noise bitflip:P|depolarizing:P1,P2|none   --derivation\n\
+     \x20        --threads N   (0/unset = GLEIPNIR_THREADS, then all cores)\n\
      \x20        --device boeblingen|lima   --mapping 0,1,2"
         .to_string()
 }
@@ -80,11 +85,12 @@ fn has_flag(args: &[String], name: &str) -> bool {
 fn program_paths(args: &[String]) -> Vec<&String> {
     // Positional arguments: skip flags and the value slot after a
     // value-taking flag.
-    const VALUE_FLAGS: [&str; 6] = [
+    const VALUE_FLAGS: [&str; 7] = [
         "--method",
         "--width",
         "--noise",
         "--input",
+        "--threads",
         "--device",
         "--mapping",
     ];
@@ -163,6 +169,19 @@ fn parse_width(args: &[String]) -> Result<usize, String> {
     }
 }
 
+/// Builds the long-lived engine, honoring `--threads N` (0 or absent defers
+/// to `GLEIPNIR_THREADS`, then to all cores).
+fn make_engine(args: &[String]) -> Result<Engine, String> {
+    let threads = match flag_value(args, "--threads") {
+        None => 0,
+        Some(t) => t.parse().map_err(|_| format!("bad thread count `{t}`"))?,
+    };
+    Ok(Engine::with_options(EngineOptions {
+        solver: Default::default(),
+        threads,
+    }))
+}
+
 fn parse_method(args: &[String], width: usize) -> Result<Method, String> {
     match flag_value(args, "--method").as_deref() {
         None | Some("state") => Ok(Method::StateAware { mps_width: width }),
@@ -221,10 +240,22 @@ fn report_json(file: &str, program: &Program, report: &Report) -> String {
         format!("\"error_bound\":{:e}", report.error_bound()),
         format!("\"sdp_solves\":{}", report.sdp_solves()),
         format!("\"cache_hits\":{}", report.cache_hits()),
+        format!("\"inflight_dedup\":{}", report.inflight_dedup()),
         format!("\"elapsed_ms\":{:.3}", report.elapsed().as_secs_f64() * 1e3),
     ];
     if let Some(d) = report.tn_delta() {
         fields.push(format!("\"tn_delta\":{d:e}"));
+    }
+    if let Some(t) = report.stage_timings() {
+        fields.push(format!(
+            "\"stages\":{{\"plan_ms\":{:.3},\"solve_ms\":{:.3},\"assemble_ms\":{:.3}}}",
+            t.plan.as_secs_f64() * 1e3,
+            t.solve.as_secs_f64() * 1e3,
+            t.assemble.as_secs_f64() * 1e3
+        ));
+    }
+    if let Some(w) = report.solve_workers() {
+        fields.push(format!("\"solve_workers\":{w}"));
     }
     if let Some(r) = report.as_state_aware() {
         fields.push(format!("\"mps_width\":{}", r.mps_width()));
@@ -254,7 +285,7 @@ fn report_json(file: &str, program: &Program, report: &Report) -> String {
 fn analyze(args: &[String]) -> Result<(), String> {
     let (path, program) = load_single_program(args)?;
     let json = has_flag(args, "--json");
-    let engine = Engine::new();
+    let engine = make_engine(args)?;
     let request = build_request(program.clone(), args)?;
     let report = engine.analyze(&request).map_err(|e| e.to_string())?;
     if json {
@@ -313,7 +344,7 @@ fn batch(args: &[String]) -> Result<(), String> {
         .iter()
         .filter_map(|p| p.as_ref().ok().map(|(_, r)| r.clone()))
         .collect();
-    let engine = Engine::new();
+    let engine = make_engine(args)?;
     let outcome = engine.analyze_batch_detailed(&requests);
     // Merge analysis results back into file order around the load errors.
     let mut analyzed = outcome.results.into_iter();
@@ -346,13 +377,15 @@ fn batch(args: &[String]) -> Result<(), String> {
             .collect();
         let stats = engine.cache_stats();
         println!(
-            "{{\"results\":[{}],\"worker_threads\":{},\"elapsed_ms\":{:.3},\"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{}}}}}",
+            "{{\"results\":[{}],\"worker_threads\":{},\"pool_threads\":{},\"elapsed_ms\":{:.3},\"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"inflight_dedup\":{}}}}}",
             results.join(","),
             outcome.worker_threads,
+            engine.threads(),
             outcome.elapsed.as_secs_f64() * 1e3,
             stats.hits,
             stats.misses,
-            stats.entries
+            stats.entries,
+            stats.inflight_dedup
         );
         return batch_exit(&merged.iter().map(|r| r.is_ok()).collect::<Vec<_>>());
     }
@@ -371,12 +404,14 @@ fn batch(args: &[String]) -> Result<(), String> {
     }
     let stats = engine.cache_stats();
     println!(
-        "batch: {} files on {} worker threads in {:?}; shared cache {} hits / {} entries",
+        "batch: {} files on {} worker threads (pool {}) in {:?}; shared cache {} hits / {} entries / {} in-flight dedups",
         merged.len(),
         outcome.worker_threads,
+        engine.threads(),
         outcome.elapsed,
         stats.hits,
-        stats.entries
+        stats.entries,
+        stats.inflight_dedup
     );
     batch_exit(&merged.iter().map(|r| r.is_ok()).collect::<Vec<_>>())
 }
@@ -395,7 +430,7 @@ fn batch_exit(oks: &[bool]) -> Result<(), String> {
 fn worst(args: &[String]) -> Result<(), String> {
     let (path, program) = load_single_program(args)?;
     let noise = parse_noise(args)?;
-    let engine = Engine::new();
+    let engine = make_engine(args)?;
     let request = AnalysisRequest::builder(program.clone())
         .noise(noise)
         .method(Method::WorstCase)
@@ -426,7 +461,7 @@ fn compare(args: &[String]) -> Result<(), String> {
 
     // One engine: the optimized program re-uses certificates the original
     // already paid for wherever judgments coincide.
-    let engine = Engine::new();
+    let engine = make_engine(args)?;
     let analyze_one = |p: Program| -> Result<Report, String> {
         let request = AnalysisRequest::builder(p)
             .input(&input)

@@ -69,7 +69,7 @@ pub mod prelude {
     pub use gleipnir_circuit::{Gate, Program, ProgramBuilder, Qubit};
     pub use gleipnir_core::{
         AdaptiveConfig, AnalysisError, AnalysisRequest, BatchOutcome, CacheStats, Derivation,
-        Engine, InputState, Method, Report, StateAwareReport,
+        Engine, EngineOptions, InputState, Method, Report, StageTimings, StateAwareReport,
     };
     pub use gleipnir_linalg::{CMat, CVec, C64};
     pub use gleipnir_mps::{Mps, MpsConfig};
