@@ -1,0 +1,188 @@
+//! Server throughput bench: requests/sec and latency percentiles against a
+//! real loopback `gleipnir-server`, cold cache vs warm.
+//!
+//! Emits a machine-readable **`BENCH_server.json`** (override the path
+//! with the `BENCH_SERVER_JSON_PATH` env var) alongside the pipeline
+//! bench's `BENCH_pipeline.json`, so CI accumulates a service-level perf
+//! trajectory:
+//!
+//! * `cold` — the first `/analyze` on a fresh engine (pays every SDP);
+//! * `warm` — repeated identical `/analyze` requests (every judgment is a
+//!   cache hit; this is the steady-state serving cost);
+//! * `healthz` — protocol floor (no analysis at all).
+//!
+//! Like the pipeline bench, the JSON pass runs the same way under
+//! `cargo bench … -- --test`, so CI gets the artifact at a fraction of the
+//! cost of a full timing run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gleipnir_circuit::pretty;
+use gleipnir_core::jsonfmt::json_str;
+use gleipnir_server::{spawn, ServerConfig, ServerHandle};
+use gleipnir_workloads::{qaoa_maxcut, Graph};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+fn glq_source() -> String {
+    pretty(&qaoa_maxcut(&Graph::cycle(6), &[0.35], &[0.62]))
+}
+
+fn analyze_body() -> String {
+    format!(
+        "{{\"source\":{},\"name\":\"qaoa6\",\"width\":16}}",
+        json_str(&glq_source())
+    )
+}
+
+fn start_server() -> ServerHandle {
+    spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 64,
+        ..ServerConfig::default()
+    })
+    .expect("spawn bench server")
+}
+
+/// One blocking request; returns (status, latency).
+fn request(addr: SocketAddr, raw: &str) -> (u16, Duration) {
+    let start = Instant::now();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    stream.write_all(raw.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    (status, start.elapsed())
+}
+
+fn post_analyze(addr: SocketAddr, body: &str) -> (u16, Duration) {
+    request(
+        addr,
+        &format!(
+            "POST /analyze HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn get_healthz(addr: SocketAddr) -> (u16, Duration) {
+    request(addr, "GET /healthz HTTP/1.1\r\nHost: bench\r\n\r\n")
+}
+
+struct StageRecord {
+    name: &'static str,
+    requests: usize,
+    total: Duration,
+    latencies: Vec<Duration>,
+}
+
+impl StageRecord {
+    fn json(&mut self) -> String {
+        self.latencies.sort();
+        let pct = |p: f64| -> f64 {
+            let idx = ((self.latencies.len() as f64 - 1.0) * p).round() as usize;
+            self.latencies[idx].as_secs_f64() * 1e3
+        };
+        let rps = self.requests as f64 / self.total.as_secs_f64().max(1e-9);
+        format!(
+            "{{\"name\":\"{}\",\"requests\":{},\"wall_ms\":{:.3},\"req_per_sec\":{:.2},\"p50_ms\":{:.3},\"p95_ms\":{:.3}}}",
+            self.name,
+            self.requests,
+            self.total.as_secs_f64() * 1e3,
+            rps,
+            pct(0.50),
+            pct(0.95),
+        )
+    }
+}
+
+fn run_stage(
+    name: &'static str,
+    n: usize,
+    mut one: impl FnMut() -> (u16, Duration),
+) -> StageRecord {
+    let start = Instant::now();
+    let mut latencies = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (status, latency) = one();
+        assert_eq!(status, 200, "{name}: bench request failed");
+        latencies.push(latency);
+    }
+    StageRecord {
+        name,
+        requests: n,
+        total: start.elapsed(),
+        latencies,
+    }
+}
+
+fn emit_json() {
+    let server = start_server();
+    let addr = server.addr();
+    let body = analyze_body();
+
+    // Cold: exactly one request on the fresh engine pays all SDPs.
+    let mut cold = run_stage("cold", 1, || post_analyze(addr, &body));
+    // Warm: the steady-state serving cost (every judgment cached).
+    let mut warm = run_stage("warm", 20, || post_analyze(addr, &body));
+    // Protocol floor.
+    let mut health = run_stage("healthz", 50, || get_healthz(addr));
+
+    let json = format!
+        (
+        "{{\"bench\":\"server_throughput\",\"workload\":{{\"name\":\"qaoa_maxcut_cycle6\",\"width\":16}},\"http_workers\":2,\"stages\":[{},{},{}]}}\n",
+        cold.json(),
+        warm.json(),
+        health.json()
+    );
+    server.join();
+
+    let path =
+        std::env::var("BENCH_SERVER_JSON_PATH").unwrap_or_else(|_| "BENCH_server.json".to_string());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    print!("{json}");
+}
+
+fn bench_server(c: &mut Criterion) {
+    let server = start_server();
+    let addr = server.addr();
+    let body = analyze_body();
+    // Prime the cache so the timed loop measures warm serving.
+    let (status, _) = post_analyze(addr, &body);
+    assert_eq!(status, 200);
+
+    let mut group = c.benchmark_group("server");
+    group.sample_size(10);
+    group.bench_function("analyze_warm", |b| {
+        b.iter(|| {
+            let (status, _) = post_analyze(addr, &body);
+            assert_eq!(status, 200);
+        })
+    });
+    group.bench_function("healthz", |b| {
+        b.iter(|| {
+            let (status, _) = get_healthz(addr);
+            assert_eq!(status, 200);
+        })
+    });
+    group.finish();
+    server.join();
+}
+
+fn bench_json(_c: &mut Criterion) {
+    emit_json();
+}
+
+criterion_group!(benches, bench_server, bench_json);
+criterion_main!(benches);

@@ -106,7 +106,15 @@ pub(crate) fn run_worst_case(
             Ok(r) => {
                 solves += 1;
                 if let Some(c) = shared {
-                    c.insert(key.clone(), r.bound);
+                    c.insert(
+                        key.clone(),
+                        crate::engine::Certificate {
+                            eps: r.bound,
+                            dim: g.gate.matrix().rows() as u32,
+                            n_kraus: noisy.kraus().len() as u32,
+                            dual: std::sync::Arc::new(r.dual),
+                        },
+                    );
                 }
                 local.insert(key, r.bound);
                 total += r.bound;
@@ -217,7 +225,7 @@ pub fn worst_case_bound(
     noise: &NoiseModel,
     opts: &SolverOptions,
 ) -> Result<WorstCaseReport, AnalysisError> {
-    let engine = crate::Engine::with_options(*opts);
+    let engine = crate::Engine::with_options(*opts)?;
     let request = AnalysisRequest::builder(program.clone())
         .noise(noise.clone())
         .method(crate::Method::WorstCase)

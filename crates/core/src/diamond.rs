@@ -50,6 +50,12 @@ pub struct DiamondResult {
     pub iterations: usize,
     /// Whether the solver reached its tolerance.
     pub converged: bool,
+    /// The dual vector `y` behind `bound` — the portable half of the
+    /// weak-duality certificate. Together with the (reconstructible) SDP it
+    /// lets `bound` be re-verified later without re-solving
+    /// ([`gleipnir_sdp::SdpProblem::certified_dual_bound_for`]); the
+    /// persistent certificate store re-checks exactly this on load.
+    pub dual: Vec<f64>,
 }
 
 impl fmt::Display for DiamondResult {
@@ -175,22 +181,46 @@ pub fn rho_delta_diamond(
     delta: f64,
     opts: &SolverOptions,
 ) -> Result<DiamondResult, DiamondError> {
+    let (problem, trace_bound) = rho_delta_problem(ideal, noisy, rho_prime, delta)?;
+    solve_problem(&problem, trace_bound, opts)
+}
+
+/// Builds the `(ρ̂, δ)`-diamond SDP without solving it — the
+/// deterministic problem construction shared by [`rho_delta_diamond`] and
+/// the persistent certificate store's load-time re-verification (which
+/// rebuilds the *identical* problem from a cache key and re-checks a
+/// stored dual vector against it). Returns the problem plus the trace
+/// bound the certificate is valid under.
+pub(crate) fn rho_delta_problem(
+    ideal: &CMat,
+    noisy: &Channel,
+    rho_prime: &CMat,
+    delta: f64,
+) -> Result<(SdpProblem, f64), DiamondError> {
     let frob = rho_prime.frobenius_norm();
     let delta_eff = delta.max(1e-9);
     let q0 = frob * (frob - delta_eff);
     if q0 <= 1e-12 {
         // Vacuous constraint (δ ≥ ‖ρ′‖_F): recover the unconstrained norm.
-        return unconstrained_diamond(ideal, noisy, opts);
+        return unconstrained_problem(ideal, noisy);
     }
-    solve_diamond(
+    diamond_problem(
         ideal,
         noisy,
         InputConstraint::InnerProduct {
             q_phys: rho_prime.clone(),
             q0,
         },
-        opts,
     )
+}
+
+/// Builds the unconstrained diamond SDP without solving it (see
+/// [`rho_delta_problem`]).
+pub(crate) fn unconstrained_problem(
+    ideal: &CMat,
+    noisy: &Channel,
+) -> Result<(SdpProblem, f64), DiamondError> {
+    diamond_problem(ideal, noisy, InputConstraint::None)
 }
 
 /// Pushes the upper triangle of the real embedding `E(Q)` of a complex
@@ -224,6 +254,19 @@ fn solve_diamond(
     constraint: InputConstraint,
     opts: &SolverOptions,
 ) -> Result<DiamondResult, DiamondError> {
+    let (problem, trace_bound) = diamond_problem(ideal, noisy, constraint)?;
+    solve_problem(&problem, trace_bound, opts)
+}
+
+/// Poses the (optionally input-constrained) diamond-norm SDP. Problem
+/// construction is separated from solving so that load-time certificate
+/// re-verification can rebuild the exact problem a stored dual vector was
+/// solved against.
+fn diamond_problem(
+    ideal: &CMat,
+    noisy: &Channel,
+    constraint: InputConstraint,
+) -> Result<(SdpProblem, f64), DiamondError> {
     let d = ideal.rows();
     if noisy.dim() != d {
         return Err(DiamondError::DimensionMismatch {
@@ -322,11 +365,21 @@ fn solve_diamond(
     }
 
     let problem = SdpProblem::new(dims, c, constraints, b);
-    let sol = problem.solve(opts)?;
-
     // Trace bound over the feasible set (real embedding doubles traces):
     // tr(W_r) ≤ 2d, tr(S_r) ≤ 2d, tr(σ_r) = 2, u ≤ ‖Q‖_F + |q₀| ≤ 2.
     let trace_bound = 4.0 * d as f64 + 4.0;
+    Ok((problem, trace_bound))
+}
+
+/// Solves a posed diamond SDP and converts the weak-duality certificate
+/// into a sound diamond-norm upper bound, carrying the dual vector along
+/// so the certificate stays re-checkable.
+fn solve_problem(
+    problem: &SdpProblem,
+    trace_bound: f64,
+    opts: &SolverOptions,
+) -> Result<DiamondResult, DiamondError> {
+    let sol = problem.solve(opts)?;
     let bound = (-sol.certified_dual_bound(trace_bound)).max(0.0);
     let estimate = (-sol.primal_objective).max(0.0);
     Ok(DiamondResult {
@@ -334,6 +387,7 @@ fn solve_diamond(
         estimate,
         iterations: sol.iterations,
         converged: sol.status == SdpStatus::Optimal,
+        dual: sol.y,
     })
 }
 

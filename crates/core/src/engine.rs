@@ -99,9 +99,9 @@ pub(crate) struct LeadGuard<'a> {
 }
 
 impl LeadGuard<'_> {
-    /// Publishes the solve's outcome: inserts into the cache on success,
-    /// wakes every joiner either way.
-    pub(crate) fn complete(mut self, result: Result<f64, DiamondError>) {
+    /// Publishes the solve's outcome: inserts the certificate into the
+    /// cache on success, wakes every joiner either way.
+    pub(crate) fn complete(mut self, result: Result<Certificate, DiamondError>) {
         let key = self.key.take().expect("lead completed once");
         self.cache.finish_lead(key, result);
     }
@@ -130,14 +130,36 @@ pub(crate) enum Lookup<'a> {
     Lead(LeadGuard<'a>),
 }
 
+/// A cached, re-verifiable SDP certificate: the certified bound ε plus the
+/// dual vector proving it and the dimensions needed to re-parse the entry's
+/// content address back into an SDP. `dim`/`n_kraus`/`dual` exist for the
+/// persistent store ([`crate::persist`]): a loaded entry is only trusted
+/// after its dual vector re-certifies ε against the rebuilt problem.
+#[derive(Clone, Debug)]
+pub(crate) struct Certificate {
+    /// The certified diamond-norm upper bound.
+    pub eps: f64,
+    /// Ideal-gate dimension `d` (the key stores matrices as flat bit
+    /// streams; without `d` they cannot be re-parsed).
+    pub dim: u32,
+    /// Number of Kraus operators in the noisy channel.
+    pub n_kraus: u32,
+    /// The weak-duality dual vector `y` behind `eps`.
+    pub dual: Arc<Vec<f64>>,
+}
+
 /// The engine's shared, content-addressed SDP bound cache with in-flight
 /// solve deduplication.
 pub(crate) struct SdpCache {
-    shards: Vec<Mutex<HashMap<Vec<u64>, f64>>>,
+    shards: Vec<Mutex<HashMap<Vec<u64>, Certificate>>>,
     inflight: Mutex<HashMap<Vec<u64>, Arc<InflightSlot>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     inflight_dedup: AtomicUsize,
+    /// Monotonic count of `insert` calls — a cheap change signal the
+    /// persistence layer uses to skip whole-cache exports when nothing
+    /// new could possibly need writing.
+    inserts: AtomicUsize,
 }
 
 impl SdpCache {
@@ -150,10 +172,11 @@ impl SdpCache {
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             inflight_dedup: AtomicUsize::new(0),
+            inserts: AtomicUsize::new(0),
         }
     }
 
-    fn shard(&self, key: &[u64]) -> &Mutex<HashMap<Vec<u64>, f64>> {
+    fn shard(&self, key: &[u64]) -> &Mutex<HashMap<Vec<u64>, Certificate>> {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
         &self.shards[(h.finish() as usize) % CACHE_SHARDS]
@@ -161,7 +184,7 @@ impl SdpCache {
 
     /// Looks up a certified bound by content address.
     pub(crate) fn get(&self, key: &[u64]) -> Option<f64> {
-        let found = lock(self.shard(key)).get(key).copied();
+        let found = lock(self.shard(key)).get(key).map(|c| c.eps);
         match found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -169,9 +192,36 @@ impl SdpCache {
         found
     }
 
-    /// Stores a certified bound under its content address.
-    pub(crate) fn insert(&self, key: Vec<u64>, eps: f64) {
-        lock(self.shard(&key)).insert(key, eps);
+    /// Stores a certificate under its content address.
+    pub(crate) fn insert(&self, key: Vec<u64>, cert: Certificate) {
+        lock(self.shard(&key)).insert(key, cert);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The monotonic insert counter (see the field docs).
+    pub(crate) fn insert_count(&self) -> usize {
+        self.inserts.load(Ordering::Relaxed)
+    }
+
+    /// Clones out every stored `(key, certificate)` pair — the persistence
+    /// layer's export hook. Shards are locked one at a time, so concurrent
+    /// analyses are only ever briefly blocked on a single shard.
+    pub(crate) fn export(&self) -> Vec<(Vec<u64>, Certificate)> {
+        self.shards
+            .iter()
+            .flat_map(|s| {
+                lock(s)
+                    .iter()
+                    .map(|(k, c)| (k.clone(), c.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
+    /// Whether a certificate for this key is already present (no counter
+    /// side effects — used by import paths).
+    pub(crate) fn contains(&self, key: &[u64]) -> bool {
+        lock(self.shard(key)).contains_key(key)
     }
 
     /// In-flight-aware lookup: a finished certificate wins; otherwise the
@@ -183,7 +233,7 @@ impl SdpCache {
         // only ever added (outside `clear_cache`), so a hit here is final —
         // this keeps the warm-cache path as parallel as the 16-way
         // sharding intends.
-        if let Some(eps) = lock(self.shard(key)).get(key).copied() {
+        if let Some(eps) = lock(self.shard(key)).get(key).map(|c| c.eps) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Lookup::Hit(eps);
         }
@@ -192,7 +242,7 @@ impl SdpCache {
         // cache before removing its in-flight entry, so a racer that
         // missed the fast probe sees the key in at least one of the two
         // maps here.
-        if let Some(eps) = lock(self.shard(key)).get(key).copied() {
+        if let Some(eps) = lock(self.shard(key)).get(key).map(|c| c.eps) {
             drop(inflight);
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Lookup::Hit(eps);
@@ -217,13 +267,14 @@ impl SdpCache {
         }
     }
 
-    fn finish_lead(&self, key: Vec<u64>, result: Result<f64, DiamondError>) {
-        if let Ok(eps) = result {
-            self.insert(key.clone(), eps);
+    fn finish_lead(&self, key: Vec<u64>, result: Result<Certificate, DiamondError>) {
+        let published = result.as_ref().map(|c| c.eps).map_err(Clone::clone);
+        if let Ok(cert) = result {
+            self.insert(key.clone(), cert);
         }
         let slot = lock(&self.inflight).remove(&key);
         if let Some(slot) = slot {
-            *lock(&slot.result) = Some(result);
+            *lock(&slot.result) = Some(published);
             slot.ready.notify_all();
         }
     }
@@ -262,11 +313,11 @@ impl SdpCache {
 }
 
 /// Cache-key tag for ρ̂-constrained `(ρ̂, δ)`-diamond SDPs.
-const KEY_RHO_DELTA: u64 = 1;
+pub(crate) const KEY_RHO_DELTA: u64 = 1;
 /// Cache-key tag for unconstrained diamond SDPs (worst-case analysis).
-const KEY_UNCONSTRAINED: u64 = 0;
+pub(crate) const KEY_UNCONSTRAINED: u64 = 0;
 /// Separator between heterogeneous key segments.
-const KEY_SEP: u64 = u64::MAX;
+pub(crate) const KEY_SEP: u64 = u64::MAX;
 
 fn push_mat(key: &mut Vec<u64>, m: &CMat) {
     for z in m.as_slice() {
@@ -367,23 +418,49 @@ impl From<SolverOptions> for EngineOptions {
     }
 }
 
-/// Resolves the configured thread cap: explicit > `GLEIPNIR_THREADS` >
-/// `available_parallelism().max(2)` (two so that even a single-core host
-/// overlaps a batch's requests, matching the pre-pool behavior).
-fn resolve_threads(requested: usize) -> usize {
-    if requested > 0 {
-        return requested;
+/// Parses a `GLEIPNIR_THREADS` value: `Ok(Some(n))` for an explicit
+/// positive cap, `Ok(None)` for `0` (= auto), `Err` for anything that
+/// doesn't parse (`"four"`, `"-2"`, `""`). Malformed values must never
+/// fall through silently: the user asked for a specific concurrency and
+/// would otherwise get `available_parallelism()` with no signal.
+pub(crate) fn parse_threads_env(value: &str) -> Result<Option<usize>, String> {
+    match value.trim().parse::<usize>() {
+        Ok(0) => Ok(None),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(format!(
+            "GLEIPNIR_THREADS must be a non-negative integer (0 = auto), got `{value}`"
+        )),
     }
-    if let Ok(value) = std::env::var("GLEIPNIR_THREADS") {
-        if let Ok(threads) = value.trim().parse::<usize>() {
-            if threads > 0 {
-                return threads;
-            }
-        }
-    }
+}
+
+/// The auto thread cap: `available_parallelism()`, at least 2 so that even
+/// a single-core host overlaps a batch's requests (matching the pre-pool
+/// behavior).
+fn auto_threads() -> usize {
     thread::available_parallelism()
         .map_or(2, |n| n.get())
         .max(2)
+}
+
+/// Resolves the configured thread cap: explicit > `GLEIPNIR_THREADS` >
+/// [`auto_threads`].
+///
+/// # Errors
+///
+/// [`AnalysisError::InvalidConfig`] when the env var is consulted and is
+/// malformed.
+fn resolve_threads(requested: usize) -> Result<usize, AnalysisError> {
+    if requested > 0 {
+        return Ok(requested);
+    }
+    match std::env::var("GLEIPNIR_THREADS") {
+        Ok(value) => match parse_threads_env(&value) {
+            Ok(Some(n)) => Ok(n),
+            Ok(None) => Ok(auto_threads()),
+            Err(msg) => Err(AnalysisError::InvalidConfig(msg)),
+        },
+        Err(_) => Ok(auto_threads()),
+    }
 }
 
 /// The engine state shared with (and outliving) pool jobs.
@@ -500,22 +577,52 @@ impl Default for Engine {
 
 impl Engine {
     /// An engine with default solver options and an auto-sized pool.
+    ///
+    /// Infallible by design (it backs [`Default`]): when `GLEIPNIR_THREADS`
+    /// is malformed it warns **once** on stderr and falls back to
+    /// [`available_parallelism`](thread::available_parallelism). Use
+    /// [`Engine::with_options`] to surface the malformed env var as an
+    /// error instead.
     pub fn new() -> Self {
-        Self::with_options(EngineOptions::default())
+        match Self::with_options(EngineOptions::default()) {
+            Ok(engine) => engine,
+            Err(err) => {
+                static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                WARN_ONCE.call_once(|| {
+                    eprintln!("gleipnir: {err}; falling back to available parallelism");
+                });
+                Self::build(SolverOptions::default(), auto_threads())
+            }
+        }
+    }
+
+    fn build(solver: SolverOptions, threads: usize) -> Self {
+        Engine {
+            shared: Arc::new(EngineShared {
+                cache: SdpCache::new(),
+                options: solver,
+            }),
+            pool: Arc::new(WorkerPool::new(threads)),
+        }
     }
 
     /// An engine built from [`EngineOptions`] (a bare [`SolverOptions`]
     /// also converts, keeping the pool auto-sized): per-request solver
     /// defaults plus the worker-pool thread cap.
-    pub fn with_options(options: impl Into<EngineOptions>) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::InvalidConfig`] when `threads` is 0 (= defer to the
+    /// environment) and `GLEIPNIR_THREADS` is set but malformed (e.g.
+    /// `"four"` or `"-2"`) — a requested concurrency cap is configuration,
+    /// and silently ignoring it would hand the user a different pool size
+    /// than the one they asked for.
+    pub fn with_options(options: impl Into<EngineOptions>) -> Result<Self, AnalysisError> {
         let options = options.into();
-        Engine {
-            shared: Arc::new(EngineShared {
-                cache: SdpCache::new(),
-                options: options.solver,
-            }),
-            pool: Arc::new(WorkerPool::new(resolve_threads(options.threads))),
-        }
+        Ok(Self::build(
+            options.solver,
+            resolve_threads(options.threads)?,
+        ))
     }
 
     /// The engine-level default solver options.
@@ -542,6 +649,11 @@ impl Engine {
     /// Drops every cached certificate and resets the counters.
     pub fn clear_cache(&self) {
         self.shared.cache.clear();
+    }
+
+    /// The shared SDP cache (for the persistence layer's export/import).
+    pub(crate) fn sdp_cache(&self) -> &SdpCache {
+        &self.shared.cache
     }
 
     /// The handle analysis stages and pool jobs run against.
@@ -610,13 +722,94 @@ impl Engine {
 mod tests {
     use super::*;
 
+    /// A minimal test certificate (empty dual vector — the cache itself
+    /// never inspects certificate internals).
+    fn cert(eps: f64) -> Certificate {
+        Certificate {
+            eps,
+            dim: 2,
+            n_kraus: 1,
+            dual: Arc::new(Vec::new()),
+        }
+    }
+
     #[test]
     fn thread_cap_resolution_prefers_explicit() {
-        assert_eq!(resolve_threads(3), 3);
-        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(3).unwrap(), 3);
+        assert_eq!(resolve_threads(1).unwrap(), 1);
         // Auto mode is at least 2 (or whatever the env var pins — in
         // either case nonzero).
-        assert!(resolve_threads(0) >= 1);
+        assert!(resolve_threads(0).unwrap() >= 1);
+    }
+
+    #[test]
+    fn threads_env_parsing_is_strict() {
+        assert_eq!(parse_threads_env("4"), Ok(Some(4)));
+        assert_eq!(parse_threads_env(" 8 "), Ok(Some(8)));
+        assert_eq!(parse_threads_env("0"), Ok(None));
+        for bad in ["four", "-2", "", "1.5", "2x"] {
+            let err = parse_threads_env(bad).unwrap_err();
+            assert!(err.contains("GLEIPNIR_THREADS"), "{bad}: {err}");
+        }
+    }
+
+    /// Probe body for [`malformed_threads_env_is_invalid_config`]: only
+    /// asserts when *this process* was launched with a malformed
+    /// `GLEIPNIR_THREADS` (the parent test spawns such a child). Run
+    /// normally, the env is clean and the probe is a no-op — so no test in
+    /// this binary ever mutates the process environment.
+    #[test]
+    fn env_probe_malformed_threads() {
+        match std::env::var("GLEIPNIR_THREADS") {
+            Ok(value) if parse_threads_env(&value).is_err() => {
+                let deferred = Engine::with_options(EngineOptions {
+                    solver: SolverOptions::default(),
+                    threads: 0,
+                });
+                assert!(
+                    matches!(
+                        deferred,
+                        Err(AnalysisError::InvalidConfig(ref msg)) if msg.contains(&value)
+                    ),
+                    "malformed env must surface as InvalidConfig, got {deferred:?}"
+                );
+                // An explicit cap never consults the env var.
+                let explicit = Engine::with_options(EngineOptions {
+                    solver: SolverOptions::default(),
+                    threads: 2,
+                });
+                assert_eq!(explicit.unwrap().threads(), 2);
+                // `Engine::new` stays infallible: it warns and falls back.
+                assert!(Engine::new().threads() >= 2);
+            }
+            _ => {}
+        }
+    }
+
+    /// Re-runs [`env_probe_malformed_threads`] in a child process whose
+    /// environment carries `GLEIPNIR_THREADS=four` from birth — the
+    /// process env is global state, and `set_var` in a multithreaded test
+    /// binary would race every other test that builds an engine.
+    #[test]
+    fn malformed_threads_env_is_invalid_config() {
+        let exe = std::env::current_exe().expect("test binary path");
+        let output = std::process::Command::new(exe)
+            .args(["engine::tests::env_probe_malformed_threads", "--exact"])
+            .env("GLEIPNIR_THREADS", "four")
+            .output()
+            .expect("spawn probe child");
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(
+            output.status.success(),
+            "probe failed:\n{stdout}\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        // Guard against the filter silently matching nothing (e.g. after a
+        // rename): the child must have actually run the probe.
+        assert!(
+            stdout.contains("1 passed"),
+            "probe did not run in the child:\n{stdout}"
+        );
     }
 
     #[test]
@@ -624,12 +817,14 @@ mod tests {
         let engine = Engine::with_options(EngineOptions {
             solver: SolverOptions::default(),
             threads: 3,
-        });
+        })
+        .unwrap();
         assert_eq!(engine.threads(), 3);
         let sequential = Engine::with_options(EngineOptions {
             solver: SolverOptions::default(),
             threads: 1,
-        });
+        })
+        .unwrap();
         assert_eq!(sequential.threads(), 1);
     }
 
@@ -638,7 +833,7 @@ mod tests {
         let cache = SdpCache::new();
         let key = vec![1u64, 2, 3];
         match cache.lookup_or_lead(&key) {
-            Lookup::Lead(guard) => guard.complete(Ok(0.5)),
+            Lookup::Lead(guard) => guard.complete(Ok(cert(0.5))),
             _ => panic!("fresh key must be a lead"),
         }
         match cache.lookup_or_lead(&key) {
@@ -683,7 +878,7 @@ mod tests {
                 Lookup::Lead(_) => panic!("only one lead per key"),
             })
         };
-        guard.complete(Ok(0.25));
+        guard.complete(Ok(cert(0.25)));
         assert_eq!(waiter.join().unwrap().unwrap(), 0.25);
         assert_eq!(cache.get(&key), Some(0.25));
     }

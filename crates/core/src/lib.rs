@@ -61,7 +61,9 @@ mod baseline;
 mod diamond;
 mod engine;
 mod error;
+pub mod jsonfmt;
 mod logic;
+mod persist;
 mod plan;
 mod pool;
 mod report;
@@ -77,6 +79,7 @@ pub use diamond::{
 pub use engine::{BatchOutcome, CacheStats, Engine, EngineOptions};
 pub use error::{AnalysisError, ReplayError};
 pub use logic::{Derivation, StageTimings, StateAwareReport};
+pub use persist::{CertStore, LoadStats};
 pub use report::Report;
 pub use request::{AnalysisRequest, AnalysisRequestBuilder, InputState, Method};
 

@@ -475,7 +475,11 @@ impl Analyzer {
     /// Creates an analyzer with the given configuration.
     pub fn new(config: AnalyzerConfig) -> Self {
         Analyzer {
-            engine: crate::Engine::with_options(config.sdp_options),
+            // The deprecated one-shot shim keeps its infallible signature;
+            // a malformed GLEIPNIR_THREADS panics here with a clear message
+            // (the `Engine` API surfaces it as `InvalidConfig` instead).
+            engine: crate::Engine::with_options(config.sdp_options)
+                .expect("GLEIPNIR_THREADS must be a non-negative integer"),
             config,
         }
     }

@@ -24,7 +24,7 @@
 //! counted as `inflight_dedup`.
 
 use crate::diamond::rho_delta_diamond;
-use crate::engine::{EngineHandle, Lookup};
+use crate::engine::{Certificate, EngineHandle, Lookup};
 use crate::error::AnalysisError;
 use crate::plan::SolveObligation;
 use crate::pool::{spawn_indexed, PendingRun};
@@ -147,12 +147,23 @@ pub(crate) fn spawn_solve(
                             &cached.rho_q,
                             cached.delta_eff,
                             &opts,
-                        )
-                        .map(|r| r.bound);
-                        guard.complete(result.clone());
-                        result
-                            .map(UnitValue::Solved)
-                            .map_err(AnalysisError::Diamond)
+                        );
+                        match result {
+                            Ok(r) => {
+                                let eps = r.bound;
+                                guard.complete(Ok(Certificate {
+                                    eps,
+                                    dim: ob.gate_matrix.rows() as u32,
+                                    n_kraus: ob.noisy.kraus().len() as u32,
+                                    dual: Arc::new(r.dual),
+                                }));
+                                Ok(UnitValue::Solved(eps))
+                            }
+                            Err(e) => {
+                                guard.complete(Err(e.clone()));
+                                Err(AnalysisError::Diamond(e))
+                            }
+                        }
                     }
                 }
             }

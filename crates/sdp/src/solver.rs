@@ -110,6 +110,45 @@ impl SdpSolution {
 }
 
 impl SdpProblem {
+    /// Re-derives the weak-duality certificate for an **externally
+    /// supplied** dual vector `y` — no interior-point iterations, just one
+    /// exact dual-slack eigenvalue computation. This is what makes SDP
+    /// certificates *cheap to re-check* after being expensive to produce:
+    /// a persisted `(problem, y)` pair can be re-certified on load in a
+    /// fraction of a solve, and the resulting bound is sound for *any* `y`
+    /// (a garbage vector just yields a uselessly weak bound, never an
+    /// unsound one).
+    ///
+    /// Computes exactly what [`SdpSolution::certified_dual_bound`] would
+    /// report for this `y`: `bᵀy − max(0, −λ_min(C − Aᵀ(y)))·trace_bound`,
+    /// with `λ_min` taken from the exact dual slack (the same code path the
+    /// solver uses), so re-checking a stored solution reproduces its bound
+    /// bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// [`SdpError::Numerical`] if `y` has the wrong length for this
+    /// problem or contains non-finite entries.
+    pub fn certified_dual_bound_for(&self, y: &[f64], trace_bound: f64) -> Result<f64, SdpError> {
+        if y.len() != self.n_constraints() {
+            return Err(SdpError::Numerical(format!(
+                "dual vector has {} entries but the problem has {} constraints",
+                y.len(),
+                self.n_constraints()
+            )));
+        }
+        if y.iter().any(|v| !v.is_finite()) {
+            return Err(SdpError::Numerical(
+                "dual vector contains non-finite entries".into(),
+            ));
+        }
+        let dobj: f64 = self.rhs().iter().zip(y).map(|(b, y)| b * y).sum();
+        let min_eig = self.dual_slack(y).min_eigenvalue();
+        Ok(dobj - (-min_eig).max(0.0) * trace_bound)
+    }
+}
+
+impl SdpProblem {
     /// Solves the SDP.
     ///
     /// # Errors

@@ -1,0 +1,47 @@
+//! Server configuration.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Everything `gleipnir serve` can tune. [`Default`] gives a loopback
+/// daemon suitable for local use and tests.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address (`127.0.0.1:8080`; port `0` picks a free port —
+    /// handy for tests).
+    pub addr: String,
+    /// HTTP worker threads. These only parse requests and orchestrate
+    /// analyses; the SDP heavy lifting runs on the engine's own pool, so a
+    /// handful is plenty.
+    pub workers: usize,
+    /// Bounded accept-queue capacity. When `workers` connections are being
+    /// served and `queue_capacity` more are waiting, further connections
+    /// are shed with `429 Too Many Requests` instead of piling up until
+    /// the process collapses.
+    pub queue_capacity: usize,
+    /// Per-connection read timeout (a stalled or malicious client cannot
+    /// pin a worker).
+    pub read_timeout: Duration,
+    /// Maximum accepted request-body size.
+    pub max_body_bytes: usize,
+    /// Certificate-store directory. `Some(dir)` loads the store at startup
+    /// (warm restart) and persists new certificates after each analysis
+    /// and on shutdown.
+    pub cache_dir: Option<PathBuf>,
+    /// Engine worker-pool cap (0 = `GLEIPNIR_THREADS`, then all cores).
+    pub threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:8080".into(),
+            workers: 4,
+            queue_capacity: 64,
+            read_timeout: Duration::from_secs(10),
+            max_body_bytes: 4 << 20,
+            cache_dir: None,
+            threads: 0,
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Just enough HTTP/1.1 over `std::net` for the analysis endpoints.
+//!
+//! One request per connection (`Connection: close`), explicit
+//! `Content-Length` bodies only — no chunked encoding, no keep-alive, no
+//! TLS. The parser is defensive: header and body sizes are capped, and
+//! the timeout is a **whole-request deadline**, not per-read — a client
+//! trickling one byte per interval cannot reset the clock, so a stalled
+//! or malicious connection costs a worker at most `timeout`
+//! ([`HttpError::Timeout`], mapped to `408`), never a hang.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A parsed request: method, path, body. Headers beyond `Content-Length`
+/// are intentionally dropped — no endpoint needs them.
+#[derive(Debug)]
+pub struct HttpRequest {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Request target (query strings are not split off; no endpoint takes
+    /// one).
+    pub path: String,
+    /// The raw request body.
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The read timed out (client stalled) → `408`.
+    Timeout,
+    /// The declared body (or the headers) exceed the configured cap → `413`.
+    TooLarge,
+    /// The bytes are not a parseable HTTP/1.1 request → `400`.
+    Malformed(String),
+    /// The peer closed the connection before a full request arrived.
+    Closed,
+    /// Any other I/O failure. The payload is kept for `{:?}` diagnostics
+    /// even though no handler branches on it.
+    Io(#[allow(dead_code)] std::io::Error),
+}
+
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+
+fn map_io(e: std::io::Error) -> HttpError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => HttpError::Timeout,
+        _ => HttpError::Io(e),
+    }
+}
+
+/// One read bounded by the whole-request deadline: the stream's read
+/// timeout is re-armed with the *remaining* budget before every read, so
+/// progress never extends the total allowance.
+fn read_some(
+    stream: &mut TcpStream,
+    chunk: &mut [u8],
+    deadline: Instant,
+) -> Result<usize, HttpError> {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(HttpError::Timeout);
+    }
+    let _ = stream.set_read_timeout(Some(remaining));
+    stream.read(chunk).map_err(map_io)
+}
+
+/// Reads one full request from the stream, spending at most `timeout`
+/// wall-clock across all reads.
+///
+/// # Errors
+///
+/// [`HttpError`] describing how the request failed to materialize.
+pub fn read_request(
+    stream: &mut TcpStream,
+    max_body: usize,
+    timeout: Duration,
+) -> Result<HttpRequest, HttpError> {
+    let deadline = Instant::now() + timeout;
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = find_blank_line(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(HttpError::TooLarge);
+        }
+        let n = read_some(stream, &mut chunk, deadline)?;
+        if n == 0 {
+            return if buf.is_empty() {
+                Err(HttpError::Closed)
+            } else {
+                Err(HttpError::Malformed("connection closed mid-headers".into()))
+            };
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..header_end])
+        .map_err(|_| HttpError::Malformed("non-UTF-8 headers".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request".into()))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing method".into()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing path".into()))?
+        .to_string();
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("bad version `{version}`")));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("bad Content-Length".into()))?;
+            }
+        }
+    }
+    if content_length > max_body {
+        return Err(HttpError::TooLarge);
+    }
+
+    let mut body = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = read_some(stream, &mut chunk, deadline)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(HttpRequest { method, path, body })
+}
+
+fn find_blank_line(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "",
+    }
+}
+
+/// Writes a JSON response (plus `Connection: close`) and flushes. Write
+/// errors are returned so callers can count them, but a client that went
+/// away mid-response is not a server problem.
+pub fn write_json(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let mut extra = String::new();
+    if status == 429 {
+        extra.push_str("Retry-After: 1\r\n");
+    }
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{extra}Connection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn round_trip(raw: &[u8]) -> Result<HttpRequest, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let out = read_request(&mut stream, 1024, Duration::from_secs(2));
+        writer.join().unwrap();
+        out
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req =
+            round_trip(b"POST /analyze HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/analyze");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = round_trip(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn oversized_body_is_rejected() {
+        let err = round_trip(b"POST /x HTTP/1.1\r\nContent-Length: 999999\r\n\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::TooLarge));
+    }
+
+    #[test]
+    fn garbage_is_malformed() {
+        let err = round_trip(b"NOT A REQUEST\r\n\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)));
+    }
+
+    #[test]
+    fn trickling_client_hits_the_whole_request_deadline() {
+        // Each individual read succeeds well inside any per-read timeout;
+        // only a whole-request deadline stops this.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            for chunk in [&b"POST /x"[..], b" HTTP/1.1\r\n", b"X: y\r\n", b"X2: y\r\n"] {
+                let _ = s.write_all(chunk);
+                std::thread::sleep(Duration::from_millis(150));
+            }
+            s
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let start = Instant::now();
+        let err = read_request(&mut stream, 1024, Duration::from_millis(300)).unwrap_err();
+        assert!(matches!(err, HttpError::Timeout), "{err:?}");
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "deadline enforced"
+        );
+        drop(writer.join());
+    }
+}

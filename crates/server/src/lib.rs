@@ -1,0 +1,52 @@
+//! # gleipnir-server
+//!
+//! Gleipnir as a **network service**: a dependency-free HTTP/1.1 + JSON
+//! daemon fronting one shared [`gleipnir_core::Engine`], with a
+//! persistent SDP-certificate store that makes restarts warm.
+//!
+//! The library exposes everything the `gleipnir serve` subcommand (and the
+//! integration tests / throughput bench) need:
+//!
+//! * [`spawn`] / [`ServerHandle`] — run a server in-process on any
+//!   address (`127.0.0.1:0` for tests), shut it down gracefully;
+//! * [`ServerConfig`] — address, worker count, **bounded accept queue**
+//!   (full ⇒ `429`), read timeouts, engine pool size, `--cache-dir`;
+//! * [`json`] — the minimal JSON parser for request bodies;
+//! * [`spec`] — the textual parameter specs shared with the CLI flags;
+//! * [`wire`] — body ⇄ [`gleipnir_core::AnalysisRequest`] conversion;
+//! * [`signal::install_shutdown_signals`] — SIGINT/SIGTERM → atomic flag.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint | Body | Response |
+//! |---|---|---|
+//! | `POST /analyze` | GLQ source + params (see [`wire`]) | `{"ok":true,"report":{…}}` |
+//! | `POST /batch` | `{"programs":[…]}` | per-entry results |
+//! | `GET /healthz` | — | `{"ok":true,"status":"ok"}` |
+//! | `GET /metrics` | — | cache hits/misses/in-flight dedup, stage-time totals, queue depth, shed count, pool size |
+//!
+//! Overload answers `429` (never a hang), malformed bodies `400`,
+//! semantically invalid requests and failed analyses `422`.
+//!
+//! ## Why certificates survive restarts
+//!
+//! Every `(ρ̂, δ)`-diamond certificate the engine pays for is appended to
+//! `--cache-dir` (content-addressed, checksummed, with its weak-duality
+//! dual vector). On startup the store is re-verified entry by entry —
+//! see [`gleipnir_core::CertStore`] — so a second process answers the
+//! same workload with **zero new SDP solves** and bit-identical ε, while
+//! a corrupted store degrades to cache misses, never to an unsound bound.
+
+#![warn(missing_docs)]
+
+mod config;
+mod http;
+pub mod json;
+mod metrics;
+mod server;
+pub mod signal;
+pub mod spec;
+pub mod wire;
+
+pub use config::ServerConfig;
+pub use server::{spawn, ServerError, ServerHandle};

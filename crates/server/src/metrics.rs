@@ -1,0 +1,137 @@
+//! Server-side counters behind `GET /metrics`.
+//!
+//! Everything is a relaxed atomic — metrics are advisory, and the hot path
+//! must never contend on them. Engine-level numbers (cache hits/misses,
+//! pool size) are read fresh from the [`Engine`](gleipnir_core::Engine) at
+//! render time rather than mirrored.
+
+use gleipnir_core::jsonfmt::json_ms;
+use gleipnir_core::{CacheStats, LoadStats, Report};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Cumulative counters for one server instance.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    /// Connections accepted (including ones later shed).
+    pub connections_total: AtomicUsize,
+    /// Connections shed with `429` because the queue was full.
+    pub shed_total: AtomicUsize,
+    /// Requests currently being served by workers.
+    pub in_flight: AtomicUsize,
+    /// Successful `/analyze` responses.
+    pub analyze_ok: AtomicUsize,
+    /// Failed `/analyze` responses (parse or analysis errors).
+    pub analyze_err: AtomicUsize,
+    /// Successful `/batch` responses (the batch itself; entries may fail).
+    pub batch_ok: AtomicUsize,
+    /// Failed `/batch` responses.
+    pub batch_err: AtomicUsize,
+    /// Non-analysis HTTP failures (bad method/path/body framing).
+    pub http_err: AtomicUsize,
+    /// Cumulative pipeline stage walls across served analyses, in µs.
+    pub plan_us: AtomicU64,
+    /// Solve-stage cumulative wall (µs).
+    pub solve_us: AtomicU64,
+    /// Assemble-stage cumulative wall (µs).
+    pub assemble_us: AtomicU64,
+    /// Records appended to the certificate store so far.
+    pub persisted_records: AtomicUsize,
+    /// What the startup store load found (zeroes when no store).
+    pub load_loaded: AtomicUsize,
+    /// Startup-load rejected-record count.
+    pub load_rejected: AtomicUsize,
+}
+
+impl Metrics {
+    pub(crate) fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            connections_total: AtomicUsize::new(0),
+            shed_total: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            analyze_ok: AtomicUsize::new(0),
+            analyze_err: AtomicUsize::new(0),
+            batch_ok: AtomicUsize::new(0),
+            batch_err: AtomicUsize::new(0),
+            http_err: AtomicUsize::new(0),
+            plan_us: AtomicU64::new(0),
+            solve_us: AtomicU64::new(0),
+            assemble_us: AtomicU64::new(0),
+            persisted_records: AtomicUsize::new(0),
+            load_loaded: AtomicUsize::new(0),
+            load_rejected: AtomicUsize::new(0),
+        }
+    }
+
+    pub(crate) fn note_load(&self, stats: &LoadStats) {
+        self.load_loaded.store(stats.loaded, Ordering::Relaxed);
+        self.load_rejected.store(stats.rejected, Ordering::Relaxed);
+    }
+
+    /// Folds one served report's stage timings into the cumulative sums.
+    pub(crate) fn note_report(&self, report: &Report) {
+        if let Some(t) = report.stage_timings() {
+            self.plan_us
+                .fetch_add(t.plan.as_micros() as u64, Ordering::Relaxed);
+            self.solve_us
+                .fetch_add(t.solve.as_micros() as u64, Ordering::Relaxed);
+            self.assemble_us
+                .fetch_add(t.assemble.as_micros() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Renders the `/metrics` JSON document. `queue_depth` is passed in by
+    /// the caller (read under the queue's own lock) rather than mirrored
+    /// in an atomic that could race the push/pop pair.
+    pub(crate) fn to_json(
+        &self,
+        cache: CacheStats,
+        pool_threads: usize,
+        workers: usize,
+        queue_depth: usize,
+        queue_capacity: usize,
+        store_enabled: bool,
+    ) -> String {
+        let c = |a: &AtomicUsize| a.load(Ordering::Relaxed);
+        let us = |a: &AtomicU64| json_ms(a.load(Ordering::Relaxed) as f64 / 1e3);
+        format!(
+            concat!(
+                "{{\"uptime_ms\":{},",
+                "\"pool_threads\":{},\"workers\":{},",
+                "\"queue\":{{\"depth\":{},\"capacity\":{},\"shed_total\":{}}},",
+                "\"in_flight\":{},",
+                "\"requests\":{{\"connections_total\":{},\"analyze_ok\":{},\"analyze_err\":{},",
+                "\"batch_ok\":{},\"batch_err\":{},\"http_err\":{}}},",
+                "\"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"inflight_dedup\":{}}},",
+                "\"stage_totals_ms\":{{\"plan\":{},\"solve\":{},\"assemble\":{}}},",
+                "\"store\":{{\"enabled\":{},\"loaded\":{},\"rejected\":{},\"appended\":{}}}}}"
+            ),
+            json_ms(self.started.elapsed().as_secs_f64() * 1e3),
+            pool_threads,
+            workers,
+            queue_depth,
+            queue_capacity,
+            c(&self.shed_total),
+            c(&self.in_flight),
+            c(&self.connections_total),
+            c(&self.analyze_ok),
+            c(&self.analyze_err),
+            c(&self.batch_ok),
+            c(&self.batch_err),
+            c(&self.http_err),
+            cache.hits,
+            cache.misses,
+            cache.entries,
+            cache.inflight_dedup,
+            us(&self.plan_us),
+            us(&self.solve_us),
+            us(&self.assemble_us),
+            store_enabled,
+            c(&self.load_loaded),
+            c(&self.load_rejected),
+            c(&self.persisted_records),
+        )
+    }
+}

@@ -1,0 +1,510 @@
+//! The daemon: accept loop, bounded connection queue, worker threads,
+//! request routing, and graceful shutdown.
+//!
+//! ## Threading model
+//!
+//! One **acceptor** thread owns the (non-blocking) listener. Accepted
+//! connections go into a bounded queue; when the queue is full the
+//! acceptor immediately answers `429 Too Many Requests` and closes —
+//! load is shed at the door instead of letting latency (and memory)
+//! collapse the process. A small pool of **HTTP workers** pops
+//! connections and serves one request each (`Connection: close`). The
+//! workers only parse and orchestrate: the SDP heavy lifting runs on the
+//! shared [`Engine`]'s own worker pool, so `workers` controls request
+//! concurrency and `threads` controls solve parallelism independently.
+//!
+//! ## Shutdown
+//!
+//! [`ServerHandle::request_shutdown`] (wired to SIGINT/SIGTERM by the
+//! `gleipnir serve` binary) stops the acceptor, lets the workers **drain**
+//! the queue and their in-flight analyses, then persists any certificates
+//! not yet on disk. Nothing is aborted mid-solve.
+
+use crate::config::ServerConfig;
+use crate::http::{read_request, write_json, HttpError, HttpRequest};
+use crate::json;
+use crate::metrics::Metrics;
+use crate::wire;
+use gleipnir_core::jsonfmt::json_ms;
+use gleipnir_core::{AnalysisError, AnalysisRequest, CertStore, Engine, EngineOptions};
+use std::collections::VecDeque;
+use std::fmt;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Why the server could not start.
+#[derive(Debug)]
+pub enum ServerError {
+    /// The listen address could not be bound.
+    Bind(std::io::Error),
+    /// Engine construction failed (e.g. malformed `GLEIPNIR_THREADS`).
+    Engine(AnalysisError),
+    /// The certificate store directory could not be opened or read.
+    Store(std::io::Error),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Bind(e) => write!(f, "could not bind listen address: {e}"),
+            ServerError::Engine(e) => write!(f, "could not build engine: {e}"),
+            ServerError::Store(e) => write!(f, "could not open certificate store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// The bounded accept queue: `try_push` from the acceptor, blocking `pop`
+/// from workers. Capacity overflow is the caller's signal to shed.
+struct ConnQueue {
+    inner: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> Self {
+        ConnQueue {
+            inner: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues unless full; a full queue hands the stream back for
+    /// shedding.
+    fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if q.len() >= self.capacity {
+            return Err(stream);
+        }
+        q.push_back(stream);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Current queue length (authoritative — read under the lock, so
+    /// `/metrics` can never report a torn or wrapped depth).
+    fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Pops the next connection; `None` once shutdown is requested **and**
+    /// the queue is drained (already-queued clients still get served).
+    fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(stream) = q.pop_front() {
+                return Some(stream);
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(q, Duration::from_millis(50))
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+        }
+    }
+
+    fn notify_all(&self) {
+        self.ready.notify_all();
+    }
+}
+
+/// Concurrent shed responses allowed before overflow connections are
+/// dropped without a `429` (a hard shed). Bounds both thread count and
+/// memory under an accept storm; the acceptor itself never writes.
+const MAX_SHED_THREADS: usize = 32;
+
+/// State shared by the acceptor, the workers, and the handle.
+struct Shared {
+    engine: Engine,
+    metrics: Metrics,
+    config: ServerConfig,
+    store: Option<Mutex<CertStore>>,
+    queue: ConnQueue,
+    shutdown: AtomicBool,
+    /// Live shed-responder threads (capped by [`MAX_SHED_THREADS`]).
+    shed_inflight: std::sync::atomic::AtomicUsize,
+}
+
+/// A running server. Dropping the handle shuts the server down gracefully
+/// (request + drain + persist); call [`ServerHandle::request_shutdown`] /
+/// [`ServerHandle::join`] to control the two phases yourself.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (with the real port when `:0` was asked).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared engine (tests inspect cache stats through this).
+    pub fn engine(&self) -> &Engine {
+        &self.shared.engine
+    }
+
+    /// Asks the server to stop: the acceptor exits, workers drain the
+    /// queue and finish in-flight analyses. Non-blocking; pair with
+    /// [`ServerHandle::join`].
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue.notify_all();
+        // The acceptor blocks in `accept()` (zero added latency on the
+        // serving path); a throwaway self-connection wakes it so it can
+        // observe the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Waits for every thread to finish and persists any certificates not
+    /// yet on disk. Implies [`ServerHandle::request_shutdown`].
+    pub fn join(mut self) {
+        self.join_inner();
+    }
+
+    fn join_inner(&mut self) {
+        self.request_shutdown();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        persist_now(&self.shared);
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.join_inner();
+    }
+}
+
+/// Builds the engine, warms it from the certificate store (when
+/// configured), binds the listener, and spawns the acceptor + workers.
+///
+/// # Errors
+///
+/// [`ServerError`] when the engine, store, or listener cannot be set up.
+pub fn spawn(config: ServerConfig) -> Result<ServerHandle, ServerError> {
+    let engine = Engine::with_options(EngineOptions {
+        solver: Default::default(),
+        threads: config.threads,
+    })
+    .map_err(ServerError::Engine)?;
+
+    let metrics = Metrics::new();
+    let store = match &config.cache_dir {
+        Some(dir) => {
+            let mut store = CertStore::open(dir).map_err(ServerError::Store)?;
+            let stats = store.load_into(&engine).map_err(ServerError::Store)?;
+            metrics.note_load(&stats);
+            eprintln!(
+                "gleipnir-server: certificate store {}: {} loaded, {} rejected{}",
+                store.path().display(),
+                stats.loaded,
+                stats.rejected,
+                if stats.truncated { " (torn tail)" } else { "" }
+            );
+            Some(Mutex::new(store))
+        }
+        None => None,
+    };
+
+    let listener = TcpListener::bind(&config.addr).map_err(ServerError::Bind)?;
+    let addr = listener.local_addr().map_err(ServerError::Bind)?;
+
+    let shared = Arc::new(Shared {
+        engine,
+        metrics,
+        queue: ConnQueue::new(config.queue_capacity),
+        store,
+        shutdown: AtomicBool::new(false),
+        shed_inflight: std::sync::atomic::AtomicUsize::new(0),
+        config,
+    });
+
+    let mut workers = Vec::with_capacity(shared.config.workers.max(1));
+    for i in 0..shared.config.workers.max(1) {
+        let shared = Arc::clone(&shared);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("gleipnir-http-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn http worker"),
+        );
+    }
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("gleipnir-accept".into())
+            .spawn(move || acceptor_loop(&shared, &listener))
+            .expect("spawn acceptor")
+    };
+
+    Ok(ServerHandle {
+        shared,
+        addr,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    loop {
+        // Blocking accept: no polling latency on the serving path.
+        // `request_shutdown` wakes this with a throwaway self-connection.
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return; // the wakeup (or a late client) during shutdown
+                }
+                shared
+                    .metrics
+                    .connections_total
+                    .fetch_add(1, Ordering::Relaxed);
+                if let Err(stream) = shared.queue.try_push(stream) {
+                    shared.metrics.shed_total.fetch_add(1, Ordering::Relaxed);
+                    spawn_shed(shared, stream);
+                }
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept failure (EMFILE, interrupted, …): back
+                // off briefly instead of spinning.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Sheds one connection off the acceptor's thread: a short-lived
+/// responder writes the `429` so a burst of slow clients can never stall
+/// `accept()`. Past [`MAX_SHED_THREADS`] concurrent responders the
+/// connection is dropped outright — under that much pressure a closed
+/// socket is still bounded, honest backpressure.
+fn spawn_shed(shared: &Arc<Shared>, stream: TcpStream) {
+    if shared.shed_inflight.fetch_add(1, Ordering::SeqCst) >= MAX_SHED_THREADS {
+        shared.shed_inflight.fetch_sub(1, Ordering::SeqCst);
+        return; // hard shed: drop without a response
+    }
+    let worker_shared = Arc::clone(shared);
+    let spawned = std::thread::Builder::new()
+        .name("gleipnir-shed".into())
+        .spawn(move || {
+            shed(stream);
+            worker_shared.shed_inflight.fetch_sub(1, Ordering::SeqCst);
+        });
+    if spawned.is_err() {
+        // Could not spawn (resource exhaustion): the connection was moved
+        // into the failed closure and dropped with it; undo the count.
+        shared.shed_inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Sheds one connection with `429` — bounded time, never blocks the
+/// acceptor on a slow client.
+fn shed(mut stream: TcpStream) {
+    use std::io::Read;
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let _ = write_json(
+        &mut stream,
+        429,
+        &wire::error_json("server overloaded: accept queue full, retry later"),
+    );
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    // Drain (bounded) whatever the client already sent: closing a socket
+    // with unread input RSTs the connection, which could discard the 429
+    // out of the client's receive buffer before it reads it.
+    let deadline = std::time::Instant::now() + Duration::from_millis(500);
+    let mut sink = [0u8; 4096];
+    while std::time::Instant::now() < deadline {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(mut stream) = shared.queue.pop(&shared.shutdown) {
+        shared.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+        serve_connection(shared, &mut stream);
+        shared.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn serve_connection(shared: &Arc<Shared>, stream: &mut TcpStream) {
+    // Accepted sockets may inherit the listener's non-blocking flag on
+    // some platforms; force blocking. The read deadline is enforced
+    // inside `read_request` (whole-request, not per-read).
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    match read_request(
+        stream,
+        shared.config.max_body_bytes,
+        shared.config.read_timeout,
+    ) {
+        Ok(request) => route(shared, stream, &request),
+        Err(HttpError::Closed) => {}
+        Err(HttpError::Io(_)) => {
+            shared.metrics.http_err.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(e) => {
+            shared.metrics.http_err.fetch_add(1, Ordering::Relaxed);
+            let (status, msg) = match e {
+                HttpError::Timeout => (408, "request read timed out".to_string()),
+                HttpError::TooLarge => (413, "request too large".to_string()),
+                HttpError::Malformed(m) => (400, format!("malformed request: {m}")),
+                HttpError::Closed | HttpError::Io(_) => unreachable!(),
+            };
+            let _ = write_json(stream, status, &wire::error_json(&msg));
+        }
+    }
+}
+
+fn route(shared: &Arc<Shared>, stream: &mut TcpStream, request: &HttpRequest) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let _ = write_json(stream, 200, "{\"ok\":true,\"status\":\"ok\"}");
+        }
+        ("GET", "/metrics") => {
+            let body = shared.metrics.to_json(
+                shared.engine.cache_stats(),
+                shared.engine.threads(),
+                shared.config.workers.max(1),
+                shared.queue.len(),
+                shared.config.queue_capacity.max(1),
+                shared.store.is_some(),
+            );
+            let _ = write_json(stream, 200, &body);
+        }
+        ("POST", "/analyze") => handle_analyze(shared, stream, &request.body),
+        ("POST", "/batch") => handle_batch(shared, stream, &request.body),
+        (_, "/healthz" | "/metrics" | "/analyze" | "/batch") => {
+            shared.metrics.http_err.fetch_add(1, Ordering::Relaxed);
+            let _ = write_json(stream, 405, &wire::error_json("method not allowed"));
+        }
+        (_, path) => {
+            shared.metrics.http_err.fetch_add(1, Ordering::Relaxed);
+            let _ = write_json(
+                stream,
+                404,
+                &wire::error_json(&format!("no such endpoint: {path}")),
+            );
+        }
+    }
+}
+
+/// Parses a JSON body, mapping framing problems to `400`.
+fn parse_body(body: &[u8]) -> Result<json::Json, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    json::parse(text).map_err(|e| e.to_string())
+}
+
+fn handle_analyze(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8]) {
+    let value = match parse_body(body) {
+        Ok(v) => v,
+        Err(msg) => {
+            shared.metrics.analyze_err.fetch_add(1, Ordering::Relaxed);
+            let _ = write_json(stream, 400, &wire::error_json(&msg));
+            return;
+        }
+    };
+    let spec = match wire::analyze_spec_from_json(&value) {
+        Ok(spec) => spec,
+        Err(msg) => {
+            shared.metrics.analyze_err.fetch_add(1, Ordering::Relaxed);
+            let _ = write_json(stream, 422, &wire::error_json(&msg));
+            return;
+        }
+    };
+    match shared.engine.analyze(&spec.request) {
+        Ok(report) => {
+            shared.metrics.note_report(&report);
+            shared.metrics.analyze_ok.fetch_add(1, Ordering::Relaxed);
+            persist_now(shared);
+            let _ = write_json(stream, 200, &wire::analyze_ok_json(&spec, &report));
+        }
+        Err(e) => {
+            shared.metrics.analyze_err.fetch_add(1, Ordering::Relaxed);
+            let _ = write_json(stream, 422, &wire::error_json(&e.to_string()));
+        }
+    }
+}
+
+fn handle_batch(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8]) {
+    let parsed = parse_body(body).and_then(|v| wire::batch_specs_from_json(&v));
+    let specs = match parsed {
+        Ok(specs) => specs,
+        Err(msg) => {
+            shared.metrics.batch_err.fetch_add(1, Ordering::Relaxed);
+            let _ = write_json(stream, 400, &wire::error_json(&msg));
+            return;
+        }
+    };
+    let requests: Vec<AnalysisRequest> = specs
+        .iter()
+        .filter_map(|s| s.as_ref().ok().map(|s| s.request.clone()))
+        .collect();
+    let outcome = shared.engine.analyze_batch_detailed(&requests);
+    let mut analyzed = outcome.results.into_iter();
+    let entries: Vec<String> = specs
+        .iter()
+        .map(|entry| match entry {
+            Ok(spec) => match analyzed.next().expect("one result per prepared request") {
+                Ok(report) => {
+                    shared.metrics.note_report(&report);
+                    wire::analyze_ok_json(spec, &report)
+                }
+                Err(e) => wire::error_json(&e.to_string()),
+            },
+            Err(msg) => wire::error_json(msg),
+        })
+        .collect();
+    shared.metrics.batch_ok.fetch_add(1, Ordering::Relaxed);
+    persist_now(shared);
+    let body = format!(
+        "{{\"ok\":true,\"results\":[{}],\"worker_threads\":{},\"elapsed_ms\":{}}}",
+        entries.join(","),
+        outcome.worker_threads,
+        json_ms(outcome.elapsed.as_secs_f64() * 1e3),
+    );
+    let _ = write_json(stream, 200, &body);
+}
+
+/// Appends any not-yet-persisted certificates to the store (no-op without
+/// a `--cache-dir`). Called after each served analysis and at shutdown, so
+/// even a `kill -9` loses at most the last request's certificates.
+fn persist_now(shared: &Shared) {
+    if let Some(store) = &shared.store {
+        let mut store = store.lock().unwrap_or_else(|e| e.into_inner());
+        match store.persist_new(&shared.engine) {
+            Ok(n) => {
+                if n > 0 {
+                    shared
+                        .metrics
+                        .persisted_records
+                        .fetch_add(n, Ordering::Relaxed);
+                }
+            }
+            Err(e) => eprintln!("gleipnir-server: certificate persist failed: {e}"),
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Graceful-shutdown signal wiring without any external crates.
+//!
+//! `std` has no signal API, so on Unix we declare libc's classic
+//! `signal(2)` ourselves (the C library is already linked) and point
+//! SIGINT/SIGTERM at a handler that only stores to a static atomic — the
+//! one thing that is unconditionally async-signal-safe. The daemon's main
+//! thread polls the flag and runs the actual (non-signal-safe) shutdown:
+//! stop accepting, drain in-flight analyses, persist the certificate
+//! store.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Once;
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+/// Installs SIGINT (ctrl-c) and SIGTERM handlers (once) and returns the
+/// flag they set. On non-Unix platforms the flag simply never fires and
+/// the daemon runs until killed.
+pub fn install_shutdown_signals() -> &'static AtomicBool {
+    #[cfg(unix)]
+    {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        static INSTALL: Once = Once::new();
+        INSTALL.call_once(|| unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        });
+    }
+    &SHUTDOWN
+}

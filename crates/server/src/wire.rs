@@ -1,0 +1,175 @@
+//! Wire types: JSON request bodies → validated [`AnalysisRequest`]s, and
+//! the response envelopes.
+//!
+//! `POST /analyze` body (only `source` is required):
+//!
+//! ```json
+//! {
+//!   "source": "qubits 2;\nh q0;\ncnot q0, q1;",
+//!   "name": "ghz2",
+//!   "method": "state",          // state | adaptive | worst | lqr
+//!   "width": 32,
+//!   "noise": "bitflip:1e-4",    // bitflip:P | depolarizing:P1,P2 | none
+//!   "input": "00",              // basis bits, defaults to all zeros
+//!   "cache": true
+//! }
+//! ```
+//!
+//! `POST /batch` body: `{"programs":[<analyze body>, …]}`. Each entry
+//! fails or succeeds on its own, mirroring `Engine::analyze_batch`.
+
+use crate::json::Json;
+use crate::spec;
+use gleipnir_circuit::{parse as parse_glq, Program};
+use gleipnir_core::jsonfmt::{json_str, report_json};
+use gleipnir_core::{AnalysisRequest, Report};
+
+/// A fully validated analyze request plus the context needed to render its
+/// response.
+#[derive(Debug)]
+pub struct AnalyzeSpec {
+    /// Label echoed back in the report (`name` field, default `"request"`).
+    pub name: String,
+    /// The parsed program (reports include qubit/gate counts).
+    pub program: Program,
+    /// The validated engine request.
+    pub request: AnalysisRequest,
+}
+
+/// Builds an [`AnalyzeSpec`] from a parsed `/analyze` body.
+///
+/// # Errors
+///
+/// A human-readable message destined for the 4xx response body.
+pub fn analyze_spec_from_json(v: &Json) -> Result<AnalyzeSpec, String> {
+    let source = v
+        .get("source")
+        .and_then(Json::as_str)
+        .ok_or("missing required string field `source`")?;
+    let name = v
+        .get("name")
+        .and_then(Json::as_str)
+        .unwrap_or("request")
+        .to_string();
+    let program = parse_glq(source).map_err(|e| format!("GLQ parse error: {e}"))?;
+
+    let width = match v.get("width") {
+        None => spec::DEFAULT_WIDTH,
+        Some(w) => w
+            .as_usize()
+            .filter(|w| *w > 0)
+            .ok_or("`width` must be a positive integer")?,
+    };
+    let method_name = match v.get("method") {
+        None => None,
+        Some(m) => Some(m.as_str().ok_or("`method` must be a string")?),
+    };
+    let method = spec::parse_method_spec(method_name, width)?;
+    let noise_spec = match v.get("noise") {
+        None => spec::DEFAULT_NOISE_SPEC,
+        Some(n) => n.as_str().ok_or("`noise` must be a string")?,
+    };
+    let noise = spec::parse_noise_spec(noise_spec)?;
+    let mut builder = AnalysisRequest::builder(program.clone())
+        .noise(noise)
+        .method(method);
+    if let Some(input) = v.get("input") {
+        let bits = input.as_str().ok_or("`input` must be a bit string")?;
+        builder = builder.input(&spec::parse_input_bits(bits, program.n_qubits())?);
+    }
+    if let Some(cache) = v.get("cache") {
+        builder = builder.cache(cache.as_bool().ok_or("`cache` must be a boolean")?);
+    }
+    let request = builder.build().map_err(|e| e.to_string())?;
+    Ok(AnalyzeSpec {
+        name,
+        program,
+        request,
+    })
+}
+
+/// Splits a `/batch` body into per-entry results (a bad entry never sinks
+/// its siblings — it becomes that entry's error).
+///
+/// # Errors
+///
+/// Only for a body that is not `{"programs": [...]}` at all.
+pub fn batch_specs_from_json(v: &Json) -> Result<Vec<Result<AnalyzeSpec, String>>, String> {
+    let programs = v
+        .get("programs")
+        .and_then(Json::as_array)
+        .ok_or("missing required array field `programs`")?;
+    if programs.is_empty() {
+        return Err("`programs` must not be empty".into());
+    }
+    Ok(programs.iter().map(analyze_spec_from_json).collect())
+}
+
+/// The `/analyze` success envelope.
+pub fn analyze_ok_json(spec: &AnalyzeSpec, report: &Report) -> String {
+    format!(
+        "{{\"ok\":true,\"report\":{}}}",
+        report_json(&spec.name, &spec.program, report)
+    )
+}
+
+/// A uniform error envelope (any endpoint, any status).
+pub fn error_json(message: &str) -> String {
+    format!("{{\"ok\":false,\"error\":{}}}", json_str(message))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    const SRC: &str = "qubits 2;\nh q0;\ncnot q0, q1;";
+
+    #[test]
+    fn minimal_body_builds_a_request() {
+        let body = format!("{{\"source\":{}}}", json_str(SRC));
+        let spec = analyze_spec_from_json(&parse(&body).unwrap()).unwrap();
+        assert_eq!(spec.name, "request");
+        assert_eq!(spec.program.n_qubits(), 2);
+    }
+
+    #[test]
+    fn full_body_round_trips() {
+        let body = format!(
+            "{{\"source\":{},\"name\":\"ghz\",\"method\":\"worst\",\"noise\":\"none\",\"input\":\"01\",\"cache\":false}}",
+            json_str(SRC)
+        );
+        let spec = analyze_spec_from_json(&parse(&body).unwrap()).unwrap();
+        assert_eq!(spec.name, "ghz");
+        assert!(!spec.request.cache_enabled());
+    }
+
+    #[test]
+    fn bad_bodies_name_the_problem() {
+        for (body, needle) in [
+            ("{}", "source"),
+            (r#"{"source":"qubits 1;\nh q0;","width":0}"#, "width"),
+            (
+                r#"{"source":"qubits 1;\nh q0;","method":"magic"}"#,
+                "method",
+            ),
+            (r#"{"source":"qubits 1;\nh q0;","input":"000"}"#, "binary"),
+            (r#"{"source":"not glq"}"#, "parse"),
+        ] {
+            let err = analyze_spec_from_json(&parse(body).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "`{body}` → `{err}`");
+        }
+    }
+
+    #[test]
+    fn batch_preserves_per_entry_failures() {
+        let body = format!(
+            "{{\"programs\":[{{\"source\":{}}},{{\"source\":\"bogus\"}}]}}",
+            json_str(SRC)
+        );
+        let specs = batch_specs_from_json(&parse(&body).unwrap()).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert!(specs[0].is_ok());
+        assert!(specs[1].is_err());
+    }
+}

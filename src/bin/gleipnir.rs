@@ -8,6 +8,8 @@
 //! gleipnir batch    <a.glq> <b.glq> … [--method M] [--width W] [--noise SPEC]
 //!                              [--threads N] [--json]
 //! gleipnir worst    <file.glq> [--noise SPEC] [--json]
+//! gleipnir serve    [--addr HOST:PORT] [--cache-dir DIR] [--workers N]
+//!                              [--queue N] [--threads N]
 //! gleipnir compare  <file.glq> [--width W] [--noise SPEC]   # bound before/after optimization
 //! gleipnir optimize <file.glq>                              # print the optimized program
 //! gleipnir fmt      <file.glq>                              # parse + pretty-print
@@ -17,19 +19,25 @@
 //! ```
 //!
 //! All analysis commands run on one long-lived `Engine`, and `--json`
-//! switches every report to machine-readable output — the scriptable
-//! service-endpoint stand-in. `--threads N` (or the `GLEIPNIR_THREADS`
+//! switches every report to machine-readable output. `gleipnir serve`
+//! exposes the same engine as a real HTTP/1.1 + JSON service (see
+//! `gleipnir::server`). `--threads N` (or the `GLEIPNIR_THREADS`
 //! env var; 0/unset = all cores) caps the engine's worker pool, which is
 //! shared by a single request's SDP solve stage *and* `batch`'s
 //! per-file fan-out. Every batch file gets its own result entry (a broken
 //! file never sinks its siblings), and the exit status is non-zero iff
-//! any entry failed.
+//! any entry failed. `--cache-dir DIR` (any analysis command, and
+//! `serve`) loads/persists the on-disk certificate store, so a later
+//! process starts with every certificate earlier runs paid for.
 
 use gleipnir::circuit::{optimize, parse, pretty, route_with_final, Mapping, Program};
-use gleipnir::core::{AdaptiveConfig, AnalysisRequest, Engine, EngineOptions, Method, Report};
+use gleipnir::core::jsonfmt::{json_str, report_json};
+use gleipnir::core::{AnalysisRequest, CertStore, Engine, EngineOptions, Method, Report};
 use gleipnir::noise::{DeviceModel, NoiseModel};
+use gleipnir::server::{spec, ServerConfig};
 use gleipnir::sim::BasisState;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,6 +59,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "batch" => batch(&args[1..]),
         "compare" => compare(&args[1..]),
         "worst" => worst(&args[1..]),
+        "serve" => serve(&args[1..]),
         "optimize" => cmd_optimize(&args[1..]),
         "fmt" => fmt(&args[1..]),
         "route" => cmd_route(&args[1..]),
@@ -63,11 +72,14 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: gleipnir <analyze|batch|compare|worst|optimize|fmt|route> <file.glq>… [options]\n\
+    "usage: gleipnir <analyze|batch|compare|worst|serve|optimize|fmt|route> <file.glq>… [options]\n\
      options: --method state|adaptive|worst|lqr   --width W   --input 0101   --json\n\
      \x20        --noise bitflip:P|depolarizing:P1,P2|none   --derivation\n\
      \x20        --threads N   (0/unset = GLEIPNIR_THREADS, then all cores)\n\
-     \x20        --device boeblingen|lima   --mapping 0,1,2"
+     \x20        --cache-dir DIR   (persistent SDP-certificate store; warm restarts)\n\
+     \x20        --device boeblingen|lima   --mapping 0,1,2\n\
+     serve:   gleipnir serve --addr 127.0.0.1:8080 --cache-dir .gleipnir-cache\n\
+     \x20        [--workers N] [--queue N] [--threads N]"
         .to_string()
 }
 
@@ -85,7 +97,7 @@ fn has_flag(args: &[String], name: &str) -> bool {
 fn program_paths(args: &[String]) -> Vec<&String> {
     // Positional arguments: skip flags and the value slot after a
     // value-taking flag.
-    const VALUE_FLAGS: [&str; 7] = [
+    const VALUE_FLAGS: [&str; 11] = [
         "--method",
         "--width",
         "--noise",
@@ -93,6 +105,10 @@ fn program_paths(args: &[String]) -> Vec<&String> {
         "--threads",
         "--device",
         "--mapping",
+        "--cache-dir",
+        "--addr",
+        "--workers",
+        "--queue",
     ];
     let mut paths = Vec::new();
     let mut skip = false;
@@ -121,50 +137,24 @@ fn load_single_program(args: &[String]) -> Result<(String, Program), String> {
     Ok(((*path).clone(), load_program(path)?))
 }
 
+/// Noise spec parsing is shared with the server's wire format
+/// (`gleipnir::server::spec`), so the CLI flag and the JSON field can
+/// never drift apart.
 fn parse_noise(args: &[String]) -> Result<NoiseModel, String> {
-    let spec = flag_value(args, "--noise").unwrap_or_else(|| "bitflip:1e-4".into());
-    if spec == "none" {
-        return Ok(NoiseModel::Noiseless);
-    }
-    if let Some(p) = spec.strip_prefix("bitflip:") {
-        let p: f64 = p
-            .parse()
-            .map_err(|_| format!("bad probability in `{spec}`"))?;
-        return Ok(NoiseModel::uniform_bit_flip(p));
-    }
-    if let Some(ps) = spec.strip_prefix("depolarizing:") {
-        let parts: Vec<&str> = ps.split(',').collect();
-        if parts.len() != 2 {
-            return Err(format!("depolarizing needs two rates, got `{spec}`"));
-        }
-        let p1: f64 = parts[0]
-            .parse()
-            .map_err(|_| format!("bad rate in `{spec}`"))?;
-        let p2: f64 = parts[1]
-            .parse()
-            .map_err(|_| format!("bad rate in `{spec}`"))?;
-        return Ok(NoiseModel::uniform_depolarizing(p1, p2));
-    }
-    Err(format!("unknown noise spec `{spec}`"))
+    let value = flag_value(args, "--noise").unwrap_or_else(|| spec::DEFAULT_NOISE_SPEC.to_string());
+    spec::parse_noise_spec(&value)
 }
 
 fn parse_input(args: &[String], n: usize) -> Result<BasisState, String> {
     match flag_value(args, "--input") {
         None => Ok(BasisState::zeros(n)),
-        Some(bits) => {
-            if bits.len() != n || !bits.chars().all(|c| c == '0' || c == '1') {
-                return Err(format!("--input must be {n} binary digits"));
-            }
-            Ok(BasisState::from_bits(
-                &bits.chars().map(|c| c == '1').collect::<Vec<_>>(),
-            ))
-        }
+        Some(bits) => spec::parse_input_bits(&bits, n).map_err(|e| format!("--input: {e}")),
     }
 }
 
 fn parse_width(args: &[String]) -> Result<usize, String> {
     match flag_value(args, "--width") {
-        None => Ok(32),
+        None => Ok(spec::DEFAULT_WIDTH),
         Some(w) => w.parse().map_err(|_| format!("bad width `{w}`")),
     }
 }
@@ -176,25 +166,47 @@ fn make_engine(args: &[String]) -> Result<Engine, String> {
         None => 0,
         Some(t) => t.parse().map_err(|_| format!("bad thread count `{t}`"))?,
     };
-    Ok(Engine::with_options(EngineOptions {
+    Engine::with_options(EngineOptions {
         solver: Default::default(),
         threads,
-    }))
+    })
+    .map_err(|e| e.to_string())
 }
 
 fn parse_method(args: &[String], width: usize) -> Result<Method, String> {
-    match flag_value(args, "--method").as_deref() {
-        None | Some("state") => Ok(Method::StateAware { mps_width: width }),
-        Some("adaptive") => Ok(Method::Adaptive(AdaptiveConfig {
-            max_width: width.max(2),
-            ..AdaptiveConfig::default()
-        })),
-        Some("worst") => Ok(Method::WorstCase),
-        Some("lqr") => Ok(Method::LqrFullSim),
-        Some(other) => Err(format!(
-            "unknown method `{other}` (expected state|adaptive|worst|lqr)"
-        )),
+    spec::parse_method_spec(flag_value(args, "--method").as_deref(), width)
+}
+
+/// Opens (and warm-loads) the certificate store when `--cache-dir` is
+/// given. Returns the store so the command can persist new certificates
+/// after its analyses.
+fn open_store(args: &[String], engine: &Engine) -> Result<Option<CertStore>, String> {
+    let Some(dir) = flag_value(args, "--cache-dir") else {
+        return Ok(None);
+    };
+    let mut store = CertStore::open(&dir).map_err(|e| format!("--cache-dir {dir}: {e}"))?;
+    let stats = store
+        .load_into(engine)
+        .map_err(|e| format!("--cache-dir {dir}: {e}"))?;
+    if stats.loaded > 0 || stats.rejected > 0 {
+        eprintln!(
+            "certificate store: {} loaded, {} rejected{}",
+            stats.loaded,
+            stats.rejected,
+            if stats.truncated { " (torn tail)" } else { "" }
+        );
     }
+    Ok(Some(store))
+}
+
+/// Appends any new certificates to the store (no-op without `--cache-dir`).
+fn persist_store(store: &mut Option<CertStore>, engine: &Engine) -> Result<(), String> {
+    if let Some(store) = store {
+        store
+            .persist_new(engine)
+            .map_err(|e| format!("certificate persist failed: {e}"))?;
+    }
+    Ok(())
 }
 
 fn build_request(program: Program, args: &[String]) -> Result<AnalysisRequest, String> {
@@ -210,84 +222,16 @@ fn build_request(program: Program, args: &[String]) -> Result<AnalysisRequest, S
         .map_err(|e| e.to_string())
 }
 
-// ---- JSON output (hand-rolled: the report surface is small and the
-// container has no serde) ---------------------------------------------
-
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-fn report_json(file: &str, program: &Program, report: &Report) -> String {
-    let mut fields = vec![
-        format!("\"file\":{}", json_str(file)),
-        format!("\"method\":{}", json_str(report.method_name())),
-        format!("\"qubits\":{}", program.n_qubits()),
-        format!("\"gates\":{}", program.gate_count()),
-        format!("\"error_bound\":{:e}", report.error_bound()),
-        format!("\"sdp_solves\":{}", report.sdp_solves()),
-        format!("\"cache_hits\":{}", report.cache_hits()),
-        format!("\"inflight_dedup\":{}", report.inflight_dedup()),
-        format!("\"elapsed_ms\":{:.3}", report.elapsed().as_secs_f64() * 1e3),
-    ];
-    if let Some(d) = report.tn_delta() {
-        fields.push(format!("\"tn_delta\":{d:e}"));
-    }
-    if let Some(t) = report.stage_timings() {
-        fields.push(format!(
-            "\"stages\":{{\"plan_ms\":{:.3},\"solve_ms\":{:.3},\"assemble_ms\":{:.3}}}",
-            t.plan.as_secs_f64() * 1e3,
-            t.solve.as_secs_f64() * 1e3,
-            t.assemble.as_secs_f64() * 1e3
-        ));
-    }
-    if let Some(w) = report.solve_workers() {
-        fields.push(format!("\"solve_workers\":{w}"));
-    }
-    if let Some(r) = report.as_state_aware() {
-        fields.push(format!("\"mps_width\":{}", r.mps_width()));
-    }
-    if let Some(a) = report.as_adaptive() {
-        let steps: Vec<String> = a
-            .trajectory
-            .iter()
-            .map(|s| {
-                format!(
-                    "{{\"width\":{},\"bound\":{:e},\"tn_delta\":{:e},\"sdp_solves\":{},\"cache_hits\":{}}}",
-                    s.width, s.bound, s.tn_delta, s.sdp_solves, s.cache_hits
-                )
-            })
-            .collect();
-        fields.push(format!("\"trajectory\":[{}]", steps.join(",")));
-    }
-    if let Some(w) = report.as_worst_case() {
-        fields.push(format!("\"gate_count\":{}", w.gate_count));
-        fields.push(format!("\"clamped\":{:e}", w.clamped()));
-    }
-    format!("{{{}}}", fields.join(","))
-}
-
 // ---- commands --------------------------------------------------------
 
 fn analyze(args: &[String]) -> Result<(), String> {
     let (path, program) = load_single_program(args)?;
     let json = has_flag(args, "--json");
     let engine = make_engine(args)?;
+    let mut store = open_store(args, &engine)?;
     let request = build_request(program.clone(), args)?;
     let report = engine.analyze(&request).map_err(|e| e.to_string())?;
+    persist_store(&mut store, &engine)?;
     if json {
         println!("{}", report_json(&path, &program, &report));
         return Ok(());
@@ -345,7 +289,9 @@ fn batch(args: &[String]) -> Result<(), String> {
         .filter_map(|p| p.as_ref().ok().map(|(_, r)| r.clone()))
         .collect();
     let engine = make_engine(args)?;
+    let mut store = open_store(args, &engine)?;
     let outcome = engine.analyze_batch_detailed(&requests);
+    persist_store(&mut store, &engine)?;
     // Merge analysis results back into file order around the load errors.
     let mut analyzed = outcome.results.into_iter();
     let merged: Vec<Result<(Program, Report), String>> = prepared
@@ -431,12 +377,14 @@ fn worst(args: &[String]) -> Result<(), String> {
     let (path, program) = load_single_program(args)?;
     let noise = parse_noise(args)?;
     let engine = make_engine(args)?;
+    let mut store = open_store(args, &engine)?;
     let request = AnalysisRequest::builder(program.clone())
         .noise(noise)
         .method(Method::WorstCase)
         .build()
         .map_err(|e| e.to_string())?;
     let report = engine.analyze(&request).map_err(|e| e.to_string())?;
+    persist_store(&mut store, &engine)?;
     if has_flag(args, "--json") {
         println!("{}", report_json(&path, &program, &report));
         return Ok(());
@@ -452,6 +400,37 @@ fn worst(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the analysis daemon until SIGINT (ctrl-c) or SIGTERM, then drains
+/// in-flight analyses and persists the certificate store.
+fn serve(args: &[String]) -> Result<(), String> {
+    let mut config = ServerConfig::default();
+    if let Some(addr) = flag_value(args, "--addr") {
+        config.addr = addr;
+    }
+    if let Some(dir) = flag_value(args, "--cache-dir") {
+        config.cache_dir = Some(dir.into());
+    }
+    if let Some(w) = flag_value(args, "--workers") {
+        config.workers = w.parse().map_err(|_| format!("bad worker count `{w}`"))?;
+    }
+    if let Some(q) = flag_value(args, "--queue") {
+        config.queue_capacity = q.parse().map_err(|_| format!("bad queue capacity `{q}`"))?;
+    }
+    if let Some(t) = flag_value(args, "--threads") {
+        config.threads = t.parse().map_err(|_| format!("bad thread count `{t}`"))?;
+    }
+    let shutdown = gleipnir::server::signal::install_shutdown_signals();
+    let handle = gleipnir::server::spawn(config).map_err(|e| e.to_string())?;
+    println!("gleipnir-server listening on http://{}", handle.addr());
+    println!("endpoints: POST /analyze  POST /batch  GET /healthz  GET /metrics  (ctrl-c / SIGTERM stops)");
+    while !shutdown.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("gleipnir-server: shutting down (draining in-flight analyses)");
+    handle.join();
+    Ok(())
+}
+
 fn compare(args: &[String]) -> Result<(), String> {
     let (_, program) = load_single_program(args)?;
     let noise = parse_noise(args)?;
@@ -462,6 +441,7 @@ fn compare(args: &[String]) -> Result<(), String> {
     // One engine: the optimized program re-uses certificates the original
     // already paid for wherever judgments coincide.
     let engine = make_engine(args)?;
+    let mut store = open_store(args, &engine)?;
     let analyze_one = |p: Program| -> Result<Report, String> {
         let request = AnalysisRequest::builder(p)
             .input(&input)
@@ -473,6 +453,7 @@ fn compare(args: &[String]) -> Result<(), String> {
     };
     let before = analyze_one(program.clone())?;
     let after = analyze_one(optimized.clone())?;
+    persist_store(&mut store, &engine)?;
 
     println!(
         "original:  {} gates, bound {:.6e}",

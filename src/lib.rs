@@ -21,6 +21,8 @@
 //! * [`sdp`] — a small dense semidefinite-programming solver
 //! * [`core`] — the analysis [`Engine`](core::Engine), diamond norms, and
 //!   the quantum error logic (the paper's contribution)
+//! * [`server`] — the HTTP/1.1 + JSON analysis daemon (`gleipnir serve`)
+//!   with the persistent certificate store
 //! * [`workloads`] — QAOA / Ising / GHZ benchmark generators
 //!
 //! ## Quickstart
@@ -61,6 +63,7 @@ pub use gleipnir_linalg as linalg;
 pub use gleipnir_mps as mps;
 pub use gleipnir_noise as noise;
 pub use gleipnir_sdp as sdp;
+pub use gleipnir_server as server;
 pub use gleipnir_sim as sim;
 pub use gleipnir_workloads as workloads;
 

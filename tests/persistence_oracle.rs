@@ -1,0 +1,190 @@
+//! Persistence soundness against the committed sequential oracle.
+//!
+//! The certificate store must be *invisible* to results: a warm engine
+//! (everything loaded from disk) and a cold engine produce bit-identical
+//! ε, TN δ, and derivation trees — and a **corrupted** store must degrade
+//! to exactly the cold behavior (`sdp_solves`/`cache_hits` included),
+//! matching `tests/fixtures/sequential_oracle.txt` bit for bit. What a
+//! corrupted store may never do is change an answer.
+
+use gleipnir::core::CertStore;
+use gleipnir::prelude::*;
+use gleipnir::workloads::determinism_suite;
+use std::path::PathBuf;
+
+const NOISE_P: f64 = 1e-3;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join("sequential_oracle.txt")
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gleipnir-oracle-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The suite entries this test exercises (a subset keeps the wall time
+/// reasonable; `ising6x4_w2` is the δ-bucket-heavy one).
+fn entries() -> Vec<(String, Program, usize)> {
+    determinism_suite()
+        .into_iter()
+        .filter(|(name, _, _)| name == "ghz4" || name == "ising6x4_w2")
+        .collect()
+}
+
+struct Oracle {
+    epsilon_bits: u64,
+    tn_delta_bits: u64,
+    sdp_solves: usize,
+    cache_hits: usize,
+}
+
+/// Minimal fixture reader (full parsing lives in
+/// `tests/pipeline_determinism.rs`; here only the scalar lines matter).
+fn oracle_for(name: &str) -> Oracle {
+    let text = std::fs::read_to_string(fixture_path()).expect("fixture committed");
+    let mut in_record = false;
+    let mut oracle = Oracle {
+        epsilon_bits: 0,
+        tn_delta_bits: 0,
+        sdp_solves: 0,
+        cache_hits: 0,
+    };
+    let hex = |s: &str| u64::from_str_radix(s.trim_start_matches("0x"), 16).expect("hex bits");
+    for line in text.lines() {
+        if let Some(n) = line.strip_prefix("=== ") {
+            if in_record {
+                break;
+            }
+            in_record = n == name;
+            continue;
+        }
+        if !in_record {
+            continue;
+        }
+        if let Some((key, value)) = line.split_once('=') {
+            match key {
+                "epsilon_bits" => oracle.epsilon_bits = hex(value),
+                "tn_delta_bits" => oracle.tn_delta_bits = hex(value),
+                "sdp_solves" => oracle.sdp_solves = value.parse().unwrap(),
+                "cache_hits" => oracle.cache_hits = value.parse().unwrap(),
+                _ => {}
+            }
+        }
+    }
+    assert!(oracle.epsilon_bits != 0, "oracle record `{name}` found");
+    oracle
+}
+
+fn analyze(engine: &Engine, program: &Program, width: usize) -> StateAwareReport {
+    let request = AnalysisRequest::builder(program.clone())
+        .noise(NoiseModel::uniform_bit_flip(NOISE_P))
+        .method(Method::StateAware { mps_width: width })
+        .build()
+        .unwrap();
+    engine
+        .analyze(&request)
+        .unwrap()
+        .into_state_aware()
+        .unwrap()
+}
+
+#[test]
+fn store_round_trip_is_invisible_and_corruption_degrades_to_cold() {
+    let dir = tmpdir("suite");
+
+    // --- populate the store from cold engines (one per entry, matching
+    // the oracle's single-request contract) ----------------------------
+    for (name, program, width) in entries() {
+        let engine = Engine::new();
+        let report = analyze(&engine, &program, width);
+        let oracle = oracle_for(&name);
+        assert_eq!(
+            report.error_bound().to_bits(),
+            oracle.epsilon_bits,
+            "{name}"
+        );
+        let mut store = CertStore::open(&dir).unwrap();
+        store.persist_new(&engine).unwrap();
+    }
+
+    // --- warm engines load everything from disk: same ε/δ bits, zero
+    // solves ------------------------------------------------------------
+    for (name, program, width) in entries() {
+        let engine = Engine::new();
+        let mut store = CertStore::open(&dir).unwrap();
+        let stats = store.load_into(&engine).unwrap();
+        assert!(stats.loaded > 0 && stats.rejected == 0, "{name}: {stats:?}");
+        let report = analyze(&engine, &program, width);
+        let oracle = oracle_for(&name);
+        assert_eq!(
+            report.error_bound().to_bits(),
+            oracle.epsilon_bits,
+            "{name}: warm ε must be bit-identical to the sequential oracle"
+        );
+        assert_eq!(report.tn_delta().to_bits(), oracle.tn_delta_bits, "{name}");
+        assert_eq!(
+            report.sdp_solves(),
+            0,
+            "{name}: a warm store must answer every judgment"
+        );
+        assert_eq!(
+            report.cache_hits(),
+            oracle.sdp_solves + oracle.cache_hits,
+            "{name}: every oracle judgment becomes a hit"
+        );
+    }
+
+    // --- corrupt the store: bit-flip inside the first record -----------
+    let store_file = CertStore::open(&dir).unwrap().path().to_path_buf();
+    let pristine = std::fs::read(&store_file).unwrap();
+    let mut corrupted = pristine.clone();
+    corrupted[16 + 4 + 21] ^= 0x40; // header(16) + len(4) + offset into payload
+    std::fs::write(&store_file, &corrupted).unwrap();
+
+    for (name, program, width) in entries() {
+        let engine = Engine::new();
+        let mut store = CertStore::open(&dir).unwrap();
+        let stats = store.load_into(&engine).unwrap();
+        assert_eq!(
+            stats.loaded, 0,
+            "{name}: a checksum failure stops the scan — everything is a miss"
+        );
+        assert!(stats.truncated);
+        let report = analyze(&engine, &program, width);
+        let oracle = oracle_for(&name);
+        assert_eq!(
+            report.error_bound().to_bits(),
+            oracle.epsilon_bits,
+            "{name}: corrupted store must not change ε"
+        );
+        assert_eq!(report.tn_delta().to_bits(), oracle.tn_delta_bits, "{name}");
+        assert_eq!(
+            report.sdp_solves(),
+            oracle.sdp_solves,
+            "{name}: corrupted store must behave exactly like a cold engine"
+        );
+        assert_eq!(report.cache_hits(), oracle.cache_hits, "{name}");
+    }
+
+    // --- truncate mid-record: the torn record is a miss, earlier ones
+    // still load, and the analysis answers are still bit-identical ------
+    let mut truncated = pristine.clone();
+    truncated.truncate(pristine.len() - 13);
+    std::fs::write(&store_file, &truncated).unwrap();
+    let (name, program, width) = entries().remove(0);
+    let engine = Engine::new();
+    let mut store = CertStore::open(&dir).unwrap();
+    let stats = store.load_into(&engine).unwrap();
+    assert!(stats.truncated);
+    assert!(stats.loaded > 0, "untorn records still load: {stats:?}");
+    let report = analyze(&engine, &program, width);
+    let oracle = oracle_for(&name);
+    assert_eq!(report.error_bound().to_bits(), oracle.epsilon_bits);
+    assert_eq!(report.tn_delta().to_bits(), oracle.tn_delta_bits);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,248 @@
+//! End-to-end tests driving `gleipnir-server` over a real loopback socket.
+//!
+//! These pin the service contract the README advertises:
+//!
+//! * two identical `POST /analyze` requests in one process — the second is
+//!   answered entirely from the shared certificate cache (0 SDP solves);
+//! * a **restart** against the same `--cache-dir` answers with 0 new SDP
+//!   solves and a bit-identical ε (the persistent store works end to end);
+//! * a full accept queue sheds load with `429` — never a hang, never a
+//!   panic;
+//! * the error surface: 400 / 404 / 405 / 422 all materialize as JSON.
+
+use gleipnir::core::jsonfmt::json_str;
+use gleipnir::server::{json, spawn, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+const GHZ_SRC: &str = "qubits 2;\nh q0;\ncnot q0, q1;\n";
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gleipnir-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One raw HTTP exchange: connect, send, read to EOF (the server closes),
+/// return (status, body).
+fn exchange(addr: SocketAddr, raw: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    stream.write_all(raw.as_bytes()).expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    exchange(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    exchange(addr, &format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n"))
+}
+
+fn analyze_body() -> String {
+    format!(
+        "{{\"source\":{},\"name\":\"ghz2\",\"width\":8,\"noise\":\"bitflip:1e-4\"}}",
+        json_str(GHZ_SRC)
+    )
+}
+
+/// Pulls `report.<field>` out of a 200 /analyze response.
+fn report_field(body: &str, field: &str) -> json::Json {
+    let v = json::parse(body).expect("response is JSON");
+    assert_eq!(v.get("ok").and_then(json::Json::as_bool), Some(true));
+    v.get("report")
+        .and_then(|r| r.get(field))
+        .unwrap_or_else(|| panic!("report field `{field}` in {body}"))
+        .clone()
+}
+
+#[test]
+fn analyze_twice_then_warm_restart_from_cache_dir() {
+    let dir = tmpdir("warm-restart");
+    let config = |addr: String| ServerConfig {
+        addr,
+        workers: 2,
+        queue_capacity: 8,
+        cache_dir: Some(dir.clone()),
+        threads: 2,
+        ..ServerConfig::default()
+    };
+
+    // --- process 1: cold, then warm in-process -------------------------
+    let server = spawn(config("127.0.0.1:0".into())).expect("spawn server");
+    let addr = server.addr();
+
+    let (status, body) = post(addr, "/analyze", &analyze_body());
+    assert_eq!(status, 200, "{body}");
+    let eps_cold = report_field(&body, "error_bound").as_f64().unwrap();
+    assert!(eps_cold.is_finite() && eps_cold > 0.0);
+    let solves_cold = report_field(&body, "sdp_solves").as_usize().unwrap();
+    assert!(solves_cold >= 1, "cold request must pay for its SDPs");
+
+    let (status, body) = post(addr, "/analyze", &analyze_body());
+    assert_eq!(status, 200, "{body}");
+    let eps_warm = report_field(&body, "error_bound").as_f64().unwrap();
+    let solves_warm = report_field(&body, "sdp_solves").as_usize().unwrap();
+    let hits_warm = report_field(&body, "cache_hits").as_usize().unwrap();
+    assert_eq!(solves_warm, 0, "second request must be served from cache");
+    assert!(hits_warm >= 1, "≥ 1 judgment answered by the cache");
+    assert_eq!(eps_warm.to_bits(), eps_cold.to_bits(), "ε must not drift");
+
+    // /metrics reflects the hit.
+    let (status, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let m = json::parse(&metrics).unwrap();
+    let cache = m.get("cache").expect("cache section");
+    assert!(cache.get("hits").unwrap().as_usize().unwrap() >= 1);
+    assert!(cache.get("entries").unwrap().as_usize().unwrap() >= 1);
+
+    server.join(); // drains + persists the store
+
+    // --- process 2 (same cache dir): warm from disk --------------------
+    let server = spawn(config("127.0.0.1:0".into())).expect("respawn server");
+    let addr = server.addr();
+    let (status, body) = post(addr, "/analyze", &analyze_body());
+    assert_eq!(status, 200, "{body}");
+    let eps_restart = report_field(&body, "error_bound").as_f64().unwrap();
+    let solves_restart = report_field(&body, "sdp_solves").as_usize().unwrap();
+    assert_eq!(
+        solves_restart, 0,
+        "a restart against the same --cache-dir must answer with 0 new SDP solves"
+    );
+    assert_eq!(
+        eps_restart.to_bits(),
+        eps_cold.to_bits(),
+        "restart ε must be bit-identical"
+    );
+    let (_, metrics) = get(addr, "/metrics");
+    let m = json::parse(&metrics).unwrap();
+    let store = m.get("store").expect("store section");
+    assert_eq!(store.get("enabled").unwrap().as_bool(), Some(true));
+    assert!(
+        store.get("loaded").unwrap().as_usize().unwrap() >= 1,
+        "store must have re-verified and loaded certificates: {metrics}"
+    );
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn full_queue_sheds_with_429_not_a_hang() {
+    let server = spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_capacity: 1,
+        read_timeout: Duration::from_secs(3),
+        threads: 1,
+        ..ServerConfig::default()
+    })
+    .expect("spawn server");
+    let addr = server.addr();
+
+    // Pin the single worker: a connection that never completes its request
+    // (the worker blocks reading it until the read timeout).
+    let mut pin = TcpStream::connect(addr).unwrap();
+    pin.write_all(b"POST /analyze HTTP/1.1\r\n").unwrap();
+    std::thread::sleep(Duration::from_millis(400));
+
+    // Fill the one queue slot the same way.
+    let mut filler = TcpStream::connect(addr).unwrap();
+    filler.write_all(b"POST /analyze HTTP/1.1\r\n").unwrap();
+    std::thread::sleep(Duration::from_millis(400));
+
+    // Queue full + worker busy ⇒ this one must be shed, promptly.
+    let start = std::time::Instant::now();
+    let (status, body) = post(addr, "/healthz", "");
+    assert_eq!(status, 429, "expected load shedding, got {status}: {body}");
+    assert!(body.contains("overloaded"), "{body}");
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "shedding must be immediate, not queued behind the stall"
+    );
+    let v = json::parse(&body).expect("429 body is JSON");
+    assert_eq!(v.get("ok").and_then(json::Json::as_bool), Some(false));
+
+    // Release the pinned connections; the server then shuts down cleanly
+    // (this would hang if shedding had wedged the acceptor).
+    drop(pin);
+    drop(filler);
+    server.join();
+}
+
+#[test]
+fn error_surface_is_json_all_the_way_down() {
+    let server = spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        threads: 1,
+        ..ServerConfig::default()
+    })
+    .expect("spawn server");
+    let addr = server.addr();
+
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(
+        json::parse(&body).unwrap().get("status").unwrap().as_str(),
+        Some("ok")
+    );
+
+    let (status, _) = get(addr, "/no-such-endpoint");
+    assert_eq!(status, 404);
+
+    let (status, _) = exchange(
+        addr,
+        "PUT /analyze HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n",
+    );
+    assert_eq!(status, 405);
+
+    let (status, body) = post(addr, "/analyze", "{not json");
+    assert_eq!(status, 400);
+    assert!(
+        json::parse(&body).is_ok(),
+        "error body must be JSON: {body}"
+    );
+
+    let (status, body) = post(addr, "/analyze", "{\"source\":\"this is not glq\"}");
+    assert_eq!(status, 422);
+    assert!(body.contains("parse"), "{body}");
+
+    // A batch where one entry is broken: the batch still succeeds, the
+    // entry carries its own error.
+    let batch = format!(
+        "{{\"programs\":[{{\"source\":{},\"width\":4}},{{\"source\":\"bogus\"}}]}}",
+        json_str(GHZ_SRC)
+    );
+    let (status, body) = post(addr, "/batch", &batch);
+    assert_eq!(status, 200, "{body}");
+    let v = json::parse(&body).unwrap();
+    let results = v.get("results").unwrap().as_array().unwrap();
+    assert_eq!(results.len(), 2);
+    assert_eq!(results[0].get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(results[1].get("ok").unwrap().as_bool(), Some(false));
+
+    server.join();
+}
