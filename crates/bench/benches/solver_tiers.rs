@@ -1,0 +1,249 @@
+//! Tiered bound-engine benchmark on the 288-gate Ising workload
+//! (`ising_chain(12, 12)` — the example PR 3 measured at ≥ 99.9% solve
+//! wall). Emits a machine-readable **`BENCH_solver.json`** (override the
+//! path with `BENCH_SOLVER_JSON_PATH`): per-pass tier counts,
+//! interior-point iterations, and wall time, so CI can assert that the
+//! tiers are alive — and that tiering ON spends fewer IP iterations than
+//! tiering OFF on the same workload (**counts, not wall time**: the
+//! 1-core CI container can still verify it).
+//!
+//! Passes (see `docs/PERFORMANCE.md` for how to read the artifact):
+//!
+//! * `bitflip_exact` — tiering OFF, Pauli noise: every judgment is a cold
+//!   SDP solve (the pre-tiering engine; the iteration baseline).
+//! * `bitflip_fast` — tiering ON, same requests: bit-flip noise is a
+//!   Pauli mixture, so Tier 0 answers **every** judgment analytically —
+//!   zero IP iterations.
+//! * `ampdamp_seed` — amplitude damping (no Pauli structure → no Tier 0)
+//!   solved cold at δ quantum 1e-6, persisting its certificates to a
+//!   store. This is "yesterday's service run".
+//! * `ampdamp_rebucket_cold` — a fresh engine warmed from that store,
+//!   re-analyzed at δ quantum 1.1e-6 with tiering OFF: every key misses
+//!   (the quantum is part of the content address), so everything solves
+//!   cold. The Tier-1 control.
+//! * `ampdamp_rebucket_warm` — identical setup with warm starts allowed:
+//!   every solve finds a neighboring donor dual (same gate/Kraus/ρ′,
+//!   δ_eff within a bucket) and starts the interior-point iteration from
+//!   it. Fewer iterations, same certified bounds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gleipnir_circuit::Gate;
+use gleipnir_core::{
+    unconstrained_diamond, AnalysisRequest, CertStore, Engine, Method, Report, TierPolicy,
+};
+use gleipnir_noise::{classify_residual, Channel, NoiseModel};
+use gleipnir_sdp::SolverOptions;
+use gleipnir_workloads::ising_chain;
+use std::time::Instant;
+
+const WIDTH: usize = 8;
+
+fn program() -> gleipnir_circuit::Program {
+    ising_chain(12, 12, 1.0, 1.0, 0.1)
+}
+
+fn request(noise: NoiseModel, quantum: f64, tiers: TierPolicy) -> AnalysisRequest {
+    AnalysisRequest::builder(program())
+        .noise(noise)
+        .method(Method::StateAware { mps_width: WIDTH })
+        .delta_quantum(quantum)
+        .tiering(tiers)
+        .build()
+        .expect("valid request")
+}
+
+fn warm_only() -> TierPolicy {
+    TierPolicy {
+        closed_form: false,
+        warm_start: true,
+    }
+}
+
+/// One machine-readable pass record.
+struct Pass {
+    name: &'static str,
+    noise: &'static str,
+    policy: &'static str,
+    sdp_solves: usize,
+    cache_hits: usize,
+    closed_form: usize,
+    warm: usize,
+    cold: usize,
+    ip_iterations: usize,
+    wall_ms: f64,
+    error_bound: f64,
+}
+
+fn pass(
+    name: &'static str,
+    noise: &'static str,
+    policy: &'static str,
+    engine: &Engine,
+    req: &AnalysisRequest,
+) -> Pass {
+    let t0 = Instant::now();
+    let report: Report = engine.analyze(req).expect("pass succeeds");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let tiers = report.tier_counts();
+    Pass {
+        name,
+        noise,
+        policy,
+        sdp_solves: report.sdp_solves(),
+        cache_hits: report.cache_hits(),
+        closed_form: tiers.closed_form,
+        warm: tiers.warm,
+        cold: tiers.cold,
+        ip_iterations: report.ip_iterations(),
+        wall_ms,
+        error_bound: report.error_bound(),
+    }
+}
+
+fn emit_json() {
+    let p = program();
+    let bitflip = || NoiseModel::uniform_bit_flip(1e-4);
+    let ampdamp = || NoiseModel::uniform_amplitude_damping(1e-4);
+
+    // Tier 0 demonstration: tiering OFF vs ON on the Pauli workload.
+    let off = pass(
+        "bitflip_exact",
+        "bitflip:1e-4",
+        "exact",
+        &Engine::new(),
+        &request(bitflip(), 1e-6, TierPolicy::exact()),
+    );
+    let on = pass(
+        "bitflip_fast",
+        "bitflip:1e-4",
+        "fast",
+        &Engine::new(),
+        &request(bitflip(), 1e-6, TierPolicy::fast()),
+    );
+
+    // Tier 1 demonstration: seed a store at quantum 1e-6, then re-analyze
+    // at 1.1e-6 (every content address changes) cold vs warm-started.
+    let store_dir = std::env::temp_dir().join(format!(
+        "gleipnir-solver-tiers-bench-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let seed_engine = Engine::new();
+    let mut store = CertStore::open(&store_dir).expect("store dir");
+    let seed = pass(
+        "ampdamp_seed",
+        "ampdamp:1e-4",
+        "exact",
+        &seed_engine,
+        &request(ampdamp(), 1e-6, TierPolicy::exact()),
+    );
+    store.persist_new(&seed_engine).expect("persist seed certs");
+
+    let loaded = |label: &str| -> Engine {
+        let engine = Engine::new();
+        let stats = CertStore::open(&store_dir)
+            .expect("store dir")
+            .load_into(&engine)
+            .expect("load store");
+        assert!(stats.loaded > 0, "{label}: store should warm the engine");
+        engine
+    };
+    let rebucket_cold = pass(
+        "ampdamp_rebucket_cold",
+        "ampdamp:1e-4",
+        "exact",
+        &loaded("cold"),
+        &request(ampdamp(), 1.1e-6, TierPolicy::exact()),
+    );
+    let rebucket_warm = pass(
+        "ampdamp_rebucket_warm",
+        "ampdamp:1e-4",
+        "warm",
+        &loaded("warm"),
+        &request(ampdamp(), 1.1e-6, warm_only()),
+    );
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    let passes = [&off, &on, &seed, &rebucket_cold, &rebucket_warm];
+    let pass_json: Vec<String> = passes
+        .iter()
+        .map(|s| {
+            format!(
+                concat!(
+                    "{{\"name\":\"{}\",\"noise\":\"{}\",\"policy\":\"{}\",",
+                    "\"sdp_solves\":{},\"cache_hits\":{},",
+                    "\"tiers\":{{\"closed_form\":{},\"warm\":{},\"cold\":{}}},",
+                    "\"ip_iterations\":{},\"wall_ms\":{:.3},\"error_bound\":{:e}}}"
+                ),
+                s.name,
+                s.noise,
+                s.policy,
+                s.sdp_solves,
+                s.cache_hits,
+                s.closed_form,
+                s.warm,
+                s.cold,
+                s.ip_iterations,
+                s.wall_ms,
+                s.error_bound
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"solver_tiers\",",
+            "\"workload\":{{\"name\":\"ising_chain_12x12\",\"qubits\":{},\"gates\":{},\"width\":{}}},",
+            "\"ising288_ip_iterations\":{{\"tiering_off\":{},\"tiering_on\":{}}},",
+            "\"warm_vs_cold\":{{\"cold_ip_iterations\":{},\"warm_ip_iterations\":{},",
+            "\"cold_wall_ms\":{:.3},\"warm_wall_ms\":{:.3}}},",
+            "\"passes\":[{}]}}\n"
+        ),
+        p.n_qubits(),
+        p.gate_count(),
+        WIDTH,
+        off.ip_iterations,
+        on.ip_iterations,
+        rebucket_cold.ip_iterations,
+        rebucket_warm.ip_iterations,
+        rebucket_cold.wall_ms,
+        rebucket_warm.wall_ms,
+        pass_json.join(",")
+    );
+    let path =
+        std::env::var("BENCH_SOLVER_JSON_PATH").unwrap_or_else(|_| "BENCH_solver.json".to_string());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    print!("{json}");
+}
+
+/// Human-readable micro-comparison: what one gate judgment costs per tier
+/// (Tier 0 classification + closed form vs a cold SDP solve).
+fn bench_per_gate(c: &mut Criterion) {
+    let gate = Gate::Cnot.matrix();
+    let noisy = Channel::bit_flip_first_of_two(1e-4).after_unitary(&gate);
+    let mut group = c.benchmark_group("per_gate_bound");
+    group.sample_size(10);
+    group.bench_function("tier0_closed_form", |b| {
+        b.iter(|| {
+            classify_residual(&gate, noisy.kraus())
+                .closed_form_diamond_bound()
+                .expect("Pauli closed form")
+        })
+    });
+    group.bench_function("tier2_cold_sdp", |b| {
+        b.iter(|| unconstrained_diamond(&gate, &noisy, &SolverOptions::default()).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_json(_c: &mut Criterion) {
+    // The JSON pass runs each analysis exactly once (each is itself a
+    // whole 288-gate workload), both under `cargo bench` and `--test`
+    // smoke runs.
+    emit_json();
+}
+
+criterion_group!(benches, bench_per_gate, bench_json);
+criterion_main!(benches);

@@ -98,6 +98,12 @@ pub struct AdaptiveStep {
     /// Of `cache_hits`, judgments deduplicated against an in-flight SDP
     /// solve rather than a finished certificate.
     pub inflight_dedup: usize,
+    /// How the bound engine's tiers answered this width's judgments
+    /// (under [`crate::TierPolicy::fast`], later widths warm-start from
+    /// the earlier widths' certificates wherever δ drifted a bucket).
+    pub tier_counts: crate::TierCounts,
+    /// Interior-point iterations spent at this width.
+    pub ip_iterations: usize,
 }
 
 /// The adaptive analysis outcome.
@@ -165,7 +171,7 @@ pub(crate) fn run_adaptive(
             mps_width,
         } = plan;
         let saturated = final_delta < SATURATION_DELTA;
-        let pending = spawn_solve(h, obligations, opts);
+        let pending = spawn_solve(h, obligations, opts, request.tier_policy());
         // Plan-ahead overlap: while this width's SDPs solve on the pool,
         // speculatively plan the next width (unless this one is already
         // saturated or capped — then every wider plan would be identical
@@ -187,6 +193,8 @@ pub(crate) fn run_adaptive(
             sdp_solves: report.sdp_solves(),
             cache_hits: report.cache_hits(),
             inflight_dedup: report.inflight_dedup(),
+            tier_counts: report.tier_counts(),
+            ip_iterations: report.ip_iterations(),
         });
         let improved_enough = match &best {
             None => true,

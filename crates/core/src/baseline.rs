@@ -18,6 +18,7 @@
 use crate::diamond::rho_delta_diamond;
 use crate::engine::{self, EngineHandle};
 use crate::request::AnalysisRequest;
+use crate::tiers::{closed_form_gate_bound, TierCounts};
 use crate::{unconstrained_diamond, AnalysisError};
 use gleipnir_circuit::{Gate, Program};
 use gleipnir_linalg::CMat;
@@ -34,11 +35,21 @@ pub struct WorstCaseReport {
     pub total: f64,
     /// Number of gates analyzed.
     pub gate_count: usize,
-    /// Distinct (gate, channel) SDPs solved (the rest were cache hits).
+    /// Distinct (gate, channel) SDPs solved (the rest were cache hits or
+    /// closed forms).
     pub sdp_solves: usize,
     /// Gate bounds answered from the engine's shared cache (including
     /// repeats within this program).
     pub cache_hits: usize,
+    /// How the bound engine's tiers answered the gates. Worst case is the
+    /// one method where Tier 0 is *lossless*: the unconstrained diamond
+    /// norm is exactly what the closed form certifies, so under
+    /// [`crate::TierPolicy::fast`] every Pauli-type gate skips its SDP
+    /// with no extra looseness. (Tier 1 does not apply — unconstrained
+    /// problems have no δ neighborhood to ride.)
+    pub tier_counts: TierCounts,
+    /// Interior-point iterations the analysis's SDP solves spent.
+    pub ip_iterations: usize,
     /// Wall-clock time of the analysis.
     pub elapsed: Duration,
 }
@@ -78,11 +89,19 @@ pub(crate) fn run_worst_case(
     // A per-run memo always dedups repeats inside this program; the
     // engine's shared cache (when enabled) additionally carries bounds
     // across requests.
-    let mut local: HashMap<Vec<u64>, f64> = HashMap::new();
+    let tiers = request.tier_policy();
+    // Local memo values remember how they were produced: a repeated
+    // closed-form gate counts as closed form again (mirroring the solve
+    // stage's follower accounting), a repeated solved/shared value as a
+    // cache hit — so `gate_count = sdp_solves + cache_hits + closed_form`
+    // holds here too.
+    let mut local: HashMap<Vec<u64>, (f64, bool)> = HashMap::new();
     let mut total = 0.0;
     let mut gate_count = 0usize;
     let mut solves = 0usize;
     let mut cache_hits = 0usize;
+    let mut tier_counts = TierCounts::default();
+    let mut ip_iterations = 0usize;
     let mut err: Option<AnalysisError> = None;
     request.program().body().for_each_gate(&mut |g| {
         if err.is_some() {
@@ -91,20 +110,37 @@ pub(crate) fn run_worst_case(
         gate_count += 1;
         let noisy = noise.noisy_gate(&g.gate, &g.qubits);
         let key = engine::key_unconstrained(&g.gate.matrix(), noisy.kraus(), &opts);
-        if let Some(&eps) = local.get(&key) {
-            cache_hits += 1;
+        if let Some(&(eps, analytic)) = local.get(&key) {
+            if analytic {
+                tier_counts.closed_form += 1;
+            } else {
+                cache_hits += 1;
+            }
             total += eps;
             return;
         }
         if let Some(eps) = shared.and_then(|c| c.get(&key)) {
             cache_hits += 1;
-            local.insert(key, eps);
+            local.insert(key, (eps, false));
             total += eps;
             return;
+        }
+        // Tier 0: for the unconstrained norm the closed form is lossless
+        // (it certifies exactly this quantity); never cached, like the
+        // solve stage.
+        if tiers.closed_form {
+            if let Some(eps) = closed_form_gate_bound(&g.gate.matrix(), &noisy) {
+                tier_counts.closed_form += 1;
+                local.insert(key, (eps, true));
+                total += eps;
+                return;
+            }
         }
         match unconstrained_diamond(&g.gate.matrix(), &noisy, &opts) {
             Ok(r) => {
                 solves += 1;
+                tier_counts.cold += 1;
+                ip_iterations += r.iterations;
                 if let Some(c) = shared {
                     c.insert(
                         key.clone(),
@@ -113,10 +149,11 @@ pub(crate) fn run_worst_case(
                             dim: g.gate.matrix().rows() as u32,
                             n_kraus: noisy.kraus().len() as u32,
                             dual: std::sync::Arc::new(r.dual),
+                            tier: r.tier,
                         },
                     );
                 }
-                local.insert(key, r.bound);
+                local.insert(key, (r.bound, false));
                 total += r.bound;
             }
             Err(e) => err = Some(e.into()),
@@ -125,11 +162,14 @@ pub(crate) fn run_worst_case(
     if let Some(e) = err {
         return Err(e);
     }
+    h.shared.tiers.note(tier_counts, ip_iterations);
     Ok(WorstCaseReport {
         total,
         gate_count,
         sdp_solves: solves,
         cache_hits,
+        tier_counts,
+        ip_iterations,
         elapsed: start.elapsed(),
     })
 }
@@ -315,6 +355,45 @@ mod tests {
         );
         // Only a few distinct (gate, channel) pairs were solved.
         assert!(report.sdp_solves <= 5);
+    }
+
+    #[test]
+    fn worst_case_fast_policy_answers_pauli_gates_analytically() {
+        // Worst case is exactly the unconstrained norm the Tier 0 closed
+        // form certifies, so under the fast policy a Pauli noise model
+        // needs zero SDPs — and leaves no trace in the shared cache.
+        let p = 1e-4;
+        let mut b = ProgramBuilder::new(3);
+        b.h(0).cnot(0, 1).cnot(1, 2).rx(0, 0.3).rzz(0, 2, 0.9);
+        let engine = Engine::new();
+        let request = AnalysisRequest::builder(b.build())
+            .noise(NoiseModel::uniform_bit_flip(p))
+            .method(Method::WorstCase)
+            .tiering(crate::TierPolicy::fast())
+            .build()
+            .unwrap();
+        let report = match engine.analyze(&request).unwrap() {
+            Report::WorstCase(r) => r,
+            other => panic!("expected worst-case report, got {}", other.method_name()),
+        };
+        assert_eq!(report.sdp_solves, 0);
+        assert_eq!(report.ip_iterations, 0);
+        assert_eq!(report.tier_counts.closed_form, report.gate_count);
+        assert!(
+            (report.total - 5.0 * p).abs() < 5.0 * p * 1e-3,
+            "{}",
+            report.total
+        );
+        assert_eq!(
+            report.sdp_solves + report.cache_hits + report.tier_counts.closed_form,
+            report.gate_count
+        );
+        assert_eq!(
+            engine.cache_stats().entries,
+            0,
+            "closed forms are never cached"
+        );
+        assert_eq!(engine.tier_stats().closed_form, report.gate_count);
     }
 
     #[test]

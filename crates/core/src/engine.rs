@@ -43,6 +43,7 @@ use crate::logic::run_state_aware;
 use crate::pool::{lock, run_indexed, PoolHandle, WorkerPool};
 use crate::report::Report;
 use crate::request::{AnalysisRequest, Method};
+use crate::tiers::{BoundTier, TierStats, TierTotals};
 use crate::AnalysisError;
 use gleipnir_linalg::CMat;
 use gleipnir_sdp::{SdpError, SolverOptions};
@@ -146,6 +147,9 @@ pub(crate) struct Certificate {
     pub n_kraus: u32,
     /// The weak-duality dual vector `y` behind `eps`.
     pub dual: Arc<Vec<f64>>,
+    /// Which tier produced `eps` (loaded store entries count as cold — the
+    /// solve that originally paid for them was one).
+    pub tier: BoundTier,
 }
 
 /// The engine's shared, content-addressed SDP bound cache with in-flight
@@ -153,6 +157,11 @@ pub(crate) struct Certificate {
 pub(crate) struct SdpCache {
     shards: Vec<Mutex<HashMap<Vec<u64>, Certificate>>>,
     inflight: Mutex<HashMap<Vec<u64>, Arc<InflightSlot>>>,
+    /// Tier-1 warm-start index: coarse neighbor key (ρ′ rounded to 1e-4,
+    /// δ coordinates zeroed) → the full keys of every stored certificate
+    /// matching it. [`SdpCache::nearest_dual`] searches one coarse bucket
+    /// instead of the whole store.
+    neighbors: Mutex<HashMap<Vec<u64>, Vec<Vec<u64>>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     inflight_dedup: AtomicUsize,
@@ -162,6 +171,60 @@ pub(crate) struct SdpCache {
     inserts: AtomicUsize,
 }
 
+/// How far (in multiples of the queried δ bucket width) a stored
+/// certificate's effective δ may sit from the queried one and still donate
+/// its dual as a warm start. Beyond this the dual is too stale to help.
+const WARM_NEIGHBOR_WINDOW_BUCKETS: f64 = 8.0;
+
+/// Expected word count of a `(ρ̂, δ)` content address (see
+/// [`key_rho_delta`]); the warm-start index only trusts keys whose layout
+/// it can parse.
+fn rho_delta_key_len(dim: usize, n_kraus: usize) -> usize {
+    let dd2 = 2 * dim * dim;
+    1 + dd2 + 1 + n_kraus * dd2 + 1 + dd2 + 4
+}
+
+/// The coarse neighbor key of a `(ρ̂, δ)` content address: ρ′ rounded to
+/// 1e-4 per component (so judgments whose quantized ρ′ differ only in the
+/// fine digits collide) and the `(bucket, quantum)` δ coordinates zeroed
+/// (δ proximity is *searched* by [`SdpCache::nearest_dual`], not matched).
+/// `None` when the key is not a structurally valid `(ρ̂, δ)` address.
+fn warm_neighbor_coarse_key(key: &[u64], dim: usize, n_kraus: usize) -> Option<Vec<u64>> {
+    if key.first() != Some(&KEY_RHO_DELTA) || !(dim == 2 || dim == 4) || n_kraus == 0 {
+        return None;
+    }
+    if key.len() != rho_delta_key_len(dim, n_kraus) {
+        return None;
+    }
+    let dd2 = 2 * dim * dim;
+    let mut coarse = key.to_vec();
+    let rho_start = key.len() - 4 - dd2;
+    for w in &mut coarse[rho_start..rho_start + dd2] {
+        let v = f64::from_bits(*w);
+        if !v.is_finite() {
+            return None;
+        }
+        let c = (v * 1e4).round() / 1e4;
+        // Canonicalize −0.0 so it collides with +0.0.
+        *w = (if c == 0.0 { 0.0 } else { c }).to_bits();
+    }
+    let len = coarse.len();
+    coarse[len - 4] = 0;
+    coarse[len - 3] = 0;
+    Some(coarse)
+}
+
+/// The effective δ a `(ρ̂, δ)` key certifies: `bucket · quantum`.
+fn key_delta_eff(key: &[u64]) -> Option<f64> {
+    if key.len() < 4 {
+        return None;
+    }
+    let bucket = key[key.len() - 4];
+    let quantum = f64::from_bits(key[key.len() - 3]);
+    let delta = bucket as f64 * quantum;
+    delta.is_finite().then_some(delta)
+}
+
 impl SdpCache {
     fn new() -> Self {
         SdpCache {
@@ -169,6 +232,7 @@ impl SdpCache {
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
             inflight: Mutex::new(HashMap::new()),
+            neighbors: Mutex::new(HashMap::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             inflight_dedup: AtomicUsize::new(0),
@@ -192,10 +256,83 @@ impl SdpCache {
         found
     }
 
-    /// Stores a certificate under its content address.
+    /// Stores a certificate under its content address (and, for `(ρ̂, δ)`
+    /// certificates carrying a dual vector, registers it in the Tier-1
+    /// warm-start neighbor index).
     pub(crate) fn insert(&self, key: Vec<u64>, cert: Certificate) {
+        let coarse = (!cert.dual.is_empty())
+            .then(|| warm_neighbor_coarse_key(&key, cert.dim as usize, cert.n_kraus as usize))
+            .flatten();
+        let full = coarse.as_ref().map(|_| key.clone());
         lock(self.shard(&key)).insert(key, cert);
         self.inserts.fetch_add(1, Ordering::Relaxed);
+        if let (Some(coarse), Some(full)) = (coarse, full) {
+            let mut map = lock(&self.neighbors);
+            let list = map.entry(coarse).or_default();
+            if !list.contains(&full) {
+                list.push(full);
+            }
+        }
+    }
+
+    /// Tier-1 probe: the best stored dual among the key's **neighbors** —
+    /// certificates for the same gate/Kraus/solver-options whose quantized
+    /// ρ′ agrees to coarse (1e-4) precision and whose effective δ lies
+    /// within [`WARM_NEIGHBOR_WINDOW_BUCKETS`] bucket widths of the
+    /// queried one (adjacent δ buckets, re-bucketed quanta, and fine-digit
+    /// ρ′ drift all qualify). The exact key itself never matches — that
+    /// would be a plain cache hit.
+    ///
+    /// Deterministic by construction: candidates are ranked by
+    /// `(|Δδ_eff|, key)` — a total order over the candidate *set*, which
+    /// for a fixed prior cache state does not depend on insertion order or
+    /// thread scheduling. No counter side effects.
+    pub(crate) fn nearest_dual(
+        &self,
+        key: &[u64],
+        dim: u32,
+        n_kraus: u32,
+    ) -> Option<Arc<Vec<f64>>> {
+        let coarse = warm_neighbor_coarse_key(key, dim as usize, n_kraus as usize)?;
+        let query_delta = key_delta_eff(key)?;
+        let quantum = f64::from_bits(key[key.len() - 3]);
+        if !(quantum.is_finite() && quantum > 0.0) {
+            return None;
+        }
+        let window = WARM_NEIGHBOR_WINDOW_BUCKETS * quantum;
+        // Rank under the index lock and clone only the winning key — the
+        // candidate lists hold full content addresses (hundreds of words
+        // each), and this probe runs once per keyed unit on the
+        // sequential dispatch path.
+        let donor: Vec<u64> = {
+            let map = lock(&self.neighbors);
+            let candidates = map.get(&coarse)?;
+            let mut best: Option<(f64, &Vec<u64>)> = None;
+            for cand in candidates {
+                if cand.as_slice() == key {
+                    continue;
+                }
+                let Some(delta) = key_delta_eff(cand) else {
+                    continue;
+                };
+                let dist = (delta - query_delta).abs();
+                if dist > window {
+                    continue;
+                }
+                let better = match &best {
+                    None => true,
+                    Some((bd, bk)) => dist < *bd || (dist == *bd && cand < *bk),
+                };
+                if better {
+                    best = Some((dist, cand));
+                }
+            }
+            best?.1.clone()
+        };
+        lock(self.shard(&donor))
+            .get(&donor)
+            .filter(|c| !c.dual.is_empty())
+            .map(|c| Arc::clone(&c.dual))
     }
 
     /// The monotonic insert counter (see the field docs).
@@ -303,6 +440,7 @@ impl SdpCache {
         for s in &self.shards {
             lock(s).clear();
         }
+        lock(&self.neighbors).clear();
         // The in-flight map is deliberately left alone: clearing it would
         // orphan threads waiting on a slot. Leads complete and remove
         // their own entries.
@@ -467,6 +605,10 @@ fn resolve_threads(requested: usize) -> Result<usize, AnalysisError> {
 pub(crate) struct EngineShared {
     pub(crate) cache: SdpCache,
     pub(crate) options: SolverOptions,
+    /// Engine-lifetime tier totals (per-tier answer counts + cumulative
+    /// interior-point iterations), surfaced by [`Engine::tier_stats`] and
+    /// the server's `/metrics`.
+    pub(crate) tiers: TierTotals,
 }
 
 /// A cheap, clonable, `'static` handle to the engine — what analysis
@@ -510,6 +652,7 @@ pub(crate) fn analyze_request(
                 &opts,
                 request.cache_enabled(),
                 request.delta_quantum(),
+                request.tier_policy(),
             )
             .map(Report::StateAware)
         }
@@ -601,6 +744,7 @@ impl Engine {
             shared: Arc::new(EngineShared {
                 cache: SdpCache::new(),
                 options: solver,
+                tiers: TierTotals::default(),
             }),
             pool: Arc::new(WorkerPool::new(threads)),
         }
@@ -644,6 +788,14 @@ impl Engine {
             entries: self.shared.cache.entries(),
             inflight_dedup: self.shared.cache.inflight_dedup.load(Ordering::Relaxed),
         }
+    }
+
+    /// Engine-lifetime tier totals: how many judgments each tier of the
+    /// bound engine answered, and the interior-point iterations spent
+    /// (see [`crate::TierPolicy`] — with the default exact policy
+    /// everything lands in `cold`).
+    pub fn tier_stats(&self) -> TierStats {
+        self.shared.tiers.snapshot()
     }
 
     /// Drops every cached certificate and resets the counters.
@@ -730,6 +882,7 @@ mod tests {
             dim: 2,
             n_kraus: 1,
             dual: Arc::new(Vec::new()),
+            tier: BoundTier::ColdSolve,
         }
     }
 
@@ -826,6 +979,110 @@ mod tests {
         })
         .unwrap();
         assert_eq!(sequential.threads(), 1);
+    }
+
+    /// A structurally valid `(ρ̂, δ)` key for the identity gate with one
+    /// identity Kraus operator, at the given ρ′ and δ bucket.
+    fn rho_delta_key(rho_diag: [f64; 2], bucket: u64, quantum: f64) -> Vec<u64> {
+        let gate = CMat::identity(2);
+        let kraus = vec![CMat::identity(2)];
+        let rho = CMat::diag_real(&rho_diag);
+        key_rho_delta(
+            &gate,
+            &kraus,
+            &rho,
+            bucket,
+            quantum,
+            &SolverOptions::default(),
+        )
+    }
+
+    fn cert_with_dual(eps: f64, dual: Vec<f64>) -> Certificate {
+        Certificate {
+            eps,
+            dim: 2,
+            n_kraus: 1,
+            dual: Arc::new(dual),
+            tier: BoundTier::ColdSolve,
+        }
+    }
+
+    #[test]
+    fn nearest_dual_finds_adjacent_bucket() {
+        let cache = SdpCache::new();
+        let donor_key = rho_delta_key([1.0, 0.0], 5, 1e-6);
+        cache.insert(donor_key, cert_with_dual(0.5, vec![1.0, 2.0]));
+        let query = rho_delta_key([1.0, 0.0], 6, 1e-6);
+        let dual = cache.nearest_dual(&query, 2, 1).expect("adjacent bucket");
+        assert_eq!(*dual, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn nearest_dual_prefers_the_closest_bucket() {
+        let cache = SdpCache::new();
+        cache.insert(
+            rho_delta_key([1.0, 0.0], 3, 1e-6),
+            cert_with_dual(0.5, vec![3.0]),
+        );
+        cache.insert(
+            rho_delta_key([1.0, 0.0], 9, 1e-6),
+            cert_with_dual(0.5, vec![9.0]),
+        );
+        let query = rho_delta_key([1.0, 0.0], 8, 1e-6);
+        let dual = cache.nearest_dual(&query, 2, 1).expect("neighbor in range");
+        assert_eq!(*dual, vec![9.0], "bucket 9 is closer to 8 than bucket 3");
+    }
+
+    #[test]
+    fn nearest_dual_ignores_far_buckets_and_self() {
+        let cache = SdpCache::new();
+        cache.insert(
+            rho_delta_key([1.0, 0.0], 5, 1e-6),
+            cert_with_dual(0.5, vec![1.0]),
+        );
+        // Beyond the window: no donor.
+        let far = rho_delta_key([1.0, 0.0], 5 + 100, 1e-6);
+        assert!(cache.nearest_dual(&far, 2, 1).is_none());
+        // The exact key is a cache hit's job, not a neighbor.
+        let same = rho_delta_key([1.0, 0.0], 5, 1e-6);
+        assert!(cache.nearest_dual(&same, 2, 1).is_none());
+    }
+
+    #[test]
+    fn nearest_dual_tolerates_fine_rho_drift_but_not_coarse() {
+        let cache = SdpCache::new();
+        cache.insert(
+            rho_delta_key([1.0, 0.0], 5, 1e-6),
+            cert_with_dual(0.5, vec![7.0]),
+        );
+        // ρ′ differing below the 1e-4 coarsening still matches…
+        let fine = rho_delta_key([1.0 - 3e-8, 3e-8], 5 + 1, 1e-6);
+        assert!(cache.nearest_dual(&fine, 2, 1).is_some());
+        // …a coarsely different ρ′ does not.
+        let coarse = rho_delta_key([0.9, 0.1], 5 + 1, 1e-6);
+        assert!(cache.nearest_dual(&coarse, 2, 1).is_none());
+    }
+
+    #[test]
+    fn nearest_dual_matches_across_quanta_by_delta_eff() {
+        // bucket 10 at quantum 1e-6 (δ_eff = 1e-5) should serve a query at
+        // bucket 9 with quantum 1.1e-6 (δ_eff = 9.9e-6): different keys,
+        // nearly identical judgments.
+        let cache = SdpCache::new();
+        cache.insert(
+            rho_delta_key([1.0, 0.0], 10, 1e-6),
+            cert_with_dual(0.5, vec![4.0]),
+        );
+        let query = rho_delta_key([1.0, 0.0], 9, 1.1e-6);
+        assert!(cache.nearest_dual(&query, 2, 1).is_some());
+    }
+
+    #[test]
+    fn dual_less_certificates_never_donate() {
+        let cache = SdpCache::new();
+        cache.insert(rho_delta_key([1.0, 0.0], 5, 1e-6), cert(0.5));
+        let query = rho_delta_key([1.0, 0.0], 6, 1e-6);
+        assert!(cache.nearest_dual(&query, 2, 1).is_none());
     }
 
     #[test]

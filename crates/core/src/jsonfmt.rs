@@ -88,6 +88,14 @@ pub fn report_json(label: &str, program: &Program, report: &Report) -> String {
     if let Some(w) = report.solve_workers() {
         fields.push(format!("\"solve_workers\":{w}"));
     }
+    if report.as_state_aware().is_some() || report.as_worst_case().is_some() {
+        let t = report.tier_counts();
+        fields.push(format!(
+            "\"tiers\":{{\"closed_form\":{},\"warm\":{},\"cold\":{}}}",
+            t.closed_form, t.warm, t.cold
+        ));
+        fields.push(format!("\"ip_iterations\":{}", report.ip_iterations()));
+    }
     if let Some(r) = report.as_state_aware() {
         fields.push(format!("\"mps_width\":{}", r.mps_width()));
     }
@@ -97,12 +105,16 @@ pub fn report_json(label: &str, program: &Program, report: &Report) -> String {
             .iter()
             .map(|s| {
                 format!(
-                    "{{\"width\":{},\"bound\":{},\"tn_delta\":{},\"sdp_solves\":{},\"cache_hits\":{}}}",
+                    "{{\"width\":{},\"bound\":{},\"tn_delta\":{},\"sdp_solves\":{},\"cache_hits\":{},\"tiers\":{{\"closed_form\":{},\"warm\":{},\"cold\":{}}},\"ip_iterations\":{}}}",
                     s.width,
                     json_f64(s.bound),
                     json_f64(s.tn_delta),
                     s.sdp_solves,
-                    s.cache_hits
+                    s.cache_hits,
+                    s.tier_counts.closed_form,
+                    s.tier_counts.warm,
+                    s.tier_counts.cold,
+                    s.ip_iterations
                 )
             })
             .collect();

@@ -69,6 +69,7 @@ mod pool;
 mod report;
 mod request;
 mod solve;
+mod tiers;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveReport, AdaptiveStep};
 pub use baseline::{LqrReport, WorstCaseReport};
@@ -82,6 +83,7 @@ pub use logic::{Derivation, StageTimings, StateAwareReport};
 pub use persist::{CertStore, LoadStats};
 pub use report::Report;
 pub use request::{AnalysisRequest, AnalysisRequestBuilder, InputState, Method};
+pub use tiers::{BoundTier, TierCounts, TierPolicy, TierStats};
 
 // Pre-`Engine` one-shot entry points, kept as deprecated shims for
 // migration (see README's "migrating from `Analyzer`" table).

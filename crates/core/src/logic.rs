@@ -43,6 +43,7 @@ use crate::engine::EngineHandle;
 use crate::error::{AnalysisError, ReplayError};
 use crate::plan::{plan_program, Plan};
 use crate::solve::{spawn_solve, SolveOutcome};
+use crate::tiers::{TierCounts, TierPolicy};
 use gleipnir_circuit::{Gate, Program};
 use gleipnir_linalg::CMat;
 use gleipnir_mps::Mps;
@@ -206,6 +207,8 @@ pub struct StateAwareReport {
     pub(crate) sdp_solves: usize,
     pub(crate) cache_hits: usize,
     pub(crate) inflight_dedup: usize,
+    pub(crate) tier_counts: TierCounts,
+    pub(crate) ip_iterations: usize,
     pub(crate) elapsed: Duration,
     pub(crate) stage_timings: StageTimings,
     pub(crate) solve_workers: usize,
@@ -248,6 +251,22 @@ impl StateAwareReport {
     /// on the same key) rather than a finished certificate.
     pub fn inflight_dedup(&self) -> usize {
         self.inflight_dedup
+    }
+
+    /// How the bound engine answered this analysis's gate judgments, by
+    /// tier: closed forms, warm-started solves, cold solves. All zero
+    /// except `cold` under the default [`crate::TierPolicy::exact`].
+    /// `gates = sdp_solves + cache_hits + tier_counts.closed_form` under
+    /// every policy.
+    pub fn tier_counts(&self) -> TierCounts {
+        self.tier_counts
+    }
+
+    /// Interior-point iterations this analysis's SDP solves spent — the
+    /// work the tiers exist to save (0 when everything was answered by
+    /// cache hits or closed forms).
+    pub fn ip_iterations(&self) -> usize {
+        self.ip_iterations
     }
 
     /// Wall-clock time of the analysis.
@@ -363,6 +382,7 @@ pub(crate) fn run_state_aware(
     opts: &SolverOptions,
     cache_enabled: bool,
     delta_quantum: f64,
+    tiers: TierPolicy,
 ) -> Result<StateAwareReport, AnalysisError> {
     let start = Instant::now();
     let plan = plan_program(program, mps, noise, opts, cache_enabled, delta_quantum)?;
@@ -373,7 +393,7 @@ pub(crate) fn run_state_aware(
         final_delta,
         mps_width,
     } = plan;
-    let solved = spawn_solve(h, obligations, *opts).join(h)?;
+    let solved = spawn_solve(h, obligations, *opts, tiers).join(h)?;
     Ok(assemble_report(
         skeleton,
         final_delta,
@@ -406,6 +426,8 @@ pub(crate) fn assemble_report(
         sdp_solves: solved.sdp_solves,
         cache_hits: solved.cache_hits,
         inflight_dedup: solved.inflight_dedup,
+        tier_counts: solved.tier_counts,
+        ip_iterations: solved.ip_iterations,
         elapsed: plan_elapsed + solved.elapsed + assemble_elapsed,
         stage_timings: StageTimings {
             plan: plan_elapsed,

@@ -201,7 +201,16 @@ impl CertStore {
             .sdp_cache()
             .export()
             .into_iter()
-            .filter(|(key, _)| !self.persisted.contains(key))
+            // A certificate without a weak-duality dual vector could never
+            // re-certify on load (re-verification needs `y`), so it must
+            // not be written. The tiered engine keeps closed-form answers
+            // out of the cache entirely; this filter is the defensive
+            // backstop.
+            .filter(|(key, cert)| {
+                !matches!(cert.tier, crate::tiers::BoundTier::ClosedForm)
+                    && !cert.dual.is_empty()
+                    && !self.persisted.contains(key)
+            })
             .collect();
         if fresh.is_empty() {
             self.last_insert_count = Some(insert_snapshot);
@@ -502,6 +511,9 @@ fn verify_record(record: &Record) -> Result<Certificate, String> {
         dim: record.dim,
         n_kraus: record.n_kraus,
         dual: Arc::new(record.dual.clone()),
+        // Loaded entries count as cold: the solve that originally paid
+        // for them was one (the store never holds closed-form answers).
+        tier: crate::tiers::BoundTier::ColdSolve,
     })
 }
 

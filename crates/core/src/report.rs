@@ -6,6 +6,7 @@
 use crate::adaptive::{AdaptiveReport, AdaptiveStep};
 use crate::baseline::{LqrReport, WorstCaseReport};
 use crate::logic::{Derivation, StageTimings, StateAwareReport};
+use crate::tiers::TierCounts;
 use std::fmt;
 use std::time::Duration;
 
@@ -87,6 +88,38 @@ impl Report {
             Report::StateAware(r) => r.inflight_dedup(),
             Report::Adaptive(r) => r.trajectory.iter().map(|s| s.inflight_dedup).sum(),
             _ => 0,
+        }
+    }
+
+    /// How the bound engine's tiers answered the gate judgments (for
+    /// adaptive: summed over the trajectory; all zero for methods that
+    /// never hit the tiered solve stage). Under the default
+    /// [`crate::TierPolicy::exact`] everything lands in
+    /// [`TierCounts::cold`].
+    pub fn tier_counts(&self) -> TierCounts {
+        match self {
+            Report::StateAware(r) => r.tier_counts(),
+            Report::Adaptive(r) => {
+                let mut total = TierCounts::default();
+                for s in &r.trajectory {
+                    total.add(s.tier_counts);
+                }
+                total
+            }
+            Report::WorstCase(r) => r.tier_counts,
+            Report::LqrFullSim(_) => TierCounts::default(),
+        }
+    }
+
+    /// Interior-point iterations the analysis's SDP solves spent (for
+    /// adaptive: summed over the trajectory; 0 for methods that never hit
+    /// the tiered solve stage).
+    pub fn ip_iterations(&self) -> usize {
+        match self {
+            Report::StateAware(r) => r.ip_iterations(),
+            Report::Adaptive(r) => r.trajectory.iter().map(|s| s.ip_iterations).sum(),
+            Report::WorstCase(r) => r.ip_iterations,
+            Report::LqrFullSim(_) => 0,
         }
     }
 

@@ -8,7 +8,7 @@
 //! mid-analysis — bad configs fail fast with
 //! [`AnalysisError::InvalidConfig`] instead of panicking.
 
-use crate::{AdaptiveConfig, AnalysisError};
+use crate::{AdaptiveConfig, AnalysisError, TierPolicy};
 use gleipnir_circuit::Program;
 use gleipnir_linalg::{c64, CMat, C64};
 use gleipnir_mps::{Mps, MpsConfig};
@@ -201,12 +201,14 @@ pub struct AnalysisRequest {
     solver_options: Option<SolverOptions>,
     cache: bool,
     delta_quantum: f64,
+    tiers: TierPolicy,
 }
 
 impl AnalysisRequest {
     /// Starts building a request for the given program. Defaults: all-zeros
     /// basis input, [`NoiseModel::Noiseless`], [`Method::default`], the
-    /// engine's solver options, caching on, δ bucket `1e-6`.
+    /// engine's solver options, caching on, δ bucket `1e-6`, and the exact
+    /// tier policy (cold SDP solves only).
     pub fn builder(program: Program) -> AnalysisRequestBuilder {
         AnalysisRequestBuilder {
             input: None,
@@ -215,6 +217,7 @@ impl AnalysisRequest {
             solver_options: None,
             cache: true,
             delta_quantum: 1e-6,
+            tiers: TierPolicy::exact(),
             program,
         }
     }
@@ -255,6 +258,13 @@ impl AnalysisRequest {
     pub fn delta_quantum(&self) -> f64 {
         self.delta_quantum
     }
+
+    /// Which tiers of the bound engine this request may use (default
+    /// [`TierPolicy::exact`] — cold solves only, bit-identical to the
+    /// pre-tiering engine).
+    pub fn tier_policy(&self) -> TierPolicy {
+        self.tiers
+    }
 }
 
 /// Builder for [`AnalysisRequest`]; see [`AnalysisRequest::builder`].
@@ -267,6 +277,7 @@ pub struct AnalysisRequestBuilder {
     solver_options: Option<SolverOptions>,
     cache: bool,
     delta_quantum: f64,
+    tiers: TierPolicy,
 }
 
 impl AnalysisRequestBuilder {
@@ -305,6 +316,17 @@ impl AnalysisRequestBuilder {
     /// Sets the δ bucket width used for sound cache reuse (default `1e-6`).
     pub fn delta_quantum(mut self, q: f64) -> Self {
         self.delta_quantum = q;
+        self
+    }
+
+    /// Selects the bound-engine tiers this request may use (default
+    /// [`TierPolicy::exact`]). [`TierPolicy::fast`] answers Pauli-type
+    /// channels with the certified closed form and warm-starts the
+    /// remaining SDPs from neighboring cached duals; every tier's answer
+    /// stays a sound certified upper bound, but the produced ε may differ
+    /// at the bit level from an exact-policy run.
+    pub fn tiering(mut self, tiers: TierPolicy) -> Self {
+        self.tiers = tiers;
         self
     }
 
@@ -348,6 +370,7 @@ impl AnalysisRequestBuilder {
             solver_options: self.solver_options,
             cache: self.cache,
             delta_quantum: self.delta_quantum,
+            tiers: self.tiers,
         })
     }
 }

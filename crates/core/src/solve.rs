@@ -1,8 +1,25 @@
-//! Stage 2 of the analysis pipeline: the **solve** stage.
+//! Stage 2 of the analysis pipeline: the **solve** stage, now fronted by
+//! the tiered bound engine.
 //!
 //! Takes the plan's flat obligation list and discharges every `(ρ̂, δ)`-
-//! diamond SDP, fanning the work over the engine's worker pool (the
-//! submitting thread participates too — see [`crate::pool`]).
+//! diamond judgment, fanning the work over the engine's worker pool (the
+//! submitting thread participates too — see [`crate::pool`]). Under the
+//! request's [`TierPolicy`] each judgment is answered by the cheapest
+//! sound mechanism:
+//!
+//! * **cache hit / in-flight join** — a finished certificate (or a solve
+//!   already running on another thread) answers it outright;
+//! * **Tier 0, closed form** — the noisy gate's residual channel is
+//!   Pauli-type, so the certified analytic bound substitutes for the SDP
+//!   (zero interior-point iterations). The value is *not* cached and never
+//!   enters the in-flight protocol — it is cheaper to recompute than to
+//!   store, and keeping it out of both means exact-policy requests on the
+//!   same engine can never observe it (not even by joining a concurrent
+//!   fast-policy solve);
+//! * **Tier 1, warm-started solve** — a neighboring cached certificate
+//!   (same gate/Kraus, coarse-equal ρ′, nearby δ_eff) donates its dual
+//!   vector as the interior-point starting iterate;
+//! * **Tier 2, cold solve** — the classic solve.
 //!
 //! ## Deduplication, determinism, and accounting
 //!
@@ -16,18 +33,30 @@
 //! accounting are identical for any pool size** — including 1, which is
 //! byte-for-byte the sequential analysis.
 //!
+//! Tiering preserves that invariant: warm-start donors are chosen by a
+//! *sequential* pre-dispatch probe ([`crate::engine::SdpCache::nearest_dual`])
+//! over the cache as it stood before this stage's own solves, with a total
+//! order on candidates — so for a fixed engine state the tier decisions
+//! (and hence every ε bit) are independent of scheduling. With the default
+//! [`TierPolicy::exact`] the stage is bit-identical to the pre-tiering
+//! engine.
+//!
 //! The stats mirror what the old sequential walk counted: the first
 //! obligation of a key is the solve (or the hit, if a certificate
 //! existed), every later one a cache hit. Obligations answered by folding
 //! onto a solve that was in flight — same-request duplicates and
 //! concurrent batch siblings racing on one key — are *additionally*
-//! counted as `inflight_dedup`.
+//! counted as `inflight_dedup`. Tier 0 answers are a category of their
+//! own ([`TierCounts::closed_form`]): neither `sdp_solves` nor
+//! `cache_hits`, so `gates = sdp_solves + cache_hits + closed_form` under
+//! any policy.
 
-use crate::diamond::rho_delta_diamond;
+use crate::diamond::{rho_delta_diamond, rho_delta_diamond_warm};
 use crate::engine::{Certificate, EngineHandle, Lookup};
 use crate::error::AnalysisError;
 use crate::plan::SolveObligation;
 use crate::pool::{spawn_indexed, PendingRun};
+use crate::tiers::{closed_form_gate_bound, note_engine_totals, BoundTier, TierCounts, TierPolicy};
 use gleipnir_sdp::SolverOptions;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -39,7 +68,8 @@ use std::time::Duration;
 pub(crate) struct SolveOutcome {
     /// Certified bounds, indexed like the plan's obligation list.
     pub epsilons: Vec<f64>,
-    /// SDPs actually solved by this stage.
+    /// SDPs actually solved by this stage (warm + cold; Tier 0 answers are
+    /// counted in `tier_counts.closed_form` instead).
     pub sdp_solves: usize,
     /// Judgments answered from the engine's cache (or by folding onto a
     /// solve this stage performed once).
@@ -47,6 +77,10 @@ pub(crate) struct SolveOutcome {
     /// Judgments deduplicated against an in-flight solve (a subset of
     /// `cache_hits`).
     pub inflight_dedup: usize,
+    /// How each tier-answered judgment was produced.
+    pub tier_counts: TierCounts,
+    /// Interior-point iterations spent by this stage's solves.
+    pub ip_iterations: usize,
     /// Threads that solved at least one unit (1 = the caller alone).
     pub solve_workers: usize,
     /// Wall-clock span of the stage's execution: first unit claimed →
@@ -67,8 +101,13 @@ enum Unit {
 
 /// How a unit's value was obtained (drives the accounting).
 enum UnitValue {
-    /// This stage solved the SDP.
-    Solved(f64),
+    /// This stage answered it via a bound-engine tier.
+    Answered {
+        eps: f64,
+        tier: BoundTier,
+        /// Interior-point iterations (0 for Tier 0).
+        iterations: usize,
+    },
     /// A finished certificate answered it.
     CacheHit(f64),
     /// Another thread's in-flight solve answered it.
@@ -84,11 +123,14 @@ pub(crate) struct PendingSolve {
     n_obligations: usize,
 }
 
-/// Folds obligations into units and dispatches them over the pool.
+/// Folds obligations into units, resolves Tier-1 warm-start donors
+/// (sequentially, against the pre-stage cache state), and dispatches the
+/// units over the pool.
 pub(crate) fn spawn_solve(
     h: &EngineHandle,
     obligations: Vec<SolveObligation>,
     opts: SolverOptions,
+    policy: TierPolicy,
 ) -> PendingSolve {
     let n_obligations = obligations.len();
     let mut units: Vec<Unit> = Vec::new();
@@ -110,8 +152,34 @@ pub(crate) fn spawn_solve(
     }
     drop(by_key); // releases the borrow on `obligations`
 
+    // Tier-1 donor resolution, strictly before dispatch: the probe sees
+    // only certificates that existed before this stage's own solves, so
+    // the donor choice (and therefore every warm-started ε) is a
+    // deterministic function of the pre-request engine state — pool size
+    // and scheduling can't change it.
+    let warm_duals: Vec<Option<Arc<Vec<f64>>>> = units
+        .iter()
+        .map(|u| {
+            if !policy.warm_start {
+                return None;
+            }
+            let Unit::Keyed(obs) = u else { return None };
+            let ob = &obligations[obs[0]];
+            let cached = ob.cached.as_ref().expect("keyed unit has a judgment");
+            if h.shared.cache.contains(&cached.key) {
+                return None; // a finished certificate will answer it
+            }
+            h.shared.cache.nearest_dual(
+                &cached.key,
+                ob.gate_matrix.rows() as u32,
+                ob.noisy.kraus().len() as u32,
+            )
+        })
+        .collect();
+
     let units = Arc::new(units);
     let obligations = Arc::new(obligations);
+    let warm_duals = Arc::new(warm_duals);
     let shared = Arc::clone(&h.shared);
     let task_units = Arc::clone(&units);
     // First failure cancels the units not yet claimed (the old sequential
@@ -123,45 +191,100 @@ pub(crate) fn spawn_solve(
         if cancelled.load(Ordering::Relaxed) {
             return Ok(None);
         }
-        let solve_exact = |ob: &SolveObligation| {
-            rho_delta_diamond(&ob.gate_matrix, &ob.noisy, &ob.rho_prime, ob.delta, &opts)
-                .map(|r| r.bound)
+        let closed_form = |ob: &SolveObligation| -> Option<f64> {
+            policy
+                .closed_form
+                .then(|| closed_form_gate_bound(&ob.gate_matrix, &ob.noisy))
+                .flatten()
         };
         let outcome = match &task_units[u] {
-            Unit::Exact(i) => solve_exact(&obligations[*i])
-                .map(UnitValue::Solved)
-                .map_err(AnalysisError::from),
+            Unit::Exact(i) => {
+                let ob = &obligations[*i];
+                match closed_form(ob) {
+                    Some(eps) => Ok(UnitValue::Answered {
+                        eps,
+                        tier: BoundTier::ClosedForm,
+                        iterations: 0,
+                    }),
+                    None => rho_delta_diamond(
+                        &ob.gate_matrix,
+                        &ob.noisy,
+                        &ob.rho_prime,
+                        ob.delta,
+                        &opts,
+                    )
+                    .map(|r| UnitValue::Answered {
+                        eps: r.bound,
+                        tier: r.tier,
+                        iterations: r.iterations,
+                    })
+                    .map_err(AnalysisError::from),
+                }
+            }
             Unit::Keyed(obs) => {
                 let ob = &obligations[obs[0]];
                 let cached = ob.cached.as_ref().expect("keyed unit has a judgment");
-                match shared.cache.lookup_or_lead(&cached.key) {
-                    Lookup::Hit(eps) => Ok(UnitValue::CacheHit(eps)),
-                    Lookup::Join(slot) => slot
-                        .wait()
-                        .map(UnitValue::Joined)
-                        .map_err(AnalysisError::Diamond),
-                    Lookup::Lead(guard) => {
-                        let result = rho_delta_diamond(
-                            &ob.gate_matrix,
-                            &ob.noisy,
-                            &cached.rho_q,
-                            cached.delta_eff,
-                            &opts,
-                        );
-                        match result {
-                            Ok(r) => {
-                                let eps = r.bound;
-                                guard.complete(Ok(Certificate {
-                                    eps,
-                                    dim: ob.gate_matrix.rows() as u32,
-                                    n_kraus: ob.noisy.kraus().len() as u32,
-                                    dual: Arc::new(r.dual),
-                                }));
-                                Ok(UnitValue::Solved(eps))
-                            }
-                            Err(e) => {
-                                guard.complete(Err(e.clone()));
-                                Err(AnalysisError::Diamond(e))
+                // Tier 0 stays entirely outside the cache AND the in-flight
+                // protocol: the analytic value is never published anywhere a
+                // concurrent exact-policy request could observe it (joining
+                // an in-flight slot included). A finished certificate still
+                // wins — it is tighter (state-aware) and engine-consistent.
+                let analytic = if shared.cache.contains(&cached.key) {
+                    None
+                } else {
+                    closed_form(ob)
+                };
+                if let Some(eps) = analytic {
+                    Ok(UnitValue::Answered {
+                        eps,
+                        tier: BoundTier::ClosedForm,
+                        iterations: 0,
+                    })
+                } else {
+                    match shared.cache.lookup_or_lead(&cached.key) {
+                        Lookup::Hit(eps) => Ok(UnitValue::CacheHit(eps)),
+                        Lookup::Join(slot) => slot
+                            .wait()
+                            .map(UnitValue::Joined)
+                            .map_err(AnalysisError::Diamond),
+                        Lookup::Lead(guard) => {
+                            let result = match &warm_duals[u] {
+                                Some(y0) => rho_delta_diamond_warm(
+                                    &ob.gate_matrix,
+                                    &ob.noisy,
+                                    &cached.rho_q,
+                                    cached.delta_eff,
+                                    &opts,
+                                    y0,
+                                ),
+                                None => rho_delta_diamond(
+                                    &ob.gate_matrix,
+                                    &ob.noisy,
+                                    &cached.rho_q,
+                                    cached.delta_eff,
+                                    &opts,
+                                ),
+                            };
+                            match result {
+                                Ok(r) => {
+                                    let eps = r.bound;
+                                    guard.complete(Ok(Certificate {
+                                        eps,
+                                        dim: ob.gate_matrix.rows() as u32,
+                                        n_kraus: ob.noisy.kraus().len() as u32,
+                                        tier: r.tier,
+                                        dual: Arc::new(r.dual),
+                                    }));
+                                    Ok(UnitValue::Answered {
+                                        eps,
+                                        tier: r.tier,
+                                        iterations: r.iterations,
+                                    })
+                                }
+                                Err(e) => {
+                                    guard.complete(Err(e.clone()));
+                                    Err(AnalysisError::Diamond(e))
+                                }
                             }
                         }
                     }
@@ -199,6 +322,8 @@ impl PendingSolve {
         let mut sdp_solves = 0usize;
         let mut cache_hits = 0usize;
         let mut inflight_dedup = 0usize;
+        let mut tier_counts = TierCounts::default();
+        let mut ip_iterations = 0usize;
         // (first failing obligation index, its error)
         let mut failure: Option<(usize, AnalysisError)> = None;
         for (unit, result) in self.units.iter().zip(out.results) {
@@ -212,32 +337,53 @@ impl PendingSolve {
                 // discarded on the error path — nothing to fold in.
                 Ok(None) => {}
                 Ok(Some(value)) => {
-                    let (eps, in_flight) = match value {
-                        UnitValue::Solved(eps) => {
+                    let eps = match value {
+                        UnitValue::Answered {
+                            eps,
+                            tier: BoundTier::ClosedForm,
+                            ..
+                        } => {
+                            // Tier 0 judgments (and their folded
+                            // duplicates) are their own accounting
+                            // category — the cache was never consulted
+                            // for the answer.
+                            tier_counts.closed_form += 1 + followers.len();
+                            eps
+                        }
+                        UnitValue::Answered {
+                            eps,
+                            tier,
+                            iterations,
+                        } => {
                             sdp_solves += 1;
-                            (eps, true)
+                            ip_iterations += iterations;
+                            match tier {
+                                BoundTier::WarmStarted => tier_counts.warm += 1,
+                                _ => tier_counts.cold += 1,
+                            }
+                            // Followers replay the sequential accounting:
+                            // the first occurrence paid the certificate,
+                            // the rest are cache hits deduped against the
+                            // solve in flight.
+                            cache_hits += followers.len();
+                            inflight_dedup += followers.len();
+                            h.cache().note_follower_hits(followers.len());
+                            h.cache().note_inflight_dedup(followers.len());
+                            eps
                         }
                         UnitValue::CacheHit(eps) => {
-                            cache_hits += 1;
-                            (eps, false)
+                            cache_hits += 1 + followers.len();
+                            h.cache().note_follower_hits(followers.len());
+                            eps
                         }
                         UnitValue::Joined(eps) => {
-                            cache_hits += 1;
-                            inflight_dedup += 1;
-                            (eps, true)
+                            cache_hits += 1 + followers.len();
+                            inflight_dedup += 1 + followers.len();
+                            h.cache().note_follower_hits(followers.len());
+                            h.cache().note_inflight_dedup(followers.len());
+                            eps
                         }
                     };
-                    // Followers replay the sequential accounting: the
-                    // first occurrence paid (or found) the certificate,
-                    // the rest are cache hits — and when the value came
-                    // from a solve in flight (ours or a sibling's), they
-                    // were deduped against it.
-                    cache_hits += followers.len();
-                    h.cache().note_follower_hits(followers.len());
-                    if in_flight {
-                        inflight_dedup += followers.len();
-                        h.cache().note_inflight_dedup(followers.len());
-                    }
                     epsilons[first] = eps;
                     for &i in followers {
                         epsilons[i] = eps;
@@ -253,11 +399,14 @@ impl PendingSolve {
         if let Some((_, e)) = failure {
             return Err(e);
         }
+        note_engine_totals(h, tier_counts, ip_iterations);
         Ok(SolveOutcome {
             epsilons,
             sdp_solves,
             cache_hits,
             inflight_dedup,
+            tier_counts,
+            ip_iterations,
             solve_workers: out.participants,
             elapsed: out.elapsed,
         })

@@ -201,6 +201,29 @@ impl Channel {
         }
     }
 
+    /// Amplitude damping on the **first** operand qubit of a two-qubit
+    /// gate (`K ⊗ I` for each single-qubit damping Kraus `K`) — the
+    /// two-qubit arm of
+    /// [`NoiseModel::UniformAmplitudeDamping`](crate::NoiseModel::UniformAmplitudeDamping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `γ ∉ [0, 1]`.
+    pub fn amplitude_damping_first_of_two(gamma: f64) -> Self {
+        assert!((0.0..=1.0).contains(&gamma), "gamma out of range");
+        let i2 = CMat::identity(2);
+        let kraus = Channel::amplitude_damping(gamma)
+            .kraus
+            .iter()
+            .map(|k| k.kron(&i2))
+            .collect();
+        Channel {
+            name: format!("amplitude_damping_first({gamma})"),
+            kraus,
+            dim: 4,
+        }
+    }
+
     /// The paper's two-qubit gate noise: a bit flip on the **first** operand
     /// qubit with probability `p` (`Φ(ρ) = (1−p)ρ + p(X⊗I)ρ(X⊗I)`).
     ///
@@ -393,6 +416,7 @@ mod tests {
         for ch in [
             Channel::depolarizing2(0.1),
             Channel::bit_flip_first_of_two(0.2),
+            Channel::amplitude_damping_first_of_two(0.3),
         ] {
             assert_eq!(ch.arity(), 2);
             let mut sum = CMat::zeros(4, 4);

@@ -1,0 +1,492 @@
+//! Channel classification and certified closed-form diamond bounds — the
+//! analytic half of the tiered bound engine.
+//!
+//! Many noise channels met in practice are **Pauli-type**: every Kraus
+//! operator is (numerically) a scalar multiple of a Pauli word. For those,
+//! the diamond distance to the identity admits a closed-form *upper bound*
+//! that is orders of magnitude cheaper than the interior-point SDP the
+//! general case needs — and, crucially, it is *certified*: the detection
+//! residuals are folded into the bound, so even a channel that is only
+//! approximately Pauli gets a provably sound (slightly looser) answer.
+//!
+//! ## The certified closed form
+//!
+//! Write each Kraus operator as `Kᵢ = cᵢσᵢ + Rᵢ` with `σᵢ` the best-fit
+//! Pauli word, `cᵢ = tr(σᵢ†Kᵢ)/d`, and residual `rᵢ = ‖Rᵢ‖_F`. Let
+//! `p_σ = Σ_{i: σᵢ=σ} |cᵢ|²` and `s = Σᵢ |cᵢ|²`. Then
+//!
+//! ```text
+//! ½‖Φ − id‖⋄  ≤  Σ_{σ≠I} p_σ  +  ½|1 − s|  +  Σᵢ (|cᵢ|·rᵢ + ½rᵢ²)
+//! ```
+//!
+//! *Proof sketch* (spelled out in `docs/SOUNDNESS.md`): with
+//! `Φ_P(ρ) = Σᵢ |cᵢ|² σᵢρσᵢ`, the triangle inequality gives
+//! `½‖Φ − id‖⋄ ≤ ½‖Φ_P − id‖⋄ + ½‖Φ − Φ_P‖⋄`. The first term expands to a
+//! convex-ish combination `Σ_{σ≠I} p_σ (σ·σ†) − (1 − p_I)·id` whose diamond
+//! norm is at most `Σ_{σ≠I} p_σ + |1 − p_I| ≤ 2Σ_{σ≠I} p_σ + |1 − s|`,
+//! halving to the first two terms. The second term is a sum of maps
+//! `ρ ↦ AρB†` with `{A, B} ⊆ {cᵢσᵢ, Rᵢ}`; each satisfies
+//! `‖AρB†‖₁ ≤ ‖A‖_∞‖B‖_∞‖ρ‖₁` (also under `⊗ id`), giving
+//! `½‖Φ − Φ_P‖⋄ ≤ ½Σᵢ (2|cᵢ|rᵢ + rᵢ²)` via `‖σᵢ‖_∞ = 1` and
+//! `‖Rᵢ‖_∞ ≤ rᵢ`.
+//!
+//! For a noisy gate `Ũ = Φ ∘ U` the analysis needs `½‖Ũ − U‖⋄`; since the
+//! diamond norm is invariant under composition with a unitary,
+//! `‖(Φ − id) ∘ U‖⋄ = ‖Φ − id‖⋄`, so [`classify_residual`] factors the
+//! ideal unitary out (`Bᵢ = KᵢU†`) and classifies the residual channel.
+//!
+//! Because the `(ρ̂, δ)`-constrained diamond norm never exceeds the
+//! unconstrained one, the closed form is a sound substitute for *any*
+//! input-constrained per-gate SDP — it ignores the state and is therefore
+//! looser exactly where state-awareness pays (e.g. bit flips on `|+⟩`),
+//! but never unsound. The tier dispatch in `gleipnir-core` makes that
+//! trade-off opt-in.
+//!
+//! Detection operates on the exact `f64` bits of the Kraus operators —
+//! the same representation the engine's content-addressed cache keys store
+//! — so a channel classifies identically whether it came from a live
+//! [`Channel`] or was re-parsed from a persisted key.
+
+use crate::Channel;
+use gleipnir_linalg::{CMat, C64};
+
+/// Per-Kraus Frobenius residual above which a channel is *not* considered
+/// Pauli-type. The residuals are folded into the certified bound either
+/// way; this cutoff only keeps the closed form from answering channels
+/// where it would be uselessly loose.
+const PAULI_RESIDUAL_TOL: f64 = 1e-8;
+
+/// Tolerance for the subclass tests (equal depolarizing weights, unitality).
+const SUBCLASS_TOL: f64 = 1e-9;
+
+/// The analytic profile of a Pauli-type channel: everything the closed-form
+/// diamond bound needs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PauliProfile {
+    /// Total weight on the identity word, `p_I`.
+    pub identity_weight: f64,
+    /// Total weight off the identity, `Σ_{σ≠I} p_σ`.
+    pub error_weight: f64,
+    /// Certified slack covering detection residuals and any trace-
+    /// preservation defect (the `½|1−s| + Σ(|c|r + ½r²)` terms).
+    pub slack: f64,
+}
+
+impl PauliProfile {
+    /// The certified closed-form upper bound on `½‖Φ − id‖⋄`.
+    pub fn certified_bound(&self) -> f64 {
+        self.error_weight + self.slack
+    }
+}
+
+/// What [`classify`] detected, ordered from most to least structured.
+///
+/// The three Pauli-type classes carry a [`PauliProfile`] whose
+/// [`PauliProfile::certified_bound`] is a sound closed-form substitute for
+/// the diamond-norm SDP; `Unital` and `General` have no closed form and
+/// fall through to the solver tiers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChannelClass {
+    /// All non-identity weight sits on diagonal Pauli words (`Z`-type):
+    /// phase flips and their tensor products.
+    Dephasing(PauliProfile),
+    /// Equal weight on every non-identity Pauli word.
+    Depolarizing(PauliProfile),
+    /// A general Pauli mixture (e.g. bit flips, correlated Pauli noise).
+    Pauli(PauliProfile),
+    /// Not a Pauli mixture, but unital (`Φ(I) = I`, e.g. phase damping).
+    Unital,
+    /// No detected structure (e.g. amplitude damping).
+    General,
+}
+
+impl ChannelClass {
+    /// A stable machine-readable class name (used in reports and metrics).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChannelClass::Dephasing(_) => "dephasing",
+            ChannelClass::Depolarizing(_) => "depolarizing",
+            ChannelClass::Pauli(_) => "pauli",
+            ChannelClass::Unital => "unital",
+            ChannelClass::General => "general",
+        }
+    }
+
+    /// The Pauli profile, for the three Pauli-type classes.
+    pub fn pauli_profile(&self) -> Option<&PauliProfile> {
+        match self {
+            ChannelClass::Dephasing(p) | ChannelClass::Depolarizing(p) | ChannelClass::Pauli(p) => {
+                Some(p)
+            }
+            _ => None,
+        }
+    }
+
+    /// The certified closed-form upper bound on `½‖Φ − id‖⋄`, when the
+    /// class admits one (`None` for `Unital` / `General`).
+    pub fn closed_form_diamond_bound(&self) -> Option<f64> {
+        self.pauli_profile().map(PauliProfile::certified_bound)
+    }
+}
+
+/// One Pauli word of the `d ∈ {2, 4}` basis, with enough metadata for the
+/// subclass tests.
+struct PauliWord {
+    matrix: CMat,
+    /// Identity word (`I` or `I⊗I`)?
+    is_identity: bool,
+    /// Diagonal in the computational basis (`I`/`Z` tensor words)?
+    is_diagonal: bool,
+}
+
+fn single_paulis() -> [(CMat, bool, bool); 4] {
+    use gleipnir_linalg::c64;
+    let i2 = CMat::identity(2);
+    let x = CMat::from_rows(&[vec![C64::ZERO, C64::ONE], vec![C64::ONE, C64::ZERO]]);
+    let y = CMat::from_rows(&[vec![C64::ZERO, c64(0.0, -1.0)], vec![C64::I, C64::ZERO]]);
+    let z = CMat::from_rows(&[vec![C64::ONE, C64::ZERO], vec![C64::ZERO, c64(-1.0, 0.0)]]);
+    [
+        (i2, true, true),
+        (x, false, false),
+        (y, false, false),
+        (z, false, true),
+    ]
+}
+
+/// The Pauli word basis for dimension `d ∈ {2, 4}`; `None` otherwise.
+fn pauli_basis(d: usize) -> Option<Vec<PauliWord>> {
+    let singles = single_paulis();
+    match d {
+        2 => Some(
+            singles
+                .into_iter()
+                .map(|(matrix, is_identity, is_diagonal)| PauliWord {
+                    matrix,
+                    is_identity,
+                    is_diagonal,
+                })
+                .collect(),
+        ),
+        4 => {
+            let singles2 = single_paulis();
+            let mut words = Vec::with_capacity(16);
+            for (a, ai, ad) in &singles {
+                for (b, bi, bd) in &singles2 {
+                    words.push(PauliWord {
+                        matrix: a.kron(b),
+                        is_identity: *ai && *bi,
+                        is_diagonal: *ad && *bd,
+                    });
+                }
+            }
+            Some(words)
+        }
+        _ => None,
+    }
+}
+
+/// `tr(A†B)` — the Frobenius inner product.
+fn inner(a: &CMat, b: &CMat) -> C64 {
+    let mut acc = C64::ZERO;
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        acc += x.conj() * *y;
+    }
+    acc
+}
+
+/// Classifies a channel given by raw Kraus operators (not necessarily a
+/// validated [`Channel`] — the residual channels of [`classify_residual`]
+/// arrive here too). See the module docs for the detection contract.
+pub fn classify_kraus(kraus: &[CMat]) -> ChannelClass {
+    let Some(first) = kraus.first() else {
+        return ChannelClass::General;
+    };
+    let d = first.rows();
+    let Some(basis) = pauli_basis(d) else {
+        return ChannelClass::General;
+    };
+    if kraus
+        .iter()
+        .any(|k| k.rows() != d || k.cols() != d || k.as_slice().iter().any(|z| !z.is_finite()))
+    {
+        return ChannelClass::General;
+    }
+
+    let mut weights = vec![0.0f64; basis.len()];
+    let mut picked: Vec<usize> = Vec::with_capacity(kraus.len());
+    let mut slack = 0.0f64;
+    let mut pauli_like = true;
+    for k in kraus {
+        // Best-fit Pauli word by Frobenius projection (the words are
+        // orthogonal with ‖σ‖_F² = d, so the largest |c| wins).
+        let (best, c) = basis
+            .iter()
+            .enumerate()
+            .map(|(idx, w)| (idx, inner(&w.matrix, k).scale(1.0 / d as f64)))
+            .max_by(|(_, a), (_, b)| a.norm_sqr().total_cmp(&b.norm_sqr()))
+            .expect("basis is non-empty");
+        let mut residual = k.clone();
+        residual.axpy(-c, &basis[best].matrix);
+        let r = residual.frobenius_norm();
+        if r > PAULI_RESIDUAL_TOL {
+            pauli_like = false;
+            break;
+        }
+        weights[best] += c.norm_sqr();
+        picked.push(best);
+        slack += c.abs() * r + 0.5 * r * r;
+    }
+
+    if !pauli_like {
+        // Unital fallback: Φ(I) = Σ KᵢKᵢ† = I.
+        let mut sum = CMat::zeros(d, d);
+        for k in kraus {
+            sum = &sum + &k.mul_adjoint(k);
+        }
+        return if sum.approx_eq(&CMat::identity(d), SUBCLASS_TOL) {
+            ChannelClass::Unital
+        } else {
+            ChannelClass::General
+        };
+    }
+
+    let s: f64 = weights.iter().sum();
+    slack += 0.5 * (1.0 - s).abs();
+    let identity_weight: f64 = basis
+        .iter()
+        .zip(&weights)
+        .filter(|(w, _)| w.is_identity)
+        .map(|(_, p)| *p)
+        .sum();
+    let error_weight = weights
+        .iter()
+        .zip(&basis)
+        .filter(|(_, w)| !w.is_identity)
+        .map(|(p, _)| *p)
+        .sum::<f64>();
+    let profile = PauliProfile {
+        identity_weight,
+        error_weight,
+        slack,
+    };
+
+    // Subclasses. Dephasing: every picked word is diagonal (I/Z tensor
+    // words only). Depolarizing: equal weight on every non-identity word.
+    if picked.iter().all(|&i| basis[i].is_diagonal) && error_weight > 0.0 {
+        return ChannelClass::Dephasing(profile);
+    }
+    let off_identity: Vec<f64> = basis
+        .iter()
+        .zip(&weights)
+        .filter(|(w, _)| !w.is_identity)
+        .map(|(_, p)| *p)
+        .collect();
+    let uniform = off_identity
+        .iter()
+        .all(|&p| (p - off_identity[0]).abs() <= SUBCLASS_TOL);
+    if uniform && off_identity[0] > SUBCLASS_TOL {
+        return ChannelClass::Depolarizing(profile);
+    }
+    ChannelClass::Pauli(profile)
+}
+
+/// Classifies a [`Channel`] (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use gleipnir_noise::{classify, Channel, ChannelClass};
+///
+/// let class = classify(&Channel::depolarizing(0.12));
+/// assert!(matches!(class, ChannelClass::Depolarizing(_)));
+/// // The closed form is a certified upper bound on ½‖Φ − id‖⋄ — for a
+/// // Pauli mixture it equals the total non-identity weight (here p).
+/// let bound = class.closed_form_diamond_bound().unwrap();
+/// assert!((bound - 0.12).abs() < 1e-9);
+///
+/// // Amplitude damping has no Pauli structure: no closed form.
+/// let damp = classify(&Channel::amplitude_damping(0.3));
+/// assert!(damp.closed_form_diamond_bound().is_none());
+/// ```
+pub fn classify(channel: &Channel) -> ChannelClass {
+    classify_kraus(channel.kraus())
+}
+
+/// Classifies the *residual* channel of a noisy gate: given the ideal
+/// unitary `U` and the Kraus operators `Kᵢ` of `Ũ = Φ ∘ U`, classifies
+/// `{KᵢU†}` (= the Kraus set of `Φ`). By unitary invariance of the diamond
+/// norm, a closed-form bound on the residual is a bound on `½‖Ũ − U‖⋄`.
+///
+/// Returns [`ChannelClass::General`] when `ideal` is not (numerically)
+/// unitary or the dimensions disagree — the soundness argument needs a
+/// genuine unitary to factor out.
+pub fn classify_residual(ideal: &CMat, noisy_kraus: &[CMat]) -> ChannelClass {
+    if !ideal.is_square()
+        || !ideal.is_unitary(1e-9)
+        || noisy_kraus.iter().any(|k| k.rows() != ideal.rows())
+    {
+        return ChannelClass::General;
+    }
+    let residual: Vec<CMat> = noisy_kraus.iter().map(|k| k.mul_adjoint(ideal)).collect();
+    classify_kraus(&residual)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gleipnir_circuit::Gate;
+    use gleipnir_linalg::c64;
+
+    #[test]
+    fn stock_channels_classify_as_expected() {
+        assert!(matches!(
+            classify(&Channel::bit_flip(0.1)),
+            ChannelClass::Pauli(_)
+        ));
+        assert!(matches!(
+            classify(&Channel::phase_flip(0.2)),
+            ChannelClass::Dephasing(_)
+        ));
+        assert!(matches!(
+            classify(&Channel::depolarizing(0.15)),
+            ChannelClass::Depolarizing(_)
+        ));
+        assert!(matches!(
+            classify(&Channel::depolarizing2(0.05)),
+            ChannelClass::Depolarizing(_)
+        ));
+        assert!(matches!(
+            classify(&Channel::bit_flip_first_of_two(0.1)),
+            ChannelClass::Pauli(_)
+        ));
+        assert!(matches!(
+            classify(&Channel::phase_damping(0.3)),
+            ChannelClass::Unital
+        ));
+        assert!(matches!(
+            classify(&Channel::amplitude_damping(0.3)),
+            ChannelClass::General
+        ));
+        assert!(matches!(
+            classify(&Channel::identity(1)),
+            ChannelClass::Pauli(_) | ChannelClass::Dephasing(_)
+        ));
+    }
+
+    #[test]
+    fn closed_form_matches_known_pauli_values() {
+        // For a Pauli mixture the bound is the non-identity weight (the
+        // SDP-computed diamond distance for these channels — see
+        // crates/core's diamond tests).
+        for (ch, expect) in [
+            (Channel::bit_flip(1e-3), 1e-3),
+            (Channel::phase_flip(0.25), 0.25),
+            (Channel::depolarizing(0.12), 0.12),
+            (Channel::depolarizing2(0.07), 0.07),
+            (Channel::bit_flip_first_of_two(2e-4), 2e-4),
+        ] {
+            let bound = classify(&ch)
+                .closed_form_diamond_bound()
+                .unwrap_or_else(|| panic!("{ch} should have a closed form"));
+            assert!((bound - expect).abs() < 1e-9, "{ch}: {bound} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn identity_channel_has_zero_error_weight() {
+        let class = classify(&Channel::identity(1));
+        let profile = class.pauli_profile().unwrap();
+        assert!(profile.error_weight.abs() < 1e-12);
+        assert!((profile.identity_weight - 1.0).abs() < 1e-12);
+        assert!(class.closed_form_diamond_bound().unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn residual_classification_factors_out_the_unitary() {
+        // Φ ∘ U is nothing like a Pauli channel as a whole, but its
+        // residual against U is.
+        for gate in [Gate::H, Gate::S, Gate::Ry(0.7)] {
+            let noisy = Channel::bit_flip(0.05).after_unitary(&gate.matrix());
+            let class = classify_residual(&gate.matrix(), noisy.kraus());
+            let bound = class
+                .closed_form_diamond_bound()
+                .unwrap_or_else(|| panic!("{gate}: residual should be Pauli"));
+            assert!((bound - 0.05).abs() < 1e-9, "{gate}: {bound}");
+        }
+        // Two-qubit version.
+        let noisy = Channel::bit_flip_first_of_two(1e-3).after_unitary(&Gate::Cnot.matrix());
+        let bound = classify_residual(&Gate::Cnot.matrix(), noisy.kraus())
+            .closed_form_diamond_bound()
+            .expect("residual is Pauli");
+        assert!((bound - 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_unitary_ideal_is_rejected() {
+        let not_unitary = CMat::identity(2).scaled(c64(0.5, 0.0));
+        let noisy = Channel::bit_flip(0.1);
+        assert!(matches!(
+            classify_residual(&not_unitary, noisy.kraus()),
+            ChannelClass::General
+        ));
+    }
+
+    #[test]
+    fn near_pauli_perturbation_is_not_misclassified() {
+        // A Kraus set nudged beyond the residual tolerance must not get a
+        // closed form (the bound would be loose and the class a lie).
+        let eps = 1e-4;
+        let mut k0 = CMat::identity(2).scaled(c64((1.0f64 - 0.1).sqrt(), 0.0));
+        k0.set(0, 1, c64(eps, 0.0));
+        let k1 = {
+            // Re-normalize so Σ K†K = I still holds approximately: use the
+            // exact complement of k0.
+            let mut complement = &CMat::identity(2) - &k0.adjoint_mul(&k0);
+            // Cholesky-free square root for this nearly-diagonal 2×2: the
+            // off-diagonal is O(eps), so classify sees a genuine non-Pauli.
+            complement.set(0, 0, c64(complement.at(0, 0).re.max(0.0).sqrt(), 0.0));
+            complement.set(1, 1, c64(complement.at(1, 1).re.max(0.0).sqrt(), 0.0));
+            complement.set(0, 1, C64::ZERO);
+            complement.set(1, 0, C64::ZERO);
+            complement
+        };
+        let class = classify_kraus(&[k0, k1]);
+        assert!(
+            class.closed_form_diamond_bound().is_none(),
+            "perturbed channel must not be Pauli-type, got {class:?}"
+        );
+    }
+
+    #[test]
+    fn detection_is_stable_under_bit_roundtrip() {
+        // The engine's cache keys store Kraus operators as raw f64 bits;
+        // classification must agree between the live matrices and the
+        // bit-roundtripped ones.
+        let ch = Channel::depolarizing(0.03).after_unitary(&Gate::H.matrix());
+        let round_tripped: Vec<CMat> = ch
+            .kraus()
+            .iter()
+            .map(|k| {
+                CMat::from_fn(k.rows(), k.cols(), |i, j| {
+                    let z = k.at(i, j);
+                    c64(
+                        f64::from_bits(z.re.to_bits()),
+                        f64::from_bits(z.im.to_bits()),
+                    )
+                })
+            })
+            .collect();
+        let live = classify_residual(&Gate::H.matrix(), ch.kraus());
+        let parsed = classify_residual(&Gate::H.matrix(), &round_tripped);
+        assert_eq!(live, parsed);
+        assert!(matches!(parsed, ChannelClass::Depolarizing(_)));
+    }
+
+    #[test]
+    fn profile_slack_is_tiny_for_exact_constructions() {
+        let class = classify(&Channel::depolarizing(0.2));
+        let p = class.pauli_profile().unwrap();
+        assert!(p.slack < 1e-9, "slack {} should be negligible", p.slack);
+        assert!((p.identity_weight + p.error_weight - 1.0).abs() < 1e-12);
+    }
+}

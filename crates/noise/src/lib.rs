@@ -6,7 +6,12 @@
 //! (IBM Boeblingen and Lima; synthetic calibration — see DESIGN.md §3).
 //!
 //! The [`choi_from_apply`] / [`choi_of_unitary`] helpers provide the
-//! Choi–Jamiołkowski representations the diamond-norm SDPs are built from.
+//! Choi–Jamiołkowski representations the diamond-norm SDPs are built from,
+//! and the [`classify`](mod@classify) module detects analytic channel
+//! structure (Pauli /
+//! depolarizing / dephasing / unital) with certified closed-form diamond
+//! bounds for the Pauli-type classes — the Tier 0 of `gleipnir-core`'s
+//! tiered bound engine.
 //!
 //! ## Example
 //!
@@ -23,9 +28,11 @@
 #![warn(missing_docs)]
 
 mod channel;
+pub mod classify;
 mod device;
 mod model;
 
 pub use channel::{choi_from_apply, choi_of_unitary, Channel};
+pub use classify::{classify, classify_kraus, classify_residual, ChannelClass, PauliProfile};
 pub use device::DeviceModel;
 pub use model::NoiseModel;

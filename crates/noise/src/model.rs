@@ -35,6 +35,15 @@ pub enum NoiseModel {
         /// 2-qubit gate error rate.
         p2: f64,
     },
+    /// Uniform amplitude damping: every gate is followed by decay with
+    /// probability `γ` on its (first) operand qubit. Unlike the bit-flip
+    /// and depolarizing models this channel is **not** a Pauli mixture —
+    /// it is the stock model that exercises the SDP tiers (warm-started
+    /// and cold interior-point solves) rather than the closed form.
+    UniformAmplitudeDamping {
+        /// The decay probability.
+        gamma: f64,
+    },
     /// Device-calibrated noise (per-qubit / per-edge rates).
     Device(DeviceModel),
 }
@@ -50,6 +59,11 @@ impl NoiseModel {
         NoiseModel::UniformDepolarizing { p1, p2 }
     }
 
+    /// Uniform amplitude damping with decay probability `gamma`.
+    pub fn uniform_amplitude_damping(gamma: f64) -> Self {
+        NoiseModel::UniformAmplitudeDamping { gamma }
+    }
+
     /// The noise channel following the given gate application, on the
     /// gate's own qubits. `None` means the gate is noiseless.
     pub fn channel_for(&self, gate: &Gate, qubits: &[Qubit]) -> Option<Channel> {
@@ -62,6 +76,10 @@ impl NoiseModel {
             NoiseModel::UniformDepolarizing { p1, p2 } => Some(match gate.arity() {
                 1 => Channel::depolarizing(*p1),
                 _ => Channel::depolarizing2(*p2),
+            }),
+            NoiseModel::UniformAmplitudeDamping { gamma } => Some(match gate.arity() {
+                1 => Channel::amplitude_damping(*gamma),
+                _ => Channel::amplitude_damping_first_of_two(*gamma),
             }),
             NoiseModel::Device(dev) => dev.channel_for(gate, qubits),
         }

@@ -6,7 +6,7 @@
 //! render time rather than mirrored.
 
 use gleipnir_core::jsonfmt::json_ms;
-use gleipnir_core::{CacheStats, LoadStats, Report};
+use gleipnir_core::{CacheStats, LoadStats, Report, TierStats};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -88,6 +88,7 @@ impl Metrics {
     pub(crate) fn to_json(
         &self,
         cache: CacheStats,
+        tiers: TierStats,
         pool_threads: usize,
         workers: usize,
         queue_depth: usize,
@@ -105,6 +106,7 @@ impl Metrics {
                 "\"requests\":{{\"connections_total\":{},\"analyze_ok\":{},\"analyze_err\":{},",
                 "\"batch_ok\":{},\"batch_err\":{},\"http_err\":{}}},",
                 "\"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"inflight_dedup\":{}}},",
+                "\"tiers\":{{\"closed_form\":{},\"warm\":{},\"cold\":{},\"ip_iterations\":{}}},",
                 "\"stage_totals_ms\":{{\"plan\":{},\"solve\":{},\"assemble\":{}}},",
                 "\"store\":{{\"enabled\":{},\"loaded\":{},\"rejected\":{},\"appended\":{}}}}}"
             ),
@@ -125,6 +127,10 @@ impl Metrics {
             cache.misses,
             cache.entries,
             cache.inflight_dedup,
+            tiers.closed_form,
+            tiers.warm,
+            tiers.cold,
+            tiers.ip_iterations,
             us(&self.plan_us),
             us(&self.solve_us),
             us(&self.assemble_us),

@@ -387,6 +387,7 @@ fn route(shared: &Arc<Shared>, stream: &mut TcpStream, request: &HttpRequest) {
         ("GET", "/metrics") => {
             let body = shared.metrics.to_json(
                 shared.engine.cache_stats(),
+                shared.engine.tier_stats(),
                 shared.engine.threads(),
                 shared.config.workers.max(1),
                 shared.queue.len(),

@@ -5,7 +5,7 @@
 //! speak the same little languages; this module is their single parser so
 //! the two surfaces can never drift apart.
 
-use gleipnir_core::{AdaptiveConfig, Method};
+use gleipnir_core::{AdaptiveConfig, Method, TierPolicy};
 use gleipnir_noise::NoiseModel;
 use gleipnir_sim::BasisState;
 
@@ -15,7 +15,8 @@ pub const DEFAULT_NOISE_SPEC: &str = "bitflip:1e-4";
 /// The default MPS width when none is given.
 pub const DEFAULT_WIDTH: usize = 32;
 
-/// Parses a noise spec: `bitflip:P`, `depolarizing:P1,P2`, or `none`.
+/// Parses a noise spec: `bitflip:P`, `depolarizing:P1,P2`, `ampdamp:G`, or
+/// `none`.
 ///
 /// # Errors
 ///
@@ -29,6 +30,10 @@ pub fn parse_noise_spec(spec: &str) -> Result<NoiseModel, String> {
             .parse()
             .map_err(|_| format!("bad probability in `{spec}`"))?;
         return Ok(NoiseModel::uniform_bit_flip(p));
+    }
+    if let Some(g) = spec.strip_prefix("ampdamp:") {
+        let g: f64 = g.parse().map_err(|_| format!("bad rate in `{spec}`"))?;
+        return Ok(NoiseModel::uniform_amplitude_damping(g));
     }
     if let Some(ps) = spec.strip_prefix("depolarizing:") {
         let parts: Vec<&str> = ps.split(',').collect();
@@ -67,6 +72,32 @@ pub fn parse_method_spec(name: Option<&str>, width: usize) -> Result<Method, Str
     }
 }
 
+/// Parses a tier-policy spec: `exact` (default — cold SDP solves only,
+/// bit-identical to the pre-tiering engine), `fast` (closed forms + warm
+/// starts), `closed` (closed forms only), or `warm` (warm starts only).
+/// `None` defaults to `exact`.
+///
+/// # Errors
+///
+/// A message naming the unknown policy.
+pub fn parse_tier_spec(name: Option<&str>) -> Result<TierPolicy, String> {
+    match name {
+        None | Some("exact") => Ok(TierPolicy::exact()),
+        Some("fast") => Ok(TierPolicy::fast()),
+        Some("closed") => Ok(TierPolicy {
+            closed_form: true,
+            warm_start: false,
+        }),
+        Some("warm") => Ok(TierPolicy {
+            closed_form: false,
+            warm_start: true,
+        }),
+        Some(other) => Err(format!(
+            "unknown tier policy `{other}` (expected exact|fast|closed|warm)"
+        )),
+    }
+}
+
 /// Parses an input bit string (`"0101"`) for an `n`-qubit program.
 ///
 /// # Errors
@@ -93,9 +124,25 @@ mod tests {
         ));
         parse_noise_spec("bitflip:1e-4").unwrap();
         parse_noise_spec("depolarizing:1e-4,2e-4").unwrap();
-        for bad in ["bitflip:x", "depolarizing:1", "gauss:1", ""] {
+        assert!(matches!(
+            parse_noise_spec("ampdamp:0.01").unwrap(),
+            NoiseModel::UniformAmplitudeDamping { .. }
+        ));
+        for bad in ["bitflip:x", "depolarizing:1", "ampdamp:x", "gauss:1", ""] {
             assert!(parse_noise_spec(bad).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn tier_specs() {
+        assert!(parse_tier_spec(None).unwrap().is_exact());
+        assert!(parse_tier_spec(Some("exact")).unwrap().is_exact());
+        assert_eq!(parse_tier_spec(Some("fast")).unwrap(), TierPolicy::fast());
+        let closed = parse_tier_spec(Some("closed")).unwrap();
+        assert!(closed.closed_form && !closed.warm_start);
+        let warm = parse_tier_spec(Some("warm")).unwrap();
+        assert!(!warm.closed_form && warm.warm_start);
+        assert!(parse_tier_spec(Some("turbo")).is_err());
     }
 
     #[test]

@@ -9,9 +9,10 @@
 //!   "name": "ghz2",
 //!   "method": "state",          // state | adaptive | worst | lqr
 //!   "width": 32,
-//!   "noise": "bitflip:1e-4",    // bitflip:P | depolarizing:P1,P2 | none
+//!   "noise": "bitflip:1e-4",    // bitflip:P | depolarizing:P1,P2 | ampdamp:G | none
 //!   "input": "00",              // basis bits, defaults to all zeros
-//!   "cache": true
+//!   "cache": true,
+//!   "tiers": "exact"            // exact | fast | closed | warm
 //! }
 //! ```
 //!
@@ -80,6 +81,11 @@ pub fn analyze_spec_from_json(v: &Json) -> Result<AnalyzeSpec, String> {
     if let Some(cache) = v.get("cache") {
         builder = builder.cache(cache.as_bool().ok_or("`cache` must be a boolean")?);
     }
+    let tiers = match v.get("tiers") {
+        None => None,
+        Some(t) => Some(t.as_str().ok_or("`tiers` must be a string")?),
+    };
+    builder = builder.tiering(spec::parse_tier_spec(tiers)?);
     let request = builder.build().map_err(|e| e.to_string())?;
     Ok(AnalyzeSpec {
         name,
@@ -136,12 +142,16 @@ mod tests {
     #[test]
     fn full_body_round_trips() {
         let body = format!(
-            "{{\"source\":{},\"name\":\"ghz\",\"method\":\"worst\",\"noise\":\"none\",\"input\":\"01\",\"cache\":false}}",
+            "{{\"source\":{},\"name\":\"ghz\",\"method\":\"worst\",\"noise\":\"none\",\"input\":\"01\",\"cache\":false,\"tiers\":\"fast\"}}",
             json_str(SRC)
         );
         let spec = analyze_spec_from_json(&parse(&body).unwrap()).unwrap();
         assert_eq!(spec.name, "ghz");
         assert!(!spec.request.cache_enabled());
+        assert_eq!(
+            spec.request.tier_policy(),
+            gleipnir_core::TierPolicy::fast()
+        );
     }
 
     #[test]
@@ -154,6 +164,7 @@ mod tests {
                 "method",
             ),
             (r#"{"source":"qubits 1;\nh q0;","input":"000"}"#, "binary"),
+            (r#"{"source":"qubits 1;\nh q0;","tiers":"turbo"}"#, "tier"),
             (r#"{"source":"not glq"}"#, "parse"),
         ] {
             let err = analyze_spec_from_json(&parse(body).unwrap()).unwrap_err();

@@ -4,9 +4,10 @@
 //! ```text
 //! gleipnir analyze  <file.glq> [--method state|adaptive|worst|lqr] [--width W]
 //!                              [--noise SPEC] [--input BITS] [--threads N]
+//!                              [--tiers exact|fast|closed|warm]
 //!                              [--derivation] [--json]
 //! gleipnir batch    <a.glq> <b.glq> … [--method M] [--width W] [--noise SPEC]
-//!                              [--threads N] [--json]
+//!                              [--threads N] [--tiers T] [--json]
 //! gleipnir worst    <file.glq> [--noise SPEC] [--json]
 //! gleipnir serve    [--addr HOST:PORT] [--cache-dir DIR] [--workers N]
 //!                              [--queue N] [--threads N]
@@ -15,7 +16,8 @@
 //! gleipnir fmt      <file.glq>                              # parse + pretty-print
 //! gleipnir route    <file.glq> --device boeblingen|lima --mapping 0,1,2
 //!
-//! NOISE SPEC: bitflip:P (default bitflip:1e-4) | depolarizing:P1,P2 | none
+//! NOISE SPEC: bitflip:P (default bitflip:1e-4) | depolarizing:P1,P2
+//!             | ampdamp:G | none
 //! ```
 //!
 //! All analysis commands run on one long-lived `Engine`, and `--json`
@@ -74,7 +76,8 @@ fn run(args: &[String]) -> Result<(), String> {
 fn usage() -> String {
     "usage: gleipnir <analyze|batch|compare|worst|serve|optimize|fmt|route> <file.glq>… [options]\n\
      options: --method state|adaptive|worst|lqr   --width W   --input 0101   --json\n\
-     \x20        --noise bitflip:P|depolarizing:P1,P2|none   --derivation\n\
+     \x20        --noise bitflip:P|depolarizing:P1,P2|ampdamp:G|none   --derivation\n\
+     \x20        --tiers exact|fast|closed|warm   (bound-engine tiers; default exact)\n\
      \x20        --threads N   (0/unset = GLEIPNIR_THREADS, then all cores)\n\
      \x20        --cache-dir DIR   (persistent SDP-certificate store; warm restarts)\n\
      \x20        --device boeblingen|lima   --mapping 0,1,2\n\
@@ -97,12 +100,13 @@ fn has_flag(args: &[String], name: &str) -> bool {
 fn program_paths(args: &[String]) -> Vec<&String> {
     // Positional arguments: skip flags and the value slot after a
     // value-taking flag.
-    const VALUE_FLAGS: [&str; 11] = [
+    const VALUE_FLAGS: [&str; 12] = [
         "--method",
         "--width",
         "--noise",
         "--input",
         "--threads",
+        "--tiers",
         "--device",
         "--mapping",
         "--cache-dir",
@@ -214,10 +218,12 @@ fn build_request(program: Program, args: &[String]) -> Result<AnalysisRequest, S
     let input = parse_input(args, program.n_qubits())?;
     let width = parse_width(args)?;
     let method = parse_method(args, width)?;
+    let tiers = spec::parse_tier_spec(flag_value(args, "--tiers").as_deref())?;
     AnalysisRequest::builder(program)
         .input(&input)
         .noise(noise)
         .method(method)
+        .tiering(tiers)
         .build()
         .map_err(|e| e.to_string())
 }
@@ -249,6 +255,16 @@ fn analyze(args: &[String]) -> Result<(), String> {
         report.cache_hits(),
         report.elapsed()
     );
+    let tiers = report.tier_counts();
+    if tiers.closed_form + tiers.warm > 0 {
+        println!(
+            "bound tiers: {} closed form, {} warm-started, {} cold ({} IP iterations)",
+            tiers.closed_form,
+            tiers.warm,
+            tiers.cold,
+            report.ip_iterations()
+        );
+    }
     if let Some(d) = report.tn_delta() {
         println!("TN delta: {d:.3e}");
     }
@@ -381,6 +397,9 @@ fn worst(args: &[String]) -> Result<(), String> {
     let request = AnalysisRequest::builder(program.clone())
         .noise(noise)
         .method(Method::WorstCase)
+        .tiering(spec::parse_tier_spec(
+            flag_value(args, "--tiers").as_deref(),
+        )?)
         .build()
         .map_err(|e| e.to_string())?;
     let report = engine.analyze(&request).map_err(|e| e.to_string())?;
@@ -397,6 +416,12 @@ fn worst(args: &[String]) -> Result<(), String> {
         w.sdp_solves,
         w.clamped()
     );
+    if w.tier_counts.closed_form > 0 {
+        println!(
+            "bound tiers: {} closed form, {} cold ({} IP iterations)",
+            w.tier_counts.closed_form, w.tier_counts.cold, w.ip_iterations
+        );
+    }
     Ok(())
 }
 

@@ -71,8 +71,9 @@ pub use gleipnir_workloads as workloads;
 pub mod prelude {
     pub use gleipnir_circuit::{Gate, Program, ProgramBuilder, Qubit};
     pub use gleipnir_core::{
-        AdaptiveConfig, AnalysisError, AnalysisRequest, BatchOutcome, CacheStats, Derivation,
-        Engine, EngineOptions, InputState, Method, Report, StageTimings, StateAwareReport,
+        AdaptiveConfig, AnalysisError, AnalysisRequest, BatchOutcome, BoundTier, CacheStats,
+        Derivation, Engine, EngineOptions, InputState, Method, Report, StageTimings,
+        StateAwareReport, TierCounts, TierPolicy, TierStats,
     };
     pub use gleipnir_linalg::{CMat, CVec, C64};
     pub use gleipnir_mps::{Mps, MpsConfig};
