@@ -162,8 +162,11 @@ fn emit_json() {
         outcome.worker_threads,
         stage_json.join(",")
     );
-    let path =
-        std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
+    // Default to the repo root so `cargo bench` from anywhere in the
+    // workspace drops the artifact where CI collects it.
+    let path = std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json").to_string()
+    });
     match std::fs::write(&path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),

@@ -209,8 +209,11 @@ fn emit_json() {
         rebucket_warm.wall_ms,
         pass_json.join(",")
     );
-    let path =
-        std::env::var("BENCH_SOLVER_JSON_PATH").unwrap_or_else(|_| "BENCH_solver.json".to_string());
+    // Default to the repo root so `cargo bench` from anywhere in the
+    // workspace drops the artifact where CI collects it.
+    let path = std::env::var("BENCH_SOLVER_JSON_PATH").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json").to_string()
+    });
     match std::fs::write(&path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),

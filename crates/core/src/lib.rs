@@ -80,7 +80,7 @@ pub use diamond::{
 pub use engine::{BatchOutcome, CacheStats, Engine, EngineOptions};
 pub use error::{AnalysisError, ReplayError};
 pub use logic::{Derivation, StageTimings, StateAwareReport};
-pub use persist::{CertStore, LoadStats};
+pub use persist::{import_sync, CertStore, LoadStats, SyncStats};
 pub use report::Report;
 pub use request::{AnalysisRequest, AnalysisRequestBuilder, InputState, Method};
 pub use tiers::{BoundTier, TierCounts, TierPolicy, TierStats};

@@ -36,6 +36,21 @@
 //! When one key appears more than once the **last** record wins (append =
 //! supersede). A version bump makes old files *stale*: the loader rejects
 //! the header wholesale and the next persist rewrites the store.
+//!
+//! ## Fleet sync
+//!
+//! Every store (disk-backed or [`CertStore::ephemeral`]) also maintains an
+//! in-memory **sequence log**: each verified certificate the store has ever
+//! seen (loaded, appended, or imported) occupies one monotonically
+//! increasing slot. [`CertStore::encode_since`] serializes the suffix of
+//! that log after a cursor into a self-delimiting wire body (the same
+//! framed-record codec as the file), and [`import_sync`] on the receiving
+//! side re-runs the **full certificate verification** — the SDP is rebuilt
+//! from each record's content address and the stored dual must re-prove the
+//! stored ε via [`gleipnir_sdp::SdpProblem::certified_dual_bound_for`] —
+//! before anything touches the engine cache. A malicious, stale, or corrupt
+//! peer can therefore cause cache misses, never an unsound bound: the trust
+//! boundary is the certificate check, not the transport.
 
 use crate::diamond::{rho_delta_problem, unconstrained_problem};
 use crate::engine::{Certificate, KEY_RHO_DELTA, KEY_SEP, KEY_UNCONSTRAINED};
@@ -48,6 +63,8 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 const MAGIC: &[u8; 8] = b"GLPNCERT";
+/// Fleet-sync wire header magic ([`CertStore::encode_since`]).
+const SYNC_MAGIC: &[u8; 8] = b"GLPNSYNC";
 const VERSION: u32 = 1;
 const HEADER_LEN: u64 = 16;
 /// Hard cap on a single record's payload (a corrupt length field must not
@@ -78,7 +95,9 @@ pub struct LoadStats {
 /// certificates not yet on disk, possibly repeatedly).
 #[derive(Debug)]
 pub struct CertStore {
-    path: PathBuf,
+    /// `None` for an [`CertStore::ephemeral`] store: the sequence log and
+    /// persisted-set still work, nothing ever touches disk.
+    path: Option<PathBuf>,
     /// Keys known to be represented by a *valid* record on disk (loaded or
     /// appended by us). Rejected records are deliberately absent so a fresh
     /// solve of the same judgment is re-persisted, superseding them.
@@ -91,6 +110,14 @@ pub struct CertStore {
     /// export is skipped — keeps per-request persistence O(1) on the
     /// (common) warm path instead of O(entries).
     last_insert_count: Option<usize>,
+    /// The fleet-sync sequence log: every certificate-verified record this
+    /// store knows, in the order it learned of them. Slot `i` is sequence
+    /// number `i`; [`CertStore::next_seq`] is the log length. Keys are
+    /// deduplicated (a key's certificate never changes once verified, so
+    /// re-learning it is a no-op).
+    log: Vec<(Vec<u64>, Certificate)>,
+    /// Keys already present in `log` (dedup guard).
+    logged: HashSet<Vec<u64>>,
 }
 
 impl CertStore {
@@ -104,16 +131,73 @@ impl CertStore {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
         Ok(CertStore {
-            path: dir.join(FILE_NAME),
+            path: Some(dir.join(FILE_NAME)),
             persisted: HashSet::new(),
             valid_len: None,
             last_insert_count: None,
+            log: Vec::new(),
+            logged: HashSet::new(),
         })
     }
 
-    /// The store file path (inside the directory passed to `open`).
-    pub fn path(&self) -> &Path {
-        &self.path
+    /// An in-memory store: the sequence log (and therefore fleet sync)
+    /// works exactly as for a disk-backed store, but nothing is ever
+    /// written to or read from disk. This is what a server without a
+    /// `--cache-dir` uses so its certificates are still shareable.
+    pub fn ephemeral() -> CertStore {
+        CertStore {
+            path: None,
+            persisted: HashSet::new(),
+            valid_len: Some(0),
+            last_insert_count: None,
+            log: Vec::new(),
+            logged: HashSet::new(),
+        }
+    }
+
+    /// The store file path (inside the directory passed to `open`); `None`
+    /// for an [`CertStore::ephemeral`] store.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Appends a verified certificate to the sequence log (idempotent per
+    /// key).
+    fn log_record(&mut self, key: &[u64], cert: &Certificate) {
+        if self.logged.insert(key.to_vec()) {
+            self.log.push((key.to_vec(), cert.clone()));
+        }
+    }
+
+    /// The sequence number the *next* learned certificate will get — i.e.
+    /// the cursor a fully caught-up peer holds. `encode_since(next_seq())`
+    /// is an empty delta.
+    pub fn next_seq(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    /// Serializes every logged certificate with sequence number ≥ `seq`
+    /// into the fleet-sync wire format:
+    ///
+    /// ```text
+    /// "GLPNSYNC" (8 bytes) | version u32 LE | next_seq u64 LE | count u32 LE
+    /// record*:  payload_len u32 LE | payload | fnv1a64(payload) u64 LE
+    /// ```
+    ///
+    /// (the per-record framing is byte-identical to the on-disk codec).
+    /// A cursor past the end of the log yields a valid empty delta.
+    pub fn encode_since(&self, seq: u64) -> Vec<u8> {
+        let start = (seq.min(self.next_seq())) as usize;
+        let tail = &self.log[start..];
+        let mut out = Vec::with_capacity(24 + tail.len() * 256);
+        out.extend_from_slice(SYNC_MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.next_seq().to_le_bytes());
+        out.extend_from_slice(&(tail.len() as u32).to_le_bytes());
+        for (key, cert) in tail {
+            encode_record(&mut out, key, cert);
+        }
+        out
     }
 
     /// Loads the store into the engine's shared cache. Every record is
@@ -150,6 +234,7 @@ impl CertStore {
             match verify_record(&record) {
                 Ok(cert) => {
                     self.persisted.insert(key.clone());
+                    self.log_record(&key, &cert);
                     if cache.contains(&key) {
                         stats.already_present += 1;
                     } else {
@@ -191,7 +276,8 @@ impl CertStore {
                     by_key.insert(record.key.clone(), record);
                 }
                 for (key, record) in by_key {
-                    if verify_record(&record).is_ok() {
+                    if let Ok(cert) = verify_record(&record) {
+                        self.log_record(&key, &cert);
                         self.persisted.insert(key);
                     }
                 }
@@ -216,36 +302,39 @@ impl CertStore {
             self.last_insert_count = Some(insert_snapshot);
             return Ok(0);
         }
-        let mut file = std::fs::OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .open(&self.path)?;
-        let valid_len = self.valid_len.unwrap_or(0);
-        if valid_len < HEADER_LEN {
-            file.set_len(0)?;
-            file.seek(SeekFrom::Start(0))?;
-            let mut header = Vec::with_capacity(HEADER_LEN as usize);
-            header.extend_from_slice(MAGIC);
-            header.extend_from_slice(&VERSION.to_le_bytes());
-            header.extend_from_slice(&0u32.to_le_bytes());
-            file.write_all(&header)?;
-            self.valid_len = Some(HEADER_LEN);
-        } else {
-            // Heal a torn tail before appending after it.
-            file.set_len(valid_len)?;
-            file.seek(SeekFrom::Start(valid_len))?;
-        }
         let mut buf = Vec::new();
         let mut written = 0usize;
         for (key, cert) in fresh {
             encode_record(&mut buf, &key, &cert);
+            self.log_record(&key, &cert);
             self.persisted.insert(key);
             written += 1;
         }
-        file.write_all(&buf)?;
-        file.flush()?;
-        self.valid_len = Some(self.valid_len.unwrap_or(HEADER_LEN) + buf.len() as u64);
+        if let Some(path) = &self.path {
+            let mut file = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .open(path)?;
+            let valid_len = self.valid_len.unwrap_or(0);
+            if valid_len < HEADER_LEN {
+                file.set_len(0)?;
+                file.seek(SeekFrom::Start(0))?;
+                let mut header = Vec::with_capacity(HEADER_LEN as usize);
+                header.extend_from_slice(MAGIC);
+                header.extend_from_slice(&VERSION.to_le_bytes());
+                header.extend_from_slice(&0u32.to_le_bytes());
+                file.write_all(&header)?;
+                self.valid_len = Some(HEADER_LEN);
+            } else {
+                // Heal a torn tail before appending after it.
+                file.set_len(valid_len)?;
+                file.seek(SeekFrom::Start(valid_len))?;
+            }
+            file.write_all(&buf)?;
+            file.flush()?;
+            self.valid_len = Some(self.valid_len.unwrap_or(HEADER_LEN) + buf.len() as u64);
+        }
         self.last_insert_count = Some(insert_snapshot);
         Ok(written)
     }
@@ -253,7 +342,11 @@ impl CertStore {
     /// Structurally scans the file: header, then records until EOF or the
     /// first invalid frame. `None` means the file does not exist.
     fn scan(&mut self) -> io::Result<Option<ScanOutcome>> {
-        let bytes = match std::fs::read(&self.path) {
+        let Some(path) = &self.path else {
+            self.valid_len = Some(0);
+            return Ok(None);
+        };
+        let bytes = match std::fs::read(path) {
             Ok(bytes) => bytes,
             Err(e) if e.kind() == io::ErrorKind::NotFound => {
                 self.valid_len = Some(0);
@@ -291,6 +384,86 @@ impl CertStore {
         self.valid_len = Some(offset as u64);
         Ok(Some(ScanOutcome { records, truncated }))
     }
+}
+
+/// What one [`import_sync`] pass over a peer's wire delta found.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SyncStats {
+    /// Structurally valid records decoded from the wire body.
+    pub received: usize,
+    /// Records that passed full certificate re-verification and were
+    /// inserted into the engine's cache.
+    pub added: usize,
+    /// Verified records whose key the engine already held (idempotent
+    /// re-sync).
+    pub already_present: usize,
+    /// Records that failed certificate re-verification (malicious, stale,
+    /// or corrupt peers land here — as cache misses, never as bounds).
+    pub rejected: usize,
+    /// The peer's log cursor after this delta: pass it back as the next
+    /// `/certs/since/<seq>` request.
+    pub next_seq: u64,
+}
+
+/// Imports a fleet-sync wire body (produced by [`CertStore::encode_since`])
+/// into an engine's certificate cache. Every record is **re-certified**
+/// exactly like a disk load — the SDP is rebuilt from the content address
+/// and the stored dual vector must re-prove the stored ε via
+/// [`gleipnir_sdp::SdpProblem::certified_dual_bound_for`] — before it is
+/// inserted; anything that fails counts as [`SyncStats::rejected`]. Nothing
+/// is persisted here: the imported certificates land in the cache, and the
+/// next [`CertStore::persist_new`] appends them to the local store (and
+/// sequence log) through the one existing write path.
+///
+/// # Errors
+///
+/// A human-readable reason when the body itself is unusable (bad magic,
+/// stale version, or torn framing). Per-record verification failures are
+/// *not* errors — they are the expected containment path for bad peers.
+pub fn import_sync(bytes: &[u8], engine: &Engine) -> Result<SyncStats, String> {
+    if bytes.len() < 24 {
+        return Err("sync body shorter than its header".into());
+    }
+    if &bytes[..8] != SYNC_MAGIC {
+        return Err("bad sync magic".into());
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(format!("unsupported sync version {version}"));
+    }
+    let next_seq = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let count = u32::from_le_bytes(bytes[20..24].try_into().unwrap()) as usize;
+    let mut stats = SyncStats {
+        next_seq,
+        ..SyncStats::default()
+    };
+    let cache = engine.sdp_cache();
+    let mut offset = 24usize;
+    for _ in 0..count {
+        let Some((record, consumed)) = decode_record(&bytes[offset..]) else {
+            return Err(format!(
+                "torn sync body: record {} of {count} undecodable",
+                stats.received + 1
+            ));
+        };
+        offset += consumed;
+        stats.received += 1;
+        match verify_record(&record) {
+            Ok(cert) => {
+                if cache.contains(&record.key) {
+                    stats.already_present += 1;
+                } else {
+                    cache.insert(record.key.clone(), cert);
+                    stats.added += 1;
+                }
+            }
+            Err(_reason) => stats.rejected += 1,
+        }
+    }
+    if offset != bytes.len() {
+        return Err("trailing bytes after the declared sync records".into());
+    }
+    Ok(stats)
 }
 
 struct ScanOutcome {
@@ -584,7 +757,7 @@ mod tests {
         let mut store = CertStore::open(&dir).unwrap();
         let written = store.persist_new(&engine).unwrap();
         assert!(written >= 2, "need ≥ 2 records to truncate mid-stream");
-        let path = store.path().to_path_buf();
+        let path = store.path().unwrap().to_path_buf();
         let bytes = std::fs::read(&path).unwrap();
         // Cut into the middle of the last record.
         std::fs::write(&path, &bytes[..bytes.len() - 11]).unwrap();
@@ -603,7 +776,7 @@ mod tests {
         let engine = populated_engine();
         let mut store = CertStore::open(&dir).unwrap();
         let written = store.persist_new(&engine).unwrap();
-        let path = store.path().to_path_buf();
+        let path = store.path().unwrap().to_path_buf();
         let mut bytes = std::fs::read(&path).unwrap();
         // Flip one bit inside the *first* record's payload (after the
         // header and the 4-byte length). The checksum must catch it; the
@@ -648,7 +821,7 @@ mod tests {
         let engine = populated_engine();
         let mut store = CertStore::open(&dir).unwrap();
         let written = store.persist_new(&engine).unwrap();
-        let path = store.path().to_path_buf();
+        let path = store.path().unwrap().to_path_buf();
         tamper_first_eps(&path);
 
         let fresh = Engine::new();
@@ -669,7 +842,7 @@ mod tests {
         let engine = populated_engine();
         let entries = engine.cache_stats().entries;
         CertStore::open(&dir).unwrap().persist_new(&engine).unwrap();
-        let path = CertStore::open(&dir).unwrap().path().to_path_buf();
+        let path = CertStore::open(&dir).unwrap().path().unwrap().to_path_buf();
         tamper_first_eps(&path);
 
         // New store handle, no load_into: the tampered key must be
@@ -691,7 +864,7 @@ mod tests {
         let engine = populated_engine();
         let mut store = CertStore::open(&dir).unwrap();
         store.persist_new(&engine).unwrap();
-        let path = store.path().to_path_buf();
+        let path = store.path().unwrap().to_path_buf();
         let mut bytes = std::fs::read(&path).unwrap();
         bytes[8] = 99; // version → 99
         std::fs::write(&path, &bytes).unwrap();
@@ -712,12 +885,104 @@ mod tests {
     }
 
     #[test]
+    fn sync_delta_round_trips_into_a_fresh_engine() {
+        let engine = populated_engine();
+        let entries = engine.cache_stats().entries;
+        let mut store = CertStore::ephemeral();
+        assert_eq!(store.persist_new(&engine).unwrap(), entries);
+        assert_eq!(store.next_seq(), entries as u64);
+
+        // Full delta into a fresh engine: everything verifies and imports.
+        let fresh = Engine::new();
+        let stats = import_sync(&store.encode_since(0), &fresh).unwrap();
+        assert_eq!(stats.received, entries);
+        assert_eq!(stats.added, entries, "{stats:?}");
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.next_seq, store.next_seq());
+        assert_eq!(fresh.cache_stats().entries, entries);
+
+        // Idempotent: a second import of the same delta adds nothing.
+        let again = import_sync(&store.encode_since(0), &fresh).unwrap();
+        assert_eq!(again.added, 0);
+        assert_eq!(again.already_present, entries);
+
+        // A caught-up cursor yields a valid, empty delta.
+        let empty = import_sync(&store.encode_since(store.next_seq()), &fresh).unwrap();
+        assert_eq!(empty.received, 0);
+        assert_eq!(empty.next_seq, store.next_seq());
+
+        // Imported bits are exact.
+        let mut original = engine.sdp_cache().export();
+        let mut imported = fresh.sdp_cache().export();
+        original.sort_by(|a, b| a.0.cmp(&b.0));
+        imported.sort_by(|a, b| a.0.cmp(&b.0));
+        for ((ka, ca), (kb, cb)) in original.iter().zip(imported.iter()) {
+            assert_eq!(ka, kb);
+            assert_eq!(ca.eps.to_bits(), cb.eps.to_bits());
+        }
+    }
+
+    #[test]
+    fn sync_record_with_lowered_eps_and_fixed_checksum_is_rejected() {
+        let engine = populated_engine();
+        let entries = engine.cache_stats().entries;
+        let mut store = CertStore::ephemeral();
+        store.persist_new(&engine).unwrap();
+        let mut bytes = store.encode_since(0);
+
+        // Maliciously halve the first record's ε and re-checksum it so the
+        // structural layer passes — only re-certification can catch this.
+        let rec_start = 24usize; // sync header
+        let payload_len =
+            u32::from_le_bytes(bytes[rec_start..rec_start + 4].try_into().unwrap()) as usize;
+        let payload_start = rec_start + 4;
+        let eps_off = payload_start + 16;
+        let eps = f64::from_le_bytes(bytes[eps_off..eps_off + 8].try_into().unwrap());
+        bytes[eps_off..eps_off + 8].copy_from_slice(&(eps * 0.5).to_le_bytes());
+        let sum = fnv1a64(&bytes[payload_start..payload_start + payload_len]);
+        let sum_off = payload_start + payload_len;
+        bytes[sum_off..sum_off + 8].copy_from_slice(&sum.to_le_bytes());
+
+        let fresh = Engine::new();
+        let stats = import_sync(&bytes, &fresh).unwrap();
+        assert_eq!(stats.rejected, 1, "{stats:?}");
+        assert_eq!(stats.added, entries - 1);
+        assert_eq!(fresh.cache_stats().entries, entries - 1);
+
+        // A torn body is an error (the cursor must not advance), not a
+        // partial import.
+        let torn = &store.encode_since(0)[..bytes.len() - 5];
+        assert!(import_sync(torn, &fresh).is_err());
+    }
+
+    #[test]
+    fn disk_load_rebuilds_the_sequence_log() {
+        let dir = tmpdir("seqlog");
+        let engine = populated_engine();
+        let entries = engine.cache_stats().entries;
+        let mut store = CertStore::open(&dir).unwrap();
+        store.persist_new(&engine).unwrap();
+        assert_eq!(store.next_seq(), entries as u64);
+
+        // A restart that only loads sees the same log length, and its
+        // delta re-imports idempotently.
+        let fresh = Engine::new();
+        let mut store2 = CertStore::open(&dir).unwrap();
+        store2.load_into(&fresh).unwrap();
+        assert_eq!(store2.next_seq(), entries as u64);
+        let stats = import_sync(&store2.encode_since(0), &fresh).unwrap();
+        assert_eq!(stats.added, 0);
+        assert_eq!(stats.already_present, entries);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn append_after_torn_tail_heals_the_file() {
         let dir = tmpdir("heal");
         let engine = populated_engine();
         let mut store = CertStore::open(&dir).unwrap();
         let first = store.persist_new(&engine).unwrap();
-        let path = store.path().to_path_buf();
+        let path = store.path().unwrap().to_path_buf();
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap(); // torn tail
 

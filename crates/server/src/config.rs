@@ -19,9 +19,14 @@ pub struct ServerConfig {
     /// are shed with `429 Too Many Requests` instead of piling up until
     /// the process collapses.
     pub queue_capacity: usize,
-    /// Per-connection read timeout (a stalled or malicious client cannot
-    /// pin a worker).
+    /// Whole-request read deadline: a client that stalls or trickles
+    /// mid-request is answered `408` this long after the request started
+    /// (for a fresh connection, after accept). Never pins a worker — the
+    /// reactor owns the clock.
     pub read_timeout: Duration,
+    /// How long an idle keep-alive connection (at least one response
+    /// served, nothing buffered) is kept open before a silent close.
+    pub keepalive_timeout: Duration,
     /// Maximum accepted request-body size.
     pub max_body_bytes: usize,
     /// Certificate-store directory. `Some(dir)` loads the store at startup
@@ -30,6 +35,12 @@ pub struct ServerConfig {
     pub cache_dir: Option<PathBuf>,
     /// Engine worker-pool cap (0 = `GLEIPNIR_THREADS`, then all cores).
     pub threads: usize,
+    /// Fleet peers (`host:port`) to pull certificates from via
+    /// `GET /certs/since/<seq>`. Empty disables the gossip loop. Every
+    /// pulled record is re-certified before it can enter the cache.
+    pub peers: Vec<String>,
+    /// How often the gossip loop polls each peer.
+    pub peer_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -39,9 +50,12 @@ impl Default for ServerConfig {
             workers: 4,
             queue_capacity: 64,
             read_timeout: Duration::from_secs(10),
+            keepalive_timeout: Duration::from_secs(30),
             max_body_bytes: 4 << 20,
             cache_dir: None,
             threads: 0,
+            peers: Vec::new(),
+            peer_interval: Duration::from_secs(2),
         }
     }
 }

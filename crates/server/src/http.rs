@@ -1,19 +1,22 @@
-//! Just enough HTTP/1.1 over `std::net` for the analysis endpoints.
+//! Just enough HTTP/1.1 for the analysis endpoints, as a **pure,
+//! incremental parser** the reactor can call on whatever bytes have
+//! arrived so far.
 //!
-//! One request per connection (`Connection: close`), explicit
-//! `Content-Length` bodies only — no chunked encoding, no keep-alive, no
-//! TLS. The parser is defensive: header and body sizes are capped, and
-//! the timeout is a **whole-request deadline**, not per-read — a client
-//! trickling one byte per interval cannot reset the clock, so a stalled
-//! or malicious connection costs a worker at most `timeout`
-//! ([`HttpError::Timeout`], mapped to `408`), never a hang.
-
-use std::io::{Read, Write};
-use std::net::TcpStream;
-use std::time::{Duration, Instant};
+//! The parser never does I/O: the reactor accumulates bytes per
+//! connection and asks [`parse_request`] whether a complete request is
+//! sitting at the front of the buffer. This is what makes keep-alive and
+//! pipelining natural — leftover bytes after one request are simply the
+//! start of the next — and what makes the deadline story honest: wall
+//! clock is owned by the event loop (a trickling client is cut off by the
+//! *whole-request* deadline, not a per-read timeout), while this module
+//! only ever decides `Incomplete` / `Request` / `Error`.
+//!
+//! Explicit `Content-Length` bodies only — no chunked encoding, no TLS.
+//! Header and body sizes are capped ([`ParseError::TooLarge`] → `413`);
+//! anything unparseable is [`ParseError::Malformed`] → `400`.
 
 /// A parsed request: method, path, body. Headers beyond `Content-Length`
-/// are intentionally dropped — no endpoint needs them.
+/// and `Connection` are intentionally dropped — no endpoint needs them.
 #[derive(Debug)]
 pub struct HttpRequest {
     /// `GET`, `POST`, …
@@ -25,124 +28,106 @@ pub struct HttpRequest {
     pub body: Vec<u8>,
 }
 
-/// Why a request could not be read.
+/// Why the bytes at the front of the buffer can never become a request.
 #[derive(Debug)]
-pub enum HttpError {
-    /// The read timed out (client stalled) → `408`.
-    Timeout,
-    /// The declared body (or the headers) exceed the configured cap → `413`.
+pub enum ParseError {
+    /// The headers (or the declared body) exceed the configured cap → `413`.
     TooLarge,
     /// The bytes are not a parseable HTTP/1.1 request → `400`.
     Malformed(String),
-    /// The peer closed the connection before a full request arrived.
-    Closed,
-    /// Any other I/O failure. The payload is kept for `{:?}` diagnostics
-    /// even though no handler branches on it.
-    Io(#[allow(dead_code)] std::io::Error),
 }
 
-const MAX_HEADER_BYTES: usize = 64 * 1024;
-
-fn map_io(e: std::io::Error) -> HttpError {
-    match e.kind() {
-        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => HttpError::Timeout,
-        _ => HttpError::Io(e),
-    }
+/// One [`parse_request`] step over a connection's receive buffer.
+#[derive(Debug)]
+pub enum Parse {
+    /// No complete request yet — keep reading (the reactor's deadline
+    /// decides when patience runs out).
+    Incomplete,
+    /// A complete request occupied `buf[..consumed]`.
+    Request {
+        /// The parsed request.
+        request: HttpRequest,
+        /// Bytes to drain off the front of the buffer.
+        consumed: usize,
+        /// Whether the client asked to keep the connection open
+        /// (HTTP/1.1 default, overridable by `Connection:`).
+        keep_alive: bool,
+    },
+    /// The buffer can never become a request; answer and close.
+    Error(ParseError),
 }
 
-/// One read bounded by the whole-request deadline: the stream's read
-/// timeout is re-armed with the *remaining* budget before every read, so
-/// progress never extends the total allowance.
-fn read_some(
-    stream: &mut TcpStream,
-    chunk: &mut [u8],
-    deadline: Instant,
-) -> Result<usize, HttpError> {
-    let remaining = deadline.saturating_duration_since(Instant::now());
-    if remaining.is_zero() {
-        return Err(HttpError::Timeout);
-    }
-    let _ = stream.set_read_timeout(Some(remaining));
-    stream.read(chunk).map_err(map_io)
-}
+/// Longest the head (request line + headers) may grow before `413`.
+pub const MAX_HEADER_BYTES: usize = 64 * 1024;
 
-/// Reads one full request from the stream, spending at most `timeout`
-/// wall-clock across all reads.
-///
-/// # Errors
-///
-/// [`HttpError`] describing how the request failed to materialize.
-pub fn read_request(
-    stream: &mut TcpStream,
-    max_body: usize,
-    timeout: Duration,
-) -> Result<HttpRequest, HttpError> {
-    let deadline = Instant::now() + timeout;
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 4096];
-    let header_end = loop {
-        if let Some(pos) = find_blank_line(&buf) {
-            break pos;
-        }
+/// Tries to parse one complete request off the front of `buf`.
+pub fn parse_request(buf: &[u8], max_body: usize) -> Parse {
+    let Some(header_end) = find_blank_line(buf) else {
         if buf.len() > MAX_HEADER_BYTES {
-            return Err(HttpError::TooLarge);
+            return Parse::Error(ParseError::TooLarge);
         }
-        let n = read_some(stream, &mut chunk, deadline)?;
-        if n == 0 {
-            return if buf.is_empty() {
-                Err(HttpError::Closed)
-            } else {
-                Err(HttpError::Malformed("connection closed mid-headers".into()))
-            };
-        }
-        buf.extend_from_slice(&chunk[..n]);
+        return Parse::Incomplete;
     };
-
-    let head = std::str::from_utf8(&buf[..header_end])
-        .map_err(|_| HttpError::Malformed("non-UTF-8 headers".into()))?;
+    if header_end > MAX_HEADER_BYTES {
+        return Parse::Error(ParseError::TooLarge);
+    }
+    let head = match std::str::from_utf8(&buf[..header_end]) {
+        Ok(head) => head,
+        Err(_) => return Parse::Error(ParseError::Malformed("non-UTF-8 headers".into())),
+    };
     let mut lines = head.split("\r\n");
-    let request_line = lines
-        .next()
-        .ok_or_else(|| HttpError::Malformed("empty request".into()))?;
+    let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split_whitespace();
-    let method = parts
-        .next()
-        .ok_or_else(|| HttpError::Malformed("missing method".into()))?
-        .to_string();
-    let path = parts
-        .next()
-        .ok_or_else(|| HttpError::Malformed("missing path".into()))?
-        .to_string();
+    let Some(method) = parts.next() else {
+        return Parse::Error(ParseError::Malformed("missing method".into()));
+    };
+    let Some(path) = parts.next() else {
+        return Parse::Error(ParseError::Malformed("missing path".into()));
+    };
     let version = parts.next().unwrap_or("");
     if !version.starts_with("HTTP/1.") {
-        return Err(HttpError::Malformed(format!("bad version `{version}`")));
+        return Parse::Error(ParseError::Malformed(format!("bad version `{version}`")));
     }
-
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+    let mut keep_alive = version != "HTTP/1.0";
     let mut content_length = 0usize;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| HttpError::Malformed("bad Content-Length".into()))?;
+            let name = name.trim();
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = match value.parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        return Parse::Error(ParseError::Malformed("bad Content-Length".into()))
+                    }
+                };
+            } else if name.eq_ignore_ascii_case("connection") {
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
             }
         }
     }
     if content_length > max_body {
-        return Err(HttpError::TooLarge);
+        return Parse::Error(ParseError::TooLarge);
     }
-
-    let mut body = buf[header_end + 4..].to_vec();
-    while body.len() < content_length {
-        let n = read_some(stream, &mut chunk, deadline)?;
-        if n == 0 {
-            return Err(HttpError::Malformed("connection closed mid-body".into()));
-        }
-        body.extend_from_slice(&chunk[..n]);
+    let body_start = header_end + 4;
+    let consumed = body_start + content_length;
+    if buf.len() < consumed {
+        return Parse::Incomplete;
     }
-    body.truncate(content_length);
-    Ok(HttpRequest { method, path, body })
+    Parse::Request {
+        request: HttpRequest {
+            method: method.to_string(),
+            path: path.to_string(),
+            body: buf[body_start..consumed].to_vec(),
+        },
+        consumed,
+        keep_alive,
+    }
 }
 
 fn find_blank_line(buf: &[u8]) -> Option<usize> {
@@ -165,95 +150,138 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes a JSON response (plus `Connection: close`) and flushes. Write
-/// errors are returned so callers can count them, but a client that went
-/// away mid-response is not a server problem.
-pub fn write_json(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
-    let mut extra = String::new();
-    if status == 429 {
-        extra.push_str("Retry-After: 1\r\n");
-    }
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{extra}Connection: close\r\n\r\n",
+/// Serializes one complete response. The reactor owns delivery (and the
+/// no-torn-response guarantee: a response either leaves the write buffer
+/// whole or the connection is visibly dead); this function only frames.
+pub fn response_bytes(status: u16, content_type: &str, body: &[u8], keep_alive: bool) -> Vec<u8> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         reason(status),
         body.len(),
     );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
+    if status == 429 {
+        head.push_str("Retry-After: 1\r\n");
+    }
+    head.push_str(if keep_alive {
+        "Connection: keep-alive\r\n\r\n"
+    } else {
+        "Connection: close\r\n\r\n"
+    });
+    let mut out = head.into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// [`response_bytes`] for the common JSON case.
+pub fn json_response(status: u16, body: &str, keep_alive: bool) -> Vec<u8> {
+    response_bytes(status, "application/json", body.as_bytes(), keep_alive)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::net::{TcpListener, TcpStream};
 
-    fn round_trip(raw: &[u8]) -> Result<HttpRequest, HttpError> {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let raw = raw.to_vec();
-        let writer = std::thread::spawn(move || {
-            let mut s = TcpStream::connect(addr).unwrap();
-            s.write_all(&raw).unwrap();
-        });
-        let (mut stream, _) = listener.accept().unwrap();
-        let out = read_request(&mut stream, 1024, Duration::from_secs(2));
-        writer.join().unwrap();
-        out
+    fn full(raw: &[u8]) -> (HttpRequest, usize, bool) {
+        match parse_request(raw, 1024) {
+            Parse::Request {
+                request,
+                consumed,
+                keep_alive,
+            } => (request, consumed, keep_alive),
+            other => panic!("expected a complete request, got {other:?}"),
+        }
     }
 
     #[test]
     fn parses_post_with_body() {
-        let req =
-            round_trip(b"POST /analyze HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello")
-                .unwrap();
+        let raw = b"POST /analyze HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let (req, consumed, keep_alive) = full(raw);
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/analyze");
         assert_eq!(req.body, b"hello");
+        assert_eq!(consumed, raw.len());
+        assert!(keep_alive, "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
     fn parses_get_without_body() {
-        let req = round_trip(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        let (req, _, _) = full(b"GET /healthz HTTP/1.1\r\n\r\n");
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/healthz");
         assert!(req.body.is_empty());
     }
 
     #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let raw = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let (_, _, keep_alive) = full(raw);
+        assert!(!keep_alive);
+        let (_, _, keep_alive) = full(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(!keep_alive);
+        let (_, _, keep_alive) = full(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(keep_alive);
+    }
+
+    #[test]
+    fn pipelined_requests_consume_one_at_a_time() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let (req, consumed, _) = full(raw);
+        assert_eq!(req.path, "/a");
+        let (req, consumed2, _) = full(&raw[consumed..]);
+        assert_eq!(req.path, "/b");
+        assert_eq!(consumed + consumed2, raw.len());
+    }
+
+    #[test]
+    fn partial_requests_are_incomplete_not_errors() {
+        for cut in [0, 5, 20, 30] {
+            let raw = &b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhel"[..];
+            let cut = cut.min(raw.len());
+            assert!(
+                matches!(parse_request(&raw[..cut], 1024), Parse::Incomplete),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
     fn oversized_body_is_rejected() {
-        let err = round_trip(b"POST /x HTTP/1.1\r\nContent-Length: 999999\r\n\r\n").unwrap_err();
-        assert!(matches!(err, HttpError::TooLarge));
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 999999\r\n\r\n";
+        assert!(matches!(
+            parse_request(raw, 1024),
+            Parse::Error(ParseError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn oversized_headers_are_rejected_even_unterminated() {
+        let mut raw = b"GET / HTTP/1.1\r\nX-Pad: ".to_vec();
+        raw.extend(std::iter::repeat(b'a').take(MAX_HEADER_BYTES + 2));
+        assert!(matches!(
+            parse_request(&raw, 1024),
+            Parse::Error(ParseError::TooLarge)
+        ));
     }
 
     #[test]
     fn garbage_is_malformed() {
-        let err = round_trip(b"NOT A REQUEST\r\n\r\n").unwrap_err();
-        assert!(matches!(err, HttpError::Malformed(_)));
+        assert!(matches!(
+            parse_request(b"NOT A REQUEST\r\n\r\n", 1024),
+            Parse::Error(ParseError::Malformed(_))
+        ));
     }
 
     #[test]
-    fn trickling_client_hits_the_whole_request_deadline() {
-        // Each individual read succeeds well inside any per-read timeout;
-        // only a whole-request deadline stops this.
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let writer = std::thread::spawn(move || {
-            let mut s = TcpStream::connect(addr).unwrap();
-            for chunk in [&b"POST /x"[..], b" HTTP/1.1\r\n", b"X: y\r\n", b"X2: y\r\n"] {
-                let _ = s.write_all(chunk);
-                std::thread::sleep(Duration::from_millis(150));
-            }
-            s
-        });
-        let (mut stream, _) = listener.accept().unwrap();
-        let start = Instant::now();
-        let err = read_request(&mut stream, 1024, Duration::from_millis(300)).unwrap_err();
-        assert!(matches!(err, HttpError::Timeout), "{err:?}");
-        assert!(
-            start.elapsed() < Duration::from_secs(1),
-            "deadline enforced"
-        );
-        drop(writer.join());
+    fn response_framing_is_exact() {
+        let bytes = response_bytes(200, "application/json", b"{}", true);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+        let bytes = json_response(429, "{\"ok\":false}", false);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
     }
 }

@@ -2,15 +2,29 @@
 //!
 //! Gleipnir as a **network service**: a dependency-free HTTP/1.1 + JSON
 //! daemon fronting one shared [`gleipnir_core::Engine`], with a
-//! persistent SDP-certificate store that makes restarts warm.
+//! persistent SDP-certificate store that makes restarts warm and a
+//! peer-sync protocol that lets a fleet of daemons share certificates.
+//!
+//! The transport is a **nonblocking reactor** (`reactor.rs` + `poll.rs`):
+//! one event-loop thread multiplexes the listener and every connection
+//! over `poll(2)` (no libc crate — the same direct-syscall trick as
+//! `signal.rs`), parses requests incrementally (`http.rs`), and hands
+//! complete requests to a bounded job queue drained by HTTP worker
+//! threads. Keep-alive is the HTTP/1.1 default and pipelined requests
+//! are answered in order (one request per connection is in flight at a
+//! time). The whole-request deadline arms at accept (`408` for stalled
+//! or trickling clients), idle keep-alive connections close silently,
+//! and every error response is drained before close so it is never
+//! RST'd out of the client's receive buffer.
 //!
 //! The library exposes everything the `gleipnir serve` subcommand (and the
 //! integration tests / throughput bench) need:
 //!
 //! * [`spawn`] / [`ServerHandle`] — run a server in-process on any
 //!   address (`127.0.0.1:0` for tests), shut it down gracefully;
-//! * [`ServerConfig`] — address, worker count, **bounded accept queue**
-//!   (full ⇒ `429`), read timeouts, engine pool size, `--cache-dir`;
+//! * [`ServerConfig`] — address, worker count, **bounded serving
+//!   capacity** (excess connections ⇒ `429`), whole-request and
+//!   keep-alive deadlines, engine pool size, `--cache-dir`, `--peers`;
 //! * [`json`] — the minimal JSON parser for request bodies;
 //! * [`spec`] — the textual parameter specs shared with the CLI flags;
 //! * [`wire`] — body ⇄ [`gleipnir_core::AnalysisRequest`] conversion;
@@ -23,10 +37,23 @@
 //! | `POST /analyze` | GLQ source + params (see [`wire`]) | `{"ok":true,"report":{…}}` |
 //! | `POST /batch` | `{"programs":[…]}` | per-entry results |
 //! | `GET /healthz` | — | `{"ok":true,"status":"ok"}` |
-//! | `GET /metrics` | — | cache hits/misses/in-flight dedup, stage-time totals, queue depth, shed count, pool size |
+//! | `GET /metrics` | — | cache hits/misses/in-flight dedup, stage-time totals, queue depth, shed count, peer-sync counters, pool size |
+//! | `GET /certs/since/<seq>` | — | framed certificate records from sequence `<seq>` (the peer-sync feed) |
 //!
-//! Overload answers `429` (never a hang), malformed bodies `400`,
+//! Overload answers `429` (never a hang), malformed bytes `400`,
+//! oversized heads or declared bodies `413`, stalled requests `408`,
 //! semantically invalid requests and failed analyses `422`.
+//!
+//! ## Fleet certificate sharing
+//!
+//! With `--peers host:port,…` a gossip loop (`peer.rs`) polls each
+//! peer's `/certs/since/<cursor>` feed and imports new records through
+//! [`gleipnir_core::CertStore`]`::import_sync`, which **re-certifies
+//! every record** (rebuild the SDP from the content address; the stored
+//! dual must re-prove the stored ε) before it can answer anything — a
+//! malicious or corrupt peer degrades to a cache miss, never an unsound
+//! bound. Accepted records flow through the same persist path as local
+//! solves, so sync is transitive and idempotent across restarts.
 //!
 //! ## Why certificates survive restarts
 //!
@@ -43,6 +70,9 @@ mod config;
 mod http;
 pub mod json;
 mod metrics;
+mod peer;
+mod poll;
+mod reactor;
 mod server;
 pub mod signal;
 pub mod spec;

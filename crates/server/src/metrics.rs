@@ -18,6 +18,9 @@ pub struct Metrics {
     pub connections_total: AtomicUsize,
     /// Connections shed with `429` because the queue was full.
     pub shed_total: AtomicUsize,
+    /// Requests parsed and dispatched to workers (keep-alive means this
+    /// can far exceed `connections_total`).
+    pub requests_total: AtomicUsize,
     /// Requests currently being served by workers.
     pub in_flight: AtomicUsize,
     /// Successful `/analyze` responses.
@@ -42,6 +45,19 @@ pub struct Metrics {
     pub load_loaded: AtomicUsize,
     /// Startup-load rejected-record count.
     pub load_rejected: AtomicUsize,
+    /// `GET /certs/since/` responses served to peers.
+    pub certs_served: AtomicUsize,
+    /// Successful gossip pulls (peer reachable, body imported).
+    pub peer_pull_ok: AtomicUsize,
+    /// Failed gossip pulls (unreachable peer or unusable body).
+    pub peer_pull_err: AtomicUsize,
+    /// Records received from peers (before verification).
+    pub peer_records_received: AtomicUsize,
+    /// Peer records that re-certified and entered the cache.
+    pub peer_records_added: AtomicUsize,
+    /// Peer records that failed re-certification (the containment path
+    /// for malicious, stale, or corrupt peers).
+    pub peer_records_rejected: AtomicUsize,
 }
 
 impl Metrics {
@@ -50,6 +66,7 @@ impl Metrics {
             started: Instant::now(),
             connections_total: AtomicUsize::new(0),
             shed_total: AtomicUsize::new(0),
+            requests_total: AtomicUsize::new(0),
             in_flight: AtomicUsize::new(0),
             analyze_ok: AtomicUsize::new(0),
             analyze_err: AtomicUsize::new(0),
@@ -62,6 +79,12 @@ impl Metrics {
             persisted_records: AtomicUsize::new(0),
             load_loaded: AtomicUsize::new(0),
             load_rejected: AtomicUsize::new(0),
+            certs_served: AtomicUsize::new(0),
+            peer_pull_ok: AtomicUsize::new(0),
+            peer_pull_err: AtomicUsize::new(0),
+            peer_records_received: AtomicUsize::new(0),
+            peer_records_added: AtomicUsize::new(0),
+            peer_records_rejected: AtomicUsize::new(0),
         }
     }
 
@@ -103,12 +126,15 @@ impl Metrics {
                 "\"pool_threads\":{},\"workers\":{},",
                 "\"queue\":{{\"depth\":{},\"capacity\":{},\"shed_total\":{}}},",
                 "\"in_flight\":{},",
-                "\"requests\":{{\"connections_total\":{},\"analyze_ok\":{},\"analyze_err\":{},",
+                "\"requests\":{{\"connections_total\":{},\"requests_total\":{},",
+                "\"analyze_ok\":{},\"analyze_err\":{},",
                 "\"batch_ok\":{},\"batch_err\":{},\"http_err\":{}}},",
                 "\"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"inflight_dedup\":{}}},",
                 "\"tiers\":{{\"closed_form\":{},\"warm\":{},\"cold\":{},\"ip_iterations\":{}}},",
                 "\"stage_totals_ms\":{{\"plan\":{},\"solve\":{},\"assemble\":{}}},",
-                "\"store\":{{\"enabled\":{},\"loaded\":{},\"rejected\":{},\"appended\":{}}}}}"
+                "\"store\":{{\"enabled\":{},\"loaded\":{},\"rejected\":{},\"appended\":{}}},",
+                "\"peers\":{{\"certs_served\":{},\"pull_ok\":{},\"pull_err\":{},",
+                "\"records_received\":{},\"records_added\":{},\"records_rejected\":{}}}}}"
             ),
             json_ms(self.started.elapsed().as_secs_f64() * 1e3),
             pool_threads,
@@ -118,6 +144,7 @@ impl Metrics {
             c(&self.shed_total),
             c(&self.in_flight),
             c(&self.connections_total),
+            c(&self.requests_total),
             c(&self.analyze_ok),
             c(&self.analyze_err),
             c(&self.batch_ok),
@@ -138,6 +165,12 @@ impl Metrics {
             c(&self.load_loaded),
             c(&self.load_rejected),
             c(&self.persisted_records),
+            c(&self.certs_served),
+            c(&self.peer_pull_ok),
+            c(&self.peer_pull_err),
+            c(&self.peer_records_received),
+            c(&self.peer_records_added),
+            c(&self.peer_records_rejected),
         )
     }
 }

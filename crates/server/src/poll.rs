@@ -1,0 +1,132 @@
+//! Readiness polling for the reactor, without any external crates.
+//!
+//! `std` exposes non-blocking sockets but no readiness API, so on Unix we
+//! declare libc's classic `poll(2)` ourselves (the C library is already
+//! linked — same trick as `signal.rs`). The reactor hands us every socket
+//! it cares about, we sleep in the kernel until one is readable/writable
+//! or the timeout elapses, and it then services exactly the ready ones.
+//!
+//! On non-Unix platforms there is no readiness source, so [`wait`]
+//! degrades to a bounded sleep and reports *everything* ready — all
+//! reactor I/O is non-blocking, so the cost is wasted `WouldBlock` probes
+//! (latency and CPU, never correctness).
+
+/// One socket's poll registration: which events the reactor wants, and
+/// (after [`wait`]) which fired.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Interest {
+    /// Wait for readability.
+    pub read: bool,
+    /// Wait for writability.
+    pub write: bool,
+    /// Out: the socket is readable (or has pending error/hangup — reads
+    /// will observe it).
+    pub readable: bool,
+    /// Out: the socket is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// An interest set asking for read readiness.
+    pub fn read() -> Interest {
+        Interest {
+            read: true,
+            ..Interest::default()
+        }
+    }
+}
+
+/// What [`wait`] identifies a socket by: a raw fd on Unix, nothing on the
+/// sleep-based fallback.
+#[cfg(unix)]
+pub type Token = std::os::unix::io::RawFd;
+/// Fallback token (no readiness source to hand an fd to).
+#[cfg(not(unix))]
+pub type Token = ();
+
+/// The poll token of a stream.
+#[cfg(unix)]
+pub fn stream_token(s: &std::net::TcpStream) -> Token {
+    std::os::unix::io::AsRawFd::as_raw_fd(s)
+}
+/// The poll token of a listener.
+#[cfg(unix)]
+pub fn listener_token(l: &std::net::TcpListener) -> Token {
+    std::os::unix::io::AsRawFd::as_raw_fd(l)
+}
+/// Fallback stream token.
+#[cfg(not(unix))]
+pub fn stream_token(_s: &std::net::TcpStream) -> Token {}
+/// Fallback listener token.
+#[cfg(not(unix))]
+pub fn listener_token(_l: &std::net::TcpListener) -> Token {}
+
+#[cfg(unix)]
+mod sys {
+    use super::Interest;
+    use std::os::raw::{c_int, c_short, c_ulong};
+    use std::os::unix::io::RawFd;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+    const POLLNVAL: c_short = 0x020;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+
+    /// Kernel-backed wait; fills the `readable`/`writable` outputs.
+    pub fn wait(fds: &[RawFd], interests: &mut [Interest], timeout_ms: u64) {
+        debug_assert_eq!(fds.len(), interests.len());
+        let mut pollfds: Vec<PollFd> = fds
+            .iter()
+            .zip(interests.iter())
+            .map(|(&fd, i)| PollFd {
+                fd,
+                events: if i.read { POLLIN } else { 0 } | if i.write { POLLOUT } else { 0 },
+                revents: 0,
+            })
+            .collect();
+        let timeout = timeout_ms.min(i32::MAX as u64) as c_int;
+        let rc = if pollfds.is_empty() {
+            std::thread::sleep(std::time::Duration::from_millis(timeout_ms));
+            0
+        } else {
+            unsafe { poll(pollfds.as_mut_ptr(), pollfds.len() as c_ulong, timeout) }
+        };
+        if rc <= 0 {
+            // Timeout or EINTR: nothing ready; the reactor's own clock
+            // handles deadlines.
+            return;
+        }
+        for (pfd, interest) in pollfds.iter().zip(interests.iter_mut()) {
+            // Error/hangup conditions surface as readability so the next
+            // read observes EOF or the error and the connection is reaped.
+            interest.readable = pfd.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0;
+            interest.writable = pfd.revents & (POLLOUT | POLLERR | POLLHUP | POLLNVAL) != 0;
+        }
+    }
+}
+
+#[cfg(unix)]
+pub use sys::wait;
+
+/// Fallback for platforms without `poll(2)`: bounded sleep, then claim
+/// everything ready and let the non-blocking I/O sort it out.
+#[cfg(not(unix))]
+pub fn wait(_fds: &[Token], interests: &mut [Interest], timeout_ms: u64) {
+    std::thread::sleep(std::time::Duration::from_millis(timeout_ms.min(5)));
+    for interest in interests.iter_mut() {
+        interest.readable = interest.read;
+        interest.writable = interest.write;
+    }
+}

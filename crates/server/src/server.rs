@@ -1,39 +1,51 @@
-//! The daemon: accept loop, bounded connection queue, worker threads,
-//! request routing, and graceful shutdown.
+//! The daemon: reactor thread, worker pool, request routing, fleet
+//! certificate sharing, and graceful shutdown.
 //!
 //! ## Threading model
 //!
-//! One **acceptor** thread owns the (non-blocking) listener. Accepted
-//! connections go into a bounded queue; when the queue is full the
-//! acceptor immediately answers `429 Too Many Requests` and closes —
-//! load is shed at the door instead of letting latency (and memory)
-//! collapse the process. A small pool of **HTTP workers** pops
-//! connections and serves one request each (`Connection: close`). The
-//! workers only parse and orchestrate: the SDP heavy lifting runs on the
-//! shared [`Engine`]'s own worker pool, so `workers` controls request
-//! concurrency and `threads` controls solve parallelism independently.
+//! One **reactor** thread owns the non-blocking listener and every
+//! connection (see [`crate::reactor`]): it accepts, reads, parses
+//! (keep-alive and pipelining included), sheds with `429` past capacity,
+//! enforces read deadlines, and flushes responses. Parsed requests go to
+//! a small pool of **workers** which only route and orchestrate: the SDP
+//! heavy lifting runs on the shared [`Engine`]'s own pool, so `workers`
+//! controls request concurrency and `threads` controls solve parallelism
+//! independently. Finished responses travel back to the reactor as
+//! pre-framed bytes through a completion bin plus a waker.
+//!
+//! ## Fleet certificate sharing
+//!
+//! Every server keeps a [`CertStore`] (disk-backed with `--cache-dir`,
+//! ephemeral otherwise) whose **sequence log** records each verified
+//! certificate. `GET /certs/since/<seq>` serves the log suffix in the
+//! sync wire format, and the `--peers` gossip loop ([`crate::peer`])
+//! pulls the same endpoint on other instances. Imported records are
+//! **re-certified** — the SDP rebuilt from the content address, the
+//! stored dual must re-prove the stored ε — before they touch the cache,
+//! so a malicious or corrupt peer degrades to cache misses, never to an
+//! unsound bound.
 //!
 //! ## Shutdown
 //!
 //! [`ServerHandle::request_shutdown`] (wired to SIGINT/SIGTERM by the
-//! `gleipnir serve` binary) stops the acceptor, lets the workers **drain**
-//! the queue and their in-flight analyses, then persists any certificates
-//! not yet on disk. Nothing is aborted mid-solve.
+//! `gleipnir serve` binary) stops the acceptor, lets workers **drain**
+//! already-parsed requests, flushes every response, then persists any
+//! certificates not yet on disk. Nothing is aborted mid-solve.
 
 use crate::config::ServerConfig;
-use crate::http::{read_request, write_json, HttpError, HttpRequest};
+use crate::http;
 use crate::json;
 use crate::metrics::Metrics;
+use crate::peer;
+use crate::reactor::{waker_pair, Completion, JobQueue, Reactor, Waker};
 use crate::wire;
 use gleipnir_core::jsonfmt::json_ms;
 use gleipnir_core::{AnalysisError, AnalysisRequest, CertStore, Engine, EngineOptions};
-use std::collections::VecDeque;
 use std::fmt;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
 
 /// Why the server could not start.
 #[derive(Debug)]
@@ -58,81 +70,33 @@ impl fmt::Display for ServerError {
 
 impl std::error::Error for ServerError {}
 
-/// The bounded accept queue: `try_push` from the acceptor, blocking `pop`
-/// from workers. Capacity overflow is the caller's signal to shed.
-struct ConnQueue {
-    inner: Mutex<VecDeque<TcpStream>>,
-    ready: Condvar,
-    capacity: usize,
+/// State shared by the reactor, the workers, the gossip loop, and the
+/// handle.
+pub(crate) struct Shared {
+    pub(crate) engine: Engine,
+    pub(crate) metrics: Metrics,
+    pub(crate) config: ServerConfig,
+    /// Always present: disk-backed with `--cache-dir`, ephemeral
+    /// otherwise — either way the sequence log feeds `/certs/since/`.
+    pub(crate) store: Mutex<CertStore>,
+    /// Whether `store` writes through to disk (for `/metrics`).
+    pub(crate) store_on_disk: bool,
+    /// Parsed requests, reactor → workers.
+    pub(crate) jobs: JobQueue,
+    /// Framed responses, workers → reactor.
+    pub(crate) completions: Mutex<Vec<Completion>>,
+    /// Pokes the reactor out of `poll(2)` when a completion lands.
+    pub(crate) waker: Waker,
+    pub(crate) shutdown: AtomicBool,
 }
 
-impl ConnQueue {
-    fn new(capacity: usize) -> Self {
-        ConnQueue {
-            inner: Mutex::new(VecDeque::new()),
-            ready: Condvar::new(),
-            capacity: capacity.max(1),
-        }
+impl Shared {
+    /// How many connections may be in service before new ones are shed
+    /// with `429`. Mirrors the old thread-per-connection admission
+    /// arithmetic: `workers` being served plus `queue_capacity` waiting.
+    pub(crate) fn max_serving_conns(&self) -> usize {
+        self.config.workers.max(1) + self.config.queue_capacity.max(1)
     }
-
-    /// Enqueues unless full; a full queue hands the stream back for
-    /// shedding.
-    fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
-        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        if q.len() >= self.capacity {
-            return Err(stream);
-        }
-        q.push_back(stream);
-        drop(q);
-        self.ready.notify_one();
-        Ok(())
-    }
-
-    /// Current queue length (authoritative — read under the lock, so
-    /// `/metrics` can never report a torn or wrapped depth).
-    fn len(&self) -> usize {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
-    }
-
-    /// Pops the next connection; `None` once shutdown is requested **and**
-    /// the queue is drained (already-queued clients still get served).
-    fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
-        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        loop {
-            if let Some(stream) = q.pop_front() {
-                return Some(stream);
-            }
-            if shutdown.load(Ordering::SeqCst) {
-                return None;
-            }
-            let (guard, _) = self
-                .ready
-                .wait_timeout(q, Duration::from_millis(50))
-                .unwrap_or_else(|e| e.into_inner());
-            q = guard;
-        }
-    }
-
-    fn notify_all(&self) {
-        self.ready.notify_all();
-    }
-}
-
-/// Concurrent shed responses allowed before overflow connections are
-/// dropped without a `429` (a hard shed). Bounds both thread count and
-/// memory under an accept storm; the acceptor itself never writes.
-const MAX_SHED_THREADS: usize = 32;
-
-/// State shared by the acceptor, the workers, and the handle.
-struct Shared {
-    engine: Engine,
-    metrics: Metrics,
-    config: ServerConfig,
-    store: Option<Mutex<CertStore>>,
-    queue: ConnQueue,
-    shutdown: AtomicBool,
-    /// Live shed-responder threads (capped by [`MAX_SHED_THREADS`]).
-    shed_inflight: std::sync::atomic::AtomicUsize,
 }
 
 /// A running server. Dropping the handle shuts the server down gracefully
@@ -141,8 +105,9 @@ struct Shared {
 pub struct ServerHandle {
     shared: Arc<Shared>,
     addr: SocketAddr,
-    acceptor: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    gossip: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -156,16 +121,13 @@ impl ServerHandle {
         &self.shared.engine
     }
 
-    /// Asks the server to stop: the acceptor exits, workers drain the
-    /// queue and finish in-flight analyses. Non-blocking; pair with
-    /// [`ServerHandle::join`].
+    /// Asks the server to stop: the reactor stops accepting, workers
+    /// drain already-parsed requests, every response is flushed.
+    /// Non-blocking; pair with [`ServerHandle::join`].
     pub fn request_shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.queue.notify_all();
-        // The acceptor blocks in `accept()` (zero added latency on the
-        // serving path); a throwaway self-connection wakes it so it can
-        // observe the flag.
-        let _ = TcpStream::connect(self.addr);
+        self.shared.jobs.notify_all();
+        self.shared.waker.wake();
     }
 
     /// Waits for every thread to finish and persists any certificates not
@@ -176,11 +138,14 @@ impl ServerHandle {
 
     fn join_inner(&mut self) {
         self.request_shutdown();
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        if let Some(gossip) = self.gossip.take() {
+            let _ = gossip.join();
         }
         persist_now(&self.shared);
     }
@@ -193,7 +158,8 @@ impl Drop for ServerHandle {
 }
 
 /// Builds the engine, warms it from the certificate store (when
-/// configured), binds the listener, and spawns the acceptor + workers.
+/// configured), binds the listener, and spawns the reactor + workers
+/// (+ the gossip loop when `--peers` is set).
 ///
 /// # Errors
 ///
@@ -206,6 +172,7 @@ pub fn spawn(config: ServerConfig) -> Result<ServerHandle, ServerError> {
     .map_err(ServerError::Engine)?;
 
     let metrics = Metrics::new();
+    let store_on_disk = config.cache_dir.is_some();
     let store = match &config.cache_dir {
         Some(dir) => {
             let mut store = CertStore::open(dir).map_err(ServerError::Store)?;
@@ -213,26 +180,34 @@ pub fn spawn(config: ServerConfig) -> Result<ServerHandle, ServerError> {
             metrics.note_load(&stats);
             eprintln!(
                 "gleipnir-server: certificate store {}: {} loaded, {} rejected{}",
-                store.path().display(),
+                store
+                    .path()
+                    .expect("disk-backed store has a path")
+                    .display(),
                 stats.loaded,
                 stats.rejected,
                 if stats.truncated { " (torn tail)" } else { "" }
             );
-            Some(Mutex::new(store))
+            store
         }
-        None => None,
+        // No --cache-dir: the sequence log still runs so this instance can
+        // serve /certs/since/ to its peers; nothing touches disk.
+        None => CertStore::ephemeral(),
     };
 
     let listener = TcpListener::bind(&config.addr).map_err(ServerError::Bind)?;
     let addr = listener.local_addr().map_err(ServerError::Bind)?;
+    let (waker, wake_rx) = waker_pair().map_err(ServerError::Bind)?;
 
     let shared = Arc::new(Shared {
         engine,
         metrics,
-        queue: ConnQueue::new(config.queue_capacity),
-        store,
+        store: Mutex::new(store),
+        store_on_disk,
+        jobs: JobQueue::new(),
+        completions: Mutex::new(Vec::new()),
+        waker,
         shutdown: AtomicBool::new(false),
-        shed_inflight: std::sync::atomic::AtomicUsize::new(0),
         config,
     });
 
@@ -246,169 +221,131 @@ pub fn spawn(config: ServerConfig) -> Result<ServerHandle, ServerError> {
                 .expect("spawn http worker"),
         );
     }
-    let acceptor = {
+    let reactor = {
         let shared = Arc::clone(&shared);
         std::thread::Builder::new()
-            .name("gleipnir-accept".into())
-            .spawn(move || acceptor_loop(&shared, &listener))
-            .expect("spawn acceptor")
+            .name("gleipnir-reactor".into())
+            .spawn(move || Reactor::new(shared, listener, wake_rx).run())
+            .expect("spawn reactor")
+    };
+    let gossip = if shared.config.peers.is_empty() {
+        None
+    } else {
+        let shared = Arc::clone(&shared);
+        Some(
+            std::thread::Builder::new()
+                .name("gleipnir-gossip".into())
+                .spawn(move || peer::gossip_loop(&shared))
+                .expect("spawn gossip loop"),
+        )
     };
 
     Ok(ServerHandle {
         shared,
         addr,
-        acceptor: Some(acceptor),
+        reactor: Some(reactor),
         workers,
+        gossip,
     })
 }
 
-fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener) {
-    loop {
-        // Blocking accept: no polling latency on the serving path.
-        // `request_shutdown` wakes this with a throwaway self-connection.
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return; // the wakeup (or a late client) during shutdown
-                }
-                shared
-                    .metrics
-                    .connections_total
-                    .fetch_add(1, Ordering::Relaxed);
-                if let Err(stream) = shared.queue.try_push(stream) {
-                    shared.metrics.shed_total.fetch_add(1, Ordering::Relaxed);
-                    spawn_shed(shared, stream);
-                }
-            }
-            Err(_) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                // Transient accept failure (EMFILE, interrupted, …): back
-                // off briefly instead of spinning.
-                std::thread::sleep(Duration::from_millis(10));
-            }
-        }
-    }
-}
-
-/// Sheds one connection off the acceptor's thread: a short-lived
-/// responder writes the `429` so a burst of slow clients can never stall
-/// `accept()`. Past [`MAX_SHED_THREADS`] concurrent responders the
-/// connection is dropped outright — under that much pressure a closed
-/// socket is still bounded, honest backpressure.
-fn spawn_shed(shared: &Arc<Shared>, stream: TcpStream) {
-    if shared.shed_inflight.fetch_add(1, Ordering::SeqCst) >= MAX_SHED_THREADS {
-        shared.shed_inflight.fetch_sub(1, Ordering::SeqCst);
-        return; // hard shed: drop without a response
-    }
-    let worker_shared = Arc::clone(shared);
-    let spawned = std::thread::Builder::new()
-        .name("gleipnir-shed".into())
-        .spawn(move || {
-            shed(stream);
-            worker_shared.shed_inflight.fetch_sub(1, Ordering::SeqCst);
-        });
-    if spawned.is_err() {
-        // Could not spawn (resource exhaustion): the connection was moved
-        // into the failed closure and dropped with it; undo the count.
-        shared.shed_inflight.fetch_sub(1, Ordering::SeqCst);
-    }
-}
-
-/// Sheds one connection with `429` — bounded time, never blocks the
-/// acceptor on a slow client.
-fn shed(mut stream: TcpStream) {
-    use std::io::Read;
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
-    let _ = write_json(
-        &mut stream,
-        429,
-        &wire::error_json("server overloaded: accept queue full, retry later"),
-    );
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    // Drain (bounded) whatever the client already sent: closing a socket
-    // with unread input RSTs the connection, which could discard the 429
-    // out of the client's receive buffer before it reads it.
-    let deadline = std::time::Instant::now() + Duration::from_millis(500);
-    let mut sink = [0u8; 4096];
-    while std::time::Instant::now() < deadline {
-        match stream.read(&mut sink) {
-            Ok(0) | Err(_) => break,
-            Ok(_) => {}
-        }
-    }
-}
-
 fn worker_loop(shared: &Arc<Shared>) {
-    while let Some(mut stream) = shared.queue.pop(&shared.shutdown) {
+    while let Some(job) = shared.jobs.pop(&shared.shutdown) {
         shared.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
-        serve_connection(shared, &mut stream);
+        let response = route(shared, &job.request);
+        // Late shutdown closes keep-alive connections so drain finishes.
+        let keep_alive = job.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
+        let bytes = http::response_bytes(
+            response.status,
+            response.content_type,
+            &response.body,
+            keep_alive,
+        );
+        {
+            let mut bin = shared.completions.lock().unwrap_or_else(|e| e.into_inner());
+            bin.push(Completion {
+                conn: job.conn,
+                bytes,
+                close: !keep_alive,
+            });
+        }
+        shared.waker.wake();
         shared.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
-fn serve_connection(shared: &Arc<Shared>, stream: &mut TcpStream) {
-    // Accepted sockets may inherit the listener's non-blocking flag on
-    // some platforms; force blocking. The read deadline is enforced
-    // inside `read_request` (whole-request, not per-read).
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    match read_request(
-        stream,
-        shared.config.max_body_bytes,
-        shared.config.read_timeout,
-    ) {
-        Ok(request) => route(shared, stream, &request),
-        Err(HttpError::Closed) => {}
-        Err(HttpError::Io(_)) => {
-            shared.metrics.http_err.fetch_add(1, Ordering::Relaxed);
-        }
-        Err(e) => {
-            shared.metrics.http_err.fetch_add(1, Ordering::Relaxed);
-            let (status, msg) = match e {
-                HttpError::Timeout => (408, "request read timed out".to_string()),
-                HttpError::TooLarge => (413, "request too large".to_string()),
-                HttpError::Malformed(m) => (400, format!("malformed request: {m}")),
-                HttpError::Closed | HttpError::Io(_) => unreachable!(),
-            };
-            let _ = write_json(stream, status, &wire::error_json(&msg));
+/// One routed response: the worker decides status/body, the reactor owns
+/// framing context (keep-alive) and delivery.
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: Vec<u8>,
+}
+
+impl Response {
+    fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
         }
     }
 }
 
-fn route(shared: &Arc<Shared>, stream: &mut TcpStream, request: &HttpRequest) {
+/// The cert-sync endpoint's path prefix.
+const CERTS_SINCE: &str = "/certs/since/";
+
+fn route(shared: &Arc<Shared>, request: &http::HttpRequest) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => {
-            let _ = write_json(stream, 200, "{\"ok\":true,\"status\":\"ok\"}");
-        }
+        ("GET", "/healthz") => Response::json(200, "{\"ok\":true,\"status\":\"ok\"}".into()),
         ("GET", "/metrics") => {
             let body = shared.metrics.to_json(
                 shared.engine.cache_stats(),
                 shared.engine.tier_stats(),
                 shared.engine.threads(),
                 shared.config.workers.max(1),
-                shared.queue.len(),
+                shared.jobs.len(),
                 shared.config.queue_capacity.max(1),
-                shared.store.is_some(),
+                shared.store_on_disk,
             );
-            let _ = write_json(stream, 200, &body);
+            Response::json(200, body)
         }
-        ("POST", "/analyze") => handle_analyze(shared, stream, &request.body),
-        ("POST", "/batch") => handle_batch(shared, stream, &request.body),
+        ("POST", "/analyze") => handle_analyze(shared, &request.body),
+        ("POST", "/batch") => handle_batch(shared, &request.body),
+        ("GET", path) if path.starts_with(CERTS_SINCE) => {
+            match path[CERTS_SINCE.len()..].parse::<u64>() {
+                Ok(seq) => {
+                    // Serve the sequence-log suffix. The log only ever
+                    // holds verified certificates, and receivers re-verify
+                    // anyway — this side is plain bytes.
+                    let body = {
+                        let store = shared.store.lock().unwrap_or_else(|e| e.into_inner());
+                        store.encode_since(seq)
+                    };
+                    shared.metrics.certs_served.fetch_add(1, Ordering::Relaxed);
+                    Response {
+                        status: 200,
+                        content_type: "application/octet-stream",
+                        body,
+                    }
+                }
+                Err(_) => {
+                    shared.metrics.http_err.fetch_add(1, Ordering::Relaxed);
+                    Response::json(400, wire::error_json("bad sequence number"))
+                }
+            }
+        }
         (_, "/healthz" | "/metrics" | "/analyze" | "/batch") => {
             shared.metrics.http_err.fetch_add(1, Ordering::Relaxed);
-            let _ = write_json(stream, 405, &wire::error_json("method not allowed"));
+            Response::json(405, wire::error_json("method not allowed"))
+        }
+        (_, path) if path.starts_with(CERTS_SINCE) => {
+            shared.metrics.http_err.fetch_add(1, Ordering::Relaxed);
+            Response::json(405, wire::error_json("method not allowed"))
         }
         (_, path) => {
             shared.metrics.http_err.fetch_add(1, Ordering::Relaxed);
-            let _ = write_json(
-                stream,
-                404,
-                &wire::error_json(&format!("no such endpoint: {path}")),
-            );
+            Response::json(404, wire::error_json(&format!("no such endpoint: {path}")))
         }
     }
 }
@@ -419,21 +356,19 @@ fn parse_body(body: &[u8]) -> Result<json::Json, String> {
     json::parse(text).map_err(|e| e.to_string())
 }
 
-fn handle_analyze(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8]) {
+fn handle_analyze(shared: &Arc<Shared>, body: &[u8]) -> Response {
     let value = match parse_body(body) {
         Ok(v) => v,
         Err(msg) => {
             shared.metrics.analyze_err.fetch_add(1, Ordering::Relaxed);
-            let _ = write_json(stream, 400, &wire::error_json(&msg));
-            return;
+            return Response::json(400, wire::error_json(&msg));
         }
     };
     let spec = match wire::analyze_spec_from_json(&value) {
         Ok(spec) => spec,
         Err(msg) => {
             shared.metrics.analyze_err.fetch_add(1, Ordering::Relaxed);
-            let _ = write_json(stream, 422, &wire::error_json(&msg));
-            return;
+            return Response::json(422, wire::error_json(&msg));
         }
     };
     match shared.engine.analyze(&spec.request) {
@@ -441,23 +376,22 @@ fn handle_analyze(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8]) {
             shared.metrics.note_report(&report);
             shared.metrics.analyze_ok.fetch_add(1, Ordering::Relaxed);
             persist_now(shared);
-            let _ = write_json(stream, 200, &wire::analyze_ok_json(&spec, &report));
+            Response::json(200, wire::analyze_ok_json(&spec, &report))
         }
         Err(e) => {
             shared.metrics.analyze_err.fetch_add(1, Ordering::Relaxed);
-            let _ = write_json(stream, 422, &wire::error_json(&e.to_string()));
+            Response::json(422, wire::error_json(&e.to_string()))
         }
     }
 }
 
-fn handle_batch(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8]) {
+fn handle_batch(shared: &Arc<Shared>, body: &[u8]) -> Response {
     let parsed = parse_body(body).and_then(|v| wire::batch_specs_from_json(&v));
     let specs = match parsed {
         Ok(specs) => specs,
         Err(msg) => {
             shared.metrics.batch_err.fetch_add(1, Ordering::Relaxed);
-            let _ = write_json(stream, 400, &wire::error_json(&msg));
-            return;
+            return Response::json(400, wire::error_json(&msg));
         }
     };
     let requests: Vec<AnalysisRequest> = specs
@@ -487,25 +421,25 @@ fn handle_batch(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8]) {
         outcome.worker_threads,
         json_ms(outcome.elapsed.as_secs_f64() * 1e3),
     );
-    let _ = write_json(stream, 200, &body);
+    Response::json(200, body)
 }
 
-/// Appends any not-yet-persisted certificates to the store (no-op without
-/// a `--cache-dir`). Called after each served analysis and at shutdown, so
-/// even a `kill -9` loses at most the last request's certificates.
-fn persist_now(shared: &Shared) {
-    if let Some(store) = &shared.store {
-        let mut store = store.lock().unwrap_or_else(|e| e.into_inner());
-        match store.persist_new(&shared.engine) {
-            Ok(n) => {
-                if n > 0 {
-                    shared
-                        .metrics
-                        .persisted_records
-                        .fetch_add(n, Ordering::Relaxed);
-                }
+/// Folds any not-yet-persisted engine certificates into the store: the
+/// sequence log always (that is what peers sync), the file only for a
+/// disk-backed store. Called after each served analysis, after each
+/// peer import, and at shutdown, so even a `kill -9` loses at most the
+/// last request's certificates.
+pub(crate) fn persist_now(shared: &Shared) {
+    let mut store = shared.store.lock().unwrap_or_else(|e| e.into_inner());
+    match store.persist_new(&shared.engine) {
+        Ok(n) => {
+            if n > 0 {
+                shared
+                    .metrics
+                    .persisted_records
+                    .fetch_add(n, Ordering::Relaxed);
             }
-            Err(e) => eprintln!("gleipnir-server: certificate persist failed: {e}"),
         }
+        Err(e) => eprintln!("gleipnir-server: certificate persist failed: {e}"),
     }
 }

@@ -11,6 +11,8 @@
 //! gleipnir worst    <file.glq> [--noise SPEC] [--json]
 //! gleipnir serve    [--addr HOST:PORT] [--cache-dir DIR] [--workers N]
 //!                              [--queue N] [--threads N]
+//!                              [--read-timeout-ms MS] [--keepalive-timeout-ms MS]
+//!                              [--peers HOST:PORT,…] [--peer-interval-ms MS]
 //! gleipnir compare  <file.glq> [--width W] [--noise SPEC]   # bound before/after optimization
 //! gleipnir optimize <file.glq>                              # print the optimized program
 //! gleipnir fmt      <file.glq>                              # parse + pretty-print
@@ -82,7 +84,9 @@ fn usage() -> String {
      \x20        --cache-dir DIR   (persistent SDP-certificate store; warm restarts)\n\
      \x20        --device boeblingen|lima   --mapping 0,1,2\n\
      serve:   gleipnir serve --addr 127.0.0.1:8080 --cache-dir .gleipnir-cache\n\
-     \x20        [--workers N] [--queue N] [--threads N]"
+     \x20        [--workers N] [--queue N] [--threads N]\n\
+     \x20        [--read-timeout-ms MS] [--keepalive-timeout-ms MS]\n\
+     \x20        [--peers HOST:PORT,…] [--peer-interval-ms MS]  (fleet certificate gossip)"
         .to_string()
 }
 
@@ -100,7 +104,7 @@ fn has_flag(args: &[String], name: &str) -> bool {
 fn program_paths(args: &[String]) -> Vec<&String> {
     // Positional arguments: skip flags and the value slot after a
     // value-taking flag.
-    const VALUE_FLAGS: [&str; 12] = [
+    const VALUE_FLAGS: [&str; 16] = [
         "--method",
         "--width",
         "--noise",
@@ -113,6 +117,10 @@ fn program_paths(args: &[String]) -> Vec<&String> {
         "--addr",
         "--workers",
         "--queue",
+        "--peers",
+        "--peer-interval-ms",
+        "--read-timeout-ms",
+        "--keepalive-timeout-ms",
     ];
     let mut paths = Vec::new();
     let mut skip = false;
@@ -444,10 +452,34 @@ fn serve(args: &[String]) -> Result<(), String> {
     if let Some(t) = flag_value(args, "--threads") {
         config.threads = t.parse().map_err(|_| format!("bad thread count `{t}`"))?;
     }
+    if let Some(peers) = flag_value(args, "--peers") {
+        config.peers = peers
+            .split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .map(String::from)
+            .collect();
+    }
+    if let Some(ms) = flag_value(args, "--peer-interval-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("bad peer interval `{ms}`"))?;
+        config.peer_interval = Duration::from_millis(ms.max(1));
+    }
+    if let Some(ms) = flag_value(args, "--read-timeout-ms") {
+        let ms: u64 = ms.parse().map_err(|_| format!("bad read timeout `{ms}`"))?;
+        config.read_timeout = Duration::from_millis(ms.max(1));
+    }
+    if let Some(ms) = flag_value(args, "--keepalive-timeout-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("bad keep-alive timeout `{ms}`"))?;
+        config.keepalive_timeout = Duration::from_millis(ms.max(1));
+    }
     let shutdown = gleipnir::server::signal::install_shutdown_signals();
     let handle = gleipnir::server::spawn(config).map_err(|e| e.to_string())?;
     println!("gleipnir-server listening on http://{}", handle.addr());
-    println!("endpoints: POST /analyze  POST /batch  GET /healthz  GET /metrics  (ctrl-c / SIGTERM stops)");
+    println!("endpoints: POST /analyze  POST /batch  GET /healthz  GET /metrics  GET /certs/since/<seq>  (ctrl-c / SIGTERM stops)");
     while !shutdown.load(std::sync::atomic::Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(100));
     }

@@ -1,0 +1,316 @@
+//! Two-node fleet certificate sharing over real loopback sockets.
+//!
+//! * node B, gossiping from node A, answers the workload A already paid
+//!   for with **zero SDP solves** and a **bit-identical ε**;
+//! * a **malicious peer** serving a record with a lowered ε and a fixed
+//!   checksum is rejected at re-certification and counted in
+//!   `/metrics` — the bad bound never enters B's cache;
+//! * sync is **idempotent across restarts**: a re-spawned node re-pulls
+//!   from sequence zero and imports nothing it already has.
+
+use gleipnir::core::jsonfmt::json_str;
+use gleipnir::server::{json, spawn, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const GHZ_SRC: &str = "qubits 2;\nh q0;\ncnot q0, q1;\n";
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gleipnir-fleet-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One `Connection: close` exchange, reading to EOF.
+fn exchange(addr: SocketAddr, raw: &[u8]) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    stream.write_all(raw).expect("send request");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    let header_end = response
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("complete response head");
+    let head = std::str::from_utf8(&response[..header_end]).expect("UTF-8 head");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    (status, response[header_end + 4..].to_vec())
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    let raw = format!(
+        "POST {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let (status, body) = exchange(addr, raw.as_bytes());
+    (status, String::from_utf8(body).expect("UTF-8 body"))
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let raw = format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    let (status, body) = exchange(addr, raw.as_bytes());
+    (status, String::from_utf8(body).expect("UTF-8 body"))
+}
+
+fn analyze_body() -> String {
+    format!(
+        "{{\"source\":{},\"name\":\"ghz2\",\"width\":8,\"noise\":\"bitflip:1e-4\"}}",
+        json_str(GHZ_SRC)
+    )
+}
+
+fn report_field(body: &str, field: &str) -> json::Json {
+    let v = json::parse(body).expect("response is JSON");
+    assert_eq!(v.get("ok").and_then(json::Json::as_bool), Some(true));
+    v.get("report")
+        .and_then(|r| r.get(field))
+        .unwrap_or_else(|| panic!("report field `{field}` in {body}"))
+        .clone()
+}
+
+/// Polls `/metrics` until `pick` returns true (or panics at the deadline).
+fn await_metrics(addr: SocketAddr, what: &str, pick: impl Fn(&json::Json) -> bool) -> json::Json {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, 200, "{body}");
+        let m = json::parse(&body).expect("metrics JSON");
+        if pick(&m) {
+            return m;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what}; last metrics: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn peer_counter(m: &json::Json, field: &str) -> usize {
+    m.get("peers")
+        .and_then(|p| p.get(field))
+        .and_then(json::Json::as_usize)
+        .unwrap_or_else(|| panic!("peers.{field} in metrics"))
+}
+
+fn fast_gossip(peers: Vec<String>) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        threads: 1,
+        peers,
+        peer_interval: Duration::from_millis(50),
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn second_node_answers_synced_workload_with_zero_solves() {
+    // Node A: no cache dir at all — fleet sharing must work from the
+    // ephemeral store's sequence log alone.
+    let a = spawn(fast_gossip(Vec::new())).expect("spawn node A");
+    let (status, body) = post(a.addr(), "/analyze", &analyze_body());
+    assert_eq!(status, 200, "{body}");
+    let eps_a = report_field(&body, "error_bound").as_f64().unwrap();
+    let solves_a = report_field(&body, "sdp_solves").as_usize().unwrap();
+    assert!(solves_a >= 1, "node A pays for the cold solves");
+
+    // Node B gossips from A.
+    let b = spawn(fast_gossip(vec![a.addr().to_string()])).expect("spawn node B");
+    let m = await_metrics(b.addr(), "records synced from A", |m| {
+        peer_counter(m, "records_added") >= 1
+    });
+    assert_eq!(peer_counter(&m, "records_rejected"), 0);
+    assert!(peer_counter(&m, "pull_ok") >= 1);
+
+    // B answers the same workload from the synced certificates alone.
+    let (status, body) = post(b.addr(), "/analyze", &analyze_body());
+    assert_eq!(status, 200, "{body}");
+    let eps_b = report_field(&body, "error_bound").as_f64().unwrap();
+    let solves_b = report_field(&body, "sdp_solves").as_usize().unwrap();
+    assert_eq!(solves_b, 0, "B must answer with zero new SDP solves");
+    assert_eq!(
+        eps_b.to_bits(),
+        eps_a.to_bits(),
+        "synced ε must be bit-identical"
+    );
+
+    // A never pulled anything (it has no peers).
+    let (_, body) = get(a.addr(), "/metrics");
+    let m = json::parse(&body).unwrap();
+    assert_eq!(peer_counter(&m, "pull_ok"), 0);
+    assert!(
+        peer_counter(&m, "certs_served") >= 1,
+        "A served its log: {body}"
+    );
+
+    b.join();
+    a.join();
+}
+
+/// FNV-1a 64 (the store's record checksum), duplicated here so the test
+/// can forge a structurally valid record the way a malicious peer would.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Serves one canned HTTP response to every connection, forever.
+fn fake_peer(response_body: Vec<u8>) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake peer");
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            let body = response_body.clone();
+            std::thread::spawn(move || {
+                // Read the request head (best effort), then answer.
+                let mut sink = [0u8; 4096];
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                let _ = stream.read(&mut sink);
+                let head = format!(
+                    "HTTP/1.1 200 OK\r\nContent-Type: application/octet-stream\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+                    body.len()
+                );
+                let _ = stream.write_all(head.as_bytes());
+                let _ = stream.write_all(&body);
+                let _ = stream.shutdown(std::net::Shutdown::Write);
+                let _ = stream.read(&mut sink);
+            });
+        }
+    });
+    addr
+}
+
+#[test]
+fn malicious_peer_with_lowered_eps_is_rejected_not_imported() {
+    // An honest node produces a genuine sync body…
+    let honest = spawn(fast_gossip(Vec::new())).expect("spawn honest node");
+    let (status, body) = post(honest.addr(), "/analyze", &analyze_body());
+    assert_eq!(status, 200, "{body}");
+    let (status, mut sync) = exchange(
+        honest.addr(),
+        b"GET /certs/since/0 HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    assert!(sync.len() > 24, "non-empty sync body");
+    honest.join();
+
+    // …which the malicious peer tampers: halve the first record's ε
+    // (claiming a tighter bound than was ever certified) and re-checksum
+    // so the structural layer passes. Only re-certification can catch it.
+    let rec_start = 24usize; // sync header: magic + version + next_seq + count
+    let payload_len =
+        u32::from_le_bytes(sync[rec_start..rec_start + 4].try_into().unwrap()) as usize;
+    let payload_start = rec_start + 4;
+    let eps_off = payload_start + 16;
+    let eps = f64::from_le_bytes(sync[eps_off..eps_off + 8].try_into().unwrap());
+    assert!(eps > 0.0);
+    sync[eps_off..eps_off + 8].copy_from_slice(&(eps * 0.5).to_le_bytes());
+    let sum = fnv1a64(&sync[payload_start..payload_start + payload_len]);
+    let sum_off = payload_start + payload_len;
+    sync[sum_off..sum_off + 8].copy_from_slice(&sum.to_le_bytes());
+
+    let evil_addr = fake_peer(sync);
+
+    // The victim gossips from the malicious peer.
+    let victim = spawn(fast_gossip(vec![evil_addr.to_string()])).expect("spawn victim");
+    let m = await_metrics(victim.addr(), "the tampered record's rejection", |m| {
+        peer_counter(m, "records_rejected") >= 1
+    });
+    // Everything else in the body still verifies and imports; the forged
+    // record lands only in the rejected counter.
+    assert!(peer_counter(&m, "records_received") >= 1);
+
+    // The forged ε never entered the cache: analyzing the same program
+    // still pays for at least the rejected judgment, and the resulting
+    // bound is the honest one, not the halved forgery.
+    let (status, body) = post(victim.addr(), "/analyze", &analyze_body());
+    assert_eq!(status, 200, "{body}");
+    let solves = report_field(&body, "sdp_solves").as_usize().unwrap();
+    assert!(solves >= 1, "the rejected judgment must be re-solved");
+    let eps_victim = report_field(&body, "error_bound").as_f64().unwrap();
+    assert_eq!(
+        eps_victim.to_bits(),
+        {
+            // ε for this workload is deterministic; recompute it honestly.
+            let reference = spawn(fast_gossip(Vec::new())).expect("spawn reference");
+            let (_, body) = post(reference.addr(), "/analyze", &analyze_body());
+            let bits = report_field(&body, "error_bound")
+                .as_f64()
+                .unwrap()
+                .to_bits();
+            reference.join();
+            bits
+        },
+        "victim's bound must match an honest solve, not the forgery"
+    );
+
+    victim.join();
+}
+
+#[test]
+fn sync_is_idempotent_across_restarts() {
+    let dir_b = tmpdir("idempotent-b");
+    // Node A holds certificates (ephemeral store).
+    let a = spawn(fast_gossip(Vec::new())).expect("spawn node A");
+    let (status, body) = post(a.addr(), "/analyze", &analyze_body());
+    assert_eq!(status, 200, "{body}");
+
+    let b_config = |peers: Vec<String>| ServerConfig {
+        cache_dir: Some(dir_b.clone()),
+        ..fast_gossip(peers)
+    };
+
+    // First B process: sync everything, persist to its own cache dir.
+    let b = spawn(b_config(vec![a.addr().to_string()])).expect("spawn node B");
+    let m = await_metrics(b.addr(), "first sync into B", |m| {
+        peer_counter(m, "records_added") >= 1
+    });
+    let first_added = peer_counter(&m, "records_added");
+    assert_eq!(peer_counter(&m, "records_rejected"), 0);
+    b.join(); // persists the synced certificates
+
+    // Second B process: warm from disk, then re-pull from sequence zero
+    // (its cursor map died with the process). Nothing may import twice.
+    let b = spawn(b_config(vec![a.addr().to_string()])).expect("respawn node B");
+    let m = await_metrics(b.addr(), "a full re-pull after restart", |m| {
+        peer_counter(m, "pull_ok") >= 1
+    });
+    assert_eq!(
+        peer_counter(&m, "records_added"),
+        0,
+        "restart re-sync must be a no-op: {m:?}"
+    );
+    assert_eq!(peer_counter(&m, "records_rejected"), 0);
+    assert!(
+        peer_counter(&m, "records_received") >= first_added,
+        "B re-pulled the full log from seq 0: {m:?}"
+    );
+
+    // And B still answers the workload with zero solves.
+    let (status, body) = post(b.addr(), "/analyze", &analyze_body());
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        report_field(&body, "sdp_solves").as_usize().unwrap(),
+        0,
+        "warm restart + idempotent sync keep the cache complete"
+    );
+
+    b.join();
+    a.join();
+    let _ = std::fs::remove_dir_all(&dir_b);
+}

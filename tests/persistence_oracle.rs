@@ -139,7 +139,11 @@ fn store_round_trip_is_invisible_and_corruption_degrades_to_cold() {
     }
 
     // --- corrupt the store: bit-flip inside the first record -----------
-    let store_file = CertStore::open(&dir).unwrap().path().to_path_buf();
+    let store_file = CertStore::open(&dir)
+        .unwrap()
+        .path()
+        .expect("disk-backed store has a path")
+        .to_path_buf();
     let pristine = std::fs::read(&store_file).unwrap();
     let mut corrupted = pristine.clone();
     corrupted[16 + 4 + 21] ^= 0x40; // header(16) + len(4) + offset into payload

@@ -25,8 +25,10 @@ fn tmpdir(tag: &str) -> PathBuf {
     dir
 }
 
-/// One raw HTTP exchange: connect, send, read to EOF (the server closes),
-/// return (status, body).
+/// One raw HTTP exchange: connect, send, read to EOF, return
+/// (status, body). Callers ask for `Connection: close` — keep-alive is
+/// the server default now, and EOF would otherwise wait out the idle
+/// timeout.
 fn exchange(addr: SocketAddr, raw: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
@@ -52,14 +54,17 @@ fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
     exchange(
         addr,
         &format!(
-            "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            "POST {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         ),
     )
 }
 
 fn get(addr: SocketAddr, path: &str) -> (u16, String) {
-    exchange(addr, &format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n"))
+    exchange(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"),
+    )
 }
 
 fn analyze_body() -> String {
@@ -192,6 +197,97 @@ fn full_queue_sheds_with_429_not_a_hang() {
     server.join();
 }
 
+/// Reads exactly one HTTP response (headers + `Content-Length` body) off
+/// a persistent connection, leaving the stream usable for the next one.
+fn read_one_response(stream: &mut TcpStream) -> (u16, String) {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk).expect("read response head");
+        assert!(n > 0, "connection closed mid-response");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8(buf[..header_end].to_vec()).expect("UTF-8 head");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.trim()
+                .eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().expect("numeric Content-Length"))
+        })
+        .expect("Content-Length header");
+    let mut body = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).expect("read response body");
+        assert!(n > 0, "connection closed mid-body");
+        body.extend_from_slice(&chunk[..n]);
+    }
+    assert_eq!(body.len(), content_length, "no bytes beyond the response");
+    (status, String::from_utf8(body).expect("UTF-8 body"))
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let server = spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        threads: 1,
+        ..ServerConfig::default()
+    })
+    .expect("spawn server");
+    let addr = server.addr();
+
+    const N: usize = 8;
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    for i in 0..N {
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n")
+            .expect("send request");
+        let (status, body) = read_one_response(&mut stream);
+        assert_eq!(status, 200, "request {i}: {body}");
+        assert!(body.contains("\"ok\":true"), "request {i}: {body}");
+    }
+
+    // The same connection also answers /metrics: the server must have
+    // accepted strictly fewer connections than it served requests —
+    // that *is* keep-alive, pinned by the server's own counters.
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n")
+        .expect("send metrics request");
+    let (status, metrics) = read_one_response(&mut stream);
+    assert_eq!(status, 200);
+    let m = json::parse(&metrics).unwrap();
+    let requests = m.get("requests").expect("requests section");
+    let connections = requests
+        .get("connections_total")
+        .unwrap()
+        .as_usize()
+        .unwrap();
+    let served = requests.get("requests_total").unwrap().as_usize().unwrap();
+    assert!(served >= N + 1, "all {} requests counted: {metrics}", N + 1);
+    assert_eq!(connections, 1, "one accept for the whole burst: {metrics}");
+    assert!(
+        connections < served,
+        "keep-alive must reuse the connection: {metrics}"
+    );
+
+    drop(stream);
+    server.join();
+}
+
 #[test]
 fn error_surface_is_json_all_the_way_down() {
     let server = spawn(ServerConfig {
@@ -215,7 +311,7 @@ fn error_surface_is_json_all_the_way_down() {
 
     let (status, _) = exchange(
         addr,
-        "PUT /analyze HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n",
+        "PUT /analyze HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: 0\r\n\r\n",
     );
     assert_eq!(status, 405);
 

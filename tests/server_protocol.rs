@@ -1,0 +1,279 @@
+//! Deterministic protocol rig for the reactor transport: hostile and
+//! degenerate client behaviors driven over real loopback sockets.
+//!
+//! Each test pins one transport-level contract:
+//!
+//! * a byte-at-a-time **trickle** of a valid request is still served;
+//! * a **stalled** request (partial bytes, then silence) gets `408` at
+//!   the whole-request deadline — same for a fresh connection that never
+//!   sends anything;
+//! * a **mid-request disconnect** is contained: no crash, next
+//!   connection unaffected;
+//! * a **pipelined burst** (many requests in one write) is answered
+//!   one response per request, in order;
+//! * **oversized** headers and declared bodies get `413`, unparseable
+//!   bytes get `400`;
+//! * shed connections receive their **complete `429`** even with unread
+//!   request bytes in flight (drain-before-close: no response is ever
+//!   torn or RST'd away).
+
+use gleipnir::server::{spawn, ServerConfig, ServerHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A loopback server with a short read deadline and a small body cap, so
+/// deadline and size tests run in milliseconds.
+fn protocol_server() -> ServerHandle {
+    spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 8,
+        read_timeout: Duration::from_millis(400),
+        max_body_bytes: 1024,
+        threads: 1,
+        ..ServerConfig::default()
+    })
+    .expect("spawn server")
+}
+
+/// Reads one response (headers + `Content-Length` body) off a persistent
+/// connection. `carry` holds bytes already read past a previous response
+/// (pipelined responses arrive back-to-back in one read).
+fn read_one_response(stream: &mut TcpStream, carry: &mut Vec<u8>) -> (u16, String, String) {
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = carry.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk).expect("read response head");
+        assert!(n > 0, "connection closed mid-response");
+        carry.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8(carry[..header_end].to_vec()).expect("UTF-8 head");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.trim()
+                .eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().expect("numeric Content-Length"))
+        })
+        .expect("Content-Length header");
+    let body_start = header_end + 4;
+    while carry.len() < body_start + content_length {
+        let n = stream.read(&mut chunk).expect("read response body");
+        assert!(n > 0, "connection closed mid-body");
+        carry.extend_from_slice(&chunk[..n]);
+    }
+    let body = carry[body_start..body_start + content_length].to_vec();
+    carry.drain(..body_start + content_length);
+    (status, head, String::from_utf8(body).expect("UTF-8 body"))
+}
+
+/// Reads to EOF and asserts the stream held exactly one *complete*
+/// response (the declared `Content-Length` fully delivered — never torn,
+/// never RST'd away).
+fn read_final_response(stream: &mut TcpStream) -> (u16, String, String) {
+    let mut carry = Vec::new();
+    let (status, head, body) = read_one_response(stream, &mut carry);
+    let mut rest = Vec::new();
+    stream
+        .read_to_end(&mut rest)
+        .expect("clean EOF after the final response, not a reset");
+    assert!(
+        carry.is_empty() && rest.is_empty(),
+        "no bytes may follow a Connection: close response"
+    );
+    (status, head, body)
+}
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+}
+
+#[test]
+fn trickled_request_is_served_like_any_other() {
+    let server = protocol_server();
+    let mut stream = connect(server.addr());
+    // One byte per write: dozens of partial-parse steps, all within the
+    // whole-request deadline.
+    for byte in b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n" {
+        stream.write_all(std::slice::from_ref(byte)).unwrap();
+        stream.flush().unwrap();
+    }
+    let (status, _, body) = read_final_response(&mut stream);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"ok\":true"), "{body}");
+    server.join();
+}
+
+#[test]
+fn stalled_mid_request_gets_408_at_the_deadline() {
+    let server = protocol_server();
+    let mut stream = connect(server.addr());
+    // Half a request line, then silence: the whole-request deadline (not
+    // any per-read timeout) must cut this off with a response.
+    stream.write_all(b"POST /analyze HT").unwrap();
+    let start = std::time::Instant::now();
+    let (status, head, body) = read_final_response(&mut stream);
+    assert_eq!(status, 408, "{body}");
+    assert!(head.contains("Connection: close"), "{head}");
+    assert!(body.contains("timed out"), "{body}");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "408 must arrive at the deadline, not hang"
+    );
+    server.join();
+}
+
+#[test]
+fn idle_fresh_connection_gets_408_not_a_leak() {
+    let server = protocol_server();
+    let mut stream = connect(server.addr());
+    // Connect and send nothing at all: the deadline starts at accept.
+    let (status, _, body) = read_final_response(&mut stream);
+    assert_eq!(status, 408, "{body}");
+    server.join();
+}
+
+#[test]
+fn mid_request_disconnect_is_contained() {
+    let server = protocol_server();
+    let addr = server.addr();
+    // A few clients vanish mid-request — different truncation points,
+    // including mid-body.
+    for partial in [
+        &b"GET"[..],
+        &b"POST /analyze HTTP/1.1\r\nContent-Le"[..],
+        &b"POST /analyze HTTP/1.1\r\nContent-Length: 500\r\n\r\npartial body"[..],
+    ] {
+        let mut stream = connect(addr);
+        stream.write_all(partial).unwrap();
+        drop(stream);
+    }
+    // The server neither crashed nor wedged: a normal request still works.
+    let mut stream = connect(addr);
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let (status, _, body) = read_final_response(&mut stream);
+    assert_eq!(status, 200, "{body}");
+    server.join();
+}
+
+#[test]
+fn pipelined_burst_answers_in_order() {
+    let server = protocol_server();
+    let mut stream = connect(server.addr());
+    // Alternate two distinguishable endpoints so ordering is observable,
+    // all in a single write.
+    let mut burst = String::new();
+    for i in 0..6 {
+        let path = if i % 2 == 0 { "/healthz" } else { "/metrics" };
+        burst.push_str(&format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"));
+    }
+    stream.write_all(burst.as_bytes()).unwrap();
+    let mut carry = Vec::new();
+    for i in 0..6 {
+        let (status, _, body) = read_one_response(&mut stream, &mut carry);
+        assert_eq!(status, 200, "response {i}: {body}");
+        if i % 2 == 0 {
+            assert!(body.contains("\"status\":\"ok\""), "response {i}: {body}");
+        } else {
+            assert!(body.contains("uptime_ms"), "response {i}: {body}");
+        }
+    }
+    drop(stream);
+    server.join();
+}
+
+#[test]
+fn oversized_declared_body_gets_413_before_the_body_arrives() {
+    let server = protocol_server();
+    let mut stream = connect(server.addr());
+    // Declares far more than max_body_bytes (1024); the server must
+    // reject from the headers alone.
+    stream
+        .write_all(b"POST /analyze HTTP/1.1\r\nContent-Length: 100000\r\n\r\n")
+        .unwrap();
+    let (status, head, body) = read_final_response(&mut stream);
+    assert_eq!(status, 413, "{body}");
+    assert!(head.contains("Connection: close"), "{head}");
+    assert!(body.contains("too large"), "{body}");
+    server.join();
+}
+
+#[test]
+fn oversized_headers_get_413() {
+    let server = protocol_server();
+    let mut stream = connect(server.addr());
+    let mut raw = b"GET /healthz HTTP/1.1\r\nX-Pad: ".to_vec();
+    raw.extend(std::iter::repeat(b'a').take(80 * 1024)); // > 64 KiB head cap
+    stream.write_all(&raw).unwrap();
+    let (status, _, body) = read_final_response(&mut stream);
+    assert_eq!(status, 413, "{body}");
+    server.join();
+}
+
+#[test]
+fn unparseable_bytes_get_400() {
+    let server = protocol_server();
+    let mut stream = connect(server.addr());
+    stream
+        .write_all(b"THIS IS NOT HTTP AT ALL\r\n\r\n")
+        .unwrap();
+    let (status, _, body) = read_final_response(&mut stream);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("malformed"), "{body}");
+    server.join();
+}
+
+#[test]
+fn shed_429_arrives_complete_despite_unread_input() {
+    let server = spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_capacity: 1,
+        read_timeout: Duration::from_secs(3),
+        threads: 1,
+        ..ServerConfig::default()
+    })
+    .expect("spawn server");
+    let addr = server.addr();
+
+    // Occupy the serving capacity (workers + queue slots) with stalled
+    // requests.
+    let mut pin = connect(addr);
+    pin.write_all(b"POST /analyze HTTP/1.1\r\n").unwrap();
+    let mut filler = connect(addr);
+    filler.write_all(b"POST /analyze HTTP/1.1\r\n").unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+
+    // The shed connection sends a pile of bytes the server never reads
+    // as a request. The complete 429 must still arrive — closing with
+    // unread input would RST it out of our receive buffer.
+    let mut shed = connect(addr);
+    let payload = vec![b'x'; 32 * 1024];
+    // The peer may legitimately stop reading us; don't die on EPIPE.
+    let _ = shed.write_all(b"POST /analyze HTTP/1.1\r\nContent-Length: 32768\r\n\r\n");
+    let _ = shed.write_all(&payload);
+    let (status, head, body) = read_final_response(&mut shed);
+    assert_eq!(status, 429, "{body}");
+    assert!(head.contains("Retry-After"), "{head}");
+    assert!(body.contains("overloaded"), "{body}");
+
+    drop(pin);
+    drop(filler);
+    server.join();
+}
