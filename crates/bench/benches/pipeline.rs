@@ -14,12 +14,17 @@
 //! * `adaptive` — an adaptive width sweep on a fresh engine (cross-width
 //!   cache reuse);
 //! * `batch4` — four requests fanned out across worker threads on a fresh
-//!   engine.
+//!   engine;
+//! * `diff_cold_full` / `diff_latency` — the edit-cost pair on Ising-288:
+//!   a cold full analysis of a 1-gate edit vs `Engine::analyze_diff` on an
+//!   engine that has already analyzed the pre-edit program. The JSON
+//!   records `prefix_gates_reused`; expect the diff wall ≪ the full wall.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use gleipnir_circuit::Stmt;
 use gleipnir_core::{AdaptiveConfig, AnalysisRequest, Engine, Method, Report};
 use gleipnir_noise::NoiseModel;
-use gleipnir_workloads::{qaoa_maxcut, Graph};
+use gleipnir_workloads::{ising_chain, qaoa_maxcut, Graph};
 use std::time::Instant;
 
 fn program() -> gleipnir_circuit::Program {
@@ -78,6 +83,8 @@ struct Stage {
     sdp_solves: usize,
     cache_hits: usize,
     error_bound: f64,
+    /// Only the diff stages set this: gates served from the reused prefix.
+    prefix_gates_reused: Option<usize>,
 }
 
 fn stage(name: &'static str, run: impl FnOnce() -> Report) -> Stage {
@@ -91,7 +98,25 @@ fn stage(name: &'static str, run: impl FnOnce() -> Report) -> Stage {
         sdp_solves: report.sdp_solves(),
         cache_hits: report.cache_hits(),
         error_bound: report.error_bound(),
+        prefix_gates_reused: None,
     }
+}
+
+/// Ising-288 (12 sites × 12 Trotter layers) and a 1-gate mid-circuit edit
+/// of it: the first adjacent distinct statement pair past the midpoint,
+/// swapped.
+fn ising_edit_pair() -> (gleipnir_circuit::Program, gleipnir_circuit::Program) {
+    let old = ising_chain(12, 12, 1.0, 1.0, 0.1);
+    let mut stmts = match old.body() {
+        Stmt::Seq(ss) => ss.clone(),
+        s => vec![s.clone()],
+    };
+    let i = (stmts.len() / 2..stmts.len() - 1)
+        .find(|&i| stmts[i] != stmts[i + 1])
+        .expect("Ising-288 has an adjacent distinct pair");
+    stmts.swap(i, i + 1);
+    let new = gleipnir_circuit::Program::new(old.n_qubits(), Stmt::Seq(stmts));
+    (old, new)
 }
 
 fn emit_json() {
@@ -133,6 +158,43 @@ fn emit_json() {
         sdp_solves: reports.iter().map(Report::sdp_solves).sum(),
         cache_hits: reports.iter().map(Report::cache_hits).sum(),
         error_bound: reports[0].error_bound(),
+        prefix_gates_reused: None,
+    });
+
+    // Edit-cost pair: Ising-288 with a 1-gate mid-circuit edit. The cold
+    // stage is the latency a user pays without the diff path; the diff
+    // stage is `analyze_diff` on an engine that already analyzed the
+    // pre-edit program, so everything before the edit is prefix-served.
+    let (ising_old, ising_new) = ising_edit_pair();
+    let noise = NoiseModel::uniform_bit_flip(1e-3);
+    let old_req = AnalysisRequest::builder(ising_old)
+        .noise(noise.clone())
+        .method(Method::StateAware { mps_width: 8 })
+        .build()
+        .unwrap();
+    let new_req = AnalysisRequest::builder(ising_new)
+        .noise(noise)
+        .method(Method::StateAware { mps_width: 8 })
+        .build()
+        .unwrap();
+    stages.push(stage("diff_cold_full", || {
+        Engine::new().analyze(&new_req).unwrap()
+    }));
+    let diff_engine = Engine::new();
+    diff_engine.analyze(&old_req).unwrap();
+    let t0 = Instant::now();
+    let diff = diff_engine.analyze_diff(&old_req, &new_req).unwrap();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let report = diff.new_report();
+    stages.push(Stage {
+        name: "diff_latency",
+        wall_ms,
+        solve_stage_ms: Some(report.stage_timings().solve.as_secs_f64() * 1e3),
+        solve_workers: Some(report.solve_workers()),
+        sdp_solves: report.sdp_solves(),
+        cache_hits: report.cache_hits(),
+        error_bound: report.error_bound(),
+        prefix_gates_reused: Some(diff.prefix_gates_reused()),
     });
 
     let stage_json: Vec<String> = stages
@@ -151,6 +213,9 @@ fn emit_json() {
             fields.push(format!("\"sdp_solves\":{}", s.sdp_solves));
             fields.push(format!("\"cache_hits\":{}", s.cache_hits));
             fields.push(format!("\"error_bound\":{:e}", s.error_bound));
+            if let Some(n) = s.prefix_gates_reused {
+                fields.push(format!("\"prefix_gates_reused\":{n}"));
+            }
             format!("{{{}}}", fields.join(","))
         })
         .collect();

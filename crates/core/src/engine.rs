@@ -62,22 +62,27 @@ const CACHE_SHARDS: usize = 16;
 /// A rendezvous for one in-flight SDP solve: the leading thread fills the
 /// result, every joining thread waits on it.
 pub(crate) struct InflightSlot {
-    result: Mutex<Option<Result<f64, DiamondError>>>,
+    result: Mutex<Option<Result<(f64, BoundTier), DiamondError>>>,
     ready: Condvar,
+    /// Whether the lead is guaranteed to produce a cold (not warm-started)
+    /// certificate. Exact-policy lookups may only join cold leads — a
+    /// warm-started dual's ε bits are not bit-reproducible.
+    cold: bool,
 }
 
 impl InflightSlot {
-    fn new() -> Self {
+    fn new(cold: bool) -> Self {
         InflightSlot {
             result: Mutex::new(None),
             ready: Condvar::new(),
+            cold,
         }
     }
 
     /// Blocks until the leading thread completes (or abandons) the solve.
     /// Progress is guaranteed: a lead is only ever held by a thread
     /// actively solving, and [`LeadGuard`] fills the slot even on panic.
-    pub(crate) fn wait(&self) -> Result<f64, DiamondError> {
+    pub(crate) fn wait(&self) -> Result<(f64, BoundTier), DiamondError> {
         let mut slot = lock(&self.result);
         loop {
             if let Some(result) = slot.as_ref() {
@@ -123,12 +128,18 @@ impl Drop for LeadGuard<'_> {
 
 /// The outcome of an in-flight-aware cache lookup.
 pub(crate) enum Lookup<'a> {
-    /// A finished certificate answered the judgment.
-    Hit(f64),
+    /// A finished certificate answered the judgment (ε plus the tier that
+    /// produced it).
+    Hit(f64, BoundTier),
     /// Another thread is solving this key right now; wait on the slot.
     Join(Arc<InflightSlot>),
     /// The caller won the lead: solve, then [`LeadGuard::complete`].
     Lead(LeadGuard<'a>),
+    /// The key is in flight under a possibly-warm lead the caller may not
+    /// trust (exact policy): solve privately, publish nothing. Rare race
+    /// path — only reachable when fast- and exact-policy requests overlap
+    /// on one key.
+    Bypass,
 }
 
 /// A cached, re-verifiable SDP certificate: the certified bound ε plus the
@@ -365,27 +376,55 @@ impl SdpCache {
     /// caller either joins the thread already solving this key or becomes
     /// the lead itself. Lock order is inflight-map → shard, and
     /// [`SdpCache::finish_lead`] never holds both, so the nesting is safe.
-    pub(crate) fn lookup_or_lead(&self, key: &[u64]) -> Lookup<'_> {
+    ///
+    /// `accept_warm` is the caller's tier trust: an exact-policy request
+    /// (`accept_warm == false`) never accepts a warm-produced certificate's
+    /// ε bits — a stored [`BoundTier::WarmStarted`] entry is treated as a
+    /// miss and re-led cold (the re-solve's insert overwrites the warm
+    /// entry), and an in-flight possibly-warm lead is [`Lookup::Bypass`]ed.
+    /// `lead_cold` declares what the caller would produce *if it leads*
+    /// (no warm-start dual in hand ⇒ cold), which is what later arrivals'
+    /// join decisions key off.
+    pub(crate) fn lookup_or_lead(
+        &self,
+        key: &[u64],
+        accept_warm: bool,
+        lead_cold: bool,
+    ) -> Lookup<'_> {
+        let usable = |c: &Certificate| accept_warm || c.tier != BoundTier::WarmStarted;
         // Fast path: a bare shard probe, no global lock. Certificates are
         // only ever added (outside `clear_cache`), so a hit here is final —
         // this keeps the warm-cache path as parallel as the 16-way
         // sharding intends.
-        if let Some(eps) = lock(self.shard(key)).get(key).map(|c| c.eps) {
+        if let Some((eps, tier)) = lock(self.shard(key))
+            .get(key)
+            .filter(|c| usable(c))
+            .map(|c| (c.eps, c.tier))
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Lookup::Hit(eps);
+            return Lookup::Hit(eps, tier);
         }
         let mut inflight = lock(&self.inflight);
         // Re-probe *under* the in-flight lock: a lead inserts into the
         // cache before removing its in-flight entry, so a racer that
         // missed the fast probe sees the key in at least one of the two
         // maps here.
-        if let Some(eps) = lock(self.shard(key)).get(key).map(|c| c.eps) {
+        if let Some((eps, tier)) = lock(self.shard(key))
+            .get(key)
+            .filter(|c| usable(c))
+            .map(|c| (c.eps, c.tier))
+        {
             drop(inflight);
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Lookup::Hit(eps);
+            return Lookup::Hit(eps, tier);
         }
         match inflight.entry(key.to_vec()) {
             Entry::Occupied(e) => {
+                if !accept_warm && !e.get().cold {
+                    drop(inflight);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return Lookup::Bypass;
+                }
                 let slot = Arc::clone(e.get());
                 drop(inflight);
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -393,7 +432,7 @@ impl SdpCache {
                 Lookup::Join(slot)
             }
             Entry::Vacant(v) => {
-                v.insert(Arc::new(InflightSlot::new()));
+                v.insert(Arc::new(InflightSlot::new(lead_cold)));
                 drop(inflight);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 Lookup::Lead(LeadGuard {
@@ -405,7 +444,10 @@ impl SdpCache {
     }
 
     fn finish_lead(&self, key: Vec<u64>, result: Result<Certificate, DiamondError>) {
-        let published = result.as_ref().map(|c| c.eps).map_err(Clone::clone);
+        let published = result
+            .as_ref()
+            .map(|c| (c.eps, c.tier))
+            .map_err(Clone::clone);
         if let Ok(cert) = result {
             self.insert(key.clone(), cert);
         }
@@ -1089,12 +1131,15 @@ mod tests {
     fn inflight_lookup_leads_then_hits() {
         let cache = SdpCache::new();
         let key = vec![1u64, 2, 3];
-        match cache.lookup_or_lead(&key) {
+        match cache.lookup_or_lead(&key, true, true) {
             Lookup::Lead(guard) => guard.complete(Ok(cert(0.5))),
             _ => panic!("fresh key must be a lead"),
         }
-        match cache.lookup_or_lead(&key) {
-            Lookup::Hit(eps) => assert_eq!(eps, 0.5),
+        match cache.lookup_or_lead(&key, true, true) {
+            Lookup::Hit(eps, tier) => {
+                assert_eq!(eps, 0.5);
+                assert_eq!(tier, BoundTier::ColdSolve);
+            }
             _ => panic!("completed lead must be a hit"),
         }
         assert_eq!(cache.inflight.lock().unwrap().len(), 0, "entry removed");
@@ -1104,39 +1149,103 @@ mod tests {
     fn abandoned_lead_unblocks_joiners_with_an_error() {
         let cache = Arc::new(SdpCache::new());
         let key = vec![9u64];
-        let guard = match cache.lookup_or_lead(&key) {
+        let guard = match cache.lookup_or_lead(&key, true, true) {
             Lookup::Lead(g) => g,
             _ => panic!("fresh key must be a lead"),
         };
-        let joiner = match cache.lookup_or_lead(&key) {
+        let joiner = match cache.lookup_or_lead(&key, true, true) {
             Lookup::Join(slot) => slot,
             _ => panic!("second lookup must join the in-flight solve"),
         };
         drop(guard); // simulates a panic unwinding through the solve
         assert!(joiner.wait().is_err(), "joiner must observe the failure");
         // The failed key is not cached; the next lookup leads again.
-        assert!(matches!(cache.lookup_or_lead(&key), Lookup::Lead(_)));
+        assert!(matches!(
+            cache.lookup_or_lead(&key, true, true),
+            Lookup::Lead(_)
+        ));
     }
 
     #[test]
     fn concurrent_leads_share_one_solve() {
         let cache = Arc::new(SdpCache::new());
         let key = vec![7u64, 7];
-        let guard = match cache.lookup_or_lead(&key) {
+        let guard = match cache.lookup_or_lead(&key, true, true) {
             Lookup::Lead(g) => g,
             _ => panic!("lead"),
         };
         let waiter = {
             let cache = Arc::clone(&cache);
             let key = key.clone();
-            std::thread::spawn(move || match cache.lookup_or_lead(&key) {
-                Lookup::Join(slot) => slot.wait(),
-                Lookup::Hit(eps) => Ok(eps),
-                Lookup::Lead(_) => panic!("only one lead per key"),
+            std::thread::spawn(move || match cache.lookup_or_lead(&key, true, true) {
+                Lookup::Join(slot) => slot.wait().map(|(eps, _)| eps),
+                Lookup::Hit(eps, _) => Ok(eps),
+                Lookup::Lead(_) | Lookup::Bypass => panic!("only one lead per key"),
             })
         };
         guard.complete(Ok(cert(0.25)));
         assert_eq!(waiter.join().unwrap().unwrap(), 0.25);
         assert_eq!(cache.get(&key), Some(0.25));
+    }
+
+    /// A warm-produced certificate (non-empty dual, `WarmStarted` tier).
+    fn warm_cert(eps: f64) -> Certificate {
+        Certificate {
+            eps,
+            dim: 2,
+            n_kraus: 1,
+            dual: Arc::new(vec![1.0]),
+            tier: BoundTier::WarmStarted,
+        }
+    }
+
+    #[test]
+    fn exact_lookups_never_hit_warm_certificates() {
+        let cache = SdpCache::new();
+        let key = rho_delta_key([1.0, 0.0], 5, 1e-6);
+        cache.insert(key.clone(), warm_cert(0.7));
+        // A fast-policy lookup accepts the warm entry…
+        match cache.lookup_or_lead(&key, true, false) {
+            Lookup::Hit(eps, tier) => {
+                assert_eq!(eps, 0.7);
+                assert_eq!(tier, BoundTier::WarmStarted);
+            }
+            _ => panic!("fast policy must accept a warm certificate"),
+        }
+        // …an exact-policy lookup re-leads a cold solve instead.
+        match cache.lookup_or_lead(&key, false, true) {
+            Lookup::Lead(guard) => guard.complete(Ok(cert(0.69))),
+            _ => panic!("exact policy must re-lead past a warm certificate"),
+        }
+        // The cold re-solve overwrote the warm entry for everyone.
+        match cache.lookup_or_lead(&key, false, true) {
+            Lookup::Hit(eps, tier) => {
+                assert_eq!(eps, 0.69);
+                assert_eq!(tier, BoundTier::ColdSolve);
+            }
+            _ => panic!("cold re-solve must be a hit"),
+        };
+    }
+
+    #[test]
+    fn exact_lookups_bypass_warm_inflight_leads() {
+        let cache = SdpCache::new();
+        let key = vec![3u64, 1, 4];
+        // A fast-policy lead with a warm-start dual in hand (cold = false).
+        let guard = match cache.lookup_or_lead(&key, true, false) {
+            Lookup::Lead(g) => g,
+            _ => panic!("fresh key must be a lead"),
+        };
+        // An exact-policy arrival may not join it…
+        assert!(matches!(
+            cache.lookup_or_lead(&key, false, true),
+            Lookup::Bypass
+        ));
+        // …but a fast-policy arrival may.
+        assert!(matches!(
+            cache.lookup_or_lead(&key, true, false),
+            Lookup::Join(_)
+        ));
+        guard.complete(Ok(warm_cert(0.5)));
     }
 }

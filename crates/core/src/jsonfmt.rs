@@ -13,6 +13,7 @@
 //!   which is not JSON, and a consumer silently choking on a metrics
 //!   payload is far worse than an explicit `null`.
 
+use crate::diff::DiffReport;
 use crate::report::Report;
 use gleipnir_circuit::Program;
 
@@ -127,6 +128,65 @@ pub fn report_json(label: &str, program: &Program, report: &Report) -> String {
     format!("{{{}}}", fields.join(","))
 }
 
+/// `Some(v)` as a JSON float (`null` for non-finite), `None` as `null`.
+fn json_opt_f64(v: Option<f64>) -> String {
+    v.map(json_f64).unwrap_or_else(|| "null".to_string())
+}
+
+/// `Some(n)` as a JSON integer, `None` as `null`.
+fn json_opt_usize(v: Option<usize>) -> String {
+    v.map(|n| n.to_string())
+        .unwrap_or_else(|| "null".to_string())
+}
+
+/// Serializes a [`DiffReport`] into the one-object wire form shared by
+/// `gleipnir diff … --json` and the server's `/diff` endpoint. The labels
+/// identify the two programs to the consumer — the CLI passes the file
+/// paths, the server the specs' `name` fields.
+///
+/// Every float goes through [`json_f64`]/[`json_ms`]: a NaN placeholder
+/// (e.g. from a skeleton node the solver never reached) becomes an
+/// explicit `null`, never a bare `NaN` token.
+pub fn diff_report_json(old_label: &str, new_label: &str, diff: &DiffReport) -> String {
+    let new = diff.new_report();
+    let old = diff.old_report();
+    let changes: Vec<String> = diff
+        .changes()
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"gate\":{},\"reason\":{},\"old_index\":{},\"new_index\":{},\"old_epsilon\":{},\"new_epsilon\":{},\"tier\":{}}}",
+                json_str(&c.gate),
+                json_str(c.reason.name()),
+                json_opt_usize(c.old_index),
+                json_opt_usize(c.new_index),
+                json_opt_f64(c.old_epsilon),
+                json_opt_f64(c.new_epsilon),
+                c.tier
+                    .map(|t| json_str(t.name()))
+                    .unwrap_or_else(|| "null".to_string()),
+            )
+        })
+        .collect();
+    let fields = [
+        format!("\"old_file\":{}", json_str(old_label)),
+        format!("\"new_file\":{}", json_str(new_label)),
+        format!("\"error_bound\":{}", json_f64(diff.error_bound())),
+        format!("\"old_error_bound\":{}", json_f64(old.error_bound())),
+        format!("\"prefix_gates_reused\":{}", diff.prefix_gates_reused()),
+        format!("\"sdp_solves\":{}", new.sdp_solves()),
+        format!("\"cache_hits\":{}", new.cache_hits()),
+        format!("\"mps_width\":{}", new.mps_width()),
+        format!("\"tn_delta\":{}", json_f64(new.tn_delta())),
+        format!(
+            "\"elapsed_ms\":{}",
+            json_ms(diff.elapsed().as_secs_f64() * 1e3)
+        ),
+        format!("\"changes\":[{}]", changes.join(",")),
+    ];
+    format!("{{{}}}", fields.join(","))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,6 +247,34 @@ mod tests {
         assert!(json.contains("\"file\":\"a \\\"quoted\\\" label\""));
         assert!(json.contains("\"method\":\"state_aware\""));
         assert!(json.contains("\"error_bound\":"));
+        assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn diff_report_json_is_parseable_shape() {
+        use crate::{AnalysisRequest, Engine, Method};
+        use gleipnir_circuit::ProgramBuilder;
+        use gleipnir_noise::NoiseModel;
+
+        let request = |theta: f64| {
+            let mut b = ProgramBuilder::new(2);
+            b.h(0).cnot(0, 1).rx(1, theta);
+            AnalysisRequest::builder(b.build())
+                .noise(NoiseModel::uniform_bit_flip(1e-4))
+                .method(Method::StateAware { mps_width: 4 })
+                .build()
+                .unwrap()
+        };
+        let engine = Engine::new();
+        let diff = engine.analyze_diff(&request(0.3), &request(0.9)).unwrap();
+        let json = diff_report_json("old.glq", "new \"q\".glq", &diff);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"old_file\":\"old.glq\""));
+        assert!(json.contains("\"new_file\":\"new \\\"q\\\".glq\""));
+        assert!(json.contains("\"prefix_gates_reused\":2"));
+        assert!(json.contains("\"changes\":[{"));
+        assert!(json.contains("\"reason\":\"gate_edited\""));
+        // NaN placeholders must surface as null, never as a bare token.
         assert!(!json.contains("NaN"));
     }
 }

@@ -59,6 +59,7 @@ mod adaptive;
 mod assemble;
 mod baseline;
 mod diamond;
+mod diff;
 mod engine;
 mod error;
 pub mod jsonfmt;
@@ -77,6 +78,7 @@ pub use diamond::{
     embed_choi, q_lambda_diamond, rho_delta_diamond, sampled_diamond_lower_bound,
     unconstrained_diamond, DiamondError, DiamondResult,
 };
+pub use diff::{ChangeReason, DiffReport, GateChange};
 pub use engine::{BatchOutcome, CacheStats, Engine, EngineOptions};
 pub use error::{AnalysisError, ReplayError};
 pub use logic::{Derivation, StageTimings, StateAwareReport};

@@ -19,9 +19,9 @@
 //! (possibly weaker) bound that is still a true bound. A bad file therefore
 //! degrades to cache misses, never to an unsound ε.
 //!
-//! ## On-disk format (version 1)
+//! ## On-disk format (version 2)
 //!
-//! One file, `certificates.v1.bin`, designed to be **append-friendly**: a
+//! One file, `certificates.v2.bin`, designed to be **append-friendly**: a
 //! fixed header followed by self-delimiting records, so a crash mid-append
 //! loses at most the torn tail (which the next
 //! [`CertStore::persist_new`] truncates away before appending).
@@ -30,8 +30,17 @@
 //! header:  "GLPNCERT" (8 bytes) | version u32 LE | reserved u32 LE
 //! record:  payload_len u32 LE | payload | fnv1a64(payload) u64 LE
 //! payload: dim u32 | n_kraus u32 | key_len u32 | dual_len u32 |
-//!          eps f64 | key: key_len × u64 | dual: dual_len × f64   (all LE)
+//!          tier u32 | eps f64 | key: key_len × u64 |
+//!          dual: dual_len × f64                                  (all LE)
 //! ```
+//!
+//! `tier` records which solve path produced the ε bits — `0` for a cold
+//! interior-point solve, `1` for a warm-started one (other values are
+//! rejected). Version 1 omitted the field, so loaders had to assume every
+//! record was cold; an `exact`-policy request could then be served a
+//! warm-produced dual's ε bits through the shared cache. Version 2 makes
+//! the tier part of the record so [`verify_record`] restores it and the
+//! cache's exact-policy filtering keeps working across restarts.
 //!
 //! When one key appears more than once the **last** record wins (append =
 //! supersede). A version bump makes old files *stale*: the loader rejects
@@ -65,12 +74,12 @@ use std::sync::Arc;
 const MAGIC: &[u8; 8] = b"GLPNCERT";
 /// Fleet-sync wire header magic ([`CertStore::encode_since`]).
 const SYNC_MAGIC: &[u8; 8] = b"GLPNSYNC";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 const HEADER_LEN: u64 = 16;
 /// Hard cap on a single record's payload (a corrupt length field must not
 /// allocate gigabytes).
 const MAX_PAYLOAD: u32 = 16 << 20;
-const FILE_NAME: &str = "certificates.v1.bin";
+const FILE_NAME: &str = "certificates.v2.bin";
 
 /// What a [`CertStore::load_into`] pass found.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -476,6 +485,7 @@ struct ScanOutcome {
 struct Record {
     dim: u32,
     n_kraus: u32,
+    tier: u32,
     eps: f64,
     key: Vec<u64>,
     dual: Vec<f64>,
@@ -491,11 +501,18 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 }
 
 fn encode_record(out: &mut Vec<u8>, key: &[u64], cert: &Certificate) {
-    let mut payload = Vec::with_capacity(24 + key.len() * 8 + cert.dual.len() * 8);
+    // Closed-form answers never reach the store (`persist_new` filters
+    // them), so the wire only has to distinguish cold from warm.
+    let tier: u32 = match cert.tier {
+        crate::tiers::BoundTier::WarmStarted => 1,
+        _ => 0,
+    };
+    let mut payload = Vec::with_capacity(28 + key.len() * 8 + cert.dual.len() * 8);
     payload.extend_from_slice(&cert.dim.to_le_bytes());
     payload.extend_from_slice(&cert.n_kraus.to_le_bytes());
     payload.extend_from_slice(&(key.len() as u32).to_le_bytes());
     payload.extend_from_slice(&(cert.dual.len() as u32).to_le_bytes());
+    payload.extend_from_slice(&tier.to_le_bytes());
     payload.extend_from_slice(&cert.eps.to_le_bytes());
     for w in key {
         payload.extend_from_slice(&w.to_le_bytes());
@@ -521,7 +538,7 @@ fn decode_record(bytes: &[u8]) -> Option<(Record, usize)> {
     }
     let payload_len = payload_len as usize;
     let total = 4 + payload_len + 8;
-    if bytes.len() < total || payload_len < 24 {
+    if bytes.len() < total || payload_len < 28 {
         return None;
     }
     let payload = &bytes[4..4 + payload_len];
@@ -533,12 +550,13 @@ fn decode_record(bytes: &[u8]) -> Option<(Record, usize)> {
     let n_kraus = u32::from_le_bytes(payload[4..8].try_into().unwrap());
     let key_len = u32::from_le_bytes(payload[8..12].try_into().unwrap()) as usize;
     let dual_len = u32::from_le_bytes(payload[12..16].try_into().unwrap()) as usize;
-    if payload_len != 24 + key_len * 8 + dual_len * 8 {
+    if payload_len != 28 + key_len * 8 + dual_len * 8 {
         return None;
     }
-    let eps = f64::from_le_bytes(payload[16..24].try_into().unwrap());
+    let tier = u32::from_le_bytes(payload[16..20].try_into().unwrap());
+    let eps = f64::from_le_bytes(payload[20..28].try_into().unwrap());
     let mut key = Vec::with_capacity(key_len);
-    let mut off = 24;
+    let mut off = 28;
     for _ in 0..key_len {
         key.push(u64::from_le_bytes(
             payload[off..off + 8].try_into().unwrap(),
@@ -556,6 +574,7 @@ fn decode_record(bytes: &[u8]) -> Option<(Record, usize)> {
         Record {
             dim,
             n_kraus,
+            tier,
             eps,
             key,
             dual,
@@ -606,6 +625,11 @@ fn verify_record(record: &Record) -> Result<Certificate, String> {
     if !record.eps.is_finite() || record.eps < 0.0 {
         return Err("non-finite or negative ε".into());
     }
+    let tier = match record.tier {
+        0 => crate::tiers::BoundTier::ColdSolve,
+        1 => crate::tiers::BoundTier::WarmStarted,
+        other => return Err(format!("unknown tier {other}")),
+    };
     let d = record.dim as usize;
     let n_kraus = record.n_kraus as usize;
     if !(d == 2 || d == 4) || n_kraus == 0 || n_kraus > 64 {
@@ -684,9 +708,9 @@ fn verify_record(record: &Record) -> Result<Certificate, String> {
         dim: record.dim,
         n_kraus: record.n_kraus,
         dual: Arc::new(record.dual.clone()),
-        // Loaded entries count as cold: the solve that originally paid
-        // for them was one (the store never holds closed-form answers).
-        tier: crate::tiers::BoundTier::ColdSolve,
+        // Restore the producing tier so exact-policy cache lookups keep
+        // filtering warm-produced ε bits across restarts and fleet syncs.
+        tier,
     })
 }
 
@@ -805,7 +829,7 @@ mod tests {
         let payload_len =
             u32::from_le_bytes(bytes[rec_start..rec_start + 4].try_into().unwrap()) as usize;
         let payload_start = rec_start + 4;
-        let eps_off = payload_start + 16;
+        let eps_off = payload_start + 20;
         let eps = f64::from_le_bytes(bytes[eps_off..eps_off + 8].try_into().unwrap());
         let lowered = eps * 0.5;
         bytes[eps_off..eps_off + 8].copy_from_slice(&lowered.to_le_bytes());
@@ -829,6 +853,55 @@ mod tests {
         assert_eq!(stats.rejected, 1, "{stats:?}");
         assert_eq!(stats.loaded, written - 1);
         assert!(!stats.truncated, "structurally the file is intact");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Rewrites the first record's tier field in place and fixes the
+    /// checksum so the structural layer still passes.
+    fn retag_first_tier(path: &Path, tier: u32) {
+        let mut bytes = std::fs::read(path).unwrap();
+        let rec_start = HEADER_LEN as usize;
+        let payload_len =
+            u32::from_le_bytes(bytes[rec_start..rec_start + 4].try_into().unwrap()) as usize;
+        let payload_start = rec_start + 4;
+        let tier_off = payload_start + 16;
+        bytes[tier_off..tier_off + 4].copy_from_slice(&tier.to_le_bytes());
+        let sum = fnv1a64(&bytes[payload_start..payload_start + payload_len]);
+        let sum_off = payload_start + payload_len;
+        bytes[sum_off..sum_off + 8].copy_from_slice(&sum.to_le_bytes());
+        std::fs::write(path, &bytes).unwrap();
+    }
+
+    #[test]
+    fn tier_field_round_trips_and_unknown_tiers_are_rejected() {
+        let dir = tmpdir("tier");
+        let engine = populated_engine();
+        let entries = engine.cache_stats().entries;
+        let mut store = CertStore::open(&dir).unwrap();
+        store.persist_new(&engine).unwrap();
+        let path = store.path().unwrap().to_path_buf();
+
+        // A warm-tagged record (same ε, same dual) still certificate-
+        // verifies and comes back tagged warm, so exact-policy filtering
+        // survives a restart.
+        retag_first_tier(&path, 1);
+        let fresh = Engine::new();
+        let stats = CertStore::open(&dir).unwrap().load_into(&fresh).unwrap();
+        assert_eq!(stats.loaded, entries, "{stats:?}");
+        let warm = fresh
+            .sdp_cache()
+            .export()
+            .into_iter()
+            .filter(|(_, c)| c.tier == crate::tiers::BoundTier::WarmStarted)
+            .count();
+        assert_eq!(warm, 1, "exactly the retagged record is warm");
+
+        // An unknown tier value is a rejection, not a guess.
+        retag_first_tier(&path, 7);
+        let fresh2 = Engine::new();
+        let stats = CertStore::open(&dir).unwrap().load_into(&fresh2).unwrap();
+        assert_eq!(stats.rejected, 1, "{stats:?}");
+        assert_eq!(stats.loaded, entries - 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -936,7 +1009,7 @@ mod tests {
         let payload_len =
             u32::from_le_bytes(bytes[rec_start..rec_start + 4].try_into().unwrap()) as usize;
         let payload_start = rec_start + 4;
-        let eps_off = payload_start + 16;
+        let eps_off = payload_start + 20;
         let eps = f64::from_le_bytes(bytes[eps_off..eps_off + 8].try_into().unwrap());
         bytes[eps_off..eps_off + 8].copy_from_slice(&(eps * 0.5).to_le_bytes());
         let sum = fnv1a64(&bytes[payload_start..payload_start + payload_len]);

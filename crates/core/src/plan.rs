@@ -92,6 +92,31 @@ pub(crate) fn plan_program(
             program: program.n_qubits(),
         });
     }
+    plan_stmts(
+        &[program.body()],
+        &mut mps,
+        noise,
+        opts,
+        cache_enabled,
+        delta_quantum,
+    )
+}
+
+/// Plans an arbitrary statement slice against an already-evolved MPS,
+/// leaving `mps` evolved through the slice (single-path programs only;
+/// after a measurement fork the caller's `mps` is the *pre-fork* state).
+///
+/// This is the entry point the differential analyzer ([`crate::diff`])
+/// uses: it plans a shared prefix to capture the MPS at the divergence
+/// point, then plans each suffix from a clone of that snapshot.
+pub(crate) fn plan_stmts(
+    stmts: &[&Stmt],
+    mps: &mut Mps,
+    noise: &NoiseModel,
+    opts: &SolverOptions,
+    cache_enabled: bool,
+    delta_quantum: f64,
+) -> Result<Plan, AnalysisError> {
     let mps_width = mps.max_bond();
     let mut planner = Planner {
         noise,
@@ -101,8 +126,7 @@ pub(crate) fn plan_program(
         obligations: Vec::new(),
         final_delta: 0.0,
     };
-    let worklist: Vec<&Stmt> = vec![program.body()];
-    let skeleton = planner.walk(&worklist, &mut mps)?;
+    let skeleton = planner.walk(stmts, mps)?;
     Ok(Plan {
         skeleton,
         obligations: planner.obligations,

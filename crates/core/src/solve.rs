@@ -68,6 +68,10 @@ use std::time::Duration;
 pub(crate) struct SolveOutcome {
     /// Certified bounds, indexed like the plan's obligation list.
     pub epsilons: Vec<f64>,
+    /// Which tier produced each ε, indexed like `epsilons` (cache hits and
+    /// in-flight joins report the tier of the certificate that answered
+    /// them). The differential analyzer names these per changed gate.
+    pub tiers: Vec<BoundTier>,
     /// SDPs actually solved by this stage (warm + cold; Tier 0 answers are
     /// counted in `tier_counts.closed_form` instead).
     pub sdp_solves: usize,
@@ -108,10 +112,11 @@ enum UnitValue {
         /// Interior-point iterations (0 for Tier 0).
         iterations: usize,
     },
-    /// A finished certificate answered it.
-    CacheHit(f64),
+    /// A finished certificate answered it (with the tier that produced the
+    /// certificate).
+    CacheHit(f64, BoundTier),
     /// Another thread's in-flight solve answered it.
-    Joined(f64),
+    Joined(f64, BoundTier),
 }
 
 /// A dispatched-but-not-joined solve stage. The caller may overlap other
@@ -241,12 +246,33 @@ pub(crate) fn spawn_solve(
                         iterations: 0,
                     })
                 } else {
-                    match shared.cache.lookup_or_lead(&cached.key) {
-                        Lookup::Hit(eps) => Ok(UnitValue::CacheHit(eps)),
+                    // An exact-policy request (`!warm_start`) never trusts
+                    // warm-produced ε bits: warm certificates read as
+                    // misses (re-led cold), warm in-flight leads are
+                    // bypassed with a private cold solve.
+                    match shared.cache.lookup_or_lead(
+                        &cached.key,
+                        policy.warm_start,
+                        warm_duals[u].is_none(),
+                    ) {
+                        Lookup::Hit(eps, tier) => Ok(UnitValue::CacheHit(eps, tier)),
                         Lookup::Join(slot) => slot
                             .wait()
-                            .map(UnitValue::Joined)
+                            .map(|(eps, tier)| UnitValue::Joined(eps, tier))
                             .map_err(AnalysisError::Diamond),
+                        Lookup::Bypass => rho_delta_diamond(
+                            &ob.gate_matrix,
+                            &ob.noisy,
+                            &cached.rho_q,
+                            cached.delta_eff,
+                            &opts,
+                        )
+                        .map(|r| UnitValue::Answered {
+                            eps: r.bound,
+                            tier: r.tier,
+                            iterations: r.iterations,
+                        })
+                        .map_err(AnalysisError::from),
                         Lookup::Lead(guard) => {
                             let result = match &warm_duals[u] {
                                 Some(y0) => rho_delta_diamond_warm(
@@ -319,6 +345,7 @@ impl PendingSolve {
     pub(crate) fn join(self, h: &EngineHandle) -> Result<SolveOutcome, AnalysisError> {
         let out = self.pending.join();
         let mut epsilons = vec![0.0f64; self.n_obligations];
+        let mut tiers = vec![BoundTier::ColdSolve; self.n_obligations];
         let mut sdp_solves = 0usize;
         let mut cache_hits = 0usize;
         let mut inflight_dedup = 0usize;
@@ -337,7 +364,7 @@ impl PendingSolve {
                 // discarded on the error path — nothing to fold in.
                 Ok(None) => {}
                 Ok(Some(value)) => {
-                    let eps = match value {
+                    let (eps, tier) = match value {
                         UnitValue::Answered {
                             eps,
                             tier: BoundTier::ClosedForm,
@@ -348,7 +375,7 @@ impl PendingSolve {
                             // category — the cache was never consulted
                             // for the answer.
                             tier_counts.closed_form += 1 + followers.len();
-                            eps
+                            (eps, BoundTier::ClosedForm)
                         }
                         UnitValue::Answered {
                             eps,
@@ -369,24 +396,26 @@ impl PendingSolve {
                             inflight_dedup += followers.len();
                             h.cache().note_follower_hits(followers.len());
                             h.cache().note_inflight_dedup(followers.len());
-                            eps
+                            (eps, tier)
                         }
-                        UnitValue::CacheHit(eps) => {
+                        UnitValue::CacheHit(eps, tier) => {
                             cache_hits += 1 + followers.len();
                             h.cache().note_follower_hits(followers.len());
-                            eps
+                            (eps, tier)
                         }
-                        UnitValue::Joined(eps) => {
+                        UnitValue::Joined(eps, tier) => {
                             cache_hits += 1 + followers.len();
                             inflight_dedup += 1 + followers.len();
                             h.cache().note_follower_hits(followers.len());
                             h.cache().note_inflight_dedup(followers.len());
-                            eps
+                            (eps, tier)
                         }
                     };
                     epsilons[first] = eps;
+                    tiers[first] = tier;
                     for &i in followers {
                         epsilons[i] = eps;
+                        tiers[i] = tier;
                     }
                 }
                 Err(e) => {
@@ -402,6 +431,7 @@ impl PendingSolve {
         note_engine_totals(h, tier_counts, ip_iterations);
         Ok(SolveOutcome {
             epsilons,
+            tiers,
             sdp_solves,
             cache_hits,
             inflight_dedup,

@@ -31,6 +31,13 @@ pub struct Metrics {
     pub batch_ok: AtomicUsize,
     /// Failed `/batch` responses.
     pub batch_err: AtomicUsize,
+    /// Successful `/diff` responses.
+    pub diff_ok: AtomicUsize,
+    /// Failed `/diff` responses (parse or analysis errors).
+    pub diff_err: AtomicUsize,
+    /// Cumulative gates served from reused diff prefixes (no re-plan, no
+    /// solve) across all `/diff` responses.
+    pub diff_prefix_gates_reused: AtomicUsize,
     /// Non-analysis HTTP failures (bad method/path/body framing).
     pub http_err: AtomicUsize,
     /// Cumulative pipeline stage walls across served analyses, in µs.
@@ -72,6 +79,9 @@ impl Metrics {
             analyze_err: AtomicUsize::new(0),
             batch_ok: AtomicUsize::new(0),
             batch_err: AtomicUsize::new(0),
+            diff_ok: AtomicUsize::new(0),
+            diff_err: AtomicUsize::new(0),
+            diff_prefix_gates_reused: AtomicUsize::new(0),
             http_err: AtomicUsize::new(0),
             plan_us: AtomicU64::new(0),
             solve_us: AtomicU64::new(0),
@@ -129,6 +139,7 @@ impl Metrics {
                 "\"requests\":{{\"connections_total\":{},\"requests_total\":{},",
                 "\"analyze_ok\":{},\"analyze_err\":{},",
                 "\"batch_ok\":{},\"batch_err\":{},\"http_err\":{}}},",
+                "\"diff\":{{\"requests_total\":{},\"errors\":{},\"prefix_gates_reused\":{}}},",
                 "\"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"inflight_dedup\":{}}},",
                 "\"tiers\":{{\"closed_form\":{},\"warm\":{},\"cold\":{},\"ip_iterations\":{}}},",
                 "\"stage_totals_ms\":{{\"plan\":{},\"solve\":{},\"assemble\":{}}},",
@@ -150,6 +161,9 @@ impl Metrics {
             c(&self.batch_ok),
             c(&self.batch_err),
             c(&self.http_err),
+            c(&self.diff_ok) + c(&self.diff_err),
+            c(&self.diff_err),
+            c(&self.diff_prefix_gates_reused),
             cache.hits,
             cache.misses,
             cache.entries,

@@ -312,6 +312,7 @@ fn route(shared: &Arc<Shared>, request: &http::HttpRequest) -> Response {
         }
         ("POST", "/analyze") => handle_analyze(shared, &request.body),
         ("POST", "/batch") => handle_batch(shared, &request.body),
+        ("POST", "/diff") => handle_diff(shared, &request.body),
         ("GET", path) if path.starts_with(CERTS_SINCE) => {
             match path[CERTS_SINCE.len()..].parse::<u64>() {
                 Ok(seq) => {
@@ -335,7 +336,7 @@ fn route(shared: &Arc<Shared>, request: &http::HttpRequest) -> Response {
                 }
             }
         }
-        (_, "/healthz" | "/metrics" | "/analyze" | "/batch") => {
+        (_, "/healthz" | "/metrics" | "/analyze" | "/batch" | "/diff") => {
             shared.metrics.http_err.fetch_add(1, Ordering::Relaxed);
             Response::json(405, wire::error_json("method not allowed"))
         }
@@ -380,6 +381,41 @@ fn handle_analyze(shared: &Arc<Shared>, body: &[u8]) -> Response {
         }
         Err(e) => {
             shared.metrics.analyze_err.fetch_add(1, Ordering::Relaxed);
+            Response::json(422, wire::error_json(&e.to_string()))
+        }
+    }
+}
+
+fn handle_diff(shared: &Arc<Shared>, body: &[u8]) -> Response {
+    let value = match parse_body(body) {
+        Ok(v) => v,
+        Err(msg) => {
+            shared.metrics.diff_err.fetch_add(1, Ordering::Relaxed);
+            return Response::json(400, wire::error_json(&msg));
+        }
+    };
+    let spec = match wire::diff_spec_from_json(&value) {
+        Ok(spec) => spec,
+        Err(msg) => {
+            shared.metrics.diff_err.fetch_add(1, Ordering::Relaxed);
+            return Response::json(422, wire::error_json(&msg));
+        }
+    };
+    match shared
+        .engine
+        .analyze_diff(&spec.old_request, &spec.new_request)
+    {
+        Ok(diff) => {
+            shared.metrics.diff_ok.fetch_add(1, Ordering::Relaxed);
+            shared
+                .metrics
+                .diff_prefix_gates_reused
+                .fetch_add(diff.prefix_gates_reused(), Ordering::Relaxed);
+            persist_now(shared);
+            Response::json(200, wire::diff_ok_json(&spec, &diff))
+        }
+        Err(e) => {
+            shared.metrics.diff_err.fetch_add(1, Ordering::Relaxed);
             Response::json(422, wire::error_json(&e.to_string()))
         }
     }

@@ -18,12 +18,27 @@
 //!
 //! `POST /batch` body: `{"programs":[<analyze body>, …]}`. Each entry
 //! fails or succeeds on its own, mirroring `Engine::analyze_batch`.
+//!
+//! `POST /diff` body: `old_source` and `new_source` are required; every
+//! other field is the `/analyze` vocabulary and applies to **both**
+//! programs (a diff against a different width, noise, or tier policy is a
+//! config change, not an edit — run two `/analyze` calls instead):
+//!
+//! ```json
+//! {
+//!   "old_source": "qubits 2;\nh q0;\ncnot q0, q1;",
+//!   "new_source": "qubits 2;\nh q0;\ncnot q0, q1;\nx q1;",
+//!   "name": "ghz2-edit",
+//!   "width": 32, "noise": "bitflip:1e-4", "input": "00",
+//!   "cache": true, "tiers": "exact"
+//! }
+//! ```
 
 use crate::json::Json;
 use crate::spec;
 use gleipnir_circuit::{parse as parse_glq, Program};
-use gleipnir_core::jsonfmt::{json_str, report_json};
-use gleipnir_core::{AnalysisRequest, Report};
+use gleipnir_core::jsonfmt::{diff_report_json, json_str, report_json};
+use gleipnir_core::{AnalysisRequest, DiffReport, Report};
 
 /// A fully validated analyze request plus the context needed to render its
 /// response.
@@ -53,7 +68,18 @@ pub fn analyze_spec_from_json(v: &Json) -> Result<AnalyzeSpec, String> {
         .unwrap_or("request")
         .to_string();
     let program = parse_glq(source).map_err(|e| format!("GLQ parse error: {e}"))?;
+    let request = request_from_json(v, &program)?;
+    Ok(AnalyzeSpec {
+        name,
+        program,
+        request,
+    })
+}
 
+/// Parses the shared request vocabulary (`width`, `method`, `noise`,
+/// `input`, `cache`, `tiers`) and builds the engine request for one
+/// program. `/analyze` calls this once, `/diff` twice with the same body.
+fn request_from_json(v: &Json, program: &Program) -> Result<AnalysisRequest, String> {
     let width = match v.get("width") {
         None => spec::DEFAULT_WIDTH,
         Some(w) => w
@@ -86,11 +112,55 @@ pub fn analyze_spec_from_json(v: &Json) -> Result<AnalyzeSpec, String> {
         Some(t) => Some(t.as_str().ok_or("`tiers` must be a string")?),
     };
     builder = builder.tiering(spec::parse_tier_spec(tiers)?);
-    let request = builder.build().map_err(|e| e.to_string())?;
-    Ok(AnalyzeSpec {
+    builder.build().map_err(|e| e.to_string())
+}
+
+/// A fully validated diff request: two programs, one shared configuration.
+#[derive(Debug)]
+pub struct DiffSpec {
+    /// Label echoed back in the response (`name` field, default `"diff"`).
+    pub name: String,
+    /// The parsed `old_source` program.
+    pub old_program: Program,
+    /// The parsed `new_source` program.
+    pub new_program: Program,
+    /// The validated request for the old program.
+    pub old_request: AnalysisRequest,
+    /// The validated request for the new program (same configuration).
+    pub new_request: AnalysisRequest,
+}
+
+/// Builds a [`DiffSpec`] from a parsed `/diff` body.
+///
+/// # Errors
+///
+/// A human-readable message destined for the 4xx response body.
+pub fn diff_spec_from_json(v: &Json) -> Result<DiffSpec, String> {
+    let old_source = v
+        .get("old_source")
+        .and_then(Json::as_str)
+        .ok_or("missing required string field `old_source`")?;
+    let new_source = v
+        .get("new_source")
+        .and_then(Json::as_str)
+        .ok_or("missing required string field `new_source`")?;
+    let name = v
+        .get("name")
+        .and_then(Json::as_str)
+        .unwrap_or("diff")
+        .to_string();
+    let old_program =
+        parse_glq(old_source).map_err(|e| format!("GLQ parse error in `old_source`: {e}"))?;
+    let new_program =
+        parse_glq(new_source).map_err(|e| format!("GLQ parse error in `new_source`: {e}"))?;
+    let old_request = request_from_json(v, &old_program)?;
+    let new_request = request_from_json(v, &new_program)?;
+    Ok(DiffSpec {
         name,
-        program,
-        request,
+        old_program,
+        new_program,
+        old_request,
+        new_request,
     })
 }
 
@@ -116,6 +186,19 @@ pub fn analyze_ok_json(spec: &AnalyzeSpec, report: &Report) -> String {
     format!(
         "{{\"ok\":true,\"report\":{}}}",
         report_json(&spec.name, &spec.program, report)
+    )
+}
+
+/// The `/diff` success envelope. The labels distinguish the two programs
+/// inside the shared `name`.
+pub fn diff_ok_json(spec: &DiffSpec, diff: &DiffReport) -> String {
+    format!(
+        "{{\"ok\":true,\"diff\":{}}}",
+        diff_report_json(
+            &format!("{}:old", spec.name),
+            &format!("{}:new", spec.name),
+            diff
+        )
     )
 }
 
@@ -168,6 +251,46 @@ mod tests {
             (r#"{"source":"not glq"}"#, "parse"),
         ] {
             let err = analyze_spec_from_json(&parse(body).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "`{body}` → `{err}`");
+        }
+    }
+
+    #[test]
+    fn diff_body_builds_two_requests_with_shared_config() {
+        let body = format!(
+            "{{\"old_source\":{},\"new_source\":{},\"name\":\"edit\",\"width\":8,\"tiers\":\"fast\"}}",
+            json_str(SRC),
+            json_str("qubits 2;\nh q0;\ncnot q0, q1;\nx q1;")
+        );
+        let spec = diff_spec_from_json(&parse(&body).unwrap()).unwrap();
+        assert_eq!(spec.name, "edit");
+        assert_eq!(
+            spec.old_program.gate_count() + 1,
+            spec.new_program.gate_count()
+        );
+        assert_eq!(
+            spec.old_request.tier_policy(),
+            spec.new_request.tier_policy()
+        );
+    }
+
+    #[test]
+    fn diff_body_missing_sources_name_the_problem() {
+        for (body, needle) in [
+            ("{}", "old_source"),
+            (
+                &*format!("{{\"old_source\":{}}}", json_str(SRC)),
+                "new_source",
+            ),
+            (
+                &*format!(
+                    "{{\"old_source\":\"bogus\",\"new_source\":{}}}",
+                    json_str(SRC)
+                ),
+                "old_source",
+            ),
+        ] {
+            let err = diff_spec_from_json(&parse(body).unwrap()).unwrap_err();
             assert!(err.contains(needle), "`{body}` → `{err}`");
         }
     }

@@ -8,6 +8,8 @@
 //!                              [--derivation] [--json]
 //! gleipnir batch    <a.glq> <b.glq> … [--method M] [--width W] [--noise SPEC]
 //!                              [--threads N] [--tiers T] [--json]
+//! gleipnir diff     <old.glq> <new.glq> [--width W] [--noise SPEC] [--input BITS]
+//!                              [--threads N] [--tiers T] [--json]
 //! gleipnir worst    <file.glq> [--noise SPEC] [--json]
 //! gleipnir serve    [--addr HOST:PORT] [--cache-dir DIR] [--workers N]
 //!                              [--queue N] [--threads N]
@@ -35,7 +37,7 @@
 //! process starts with every certificate earlier runs paid for.
 
 use gleipnir::circuit::{optimize, parse, pretty, route_with_final, Mapping, Program};
-use gleipnir::core::jsonfmt::{json_str, report_json};
+use gleipnir::core::jsonfmt::{diff_report_json, json_str, report_json};
 use gleipnir::core::{AnalysisRequest, CertStore, Engine, EngineOptions, Method, Report};
 use gleipnir::noise::{DeviceModel, NoiseModel};
 use gleipnir::server::{spec, ServerConfig};
@@ -61,6 +63,7 @@ fn run(args: &[String]) -> Result<(), String> {
     match command.as_str() {
         "analyze" => analyze(&args[1..]),
         "batch" => batch(&args[1..]),
+        "diff" => diff(&args[1..]),
         "compare" => compare(&args[1..]),
         "worst" => worst(&args[1..]),
         "serve" => serve(&args[1..]),
@@ -76,7 +79,9 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: gleipnir <analyze|batch|compare|worst|serve|optimize|fmt|route> <file.glq>… [options]\n\
+    "usage: gleipnir <analyze|batch|diff|compare|worst|serve|optimize|fmt|route> <file.glq>… [options]\n\
+     diff:    gleipnir diff OLD.glq NEW.glq [--json]   (edit-cost re-analysis; reuses the\n\
+     \x20        unchanged prefix and reports each gate whose ε changed)\n\
      options: --method state|adaptive|worst|lqr   --width W   --input 0101   --json\n\
      \x20        --noise bitflip:P|depolarizing:P1,P2|ampdamp:G|none   --derivation\n\
      \x20        --tiers exact|fast|closed|warm   (bound-engine tiers; default exact)\n\
@@ -386,6 +391,66 @@ fn batch(args: &[String]) -> Result<(), String> {
     batch_exit(&merged.iter().map(|r| r.is_ok()).collect::<Vec<_>>())
 }
 
+/// Differential analysis: re-bounds `NEW.glq` after an edit to `OLD.glq`,
+/// reusing the MPS walk prefix and every certificate the two programs
+/// share, and names each gate whose ε changed. The answer is bit-identical
+/// to a cold `gleipnir analyze NEW.glq` under the same (exact-tier)
+/// configuration — prefix reuse is a latency optimization, never a new
+/// bound (docs/SOUNDNESS.md, obligation 7).
+fn diff(args: &[String]) -> Result<(), String> {
+    let paths = program_paths(args);
+    let [old_path, new_path] = paths.as_slice() else {
+        return Err("diff needs exactly two input files: OLD.glq NEW.glq".into());
+    };
+    let json = has_flag(args, "--json");
+    let old_program = load_program(old_path)?;
+    let new_program = load_program(new_path)?;
+    let engine = make_engine(args)?;
+    let mut store = open_store(args, &engine)?;
+    let old_request = build_request(old_program, args)?;
+    let new_request = build_request(new_program, args)?;
+    let report = engine
+        .analyze_diff(&old_request, &new_request)
+        .map_err(|e| e.to_string())?;
+    persist_store(&mut store, &engine)?;
+    if json {
+        println!("{}", diff_report_json(old_path, new_path, &report));
+        return Ok(());
+    }
+    let new = report.new_report();
+    println!(
+        "old bound: {:.6e}   new bound: {:.6e}",
+        report.old_report().error_bound(),
+        report.error_bound()
+    );
+    println!(
+        "prefix gates reused: {}   suffix SDP solves: {}   cache hits: {}   time: {:?}",
+        report.prefix_gates_reused(),
+        new.sdp_solves(),
+        new.cache_hits(),
+        report.elapsed()
+    );
+    if report.changes().is_empty() {
+        println!("no per-gate ε changes");
+        return Ok(());
+    }
+    println!("changed gates:");
+    for c in report.changes() {
+        let fmt_eps = |e: Option<f64>| match e {
+            Some(e) => format!("{e:.6e}"),
+            None => "-".to_string(),
+        };
+        println!(
+            "  {:<24} {:>14} -> {:<14} [{}]",
+            c.gate,
+            fmt_eps(c.old_epsilon),
+            fmt_eps(c.new_epsilon),
+            c.reason.name()
+        );
+    }
+    Ok(())
+}
+
 /// Batch exit contract: every per-file result is always reported, and the
 /// process exits non-zero if *any* entry failed — so scripts can gate on
 /// status while still getting the full result set.
@@ -479,7 +544,7 @@ fn serve(args: &[String]) -> Result<(), String> {
     let shutdown = gleipnir::server::signal::install_shutdown_signals();
     let handle = gleipnir::server::spawn(config).map_err(|e| e.to_string())?;
     println!("gleipnir-server listening on http://{}", handle.addr());
-    println!("endpoints: POST /analyze  POST /batch  GET /healthz  GET /metrics  GET /certs/since/<seq>  (ctrl-c / SIGTERM stops)");
+    println!("endpoints: POST /analyze  POST /batch  POST /diff  GET /healthz  GET /metrics  GET /certs/since/<seq>  (ctrl-c / SIGTERM stops)");
     while !shutdown.load(std::sync::atomic::Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(100));
     }

@@ -72,8 +72,8 @@ pub mod prelude {
     pub use gleipnir_circuit::{Gate, Program, ProgramBuilder, Qubit};
     pub use gleipnir_core::{
         AdaptiveConfig, AnalysisError, AnalysisRequest, BatchOutcome, BoundTier, CacheStats,
-        Derivation, Engine, EngineOptions, InputState, Method, Report, StageTimings,
-        StateAwareReport, TierCounts, TierPolicy, TierStats,
+        ChangeReason, Derivation, DiffReport, Engine, EngineOptions, GateChange, InputState,
+        Method, Report, StageTimings, StateAwareReport, TierCounts, TierPolicy, TierStats,
     };
     pub use gleipnir_linalg::{CMat, CVec, C64};
     pub use gleipnir_mps::{Mps, MpsConfig};

@@ -1,0 +1,219 @@
+//! Determinism guarantees of the differential-analysis path
+//! (`Engine::analyze_diff`, docs/SOUNDNESS.md obligation 7).
+//!
+//! Prefix reuse is a latency optimization, never a new bound: for every
+//! scripted edit of every determinism-suite circuit, the diff's answer for
+//! the new program must be **bit-identical** to a cold full analysis of
+//! that program on a fresh engine — at pool size 1 and at the default pool
+//! size — and the per-gate accounting must close exactly:
+//!
+//! ```text
+//! gate_rules(new) = prefix_gates_reused + sdp_solves + cache_hits + closed_form
+//! ```
+
+use gleipnir::circuit::{Gate, GateApp, Program, Qubit, Stmt};
+use gleipnir::prelude::*;
+use gleipnir::workloads::{determinism_suite, ising_chain};
+
+const NOISE_P: f64 = 1e-3;
+
+fn engine_with(threads: usize) -> Engine {
+    Engine::with_options(EngineOptions {
+        solver: Default::default(),
+        threads,
+    })
+    .expect("explicit thread cap never fails")
+}
+
+fn request(program: &Program, width: usize, noise: &NoiseModel) -> AnalysisRequest {
+    AnalysisRequest::builder(program.clone())
+        .noise(noise.clone())
+        .method(Method::StateAware { mps_width: width })
+        .build()
+        .expect("valid request")
+}
+
+/// The program's top-level statement list (the granularity the diff's
+/// prefix alignment works at).
+fn top_stmts(program: &Program) -> Vec<Stmt> {
+    match program.body() {
+        Stmt::Seq(ss) => ss.clone(),
+        s => vec![s.clone()],
+    }
+}
+
+fn rebuild(n_qubits: usize, stmts: Vec<Stmt>) -> Program {
+    Program::new(n_qubits, Stmt::Seq(stmts))
+}
+
+fn x_on_q0() -> Stmt {
+    Stmt::Gate(GateApp::new(Gate::X, vec![Qubit(0)]))
+}
+
+/// Swaps the first pair of adjacent, distinct statements at or past the
+/// midpoint; `None` when the circuit has no such pair.
+fn swap_mid(program: &Program) -> Option<Program> {
+    let mut stmts = top_stmts(program);
+    let start = stmts.len() / 2;
+    let i = (start..stmts.len().saturating_sub(1)).find(|&i| stmts[i] != stmts[i + 1])?;
+    stmts.swap(i, i + 1);
+    Some(rebuild(program.n_qubits(), stmts))
+}
+
+/// Appends one extra gate after the last statement.
+fn append_suffix(program: &Program) -> Option<Program> {
+    let mut stmts = top_stmts(program);
+    stmts.push(x_on_q0());
+    Some(rebuild(program.n_qubits(), stmts))
+}
+
+/// Inserts a gate before statement 0 — the prefix is empty by construction.
+fn edit_gate0(program: &Program) -> Option<Program> {
+    let mut stmts = top_stmts(program);
+    stmts.insert(0, x_on_q0());
+    Some(rebuild(program.n_qubits(), stmts))
+}
+
+/// Pins `analyze_diff(old → new)` against a cold full analysis of `new` on
+/// a fresh engine with the same pool size, and returns the diff report.
+fn assert_diff_matches_cold(
+    threads: usize,
+    old: &AnalysisRequest,
+    new: &AnalysisRequest,
+    label: &str,
+) -> DiffReport {
+    let engine = engine_with(threads);
+    // Warm path: the engine has already analyzed the old program (the
+    // edit-cost scenario the subsystem exists for).
+    engine.analyze(old).expect("old analysis succeeds");
+    let diff = engine.analyze_diff(old, new).expect("diff succeeds");
+
+    let cold = engine_with(threads)
+        .analyze(new)
+        .expect("cold analysis succeeds")
+        .into_state_aware()
+        .expect("state-aware report");
+    let got = diff.new_report();
+    assert_eq!(
+        got.error_bound().to_bits(),
+        cold.error_bound().to_bits(),
+        "{label}: diff ε must be bit-identical to a cold analysis \
+         ({:e} vs {:e})",
+        got.error_bound(),
+        cold.error_bound()
+    );
+    assert_eq!(
+        got.tn_delta().to_bits(),
+        cold.tn_delta().to_bits(),
+        "{label}: TN δ diverged"
+    );
+    assert_eq!(
+        got.derivation().pretty(),
+        cold.derivation().pretty(),
+        "{label}: derivation tree diverged"
+    );
+    // Suffix-only accounting closes over the new program's Gate rules.
+    assert_eq!(
+        got.derivation().gate_rule_count(),
+        diff.prefix_gates_reused()
+            + got.sdp_solves()
+            + got.cache_hits()
+            + got.tier_counts().closed_form,
+        "{label}: every gate is reused, solved, hit, or closed-form"
+    );
+    diff
+}
+
+/// Every determinism-suite circuit, under every scripted edit, at pool
+/// sizes 1 and default: the diff answer is bit-identical to a cold full
+/// analysis of the edited program.
+#[test]
+fn scripted_edits_match_cold_analysis_at_every_pool_size() {
+    let noise = NoiseModel::uniform_bit_flip(NOISE_P);
+    for (name, program, width) in determinism_suite() {
+        let edits: [(&str, Option<Program>); 3] = [
+            ("swap_mid", swap_mid(&program)),
+            ("append_suffix", append_suffix(&program)),
+            ("edit_gate0", edit_gate0(&program)),
+        ];
+        for (edit_name, edited) in edits {
+            let Some(edited) = edited else { continue };
+            let old = request(&program, width, &noise);
+            let new = request(&edited, width, &noise);
+            for threads in [1, 0] {
+                let label = format!("{name}/{edit_name}/threads={threads}");
+                let diff = assert_diff_matches_cold(threads, &old, &new, &label);
+                if edit_name == "edit_gate0" {
+                    assert_eq!(
+                        diff.prefix_gates_reused(),
+                        0,
+                        "{label}: an edit at statement 0 leaves nothing to reuse"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A noise-model change invalidates the prefix entirely (every judgment
+/// moves) and is reported as such.
+#[test]
+fn noise_change_reuses_nothing_and_still_matches_cold() {
+    let (name, program, width) = determinism_suite()
+        .into_iter()
+        .find(|(name, _, _)| name == "ghz4")
+        .expect("suite has ghz4");
+    let old = request(&program, width, &NoiseModel::uniform_bit_flip(NOISE_P));
+    let new = request(
+        &program,
+        width,
+        &NoiseModel::uniform_bit_flip(2.0 * NOISE_P),
+    );
+    for threads in [1, 0] {
+        let label = format!("{name}/noise_change/threads={threads}");
+        let diff = assert_diff_matches_cold(threads, &old, &new, &label);
+        assert_eq!(
+            diff.prefix_gates_reused(),
+            0,
+            "{label}: a noise change must not reuse any prefix gate"
+        );
+        assert!(
+            diff.changes()
+                .iter()
+                .all(|c| c.reason == ChangeReason::NoiseChanged),
+            "{label}: every change is attributed to the noise model"
+        );
+    }
+}
+
+/// The acceptance benchmark: a 1-gate mid-circuit edit of Ising-288
+/// (12 sites × 12 Trotter layers = 288 gates) re-solves only the
+/// divergent-suffix obligations. Everything before the edit is served from
+/// the reused prefix, and the answer still matches a cold full analysis
+/// bit for bit — at pool size 1 and at the default pool size.
+#[test]
+fn ising288_one_gate_edit_resolves_only_the_suffix() {
+    let program = ising_chain(12, 12, 1.0, 1.0, 0.1);
+    let edited = swap_mid(&program).expect("Ising-288 has a distinct adjacent pair");
+    let noise = NoiseModel::uniform_bit_flip(NOISE_P);
+    let old = request(&program, 8, &noise);
+    let new = request(&edited, 8, &noise);
+    let stmts = top_stmts(&program).len();
+    for threads in [1, 0] {
+        let label = format!("ising288/swap_mid/threads={threads}");
+        let diff = assert_diff_matches_cold(threads, &old, &new, &label);
+        assert!(
+            diff.prefix_gates_reused() >= stmts / 2,
+            "{label}: a mid-circuit edit must reuse at least the first half \
+             (reused {} of {stmts})",
+            diff.prefix_gates_reused()
+        );
+        let suffix_gates =
+            diff.new_report().derivation().gate_rule_count() - diff.prefix_gates_reused();
+        assert!(
+            diff.new_report().sdp_solves() <= suffix_gates,
+            "{label}: solves ({}) must not exceed the divergent suffix ({suffix_gates})",
+            diff.new_report().sdp_solves()
+        );
+    }
+}

@@ -288,6 +288,68 @@ fn keep_alive_serves_many_requests_on_one_connection() {
     server.join();
 }
 
+/// `POST /diff` end to end: the diff reuses the unchanged prefix, its
+/// bound is bit-identical to a plain `/analyze` of the new program, and
+/// the metrics `diff` section records the reuse.
+#[test]
+fn diff_endpoint_reuses_prefix_and_matches_analyze() {
+    let server = spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        threads: 2,
+        ..ServerConfig::default()
+    })
+    .expect("spawn server");
+    let addr = server.addr();
+
+    let new_src = "qubits 2;\nh q0;\ncnot q0, q1;\nx q1;\n";
+    // Reference: the edited program analyzed on its own.
+    let analyze = format!(
+        "{{\"source\":{},\"width\":8,\"noise\":\"bitflip:1e-4\"}}",
+        json_str(new_src)
+    );
+    let (status, body) = post(addr, "/analyze", &analyze);
+    assert_eq!(status, 200, "{body}");
+    let eps_full = report_field(&body, "error_bound").as_f64().unwrap();
+
+    let diff = format!(
+        "{{\"old_source\":{},\"new_source\":{},\"name\":\"ghz-edit\",\"width\":8,\"noise\":\"bitflip:1e-4\"}}",
+        json_str(GHZ_SRC),
+        json_str(new_src)
+    );
+    let (status, body) = post(addr, "/diff", &diff);
+    assert_eq!(status, 200, "{body}");
+    let v = json::parse(&body).expect("diff response is JSON");
+    assert_eq!(v.get("ok").and_then(json::Json::as_bool), Some(true));
+    let d = v.get("diff").expect("diff section");
+    let reused = d.get("prefix_gates_reused").unwrap().as_usize().unwrap();
+    assert!(reused > 0, "unchanged prefix must be reused: {body}");
+    let eps_diff = d.get("error_bound").unwrap().as_f64().unwrap();
+    assert_eq!(
+        eps_diff.to_bits(),
+        eps_full.to_bits(),
+        "diff bound must be bit-identical to /analyze of the new program"
+    );
+
+    // Bad bodies surface as JSON errors on the same endpoint.
+    let (status, body) = post(addr, "/diff", "{}");
+    assert_eq!(status, 422, "{body}");
+    assert!(body.contains("old_source"), "{body}");
+
+    let (status, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let m = json::parse(&metrics).unwrap();
+    let dm = m.get("diff").expect("diff metrics section");
+    assert_eq!(dm.get("requests_total").unwrap().as_usize(), Some(2));
+    assert_eq!(dm.get("errors").unwrap().as_usize(), Some(1));
+    assert!(
+        dm.get("prefix_gates_reused").unwrap().as_usize().unwrap() >= reused,
+        "{metrics}"
+    );
+
+    server.join();
+}
+
 #[test]
 fn error_surface_is_json_all_the_way_down() {
     let server = spawn(ServerConfig {

@@ -300,6 +300,78 @@ fn fast_policy_leaves_no_closed_form_trace_for_exact_requests() {
     assert_eq!(exact.cache_hits(), oracle.cache_hits());
 }
 
+/// Certificates carry their producing tier, and the shared cache filters
+/// on it: a warm-started solve's ε bits may serve later *fast*-policy
+/// requests, but an *exact*-policy request must re-solve cold and land on
+/// the bit-exact cold-engine answer — sharing one engine between fast and
+/// exact callers can never leak warm bits into an exact report.
+#[test]
+fn warm_certificates_never_serve_exact_requests() {
+    let program = ising_chain(5, 3, 1.0, 1.0, 0.1);
+    // Amplitude damping: not Pauli, so the SDP tiers (not Tier 0) answer.
+    let noise = NoiseModel::uniform_amplitude_damping(NOISE_P);
+
+    // Oracle: the re-bucketed request solved cold on a fresh engine.
+    let oracle_engine = Engine::new();
+    let _ = analyze(
+        &oracle_engine,
+        &program,
+        &noise,
+        2,
+        1e-6,
+        TierPolicy::exact(),
+    );
+    let oracle = analyze(
+        &oracle_engine,
+        &program,
+        &noise,
+        2,
+        1.1e-6,
+        TierPolicy::exact(),
+    );
+
+    // Shared engine: seed, then a warm-start pass populates the cache
+    // with warm-produced certificates under the re-bucketed keys.
+    let engine = Engine::new();
+    let _ = analyze(&engine, &program, &noise, 2, 1e-6, TierPolicy::exact());
+    let warm = analyze(
+        &engine,
+        &program,
+        &noise,
+        2,
+        1.1e-6,
+        TierPolicy {
+            closed_form: false,
+            warm_start: true,
+        },
+    );
+    assert!(warm.tier_counts().warm > 0, "warm certificates were cached");
+
+    // The exact request skips the warm entries, re-solves them cold, and
+    // matches the cold oracle bit for bit.
+    let exact = analyze(&engine, &program, &noise, 2, 1.1e-6, TierPolicy::exact());
+    assert_eq!(
+        exact.error_bound().to_bits(),
+        oracle.error_bound().to_bits(),
+        "exact after warm must match the cold oracle ({:e} vs {:e})",
+        exact.error_bound(),
+        oracle.error_bound()
+    );
+    assert!(
+        exact.sdp_solves() >= warm.tier_counts().warm,
+        "every warm-produced entry must be re-solved, not served"
+    );
+
+    // The cold re-solves overwrote the warm entries, so a second exact
+    // request is served entirely from the (now cold) cache.
+    let again = analyze(&engine, &program, &noise, 2, 1.1e-6, TierPolicy::exact());
+    assert_eq!(again.sdp_solves(), 0, "cold re-solves are cached");
+    assert_eq!(
+        again.error_bound().to_bits(),
+        oracle.error_bound().to_bits()
+    );
+}
+
 /// The accounting invariant every policy preserves:
 /// `gates = sdp_solves + cache_hits + closed_form`.
 #[test]
