@@ -32,7 +32,7 @@ use gleipnir_core::{
     unconstrained_diamond, AnalysisRequest, CertStore, Engine, Method, Report, TierPolicy,
 };
 use gleipnir_noise::{classify_residual, Channel, NoiseModel};
-use gleipnir_sdp::SolverOptions;
+use gleipnir_sdp::{SolverOptions, SolverProfile};
 use gleipnir_workloads::ising_chain;
 use std::time::Instant;
 
@@ -72,6 +72,7 @@ struct Pass {
     ip_iterations: usize,
     wall_ms: f64,
     error_bound: f64,
+    profile: SolverProfile,
 }
 
 fn pass(
@@ -97,6 +98,7 @@ fn pass(
         ip_iterations: report.ip_iterations(),
         wall_ms,
         error_bound: report.error_bound(),
+        profile: report.solver_profile(),
     }
 }
 
@@ -173,7 +175,11 @@ fn emit_json() {
                     "{{\"name\":\"{}\",\"noise\":\"{}\",\"policy\":\"{}\",",
                     "\"sdp_solves\":{},\"cache_hits\":{},",
                     "\"tiers\":{{\"closed_form\":{},\"warm\":{},\"cold\":{}}},",
-                    "\"ip_iterations\":{},\"wall_ms\":{:.3},\"error_bound\":{:e}}}"
+                    "\"ip_iterations\":{},\"wall_ms\":{:.3},\"error_bound\":{:e},",
+                    "\"profile\":{{\"setup_ms\":{:.3},\"residual_ms\":{:.3},",
+                    "\"schur_ms\":{:.3},\"factor_ms\":{:.3},\"direction_ms\":{:.3},",
+                    "\"step_ms\":{:.3},\"cert_ms\":{:.3},\"total_ms\":{:.3},",
+                    "\"loop_allocs\":{}}}}}"
                 ),
                 s.name,
                 s.noise,
@@ -185,7 +191,16 @@ fn emit_json() {
                 s.cold,
                 s.ip_iterations,
                 s.wall_ms,
-                s.error_bound
+                s.error_bound,
+                s.profile.setup_ms,
+                s.profile.residual_ms,
+                s.profile.schur_ms,
+                s.profile.factor_ms,
+                s.profile.direction_ms,
+                s.profile.step_ms,
+                s.profile.cert_ms,
+                s.profile.total_ms,
+                s.profile.loop_allocs
             )
         })
         .collect();

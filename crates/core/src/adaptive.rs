@@ -104,6 +104,8 @@ pub struct AdaptiveStep {
     pub tier_counts: crate::TierCounts,
     /// Interior-point iterations spent at this width.
     pub ip_iterations: usize,
+    /// Aggregated per-phase solver timings for this width's solves.
+    pub solver_profile: gleipnir_sdp::SolverProfile,
 }
 
 /// The adaptive analysis outcome.
@@ -195,6 +197,7 @@ pub(crate) fn run_adaptive(
             inflight_dedup: report.inflight_dedup(),
             tier_counts: report.tier_counts(),
             ip_iterations: report.ip_iterations(),
+            solver_profile: report.solver_profile(),
         });
         let improved_enough = match &best {
             None => true,

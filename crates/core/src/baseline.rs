@@ -50,6 +50,9 @@ pub struct WorstCaseReport {
     pub tier_counts: TierCounts,
     /// Interior-point iterations the analysis's SDP solves spent.
     pub ip_iterations: usize,
+    /// Aggregated per-phase solver timings across the analysis's SDP
+    /// solves (all-zero when every gate was closed-form or cached).
+    pub solver_profile: gleipnir_sdp::SolverProfile,
     /// Wall-clock time of the analysis.
     pub elapsed: Duration,
 }
@@ -102,6 +105,7 @@ pub(crate) fn run_worst_case(
     let mut cache_hits = 0usize;
     let mut tier_counts = TierCounts::default();
     let mut ip_iterations = 0usize;
+    let mut solver_profile = gleipnir_sdp::SolverProfile::default();
     let mut err: Option<AnalysisError> = None;
     request.program().body().for_each_gate(&mut |g| {
         if err.is_some() {
@@ -141,6 +145,7 @@ pub(crate) fn run_worst_case(
                 solves += 1;
                 tier_counts.cold += 1;
                 ip_iterations += r.iterations;
+                solver_profile.add(&r.profile);
                 if let Some(c) = shared {
                     c.insert(
                         key.clone(),
@@ -170,6 +175,7 @@ pub(crate) fn run_worst_case(
         cache_hits,
         tier_counts,
         ip_iterations,
+        solver_profile,
         elapsed: start.elapsed(),
     })
 }

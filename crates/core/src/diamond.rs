@@ -36,7 +36,9 @@
 use crate::tiers::BoundTier;
 use gleipnir_linalg::{herm_to_real_sym, CMat};
 use gleipnir_noise::{choi_of_unitary, Channel};
-use gleipnir_sdp::{SdpError, SdpProblem, SdpSolution, SdpStatus, SolverOptions, SparseSym};
+use gleipnir_sdp::{
+    SdpError, SdpProblem, SdpSolution, SdpStatus, SolverOptions, SolverProfile, SparseSym,
+};
 use std::fmt;
 
 /// The outcome of a diamond-norm SDP.
@@ -60,6 +62,9 @@ pub struct DiamondResult {
     /// Which tier of the bound engine produced this result (a cold
     /// interior-point solve unless the tiered dispatch says otherwise).
     pub tier: BoundTier,
+    /// Per-phase wall-time profile of the interior-point solve behind this
+    /// result (zeroed for closed-form answers).
+    pub profile: SolverProfile,
 }
 
 impl fmt::Display for DiamondResult {
@@ -422,6 +427,7 @@ fn diamond_result(sol: SdpSolution, trace_bound: f64, tier: BoundTier) -> Diamon
         converged: sol.status == SdpStatus::Optimal,
         dual: sol.y,
         tier,
+        profile: sol.profile,
     }
 }
 

@@ -516,6 +516,7 @@ pub(crate) fn analyze_diff_request(
         inflight_dedup: suffix_solved.inflight_dedup,
         tier_counts: suffix_solved.tier_counts,
         ip_iterations: suffix_solved.ip_iterations,
+        solver_profile: suffix_solved.solver_profile,
         solve_workers: suffix_solved.solve_workers,
         elapsed: suffix_solved.elapsed,
     };

@@ -48,7 +48,7 @@ use gleipnir_circuit::{Gate, Program};
 use gleipnir_linalg::CMat;
 use gleipnir_mps::Mps;
 use gleipnir_noise::NoiseModel;
-use gleipnir_sdp::SolverOptions;
+use gleipnir_sdp::{SolverOptions, SolverProfile};
 use gleipnir_sim::BasisState;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -209,6 +209,7 @@ pub struct StateAwareReport {
     pub(crate) inflight_dedup: usize,
     pub(crate) tier_counts: TierCounts,
     pub(crate) ip_iterations: usize,
+    pub(crate) solver_profile: SolverProfile,
     pub(crate) elapsed: Duration,
     pub(crate) stage_timings: StageTimings,
     pub(crate) solve_workers: usize,
@@ -267,6 +268,15 @@ impl StateAwareReport {
     /// cache hits or closed forms).
     pub fn ip_iterations(&self) -> usize {
         self.ip_iterations
+    }
+
+    /// Aggregated per-phase interior-point timings across this analysis's
+    /// SDP solves (all-zero when every judgment was answered by cache hits
+    /// or closed forms). Phase walls sum across solves, so
+    /// `solver_profile().total_ms` approximates the CPU time spent inside
+    /// the solver, not the stage's wall clock.
+    pub fn solver_profile(&self) -> SolverProfile {
+        self.solver_profile
     }
 
     /// Wall-clock time of the analysis.
@@ -428,6 +438,7 @@ pub(crate) fn assemble_report(
         inflight_dedup: solved.inflight_dedup,
         tier_counts: solved.tier_counts,
         ip_iterations: solved.ip_iterations,
+        solver_profile: solved.solver_profile,
         elapsed: plan_elapsed + solved.elapsed + assemble_elapsed,
         stage_timings: StageTimings {
             plan: plan_elapsed,

@@ -7,6 +7,7 @@ use crate::adaptive::{AdaptiveReport, AdaptiveStep};
 use crate::baseline::{LqrReport, WorstCaseReport};
 use crate::logic::{Derivation, StageTimings, StateAwareReport};
 use crate::tiers::TierCounts;
+use gleipnir_sdp::SolverProfile;
 use std::fmt;
 use std::time::Duration;
 
@@ -120,6 +121,26 @@ impl Report {
             Report::Adaptive(r) => r.trajectory.iter().map(|s| s.ip_iterations).sum(),
             Report::WorstCase(r) => r.ip_iterations,
             Report::LqrFullSim(_) => 0,
+        }
+    }
+
+    /// Aggregated per-phase interior-point solver timings (for adaptive:
+    /// summed over the trajectory; all-zero for methods that never reach
+    /// the SDP solver, and for analyses answered entirely by cache hits or
+    /// closed forms). Phase walls accumulate across solves, so `total_ms`
+    /// approximates solver CPU time rather than the analysis's wall clock.
+    pub fn solver_profile(&self) -> SolverProfile {
+        match self {
+            Report::StateAware(r) => r.solver_profile(),
+            Report::Adaptive(r) => {
+                let mut total = SolverProfile::default();
+                for s in &r.trajectory {
+                    total.add(&s.solver_profile);
+                }
+                total
+            }
+            Report::WorstCase(r) => r.solver_profile,
+            Report::LqrFullSim(_) => SolverProfile::default(),
         }
     }
 

@@ -57,7 +57,7 @@ use crate::error::AnalysisError;
 use crate::plan::SolveObligation;
 use crate::pool::{spawn_indexed, PendingRun};
 use crate::tiers::{closed_form_gate_bound, note_engine_totals, BoundTier, TierCounts, TierPolicy};
-use gleipnir_sdp::SolverOptions;
+use gleipnir_sdp::{SolverOptions, SolverProfile};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -85,6 +85,9 @@ pub(crate) struct SolveOutcome {
     pub tier_counts: TierCounts,
     /// Interior-point iterations spent by this stage's solves.
     pub ip_iterations: usize,
+    /// Aggregated per-phase solver timings across this stage's SDP solves
+    /// (closed-form answers contribute nothing).
+    pub solver_profile: SolverProfile,
     /// Threads that solved at least one unit (1 = the caller alone).
     pub solve_workers: usize,
     /// Wall-clock span of the stage's execution: first unit claimed →
@@ -111,6 +114,8 @@ enum UnitValue {
         tier: BoundTier,
         /// Interior-point iterations (0 for Tier 0).
         iterations: usize,
+        /// Per-phase solver timings (zeroed for Tier 0).
+        profile: SolverProfile,
     },
     /// A finished certificate answered it (with the tier that produced the
     /// certificate).
@@ -210,6 +215,7 @@ pub(crate) fn spawn_solve(
                         eps,
                         tier: BoundTier::ClosedForm,
                         iterations: 0,
+                        profile: SolverProfile::default(),
                     }),
                     None => rho_delta_diamond(
                         &ob.gate_matrix,
@@ -222,6 +228,7 @@ pub(crate) fn spawn_solve(
                         eps: r.bound,
                         tier: r.tier,
                         iterations: r.iterations,
+                        profile: r.profile,
                     })
                     .map_err(AnalysisError::from),
                 }
@@ -244,6 +251,7 @@ pub(crate) fn spawn_solve(
                         eps,
                         tier: BoundTier::ClosedForm,
                         iterations: 0,
+                        profile: SolverProfile::default(),
                     })
                 } else {
                     // An exact-policy request (`!warm_start`) never trusts
@@ -271,6 +279,7 @@ pub(crate) fn spawn_solve(
                             eps: r.bound,
                             tier: r.tier,
                             iterations: r.iterations,
+                            profile: r.profile,
                         })
                         .map_err(AnalysisError::from),
                         Lookup::Lead(guard) => {
@@ -305,6 +314,7 @@ pub(crate) fn spawn_solve(
                                         eps,
                                         tier: r.tier,
                                         iterations: r.iterations,
+                                        profile: r.profile,
                                     })
                                 }
                                 Err(e) => {
@@ -351,6 +361,7 @@ impl PendingSolve {
         let mut inflight_dedup = 0usize;
         let mut tier_counts = TierCounts::default();
         let mut ip_iterations = 0usize;
+        let mut solver_profile = SolverProfile::default();
         // (first failing obligation index, its error)
         let mut failure: Option<(usize, AnalysisError)> = None;
         for (unit, result) in self.units.iter().zip(out.results) {
@@ -381,9 +392,11 @@ impl PendingSolve {
                             eps,
                             tier,
                             iterations,
+                            profile,
                         } => {
                             sdp_solves += 1;
                             ip_iterations += iterations;
+                            solver_profile.add(&profile);
                             match tier {
                                 BoundTier::WarmStarted => tier_counts.warm += 1,
                                 _ => tier_counts.cold += 1,
@@ -437,6 +450,7 @@ impl PendingSolve {
             inflight_dedup,
             tier_counts,
             ip_iterations,
+            solver_profile,
             solve_workers: out.participants,
             elapsed: out.elapsed,
         })

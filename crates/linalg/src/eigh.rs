@@ -35,11 +35,12 @@ impl ColRotate for NoRotate {
 impl ColRotate for RMat {
     #[inline]
     fn col_rotate(&mut self, i: usize, j: usize, c: f64, s: f64) {
-        for k in 0..self.rows() {
-            let f = self.at(k, j);
-            let g = self.at(k, i);
-            self.set(k, j, s * g + c * f);
-            self.set(k, i, c * g - s * f);
+        let cols = self.cols();
+        for row in self.as_mut_slice().chunks_exact_mut(cols) {
+            let f = row[j];
+            let g = row[i];
+            row[j] = s * g + c * f;
+            row[i] = c * g - s * f;
         }
     }
 }
@@ -165,49 +166,72 @@ fn tql2(d: &mut [f64], e: &mut [f64], z: &mut impl ColRotate) -> Result<(), EigE
 /// On exit `z` holds the accumulated orthogonal matrix `Q` with
 /// `Qᵀ·A·Q = tridiag(d, e)`.
 fn tred2(z: &mut RMat, d: &mut [f64], e: &mut [f64]) {
+    householder_tridiag::<true>(z, d, e);
+}
+
+/// Eigenvalue-only Householder reduction (classic `tred1`): identical
+/// arithmetic to [`tred2`] minus the orthogonal-transform accumulation.
+///
+/// The reduction's `d`/`e` outputs are produced entirely by the forward
+/// Householder sweep, whose reads all live in the lower triangle; the
+/// upper-triangle stores and the O(n³) back-accumulation in `tred2` exist
+/// only to build `Q`. Skipping them leaves `d` and `e` bit-identical, which
+/// is what keeps `sym_eigvals` on the solver's line-search hot path without
+/// perturbing the pinned interior-point trajectories.
+fn tred1(z: &mut RMat, d: &mut [f64], e: &mut [f64]) {
+    householder_tridiag::<false>(z, d, e);
+}
+
+fn householder_tridiag<const ACCUMULATE: bool>(z: &mut RMat, d: &mut [f64], e: &mut [f64]) {
     let n = z.rows();
+    let cols = z.cols();
     for i in (1..n).rev() {
         let l = i - 1;
         let mut h = 0.0;
         if l > 0 {
             let mut scale = 0.0;
-            for k in 0..i {
-                scale += z.at(i, k).abs();
+            for v in &z.row(i)[..i] {
+                scale += v.abs();
             }
             if scale == 0.0 {
                 e[i] = z.at(i, l);
             } else {
-                for k in 0..i {
-                    let v = z.at(i, k) / scale;
-                    z.set(i, k, v);
-                    h += v * v;
+                for v in &mut z.row_mut(i)[..i] {
+                    *v /= scale;
+                    h += *v * *v;
                 }
                 let f = z.at(i, l);
                 let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
                 e[i] = scale * g;
                 h -= f * g;
                 z.set(i, l, f - g);
+                // Split at row i: the sweep reads row i (the Householder
+                // vector) while updating the leading i×i block, so the two
+                // borrows are disjoint.
+                let (lo, hi) = z.as_mut_slice().split_at_mut(i * cols);
+                let ri = &hi[..i];
                 let mut f_acc = 0.0;
                 for j in 0..i {
-                    z.set(j, i, z.at(i, j) / h);
-                    let mut g_acc = 0.0;
-                    for k in 0..=j {
-                        g_acc += z.at(j, k) * z.at(i, k);
+                    if ACCUMULATE {
+                        lo[j * cols + i] = ri[j] / h;
                     }
-                    for k in j + 1..i {
-                        g_acc += z.at(k, j) * z.at(i, k);
+                    let mut g_acc = 0.0;
+                    for (zv, uv) in lo[j * cols..j * cols + j + 1].iter().zip(ri) {
+                        g_acc += zv * uv;
+                    }
+                    for (k, uv) in ri.iter().enumerate().skip(j + 1) {
+                        g_acc += lo[k * cols + j] * uv;
                     }
                     e[j] = g_acc / h;
-                    f_acc += e[j] * z.at(i, j);
+                    f_acc += e[j] * ri[j];
                 }
                 let hh = f_acc / (h + h);
                 for j in 0..i {
-                    let f = z.at(i, j);
+                    let f = ri[j];
                     let g = e[j] - hh * f;
                     e[j] = g;
-                    for k in 0..=j {
-                        let v = z.at(j, k) - (f * e[k] + g * z.at(i, k));
-                        z.set(j, k, v);
+                    for (k, v) in lo[j * cols..j * cols + j + 1].iter_mut().enumerate() {
+                        *v -= f * e[k] + g * ri[k];
                     }
                 }
             }
@@ -218,24 +242,32 @@ fn tred2(z: &mut RMat, d: &mut [f64], e: &mut [f64]) {
     }
     d[0] = 0.0;
     e[0] = 0.0;
-    for i in 0..n {
-        if d[i] != 0.0 {
-            for j in 0..i {
-                let mut g = 0.0;
-                for k in 0..i {
-                    g += z.at(i, k) * z.at(k, j);
-                }
-                for k in 0..i {
-                    let v = z.at(k, j) - g * z.at(k, i);
-                    z.set(k, j, v);
+    if ACCUMULATE {
+        for i in 0..n {
+            if d[i] != 0.0 {
+                for j in 0..i {
+                    let mut g = 0.0;
+                    for k in 0..i {
+                        g += z.at(i, k) * z.at(k, j);
+                    }
+                    for k in 0..i {
+                        let v = z.at(k, j) - g * z.at(k, i);
+                        z.set(k, j, v);
+                    }
                 }
             }
+            d[i] = z.at(i, i);
+            z.set(i, i, 1.0);
+            for j in 0..i {
+                z.set(j, i, 0.0);
+                z.set(i, j, 0.0);
+            }
         }
-        d[i] = z.at(i, i);
-        z.set(i, i, 1.0);
-        for j in 0..i {
-            z.set(j, i, 0.0);
-            z.set(i, j, 0.0);
+    } else {
+        // The diagonal of the reduced matrix never sees the accumulation
+        // pass, so it can be read off directly.
+        for i in 0..n {
+            d[i] = z.at(i, i);
         }
     }
 }
@@ -293,7 +325,7 @@ pub fn sym_eigvals(a: &RMat) -> Result<Vec<f64>, EigError> {
     let mut d = vec![0.0; n];
     let mut e = vec![0.0; n];
     if n > 0 {
-        tred2(&mut z, &mut d, &mut e);
+        tred1(&mut z, &mut d, &mut e);
         tql2(&mut d, &mut e, &mut NoRotate)?;
     }
     d.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN eigenvalues"));

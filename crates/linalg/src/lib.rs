@@ -43,5 +43,5 @@ pub use qr::{lq_thin, qr_thin};
 pub use quantum::{
     fidelity, is_density_matrix, ptrace_keep, purity, trace_distance, trace_norm_hermitian,
 };
-pub use rmat::RMat;
+pub use rmat::{axpy_slice, dot_slice, RMat};
 pub use svd::{svd_gram, svd_jacobi, Svd, JACOBI_RANK_TOL, RANK_TOL};

@@ -1,0 +1,395 @@
+//! Bit-exactness harness for the structure-exploiting `RMat` kernels.
+//!
+//! The solver's determinism contract (the pipeline fixture, warm/cold ε
+//! equality, the content-addressed certificate cache) requires that the
+//! unrolled/sliced kernels produce **bit-identical** results to the
+//! straightforward scalar loops they replaced — not merely close ones.
+//! Every test here compares raw `f64` slices with `==` (no tolerance):
+//! the kernels are only allowed to reassociate across *independent* output
+//! lanes, never within one accumulation chain, so each output element must
+//! come out of the exact same sequence of IEEE-754 operations as the
+//! textbook loop.
+//!
+//! Shapes are drawn from a deterministic LCG and include 1×1, long-thin,
+//! short-wide, and the solver's real block sizes (8, 32). The suite runs
+//! unchanged under `GLEIPNIR_THREADS=1` and the default thread count (the
+//! kernels are single-threaded; CI exercises both settings).
+
+use gleipnir_linalg::{axpy_slice, dot_slice, sym_eig, sym_eigvals, RMat};
+
+/// Deterministic 64-bit LCG (Knuth MMIX constants) — no dev-dependency on
+/// an RNG crate, and the stream is identical on every platform.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    /// Uniform in [-1, 1), with an exact zero injected ~1/8 of the time so
+    /// the zero-skip-removal paths (satellite of the kernel rewrite) see
+    /// genuine zeros.
+    fn coeff(&mut self) -> f64 {
+        let r = self.next_u64();
+        if r & 7 == 0 {
+            return 0.0;
+        }
+        (r >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+    }
+
+    fn size(&mut self, max: usize) -> usize {
+        (self.next_u64() as usize % max) + 1
+    }
+}
+
+fn random_mat(rng: &mut Lcg, rows: usize, cols: usize) -> RMat {
+    RMat::from_fn(rows, cols, |_, _| rng.coeff())
+}
+
+/// A symmetric positive-definite matrix with bitwise-mirrored off-diagonal
+/// entries (the form every matrix entering `cholesky` has in the solver).
+fn random_spd(rng: &mut Lcg, n: usize) -> RMat {
+    let b = random_mat(rng, n, n);
+    let mut a = RMat::zeros(n, n);
+    // aᵢⱼ = Σₖ bᵢₖbⱼₖ accumulated in one fixed order: exactly symmetric
+    // bitwise, and diagonally dominant after the +n·I shift.
+    for i in 0..n {
+        for j in 0..n {
+            let mut s = 0.0;
+            for k in 0..n {
+                s += b.at(i, k) * b.at(j, k);
+            }
+            a.set(i, j, s + if i == j { n as f64 } else { 0.0 });
+        }
+    }
+    a
+}
+
+fn assert_bits_eq(got: &RMat, want: &RMat, what: &str) {
+    assert_eq!(got.rows(), want.rows(), "{what}: row count");
+    assert_eq!(got.cols(), want.cols(), "{what}: col count");
+    for (i, (g, w)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+        assert!(
+            g.to_bits() == w.to_bits(),
+            "{what}: element {i} differs: {g:e} vs {w:e} \
+             (bits {:#018x} vs {:#018x})",
+            g.to_bits(),
+            w.to_bits()
+        );
+    }
+}
+
+/// Reference matmul: the pre-optimization loop nest (row i, then k, then a
+/// scalar sweep over j), accumulators initialized to +0.0. The optimized
+/// kernel may only differ by skipping/keeping zero `aik` terms and by
+/// unrolling over independent j lanes — both bit-neutral.
+fn naive_mul_mat(a: &RMat, b: &RMat) -> RMat {
+    let mut out = RMat::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for k in 0..a.cols() {
+            let aik = a.at(i, k);
+            for j in 0..b.cols() {
+                let v = out.at(i, j) + aik * b.at(k, j);
+                out.set(i, j, v);
+            }
+        }
+    }
+    out
+}
+
+fn naive_mul_vec(a: &RMat, v: &[f64]) -> Vec<f64> {
+    (0..a.rows())
+        .map(|i| {
+            let mut s = 0.0;
+            for k in 0..a.cols() {
+                s += a.at(i, k) * v[k];
+            }
+            s
+        })
+        .collect()
+}
+
+fn naive_trace_mul(a: &RMat, b: &RMat) -> f64 {
+    let mut s = 0.0;
+    for i in 0..a.rows() {
+        for k in 0..a.cols() {
+            s += a.at(i, k) * b.at(k, i);
+        }
+    }
+    s
+}
+
+fn naive_dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        s += x * y;
+    }
+    s
+}
+
+fn naive_axpy(y: &mut [f64], s: f64, x: &[f64]) {
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += s * xi;
+    }
+}
+
+/// Reference Cholesky: the textbook forward loop with one sequential
+/// subtraction chain per element (the order `cholesky_into` preserves).
+fn naive_cholesky(a: &RMat) -> Option<RMat> {
+    let n = a.rows();
+    let mut l = RMat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a.at(i, j);
+            for p in 0..j {
+                s -= l.at(i, p) * l.at(j, p);
+            }
+            if i == j {
+                if s <= 0.0 || !s.is_finite() {
+                    return None;
+                }
+                l.set(i, j, s.sqrt());
+            } else {
+                l.set(i, j, s / l.at(j, j));
+            }
+        }
+    }
+    Some(l)
+}
+
+fn naive_solve_lower(l: &RMat, b: &[f64]) -> Vec<f64> {
+    let n = l.rows();
+    let mut x = b.to_vec();
+    for i in 0..n {
+        let mut s = x[i];
+        for j in 0..i {
+            s -= l.at(i, j) * x[j];
+        }
+        x[i] = s / l.at(i, i);
+    }
+    x
+}
+
+fn naive_solve_lower_transpose(l: &RMat, b: &[f64]) -> Vec<f64> {
+    let n = l.rows();
+    let mut x = b.to_vec();
+    for i in (0..n).rev() {
+        let mut s = x[i];
+        for j in i + 1..n {
+            s -= l.at(j, i) * x[j];
+        }
+        x[i] = s / l.at(i, i);
+    }
+    x
+}
+
+fn naive_symmetrize(a: &RMat) -> RMat {
+    let n = a.rows();
+    let mut out = RMat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                out.set(i, j, 0.5 * (a.at(i, i) + a.at(i, i)));
+            } else {
+                out.set(i, j, 0.5 * (a.at(i, j) + a.at(j, i)));
+            }
+        }
+    }
+    out
+}
+
+/// Shapes covering the kernels' dispatch boundaries: 1×1, the ≤8 fast
+/// path, 9 (first general-path width), the solver's block sizes, odd
+/// non-square shapes, and LCG-drawn ones.
+fn shapes(rng: &mut Lcg) -> Vec<(usize, usize, usize)> {
+    let mut s = vec![
+        (1, 1, 1),
+        (1, 7, 1),
+        (5, 1, 8),
+        (2, 3, 4),
+        (8, 8, 8),
+        (8, 8, 9),
+        (3, 9, 17),
+        (32, 32, 32),
+        (33, 5, 12),
+        (4, 31, 1),
+    ];
+    for _ in 0..6 {
+        s.push((rng.size(40), rng.size(40), rng.size(40)));
+    }
+    s
+}
+
+#[test]
+fn mul_mat_matches_naive_reference_bitwise() {
+    let mut rng = Lcg::new(0x9e3779b97f4a7c15);
+    for (m, k, n) in shapes(&mut rng) {
+        let a = random_mat(&mut rng, m, k);
+        let b = random_mat(&mut rng, k, n);
+        assert_bits_eq(&a.mul_mat(&b), &naive_mul_mat(&a, &b), "mul_mat");
+        let mut out = RMat::zeros(m, n);
+        a.mul_mat_into(&b, &mut out);
+        assert_bits_eq(&out, &naive_mul_mat(&a, &b), "mul_mat_into");
+    }
+}
+
+#[test]
+fn mul_vec_matches_naive_reference_bitwise() {
+    let mut rng = Lcg::new(0xdeadbeefcafef00d);
+    for (m, k, _) in shapes(&mut rng) {
+        let a = random_mat(&mut rng, m, k);
+        let v: Vec<f64> = (0..k).map(|_| rng.coeff()).collect();
+        let got = a.mul_vec(&v);
+        let want = naive_mul_vec(&a, &v);
+        for (g, w) in got.iter().zip(&want) {
+            assert!(g.to_bits() == w.to_bits(), "mul_vec: {g:e} vs {w:e}");
+        }
+    }
+}
+
+#[test]
+fn trace_mul_matches_naive_reference_bitwise() {
+    let mut rng = Lcg::new(0x0123456789abcdef);
+    for (m, k, _) in shapes(&mut rng) {
+        let a = random_mat(&mut rng, m, k);
+        let b = random_mat(&mut rng, k, m);
+        let got = a.trace_mul(&b);
+        let want = naive_trace_mul(&a, &b);
+        assert!(
+            got.to_bits() == want.to_bits(),
+            "trace_mul: {got:e} vs {want:e}"
+        );
+    }
+}
+
+#[test]
+fn dot_and_axpy_slices_match_naive_reference_bitwise() {
+    let mut rng = Lcg::new(0x5555aaaa5555aaaa);
+    for len in [1usize, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 64, 255] {
+        let a: Vec<f64> = (0..len).map(|_| rng.coeff()).collect();
+        let b: Vec<f64> = (0..len).map(|_| rng.coeff()).collect();
+        let got = dot_slice(&a, &b);
+        let want = naive_dot(&a, &b);
+        assert!(got.to_bits() == want.to_bits(), "dot_slice len {len}");
+
+        let s = rng.coeff();
+        let mut y1 = a.clone();
+        let mut y2 = a.clone();
+        axpy_slice(&mut y1, s, &b);
+        naive_axpy(&mut y2, s, &b);
+        for (g, w) in y1.iter().zip(&y2) {
+            assert!(g.to_bits() == w.to_bits(), "axpy_slice len {len}");
+        }
+    }
+}
+
+#[test]
+fn cholesky_and_triangular_solves_match_naive_reference_bitwise() {
+    let mut rng = Lcg::new(0x1357924680135792);
+    for n in [1usize, 2, 3, 4, 7, 8, 9, 13, 32] {
+        let a = random_spd(&mut rng, n);
+        let l = a.cholesky().expect("SPD input factors");
+        let l_ref = naive_cholesky(&a).expect("SPD input factors (naive)");
+        assert_bits_eq(&l, &l_ref, "cholesky");
+
+        let b: Vec<f64> = (0..n).map(|_| rng.coeff()).collect();
+        let fwd = l.solve_lower(&b);
+        let fwd_ref = naive_solve_lower(&l, &b);
+        for (g, w) in fwd.iter().zip(&fwd_ref) {
+            assert!(g.to_bits() == w.to_bits(), "solve_lower n {n}");
+        }
+        let bwd = l.solve_lower_transpose(&b);
+        let bwd_ref = naive_solve_lower_transpose(&l, &b);
+        for (g, w) in bwd.iter().zip(&bwd_ref) {
+            assert!(g.to_bits() == w.to_bits(), "solve_lower_transpose n {n}");
+        }
+    }
+}
+
+#[test]
+fn symmetrize_matches_naive_reference_bitwise() {
+    let mut rng = Lcg::new(0xfeedface12345678);
+    for n in [1usize, 2, 3, 8, 9, 31, 32] {
+        let a = random_mat(&mut rng, n, n);
+        assert_bits_eq(&a.symmetrize(), &naive_symmetrize(&a), "symmetrize");
+        let mut in_place = a.clone();
+        in_place.symmetrize_in_place();
+        assert_bits_eq(&in_place, &naive_symmetrize(&a), "symmetrize_in_place");
+    }
+}
+
+#[test]
+fn transpose_mul_self_matches_composed_reference_bitwise() {
+    let mut rng = Lcg::new(0xabcdef0987654321);
+    for (m, k, _) in shapes(&mut rng) {
+        let a = random_mat(&mut rng, m, k);
+        let mut got = RMat::zeros(k, k);
+        a.transpose_mul_self_into(&mut got);
+        // The historical spelling this kernel replaced in `inverse_spd`.
+        let want = a.transpose().mul_mat(&a);
+        assert_bits_eq(&got, &want, "transpose_mul_self_into");
+    }
+}
+
+#[test]
+fn zero_heavy_inputs_are_bit_stable_without_the_skip() {
+    // The dense `mul_mat` path no longer skips `aik == 0.0` terms. An
+    // accumulator that starts at +0.0 is unchanged bitwise by adding
+    // ±0.0 products, so a zero-heavy matrix must produce the same bits
+    // with and without the skip — including the signs of zero outputs.
+    let mut rng = Lcg::new(0x2468ace02468ace0);
+    for (m, k, n) in [(4, 4, 4), (8, 3, 8), (5, 9, 2)] {
+        let mut a = random_mat(&mut rng, m, k);
+        // Zero out most of A, keeping a mix of ±0.0.
+        for (i, v) in a.as_mut_slice().iter_mut().enumerate() {
+            if i % 3 != 0 {
+                *v = if i % 2 == 0 { 0.0 } else { -0.0 };
+            }
+        }
+        let b = random_mat(&mut rng, k, n);
+        assert_bits_eq(&a.mul_mat(&b), &naive_mul_mat(&a, &b), "zero-heavy mul_mat");
+    }
+}
+
+#[test]
+fn eigvals_only_path_matches_full_decomposition_bitwise() {
+    // `sym_eigvals` runs the eigenvalue-only Householder reduction
+    // (`tred1`: no Q accumulation); `sym_eig` runs the full `tred2`. The
+    // tridiagonal `d`/`e` they feed to the QL iteration must be the same
+    // bits, so the sorted eigenvalues must agree exactly — including on
+    // matrices with zero rows that exercise the `scale == 0` branch.
+    let mut rng = Lcg::new(0x13579bdf02468ace);
+    for n in [1usize, 2, 3, 5, 8, 17, 32] {
+        let a = random_spd(&mut rng, n);
+        let vals_only = sym_eigvals(&a).expect("eigvals");
+        let (vals_full, _q) = sym_eig(&a).expect("eig");
+        assert_eq!(vals_only.len(), vals_full.len());
+        for (k, (&lo, &lf)) in vals_only.iter().zip(&vals_full).enumerate() {
+            assert!(
+                lo.to_bits() == lf.to_bits(),
+                "eigenvalue {k} of {n}x{n}: {lo:e} vs {lf:e}"
+            );
+        }
+        // A symmetric indefinite matrix with an exactly-zero row/column.
+        let mut b = random_mat(&mut rng, n, n).symmetrize();
+        if n > 2 {
+            for k in 0..n {
+                b.set(1, k, 0.0);
+                b.set(k, 1, 0.0);
+            }
+        }
+        let vals_only = sym_eigvals(&b).expect("eigvals");
+        let (vals_full, _q) = sym_eig(&b).expect("eig");
+        for (&lo, &lf) in vals_only.iter().zip(&vals_full) {
+            assert!(lo.to_bits() == lf.to_bits(), "indefinite {n}x{n}");
+        }
+    }
+}

@@ -9,13 +9,20 @@ use gleipnir_linalg::{sym_eigvals, RMat};
 #[derive(Clone, Debug, PartialEq)]
 pub struct BlockMat {
     blocks: Vec<RMat>,
+    dims: Vec<usize>,
 }
 
 impl BlockMat {
+    fn with_blocks(blocks: Vec<RMat>) -> Self {
+        let dims = blocks.iter().map(RMat::rows).collect();
+        BlockMat { blocks, dims }
+    }
+
     /// A zero matrix with the given block dimensions.
     pub fn zeros(dims: &[usize]) -> Self {
         BlockMat {
             blocks: dims.iter().map(|&d| RMat::zeros(d, d)).collect(),
+            dims: dims.to_vec(),
         }
     }
 
@@ -23,6 +30,7 @@ impl BlockMat {
     pub fn scaled_identity(dims: &[usize], s: f64) -> Self {
         BlockMat {
             blocks: dims.iter().map(|&d| RMat::identity(d).scaled(s)).collect(),
+            dims: dims.to_vec(),
         }
     }
 
@@ -31,12 +39,12 @@ impl BlockMat {
         for b in &blocks {
             assert!(b.is_square(), "blocks must be square");
         }
-        BlockMat { blocks }
+        Self::with_blocks(blocks)
     }
 
-    /// Block dimensions.
-    pub fn dims(&self) -> Vec<usize> {
-        self.blocks.iter().map(RMat::rows).collect()
+    /// Block dimensions, cached at construction (no allocation per call).
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
     }
 
     /// Total dimension (sum of block sizes).
@@ -55,21 +63,37 @@ impl BlockMat {
     }
 
     /// Mutable block accessor.
+    ///
+    /// Callers must not change a block's dimensions through this handle:
+    /// the block dims are cached at construction (see [`BlockMat::dims`]).
     pub fn block_mut(&mut self, i: usize) -> &mut RMat {
         &mut self.blocks[i]
     }
 
+    /// Copies every entry from `other` into `self` without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics on block-shape mismatch.
+    pub fn copy_from(&mut self, other: &BlockMat) {
+        assert_eq!(self.dims, other.dims, "copy_from block shape mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            a.copy_from(b);
+        }
+    }
+
     /// Frobenius inner product `⟨self, other⟩ = Σ_b tr(self_b · other_b)`.
+    ///
+    /// Accumulates in flat row-major order per block — the same order as
+    /// the historical `at(i, j)` double loop, so results are bit-stable.
     pub fn dot(&self, other: &BlockMat) -> f64 {
         self.blocks
             .iter()
             .zip(&other.blocks)
             .map(|(a, b)| {
                 let mut acc = 0.0;
-                for i in 0..a.rows() {
-                    for j in 0..a.cols() {
-                        acc += a.at(i, j) * b.at(i, j);
-                    }
+                for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                    acc += x * y;
                 }
                 acc
             })
@@ -85,27 +109,28 @@ impl BlockMat {
 
     /// Blockwise product `self · other`.
     pub fn mul(&self, other: &BlockMat) -> BlockMat {
-        BlockMat {
-            blocks: self
-                .blocks
+        Self::with_blocks(
+            self.blocks
                 .iter()
                 .zip(&other.blocks)
                 .map(|(a, b)| a.mul_mat(b))
                 .collect(),
-        }
+        )
     }
 
-    /// Blockwise symmetrization `(self + selfᵀ)/2`.
+    /// Blockwise symmetrization `(self + selfᵀ)/2`, in place.
     pub fn symmetrize(&mut self) {
         for b in &mut self.blocks {
-            *b = b.symmetrize();
+            b.symmetrize_in_place();
         }
     }
 
-    /// Scales all entries.
+    /// Scales all entries, in place.
     pub fn scale(&mut self, s: f64) {
         for b in &mut self.blocks {
-            *b = b.scaled(s);
+            for v in b.as_mut_slice() {
+                *v *= s;
+            }
         }
     }
 
@@ -132,7 +157,7 @@ impl BlockMat {
         for b in &self.blocks {
             blocks.push(b.cholesky()?);
         }
-        Some(BlockMat { blocks })
+        Some(Self::with_blocks(blocks))
     }
 
     /// Blockwise inverse from a Cholesky factor of `self`
@@ -140,13 +165,50 @@ impl BlockMat {
     ///
     /// Returns `None` if the factorization fails.
     pub fn inverse_spd(&self) -> Option<BlockMat> {
-        let chol = self.cholesky()?;
-        let mut blocks = Vec::with_capacity(self.blocks.len());
-        for l in &chol.blocks {
-            let linv = l.invert_lower();
-            blocks.push(linv.transpose().mul_mat(&linv));
+        let mut lwork = Self::zeros(&self.dims);
+        let mut linv = Self::zeros(&self.dims);
+        let mut out = Self::zeros(&self.dims);
+        if self.inverse_spd_into(&mut lwork, &mut linv, &mut out) {
+            Some(out)
+        } else {
+            None
         }
-        Some(BlockMat { blocks })
+    }
+
+    /// Blockwise SPD inverse written into a reusable buffer.
+    ///
+    /// `lwork` and `linvwork` are scratch space for the per-block Cholesky
+    /// factor and its triangular inverse; `out` receives `self⁻¹`. Returns
+    /// `false` (leaving the buffers partially written) when a block is not
+    /// numerically positive definite. Bit-identical to the allocating
+    /// [`BlockMat::inverse_spd`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on block-shape mismatch between `self` and any buffer.
+    pub fn inverse_spd_into(
+        &self,
+        lwork: &mut BlockMat,
+        linvwork: &mut BlockMat,
+        out: &mut BlockMat,
+    ) -> bool {
+        assert_eq!(self.dims, lwork.dims, "inverse_spd_into shape mismatch");
+        assert_eq!(self.dims, linvwork.dims, "inverse_spd_into shape mismatch");
+        assert_eq!(self.dims, out.dims, "inverse_spd_into shape mismatch");
+        for (((b, l), linv), o) in self
+            .blocks
+            .iter()
+            .zip(&mut lwork.blocks)
+            .zip(&mut linvwork.blocks)
+            .zip(&mut out.blocks)
+        {
+            if !b.cholesky_into(l) {
+                return false;
+            }
+            l.invert_lower_into(linv);
+            linv.transpose_mul_self_into(o);
+        }
+        true
     }
 
     /// Largest step `α ∈ (0, 1]` such that `self + α·dir ⪰ (1−relax)…`,

@@ -39,4 +39,6 @@ mod solver;
 
 pub use blockmat::BlockMat;
 pub use problem::{SdpProblem, SparseSym};
-pub use solver::{largest_eigenvalue_sdp, SdpError, SdpSolution, SdpStatus, SolverOptions};
+pub use solver::{
+    largest_eigenvalue_sdp, SdpError, SdpSolution, SdpStatus, SolverOptions, SolverProfile,
+};

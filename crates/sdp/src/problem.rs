@@ -178,18 +178,35 @@ impl SdpProblem {
 
     /// The operator `A(X) = (⟨Aᵢ, X⟩)ᵢ`.
     pub fn apply_a(&self, x: &BlockMat) -> Vec<f64> {
-        self.constraints.iter().map(|a| a.dot(x)).collect()
+        let mut out = Vec::new();
+        self.apply_a_into(x, &mut out);
+        out
+    }
+
+    /// The operator `A(X)` written into a reusable vector (cleared first).
+    pub fn apply_a_into(&self, x: &BlockMat, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.constraints.iter().map(|a| a.dot(x)));
     }
 
     /// The adjoint `Aᵀ(y) = Σᵢ yᵢ·Aᵢ`, as a dense block matrix.
     pub fn apply_at(&self, y: &[f64]) -> BlockMat {
         let mut out = BlockMat::zeros(&self.block_dims);
+        self.apply_at_into(y, &mut out);
+        out
+    }
+
+    /// The adjoint `Aᵀ(y)` written into a reusable block matrix (zeroed
+    /// first). Bit-identical to [`SdpProblem::apply_at`].
+    pub fn apply_at_into(&self, y: &[f64], out: &mut BlockMat) {
+        for b in 0..out.n_blocks() {
+            out.block_mut(b).as_mut_slice().fill(0.0);
+        }
         for (a, &yi) in self.constraints.iter().zip(y) {
             if yi != 0.0 {
-                a.add_scaled_into(yi, &mut out);
+                a.add_scaled_into(yi, out);
             }
         }
-        out
     }
 
     /// The dense objective matrix.

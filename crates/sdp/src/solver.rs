@@ -22,8 +22,9 @@
 //! any trace bound `R` on the feasible set).
 
 use crate::{BlockMat, SdpProblem, SparseSym};
-use gleipnir_linalg::RMat;
+use gleipnir_linalg::{axpy_slice, RMat};
 use std::fmt;
+use std::time::Instant;
 
 /// Options for [`SdpProblem::solve`].
 #[derive(Clone, Copy, Debug)]
@@ -71,6 +72,69 @@ impl fmt::Display for SdpError {
 
 impl std::error::Error for SdpError {}
 
+/// Cumulative wall-time and allocation accounting for one interior-point
+/// solve, broken down by phase.
+///
+/// Every phase of [`SdpProblem::solve`] is timed, so the phase fields sum to
+/// approximately [`SolverProfile::total_ms`] (the difference is timer
+/// overhead). Profiles are additive: benchmark passes aggregate the
+/// per-solve profiles of hundreds of SDPs with [`SolverProfile::add`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SolverProfile {
+    /// Pre-loop work: dense `C`, norms, the constraint index, workspace
+    /// allocation, and warm-start initialization.
+    pub setup_ms: f64,
+    /// Per-iteration residuals, objectives, and convergence metrics.
+    pub residual_ms: f64,
+    /// Schur-complement formation `M_kl = ⟨A_k, sym(X·A_l·Z⁻¹)⟩` via the
+    /// constraint-indexed sandwich kernel.
+    pub schur_ms: f64,
+    /// Factorizations: blockwise `Z⁻¹` and the Cholesky of the Schur
+    /// complement (including regularization retries).
+    pub factor_ms: f64,
+    /// Predictor/corrector direction solves (right-hand sides, triangular
+    /// solves, `sym(X·R·Z⁻¹)` triples, Mehrotra corrector assembly).
+    pub direction_ms: f64,
+    /// Eigenvalue-based line searches (`max_step`) and iterate updates.
+    pub step_ms: f64,
+    /// Post-loop certificate work: final residuals and the exact
+    /// dual-slack minimum eigenvalue.
+    pub cert_ms: f64,
+    /// Total wall time of the solve.
+    pub total_ms: f64,
+    /// Heap allocations the iteration loop itself still performs after the
+    /// workspace refactor (e.g. Schur regularization retries). Internal
+    /// allocations of the eigenvalue line search are not counted.
+    pub loop_allocs: u64,
+}
+
+impl SolverProfile {
+    /// Sum of the per-phase times (everything except `total_ms`); should
+    /// track `total_ms` to within timer overhead.
+    pub fn phase_ms(&self) -> f64 {
+        self.setup_ms
+            + self.residual_ms
+            + self.schur_ms
+            + self.factor_ms
+            + self.direction_ms
+            + self.step_ms
+            + self.cert_ms
+    }
+
+    /// Accumulates another profile into this one (all fields are summed).
+    pub fn add(&mut self, other: &SolverProfile) {
+        self.setup_ms += other.setup_ms;
+        self.residual_ms += other.residual_ms;
+        self.schur_ms += other.schur_ms;
+        self.factor_ms += other.factor_ms;
+        self.direction_ms += other.direction_ms;
+        self.step_ms += other.step_ms;
+        self.cert_ms += other.cert_ms;
+        self.total_ms += other.total_ms;
+        self.loop_allocs += other.loop_allocs;
+    }
+}
+
 /// The solver's output: primal/dual iterates and quality metrics.
 #[derive(Clone, Debug)]
 pub struct SdpSolution {
@@ -97,6 +161,8 @@ pub struct SdpSolution {
     /// `λ_min(C − Aᵀ(y))` of the *exact* dual slack (not the iterate `Z`),
     /// used by the certificate.
     pub exact_dual_slack_min_eig: f64,
+    /// Per-phase wall-time breakdown of this solve.
+    pub profile: SolverProfile,
 }
 
 impl SdpSolution {
@@ -234,7 +300,10 @@ impl SdpProblem {
         opts: &SolverOptions,
         warm: Option<&[f64]>,
     ) -> Result<SdpSolution, SdpError> {
-        let dims = self.block_dims().to_vec();
+        let t_total = Instant::now();
+        let mut profile = SolverProfile::default();
+
+        let dims = self.block_dims();
         let m = self.n_constraints();
         let n_tot: usize = dims.iter().sum();
         let b = self.rhs();
@@ -247,8 +316,8 @@ impl SdpProblem {
 
         let xi_p = 10.0f64.max((n_tot as f64).sqrt() * (1.0 + b_max));
         let xi_d = 10.0f64.max((n_tot as f64).sqrt() * (1.0 + c_max));
-        let mut x = BlockMat::scaled_identity(&dims, xi_p);
-        let mut z = BlockMat::scaled_identity(&dims, xi_d);
+        let mut x = BlockMat::scaled_identity(dims, xi_p);
+        let mut z = BlockMat::scaled_identity(dims, xi_d);
         let mut y = vec![0.0; m];
         if let Some(y0) = warm {
             // Dual warm start: y at the supplied vector, Z at the exact
@@ -261,21 +330,55 @@ impl SdpProblem {
                 let shift = (-lam_min).max(0.0) + WARM_Z_MARGIN * (1.0 + c_max);
                 y.copy_from_slice(y0);
                 z = slack;
-                z.axpy(shift, &BlockMat::scaled_identity(&dims, 1.0));
-                x = BlockMat::scaled_identity(&dims, WARM_X_SCALE);
+                z.axpy(shift, &BlockMat::scaled_identity(dims, 1.0));
+                x = BlockMat::scaled_identity(dims, WARM_X_SCALE);
             }
         }
 
+        // The constraint index and the per-solve workspaces: everything the
+        // iteration loop needs is allocated once, here.
+        let index = ConstraintIndex::build(self.constraints(), dims);
+        let mut ax = vec![0.0; m];
+        let mut rp = vec![0.0; m];
+        let mut rd = BlockMat::zeros(dims);
+        let mut atbuf = BlockMat::zeros(dims);
+        let mut zinv = BlockMat::zeros(dims);
+        let mut zl = BlockMat::zeros(dims);
+        let mut zlinv = BlockMat::zeros(dims);
+        let mut vwork = BlockMat::zeros(dims);
+        let mut sw = BlockMat::zeros(dims);
+        let mut sw_dirty = vec![false; dims.len()];
+        let mut mmat = RMat::zeros(m, m);
+        let mut mchol = RMat::zeros(m, m);
+        let mut base_g = BlockMat::zeros(dims);
+        let mut gcorr = BlockMat::zeros(dims);
+        let mut corr = BlockMat::zeros(dims);
+        let mut tri_tmp = BlockMat::zeros(dims);
+        let mut tri_out = BlockMat::zeros(dims);
+        let mut ag = vec![0.0; m];
+        let mut rhs = vec![0.0; m];
+        let mut dy_a = vec![0.0; m];
+        let mut dx_a = BlockMat::zeros(dims);
+        let mut dz_a = BlockMat::zeros(dims);
+        let mut dy = vec![0.0; m];
+        let mut dx = BlockMat::zeros(dims);
+        let mut dz = BlockMat::zeros(dims);
+
         let mut status = SdpStatus::MaxIterations;
         let mut iterations = opts.max_iterations;
+        profile.setup_ms = ms_since(t_total);
 
         for iter in 0..opts.max_iterations {
             // Residuals and convergence metrics.
-            let ax = self.apply_a(&x);
-            let rp: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
-            let mut rd = c_dense.clone();
+            let t_r = Instant::now();
+            index.apply_a_into(&x, &mut ax);
+            for ((r, bi), ai) in rp.iter_mut().zip(b).zip(&ax) {
+                *r = bi - ai;
+            }
+            rd.copy_from(&c_dense);
             rd.axpy(-1.0, &z);
-            rd.axpy(-1.0, &self.apply_at(&y));
+            self.apply_at_into(&y, &mut atbuf);
+            rd.axpy(-1.0, &atbuf);
 
             let pobj = c_dense.dot(&x);
             let dobj: f64 = b.iter().zip(&y).map(|(a, b)| a * b).sum();
@@ -284,12 +387,14 @@ impl SdpProblem {
             let dinf = rd.frobenius_norm() / (1.0 + c_frob);
 
             if gap < opts.tolerance && pinf < opts.tolerance && dinf < opts.tolerance {
+                profile.residual_ms += ms_since(t_r);
                 status = SdpStatus::Optimal;
                 iterations = iter;
                 break;
             }
 
             let mu = x.dot(&z) / n_tot as f64;
+            profile.residual_ms += ms_since(t_r);
             if mu <= 0.0 || !mu.is_finite() {
                 iterations = iter;
                 break;
@@ -299,51 +404,84 @@ impl SdpProblem {
             // tolerance is met. The dual certificate from the current
             // iterate is still sound, so factorization failure terminates
             // the iteration rather than erroring out.
-            let Some(zinv) = z.inverse_spd() else {
+            let t_f = Instant::now();
+            let z_ok = z.inverse_spd_into(&mut zl, &mut zlinv, &mut zinv);
+            profile.factor_ms += ms_since(t_f);
+            if !z_ok {
                 iterations = iter;
                 break;
-            };
+            }
 
             // Schur complement M_kl = ⟨A_k, sym(X·A_l·Z⁻¹)⟩.
-            let mut mmat = RMat::zeros(m, m);
+            let t_s = Instant::now();
             for l in 0..m {
-                let t = sym_sandwich(&x, self.constraints()[l].entries(), &zinv, &dims);
+                sym_sandwich_into(
+                    &x,
+                    &index.groups[l],
+                    &zinv,
+                    &mut vwork,
+                    &mut sw,
+                    &mut sw_dirty,
+                );
+                // `sw` is exactly +0.0 on every block outside constraint
+                // l's support (fresh zeros or lazily re-zeroed), so a
+                // block-disjoint pair's inner product is +0.0 whether
+                // computed (±0.0 terms cannot move a +0.0 accumulator) or
+                // skipped — writing the constant is bit-identical.
+                let ml = index.masks[l];
                 for k in 0..m {
-                    mmat.set(k, l, self.constraints()[k].dot(&t));
+                    let v = if index.masks[k] & ml == 0 {
+                        0.0
+                    } else {
+                        index.dot(k, &sw)
+                    };
+                    mmat.set(k, l, v);
                 }
             }
-            let mmat = mmat.symmetrize();
-            let Some(mchol) = cholesky_with_regularization(&mmat) else {
+            mmat.symmetrize_in_place();
+            profile.schur_ms += ms_since(t_s);
+
+            let t_f = Instant::now();
+            let m_ok =
+                cholesky_with_regularization_into(&mmat, &mut mchol, &mut profile.loop_allocs);
+            profile.factor_ms += ms_since(t_f);
+            if !m_ok {
                 iterations = iter;
                 break;
-            };
+            }
 
-            // Shared direction machinery.
-            let base_g = {
-                // −X − sym(X·Rd·Z⁻¹)
-                let mut g = sym_triple(&x, &rd, &zinv);
-                g.scale(-1.0);
-                g.axpy(-1.0, &x);
-                g
-            };
-            let solve_direction = |g: &BlockMat| -> (Vec<f64>, BlockMat, BlockMat) {
-                let ag = self.apply_a(g);
-                let rhs: Vec<f64> = rp.iter().zip(&ag).map(|(r, a)| r - a).collect();
-                let dy = spd_solve(&mchol, &rhs);
-                let mut dz = rd.clone();
-                dz.axpy(-1.0, &self.apply_at(&dy));
-                dz.symmetrize();
-                let at_dy = self.apply_at(&dy);
-                let mut dx = g.clone();
-                dx.axpy(1.0, &sym_triple(&x, &at_dy, &zinv));
-                dx.symmetrize();
-                (dy, dx, dz)
-            };
+            // Predictor (σ = 0), from the shared base direction
+            // g = −X − sym(X·Rd·Z⁻¹).
+            let t_d = Instant::now();
+            sym_triple_into(&x, &rd, &zinv, &mut tri_tmp, &mut base_g);
+            base_g.scale(-1.0);
+            base_g.axpy(-1.0, &x);
+            solve_direction_into(
+                self,
+                &index,
+                &mchol,
+                &rp,
+                &rd,
+                &x,
+                &zinv,
+                &base_g,
+                &mut ag,
+                &mut rhs,
+                &mut atbuf,
+                &mut tri_tmp,
+                &mut tri_out,
+                &mut dy_a,
+                &mut dx_a,
+                &mut dz_a,
+            );
+            profile.direction_ms += ms_since(t_d);
 
-            // Predictor (σ = 0).
-            let (_dy_a, dx_a, dz_a) = solve_direction(&base_g);
+            let t_st = Instant::now();
             let ap_a = x.max_step(&dx_a, 1.0).unwrap_or(0.0);
             let ad_a = z.max_step(&dz_a, 1.0).unwrap_or(0.0);
+            profile.step_ms += ms_since(t_st);
+
+            let t_d = Instant::now();
             let mu_aff = {
                 let xz = x.dot(&z);
                 let xdz = x.dot(&dz_a);
@@ -353,23 +491,40 @@ impl SdpProblem {
             };
             let sigma = ((mu_aff / mu).powi(3)).clamp(0.0, 1.0);
 
-            // Corrector with the Mehrotra second-order term.
-            let g = {
-                let mut g = base_g.clone();
-                g.axpy(sigma * mu, &zinv);
-                // − sym(dXa·dZa·Z⁻¹)
-                let mut corr = sym_triple(&dx_a, &dz_a, &zinv);
-                corr.scale(-1.0);
-                g.axpy(1.0, &corr);
-                g
-            };
-            let (dy, dx, dz) = solve_direction(&g);
+            // Corrector with the Mehrotra second-order term
+            // − sym(dXa·dZa·Z⁻¹).
+            gcorr.copy_from(&base_g);
+            gcorr.axpy(sigma * mu, &zinv);
+            sym_triple_into(&dx_a, &dz_a, &zinv, &mut tri_tmp, &mut corr);
+            corr.scale(-1.0);
+            gcorr.axpy(1.0, &corr);
+            solve_direction_into(
+                self,
+                &index,
+                &mchol,
+                &rp,
+                &rd,
+                &x,
+                &zinv,
+                &gcorr,
+                &mut ag,
+                &mut rhs,
+                &mut atbuf,
+                &mut tri_tmp,
+                &mut tri_out,
+                &mut dy,
+                &mut dx,
+                &mut dz,
+            );
+            profile.direction_ms += ms_since(t_d);
 
+            let t_st = Instant::now();
             let gamma = if iter < 2 { 0.9 } else { 0.98 };
             let ap = x.max_step(&dx, gamma).unwrap_or(0.0);
             let ad = z.max_step(&dz, gamma).unwrap_or(0.0);
             if ap <= 1e-14 && ad <= 1e-14 {
                 // No progress possible; return the current iterate.
+                profile.step_ms += ms_since(t_st);
                 iterations = iter;
                 break;
             }
@@ -381,8 +536,10 @@ impl SdpProblem {
             for (yi, dyi) in y.iter_mut().zip(&dy) {
                 *yi += ad * dyi;
             }
+            profile.step_ms += ms_since(t_st);
         }
 
+        let t_c = Instant::now();
         let pobj = c_dense.dot(&x);
         let dobj: f64 = b.iter().zip(&y).map(|(a, b)| a * b).sum();
         let ax = self.apply_a(&x);
@@ -391,6 +548,9 @@ impl SdpProblem {
         rd.axpy(-1.0, &z);
         rd.axpy(-1.0, &self.apply_at(&y));
         let exact_slack = self.dual_slack(&y);
+        let exact_dual_slack_min_eig = exact_slack.min_eigenvalue();
+        profile.cert_ms = ms_since(t_c);
+        profile.total_ms = ms_since(t_total);
 
         Ok(SdpSolution {
             primal_objective: pobj,
@@ -398,93 +558,308 @@ impl SdpProblem {
             relative_gap: (pobj - dobj).abs() / (1.0 + pobj.abs() + dobj.abs()),
             primal_infeasibility: norm2(&rp) / (1.0 + b_norm),
             dual_infeasibility: rd.frobenius_norm() / (1.0 + c_frob),
-            exact_dual_slack_min_eig: exact_slack.min_eigenvalue(),
+            exact_dual_slack_min_eig,
             x,
             y,
             z,
             iterations,
             status,
+            profile,
         })
     }
 }
 
-/// `sym(X·A·Z⁻¹)` with sparse `A` given by its upper-triangle entries.
-fn sym_sandwich(
-    x: &BlockMat,
-    a_entries: &[(usize, usize, usize, f64)],
-    zinv: &BlockMat,
-    dims: &[usize],
-) -> BlockMat {
-    let mut out = BlockMat::zeros(dims);
-    // Group entries by block.
-    for (bl, &dim) in dims.iter().enumerate() {
-        let entries: Vec<(usize, usize, f64)> = a_entries
-            .iter()
-            .filter(|&&(b, _, _, _)| b == bl)
-            .map(|&(_, r, c, v)| (r, c, v))
-            .collect();
-        if entries.is_empty() {
-            continue;
-        }
-        let xb = x.block(bl);
-        let zb = zinv.block(bl);
-        // U = X·A (A symmetric from entries) — accumulate column-wise.
-        let mut u = RMat::zeros(dim, dim);
-        for &(r, c, v) in &entries {
-            // A[r][c] = v contributes X[:,r]·v into U[:,c]; mirror likewise.
-            for i in 0..dim {
-                u[(i, c)] += xb.at(i, r) * v;
-            }
-            if r != c {
-                for i in 0..dim {
-                    u[(i, r)] += xb.at(i, c) * v;
-                }
-            }
-        }
-        // T = U·Z⁻¹ ; only columns of U touched are nonzero, but dense is fine
-        // at these sizes.
-        let t = u.mul_mat(zb);
-        *out.block_mut(bl) = t.symmetrize();
-    }
-    out
+/// One constraint's sparse entries restricted to a single block, with the
+/// set of touched row/column indices.
+struct BlockGroup {
+    /// Block index.
+    block: usize,
+    /// `(row, col ≥ row, value)` in original entry order.
+    entries: Vec<(usize, usize, f64)>,
+    /// Sorted, deduplicated row/column indices the entries touch — the only
+    /// rows of the intermediate product that can be nonzero.
+    rows: Vec<usize>,
 }
 
-/// `sym(X·R·Z⁻¹)` for dense block matrices.
-fn sym_triple(x: &BlockMat, r: &BlockMat, zinv: &BlockMat) -> BlockMat {
-    let mut blocks = Vec::with_capacity(x.n_blocks());
-    for bl in 0..x.n_blocks() {
-        let t = x.block(bl).mul_mat(r.block(bl)).mul_mat(zinv.block(bl));
-        blocks.push(t.symmetrize());
+/// Per-solve index of the constraint matrices: each constraint's sparse
+/// entries grouped by block **once**, replacing the historical
+/// per-constraint × per-block × per-iteration re-filtering (with a fresh
+/// `Vec` each time) inside the Schur-complement sandwich.
+struct ConstraintIndex {
+    /// `groups[l]` holds constraint `l`'s non-empty block groups, in
+    /// ascending block order (matching the old filter loop).
+    groups: Vec<Vec<BlockGroup>>,
+    /// `masks[l]` is a bitmask of the blocks constraint `l` touches
+    /// (saturated to "all" past 64 blocks), for skipping Schur pairs whose
+    /// supports are block-disjoint.
+    masks: Vec<u64>,
+    /// `dots[l]` is constraint `l`'s flattened inner-product program: runs
+    /// of consecutive same-block entries, each entry a `(row-major offset,
+    /// weight)` pair in original entry order, with the off-diagonal mirror
+    /// factor pre-folded into the weight (`2.0 * v`, the exact product
+    /// [`SparseSym::dot`] forms). Grouping into runs hoists the block
+    /// lookup out of the per-entry loop without reordering a single term,
+    /// so replaying the program is bit-identical to `SparseSym::dot` at a
+    /// fraction of the per-entry overhead — this inner product runs m²
+    /// times per interior-point iteration.
+    dots: Vec<Vec<DotRun>>,
+}
+
+/// One maximal run of same-block terms inside a constraint's inner-product
+/// program (a consecutive segment of the original entry list).
+struct DotRun {
+    /// Block every term in the run addresses.
+    block: u32,
+    /// `(row-major offset, weight)` per term, in original entry order.
+    terms: Vec<(u32, f64)>,
+}
+
+impl ConstraintIndex {
+    fn build(constraints: &[SparseSym], dims: &[usize]) -> Self {
+        let n_blocks = dims.len();
+        let groups: Vec<Vec<BlockGroup>> = constraints
+            .iter()
+            .map(|a| {
+                let mut per_block: Vec<Vec<(usize, usize, f64)>> = vec![Vec::new(); n_blocks];
+                for &(b, r, c, v) in a.entries() {
+                    per_block[b].push((r, c, v));
+                }
+                per_block
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(_, entries)| !entries.is_empty())
+                    .map(|(block, entries)| {
+                        let mut rows: Vec<usize> =
+                            entries.iter().flat_map(|&(r, c, _)| [r, c]).collect();
+                        rows.sort_unstable();
+                        rows.dedup();
+                        BlockGroup {
+                            block,
+                            entries,
+                            rows,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let masks = groups
+            .iter()
+            .map(|gs| {
+                gs.iter().fold(
+                    0u64,
+                    |m, g| {
+                        if g.block < 64 {
+                            m | (1 << g.block)
+                        } else {
+                            !0
+                        }
+                    },
+                )
+            })
+            .collect();
+        let dots = constraints
+            .iter()
+            .map(|a| {
+                let mut runs: Vec<DotRun> = Vec::new();
+                for &(b, r, c, v) in a.entries() {
+                    let off = (r * dims[b] + c) as u32;
+                    let w = if r == c { v } else { 2.0 * v };
+                    match runs.last_mut() {
+                        Some(run) if run.block as usize == b => run.terms.push((off, w)),
+                        _ => runs.push(DotRun {
+                            block: b as u32,
+                            terms: vec![(off, w)],
+                        }),
+                    }
+                }
+                runs
+            })
+            .collect();
+        ConstraintIndex {
+            groups,
+            masks,
+            dots,
+        }
     }
-    BlockMat::from_blocks(blocks)
+
+    /// `⟨A_l, X⟩` via the flattened program — bit-identical to
+    /// `constraints[l].dot(x)` (same products, same order).
+    fn dot(&self, l: usize, x: &BlockMat) -> f64 {
+        let mut acc = 0.0;
+        for run in &self.dots[l] {
+            let xb = x.block(run.block as usize).as_slice();
+            for &(off, w) in &run.terms {
+                acc += w * xb[off as usize];
+            }
+        }
+        acc
+    }
+
+    /// `A(X)` via the flattened programs — bit-identical to
+    /// [`SdpProblem::apply_a_into`].
+    fn apply_a_into(&self, x: &BlockMat, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..self.dots.len()).map(|l| self.dot(l, x)));
+    }
+}
+
+/// `sym(X·A·Z⁻¹)` for one indexed constraint, written into `out`.
+///
+/// Bit-exactness argument (the fixture-pinned hot kernel):
+/// * `X` is bit-symmetric (every update is `axpy` + `symmetrize`), so the
+///   historical strided column walk `xb.at(i, r)` reads the same bits as
+///   the contiguous row slice `xb.row(r)[i]`; IEEE multiplication is
+///   commutative, so `v·x == x·v` bitwise. We accumulate `V = (X·A)ᵀ`
+///   row-wise, entry for entry in the old order.
+/// * The old dense `U·Z⁻¹` product skipped `U[(i,k)] == 0.0` terms; rows of
+///   `V` outside `group.rows` are exactly `+0.0`, so iterating only the
+///   touched rows (ascending, like the old `k` loop) adds the same terms
+///   in the same order to every output element.
+/// * `±0.0` terms cannot change an accumulator that starts at `+0.0`
+///   (`+0.0 + -0.0 == +0.0`), so the remaining zero-skips are free choices.
+///
+/// `out` blocks not touched by this constraint but dirtied by a previous
+/// call are re-zeroed via `dirty`, so `out` always equals the full sandwich.
+fn sym_sandwich_into(
+    x: &BlockMat,
+    groups: &[BlockGroup],
+    zinv: &BlockMat,
+    vwork: &mut BlockMat,
+    out: &mut BlockMat,
+    dirty: &mut [bool],
+) {
+    for (bl, d) in dirty.iter_mut().enumerate() {
+        if *d && !groups.iter().any(|g| g.block == bl) {
+            out.block_mut(bl).as_mut_slice().fill(0.0);
+            *d = false;
+        }
+    }
+    for g in groups {
+        let bl = g.block;
+        dirty[bl] = true;
+        let xb = x.block(bl);
+        let zb = zinv.block(bl);
+        // V = (X·A)ᵀ: entry A[r][c] = v sends row r of X into row c of V
+        // (and mirrors), touching only `g.rows`.
+        let v = vwork.block_mut(bl);
+        for &r in &g.rows {
+            v.row_mut(r).fill(0.0);
+        }
+        for &(r, c, val) in &g.entries {
+            axpy_slice(v.row_mut(c), val, xb.row(r));
+            if r != c {
+                axpy_slice(v.row_mut(r), val, xb.row(c));
+            }
+        }
+        // T = Vᵀ·Z⁻¹ over the touched rows only, then symmetrize in place.
+        // The k loop is outermost (was innermost) so V is read by
+        // contiguous rows; each element T[(i,j)] still accumulates its
+        // terms over ascending `k` with the same zero-skip, so the
+        // per-element IEEE chain — and therefore every bit — is unchanged.
+        let v = &*v;
+        let t = out.block_mut(bl);
+        t.as_mut_slice().fill(0.0);
+        for &k in &g.rows {
+            let vrow = v.row(k);
+            let zrow = zb.row(k);
+            for (i, &w) in vrow.iter().enumerate() {
+                if w == 0.0 {
+                    continue;
+                }
+                axpy_slice(t.row_mut(i), w, zrow);
+            }
+        }
+        t.symmetrize_in_place();
+    }
+}
+
+/// `sym(X·R·Z⁻¹)` for dense block matrices, using `tmp` for the
+/// intermediate product and writing the result into `out`.
+fn sym_triple_into(
+    x: &BlockMat,
+    r: &BlockMat,
+    zinv: &BlockMat,
+    tmp: &mut BlockMat,
+    out: &mut BlockMat,
+) {
+    for bl in 0..x.n_blocks() {
+        x.block(bl).mul_mat_into(r.block(bl), tmp.block_mut(bl));
+        tmp.block(bl)
+            .mul_mat_into(zinv.block(bl), out.block_mut(bl));
+        out.block_mut(bl).symmetrize_in_place();
+    }
+}
+
+/// One HKM direction solve into preallocated buffers: given the factored
+/// Schur complement and a right-hand-side matrix `g`, computes
+/// `(dy, dx, dz)` exactly as the historical closure did (the adjoint
+/// `Aᵀ(dy)` is computed once and reused — it was computed twice before,
+/// with identical bits).
+#[allow(clippy::too_many_arguments)]
+fn solve_direction_into(
+    prob: &SdpProblem,
+    index: &ConstraintIndex,
+    mchol: &RMat,
+    rp: &[f64],
+    rd: &BlockMat,
+    x: &BlockMat,
+    zinv: &BlockMat,
+    g: &BlockMat,
+    ag: &mut Vec<f64>,
+    rhs: &mut Vec<f64>,
+    atbuf: &mut BlockMat,
+    tri_tmp: &mut BlockMat,
+    tri_out: &mut BlockMat,
+    dy: &mut Vec<f64>,
+    dx: &mut BlockMat,
+    dz: &mut BlockMat,
+) {
+    index.apply_a_into(g, ag);
+    rhs.clear();
+    rhs.extend(rp.iter().zip(ag.iter()).map(|(r, a)| r - a));
+    dy.clear();
+    dy.extend_from_slice(rhs);
+    mchol.solve_lower_in_place(dy);
+    mchol.solve_lower_transpose_in_place(dy);
+    dz.copy_from(rd);
+    prob.apply_at_into(dy, atbuf);
+    dz.axpy(-1.0, atbuf);
+    dz.symmetrize();
+    dx.copy_from(g);
+    sym_triple_into(x, atbuf, zinv, tri_tmp, tri_out);
+    dx.axpy(1.0, tri_out);
+    dx.symmetrize();
 }
 
 fn norm2(v: &[f64]) -> f64 {
     v.iter().map(|x| x * x).sum::<f64>().sqrt()
 }
 
-/// Cholesky with escalating diagonal regularization.
-fn cholesky_with_regularization(m: &RMat) -> Option<RMat> {
-    if let Some(l) = m.cholesky() {
-        return Some(l);
+/// Cholesky with escalating diagonal regularization, written into a
+/// reusable factor buffer. The happy path allocates nothing; each
+/// regularization retry clones the Schur complement and bumps `allocs`.
+fn cholesky_with_regularization_into(m: &RMat, out: &mut RMat, allocs: &mut u64) -> bool {
+    if m.cholesky_into(out) {
+        return true;
     }
     let scale = m.max_abs().max(1.0);
     let mut reg = 1e-12 * scale;
     for _ in 0..8 {
+        *allocs += 1;
         let mut mm = m.clone();
         for i in 0..mm.rows() {
             mm[(i, i)] += reg;
         }
-        if let Some(l) = mm.cholesky() {
-            return Some(l);
+        if mm.cholesky_into(out) {
+            return true;
         }
         reg *= 100.0;
     }
-    None
+    false
 }
 
-fn spd_solve(l: &RMat, rhs: &[f64]) -> Vec<f64> {
-    l.solve_lower_transpose(&l.solve_lower(rhs))
+fn ms_since(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
 }
 
 /// Convenience: build and solve the "max ⟨C, X⟩ s.t. tr X = 1, X ⪰ 0"
@@ -783,5 +1158,170 @@ mod tests {
                 sol.primal_infeasibility
             );
         }
+    }
+
+    /// Scalar reimplementation of the historical (pre-index) sandwich:
+    /// per block, accumulate `U = X·A` entry-by-entry in original entry
+    /// order (strided column writes, as the old kernel did), then the
+    /// dense `U·Z⁻¹` product over **all** `k` with the old `U[(i,k)] == 0`
+    /// skip, then symmetrize. `sym_sandwich_into` must match it bitwise.
+    fn reference_sandwich(x: &BlockMat, a: &SparseSym, zinv: &BlockMat) -> BlockMat {
+        let dims = x.dims().to_vec();
+        let mut out = BlockMat::zeros(&dims);
+        for (bl, &dim) in dims.iter().enumerate() {
+            let entries: Vec<(usize, usize, f64)> = a
+                .entries()
+                .iter()
+                .filter(|&&(b, _, _, _)| b == bl)
+                .map(|&(_, r, c, v)| (r, c, v))
+                .collect();
+            if entries.is_empty() {
+                continue;
+            }
+            let xb = x.block(bl);
+            let zb = zinv.block(bl);
+            let mut u = RMat::zeros(dim, dim);
+            for &(r, c, v) in &entries {
+                for i in 0..dim {
+                    let w = u.at(i, c) + v * xb.at(i, r);
+                    u.set(i, c, w);
+                }
+                if r != c {
+                    for i in 0..dim {
+                        let w = u.at(i, r) + v * xb.at(i, c);
+                        u.set(i, r, w);
+                    }
+                }
+            }
+            let mut t = RMat::zeros(dim, dim);
+            for i in 0..dim {
+                for k in 0..dim {
+                    let w = u.at(i, k);
+                    if w == 0.0 {
+                        continue;
+                    }
+                    for j in 0..dim {
+                        let s = t.at(i, j) + w * zb.at(k, j);
+                        t.set(i, j, s);
+                    }
+                }
+            }
+            *out.block_mut(bl) = t.symmetrize();
+        }
+        out
+    }
+
+    #[test]
+    fn indexed_sandwich_matches_historical_kernel_bitwise() {
+        let mut seed = 7u64;
+        let mut rnd = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
+        };
+        let dims = [3usize, 2, 1];
+        // X must be bit-symmetric — as it is in the solver, where every X
+        // update ends in `symmetrize` — for the row/column read swap to be
+        // a bit-level no-op.
+        let mut x = BlockMat::zeros(&dims);
+        let mut zinv = BlockMat::zeros(&dims);
+        for (bl, &dim) in dims.iter().enumerate() {
+            *x.block_mut(bl) = RMat::from_fn(dim, dim, |_, _| rnd()).symmetrize();
+            *zinv.block_mut(bl) = RMat::from_fn(dim, dim, |_, _| rnd()).symmetrize();
+        }
+        // Constraints with deliberately unsorted entries, diagonal and
+        // off-diagonal, some blocks untouched (exercises the dirty-block
+        // re-zeroing between consecutive sandwiches).
+        let mut a1 = SparseSym::new();
+        a1.push(0, 1, 2, 0.7).push(0, 0, 0, -1.3).push(2, 0, 0, 0.4);
+        let mut a2 = SparseSym::new();
+        a2.push(1, 0, 1, 2.0).push(1, 1, 1, -0.9);
+        let mut a3 = SparseSym::new();
+        a3.push(0, 2, 2, 1.1).push(1, 0, 0, 0.6).push(2, 0, 0, -2.2);
+        let constraints = [a1, a2, a3];
+
+        let index = ConstraintIndex::build(&constraints, &dims);
+        let mut vwork = BlockMat::zeros(&dims);
+        let mut swork = BlockMat::zeros(&dims);
+        let mut dirty = vec![false; dims.len()];
+        for (l, a) in constraints.iter().enumerate() {
+            sym_sandwich_into(
+                &x,
+                &index.groups[l],
+                &zinv,
+                &mut vwork,
+                &mut swork,
+                &mut dirty,
+            );
+            let want = reference_sandwich(&x, a, &zinv);
+            for bl in 0..dims.len() {
+                let got = swork.block(bl);
+                let exp = want.block(bl);
+                for (g, w) in got.as_slice().iter().zip(exp.as_slice()) {
+                    assert!(
+                        g.to_bits() == w.to_bits(),
+                        "constraint {l} block {bl}: {g:e} vs {w:e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solver_profile_phases_sum_to_total() {
+        let sol = neighborly_problem(0.25).solve(&opts()).unwrap();
+        let p = sol.profile;
+        assert!(sol.iterations > 0, "toy problem should iterate");
+        assert!(p.total_ms > 0.0, "total wall must be measured");
+        assert!(p.phase_ms() > 0.0, "phase walls must be measured");
+        // The phases are disjoint sub-spans of the solve, so their sum is
+        // bounded by the total (the slack is timer overhead between spans).
+        assert!(
+            p.phase_ms() <= p.total_ms,
+            "phases {} ms exceed total {} ms",
+            p.phase_ms(),
+            p.total_ms
+        );
+        // Most of the solve must be accounted for, not lost between timers.
+        assert!(
+            p.phase_ms() >= 0.5 * p.total_ms,
+            "phases {} ms cover too little of total {} ms",
+            p.phase_ms(),
+            p.total_ms
+        );
+        for (name, v) in [
+            ("setup", p.setup_ms),
+            ("residual", p.residual_ms),
+            ("schur", p.schur_ms),
+            ("factor", p.factor_ms),
+            ("direction", p.direction_ms),
+            ("step", p.step_ms),
+            ("cert", p.cert_ms),
+        ] {
+            assert!(v >= 0.0, "{name} negative: {v}");
+        }
+        assert_eq!(p.loop_allocs, 0, "well-conditioned solve must not retry");
+    }
+
+    #[test]
+    fn solver_profile_add_accumulates_every_field() {
+        let mut a = SolverProfile {
+            setup_ms: 1.0,
+            residual_ms: 2.0,
+            schur_ms: 3.0,
+            factor_ms: 4.0,
+            direction_ms: 5.0,
+            step_ms: 6.0,
+            cert_ms: 7.0,
+            total_ms: 28.0,
+            loop_allocs: 2,
+        };
+        let b = a;
+        a.add(&b);
+        assert_eq!(a.schur_ms, 6.0);
+        assert_eq!(a.total_ms, 56.0);
+        assert_eq!(a.loop_allocs, 4);
+        assert_eq!(a.phase_ms(), 2.0 * b.phase_ms());
     }
 }
