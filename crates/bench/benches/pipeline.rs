@@ -24,6 +24,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use gleipnir_circuit::Stmt;
 use gleipnir_core::{AdaptiveConfig, AnalysisRequest, Engine, Method, Report};
 use gleipnir_noise::NoiseModel;
+use gleipnir_telemetry::{Histogram, HistogramSnapshot};
 use gleipnir_workloads::{ising_chain, qaoa_maxcut, Graph};
 use std::time::Instant;
 
@@ -85,6 +86,10 @@ struct Stage {
     error_bound: f64,
     /// Only the diff stages set this: gates served from the reused prefix.
     prefix_gates_reused: Option<usize>,
+    /// Repeatable stages only: latency quantiles over many repeats,
+    /// through the telemetry histogram (the same log-scale buckets the
+    /// server exports, so bench and production quantiles are comparable).
+    latency: Option<HistogramSnapshot>,
 }
 
 fn stage(name: &'static str, run: impl FnOnce() -> Report) -> Stage {
@@ -99,7 +104,19 @@ fn stage(name: &'static str, run: impl FnOnce() -> Report) -> Stage {
         cache_hits: report.cache_hits(),
         error_bound: report.error_bound(),
         prefix_gates_reused: None,
+        latency: None,
     }
+}
+
+/// Repeats a closure `n` times, returning the latency distribution.
+fn quantiles_over(n: usize, mut run: impl FnMut()) -> HistogramSnapshot {
+    let hist = Histogram::latency();
+    for _ in 0..n {
+        let t0 = Instant::now();
+        run();
+        hist.observe_duration(t0.elapsed());
+    }
+    hist.snapshot()
 }
 
 /// Ising-288 (12 sites × 12 Trotter layers) and a 1-gate mid-circuit edit
@@ -134,9 +151,15 @@ fn emit_json() {
     let batch: Vec<AnalysisRequest> = (0..4).map(|_| req.clone()).collect();
     let batch_engine = Engine::new();
 
+    let mut warm_stage = stage("warm", || warm_engine.analyze(&req).unwrap());
+    // The warm stage is cheap and repeatable, so it also carries
+    // p50/p95/p99 over 20 repeats (a tail, not just one sample).
+    warm_stage.latency = Some(quantiles_over(20, || {
+        warm_engine.analyze(&req).unwrap();
+    }));
     let mut stages = vec![
         stage("cold", || Engine::new().analyze(&req).unwrap()),
-        stage("warm", || warm_engine.analyze(&req).unwrap()),
+        warm_stage,
         stage("adaptive", || Engine::new().analyze(&adaptive_req).unwrap()),
     ];
     // batch4 aggregates over the whole batch rather than one report.
@@ -159,6 +182,7 @@ fn emit_json() {
         cache_hits: reports.iter().map(Report::cache_hits).sum(),
         error_bound: reports[0].error_bound(),
         prefix_gates_reused: None,
+        latency: None,
     });
 
     // Edit-cost pair: Ising-288 with a 1-gate mid-circuit edit. The cold
@@ -195,6 +219,7 @@ fn emit_json() {
         cache_hits: report.cache_hits(),
         error_bound: report.error_bound(),
         prefix_gates_reused: Some(diff.prefix_gates_reused()),
+        latency: None,
     });
 
     let stage_json: Vec<String> = stages
@@ -215,6 +240,15 @@ fn emit_json() {
             fields.push(format!("\"error_bound\":{:e}", s.error_bound));
             if let Some(n) = s.prefix_gates_reused {
                 fields.push(format!("\"prefix_gates_reused\":{n}"));
+            }
+            if let Some(snap) = &s.latency {
+                fields.push(format!(
+                    "\"latency_ms\":{{\"samples\":{},\"p50\":{:.3},\"p95\":{:.3},\"p99\":{:.3}}}",
+                    snap.count,
+                    snap.quantile_ms(0.50),
+                    snap.quantile_ms(0.95),
+                    snap.quantile_ms(0.99),
+                ));
             }
             format!("{{{}}}", fields.join(","))
         })

@@ -172,20 +172,25 @@ struct StageRecord {
 
 impl StageRecord {
     fn json(&mut self) -> String {
-        self.latencies.sort();
-        let pct = |p: f64| -> f64 {
-            let idx = ((self.latencies.len() as f64 - 1.0) * p).round() as usize;
-            self.latencies[idx].as_secs_f64() * 1e3
-        };
+        // Percentiles come from the telemetry histogram — the same fixed
+        // log-scale buckets the server exports over
+        // `/metrics?format=prometheus`, so bench numbers and production
+        // quantiles are directly comparable.
+        let hist = gleipnir_telemetry::Histogram::latency();
+        for latency in &self.latencies {
+            hist.observe_duration(*latency);
+        }
+        let snap = hist.snapshot();
         let rps = self.requests as f64 / self.total.as_secs_f64().max(1e-9);
         format!(
-            "{{\"name\":\"{}\",\"requests\":{},\"wall_ms\":{:.3},\"req_per_sec\":{:.2},\"p50_ms\":{:.3},\"p95_ms\":{:.3}}}",
+            "{{\"name\":\"{}\",\"requests\":{},\"wall_ms\":{:.3},\"req_per_sec\":{:.2},\"p50_ms\":{:.3},\"p95_ms\":{:.3},\"p99_ms\":{:.3}}}",
             self.name,
             self.requests,
             self.total.as_secs_f64() * 1e3,
             rps,
-            pct(0.50),
-            pct(0.95),
+            snap.quantile_ms(0.50),
+            snap.quantile_ms(0.95),
+            snap.quantile_ms(0.99),
         )
     }
 }

@@ -685,7 +685,20 @@ pub(crate) fn analyze_request(
     let opts = h.resolve_options(request);
     match request.method() {
         Method::StateAware { mps_width } => {
+            let mps_t0 = gleipnir_telemetry::now_ns();
             let mps = request.input().build_mps(*mps_width)?;
+            if let Some(ctx) = gleipnir_telemetry::active() {
+                gleipnir_telemetry::record_span(
+                    ctx,
+                    gleipnir_telemetry::SpanName::Mps,
+                    gleipnir_telemetry::next_span_id(),
+                    mps_t0,
+                    gleipnir_telemetry::now_ns(),
+                    0,
+                    0,
+                    0,
+                );
+            }
             run_state_aware(
                 h,
                 request.program(),

@@ -50,6 +50,7 @@ use gleipnir_mps::Mps;
 use gleipnir_noise::NoiseModel;
 use gleipnir_sdp::{SolverOptions, SolverProfile};
 use gleipnir_sim::BasisState;
+use gleipnir_telemetry as telemetry;
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -394,23 +395,86 @@ pub(crate) fn run_state_aware(
     delta_quantum: f64,
     tiers: TierPolicy,
 ) -> Result<StateAwareReport, AnalysisError> {
+    // Stage spans are recorded only while a trace is active (server
+    // request or `--trace` CLI run); stage histograms always are. Both
+    // are pure observation — no telemetry value feeds back into the
+    // analysis, which keeps ε bit-deterministic with tracing enabled.
+    let ctx = telemetry::active();
     let start = Instant::now();
+    let plan_t0 = telemetry::now_ns();
     let plan = plan_program(program, mps, noise, opts, cache_enabled, delta_quantum)?;
     let plan_elapsed = start.elapsed();
+    if let Some(ctx) = ctx {
+        telemetry::record_span(
+            ctx,
+            telemetry::SpanName::Plan,
+            telemetry::next_span_id(),
+            plan_t0,
+            telemetry::now_ns(),
+            0,
+            0,
+            0,
+        );
+    }
     let Plan {
         skeleton,
         obligations,
         final_delta,
         mps_width,
     } = plan;
-    let solved = spawn_solve(h, obligations, *opts, tiers).join(h)?;
-    Ok(assemble_report(
-        skeleton,
-        final_delta,
-        mps_width,
-        solved,
-        plan_elapsed,
-    ))
+    let solve_t0 = telemetry::now_ns();
+    let solve_span = ctx.map(|c| {
+        let id = telemetry::next_span_id();
+        (
+            c,
+            id,
+            telemetry::TraceCtx {
+                trace_id: c.trace_id,
+                parent: id,
+            },
+        )
+    });
+    // Per-obligation spans parent under the solve span: the pool closures
+    // capture the ambient context at dispatch time inside `spawn_solve`.
+    let solved = match solve_span {
+        Some((_, _, inner)) => {
+            telemetry::with_ctx(inner, || spawn_solve(h, obligations, *opts, tiers).join(h))?
+        }
+        None => spawn_solve(h, obligations, *opts, tiers).join(h)?,
+    };
+    if let Some((ctx, id, _)) = solve_span {
+        telemetry::record_span(
+            ctx,
+            telemetry::SpanName::Solve,
+            id,
+            solve_t0,
+            telemetry::now_ns(),
+            0,
+            0,
+            0,
+        );
+    }
+    let report = assemble_report(skeleton, final_delta, mps_width, solved, plan_elapsed);
+    if let Some(ctx) = ctx {
+        let end_ns = telemetry::now_ns();
+        let assemble_ns = report.stage_timings.assemble.as_nanos() as u64;
+        telemetry::record_span(
+            ctx,
+            telemetry::SpanName::Assemble,
+            telemetry::next_span_id(),
+            end_ns.saturating_sub(assemble_ns),
+            end_ns,
+            0,
+            0,
+            0,
+        );
+    }
+    let t = telemetry::global();
+    t.plan_ms.observe_duration(report.stage_timings.plan);
+    t.solve_ms.observe_duration(report.stage_timings.solve);
+    t.assemble_ms
+        .observe_duration(report.stage_timings.assemble);
+    Ok(report)
 }
 
 /// The pipeline's tail shared with the adaptive sweep: stitches solved ε's

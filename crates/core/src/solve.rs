@@ -58,6 +58,7 @@ use crate::plan::SolveObligation;
 use crate::pool::{spawn_indexed, PendingRun};
 use crate::tiers::{closed_form_gate_bound, note_engine_totals, BoundTier, TierCounts, TierPolicy};
 use gleipnir_sdp::{SolverOptions, SolverProfile};
+use gleipnir_telemetry as telemetry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -197,10 +198,19 @@ pub(crate) fn spawn_solve(
     // SDPs just to report the same error would waste minutes of CPU).
     // Already-running units still finish — leads always complete.
     let cancelled = Arc::new(AtomicBool::new(false));
+    // Captured once at dispatch: pool threads record their obligation
+    // spans against the submitting request's trace (the ambient context
+    // does not cross threads). `dispatch_ns` turns claim time into
+    // per-unit pool queue wait. Recording happens strictly *after* each
+    // unit's value is computed — observation only, never an input.
+    let trace_ctx = telemetry::active();
+    let dispatch_ns = telemetry::now_ns();
     let pending = spawn_indexed(&h.pool, units.len(), move |u| {
         if cancelled.load(Ordering::Relaxed) {
             return Ok(None);
         }
+        let claim_ns = telemetry::now_ns();
+        let mut via_bypass = false;
         let closed_form = |ob: &SolveObligation| -> Option<f64> {
             policy
                 .closed_form
@@ -268,20 +278,23 @@ pub(crate) fn spawn_solve(
                             .wait()
                             .map(|(eps, tier)| UnitValue::Joined(eps, tier))
                             .map_err(AnalysisError::Diamond),
-                        Lookup::Bypass => rho_delta_diamond(
-                            &ob.gate_matrix,
-                            &ob.noisy,
-                            &cached.rho_q,
-                            cached.delta_eff,
-                            &opts,
-                        )
-                        .map(|r| UnitValue::Answered {
-                            eps: r.bound,
-                            tier: r.tier,
-                            iterations: r.iterations,
-                            profile: r.profile,
-                        })
-                        .map_err(AnalysisError::from),
+                        Lookup::Bypass => {
+                            via_bypass = true;
+                            rho_delta_diamond(
+                                &ob.gate_matrix,
+                                &ob.noisy,
+                                &cached.rho_q,
+                                cached.delta_eff,
+                                &opts,
+                            )
+                            .map(|r| UnitValue::Answered {
+                                eps: r.bound,
+                                tier: r.tier,
+                                iterations: r.iterations,
+                                profile: r.profile,
+                            })
+                            .map_err(AnalysisError::from)
+                        }
                         Lookup::Lead(guard) => {
                             let result = match &warm_duals[u] {
                                 Some(y0) => rho_delta_diamond_warm(
@@ -327,6 +340,27 @@ pub(crate) fn spawn_solve(
                 }
             }
         };
+        if let Ok(value) = &outcome {
+            // Every actual interior-point solve feeds the global solve-
+            // time histogram (tracing on or off); the obligation span and
+            // its re-emitted solver-phase children only exist for traced
+            // requests.
+            if let UnitValue::Answered { profile, tier, .. } = value {
+                if *tier != BoundTier::ClosedForm {
+                    telemetry::global().ip_solve_ms.observe_ms(profile.total_ms);
+                }
+            }
+            if let Some(ctx) = trace_ctx {
+                record_obligation_span(
+                    ctx,
+                    &task_units[u],
+                    value,
+                    via_bypass,
+                    dispatch_ns,
+                    claim_ns,
+                );
+            }
+        }
         if outcome.is_err() {
             // The store is sequenced before this task's result slot is
             // written, so by the time join() collects, the triggering
@@ -339,6 +373,82 @@ pub(crate) fn spawn_solve(
         pending,
         units,
         n_obligations,
+    }
+}
+
+/// Records one obligation's span (`value` = pool queue-wait ns, `value2`
+/// = IP iterations, `detail` = outcome code) and, when the unit paid for
+/// an interior-point solve, re-emits the seven `SolverProfile` phases as
+/// child spans laid out consecutively from the obligation's start. All of
+/// it is post-hoc bookkeeping on the worker thread — the solver hot path
+/// records nothing, and nothing here allocates beyond the ring writes.
+fn record_obligation_span(
+    ctx: telemetry::TraceCtx,
+    unit: &Unit,
+    value: &UnitValue,
+    via_bypass: bool,
+    dispatch_ns: u64,
+    claim_ns: u64,
+) {
+    use telemetry::detail as d;
+    let (detail, iterations, profile) = match value {
+        UnitValue::Answered {
+            tier: BoundTier::ClosedForm,
+            ..
+        } => match unit {
+            Unit::Exact(_) => (d::OBLIGATION_CLOSED_FORM, 0, None),
+            Unit::Keyed(_) => (d::OBLIGATION_ANALYTIC, 0, None),
+        },
+        UnitValue::Answered {
+            tier,
+            iterations,
+            profile,
+            ..
+        } => {
+            let detail = match unit {
+                Unit::Exact(_) => d::OBLIGATION_EXACT,
+                Unit::Keyed(_) if via_bypass => d::OBLIGATION_BYPASS,
+                Unit::Keyed(_) => match tier {
+                    BoundTier::WarmStarted => d::OBLIGATION_LEAD_WARM,
+                    _ => d::OBLIGATION_LEAD_COLD,
+                },
+            };
+            (detail, *iterations, Some(profile))
+        }
+        UnitValue::CacheHit(..) => (d::OBLIGATION_CACHE_HIT, 0, None),
+        UnitValue::Joined(..) => (d::OBLIGATION_JOINED, 0, None),
+    };
+    let span_id = telemetry::next_span_id();
+    telemetry::record_span(
+        ctx,
+        telemetry::SpanName::Obligation,
+        span_id,
+        claim_ns,
+        telemetry::now_ns(),
+        detail,
+        claim_ns.saturating_sub(dispatch_ns),
+        iterations as u64,
+    );
+    if let Some(profile) = profile {
+        let child = telemetry::TraceCtx {
+            trace_id: ctx.trace_id,
+            parent: span_id,
+        };
+        let mut t = claim_ns;
+        for (i, (_, ms)) in profile.phases().iter().enumerate() {
+            let end = t + (ms * 1e6) as u64;
+            telemetry::record_span(
+                child,
+                telemetry::SpanName::phase(i),
+                telemetry::next_span_id(),
+                t,
+                end,
+                0,
+                0,
+                0,
+            );
+            t = end;
+        }
     }
 }
 

@@ -121,6 +121,22 @@ impl SolverProfile {
             + self.cert_ms
     }
 
+    /// The seven phases as `(name, wall_ms)` pairs, in execution order.
+    /// This is the bridge the telemetry layer uses to re-emit a solve's
+    /// phases as child spans *after* the solve returns — the solver hot
+    /// path itself records nothing.
+    pub fn phases(&self) -> [(&'static str, f64); 7] {
+        [
+            ("setup", self.setup_ms),
+            ("residual", self.residual_ms),
+            ("schur", self.schur_ms),
+            ("factor", self.factor_ms),
+            ("direction", self.direction_ms),
+            ("step", self.step_ms),
+            ("cert", self.cert_ms),
+        ]
+    }
+
     /// Accumulates another profile into this one (all fields are summed).
     pub fn add(&mut self, other: &SolverProfile) {
         self.setup_ms += other.setup_ms;

@@ -21,8 +21,8 @@
 pub struct HttpRequest {
     /// `GET`, `POST`, …
     pub method: String,
-    /// Request target (query strings are not split off; no endpoint takes
-    /// one).
+    /// Request target, query string included — the router splits on `?`
+    /// (only `/metrics?format=…` interprets one).
     pub path: String,
     /// The raw request body.
     pub body: Vec<u8>,
@@ -154,6 +154,28 @@ fn reason(status: u16) -> &'static str {
 /// no-torn-response guarantee: a response either leaves the write buffer
 /// whole or the connection is visibly dead); this function only frames.
 pub fn response_bytes(status: u16, content_type: &str, body: &[u8], keep_alive: bool) -> Vec<u8> {
+    framed(status, content_type, body, keep_alive, None)
+}
+
+/// [`response_bytes`] plus an `X-Trace-Id` header, so a client can fetch
+/// `GET /trace/<id>` for the request that produced this response.
+pub fn response_bytes_traced(
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    trace_id: u64,
+) -> Vec<u8> {
+    framed(status, content_type, body, keep_alive, Some(trace_id))
+}
+
+fn framed(
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    trace_id: Option<u64>,
+) -> Vec<u8> {
     let mut head = format!(
         "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         reason(status),
@@ -161,6 +183,12 @@ pub fn response_bytes(status: u16, content_type: &str, body: &[u8], keep_alive: 
     );
     if status == 429 {
         head.push_str("Retry-After: 1\r\n");
+    }
+    if let Some(id) = trace_id {
+        head.push_str(&format!(
+            "X-Trace-Id: {}\r\n",
+            gleipnir_telemetry::format_trace_id(id)
+        ));
     }
     head.push_str(if keep_alive {
         "Connection: keep-alive\r\n\r\n"
@@ -283,5 +311,14 @@ mod tests {
         let text = String::from_utf8(bytes).unwrap();
         assert!(text.contains("Retry-After: 1\r\n"));
         assert!(text.contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn traced_responses_carry_the_trace_id_header() {
+        let bytes = response_bytes_traced(200, "application/json", b"{}", true, 0xabc);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("X-Trace-Id: 0000000000000abc\r\n"));
+        let bytes = response_bytes(200, "application/json", b"{}", true);
+        assert!(!String::from_utf8(bytes).unwrap().contains("X-Trace-Id"));
     }
 }

@@ -36,13 +36,19 @@
 //! |---|---|---|
 //! | `POST /analyze` | GLQ source + params (see [`wire`]) | `{"ok":true,"report":{…}}` |
 //! | `POST /batch` | `{"programs":[…]}` | per-entry results |
-//! | `GET /healthz` | — | `{"ok":true,"status":"ok"}` |
-//! | `GET /metrics` | — | cache hits/misses/in-flight dedup, stage-time totals, queue depth, shed count, peer-sync counters, pool size |
+//! | `GET /healthz` | — | `{"ok":true,"status":"ok",…}` plus uptime, version, and worker/queue saturation |
+//! | `GET /metrics` | — | cache hits/misses/in-flight dedup, stage-time totals, queue depth, shed count, peer-sync counters, pool size, latency quantiles |
+//! | `GET /metrics?format=prometheus` | — | the same numbers (plus full latency histograms) in Prometheus text exposition format v0.0.4 |
+//! | `GET /trace/<id>` | — | the span tree for a recent request, by the `X-Trace-Id` its response carried (see `docs/OBSERVABILITY.md`) |
 //! | `GET /certs/since/<seq>` | — | framed certificate records from sequence `<seq>` (the peer-sync feed) |
 //!
 //! Overload answers `429` (never a hang), malformed bytes `400`,
 //! oversized heads or declared bodies `413`, stalled requests `408`,
-//! semantically invalid requests and failed analyses `422`.
+//! semantically invalid requests and failed analyses `422`. Every
+//! worker-routed response carries an `X-Trace-Id` header; `requests_total`
+//! counts every response the server generates (routed responses *and*
+//! protocol-level `429`/`400`/`413`/`408`), while `http_err` counts error
+//! responses plus reads that died before producing one.
 //!
 //! ## Fleet certificate sharing
 //!

@@ -5,10 +5,16 @@
 //! pool size) are read fresh from the [`Engine`](gleipnir_core::Engine) at
 //! render time rather than mirrored.
 
-use gleipnir_core::jsonfmt::json_ms;
+use gleipnir_core::jsonfmt::{json_f64, json_ms};
 use gleipnir_core::{CacheStats, LoadStats, Report, TierStats};
+use gleipnir_telemetry as telemetry;
+use gleipnir_telemetry::detail;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// The crate version baked into `/healthz`, `/metrics`, and the
+/// `gleipnir_build_info` Prometheus series.
+pub(crate) const VERSION: &str = env!("CARGO_PKG_VERSION");
 
 /// Cumulative counters for one server instance.
 #[derive(Debug)]
@@ -65,6 +71,14 @@ pub struct Metrics {
     /// Peer records that failed re-certification (the containment path
     /// for malicious, stale, or corrupt peers).
     pub peer_records_rejected: AtomicUsize,
+    /// Request wall (parse start → response framed) for `/analyze`.
+    pub req_analyze_ms: telemetry::Histogram,
+    /// Request wall for `/batch`.
+    pub req_batch_ms: telemetry::Histogram,
+    /// Request wall for `/diff`.
+    pub req_diff_ms: telemetry::Histogram,
+    /// Request wall for everything else (`/healthz`, `/metrics`, …).
+    pub req_other_ms: telemetry::Histogram,
 }
 
 impl Metrics {
@@ -95,6 +109,26 @@ impl Metrics {
             peer_records_received: AtomicUsize::new(0),
             peer_records_added: AtomicUsize::new(0),
             peer_records_rejected: AtomicUsize::new(0),
+            req_analyze_ms: telemetry::Histogram::latency(),
+            req_batch_ms: telemetry::Histogram::latency(),
+            req_diff_ms: telemetry::Histogram::latency(),
+            req_other_ms: telemetry::Histogram::latency(),
+        }
+    }
+
+    /// Uptime in whole seconds (for `/healthz` and the Prometheus gauge).
+    pub(crate) fn uptime_seconds(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// Folds one request wall into the per-endpoint latency histogram.
+    /// `endpoint` is the request span's [`detail`] code.
+    pub(crate) fn observe_request(&self, endpoint: u32, wall_ms: f64) {
+        match endpoint {
+            detail::ENDPOINT_ANALYZE => self.req_analyze_ms.observe_ms(wall_ms),
+            detail::ENDPOINT_BATCH => self.req_batch_ms.observe_ms(wall_ms),
+            detail::ENDPOINT_DIFF => self.req_diff_ms.observe_ms(wall_ms),
+            _ => self.req_other_ms.observe_ms(wall_ms),
         }
     }
 
@@ -145,7 +179,10 @@ impl Metrics {
                 "\"stage_totals_ms\":{{\"plan\":{},\"solve\":{},\"assemble\":{}}},",
                 "\"store\":{{\"enabled\":{},\"loaded\":{},\"rejected\":{},\"appended\":{}}},",
                 "\"peers\":{{\"certs_served\":{},\"pull_ok\":{},\"pull_err\":{},",
-                "\"records_received\":{},\"records_added\":{},\"records_rejected\":{}}}}}"
+                "\"records_received\":{},\"records_added\":{},\"records_rejected\":{}}},",
+                "\"uptime_seconds\":{},\"version\":\"{}\",",
+                "\"saturation\":{{\"workers_busy\":{},\"queue_fill\":{}}},",
+                "\"latency_ms\":{{\"analyze\":{},\"batch\":{},\"diff\":{},\"other\":{}}}}}"
             ),
             json_ms(self.started.elapsed().as_secs_f64() * 1e3),
             pool_threads,
@@ -185,6 +222,268 @@ impl Metrics {
             c(&self.peer_records_received),
             c(&self.peer_records_added),
             c(&self.peer_records_rejected),
+            self.uptime_seconds(),
+            VERSION,
+            json_f64(c(&self.in_flight) as f64 / workers as f64),
+            json_f64(queue_depth as f64 / queue_capacity as f64),
+            quantiles_json(&self.req_analyze_ms),
+            quantiles_json(&self.req_batch_ms),
+            quantiles_json(&self.req_diff_ms),
+            quantiles_json(&self.req_other_ms),
         )
     }
+
+    /// Renders the `/metrics?format=prometheus` document (text exposition
+    /// format v0.0.4). Same numbers as the JSON, plus the latency
+    /// histograms in full (the JSON carries only quantile summaries).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn to_prometheus(
+        &self,
+        cache: CacheStats,
+        tiers: TierStats,
+        pool_threads: usize,
+        workers: usize,
+        queue_depth: usize,
+        queue_capacity: usize,
+        store_enabled: bool,
+    ) -> String {
+        use telemetry::prom;
+        let c = |a: &AtomicUsize| a.load(Ordering::Relaxed) as u64;
+        let no: &[(&str, &str)] = &[];
+        let mut out = String::with_capacity(8 * 1024);
+        prom::gauge(
+            &mut out,
+            "gleipnir_build_info",
+            "Constant 1, labeled with the server version.",
+            &[(&[("version", VERSION)][..], 1.0)],
+        );
+        prom::gauge(
+            &mut out,
+            "gleipnir_uptime_seconds",
+            "Seconds since this server started.",
+            &[(no, self.started.elapsed().as_secs_f64())],
+        );
+        prom::counter(
+            &mut out,
+            "gleipnir_connections_total",
+            "Connections accepted (including ones later shed).",
+            &[(no, c(&self.connections_total))],
+        );
+        prom::counter(
+            &mut out,
+            "gleipnir_shed_total",
+            "Connections shed because the server was at capacity.",
+            &[(no, c(&self.shed_total))],
+        );
+        prom::counter(
+            &mut out,
+            "gleipnir_requests_total",
+            "Responses generated (parsed requests plus protocol errors).",
+            &[(no, c(&self.requests_total))],
+        );
+        prom::counter(
+            &mut out,
+            "gleipnir_http_errors_total",
+            "Error responses plus reads that died before one.",
+            &[(no, c(&self.http_err))],
+        );
+        prom::counter(
+            &mut out,
+            "gleipnir_responses_total",
+            "Endpoint responses by outcome.",
+            &[
+                (
+                    &[("endpoint", "analyze"), ("outcome", "ok")][..],
+                    c(&self.analyze_ok),
+                ),
+                (
+                    &[("endpoint", "analyze"), ("outcome", "err")][..],
+                    c(&self.analyze_err),
+                ),
+                (
+                    &[("endpoint", "batch"), ("outcome", "ok")][..],
+                    c(&self.batch_ok),
+                ),
+                (
+                    &[("endpoint", "batch"), ("outcome", "err")][..],
+                    c(&self.batch_err),
+                ),
+                (
+                    &[("endpoint", "diff"), ("outcome", "ok")][..],
+                    c(&self.diff_ok),
+                ),
+                (
+                    &[("endpoint", "diff"), ("outcome", "err")][..],
+                    c(&self.diff_err),
+                ),
+            ],
+        );
+        prom::counter(
+            &mut out,
+            "gleipnir_diff_prefix_gates_reused_total",
+            "Gates served from reused diff prefixes (no re-plan, no solve).",
+            &[(no, c(&self.diff_prefix_gates_reused))],
+        );
+        prom::gauge(
+            &mut out,
+            "gleipnir_in_flight_requests",
+            "Requests currently being served by workers.",
+            &[(no, c(&self.in_flight) as f64)],
+        );
+        prom::gauge(
+            &mut out,
+            "gleipnir_workers",
+            "HTTP worker threads.",
+            &[(no, workers as f64)],
+        );
+        prom::gauge(
+            &mut out,
+            "gleipnir_pool_threads",
+            "Engine solve-pool threads.",
+            &[(no, pool_threads as f64)],
+        );
+        prom::gauge(
+            &mut out,
+            "gleipnir_queue_depth",
+            "Parsed requests waiting for a worker.",
+            &[(no, queue_depth as f64)],
+        );
+        prom::gauge(
+            &mut out,
+            "gleipnir_queue_capacity",
+            "Job-queue capacity (shedding starts past workers+capacity).",
+            &[(no, queue_capacity as f64)],
+        );
+        prom::gauge(
+            &mut out,
+            "gleipnir_saturation_ratio",
+            "Busy fraction: workers serving, queue slots filled.",
+            &[
+                (
+                    &[("resource", "workers")][..],
+                    c(&self.in_flight) as f64 / workers as f64,
+                ),
+                (
+                    &[("resource", "queue")][..],
+                    queue_depth as f64 / queue_capacity as f64,
+                ),
+            ],
+        );
+        prom::counter(
+            &mut out,
+            "gleipnir_cache_lookups_total",
+            "Certificate-cache lookups by result.",
+            &[
+                (&[("result", "hit")][..], cache.hits as u64),
+                (&[("result", "miss")][..], cache.misses as u64),
+                (
+                    &[("result", "inflight_join")][..],
+                    cache.inflight_dedup as u64,
+                ),
+            ],
+        );
+        prom::gauge(
+            &mut out,
+            "gleipnir_cache_entries",
+            "Certificates currently cached.",
+            &[(no, cache.entries as f64)],
+        );
+        prom::counter(
+            &mut out,
+            "gleipnir_solves_total",
+            "SDP judgments answered, by tier.",
+            &[
+                (&[("tier", "closed_form")][..], tiers.closed_form as u64),
+                (&[("tier", "warm")][..], tiers.warm as u64),
+                (&[("tier", "cold")][..], tiers.cold as u64),
+            ],
+        );
+        prom::counter(
+            &mut out,
+            "gleipnir_ip_iterations_total",
+            "Interior-point iterations across all SDP solves.",
+            &[(no, tiers.ip_iterations as u64)],
+        );
+        prom::gauge(
+            &mut out,
+            "gleipnir_store_enabled",
+            "1 when the certificate store writes through to disk.",
+            &[(no, if store_enabled { 1.0 } else { 0.0 })],
+        );
+        prom::counter(
+            &mut out,
+            "gleipnir_store_records",
+            "Certificate-store record movements.",
+            &[
+                (&[("event", "loaded")][..], c(&self.load_loaded)),
+                (&[("event", "rejected")][..], c(&self.load_rejected)),
+                (&[("event", "appended")][..], c(&self.persisted_records)),
+            ],
+        );
+        prom::counter(
+            &mut out,
+            "gleipnir_peer_records_total",
+            "Fleet gossip record movements.",
+            &[
+                (&[("event", "served")][..], c(&self.certs_served)),
+                (&[("event", "received")][..], c(&self.peer_records_received)),
+                (&[("event", "added")][..], c(&self.peer_records_added)),
+                (&[("event", "rejected")][..], c(&self.peer_records_rejected)),
+            ],
+        );
+        prom::counter(
+            &mut out,
+            "gleipnir_peer_pulls_total",
+            "Gossip pulls by outcome.",
+            &[
+                (&[("outcome", "ok")][..], c(&self.peer_pull_ok)),
+                (&[("outcome", "err")][..], c(&self.peer_pull_err)),
+            ],
+        );
+        prom::histogram(
+            &mut out,
+            "gleipnir_request_duration_seconds",
+            "Request wall from parse start to framed response, per endpoint.",
+            &[
+                (
+                    &[("endpoint", "analyze")][..],
+                    self.req_analyze_ms.snapshot(),
+                ),
+                (&[("endpoint", "batch")][..], self.req_batch_ms.snapshot()),
+                (&[("endpoint", "diff")][..], self.req_diff_ms.snapshot()),
+                (&[("endpoint", "other")][..], self.req_other_ms.snapshot()),
+            ],
+        );
+        let t = telemetry::global();
+        prom::histogram(
+            &mut out,
+            "gleipnir_stage_duration_seconds",
+            "Pipeline stage walls per analysis.",
+            &[
+                (&[("stage", "plan")][..], t.plan_ms.snapshot()),
+                (&[("stage", "solve")][..], t.solve_ms.snapshot()),
+                (&[("stage", "assemble")][..], t.assemble_ms.snapshot()),
+            ],
+        );
+        prom::histogram(
+            &mut out,
+            "gleipnir_ip_solve_duration_seconds",
+            "Interior-point solve wall per real (non-closed-form) solve.",
+            &[(no, t.ip_solve_ms.snapshot())],
+        );
+        out
+    }
+}
+
+/// A `{count,p50,p95,p99}` JSON summary of one latency histogram
+/// (milliseconds, matching the sibling `stage_totals_ms`).
+fn quantiles_json(h: &telemetry::Histogram) -> String {
+    let snap = h.snapshot();
+    format!(
+        "{{\"count\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+        snap.count,
+        json_ms(snap.quantile_ms(0.50)),
+        json_ms(snap.quantile_ms(0.95)),
+        json_ms(snap.quantile_ms(0.99)),
+    )
 }

@@ -46,6 +46,7 @@ use crate::http::{self, HttpRequest, Parse, ParseError};
 use crate::poll::{self, Interest};
 use crate::server::Shared;
 use crate::wire;
+use gleipnir_telemetry as telemetry;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
@@ -85,6 +86,16 @@ pub(crate) struct Job {
     pub request: HttpRequest,
     /// Whether the response should keep the connection open.
     pub keep_alive: bool,
+    /// Trace id minted at parse time (echoed as `X-Trace-Id`).
+    pub trace_id: u64,
+    /// The root request-span id; the parse span is already recorded under
+    /// it, the worker adds queue-wait and handler children.
+    pub root_span: u32,
+    /// When the reactor started parsing this request — the root span's
+    /// start ([`gleipnir_telemetry::now_ns`] timebase).
+    pub parse_start_ns: u64,
+    /// When the job entered the queue (queue-wait span start).
+    pub enqueued_ns: u64,
 }
 
 /// The reactor → workers request queue. Unbounded as a data structure —
@@ -419,6 +430,17 @@ impl Reactor {
                             // honest backpressure.
                             continue;
                         }
+                        // Unified accounting: the 429 is a response the
+                        // server generated, so it counts as a request and
+                        // an error — overload is visible in dashboard
+                        // rates, not just in `shed_total`. (Hard sheds
+                        // above produce no response and count in
+                        // `shed_total` only.)
+                        self.shared
+                            .metrics
+                            .requests_total
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.shared.metrics.http_err.fetch_add(1, Ordering::Relaxed);
                         let mut conn = Conn::new(stream);
                         conn.shed = true;
                         conn.enqueue_close_response(
@@ -549,6 +571,7 @@ impl Reactor {
                 return;
             }
             conn.idle_deadline = None;
+            let parse_t0 = telemetry::now_ns();
             match http::parse_request(&conn.buf, self.shared.config.max_body_bytes) {
                 Parse::Incomplete => {
                     if conn.deadline.is_none() {
@@ -573,10 +596,33 @@ impl Reactor {
                         .metrics
                         .requests_total
                         .fetch_add(1, Ordering::Relaxed);
+                    // Every request gets a trace: the root span opens at
+                    // parse start, the parse itself is its first child,
+                    // and the worker closes the root at response framing.
+                    let trace_id = telemetry::next_trace_id();
+                    let root_span = telemetry::next_span_id();
+                    let enqueued_ns = telemetry::now_ns();
+                    telemetry::record_span(
+                        telemetry::TraceCtx {
+                            trace_id,
+                            parent: root_span,
+                        },
+                        telemetry::SpanName::HttpParse,
+                        telemetry::next_span_id(),
+                        parse_t0,
+                        enqueued_ns,
+                        0,
+                        0,
+                        0,
+                    );
                     self.shared.jobs.push(Job {
                         conn: id,
                         request,
                         keep_alive: keep_alive && !shutting_down,
+                        trace_id,
+                        root_span,
+                        parse_start_ns: parse_t0,
+                        enqueued_ns,
                     });
                 }
                 Parse::Error(e) => {
@@ -584,6 +630,13 @@ impl Reactor {
                         ParseError::TooLarge => (413, "request too large".to_string()),
                         ParseError::Malformed(m) => (400, format!("malformed request: {m}")),
                     };
+                    // Unified accounting: every response the server
+                    // generates counts in `requests_total`, so dashboard
+                    // rates don't undercount under protocol abuse.
+                    self.shared
+                        .metrics
+                        .requests_total
+                        .fetch_add(1, Ordering::Relaxed);
                     self.shared.metrics.http_err.fetch_add(1, Ordering::Relaxed);
                     conn.enqueue_close_response(status, &msg);
                     let id = id;
@@ -653,6 +706,12 @@ impl Reactor {
             }
             if let Some(t) = conn.deadline {
                 if now >= t && !conn.inflight && !conn.reading_dead {
+                    // Unified accounting: a 408 is a generated response,
+                    // so it counts in `requests_total` too.
+                    self.shared
+                        .metrics
+                        .requests_total
+                        .fetch_add(1, Ordering::Relaxed);
                     self.shared.metrics.http_err.fetch_add(1, Ordering::Relaxed);
                     conn.enqueue_close_response(408, "request read timed out");
                     timed_out.push(id);

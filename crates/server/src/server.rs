@@ -35,12 +35,14 @@
 use crate::config::ServerConfig;
 use crate::http;
 use crate::json;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, VERSION};
 use crate::peer;
 use crate::reactor::{waker_pair, Completion, JobQueue, Reactor, Waker};
 use crate::wire;
 use gleipnir_core::jsonfmt::json_ms;
 use gleipnir_core::{AnalysisError, AnalysisRequest, CertStore, Engine, EngineOptions};
+use gleipnir_telemetry as telemetry;
+use gleipnir_telemetry::{detail, SpanName};
 use std::fmt;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -251,15 +253,70 @@ pub fn spawn(config: ServerConfig) -> Result<ServerHandle, ServerError> {
 
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.jobs.pop(&shared.shutdown) {
+        let popped_ns = telemetry::now_ns();
         shared.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
-        let response = route(shared, &job.request);
+        // The trace root lives on the Job: the reactor minted the ids and
+        // recorded the parse span; this thread records queue wait, the
+        // handler, and finally the root request span, then seals the
+        // trace so `GET /trace/<id>` can serve it.
+        let under_root = telemetry::TraceCtx {
+            trace_id: job.trace_id,
+            parent: job.root_span,
+        };
+        telemetry::record_span(
+            under_root,
+            SpanName::QueueWait,
+            telemetry::next_span_id(),
+            job.enqueued_ns,
+            popped_ns,
+            0,
+            0,
+            0,
+        );
+        let handler_id = telemetry::next_span_id();
+        let handler_ctx = telemetry::TraceCtx {
+            trace_id: job.trace_id,
+            parent: handler_id,
+        };
+        let response = telemetry::with_ctx(handler_ctx, || route(shared, &job.request));
+        let end_ns = telemetry::now_ns();
+        telemetry::record_span(
+            under_root,
+            SpanName::Handler,
+            handler_id,
+            popped_ns,
+            end_ns,
+            0,
+            0,
+            0,
+        );
+        let endpoint = endpoint_code(&job.request.path);
+        telemetry::record_span(
+            telemetry::TraceCtx {
+                trace_id: job.trace_id,
+                parent: 0,
+            },
+            SpanName::Request,
+            job.root_span,
+            job.parse_start_ns,
+            end_ns,
+            endpoint,
+            0,
+            0,
+        );
+        shared.metrics.observe_request(
+            endpoint,
+            end_ns.saturating_sub(job.parse_start_ns) as f64 / 1e6,
+        );
+        telemetry::global().finish_trace(job.trace_id);
         // Late shutdown closes keep-alive connections so drain finishes.
         let keep_alive = job.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
-        let bytes = http::response_bytes(
+        let bytes = http::response_bytes_traced(
             response.status,
             response.content_type,
             &response.body,
             keep_alive,
+            job.trace_id,
         );
         {
             let mut bin = shared.completions.lock().unwrap_or_else(|e| e.into_inner());
@@ -295,10 +352,53 @@ impl Response {
 /// The cert-sync endpoint's path prefix.
 const CERTS_SINCE: &str = "/certs/since/";
 
+/// The trace-retrieval endpoint's path prefix.
+const TRACE_PREFIX: &str = "/trace/";
+
+/// Maps a request target to the request span's endpoint [`detail`] code
+/// (also the per-endpoint latency-histogram key).
+fn endpoint_code(target: &str) -> u32 {
+    let path = target.split('?').next().unwrap_or(target);
+    match path {
+        "/analyze" => detail::ENDPOINT_ANALYZE,
+        "/batch" => detail::ENDPOINT_BATCH,
+        "/diff" => detail::ENDPOINT_DIFF,
+        "/healthz" => detail::ENDPOINT_HEALTHZ,
+        "/metrics" => detail::ENDPOINT_METRICS,
+        p if p.starts_with(CERTS_SINCE) => detail::ENDPOINT_CERTS,
+        p if p.starts_with(TRACE_PREFIX) => detail::ENDPOINT_TRACE,
+        _ => detail::ENDPOINT_OTHER,
+    }
+}
+
 fn route(shared: &Arc<Shared>, request: &http::HttpRequest) -> Response {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => Response::json(200, "{\"ok\":true,\"status\":\"ok\"}".into()),
+    // The query string rides along in `path`; split it off here. Only
+    // `/metrics?format=…` interprets one — everything else ignores it.
+    let (path, query) = match request.path.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (request.path.as_str(), None),
+    };
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => handle_healthz(shared),
         ("GET", "/metrics") => {
+            let prometheus =
+                query.is_some_and(|q| q.split('&').any(|kv| kv == "format=prometheus"));
+            if prometheus {
+                let body = shared.metrics.to_prometheus(
+                    shared.engine.cache_stats(),
+                    shared.engine.tier_stats(),
+                    shared.engine.threads(),
+                    shared.config.workers.max(1),
+                    shared.jobs.len(),
+                    shared.config.queue_capacity.max(1),
+                    shared.store_on_disk,
+                );
+                return Response {
+                    status: 200,
+                    content_type: "text/plain; version=0.0.4",
+                    body: body.into_bytes(),
+                };
+            }
             let body = shared.metrics.to_json(
                 shared.engine.cache_stats(),
                 shared.engine.tier_stats(),
@@ -309,6 +409,9 @@ fn route(shared: &Arc<Shared>, request: &http::HttpRequest) -> Response {
                 shared.store_on_disk,
             );
             Response::json(200, body)
+        }
+        ("GET", target) if target.starts_with(TRACE_PREFIX) => {
+            handle_trace(shared, &target[TRACE_PREFIX.len()..])
         }
         ("POST", "/analyze") => handle_analyze(shared, &request.body),
         ("POST", "/batch") => handle_batch(shared, &request.body),
@@ -340,13 +443,44 @@ fn route(shared: &Arc<Shared>, request: &http::HttpRequest) -> Response {
             shared.metrics.http_err.fetch_add(1, Ordering::Relaxed);
             Response::json(405, wire::error_json("method not allowed"))
         }
-        (_, path) if path.starts_with(CERTS_SINCE) => {
+        (_, path) if path.starts_with(CERTS_SINCE) || path.starts_with(TRACE_PREFIX) => {
             shared.metrics.http_err.fetch_add(1, Ordering::Relaxed);
             Response::json(405, wire::error_json("method not allowed"))
         }
         (_, path) => {
             shared.metrics.http_err.fetch_add(1, Ordering::Relaxed);
             Response::json(404, wire::error_json(&format!("no such endpoint: {path}")))
+        }
+    }
+}
+
+fn handle_healthz(shared: &Arc<Shared>) -> Response {
+    let body = format!(
+        concat!(
+            "{{\"ok\":true,\"status\":\"ok\",",
+            "\"uptime_seconds\":{},\"version\":\"{}\",",
+            "\"in_flight\":{},\"workers\":{},",
+            "\"queue_depth\":{},\"queue_capacity\":{}}}"
+        ),
+        shared.metrics.uptime_seconds(),
+        VERSION,
+        shared.metrics.in_flight.load(Ordering::Relaxed),
+        shared.config.workers.max(1),
+        shared.jobs.len(),
+        shared.config.queue_capacity.max(1),
+    );
+    Response::json(200, body)
+}
+
+/// `GET /trace/<id>`: a recently completed trace as its span-tree JSON.
+/// The store is a bounded ring, so old traces age out — `404` covers
+/// both "never existed" and "evicted".
+fn handle_trace(shared: &Arc<Shared>, id: &str) -> Response {
+    match telemetry::parse_trace_id(id).and_then(|id| telemetry::global().trace(id)) {
+        Some(trace) => Response::json(200, trace.to_json()),
+        None => {
+            shared.metrics.http_err.fetch_add(1, Ordering::Relaxed);
+            Response::json(404, wire::error_json("no such trace (recent traces only)"))
         }
     }
 }

@@ -1,0 +1,250 @@
+//! Completed traces: a bounded in-memory store plus span-tree rendering
+//! (JSON for `GET /trace/<id>`, indented text for `gleipnir analyze
+//! --trace`).
+
+use crate::span::{detail, SpanName, SpanRecord};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One completed trace: every span collected for a trace id, sorted by
+/// start time.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// The trace id (also the `X-Trace-Id` the response carried).
+    pub trace_id: u64,
+    /// All spans, sorted by `(start_ns, id)`.
+    pub spans: Vec<SpanRecord>,
+}
+
+/// One node of the rendered span tree.
+#[derive(Clone, Debug)]
+pub struct SpanNode {
+    /// The span at this node.
+    pub record: SpanRecord,
+    /// Child spans (those whose `parent` is this span's id), in start
+    /// order.
+    pub children: Vec<SpanNode>,
+}
+
+impl Trace {
+    /// Wall time of the whole trace in ms: earliest start to latest end.
+    pub fn wall_ms(&self) -> f64 {
+        let start = self.spans.iter().map(|s| s.start_ns).min().unwrap_or(0);
+        let end = self.spans.iter().map(|s| s.end_ns).max().unwrap_or(0);
+        end.saturating_sub(start) as f64 / 1e6
+    }
+
+    /// Builds the span tree. Spans whose parent was not collected (e.g.
+    /// overwritten in a ring) surface as additional roots rather than
+    /// disappearing.
+    pub fn tree(&self) -> Vec<SpanNode> {
+        // Two passes over the start-sorted spans: index children per
+        // parent id, then emit roots recursively.
+        fn build(spans: &[SpanRecord], parent: u32, ids: &[u32]) -> Vec<SpanNode> {
+            spans
+                .iter()
+                .filter(|s| s.parent == parent || (parent == 0 && !ids.contains(&s.parent)))
+                .map(|s| SpanNode {
+                    record: *s,
+                    children: build(spans, s.id, ids),
+                })
+                .collect()
+        }
+        let ids: Vec<u32> = self.spans.iter().map(|s| s.id).collect();
+        build(&self.spans, 0, &ids)
+    }
+
+    /// The trace as the `/trace/<id>` JSON document:
+    ///
+    /// ```json
+    /// {"trace_id":"…16 hex…","wall_ms":12.345,"spans":[
+    ///   {"name":"request","id":1,"start_ms":0.0,"wall_ms":12.3,
+    ///    "detail":"analyze","children":[…]}]}
+    /// ```
+    ///
+    /// `start_ms` is relative to the trace start. Obligation spans add
+    /// `"wait_ms"` (pool queue wait) and `"iterations"`.
+    pub fn to_json(&self) -> String {
+        let t0 = self.spans.iter().map(|s| s.start_ns).min().unwrap_or(0);
+        fn node_json(n: &SpanNode, t0: u64) -> String {
+            let r = &n.record;
+            let mut fields = vec![
+                format!("\"name\":\"{}\"", r.name.as_str()),
+                format!("\"id\":{}", r.id),
+                format!(
+                    "\"start_ms\":{:.3}",
+                    r.start_ns.saturating_sub(t0) as f64 / 1e6
+                ),
+                format!("\"wall_ms\":{:.3}", r.wall_ms()),
+            ];
+            if let Some(d) = detail::as_str(r.name, r.detail) {
+                fields.push(format!("\"detail\":\"{d}\""));
+            }
+            if r.name == SpanName::Obligation {
+                fields.push(format!("\"wait_ms\":{:.3}", r.value as f64 / 1e6));
+                fields.push(format!("\"iterations\":{}", r.value2));
+            }
+            let children: Vec<String> = n.children.iter().map(|c| node_json(c, t0)).collect();
+            fields.push(format!("\"children\":[{}]", children.join(",")));
+            format!("{{{}}}", fields.join(","))
+        }
+        let roots: Vec<String> = self.tree().iter().map(|n| node_json(n, t0)).collect();
+        format!(
+            "{{\"trace_id\":\"{}\",\"wall_ms\":{:.3},\"spans\":[{}]}}",
+            crate::format_trace_id(self.trace_id),
+            self.wall_ms(),
+            roots.join(",")
+        )
+    }
+
+    /// The trace as an indented text tree for the CLI.
+    pub fn render_text(&self) -> String {
+        fn node_text(out: &mut String, n: &SpanNode, depth: usize) {
+            let r = &n.record;
+            let indent = "  ".repeat(depth);
+            let detail = detail::as_str(r.name, r.detail)
+                .map(|d| format!(" [{d}]"))
+                .unwrap_or_default();
+            let extra = if r.name == SpanName::Obligation {
+                format!(
+                    " (wait {:.3} ms, {} iterations)",
+                    r.value as f64 / 1e6,
+                    r.value2
+                )
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "{indent}{}{detail}  {:.3} ms{extra}\n",
+                r.name.as_str(),
+                r.wall_ms()
+            ));
+            for c in &n.children {
+                node_text(out, c, depth + 1);
+            }
+        }
+        let mut out = format!(
+            "trace {}  ({:.3} ms, {} spans)\n",
+            crate::format_trace_id(self.trace_id),
+            self.wall_ms(),
+            self.spans.len()
+        );
+        for root in &self.tree() {
+            node_text(&mut out, root, 1);
+        }
+        out
+    }
+}
+
+/// A bounded ring of recently completed traces, oldest evicted first.
+pub struct TraceStore {
+    capacity: usize,
+    traces: Mutex<VecDeque<Trace>>,
+}
+
+impl TraceStore {
+    /// A store keeping the most recent `capacity` traces.
+    pub fn new(capacity: usize) -> TraceStore {
+        TraceStore {
+            capacity: capacity.max(1),
+            traces: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Stores a completed trace (evicting the oldest when full). Empty
+    /// span sets are stored too, so `/trace/<id>` can distinguish "no
+    /// spans survived" from "unknown id".
+    pub fn push(&self, trace_id: u64, spans: Vec<SpanRecord>) {
+        let mut traces = self.traces.lock().unwrap_or_else(|e| e.into_inner());
+        if traces.len() == self.capacity {
+            traces.pop_front();
+        }
+        traces.push_back(Trace { trace_id, spans });
+    }
+
+    /// Looks up a stored trace by id.
+    pub fn get(&self, trace_id: u64) -> Option<Trace> {
+        self.traces
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .rev()
+            .find(|t| t.trace_id == trace_id)
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u32, parent: u32, name: SpanName, start_ns: u64, end_ns: u64) -> SpanRecord {
+        SpanRecord {
+            trace_id: 1,
+            id,
+            parent,
+            name,
+            detail: 0,
+            value: 0,
+            value2: 0,
+            start_ns,
+            end_ns,
+        }
+    }
+
+    fn sample() -> Trace {
+        Trace {
+            trace_id: 0xabc,
+            spans: vec![
+                rec(1, 0, SpanName::Request, 0, 10_000_000),
+                rec(2, 1, SpanName::QueueWait, 0, 1_000_000),
+                rec(3, 1, SpanName::Handler, 1_000_000, 10_000_000),
+                rec(4, 3, SpanName::Plan, 1_000_000, 2_000_000),
+            ],
+        }
+    }
+
+    #[test]
+    fn tree_nests_by_parent_ids() {
+        let t = sample();
+        let roots = t.tree();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].children.len(), 2);
+        assert_eq!(roots[0].children[1].children.len(), 1);
+        assert_eq!(roots[0].children[1].children[0].record.name, SpanName::Plan);
+    }
+
+    #[test]
+    fn orphaned_spans_surface_as_roots() {
+        let mut t = sample();
+        t.spans.push(rec(9, 999, SpanName::Solve, 5, 6));
+        assert_eq!(t.tree().len(), 2);
+    }
+
+    #[test]
+    fn json_has_ids_walls_and_nesting() {
+        let json = sample().to_json();
+        assert!(json.contains("\"trace_id\":\"0000000000000abc\""));
+        assert!(json.contains("\"name\":\"request\""));
+        assert!(json.contains("\"wall_ms\":10.000"));
+        assert!(json.contains("\"children\":[")); // nested, not flat
+    }
+
+    #[test]
+    fn text_tree_indents_children() {
+        let text = sample().render_text();
+        assert!(text.contains("trace 0000000000000abc"));
+        assert!(text.contains("\n  request"));
+        assert!(text.contains("\n      plan"));
+    }
+
+    #[test]
+    fn store_is_bounded_and_keeps_latest() {
+        let store = TraceStore::new(2);
+        store.push(1, Vec::new());
+        store.push(2, Vec::new());
+        store.push(3, Vec::new());
+        assert!(store.get(1).is_none(), "oldest evicted");
+        assert!(store.get(2).is_some() && store.get(3).is_some());
+    }
+}

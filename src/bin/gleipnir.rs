@@ -5,7 +5,7 @@
 //! gleipnir analyze  <file.glq> [--method state|adaptive|worst|lqr] [--width W]
 //!                              [--noise SPEC] [--input BITS] [--threads N]
 //!                              [--tiers exact|fast|closed|warm]
-//!                              [--derivation] [--json]
+//!                              [--derivation] [--trace] [--json]
 //! gleipnir batch    <a.glq> <b.glq> … [--method M] [--width W] [--noise SPEC]
 //!                              [--threads N] [--tiers T] [--json]
 //! gleipnir diff     <old.glq> <new.glq> [--width W] [--noise SPEC] [--input BITS]
@@ -42,6 +42,7 @@ use gleipnir::core::{AnalysisRequest, CertStore, Engine, EngineOptions, Method, 
 use gleipnir::noise::{DeviceModel, NoiseModel};
 use gleipnir::server::{spec, ServerConfig};
 use gleipnir::sim::BasisState;
+use gleipnir::telemetry;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -84,6 +85,8 @@ fn usage() -> String {
      \x20        unchanged prefix and reports each gate whose ε changed)\n\
      options: --method state|adaptive|worst|lqr   --width W   --input 0101   --json\n\
      \x20        --noise bitflip:P|depolarizing:P1,P2|ampdamp:G|none   --derivation\n\
+     \x20        --trace   (analyze only: print the span tree — plan/solve/assemble,\n\
+     \x20        per-obligation pool timing, solver phases — after the report)\n\
      \x20        --tiers exact|fast|closed|warm   (bound-engine tiers; default exact)\n\
      \x20        --threads N   (0/unset = GLEIPNIR_THREADS, then all cores)\n\
      \x20        --cache-dir DIR   (persistent SDP-certificate store; warm restarts)\n\
@@ -249,11 +252,56 @@ fn analyze(args: &[String]) -> Result<(), String> {
     let engine = make_engine(args)?;
     let mut store = open_store(args, &engine)?;
     let request = build_request(program.clone(), args)?;
-    let report = engine.analyze(&request).map_err(|e| e.to_string())?;
+    // --trace: run the analysis under an ambient trace context, exactly
+    // as the server does for one request, then print the span tree.
+    // Telemetry is pure observation — the report is bit-identical with
+    // or without it.
+    let trace = if has_flag(args, "--trace") {
+        let trace_id = telemetry::next_trace_id();
+        let root = telemetry::next_span_id();
+        Some((trace_id, root, telemetry::now_ns()))
+    } else {
+        None
+    };
+    let analyzed = match trace {
+        Some((trace_id, root, _)) => telemetry::with_ctx(
+            telemetry::TraceCtx {
+                trace_id,
+                parent: root,
+            },
+            || engine.analyze(&request),
+        ),
+        None => engine.analyze(&request),
+    };
+    let rendered_trace = trace.map(|(trace_id, root, start_ns)| {
+        telemetry::record_span(
+            telemetry::TraceCtx {
+                trace_id,
+                parent: 0,
+            },
+            telemetry::SpanName::Request,
+            root,
+            start_ns,
+            telemetry::now_ns(),
+            telemetry::detail::ENDPOINT_ANALYZE,
+            0,
+            0,
+        );
+        telemetry::global().finish_trace(trace_id);
+        telemetry::global().trace(trace_id)
+    });
+    let report = analyzed.map_err(|e| e.to_string())?;
     persist_store(&mut store, &engine)?;
     if json {
         println!("{}", report_json(&path, &program, &report));
+        // The tree goes to stderr so the stdout JSON document stays pure.
+        if let Some(Some(t)) = rendered_trace {
+            eprint!("{}", t.render_text());
+        }
         return Ok(());
+    }
+    if let Some(Some(t)) = &rendered_trace {
+        print!("{}", t.render_text());
     }
     println!(
         "{} qubits, {} gates, method {}",
@@ -544,7 +592,7 @@ fn serve(args: &[String]) -> Result<(), String> {
     let shutdown = gleipnir::server::signal::install_shutdown_signals();
     let handle = gleipnir::server::spawn(config).map_err(|e| e.to_string())?;
     println!("gleipnir-server listening on http://{}", handle.addr());
-    println!("endpoints: POST /analyze  POST /batch  POST /diff  GET /healthz  GET /metrics  GET /certs/since/<seq>  (ctrl-c / SIGTERM stops)");
+    println!("endpoints: POST /analyze  POST /batch  POST /diff  GET /healthz  GET /metrics[?format=prometheus]  GET /trace/<id>  GET /certs/since/<seq>  (ctrl-c / SIGTERM stops)");
     while !shutdown.load(std::sync::atomic::Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(100));
     }

@@ -23,6 +23,8 @@
 //!   the quantum error logic (the paper's contribution)
 //! * [`server`] — the HTTP/1.1 + JSON analysis daemon (`gleipnir serve`)
 //!   with the persistent certificate store
+//! * [`telemetry`] — tracing spans, latency histograms, and Prometheus
+//!   exposition for the fleet
 //! * [`workloads`] — QAOA / Ising / GHZ benchmark generators
 //!
 //! ## Quickstart
@@ -65,6 +67,7 @@ pub use gleipnir_noise as noise;
 pub use gleipnir_sdp as sdp;
 pub use gleipnir_server as server;
 pub use gleipnir_sim as sim;
+pub use gleipnir_telemetry as telemetry;
 pub use gleipnir_workloads as workloads;
 
 /// Commonly used items, re-exported for convenience.

@@ -404,3 +404,175 @@ fn error_surface_is_json_all_the_way_down() {
 
     server.join();
 }
+
+/// One raw exchange that also returns the response head, for tests that
+/// inspect headers (`X-Trace-Id`).
+fn exchange_with_head(addr: SocketAddr, raw: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    stream.write_all(raw.as_bytes()).expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .map(|(h, b)| (h.to_string(), b.to_string()))
+        .expect("complete response");
+    (status, head, body)
+}
+
+/// Sums `wall_ms` over one level of a span-node array.
+fn child_walls_ms(children: &[json::Json]) -> f64 {
+    children
+        .iter()
+        .map(|c| c.get("wall_ms").unwrap().as_f64().unwrap())
+        .sum()
+}
+
+fn find_child<'a>(node: &'a json::Json, name: &str) -> Option<&'a json::Json> {
+    node.get("children")
+        .and_then(json::Json::as_array)
+        .and_then(|cs| {
+            cs.iter()
+                .find(|c| c.get("name").and_then(json::Json::as_str) == Some(name))
+        })
+}
+
+/// End-to-end observability contract: a cold Ising-288 `/analyze` yields a
+/// retrievable trace whose span tree nests reactor (`http_parse`,
+/// `queue_wait`) → stage (`plan`/`solve`/`assemble`) → per-obligation →
+/// solver-phase spans, and whose top-level child walls account for the
+/// request wall (within 10%).
+#[test]
+fn analyze_trace_covers_the_whole_pipeline() {
+    let server = spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 8,
+        threads: 2,
+        ..ServerConfig::default()
+    })
+    .expect("spawn server");
+    let addr = server.addr();
+
+    // Ising-288: 12 sites × 12 Trotter layers — enough real SDP solves
+    // that every span kind shows up.
+    let source =
+        gleipnir::circuit::pretty(&gleipnir::workloads::ising_chain(12, 12, 1.0, 1.0, 0.1));
+    let body = format!(
+        "{{\"source\":{},\"width\":8,\"noise\":\"bitflip:1e-3\"}}",
+        json_str(&source)
+    );
+    let raw = format!(
+        "POST /analyze HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let (status, head, resp) = exchange_with_head(addr, &raw);
+    assert_eq!(status, 200, "{resp}");
+    let trace_id = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("x-trace-id")
+                .then(|| value.trim().to_string())
+        })
+        .expect("response carries X-Trace-Id");
+
+    let (status, trace_body) = get(addr, &format!("/trace/{trace_id}"));
+    assert_eq!(status, 200, "{trace_body}");
+    let v = json::parse(&trace_body).expect("trace is JSON");
+    assert_eq!(v.get("trace_id").unwrap().as_str(), Some(trace_id.as_str()));
+    let roots = v.get("spans").unwrap().as_array().unwrap();
+    assert_eq!(roots.len(), 1, "one root request span: {trace_body}");
+    let root = &roots[0];
+    assert_eq!(root.get("name").unwrap().as_str(), Some("request"));
+    assert_eq!(root.get("detail").unwrap().as_str(), Some("analyze"));
+
+    // Reactor-level children tile the request wall: parse + queue wait +
+    // handler. (The root wall is the span-tree's own measurement of the
+    // request; its children must account for it.)
+    let root_wall = root.get("wall_ms").unwrap().as_f64().unwrap();
+    let top_children = root.get("children").unwrap().as_array().unwrap();
+    let covered = child_walls_ms(top_children);
+    assert!(
+        (covered - root_wall).abs() <= 0.10 * root_wall,
+        "top-level span walls ({covered:.3} ms) must sum to within 10% of \
+         the request wall ({root_wall:.3} ms): {trace_body}"
+    );
+    for name in ["http_parse", "queue_wait", "handler"] {
+        assert!(
+            find_child(root, name).is_some(),
+            "root must have a `{name}` child: {trace_body}"
+        );
+    }
+
+    // Stage spans under the handler…
+    let handler = find_child(root, "handler").unwrap();
+    let solve = find_child(handler, "solve").expect("solve stage span");
+    for name in ["mps", "plan", "assemble"] {
+        assert!(
+            find_child(handler, name).is_some(),
+            "handler must have a `{name}` child: {trace_body}"
+        );
+    }
+
+    // …per-obligation spans under solve, solver-phase spans under a real
+    // (lead) solve.
+    let obligations = solve.get("children").unwrap().as_array().unwrap();
+    assert!(
+        !obligations.is_empty(),
+        "solve must have obligation children: {trace_body}"
+    );
+    let lead = obligations
+        .iter()
+        .find(|o| {
+            matches!(
+                o.get("detail").and_then(json::Json::as_str),
+                Some("lead_cold") | Some("lead_warm")
+            )
+        })
+        .expect("a cold analyze has at least one lead solve");
+    let phases = lead.get("children").unwrap().as_array().unwrap();
+    assert_eq!(
+        phases.len(),
+        7,
+        "a lead solve re-emits the seven solver phases: {trace_body}"
+    );
+    assert_eq!(phases[0].get("name").unwrap().as_str(), Some("phase_setup"));
+
+    // The store is a bounded ring: unknown ids 404.
+    let (status, _) = get(addr, "/trace/ffffffffffffffff");
+    assert_eq!(status, 404);
+
+    // The same analysis is visible in both metrics formats: JSON stays
+    // the backward-compatible default, `?format=prometheus` switches to
+    // the text exposition format.
+    let (status, js) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(js.starts_with("{\"uptime_ms\""), "{js}");
+    let (status, prom) = get(addr, "/metrics?format=prometheus");
+    assert_eq!(status, 200);
+    assert!(
+        prom.contains("# TYPE gleipnir_request_duration_seconds histogram"),
+        "{prom}"
+    );
+    assert!(
+        prom.contains(
+            "gleipnir_request_duration_seconds_bucket{endpoint=\"analyze\",le=\"+Inf\"} 1"
+        ),
+        "exactly one analyze request was served: {prom}"
+    );
+    assert!(
+        prom.contains("gleipnir_ip_solve_duration_seconds_count"),
+        "the cold analyze ran real SDP solves: {prom}"
+    );
+
+    server.join();
+}

@@ -17,7 +17,7 @@
 //!   request bytes in flight (drain-before-close: no response is ever
 //!   torn or RST'd away).
 
-use gleipnir::server::{spawn, ServerConfig, ServerHandle};
+use gleipnir::server::{json, spawn, ServerConfig, ServerHandle};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
@@ -236,6 +236,133 @@ fn unparseable_bytes_get_400() {
     let (status, _, body) = read_final_response(&mut stream);
     assert_eq!(status, 400, "{body}");
     assert!(body.contains("malformed"), "{body}");
+    server.join();
+}
+
+/// Accounting contract: `requests_total` counts every response the server
+/// generates — including protocol-level `400`s and `408`s that never
+/// reach a worker — and each of those also lands in `http_err`.
+#[test]
+fn protocol_errors_count_in_requests_total() {
+    let server = protocol_server();
+    let addr = server.addr();
+
+    // 1) Unparseable bytes → 400 (generated by the reactor, not a worker).
+    let mut stream = connect(addr);
+    stream.write_all(b"NOT HTTP\r\n\r\n").unwrap();
+    let (status, _, _) = read_final_response(&mut stream);
+    assert_eq!(status, 400);
+
+    // 2) Idle connection → 408 at the whole-request deadline.
+    let mut stream = connect(addr);
+    let (status, _, _) = read_final_response(&mut stream);
+    assert_eq!(status, 408);
+
+    // 3) The metrics fetch itself is request #3 (counted at parse time,
+    //    before the handler renders the document).
+    let mut stream = connect(addr);
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let (status, _, body) = read_final_response(&mut stream);
+    assert_eq!(status, 200, "{body}");
+    let m = json::parse(&body).unwrap();
+    let requests = m.get("requests").expect("requests section");
+    assert_eq!(
+        requests.get("requests_total").unwrap().as_usize(),
+        Some(3),
+        "400 + 408 + this /metrics fetch: {body}"
+    );
+    assert_eq!(
+        requests.get("http_err").unwrap().as_usize(),
+        Some(2),
+        "the 400 and the 408: {body}"
+    );
+    server.join();
+}
+
+/// Accounting contract for shed connections: a soft-shed `429` is a
+/// generated response, so it counts in `requests_total` and `http_err`
+/// alongside `shed_total` — overload shows up in dashboard request/error
+/// rates, not just in its own counter.
+#[test]
+fn shed_429_counts_as_request_and_error() {
+    let server = spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_capacity: 1,
+        read_timeout: Duration::from_secs(5),
+        threads: 1,
+        ..ServerConfig::default()
+    })
+    .expect("spawn server");
+    let addr = server.addr();
+
+    // Occupy the serving capacity (1 worker + 1 queue slot) with stalled
+    // requests, then get shed.
+    let mut pin = connect(addr);
+    pin.write_all(b"POST /analyze HTTP/1.1\r\n").unwrap();
+    let mut filler = connect(addr);
+    filler.write_all(b"POST /analyze HTTP/1.1\r\n").unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    let mut shed = connect(addr);
+    shed.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+    let (status, _, _) = read_final_response(&mut shed);
+    assert_eq!(status, 429);
+
+    // Complete the stalled requests (empty /analyze bodies → 400 from the
+    // handler, counted under analyze_err, not http_err) so capacity frees
+    // up without mid-request disconnects muddying the error counters.
+    for conn in [&mut pin, &mut filler] {
+        conn.write_all(b"Connection: close\r\nContent-Length: 0\r\n\r\n")
+            .unwrap();
+        let (status, _, _) = read_final_response(conn);
+        assert_eq!(status, 400);
+    }
+    // Close our ends so the server's drain-before-close finishes and the
+    // connection slots actually free up.
+    drop(pin);
+    drop(filler);
+
+    // The freed slots are observed asynchronously; a too-quick fetch may
+    // still be shed. Each extra shed is itself a counted request+error,
+    // so track them and fold them into the expected totals.
+    let mut extra_sheds = 0;
+    let body = loop {
+        let mut stream = connect(addr);
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let (status, _, body) = read_final_response(&mut stream);
+        if status == 200 {
+            break body;
+        }
+        assert_eq!(status, 429, "{body}");
+        extra_sheds += 1;
+        assert!(extra_sheds < 100, "server never freed its capacity");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    let m = json::parse(&body).unwrap();
+    let requests = m.get("requests").expect("requests section");
+    assert_eq!(
+        requests.get("requests_total").unwrap().as_usize(),
+        Some(4 + extra_sheds),
+        "429s + two completed analyzes + this /metrics fetch: {body}"
+    );
+    assert_eq!(
+        requests.get("http_err").unwrap().as_usize(),
+        Some(1 + extra_sheds),
+        "only the 429s are protocol-level errors: {body}"
+    );
+    assert_eq!(
+        m.get("queue")
+            .unwrap()
+            .get("shed_total")
+            .unwrap()
+            .as_usize(),
+        Some(1 + extra_sheds),
+        "{body}"
+    );
     server.join();
 }
 
