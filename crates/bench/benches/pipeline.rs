@@ -19,10 +19,17 @@
 //!   a cold full analysis of a 1-gate edit vs `Engine::analyze_diff` on an
 //!   engine that has already analyzed the pre-edit program. The JSON
 //!   records `prefix_gates_reused`; expect the diff wall ≪ the full wall.
+//!
+//! The JSON additionally carries an **`anytime`** pair on the same
+//! Ising-288 workload: `first_answer_ms` (the wall a client waits for the
+//! first certified bound from `Engine::analyze_anytime`) vs
+//! `exact_wall_ms` (a cold exact analysis of the same request) — the
+//! latency gap the anytime subsystem buys, with the refined ε checked
+//! bit-identical to the exact one before the record is written.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gleipnir_circuit::Stmt;
-use gleipnir_core::{AdaptiveConfig, AnalysisRequest, Engine, Method, Report};
+use gleipnir_core::{AdaptiveConfig, AnalysisRequest, Engine, Method, RefineStatus, Report};
 use gleipnir_noise::NoiseModel;
 use gleipnir_telemetry::{Histogram, HistogramSnapshot};
 use gleipnir_workloads::{ising_chain, qaoa_maxcut, Graph};
@@ -222,6 +229,40 @@ fn emit_json() {
         latency: None,
     });
 
+    // Anytime pair on the same Ising-288 request: the wall a client
+    // waits for the first certified bound vs the wall of the cold exact
+    // analysis it refines into. The refined ε must be bit-identical to
+    // the exact one — a perf record of an unsound shortcut is worthless.
+    let anytime_engine = Engine::new();
+    let t0 = Instant::now();
+    let answer = anytime_engine
+        .analyze_anytime(&old_req)
+        .expect("anytime analysis starts");
+    let first_answer_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let refined = loop {
+        match anytime_engine.wait_refinement(answer.token, std::time::Duration::from_secs(5)) {
+            Some(RefineStatus::Done(report)) => break report,
+            Some(RefineStatus::Pending) => continue,
+            Some(RefineStatus::Failed(msg)) => panic!("refinement failed: {msg}"),
+            None => panic!("refinement token vanished"),
+        }
+    };
+    let t0 = Instant::now();
+    let exact = Engine::new().analyze(&old_req).unwrap();
+    let exact_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        refined.error_bound().to_bits(),
+        exact.error_bound().to_bits(),
+        "refined ε must be bit-identical to the cold exact ε"
+    );
+    let anytime_json = format!(
+        "{{\"workload\":\"ising288_w8\",\"first_answer_ms\":{:.3},\"exact_wall_ms\":{:.3},\"first_bound\":{:e},\"error_bound\":{:e}}}",
+        first_answer_ms,
+        exact_wall_ms,
+        answer.first_bound,
+        refined.error_bound(),
+    );
+
     let stage_json: Vec<String> = stages
         .iter()
         .map(|s| {
@@ -254,11 +295,12 @@ fn emit_json() {
         })
         .collect();
     let json = format!(
-        "{{\"bench\":\"pipeline\",\"workload\":{{\"name\":\"qaoa_maxcut_cycle6\",\"qubits\":{},\"gates\":{}}},\"pool_threads\":{},\"batch_worker_threads\":{},\"stages\":[{}]}}\n",
+        "{{\"bench\":\"pipeline\",\"workload\":{{\"name\":\"qaoa_maxcut_cycle6\",\"qubits\":{},\"gates\":{}}},\"pool_threads\":{},\"batch_worker_threads\":{},\"anytime\":{},\"stages\":[{}]}}\n",
         p.n_qubits(),
         p.gate_count(),
         batch_engine.threads(),
         outcome.worker_threads,
+        anytime_json,
         stage_json.join(",")
     );
     // Default to the repo root so `cargo bench` from anywhere in the

@@ -40,9 +40,13 @@ use crate::logic::run_state_aware;
 // cannot leave a torn entry behind — so a poisoned shard is safe to keep
 // using. This is what keeps one panicking batch request from sinking its
 // siblings.
-use crate::pool::{lock, run_indexed, PoolHandle, WorkerPool};
+use crate::pool::{lock, run_indexed, PoolHandle, PriorityClass, SchedulerDepths, WorkerPool};
+use crate::refine::{
+    compute_first_answer, AnytimeAnswer, RefineStats, RefineStatus, RefineToken, RefinementRegistry,
+};
 use crate::report::Report;
 use crate::request::{AnalysisRequest, Method};
+use crate::testkit::ScriptedGate;
 use crate::tiers::{BoundTier, TierStats, TierTotals};
 use crate::AnalysisError;
 use gleipnir_linalg::CMat;
@@ -372,6 +376,22 @@ impl SdpCache {
         lock(self.shard(key)).contains_key(key)
     }
 
+    /// Side-effect-free peek at a finished **cold** certificate's ε — the
+    /// anytime first answer's cache source. Deliberately narrower than
+    /// [`SdpCache::get`] on every axis the anytime soundness contract
+    /// cares about: no hit/miss counting (an anytime probe must not
+    /// perturb the pinned counter fixtures), no in-flight interaction
+    /// (first answers never join or lead a solve), and warm-started
+    /// certificates are invisible — a warm ε may sit *below* the cold
+    /// exact ε, which would break "every intermediate answer ≥ the final
+    /// refined ε" (SOUNDNESS.md obligation 8).
+    pub(crate) fn peek_cold(&self, key: &[u64]) -> Option<f64> {
+        lock(self.shard(key))
+            .get(key)
+            .filter(|c| c.tier == BoundTier::ColdSolve)
+            .map(|c| c.eps)
+    }
+
     /// In-flight-aware lookup: a finished certificate wins; otherwise the
     /// caller either joins the thread already solving this key or becomes
     /// the lead itself. Lock order is inflight-map → shard, and
@@ -651,6 +671,9 @@ pub(crate) struct EngineShared {
     /// interior-point iterations), surfaced by [`Engine::tier_stats`] and
     /// the server's `/metrics`.
     pub(crate) tiers: TierTotals,
+    /// The anytime refinement registry: token → in-flight/completed exact
+    /// re-analysis (see [`crate::refine`]).
+    pub(crate) refines: RefinementRegistry,
 }
 
 /// A cheap, clonable, `'static` handle to the engine — what analysis
@@ -660,6 +683,10 @@ pub(crate) struct EngineShared {
 pub(crate) struct EngineHandle {
     pub(crate) shared: Arc<EngineShared>,
     pub(crate) pool: PoolHandle,
+    /// The scheduling class this handle's solve stages submit pool work
+    /// under — interactive for direct `analyze` calls, batch for batch
+    /// fan-out, refinement for anytime background re-analyses.
+    pub(crate) class: PriorityClass,
 }
 
 impl EngineHandle {
@@ -800,6 +827,7 @@ impl Engine {
                 cache: SdpCache::new(),
                 options: solver,
                 tiers: TierTotals::default(),
+                refines: RefinementRegistry::default(),
             }),
             pool: Arc::new(WorkerPool::new(threads)),
         }
@@ -863,11 +891,18 @@ impl Engine {
         &self.shared.cache
     }
 
-    /// The handle analysis stages and pool jobs run against.
+    /// The handle analysis stages and pool jobs run against. Direct
+    /// `analyze` calls run in the interactive class.
     pub(crate) fn handle(&self) -> EngineHandle {
+        self.handle_with_class(PriorityClass::Interactive)
+    }
+
+    /// A handle whose solve-stage pool submissions carry `class`.
+    pub(crate) fn handle_with_class(&self, class: PriorityClass) -> EngineHandle {
         EngineHandle {
             shared: Arc::clone(&self.shared),
             pool: PoolHandle::new(&self.pool),
+            class,
         }
     }
 
@@ -912,9 +947,9 @@ impl Engine {
         // borrow; panics inside a request become that request's
         // `AnalysisError::Panicked` (converted by the task set).
         let requests: Arc<Vec<AnalysisRequest>> = Arc::new(requests.to_vec());
-        let h = self.handle();
+        let h = self.handle_with_class(PriorityClass::Batch);
         let task_h = h.clone();
-        let out = run_indexed(&h.pool, requests.len(), move |i| {
+        let out = run_indexed(&h.pool, PriorityClass::Batch, requests.len(), move |i| {
             analyze_request(&task_h, &requests[i])
         });
         BatchOutcome {
@@ -922,6 +957,108 @@ impl Engine {
             worker_threads: out.participants,
             elapsed: start.elapsed(),
         }
+    }
+
+    /// Anytime analysis: returns **immediately** with the best
+    /// currently-certified upper bound on ε (finished cold certificates,
+    /// Tier-0 closed forms, or the trivial bound 1 — no SDP is solved)
+    /// plus a [`RefineToken`], while the exact analysis runs in the
+    /// background on the worker pool's refinement class. Poll the token
+    /// with [`Engine::refinement`] / [`Engine::wait_refinement`] for the
+    /// tightened ε.
+    ///
+    /// Soundness (SOUNDNESS.md obligation 8): the first bound is a
+    /// certified upper bound on the refined ε, and the refinement runs the
+    /// request under [`crate::TierPolicy::exact`] — its ε is bit-identical
+    /// to a cold exact-policy [`Engine::analyze`] of the same request.
+    /// Nothing on the first-answer path writes the cache, enters the
+    /// in-flight dedup protocol, or perturbs the cache counters.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::InvalidConfig`] for non-state-aware requests
+    /// (anytime refinement is defined over the state-aware proof system),
+    /// or any planning error the full analysis would also hit.
+    pub fn analyze_anytime(
+        &self,
+        request: &AnalysisRequest,
+    ) -> Result<AnytimeAnswer, AnalysisError> {
+        let start = Instant::now();
+        let h = self.handle();
+        let (first_bound, sources) = compute_first_answer(&h, request)?;
+        let (token, entry) = self.shared.refines.register();
+        let exact = request.exact_clone();
+        let refine_h = self.handle_with_class(PriorityClass::Refinement);
+        let job_h = refine_h.clone();
+        self.shared.refines.submit(
+            &refine_h,
+            Box::new(move || {
+                let result = analyze_request(&job_h, &exact);
+                job_h.shared.refines.publish(token, &entry, result);
+            }),
+        );
+        Ok(AnytimeAnswer {
+            token,
+            first_bound,
+            first_elapsed: start.elapsed(),
+            sources,
+        })
+    }
+
+    /// The current state of an anytime refinement: `None` for a token this
+    /// engine never minted (or evicted long after completion), otherwise
+    /// the [`RefineStatus`]. Terminal states are served repeatedly.
+    pub fn refinement(&self, token: RefineToken) -> Option<RefineStatus> {
+        self.shared.refines.get(token).map(|e| e.status())
+    }
+
+    /// Long-poll form of [`Engine::refinement`]: blocks until the
+    /// refinement reaches a terminal state or `timeout` elapses, returning
+    /// the state at that moment (`Pending` on timeout).
+    pub fn wait_refinement(&self, token: RefineToken, timeout: Duration) -> Option<RefineStatus> {
+        self.shared.refines.get(token).map(|e| e.wait(timeout))
+    }
+
+    /// Engine-lifetime refinement counters.
+    pub fn refine_stats(&self) -> RefineStats {
+        self.shared.refines.stats()
+    }
+
+    /// Current per-class backlog of the engine's worker pool (queued jobs
+    /// not yet claimed by a worker).
+    pub fn scheduler_depths(&self) -> SchedulerDepths {
+        self.pool.depths()
+    }
+
+    /// **Test support.** Scripted-refinement mode: while on, refinement
+    /// jobs queue inside the engine instead of the worker pool and run
+    /// only when [`Engine::run_next_refinement`] is called — giving the
+    /// deterministic scheduler harness full control over the interleaving
+    /// of submission, polling, and completion. No production effect when
+    /// left off (the default).
+    pub fn set_scripted_refinements(&self, on: bool) {
+        self.shared.refines.set_scripted(on);
+    }
+
+    /// **Test support.** Runs the oldest queued scripted refinement on the
+    /// calling thread; `false` when none are queued.
+    pub fn run_next_refinement(&self) -> bool {
+        self.shared.refines.run_next()
+    }
+
+    /// **Test support.** Scripted refinements queued and not yet run.
+    pub fn pending_refinements(&self) -> usize {
+        self.shared.refines.queued()
+    }
+
+    /// **Test support.** Arms a one-shot [`ScriptedGate`]: the next
+    /// refinement to finish computing parks at the gate *before* its
+    /// result becomes visible, so a test can provably poll the `Pending`
+    /// state mid-solve, then release the gate and observe completion.
+    pub fn hold_next_refinement(&self) -> Arc<ScriptedGate> {
+        let gate = Arc::new(ScriptedGate::new());
+        self.shared.refines.arm_hold(Arc::clone(&gate));
+        gate
     }
 }
 

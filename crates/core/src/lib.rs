@@ -67,9 +67,11 @@ mod logic;
 mod persist;
 mod plan;
 mod pool;
+mod refine;
 mod report;
 mod request;
 mod solve;
+pub mod testkit;
 mod tiers;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveReport, AdaptiveStep};
@@ -83,6 +85,11 @@ pub use engine::{BatchOutcome, CacheStats, Engine, EngineOptions};
 pub use error::{AnalysisError, ReplayError};
 pub use logic::{Derivation, StageTimings, StateAwareReport};
 pub use persist::{import_sync, CertStore, LoadStats, SyncStats};
+pub use pool::{PriorityClass, SchedulerDepths};
+pub use refine::{
+    AnytimeAnswer, AnytimeSources, QuotaPermit, RefineStats, RefineStatus, RefineToken,
+    TenantQuotas,
+};
 pub use report::Report;
 pub use request::{AnalysisRequest, AnalysisRequestBuilder, InputState, Method};
 pub use tiers::{BoundTier, TierCounts, TierPolicy, TierStats};

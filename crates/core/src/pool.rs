@@ -35,6 +35,70 @@ use std::time::{Duration, Instant};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// The scheduling class of a unit of pool work, in strict priority order:
+/// queued interactive jobs always run before queued refinement jobs, which
+/// always run before queued batch jobs. Within a class, jobs run FIFO.
+///
+/// The classes exist so the anytime subsystem can promise interactive
+/// latency under load: a saturating batch tenant's jobs pile up in the
+/// batch queue while a fresh interactive request's solve fan-out jumps
+/// straight to the front. Priorities apply at *claim* time only — a
+/// batch job already running is never preempted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PriorityClass {
+    /// Foreground analyses a client is blocked on (`Engine::analyze`).
+    Interactive,
+    /// Background anytime refinements ([`crate::Engine::analyze_anytime`]).
+    Refinement,
+    /// Bulk work nobody is interactively waiting on (`Engine::analyze_batch`).
+    Batch,
+}
+
+impl PriorityClass {
+    /// Every class, in scheduling (priority) order.
+    pub const ALL: [PriorityClass; 3] = [
+        PriorityClass::Interactive,
+        PriorityClass::Refinement,
+        PriorityClass::Batch,
+    ];
+
+    /// A stable machine-readable class name (metrics label values).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PriorityClass::Interactive => "interactive",
+            PriorityClass::Refinement => "refinement",
+            PriorityClass::Batch => "batch",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            PriorityClass::Interactive => 0,
+            PriorityClass::Refinement => 1,
+            PriorityClass::Batch => 2,
+        }
+    }
+}
+
+/// A snapshot of the pool's queued (not yet claimed) jobs per class —
+/// the `gleipnir_queue_depth{class=...}` gauges.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedulerDepths {
+    /// Queued interactive jobs.
+    pub interactive: usize,
+    /// Queued refinement jobs.
+    pub refinement: usize,
+    /// Queued batch jobs.
+    pub batch: usize,
+}
+
+impl SchedulerDepths {
+    /// Total queued jobs across all classes.
+    pub fn total(&self) -> usize {
+        self.interactive + self.refinement + self.batch
+    }
+}
+
 /// Locks a mutex, recovering from poisoning (every holder is either
 /// unwind-caught or only ever writes fully-formed values, so a poisoned
 /// lock never guards torn state). Shared crate-wide — the engine's cache
@@ -54,8 +118,24 @@ pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 struct PoolState {
-    jobs: VecDeque<Job>,
+    /// One FIFO queue per [`PriorityClass`], indexed by
+    /// [`PriorityClass::index`]; workers drain lower indices first.
+    jobs: [VecDeque<Job>; 3],
     shutdown: bool,
+}
+
+impl PoolState {
+    fn pop_next(&mut self) -> Option<Job> {
+        self.jobs.iter_mut().find_map(VecDeque::pop_front)
+    }
+
+    fn depths(&self) -> SchedulerDepths {
+        SchedulerDepths {
+            interactive: self.jobs[0].len(),
+            refinement: self.jobs[1].len(),
+            batch: self.jobs[2].len(),
+        }
+    }
 }
 
 struct PoolShared {
@@ -73,6 +153,11 @@ pub(crate) struct WorkerPool {
     shared: Arc<PoolShared>,
     handles: Mutex<Vec<JoinHandle<()>>>,
     spawned: AtomicBool,
+    /// Whether the dedicated background worker exists (only ever spawned
+    /// for `threads == 1` pools, where the regular worker count is zero
+    /// but background refinements must still make progress while the
+    /// submitting thread has long since returned to its caller).
+    bg_spawned: AtomicBool,
     /// The configured concurrency cap *including* the submitting thread
     /// (so `threads == 1` means zero spawned workers).
     threads: usize,
@@ -85,13 +170,14 @@ impl WorkerPool {
         WorkerPool {
             shared: Arc::new(PoolShared {
                 state: Mutex::new(PoolState {
-                    jobs: VecDeque::new(),
+                    jobs: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
                     shutdown: false,
                 }),
                 job_ready: Condvar::new(),
             }),
             handles: Mutex::new(Vec::new()),
             spawned: AtomicBool::new(false),
+            bg_spawned: AtomicBool::new(false),
             threads: threads.max(1),
         }
     }
@@ -99,6 +185,11 @@ impl WorkerPool {
     /// The concurrency cap this pool was built with (callers + workers).
     pub(crate) fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Queued (unclaimed) jobs per priority class.
+    pub(crate) fn depths(&self) -> SchedulerDepths {
+        lock(&self.shared.state).depths()
     }
 
     fn ensure_workers(&self) {
@@ -122,16 +213,36 @@ impl WorkerPool {
         }
     }
 
-    fn submit(&self, job: Job) {
+    fn submit(&self, class: PriorityClass, job: Job) {
         {
             let mut state = lock(&self.shared.state);
             if state.shutdown {
                 return; // engine is being dropped; nobody is waiting on this job
             }
-            state.jobs.push_back(job);
+            state.jobs[class.index()].push_back(job);
         }
         self.ensure_workers();
         self.shared.job_ready.notify_one();
+    }
+
+    /// Submits a job that must make progress even when nobody ever joins a
+    /// task set again — the anytime refinement path. On a `threads == 1`
+    /// pool (zero regular workers) this lazily spawns one dedicated
+    /// background worker; the solve stage's assist count stays
+    /// `threads − 1 = 0`, so the refinement itself still runs strictly
+    /// sequentially and the bit-exactness contract is untouched.
+    pub(crate) fn submit_background(&self, class: PriorityClass, job: Job) {
+        if self.threads <= 1 && !self.bg_spawned.swap(true, Ordering::SeqCst) {
+            let shared = Arc::clone(&self.shared);
+            lock(&self.handles).push(
+                std::thread::Builder::new()
+                    .name("gleipnir-refine-0".into())
+                    .stack_size(8 * 1024 * 1024)
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn background worker thread"),
+            );
+        }
+        self.submit(class, job);
     }
 }
 
@@ -150,7 +261,7 @@ fn worker_loop(shared: &PoolShared) {
         let job = {
             let mut state = lock(&shared.state);
             loop {
-                if let Some(job) = state.jobs.pop_front() {
+                if let Some(job) = state.pop_next() {
                     break Some(job);
                 }
                 if state.shutdown {
@@ -193,12 +304,20 @@ impl PoolHandle {
         self.threads
     }
 
-    fn submit(&self, job: Job) {
+    fn submit(&self, class: PriorityClass, job: Job) {
         if let Some(pool) = self.pool.upgrade() {
-            pool.submit(job);
+            pool.submit(class, job);
         }
         // A dead pool means the engine is mid-drop; the submitting task
         // set still completes on whichever thread joins it.
+    }
+
+    /// See [`WorkerPool::submit_background`]. Silently dropped when the
+    /// pool is already mid-drop (nobody can poll the result either).
+    pub(crate) fn submit_background(&self, class: PriorityClass, job: Job) {
+        if let Some(pool) = self.pool.upgrade() {
+            pool.submit_background(class, job);
+        }
     }
 }
 
@@ -307,7 +426,12 @@ impl<T: Send + 'static> PendingRun<T> {
 /// Dispatches an indexed task set to the pool without joining it. Call
 /// [`PendingRun::join`] to participate and collect; until then the caller
 /// may do unrelated work while the pool makes progress.
-pub(crate) fn spawn_indexed<T, F>(pool: &PoolHandle, n: usize, task: F) -> PendingRun<T>
+pub(crate) fn spawn_indexed<T, F>(
+    pool: &PoolHandle,
+    class: PriorityClass,
+    n: usize,
+    task: F,
+) -> PendingRun<T>
 where
     T: Send + 'static,
     F: Fn(usize) -> Result<T, AnalysisError> + Send + Sync + 'static,
@@ -329,19 +453,24 @@ where
     let assists = pool.threads().saturating_sub(1).min(n);
     for _ in 0..assists {
         let set = Arc::clone(&set);
-        pool.submit(Box::new(move || set.claim_loop()));
+        pool.submit(class, Box::new(move || set.claim_loop()));
     }
     PendingRun { set }
 }
 
 /// Runs `n` indexed tasks across the pool and the calling thread, blocking
 /// until all complete. Tasks that panic yield [`AnalysisError::Panicked`].
-pub(crate) fn run_indexed<T, F>(pool: &PoolHandle, n: usize, task: F) -> RunOutcome<T>
+pub(crate) fn run_indexed<T, F>(
+    pool: &PoolHandle,
+    class: PriorityClass,
+    n: usize,
+    task: F,
+) -> RunOutcome<T>
 where
     T: Send + 'static,
     F: Fn(usize) -> Result<T, AnalysisError> + Send + Sync + 'static,
 {
-    spawn_indexed(pool, n, task).join()
+    spawn_indexed(pool, class, n, task).join()
 }
 
 #[cfg(test)]
@@ -350,6 +479,22 @@ mod tests {
 
     fn handle(pool: &Arc<WorkerPool>) -> PoolHandle {
         PoolHandle::new(pool)
+    }
+
+    fn run_indexed<T, F>(pool: &PoolHandle, n: usize, task: F) -> RunOutcome<T>
+    where
+        T: Send + 'static,
+        F: Fn(usize) -> Result<T, AnalysisError> + Send + Sync + 'static,
+    {
+        super::run_indexed(pool, PriorityClass::Interactive, n, task)
+    }
+
+    fn spawn_indexed<T, F>(pool: &PoolHandle, n: usize, task: F) -> PendingRun<T>
+    where
+        T: Send + 'static,
+        F: Fn(usize) -> Result<T, AnalysisError> + Send + Sync + 'static,
+    {
+        super::spawn_indexed(pool, PriorityClass::Interactive, n, task)
     }
 
     #[test]
@@ -434,6 +579,77 @@ mod tests {
         let out = run_indexed(&handle(&pool), 0, |_| Ok(()));
         assert!(out.results.is_empty());
         assert_eq!(out.participants, 0);
+    }
+
+    #[test]
+    fn classes_drain_in_priority_order() {
+        // A threads == 1 pool never spawns regular workers, so submitted
+        // jobs sit queued until this test pops them by hand — a fully
+        // deterministic view of the scheduler's claim order.
+        let pool = Arc::new(WorkerPool::new(1));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let note = |tag: &'static str| {
+            let order = Arc::clone(&order);
+            Box::new(move || lock(&order).push(tag)) as Job
+        };
+        pool.submit(PriorityClass::Batch, note("batch-1"));
+        pool.submit(PriorityClass::Interactive, note("inter-1"));
+        pool.submit(PriorityClass::Refinement, note("refine-1"));
+        pool.submit(PriorityClass::Batch, note("batch-2"));
+        pool.submit(PriorityClass::Interactive, note("inter-2"));
+        assert_eq!(
+            pool.depths(),
+            SchedulerDepths {
+                interactive: 2,
+                refinement: 1,
+                batch: 2,
+            }
+        );
+        while let Some(job) = lock(&pool.shared.state).pop_next() {
+            job();
+        }
+        assert_eq!(
+            *lock(&order),
+            ["inter-1", "inter-2", "refine-1", "batch-1", "batch-2"],
+            "interactive before refinement before batch, FIFO within a class"
+        );
+        assert_eq!(pool.depths().total(), 0);
+    }
+
+    #[test]
+    fn background_submit_runs_even_on_a_sequential_pool() {
+        let pool = Arc::new(WorkerPool::new(1));
+        let (tx, rx) = std::sync::mpsc::channel();
+        pool.submit_background(
+            PriorityClass::Refinement,
+            Box::new(move || tx.send(42usize).unwrap()),
+        );
+        // The dedicated background worker (not the caller) runs the job.
+        assert_eq!(rx.recv().unwrap(), 42);
+        assert_eq!(
+            lock(&pool.handles).len(),
+            1,
+            "threads == 1 gets exactly one background worker"
+        );
+        // Foreground task sets still run on the caller alone.
+        let out = run_indexed(&handle(&pool), 4, |i| Ok(i));
+        assert!(out.results.iter().all(Result::is_ok));
+    }
+
+    #[test]
+    fn background_submit_reuses_regular_workers_when_present() {
+        let pool = Arc::new(WorkerPool::new(3));
+        let (tx, rx) = std::sync::mpsc::channel();
+        pool.submit_background(
+            PriorityClass::Refinement,
+            Box::new(move || tx.send(7usize).unwrap()),
+        );
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert_eq!(
+            lock(&pool.handles).len(),
+            2,
+            "threads > 1 spawns the regular workers, no extra one"
+        );
     }
 
     #[test]

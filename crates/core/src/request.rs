@@ -265,6 +265,16 @@ impl AnalysisRequest {
     pub fn tier_policy(&self) -> TierPolicy {
         self.tiers
     }
+
+    /// This request with its tier policy forced to [`TierPolicy::exact`] —
+    /// what an anytime refinement runs, so the refined ε is bit-identical
+    /// to a cold exact-policy analysis of the same request regardless of
+    /// the tiering the caller asked for.
+    pub(crate) fn exact_clone(&self) -> AnalysisRequest {
+        let mut exact = self.clone();
+        exact.tiers = TierPolicy::exact();
+        exact
+    }
 }
 
 /// Builder for [`AnalysisRequest`]; see [`AnalysisRequest::builder`].

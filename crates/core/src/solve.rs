@@ -205,7 +205,7 @@ pub(crate) fn spawn_solve(
     // unit's value is computed — observation only, never an input.
     let trace_ctx = telemetry::active();
     let dispatch_ns = telemetry::now_ns();
-    let pending = spawn_indexed(&h.pool, units.len(), move |u| {
+    let pending = spawn_indexed(&h.pool, h.class, units.len(), move |u| {
         if cancelled.load(Ordering::Relaxed) {
             return Ok(None);
         }

@@ -41,6 +41,13 @@ pub struct ServerConfig {
     pub peers: Vec<String>,
     /// How often the gossip loop polls each peer.
     pub peer_interval: Duration,
+    /// Per-tenant, per-priority-class admission quota: how many requests
+    /// one tenant (the `X-Tenant` header; missing means the anonymous
+    /// tenant) may have admitted-but-unanswered in each class at once.
+    /// Excess requests are rejected with `429` + `Retry-After` so a
+    /// saturating batch tenant cannot starve interactive callers.
+    /// `0` disables quotas.
+    pub tenant_quota: usize,
 }
 
 impl Default for ServerConfig {
@@ -56,6 +63,7 @@ impl Default for ServerConfig {
             threads: 0,
             peers: Vec::new(),
             peer_interval: Duration::from_secs(2),
+            tenant_quota: 0,
         }
     }
 }

@@ -15,8 +15,9 @@
 //! Header and body sizes are capped ([`ParseError::TooLarge`] → `413`);
 //! anything unparseable is [`ParseError::Malformed`] → `400`.
 
-/// A parsed request: method, path, body. Headers beyond `Content-Length`
-/// and `Connection` are intentionally dropped — no endpoint needs them.
+/// A parsed request: method, path, tenant, body. Headers beyond
+/// `Content-Length`, `Connection`, and `X-Tenant` are intentionally
+/// dropped — no endpoint needs them.
 #[derive(Debug)]
 pub struct HttpRequest {
     /// `GET`, `POST`, …
@@ -24,6 +25,9 @@ pub struct HttpRequest {
     /// Request target, query string included — the router splits on `?`
     /// (only `/metrics?format=…` interprets one).
     pub path: String,
+    /// The `X-Tenant` header, when present — the identity per-tenant
+    /// queue quotas meter on (absent = the anonymous tenant).
+    pub tenant: Option<String>,
     /// The raw request body.
     pub body: Vec<u8>,
 }
@@ -91,6 +95,7 @@ pub fn parse_request(buf: &[u8], max_body: usize) -> Parse {
     // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
     let mut keep_alive = version != "HTTP/1.0";
     let mut content_length = 0usize;
+    let mut tenant: Option<String> = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             let name = name.trim();
@@ -108,6 +113,8 @@ pub fn parse_request(buf: &[u8], max_body: usize) -> Parse {
                 } else if value.eq_ignore_ascii_case("keep-alive") {
                     keep_alive = true;
                 }
+            } else if name.eq_ignore_ascii_case("x-tenant") && !value.is_empty() {
+                tenant = Some(value.to_string());
             }
         }
     }
@@ -123,6 +130,7 @@ pub fn parse_request(buf: &[u8], max_body: usize) -> Parse {
         request: HttpRequest {
             method: method.to_string(),
             path: path.to_string(),
+            tenant,
             body: buf[body_start..consumed].to_vec(),
         },
         consumed,
@@ -137,6 +145,8 @@ fn find_blank_line(buf: &[u8]) -> Option<usize> {
 fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        202 => "Accepted",
+        204 => "No Content",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
@@ -237,6 +247,27 @@ mod tests {
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/healthz");
         assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn x_tenant_header_is_retained() {
+        let (req, _, _) = full(b"GET /analyze HTTP/1.1\r\nX-Tenant: acme\r\n\r\n");
+        assert_eq!(req.tenant.as_deref(), Some("acme"));
+        let (req, _, _) = full(b"GET /analyze HTTP/1.1\r\nx-tenant:  bob \r\n\r\n");
+        assert_eq!(req.tenant.as_deref(), Some("bob"), "case + whitespace");
+        let (req, _, _) = full(b"GET /analyze HTTP/1.1\r\nX-Tenant:\r\n\r\n");
+        assert_eq!(req.tenant, None, "empty value = anonymous");
+        let (req, _, _) = full(b"GET /analyze HTTP/1.1\r\n\r\n");
+        assert_eq!(req.tenant, None);
+    }
+
+    #[test]
+    fn anytime_statuses_have_reason_phrases() {
+        let text = String::from_utf8(response_bytes(202, "application/json", b"{}", true)).unwrap();
+        assert!(text.starts_with("HTTP/1.1 202 Accepted\r\n"));
+        let text = String::from_utf8(response_bytes(204, "application/json", b"", true)).unwrap();
+        assert!(text.starts_with("HTTP/1.1 204 No Content\r\n"));
+        assert!(text.contains("Content-Length: 0\r\n"));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! render time rather than mirrored.
 
 use gleipnir_core::jsonfmt::{json_f64, json_ms};
-use gleipnir_core::{CacheStats, LoadStats, Report, TierStats};
+use gleipnir_core::{CacheStats, LoadStats, RefineStats, Report, SchedulerDepths, TierStats};
 use gleipnir_telemetry as telemetry;
 use gleipnir_telemetry::detail;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -46,6 +46,12 @@ pub struct Metrics {
     pub diff_prefix_gates_reused: AtomicUsize,
     /// Non-analysis HTTP failures (bad method/path/body framing).
     pub http_err: AtomicUsize,
+    /// Requests rejected with `429` because the tenant was over its
+    /// per-class queue quota (distinct from `shed_total`, which is
+    /// whole-server backpressure).
+    pub quota_rejections: AtomicUsize,
+    /// Anytime `/analyze` requests accepted with `202` + a token.
+    pub anytime_accepted: AtomicUsize,
     /// Cumulative pipeline stage walls across served analyses, in µs.
     pub plan_us: AtomicU64,
     /// Solve-stage cumulative wall (µs).
@@ -77,8 +83,32 @@ pub struct Metrics {
     pub req_batch_ms: telemetry::Histogram,
     /// Request wall for `/diff`.
     pub req_diff_ms: telemetry::Histogram,
+    /// Request wall for `/refine/<token>` polls.
+    pub req_refine_ms: telemetry::Histogram,
     /// Request wall for everything else (`/healthz`, `/metrics`, …).
     pub req_other_ms: telemetry::Histogram,
+}
+
+/// A point-in-time snapshot of everything the renderers need beyond the
+/// cumulative counters: engine state, queue depths (read under the
+/// queue's own lock rather than mirrored in racy atomics), and config.
+pub(crate) struct MetricsView {
+    pub cache: CacheStats,
+    pub tiers: TierStats,
+    pub pool_threads: usize,
+    pub workers: usize,
+    /// Parsed HTTP requests waiting for a worker (capacity-oriented;
+    /// the shed threshold is expressed against this number).
+    pub queue_depth: usize,
+    pub queue_capacity: usize,
+    /// Combined per-class backlog: HTTP jobs waiting for a worker plus
+    /// engine-pool obligations waiting for a solver, by priority class.
+    pub depths: SchedulerDepths,
+    pub store_enabled: bool,
+    /// Refinement lifecycle counts from the engine's registry.
+    pub refines: RefineStats,
+    /// Configured per-tenant, per-class admission quota (0 = unlimited).
+    pub tenant_quota: usize,
 }
 
 impl Metrics {
@@ -97,6 +127,8 @@ impl Metrics {
             diff_err: AtomicUsize::new(0),
             diff_prefix_gates_reused: AtomicUsize::new(0),
             http_err: AtomicUsize::new(0),
+            quota_rejections: AtomicUsize::new(0),
+            anytime_accepted: AtomicUsize::new(0),
             plan_us: AtomicU64::new(0),
             solve_us: AtomicU64::new(0),
             assemble_us: AtomicU64::new(0),
@@ -112,6 +144,7 @@ impl Metrics {
             req_analyze_ms: telemetry::Histogram::latency(),
             req_batch_ms: telemetry::Histogram::latency(),
             req_diff_ms: telemetry::Histogram::latency(),
+            req_refine_ms: telemetry::Histogram::latency(),
             req_other_ms: telemetry::Histogram::latency(),
         }
     }
@@ -128,6 +161,7 @@ impl Metrics {
             detail::ENDPOINT_ANALYZE => self.req_analyze_ms.observe_ms(wall_ms),
             detail::ENDPOINT_BATCH => self.req_batch_ms.observe_ms(wall_ms),
             detail::ENDPOINT_DIFF => self.req_diff_ms.observe_ms(wall_ms),
+            detail::ENDPOINT_REFINE => self.req_refine_ms.observe_ms(wall_ms),
             _ => self.req_other_ms.observe_ms(wall_ms),
         }
     }
@@ -149,19 +183,9 @@ impl Metrics {
         }
     }
 
-    /// Renders the `/metrics` JSON document. `queue_depth` is passed in by
-    /// the caller (read under the queue's own lock) rather than mirrored
-    /// in an atomic that could race the push/pop pair.
-    pub(crate) fn to_json(
-        &self,
-        cache: CacheStats,
-        tiers: TierStats,
-        pool_threads: usize,
-        workers: usize,
-        queue_depth: usize,
-        queue_capacity: usize,
-        store_enabled: bool,
-    ) -> String {
+    /// Renders the `/metrics` JSON document from the cumulative counters
+    /// plus a [`MetricsView`] snapshot taken by the caller.
+    pub(crate) fn to_json(&self, v: &MetricsView) -> String {
         let c = |a: &AtomicUsize| a.load(Ordering::Relaxed);
         let us = |a: &AtomicU64| json_ms(a.load(Ordering::Relaxed) as f64 / 1e3);
         format!(
@@ -169,6 +193,10 @@ impl Metrics {
                 "{{\"uptime_ms\":{},",
                 "\"pool_threads\":{},\"workers\":{},",
                 "\"queue\":{{\"depth\":{},\"capacity\":{},\"shed_total\":{}}},",
+                "\"scheduler\":{{\"interactive\":{},\"refinement\":{},\"batch\":{},",
+                "\"tenant_quota\":{},\"quota_rejections\":{}}},",
+                "\"refinements\":{{\"started\":{},\"completed\":{},\"failed\":{},",
+                "\"pending\":{},\"accepted\":{}}},",
                 "\"in_flight\":{},",
                 "\"requests\":{{\"connections_total\":{},\"requests_total\":{},",
                 "\"analyze_ok\":{},\"analyze_err\":{},",
@@ -182,14 +210,24 @@ impl Metrics {
                 "\"records_received\":{},\"records_added\":{},\"records_rejected\":{}}},",
                 "\"uptime_seconds\":{},\"version\":\"{}\",",
                 "\"saturation\":{{\"workers_busy\":{},\"queue_fill\":{}}},",
-                "\"latency_ms\":{{\"analyze\":{},\"batch\":{},\"diff\":{},\"other\":{}}}}}"
+                "\"latency_ms\":{{\"analyze\":{},\"batch\":{},\"diff\":{},\"refine\":{},\"other\":{}}}}}"
             ),
             json_ms(self.started.elapsed().as_secs_f64() * 1e3),
-            pool_threads,
-            workers,
-            queue_depth,
-            queue_capacity,
+            v.pool_threads,
+            v.workers,
+            v.queue_depth,
+            v.queue_capacity,
             c(&self.shed_total),
+            v.depths.interactive,
+            v.depths.refinement,
+            v.depths.batch,
+            v.tenant_quota,
+            c(&self.quota_rejections),
+            v.refines.started,
+            v.refines.completed,
+            v.refines.failed,
+            v.refines.pending,
+            c(&self.anytime_accepted),
             c(&self.in_flight),
             c(&self.connections_total),
             c(&self.requests_total),
@@ -201,18 +239,18 @@ impl Metrics {
             c(&self.diff_ok) + c(&self.diff_err),
             c(&self.diff_err),
             c(&self.diff_prefix_gates_reused),
-            cache.hits,
-            cache.misses,
-            cache.entries,
-            cache.inflight_dedup,
-            tiers.closed_form,
-            tiers.warm,
-            tiers.cold,
-            tiers.ip_iterations,
+            v.cache.hits,
+            v.cache.misses,
+            v.cache.entries,
+            v.cache.inflight_dedup,
+            v.tiers.closed_form,
+            v.tiers.warm,
+            v.tiers.cold,
+            v.tiers.ip_iterations,
             us(&self.plan_us),
             us(&self.solve_us),
             us(&self.assemble_us),
-            store_enabled,
+            v.store_enabled,
             c(&self.load_loaded),
             c(&self.load_rejected),
             c(&self.persisted_records),
@@ -224,11 +262,12 @@ impl Metrics {
             c(&self.peer_records_rejected),
             self.uptime_seconds(),
             VERSION,
-            json_f64(c(&self.in_flight) as f64 / workers as f64),
-            json_f64(queue_depth as f64 / queue_capacity as f64),
+            json_f64(c(&self.in_flight) as f64 / v.workers as f64),
+            json_f64(v.queue_depth as f64 / v.queue_capacity as f64),
             quantiles_json(&self.req_analyze_ms),
             quantiles_json(&self.req_batch_ms),
             quantiles_json(&self.req_diff_ms),
+            quantiles_json(&self.req_refine_ms),
             quantiles_json(&self.req_other_ms),
         )
     }
@@ -236,20 +275,13 @@ impl Metrics {
     /// Renders the `/metrics?format=prometheus` document (text exposition
     /// format v0.0.4). Same numbers as the JSON, plus the latency
     /// histograms in full (the JSON carries only quantile summaries).
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn to_prometheus(
-        &self,
-        cache: CacheStats,
-        tiers: TierStats,
-        pool_threads: usize,
-        workers: usize,
-        queue_depth: usize,
-        queue_capacity: usize,
-        store_enabled: bool,
-    ) -> String {
+    pub(crate) fn to_prometheus(&self, v: &MetricsView) -> String {
         use telemetry::prom;
         let c = |a: &AtomicUsize| a.load(Ordering::Relaxed) as u64;
         let no: &[(&str, &str)] = &[];
+        let (cache, tiers) = (&v.cache, &v.tiers);
+        let (workers, pool_threads) = (v.workers, v.pool_threads);
+        let (queue_capacity, store_enabled) = (v.queue_capacity, v.store_enabled);
         let mut out = String::with_capacity(8 * 1024);
         prom::gauge(
             &mut out,
@@ -286,6 +318,40 @@ impl Metrics {
             "gleipnir_http_errors_total",
             "Error responses plus reads that died before one.",
             &[(no, c(&self.http_err))],
+        );
+        prom::counter(
+            &mut out,
+            "gleipnir_quota_rejections_total",
+            "Requests rejected 429 because a tenant was over its class quota.",
+            &[(no, c(&self.quota_rejections))],
+        );
+        prom::counter(
+            &mut out,
+            "gleipnir_refinements_total",
+            "Anytime refinement lifecycle events.",
+            &[
+                (&[("event", "started")][..], v.refines.started as u64),
+                (&[("event", "completed")][..], v.refines.completed as u64),
+                (&[("event", "failed")][..], v.refines.failed as u64),
+            ],
+        );
+        prom::gauge(
+            &mut out,
+            "gleipnir_refinements_pending",
+            "Refinements registered but not yet published.",
+            &[(no, v.refines.pending as f64)],
+        );
+        prom::counter(
+            &mut out,
+            "gleipnir_anytime_accepted_total",
+            "Anytime /analyze requests answered 202 with a token.",
+            &[(no, c(&self.anytime_accepted))],
+        );
+        prom::gauge(
+            &mut out,
+            "gleipnir_tenant_quota",
+            "Per-tenant, per-class admission quota (0 = unlimited).",
+            &[(no, v.tenant_quota as f64)],
         );
         prom::counter(
             &mut out,
@@ -345,8 +411,13 @@ impl Metrics {
         prom::gauge(
             &mut out,
             "gleipnir_queue_depth",
-            "Parsed requests waiting for a worker.",
-            &[(no, queue_depth as f64)],
+            "Scheduler backlog by priority class (HTTP jobs waiting for a \
+             worker plus engine obligations waiting for a solver).",
+            &[
+                (&[("class", "interactive")][..], v.depths.interactive as f64),
+                (&[("class", "refinement")][..], v.depths.refinement as f64),
+                (&[("class", "batch")][..], v.depths.batch as f64),
+            ],
         );
         prom::gauge(
             &mut out,
@@ -365,7 +436,7 @@ impl Metrics {
                 ),
                 (
                     &[("resource", "queue")][..],
-                    queue_depth as f64 / queue_capacity as f64,
+                    v.queue_depth as f64 / queue_capacity as f64,
                 ),
             ],
         );
@@ -451,6 +522,7 @@ impl Metrics {
                 ),
                 (&[("endpoint", "batch")][..], self.req_batch_ms.snapshot()),
                 (&[("endpoint", "diff")][..], self.req_diff_ms.snapshot()),
+                (&[("endpoint", "refine")][..], self.req_refine_ms.snapshot()),
                 (&[("endpoint", "other")][..], self.req_other_ms.snapshot()),
             ],
         );
@@ -470,6 +542,12 @@ impl Metrics {
             "gleipnir_ip_solve_duration_seconds",
             "Interior-point solve wall per real (non-closed-form) solve.",
             &[(no, t.ip_solve_ms.snapshot())],
+        );
+        prom::histogram(
+            &mut out,
+            "gleipnir_refine_duration_seconds",
+            "Anytime refinement wall: token minted to exact bound published.",
+            &[(no, t.refine_ms.snapshot())],
         );
         out
     }

@@ -46,6 +46,7 @@ use crate::http::{self, HttpRequest, Parse, ParseError};
 use crate::poll::{self, Interest};
 use crate::server::Shared;
 use crate::wire;
+use gleipnir_core::{PriorityClass, QuotaPermit, SchedulerDepths};
 use gleipnir_telemetry as telemetry;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
@@ -84,6 +85,13 @@ pub(crate) struct Job {
     pub conn: u64,
     /// The parsed request.
     pub request: HttpRequest,
+    /// The scheduling class this request is queued under (`/batch` is
+    /// batch traffic; everything else is interactive).
+    pub class: PriorityClass,
+    /// The tenant's quota slot for this request; never read — held so
+    /// that dropping the job (after the response is framed) releases it.
+    #[allow(dead_code)]
+    pub permit: Option<QuotaPermit>,
     /// Whether the response should keep the connection open.
     pub keep_alive: bool,
     /// Trace id minted at parse time (echoed as `X-Trace-Id`).
@@ -98,41 +106,69 @@ pub(crate) struct Job {
     pub enqueued_ns: u64,
 }
 
-/// The reactor → workers request queue. Unbounded as a data structure —
-/// admission control happens at accept (connection cap) and each
-/// connection contributes at most one in-flight job, so the queue is
-/// bounded by the connection cap by construction.
+/// Deque index of a priority class (drain order: interactive first).
+fn class_index(class: PriorityClass) -> usize {
+    match class {
+        PriorityClass::Interactive => 0,
+        PriorityClass::Refinement => 1,
+        PriorityClass::Batch => 2,
+    }
+}
+
+/// The reactor → workers request queue: one FIFO per priority class,
+/// drained interactive > refinement > batch — a saturating batch tenant
+/// queues behind *every* waiting interactive request, not in front of it.
+/// Unbounded as a data structure — admission control happens at accept
+/// (connection cap) plus per-tenant quotas, and each connection
+/// contributes at most one in-flight job, so the queue is bounded by the
+/// connection cap by construction.
 pub(crate) struct JobQueue {
-    inner: Mutex<VecDeque<Job>>,
+    inner: Mutex<[VecDeque<Job>; 3]>,
     ready: Condvar,
 }
 
 impl JobQueue {
     pub(crate) fn new() -> Self {
         JobQueue {
-            inner: Mutex::new(VecDeque::new()),
+            inner: Mutex::new([VecDeque::new(), VecDeque::new(), VecDeque::new()]),
             ready: Condvar::new(),
         }
     }
 
     pub(crate) fn push(&self, job: Job) {
         let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        q.push_back(job);
+        q[class_index(job.class)].push_back(job);
         drop(q);
         self.ready.notify_one();
     }
 
-    /// Current depth (for `/metrics`).
+    /// Current total depth (for `/metrics` and `/healthz`).
     pub(crate) fn len(&self) -> usize {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(VecDeque::len)
+            .sum()
     }
 
-    /// Pops the next job; `None` once shutdown is requested **and** the
-    /// queue is drained (already-parsed requests still get served).
+    /// Current per-class depths (the `queue_depth{class=…}` gauges).
+    pub(crate) fn depths(&self) -> SchedulerDepths {
+        let q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        SchedulerDepths {
+            interactive: q[0].len(),
+            refinement: q[1].len(),
+            batch: q[2].len(),
+        }
+    }
+
+    /// Pops the highest-priority waiting job; `None` once shutdown is
+    /// requested **and** the queue is drained (already-parsed requests
+    /// still get served).
     pub(crate) fn pop(&self, shutdown: &std::sync::atomic::AtomicBool) -> Option<Job> {
         let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         loop {
-            if let Some(job) = q.pop_front() {
+            if let Some(job) = q.iter_mut().find_map(VecDeque::pop_front) {
                 return Some(job);
             }
             if shutdown.load(Ordering::SeqCst) {
@@ -591,6 +627,47 @@ impl Reactor {
                 } => {
                     conn.buf.drain(..consumed);
                     conn.deadline = None;
+                    // Batch bodies are the heavy, deprioritizable traffic;
+                    // everything else (analyze, refine polls, metrics)
+                    // rides the interactive class.
+                    let class = if request.path.starts_with("/batch") {
+                        PriorityClass::Batch
+                    } else {
+                        PriorityClass::Interactive
+                    };
+                    // Per-tenant admission: a tenant past its quota for
+                    // this class gets an immediate 429 (keep-alive
+                    // preserved — `framed` adds `Retry-After`) and the
+                    // connection moves on to its next pipelined request.
+                    let tenant = request.tenant.clone().unwrap_or_default();
+                    let permit = match self.shared.quotas.try_admit(&tenant, class) {
+                        Some(permit) => permit,
+                        None => {
+                            self.shared
+                                .metrics
+                                .requests_total
+                                .fetch_add(1, Ordering::Relaxed);
+                            self.shared.metrics.http_err.fetch_add(1, Ordering::Relaxed);
+                            self.shared
+                                .metrics
+                                .quota_rejections
+                                .fetch_add(1, Ordering::Relaxed);
+                            conn.out.extend_from_slice(&http::json_response(
+                                429,
+                                &wire::error_json(&format!(
+                                    "tenant `{tenant}` is over its {} queue quota, retry later",
+                                    class.name()
+                                )),
+                                keep_alive && !shutting_down,
+                            ));
+                            if !(keep_alive && !shutting_down) {
+                                conn.reading_dead = true;
+                                conn.close_after_flush = true;
+                                return;
+                            }
+                            continue;
+                        }
+                    };
                     conn.inflight = true;
                     self.shared
                         .metrics
@@ -618,6 +695,8 @@ impl Reactor {
                     self.shared.jobs.push(Job {
                         conn: id,
                         request,
+                        class,
+                        permit: Some(permit),
                         keep_alive: keep_alive && !shutting_down,
                         trace_id,
                         root_span,

@@ -35,19 +35,24 @@
 use crate::config::ServerConfig;
 use crate::http;
 use crate::json;
-use crate::metrics::{Metrics, VERSION};
+use crate::metrics::{Metrics, MetricsView, VERSION};
 use crate::peer;
 use crate::reactor::{waker_pair, Completion, JobQueue, Reactor, Waker};
 use crate::wire;
-use gleipnir_core::jsonfmt::json_ms;
-use gleipnir_core::{AnalysisError, AnalysisRequest, CertStore, Engine, EngineOptions};
+use gleipnir_core::jsonfmt::{json_f64, json_ms, json_str, report_json};
+use gleipnir_core::{
+    AnalysisError, AnalysisRequest, CertStore, Engine, EngineOptions, RefineStatus, RefineToken,
+    SchedulerDepths, TenantQuotas,
+};
 use gleipnir_telemetry as telemetry;
 use gleipnir_telemetry::{detail, SpanName};
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Why the server could not start.
 #[derive(Debug)]
@@ -90,7 +95,27 @@ pub(crate) struct Shared {
     /// Pokes the reactor out of `poll(2)` when a completion lands.
     pub(crate) waker: Waker,
     pub(crate) shutdown: AtomicBool,
+    /// Per-tenant, per-class admission quotas (`--tenant-quota`; limit 0
+    /// admits everything). The reactor admits under these before a request
+    /// touches the job queue; the permit rides on the `Job` and frees its
+    /// slot when the response has been framed.
+    pub(crate) quotas: TenantQuotas,
+    /// Request context for live anytime tokens, so `GET /refine/<token>`
+    /// can render the same report envelope `POST /analyze` would have.
+    /// Bounded: past [`REFINE_SPECS_RETAINED`] the oldest entry ages out
+    /// (polls then fall back to a bound-only envelope).
+    refine_specs: Mutex<RefineSpecs>,
 }
+
+/// See [`Shared::refine_specs`].
+#[derive(Default)]
+struct RefineSpecs {
+    by_token: HashMap<String, wire::AnalyzeSpec>,
+    order: VecDeque<String>,
+}
+
+/// How many anytime request specs are kept for report rendering.
+const REFINE_SPECS_RETAINED: usize = 1024;
 
 impl Shared {
     /// How many connections may be in service before new ones are shed
@@ -210,6 +235,8 @@ pub fn spawn(config: ServerConfig) -> Result<ServerHandle, ServerError> {
         completions: Mutex::new(Vec::new()),
         waker,
         shutdown: AtomicBool::new(false),
+        quotas: TenantQuotas::new(config.tenant_quota),
+        refine_specs: Mutex::new(RefineSpecs::default()),
         config,
     });
 
@@ -355,6 +382,13 @@ const CERTS_SINCE: &str = "/certs/since/";
 /// The trace-retrieval endpoint's path prefix.
 const TRACE_PREFIX: &str = "/trace/";
 
+/// The anytime refinement-poll endpoint's path prefix.
+const REFINE_PREFIX: &str = "/refine/";
+
+/// Long-poll `wait_ms` ceiling: below the read/keep-alive deadlines so a
+/// long poll always resolves (204) before the connection times out.
+const MAX_WAIT_MS: u64 = 30_000;
+
 /// Maps a request target to the request span's endpoint [`detail`] code
 /// (also the per-endpoint latency-histogram key).
 fn endpoint_code(target: &str) -> u32 {
@@ -367,6 +401,7 @@ fn endpoint_code(target: &str) -> u32 {
         "/metrics" => detail::ENDPOINT_METRICS,
         p if p.starts_with(CERTS_SINCE) => detail::ENDPOINT_CERTS,
         p if p.starts_with(TRACE_PREFIX) => detail::ENDPOINT_TRACE,
+        p if p.starts_with(REFINE_PREFIX) => detail::ENDPOINT_REFINE,
         _ => detail::ENDPOINT_OTHER,
     }
 }
@@ -381,37 +416,24 @@ fn route(shared: &Arc<Shared>, request: &http::HttpRequest) -> Response {
     match (request.method.as_str(), path) {
         ("GET", "/healthz") => handle_healthz(shared),
         ("GET", "/metrics") => {
+            let view = metrics_view(shared);
             let prometheus =
                 query.is_some_and(|q| q.split('&').any(|kv| kv == "format=prometheus"));
             if prometheus {
-                let body = shared.metrics.to_prometheus(
-                    shared.engine.cache_stats(),
-                    shared.engine.tier_stats(),
-                    shared.engine.threads(),
-                    shared.config.workers.max(1),
-                    shared.jobs.len(),
-                    shared.config.queue_capacity.max(1),
-                    shared.store_on_disk,
-                );
+                let body = shared.metrics.to_prometheus(&view);
                 return Response {
                     status: 200,
                     content_type: "text/plain; version=0.0.4",
                     body: body.into_bytes(),
                 };
             }
-            let body = shared.metrics.to_json(
-                shared.engine.cache_stats(),
-                shared.engine.tier_stats(),
-                shared.engine.threads(),
-                shared.config.workers.max(1),
-                shared.jobs.len(),
-                shared.config.queue_capacity.max(1),
-                shared.store_on_disk,
-            );
-            Response::json(200, body)
+            Response::json(200, shared.metrics.to_json(&view))
         }
         ("GET", target) if target.starts_with(TRACE_PREFIX) => {
             handle_trace(shared, &target[TRACE_PREFIX.len()..])
+        }
+        ("GET", path) if path.starts_with(REFINE_PREFIX) => {
+            handle_refine(shared, &path[REFINE_PREFIX.len()..], query)
         }
         ("POST", "/analyze") => handle_analyze(shared, &request.body),
         ("POST", "/batch") => handle_batch(shared, &request.body),
@@ -443,7 +465,11 @@ fn route(shared: &Arc<Shared>, request: &http::HttpRequest) -> Response {
             shared.metrics.http_err.fetch_add(1, Ordering::Relaxed);
             Response::json(405, wire::error_json("method not allowed"))
         }
-        (_, path) if path.starts_with(CERTS_SINCE) || path.starts_with(TRACE_PREFIX) => {
+        (_, path)
+            if path.starts_with(CERTS_SINCE)
+                || path.starts_with(TRACE_PREFIX)
+                || path.starts_with(REFINE_PREFIX) =>
+        {
             shared.metrics.http_err.fetch_add(1, Ordering::Relaxed);
             Response::json(405, wire::error_json("method not allowed"))
         }
@@ -451,6 +477,30 @@ fn route(shared: &Arc<Shared>, request: &http::HttpRequest) -> Response {
             shared.metrics.http_err.fetch_add(1, Ordering::Relaxed);
             Response::json(404, wire::error_json(&format!("no such endpoint: {path}")))
         }
+    }
+}
+
+/// Snapshots everything the metrics renderers need: engine stats, HTTP
+/// queue depth, and the combined per-class scheduler backlog (HTTP jobs
+/// waiting for a worker plus engine obligations waiting for a solver).
+fn metrics_view(shared: &Arc<Shared>) -> MetricsView {
+    let http = shared.jobs.depths();
+    let engine = shared.engine.scheduler_depths();
+    MetricsView {
+        cache: shared.engine.cache_stats(),
+        tiers: shared.engine.tier_stats(),
+        pool_threads: shared.engine.threads(),
+        workers: shared.config.workers.max(1),
+        queue_depth: shared.jobs.len(),
+        queue_capacity: shared.config.queue_capacity.max(1),
+        depths: SchedulerDepths {
+            interactive: http.interactive + engine.interactive,
+            refinement: http.refinement + engine.refinement,
+            batch: http.batch + engine.batch,
+        },
+        store_enabled: shared.store_on_disk,
+        refines: shared.engine.refine_stats(),
+        tenant_quota: shared.config.tenant_quota,
     }
 }
 
@@ -506,6 +556,9 @@ fn handle_analyze(shared: &Arc<Shared>, body: &[u8]) -> Response {
             return Response::json(422, wire::error_json(&msg));
         }
     };
+    if value.get("anytime").and_then(json::Json::as_bool) == Some(true) {
+        return handle_analyze_anytime(shared, spec);
+    }
     match shared.engine.analyze(&spec.request) {
         Ok(report) => {
             shared.metrics.note_report(&report);
@@ -516,6 +569,140 @@ fn handle_analyze(shared: &Arc<Shared>, body: &[u8]) -> Response {
         Err(e) => {
             shared.metrics.analyze_err.fetch_add(1, Ordering::Relaxed);
             Response::json(422, wire::error_json(&e.to_string()))
+        }
+    }
+}
+
+/// `POST /analyze` with `"anytime": true`: answer `202` immediately with
+/// the best currently-certified bound plus a refinement token, while the
+/// exact solve continues on the engine's refinement priority class. The
+/// spec is retained (bounded) so `GET /refine/<token>` can later render
+/// the full report envelope.
+fn handle_analyze_anytime(shared: &Arc<Shared>, spec: wire::AnalyzeSpec) -> Response {
+    match shared.engine.analyze_anytime(&spec.request) {
+        Ok(answer) => {
+            let token = answer.token.to_string();
+            {
+                let mut specs = shared
+                    .refine_specs
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                specs.by_token.insert(token.clone(), spec);
+                specs.order.push_back(token.clone());
+                while specs.order.len() > REFINE_SPECS_RETAINED {
+                    if let Some(old) = specs.order.pop_front() {
+                        specs.by_token.remove(&old);
+                    }
+                }
+            }
+            shared
+                .metrics
+                .anytime_accepted
+                .fetch_add(1, Ordering::Relaxed);
+            let body = format!(
+                concat!(
+                    "{{\"ok\":true,\"anytime\":true,\"token\":{},",
+                    "\"first\":{{\"error_bound\":{},\"elapsed_ms\":{},",
+                    "\"sources\":{{\"cache\":{},\"closed_form\":{},\"trivial\":{}}}}}}}"
+                ),
+                json_str(&token),
+                json_f64(answer.first_bound),
+                json_ms(answer.first_elapsed.as_secs_f64() * 1e3),
+                answer.sources.cache,
+                answer.sources.closed_form,
+                answer.sources.trivial,
+            );
+            Response::json(202, body)
+        }
+        Err(e) => {
+            shared.metrics.analyze_err.fetch_add(1, Ordering::Relaxed);
+            Response::json(422, wire::error_json(&e.to_string()))
+        }
+    }
+}
+
+/// `GET /refine/<token>[?wait_ms=N]`: poll (or long-poll) a refinement.
+///
+/// * `404` — unparsable, unknown, or evicted token.
+/// * `202` — still pending (plain poll).
+/// * `204` — long poll expired with the refinement still pending.
+/// * `200` — the exact report; terminal, served repeatedly.
+/// * `422` — the refinement failed; terminal, served repeatedly.
+fn handle_refine(shared: &Arc<Shared>, rest: &str, query: Option<&str>) -> Response {
+    let Some(token) = RefineToken::parse(rest) else {
+        shared.metrics.http_err.fetch_add(1, Ordering::Relaxed);
+        return Response::json(404, wire::error_json("no such refinement token"));
+    };
+    let wait_ms: Option<u64> = query.and_then(|q| {
+        q.split('&')
+            .find_map(|kv| kv.strip_prefix("wait_ms="))
+            .and_then(|v| v.parse().ok())
+    });
+    let status = match wait_ms {
+        Some(ms) => shared
+            .engine
+            .wait_refinement(token, Duration::from_millis(ms.min(MAX_WAIT_MS))),
+        None => shared.engine.refinement(token),
+    };
+    match status {
+        None => {
+            shared.metrics.http_err.fetch_add(1, Ordering::Relaxed);
+            Response::json(404, wire::error_json("no such refinement token"))
+        }
+        Some(RefineStatus::Pending) => {
+            if wait_ms.is_some() {
+                // Long poll expired: bodyless 204 says "nothing yet, poll
+                // again" without making the client parse anything.
+                Response {
+                    status: 204,
+                    content_type: "application/json",
+                    body: Vec::new(),
+                }
+            } else {
+                Response::json(
+                    202,
+                    format!(
+                        "{{\"ok\":true,\"done\":false,\"token\":{}}}",
+                        json_str(&token.to_string())
+                    ),
+                )
+            }
+        }
+        Some(RefineStatus::Done(report)) => {
+            // The refinement ran real SDP solves; fold its certificates
+            // into the store like any other served analysis. (Idempotent:
+            // completed tokens are served repeatedly, and `persist_new`
+            // only appends certificates not yet in the log.)
+            persist_now(shared);
+            let token_str = token.to_string();
+            let rendered = {
+                let specs = shared
+                    .refine_specs
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                specs
+                    .by_token
+                    .get(&token_str)
+                    .map(|spec| report_json(&spec.name, &spec.program, &report))
+            };
+            let body = match rendered {
+                Some(report) => format!(
+                    "{{\"ok\":true,\"done\":true,\"token\":{},\"report\":{}}}",
+                    json_str(&token_str),
+                    report,
+                ),
+                // Spec aged out of the bounded map: serve the bound alone.
+                None => format!(
+                    "{{\"ok\":true,\"done\":true,\"token\":{},\"error_bound\":{}}}",
+                    json_str(&token_str),
+                    json_f64(report.error_bound()),
+                ),
+            };
+            Response::json(200, body)
+        }
+        Some(RefineStatus::Failed(msg)) => {
+            shared.metrics.analyze_err.fetch_add(1, Ordering::Relaxed);
+            Response::json(422, wire::error_json(&msg))
         }
     }
 }

@@ -223,6 +223,8 @@ pub struct Telemetry {
     pub assemble_ms: Histogram,
     /// Interior-point solve wall time per lead SDP solve (ms).
     pub ip_solve_ms: Histogram,
+    /// Anytime refinement latency: first answer to refined ε (ms).
+    pub refine_ms: Histogram,
 }
 
 impl Telemetry {
@@ -233,6 +235,7 @@ impl Telemetry {
             solve_ms: Histogram::latency(),
             assemble_ms: Histogram::latency(),
             ip_solve_ms: Histogram::latency(),
+            refine_ms: Histogram::latency(),
         }
     }
 

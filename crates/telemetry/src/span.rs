@@ -140,6 +140,8 @@ pub mod detail {
     pub const ENDPOINT_CERTS: u32 = 6;
     /// `Request` span: `GET /trace/<id>`.
     pub const ENDPOINT_TRACE: u32 = 7;
+    /// `Request` span: `GET /refine/<token>`.
+    pub const ENDPOINT_REFINE: u32 = 8;
     /// `Request` span: anything else (404/405 surface).
     pub const ENDPOINT_OTHER: u32 = 0;
 
@@ -172,6 +174,7 @@ pub mod detail {
                 ENDPOINT_METRICS => "metrics",
                 ENDPOINT_CERTS => "certs",
                 ENDPOINT_TRACE => "trace",
+                ENDPOINT_REFINE => "refine",
                 _ => "other",
             }),
             SpanName::Obligation => Some(match detail {

@@ -5,14 +5,14 @@
 //! gleipnir analyze  <file.glq> [--method state|adaptive|worst|lqr] [--width W]
 //!                              [--noise SPEC] [--input BITS] [--threads N]
 //!                              [--tiers exact|fast|closed|warm]
-//!                              [--derivation] [--trace] [--json]
+//!                              [--derivation] [--trace] [--anytime] [--json]
 //! gleipnir batch    <a.glq> <b.glq> … [--method M] [--width W] [--noise SPEC]
 //!                              [--threads N] [--tiers T] [--json]
 //! gleipnir diff     <old.glq> <new.glq> [--width W] [--noise SPEC] [--input BITS]
 //!                              [--threads N] [--tiers T] [--json]
 //! gleipnir worst    <file.glq> [--noise SPEC] [--json]
 //! gleipnir serve    [--addr HOST:PORT] [--cache-dir DIR] [--workers N]
-//!                              [--queue N] [--threads N]
+//!                              [--queue N] [--threads N] [--tenant-quota N]
 //!                              [--read-timeout-ms MS] [--keepalive-timeout-ms MS]
 //!                              [--peers HOST:PORT,…] [--peer-interval-ms MS]
 //! gleipnir compare  <file.glq> [--width W] [--noise SPEC]   # bound before/after optimization
@@ -37,8 +37,10 @@
 //! process starts with every certificate earlier runs paid for.
 
 use gleipnir::circuit::{optimize, parse, pretty, route_with_final, Mapping, Program};
-use gleipnir::core::jsonfmt::{diff_report_json, json_str, report_json};
-use gleipnir::core::{AnalysisRequest, CertStore, Engine, EngineOptions, Method, Report};
+use gleipnir::core::jsonfmt::{diff_report_json, json_f64, json_str, report_json};
+use gleipnir::core::{
+    AnalysisRequest, CertStore, Engine, EngineOptions, Method, RefineStatus, Report,
+};
 use gleipnir::noise::{DeviceModel, NoiseModel};
 use gleipnir::server::{spec, ServerConfig};
 use gleipnir::sim::BasisState;
@@ -88,11 +90,13 @@ fn usage() -> String {
      \x20        --trace   (analyze only: print the span tree — plan/solve/assemble,\n\
      \x20        per-obligation pool timing, solver phases — after the report)\n\
      \x20        --tiers exact|fast|closed|warm   (bound-engine tiers; default exact)\n\
+     \x20        --anytime   (analyze only: print a certified bound immediately, then\n\
+     \x20        the exact refined bound when the background solve lands)\n\
      \x20        --threads N   (0/unset = GLEIPNIR_THREADS, then all cores)\n\
      \x20        --cache-dir DIR   (persistent SDP-certificate store; warm restarts)\n\
      \x20        --device boeblingen|lima   --mapping 0,1,2\n\
      serve:   gleipnir serve --addr 127.0.0.1:8080 --cache-dir .gleipnir-cache\n\
-     \x20        [--workers N] [--queue N] [--threads N]\n\
+     \x20        [--workers N] [--queue N] [--threads N] [--tenant-quota N]\n\
      \x20        [--read-timeout-ms MS] [--keepalive-timeout-ms MS]\n\
      \x20        [--peers HOST:PORT,…] [--peer-interval-ms MS]  (fleet certificate gossip)"
         .to_string()
@@ -112,7 +116,8 @@ fn has_flag(args: &[String], name: &str) -> bool {
 fn program_paths(args: &[String]) -> Vec<&String> {
     // Positional arguments: skip flags and the value slot after a
     // value-taking flag.
-    const VALUE_FLAGS: [&str; 16] = [
+    const VALUE_FLAGS: [&str; 17] = [
+        "--tenant-quota",
         "--method",
         "--width",
         "--noise",
@@ -252,6 +257,9 @@ fn analyze(args: &[String]) -> Result<(), String> {
     let engine = make_engine(args)?;
     let mut store = open_store(args, &engine)?;
     let request = build_request(program.clone(), args)?;
+    if has_flag(args, "--anytime") {
+        return analyze_anytime(&engine, &mut store, &path, &program, &request, json);
+    }
     // --trace: run the analysis under an ambient trace context, exactly
     // as the server does for one request, then print the span tree.
     // Telemetry is pure observation — the report is bit-identical with
@@ -342,6 +350,57 @@ fn analyze(args: &[String]) -> Result<(), String> {
             println!("\n{}", d.pretty());
         }
     }
+    Ok(())
+}
+
+/// `analyze --anytime`: print the instant certified bound, then wait on
+/// the refinement token (exactly as an HTTP client would long-poll
+/// `GET /refine/<token>`) until the exact bound lands, and print that.
+fn analyze_anytime(
+    engine: &Engine,
+    store: &mut Option<CertStore>,
+    path: &str,
+    program: &Program,
+    request: &AnalysisRequest,
+    json: bool,
+) -> Result<(), String> {
+    let answer = engine.analyze_anytime(request).map_err(|e| e.to_string())?;
+    let first_ms = answer.first_elapsed.as_secs_f64() * 1e3;
+    if !json {
+        println!(
+            "anytime first bound: {:.6e}  (token {}, {first_ms:.3} ms; sources: {} cache, {} closed form, {} trivial)",
+            answer.first_bound,
+            answer.token,
+            answer.sources.cache,
+            answer.sources.closed_form,
+            answer.sources.trivial,
+        );
+    }
+    let report = loop {
+        match engine.wait_refinement(answer.token, Duration::from_millis(500)) {
+            Some(RefineStatus::Done(report)) => break report,
+            Some(RefineStatus::Failed(msg)) => return Err(msg),
+            Some(RefineStatus::Pending) => continue,
+            None => return Err("refinement token vanished".into()),
+        }
+    };
+    persist_store(store, engine)?;
+    if json {
+        println!(
+            "{{\"anytime\":{{\"token\":{},\"first_error_bound\":{},\"first_elapsed_ms\":{first_ms:.3}}},\"report\":{}}}",
+            json_str(&answer.token.to_string()),
+            json_f64(answer.first_bound),
+            report_json(path, program, &report),
+        );
+        return Ok(());
+    }
+    println!(
+        "refined bound:       {:.6e}  ({} solves, {} cache hits, {:?})",
+        report.error_bound(),
+        report.sdp_solves(),
+        report.cache_hits(),
+        report.elapsed()
+    );
     Ok(())
 }
 
@@ -565,6 +624,9 @@ fn serve(args: &[String]) -> Result<(), String> {
     if let Some(t) = flag_value(args, "--threads") {
         config.threads = t.parse().map_err(|_| format!("bad thread count `{t}`"))?;
     }
+    if let Some(q) = flag_value(args, "--tenant-quota") {
+        config.tenant_quota = q.parse().map_err(|_| format!("bad tenant quota `{q}`"))?;
+    }
     if let Some(peers) = flag_value(args, "--peers") {
         config.peers = peers
             .split(',')
@@ -592,7 +654,7 @@ fn serve(args: &[String]) -> Result<(), String> {
     let shutdown = gleipnir::server::signal::install_shutdown_signals();
     let handle = gleipnir::server::spawn(config).map_err(|e| e.to_string())?;
     println!("gleipnir-server listening on http://{}", handle.addr());
-    println!("endpoints: POST /analyze  POST /batch  POST /diff  GET /healthz  GET /metrics[?format=prometheus]  GET /trace/<id>  GET /certs/since/<seq>  (ctrl-c / SIGTERM stops)");
+    println!("endpoints: POST /analyze  POST /batch  POST /diff  GET /refine/<token>[?wait_ms=N]  GET /healthz  GET /metrics[?format=prometheus]  GET /trace/<id>  GET /certs/since/<seq>  (ctrl-c / SIGTERM stops)");
     while !shutdown.load(std::sync::atomic::Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(100));
     }

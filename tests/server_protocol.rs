@@ -17,6 +17,7 @@
 //!   request bytes in flight (drain-before-close: no response is ever
 //!   torn or RST'd away).
 
+use gleipnir::core::jsonfmt::json_str;
 use gleipnir::server::{json, spawn, ServerConfig, ServerHandle};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -363,6 +364,182 @@ fn shed_429_counts_as_request_and_error() {
         Some(1 + extra_sheds),
         "{body}"
     );
+    server.join();
+}
+
+// ---- anytime refinement-token lifecycle ------------------------------
+
+const GHZ_SRC: &str = "qubits 2;\nh q0;\ncnot q0, q1;\n";
+
+fn anytime_body() -> String {
+    format!(
+        "{{\"source\":{},\"name\":\"ghz2\",\"width\":8,\"noise\":\"bitflip:1e-4\",\"anytime\":true}}",
+        json_str(GHZ_SRC)
+    )
+}
+
+fn post_frame(path: &str, body: &str) -> String {
+    format!(
+        "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// Pulls `"token":"…"` out of a 202 anytime acceptance body.
+fn token_of(body: &str) -> String {
+    json::parse(body)
+        .expect("anytime body is JSON")
+        .get("token")
+        .and_then(json::Json::as_str)
+        .unwrap_or_else(|| panic!("token in {body}"))
+        .to_string()
+}
+
+#[test]
+fn unknown_refine_tokens_404() {
+    let server = protocol_server();
+    let addr = server.addr();
+    // Well-formed but never issued; tokens are never 0; not hex at all.
+    for path in [
+        "/refine/deadbeefdeadbeef",
+        "/refine/0",
+        "/refine/not-a-token",
+    ] {
+        let mut stream = connect(addr);
+        stream
+            .write_all(
+                format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
+            )
+            .unwrap();
+        let (status, _, body) = read_final_response(&mut stream);
+        assert_eq!(status, 404, "{path}: {body}");
+        assert!(body.contains("refinement token"), "{path}: {body}");
+    }
+    server.join();
+}
+
+/// The whole token lifecycle on ONE keep-alive connection, with the
+/// refinement under the deterministic scripted driver (no sleeps):
+/// `202` accept → pipelined pending polls → `204` on `wait_ms` expiry →
+/// run the refinement → `200` served repeatedly.
+#[test]
+fn refine_token_lifecycle_survives_keep_alive_pipelining() {
+    let server = protocol_server();
+    // Scripted: the refinement job queues and runs only when this test
+    // says so — every poll below has a deterministic answer.
+    server.engine().set_scripted_refinements(true);
+    let addr = server.addr();
+    let mut stream = connect(addr);
+    let mut carry = Vec::new();
+
+    stream
+        .write_all(post_frame("/analyze", &anytime_body()).as_bytes())
+        .unwrap();
+    let (status, _, body) = read_one_response(&mut stream, &mut carry);
+    assert_eq!(status, 202, "{body}");
+    let v = json::parse(&body).unwrap();
+    assert_eq!(v.get("anytime").and_then(json::Json::as_bool), Some(true));
+    let first = v
+        .get("first")
+        .and_then(|f| f.get("error_bound"))
+        .and_then(json::Json::as_f64)
+        .expect("first.error_bound");
+    assert!(first.is_finite() && first > 0.0, "{body}");
+    let token = token_of(&body);
+
+    // Two pipelined polls in one write: both answered, in order, both
+    // pending — the token survives request pipelining.
+    let poll = format!("GET /refine/{token} HTTP/1.1\r\nHost: t\r\n\r\n");
+    stream
+        .write_all(format!("{poll}{poll}").as_bytes())
+        .unwrap();
+    for i in 0..2 {
+        let (status, _, body) = read_one_response(&mut stream, &mut carry);
+        assert_eq!(status, 202, "pipelined poll {i}: {body}");
+        let v = json::parse(&body).unwrap();
+        assert_eq!(v.get("done").and_then(json::Json::as_bool), Some(false));
+        assert_eq!(token_of(&body), token, "poll {i} echoes the token");
+    }
+
+    // Long poll with the refinement still parked: deterministic 204 with
+    // an empty body at wait_ms expiry.
+    stream
+        .write_all(format!("GET /refine/{token}?wait_ms=25 HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .unwrap();
+    let (status, head, body) = read_one_response(&mut stream, &mut carry);
+    assert_eq!(status, 204, "{body}");
+    assert!(head.contains("Content-Length: 0"), "{head}");
+    assert!(body.is_empty(), "204 must have no body: {body}");
+
+    // Run the refinement; the completed token is then served repeatedly,
+    // still on the same connection.
+    assert!(server.engine().run_next_refinement());
+    let mut bounds = Vec::new();
+    for i in 0..3 {
+        stream
+            .write_all(format!("GET /refine/{token} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+            .unwrap();
+        let (status, _, body) = read_one_response(&mut stream, &mut carry);
+        assert_eq!(status, 200, "completed poll {i}: {body}");
+        let v = json::parse(&body).unwrap();
+        assert_eq!(v.get("done").and_then(json::Json::as_bool), Some(true));
+        let eps = v
+            .get("report")
+            .and_then(|r| r.get("error_bound"))
+            .and_then(json::Json::as_f64)
+            .expect("refined report.error_bound");
+        bounds.push(eps.to_bits());
+        assert!(
+            first >= eps,
+            "intermediate {first:.6e} must dominate {eps:.6e}"
+        );
+    }
+    assert!(
+        bounds.windows(2).all(|w| w[0] == w[1]),
+        "repeated serves must be bit-identical"
+    );
+    drop(stream);
+    server.join();
+}
+
+/// A long poll parked on a pending refinement returns as soon as the
+/// refinement publishes — far before `wait_ms` elapses.
+#[test]
+fn long_poll_returns_early_on_completion() {
+    let server = protocol_server();
+    server.engine().set_scripted_refinements(true);
+    let addr = server.addr();
+
+    let mut stream = connect(addr);
+    stream
+        .write_all(post_frame("/analyze", &anytime_body()).as_bytes())
+        .unwrap();
+    let mut carry = Vec::new();
+    let (status, _, body) = read_one_response(&mut stream, &mut carry);
+    assert_eq!(status, 202, "{body}");
+    let token = token_of(&body);
+
+    let start = std::time::Instant::now();
+    let poller = std::thread::spawn(move || {
+        let mut stream = connect(addr);
+        stream
+            .write_all(
+                format!(
+                    "GET /refine/{token}?wait_ms=30000 HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        read_final_response(&mut stream)
+    });
+    assert!(server.engine().run_next_refinement());
+    let (status, _, body) = poller.join().expect("poller thread");
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "completion must release the long poll early, not at wait_ms"
+    );
+    drop(stream);
     server.join();
 }
 
